@@ -1,0 +1,38 @@
+//! Dataset-generation throughput for the three synthetic models and the
+//! KDD simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnr_synth::categorical::CategoricalModelConfig;
+use pnr_synth::general::GeneralModelConfig;
+use pnr_synth::numeric::NumericModelConfig;
+use pnr_synth::SynthScale;
+
+const N: usize = 20_000;
+
+fn scale() -> SynthScale {
+    SynthScale { n_records: N, target_frac: 0.003 }
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_20k");
+    group.sample_size(10);
+    group.bench_function("numeric_nsyn3", |b| {
+        let cfg = NumericModelConfig::nsyn(3);
+        b.iter(|| pnr_synth::numeric::generate(&cfg, &scale(), 1))
+    });
+    group.bench_function("categorical_coa3", |b| {
+        let cfg = CategoricalModelConfig::coa(3);
+        b.iter(|| pnr_synth::categorical::generate(&cfg, &scale(), 1))
+    });
+    group.bench_function("general_syngen", |b| {
+        let cfg = GeneralModelConfig::default();
+        b.iter(|| pnr_synth::general::generate(&cfg, &scale(), 1))
+    });
+    group.bench_function("kddsim_train", |b| {
+        b.iter(|| pnr_kddsim::generate_train(N, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

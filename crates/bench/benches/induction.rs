@@ -1,0 +1,43 @@
+//! End-to-end model induction benchmarks for the three learners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnr_bench::{kdd_dataset, nsyn3_dataset};
+use pnr_c45::{C45Learner, C45Params};
+use pnr_core::{PnruleLearner, PnruleParams};
+use pnr_ripper::{RipperLearner, RipperParams};
+
+fn bench_learners_nsyn3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_nsyn3");
+    group.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        let data = nsyn3_dataset(n);
+        let target = data.class_code("C").expect("class");
+        group.bench_with_input(BenchmarkId::new("pnrule", n), &data, |b, d| {
+            b.iter(|| PnruleLearner::new(PnruleParams::default()).fit(d, target))
+        });
+        group.bench_with_input(BenchmarkId::new("ripper", n), &data, |b, d| {
+            b.iter(|| RipperLearner::new(RipperParams::default()).fit(d, target))
+        });
+        group.bench_with_input(BenchmarkId::new("c45rules", n), &data, |b, d| {
+            b.iter(|| C45Learner::new(C45Params::default()).fit_rules(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_learners_kdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_kdd");
+    group.sample_size(10);
+    let data = kdd_dataset(20_000);
+    let target = data.class_code("probe").expect("class");
+    group.bench_function("pnrule_probe_20k", |b| {
+        b.iter(|| PnruleLearner::new(PnruleParams::default()).fit(&data, target))
+    });
+    group.bench_function("ripper_probe_20k", |b| {
+        b.iter(|| RipperLearner::new(RipperParams::default()).fit(&data, target))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_learners_nsyn3, bench_learners_kdd);
+criterion_main!(benches);

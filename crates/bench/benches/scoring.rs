@@ -1,0 +1,36 @@
+//! ScoreMatrix construction and classification throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnr_bench::{nsyn3_dataset, target_flags};
+use pnr_core::{PnruleLearner, PnruleParams, ScoreMatrix};
+use pnr_rules::BinaryClassifier;
+
+fn bench_score_matrix_build(c: &mut Criterion) {
+    let data = nsyn3_dataset(20_000);
+    let target = data.class_code("C").expect("class");
+    let flags = target_flags(&data, "C");
+    let model = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+    c.bench_function("score_matrix_build_20k", |b| {
+        b.iter(|| ScoreMatrix::build(&data, &flags, &model.p_rules, &model.n_rules, 1.0))
+    });
+}
+
+fn bench_classification_throughput(c: &mut Criterion) {
+    let data = nsyn3_dataset(20_000);
+    let target = data.class_code("C").expect("class");
+    let model = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+    c.bench_function("pnrule_classify_20k_rows", |b| {
+        b.iter(|| {
+            let mut positives = 0usize;
+            for row in 0..data.n_rows() {
+                if model.predict(&data, row) {
+                    positives += 1;
+                }
+            }
+            positives
+        })
+    });
+}
+
+criterion_group!(benches, bench_score_matrix_build, bench_classification_throughput);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches measure the performance-critical paths of the workspace:
+//! condition search (with and without the range scan), full model induction
+//! for all three learners, ScoreMatrix construction, classification
+//! throughput, and dataset generation. Run with `cargo bench`.
+
+use pnr_data::Dataset;
+use pnr_synth::numeric::NumericModelConfig;
+use pnr_synth::SynthScale;
+
+/// A small nsyn3-model dataset (benchmark workhorse).
+pub fn nsyn3_dataset(n_records: usize) -> Dataset {
+    let cfg = NumericModelConfig::nsyn(3);
+    let scale = SynthScale { n_records, target_frac: 0.01 };
+    pnr_synth::numeric::generate(&cfg, &scale, 42)
+}
+
+/// A small simulated-KDD dataset.
+pub fn kdd_dataset(n_records: usize) -> Dataset {
+    pnr_kddsim::generate_train(n_records, 42)
+}
+
+/// Target flags for the synthetic target class.
+pub fn target_flags(data: &Dataset, class: &str) -> Vec<bool> {
+    let code = data.class_code(class).expect("class exists");
+    (0..data.n_rows()).map(|r| data.label(r) == code).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let d = nsyn3_dataset(2_000);
+        assert_eq!(d.n_rows(), 2_000);
+        let flags = target_flags(&d, "C");
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 20);
+        let k = kdd_dataset(1_000);
+        assert_eq!(k.n_rows(), 1_000);
+    }
+}

@@ -1,0 +1,87 @@
+//! C4.5 decision trees and C4.5rules, the paper's second baseline,
+//! reimplemented from Quinlan (1993) with the Release-8 continuous-split
+//! penalty.
+//!
+//! * [`tree`] builds a multiway decision tree by gain ratio (among
+//!   attributes whose gain is at least the average positive gain), with
+//!   binary threshold splits on numeric attributes that pay the Release-8
+//!   `log₂(N−1)/|D|` MDL penalty;
+//! * [`prune`] applies pessimistic-error pruning (confidence-factor upper
+//!   bounds on the training error, CF = 0.25 by default) with subtree
+//!   replacement;
+//! * [`rules`] converts the pruned tree into per-leaf rules, generalises
+//!   each rule by greedily dropping conditions that do not raise its
+//!   pessimistic error, selects a per-class subset by greedy
+//!   description-length descent, ranks classes and picks a default class —
+//!   the C4.5rules pipeline.
+//!
+//! Both the tree model (`C4.5` / the paper's `C4.5-we` rows) and the rules
+//! model (`C4.5rules`) expose binary adapters implementing
+//! [`pnr_rules::BinaryClassifier`] for one-vs-rest evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use pnr_data::{DatasetBuilder, AttrType, Value};
+//! use pnr_c45::{C45Learner, C45Params};
+//!
+//! let mut b = DatasetBuilder::new();
+//! b.add_attribute("x", AttrType::Numeric);
+//! for i in 0..100 {
+//!     let x = (i % 10) as f64;
+//!     b.push_row(&[Value::num(x)], if x < 3.0 { "a" } else { "b" }, 1.0).unwrap();
+//! }
+//! let data = b.finish();
+//! let learner = C45Learner::new(C45Params::default());
+//! let tree = learner.fit_tree(&data);
+//! assert_eq!(data.class_name(tree.classify(&data, 0)), "a");
+//! let rules = learner.fit_rules(&data);
+//! assert_eq!(data.class_name(rules.classify(&data, 0)), "a");
+//! ```
+
+pub mod model;
+pub mod params;
+pub mod prune;
+pub mod rules;
+pub mod split;
+pub mod tree;
+
+pub use model::{BinaryRulesView, BinaryTreeView, C45RulesModel, C45TreeModel, ClassRuleGroup};
+pub use params::C45Params;
+pub use rules::ClassRule;
+pub use tree::{Node, Tree};
+
+use pnr_data::Dataset;
+
+/// The C4.5 learner: builds pruned trees and rule models.
+#[derive(Debug, Clone, Default)]
+pub struct C45Learner {
+    params: C45Params,
+}
+
+impl C45Learner {
+    /// A learner with the given parameters.
+    pub fn new(params: C45Params) -> Self {
+        params.validate();
+        C45Learner { params }
+    }
+
+    /// The learner's parameters.
+    pub fn params(&self) -> &C45Params {
+        &self.params
+    }
+
+    /// Builds and pessimistically prunes a decision tree.
+    pub fn fit_tree(&self, data: &Dataset) -> C45TreeModel {
+        let mut t = tree::build_tree(data, &self.params);
+        prune::prune_tree(&mut t, data, &self.params);
+        C45TreeModel::new(t)
+    }
+
+    /// Runs the full C4.5rules pipeline (tree → rules → generalisation →
+    /// subset selection → ranking → default class).
+    pub fn fit_rules(&self, data: &Dataset) -> C45RulesModel {
+        let tree_model = self.fit_tree(data);
+        rules::rules_from_tree(tree_model.tree(), data, &self.params)
+    }
+}

@@ -1,0 +1,306 @@
+//! Trained C4.5 models (tree and rules) and their one-vs-rest adapters.
+
+use crate::tree::Tree;
+use pnr_data::{Dataset, Schema};
+use pnr_rules::{BinaryClassifier, Rule};
+use serde::{Deserialize, Serialize};
+
+/// A pruned C4.5 decision tree as a multiclass classifier. This is the
+/// model the paper reports as `C4.5` / `C4.5-we` (for the `-we` rows it
+/// reports the tree rather than rules, because rule generation from huge
+/// stratified trees was impractically slow — we follow suit).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct C45TreeModel {
+    tree: Tree,
+}
+
+impl C45TreeModel {
+    pub(crate) fn new(tree: Tree) -> Self {
+        C45TreeModel { tree }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Predicted class of `row`.
+    pub fn classify(&self, data: &Dataset, row: usize) -> u32 {
+        self.tree.classify(data, row)
+    }
+
+    /// Class-probability estimate from the leaf distribution.
+    pub fn class_prob(&self, data: &Dataset, row: usize, class: u32) -> f64 {
+        let dist = self.tree.root.classify_dist(data, row);
+        let total: f64 = dist.iter().sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            dist[class as usize] / total
+        }
+    }
+
+    /// One-vs-rest adapter for `target`.
+    pub fn binary_view(&self, target: u32) -> BinaryTreeView<'_> {
+        BinaryTreeView { model: self, target }
+    }
+}
+
+/// [`BinaryClassifier`] view of a tree for one target class.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryTreeView<'a> {
+    model: &'a C45TreeModel,
+    target: u32,
+}
+
+impl BinaryClassifier for BinaryTreeView<'_> {
+    fn score(&self, data: &Dataset, row: usize) -> f64 {
+        self.model.class_prob(data, row, self.target)
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> bool {
+        // the tree's crisp decision, consistent with multiclass use
+        self.model.classify(data, row) == self.target
+    }
+}
+
+/// The selected rules of one class, with training-time confidences.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassRuleGroup {
+    /// The class every rule in the group predicts.
+    pub class: u32,
+    /// The selected rules.
+    pub rules: Vec<Rule>,
+    /// Laplace accuracy of each rule on the training data.
+    pub confidences: Vec<f64>,
+}
+
+impl ClassRuleGroup {
+    /// Builds a group, estimating per-rule Laplace confidences.
+    pub fn build(class: u32, rules: Vec<Rule>, data: &Dataset) -> Self {
+        let confidences = rules
+            .iter()
+            .map(|r| {
+                let mut n = 0.0;
+                let mut pos = 0.0;
+                for row in 0..data.n_rows() {
+                    if r.matches(data, row) {
+                        let w = data.weight(row);
+                        n += w;
+                        if data.label(row) == class {
+                            pos += w;
+                        }
+                    }
+                }
+                (pos + 1.0) / (n + 2.0)
+            })
+            .collect();
+        ClassRuleGroup { class, rules, confidences }
+    }
+}
+
+/// The C4.5rules model: class rule groups in rank order plus a default
+/// class. A record gets the class of the first group containing a matching
+/// rule, or the default.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct C45RulesModel {
+    groups: Vec<ClassRuleGroup>,
+    default_class: u32,
+    n_classes: usize,
+}
+
+impl C45RulesModel {
+    pub(crate) fn new(groups: Vec<ClassRuleGroup>, default_class: u32, n_classes: usize) -> Self {
+        C45RulesModel { groups, default_class, n_classes }
+    }
+
+    /// The ranked rule groups.
+    pub fn groups(&self) -> &[ClassRuleGroup] {
+        &self.groups
+    }
+
+    /// The default class for uncovered records.
+    pub fn default_class(&self) -> u32 {
+        self.default_class
+    }
+
+    /// Total number of rules across groups.
+    pub fn n_rules(&self) -> usize {
+        self.groups.iter().map(|g| g.rules.len()).sum()
+    }
+
+    /// Predicted class of `row`.
+    pub fn classify(&self, data: &Dataset, row: usize) -> u32 {
+        for g in &self.groups {
+            if g.rules.iter().any(|r| r.matches(data, row)) {
+                return g.class;
+            }
+        }
+        self.default_class
+    }
+
+    /// Confidence of the decision: the matched rule's Laplace accuracy, or
+    /// a neutral 0.5 for the default class.
+    pub fn confidence(&self, data: &Dataset, row: usize) -> f64 {
+        for g in &self.groups {
+            for (r, &c) in g.rules.iter().zip(&g.confidences) {
+                if r.matches(data, row) {
+                    return c;
+                }
+            }
+        }
+        0.5
+    }
+
+    /// One-vs-rest adapter for `target`.
+    pub fn binary_view(&self, target: u32) -> BinaryRulesView<'_> {
+        BinaryRulesView { model: self, target }
+    }
+
+    /// Human-readable rendering.
+    pub fn describe(&self, schema: &Schema) -> String {
+        let mut s = format!(
+            "C4.5rules model: {} rules in {} groups, default class {}\n",
+            self.n_rules(),
+            self.groups.len(),
+            schema.classes.name(self.default_class)
+        );
+        for g in &self.groups {
+            s.push_str(&format!("class {}:\n", schema.classes.name(g.class)));
+            for r in &g.rules {
+                s.push_str(&format!("  {}\n", r.display(schema)));
+            }
+        }
+        s
+    }
+}
+
+/// [`BinaryClassifier`] view of a rules model for one target class.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryRulesView<'a> {
+    model: &'a C45RulesModel,
+    target: u32,
+}
+
+impl BinaryClassifier for BinaryRulesView<'_> {
+    fn score(&self, data: &Dataset, row: usize) -> f64 {
+        if self.model.classify(data, row) == self.target {
+            self.model.confidence(data, row)
+        } else {
+            0.0
+        }
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> bool {
+        self.model.classify(data, row) == self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C45Learner;
+    use pnr_data::{stratify_weights, AttrType, DatasetBuilder, Value};
+    use pnr_rules::evaluate_classifier;
+
+    fn band_data(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        b.add_class("pos");
+        b.add_class("neg");
+        for i in 0..n {
+            let x = (i % 20) as f64;
+            let k = if (i / 20) % 3 == 0 { "p" } else { "q" };
+            let target = x < 4.0 && k == "p";
+            b.push_row(&[Value::num(x), Value::cat(k)], if target { "pos" } else { "neg" }, 1.0)
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn tree_binary_view_evaluates_well() {
+        let d = band_data(600);
+        let target = d.class_code("pos").unwrap();
+        let model = C45Learner::default().fit_tree(&d);
+        let cm = evaluate_classifier(&model.binary_view(target), &d, target);
+        assert!(cm.f_measure() > 0.95, "F {}", cm.f_measure());
+    }
+
+    #[test]
+    fn rules_binary_view_evaluates_well() {
+        let d = band_data(600);
+        let target = d.class_code("pos").unwrap();
+        let model = C45Learner::default().fit_rules(&d);
+        let cm = evaluate_classifier(&model.binary_view(target), &d, target);
+        assert!(cm.f_measure() > 0.95, "F {}", cm.f_measure());
+    }
+
+    #[test]
+    fn rules_generalise_to_fresh_sample() {
+        let train = band_data(600);
+        let test = band_data(240);
+        let target = train.class_code("pos").unwrap();
+        let model = C45Learner::default().fit_rules(&train);
+        let cm = evaluate_classifier(&model.binary_view(target), &test, target);
+        assert!(cm.f_measure() > 0.9, "F {}", cm.f_measure());
+    }
+
+    #[test]
+    fn stratified_tree_leans_to_recall() {
+        let d = band_data(600);
+        let target = d.class_code("pos").unwrap();
+        let w = stratify_weights(&d, target);
+        let model = C45Learner::default().fit_tree(&d.with_weights(w));
+        let cm = evaluate_classifier(&model.binary_view(target), &d, target);
+        assert!(cm.recall() > 0.9, "stratified recall {}", cm.recall());
+    }
+
+    #[test]
+    fn default_class_covers_unmatched_records() {
+        let d = band_data(600);
+        let model = C45Learner::default().fit_rules(&d);
+        // every record must get *some* class
+        for row in 0..d.n_rows() {
+            let c = model.classify(&d, row);
+            assert!((c as usize) < d.n_classes());
+        }
+    }
+
+    #[test]
+    fn confidence_is_probabilistic() {
+        let d = band_data(600);
+        let model = C45Learner::default().fit_rules(&d);
+        for row in 0..d.n_rows() {
+            let c = model.confidence(&d, row);
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn describe_renders_groups() {
+        let d = band_data(600);
+        let model = C45Learner::default().fit_rules(&d);
+        let s = model.describe(d.schema());
+        assert!(s.contains("C4.5rules model"));
+        assert!(s.contains("class "));
+    }
+
+    #[test]
+    fn serde_round_trips_both_models() {
+        let d = band_data(300);
+        let target = d.class_code("pos").unwrap();
+        let tree = C45Learner::default().fit_tree(&d);
+        let back: C45TreeModel =
+            serde_json::from_str(&serde_json::to_string(&tree).unwrap()).unwrap();
+        let rules = C45Learner::default().fit_rules(&d);
+        let back_r: C45RulesModel =
+            serde_json::from_str(&serde_json::to_string(&rules).unwrap()).unwrap();
+        for row in 0..d.n_rows() {
+            assert_eq!(back.classify(&d, row), tree.classify(&d, row));
+            assert_eq!(back_r.classify(&d, row), rules.classify(&d, row));
+        }
+        let _ = target;
+    }
+}

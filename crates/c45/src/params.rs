@@ -1,0 +1,73 @@
+//! C4.5 parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of [`crate::C45Learner`]; defaults match C4.5's documented
+/// recommended settings (the configuration the paper uses).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct C45Params {
+    /// Minimum weight each of at least two branches of a split must carry
+    /// (C4.5's `-m`, default 2).
+    pub min_objects: f64,
+    /// Confidence factor for pessimistic error estimates (C4.5's `-c`,
+    /// default 0.25).
+    pub cf: f64,
+    /// Depth cap (safety valve; C4.5 has none, trees on our data never get
+    /// near it).
+    pub max_depth: usize,
+    /// Apply the Release-8 MDL penalty `log₂(distinct−1)/|D|` to the gain
+    /// of continuous splits.
+    pub release8_penalty: bool,
+    /// Cap on the number of rules kept per class after subset selection
+    /// (safety valve for degenerate stratified trees).
+    pub max_rules_per_class: usize,
+}
+
+impl Default for C45Params {
+    fn default() -> Self {
+        C45Params {
+            min_objects: 2.0,
+            cf: 0.25,
+            max_depth: 64,
+            release8_penalty: true,
+            max_rules_per_class: 256,
+        }
+    }
+}
+
+impl C45Params {
+    /// Panics if a parameter is out of range.
+    pub fn validate(&self) {
+        assert!(self.min_objects > 0.0, "min_objects must be positive");
+        assert!(
+            self.cf > 0.0 && self.cf < 1.0,
+            "cf must be in (0,1), got {}",
+            self.cf
+        );
+        assert!(self.max_depth > 0, "max_depth must be positive");
+        assert!(self.max_rules_per_class > 0, "max_rules_per_class must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        C45Params::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cf")]
+    fn bad_cf_panics() {
+        C45Params { cf: 0.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = C45Params { cf: 0.1, ..Default::default() };
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<C45Params>(&json).unwrap(), p);
+    }
+}

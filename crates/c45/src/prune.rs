@@ -1,0 +1,215 @@
+//! Pessimistic-error pruning with confidence-factor upper bounds.
+//!
+//! C4.5 estimates a node's true error from its training error `e` out of
+//! `N` records as the upper limit of the binomial confidence interval at
+//! confidence factor CF. A subtree whose leaves' summed upper error is no
+//! better than the error of collapsing it to a single leaf gets replaced
+//! (subtree replacement). The paper points out the weakness this crate
+//! faithfully reproduces: "the estimate for a small disjunct may not be
+//! reliable because of its low support".
+
+use crate::params::C45Params;
+use crate::tree::{Node, Tree};
+use pnr_data::Dataset;
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |ε| <
+/// 1.15e-9) — used to turn the confidence factor into a z-value.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// C4.5's `addErrs`: the extra errors to add to the observed `e` errors out
+/// of `n` records so the total is the CF upper confidence bound.
+pub fn added_errors(n: f64, e: f64, cf: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    if e < 1e-9 {
+        // exact solution of (1 - err)^n = cf
+        return n * (1.0 - cf.powf(1.0 / n));
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let z = normal_quantile(1.0 - cf);
+    let f = (e + 0.5) / n; // continuity correction, as in C4.5
+    let r = (f + z * z / (2.0 * n)
+        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    (r * n - e).max(0.0)
+}
+
+/// Upper-bound error of treating `dist` as a single leaf.
+pub fn leaf_upper_error(dist: &[f64], cf: f64) -> f64 {
+    let n: f64 = dist.iter().sum();
+    let e = n - dist.iter().fold(0.0f64, |a, &b| a.max(b));
+    e + added_errors(n, e, cf)
+}
+
+fn subtree_upper_error(node: &Node, cf: f64) -> f64 {
+    match node {
+        Node::Leaf { dist } => leaf_upper_error(dist, cf),
+        Node::CatSplit { children, .. } => {
+            children.iter().map(|c| subtree_upper_error(c, cf)).sum()
+        }
+        Node::NumSplit { left, right, .. } => {
+            subtree_upper_error(left, cf) + subtree_upper_error(right, cf)
+        }
+    }
+}
+
+/// Prunes `tree` in place (bottom-up subtree replacement).
+pub fn prune_tree(tree: &mut Tree, _data: &Dataset, params: &C45Params) {
+    prune_node(&mut tree.root, params.cf);
+}
+
+fn prune_node(node: &mut Node, cf: f64) {
+    // prune children first
+    match node {
+        Node::Leaf { .. } => return,
+        Node::CatSplit { children, .. } => {
+            for c in children.iter_mut() {
+                prune_node(c, cf);
+            }
+        }
+        Node::NumSplit { left, right, .. } => {
+            prune_node(left, cf);
+            prune_node(right, cf);
+        }
+    }
+    let as_leaf = leaf_upper_error(node.dist(), cf);
+    let as_subtree = subtree_upper_error(node, cf);
+    // C4.5 collapses when the leaf is no worse than the subtree plus a
+    // small tolerance (0.1 errors).
+    if as_leaf <= as_subtree + 0.1 {
+        *node = Node::Leaf { dist: node.dist().to_vec() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::build_tree;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.75) - 0.6744898).abs() < 1e-6);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+    }
+
+    #[test]
+    fn added_errors_zero_observed() {
+        // (1-err)^n = cf ⇒ known closed form
+        let n = 10.0;
+        let cf = 0.25;
+        let add = added_errors(n, 0.0, cf);
+        assert!(((1.0 - add / n).powf(n) - cf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn added_errors_shrink_with_support() {
+        // same observed error *rate*, more data → tighter bound
+        let small = added_errors(10.0, 2.0, 0.25) / 10.0;
+        let large = added_errors(1000.0, 200.0, 0.25) / 1000.0;
+        assert!(small > large, "small-support bound {small} vs {large}");
+    }
+
+    #[test]
+    fn added_errors_saturate_at_n() {
+        assert_eq!(added_errors(5.0, 5.0, 0.25), 0.0);
+        assert_eq!(added_errors(0.0, 0.0, 0.25), 0.0);
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        // labels are ~90% class "a" with label noise uncorrelated to x: a
+        // deep tree memorises the noise and pruning should collapse it
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        for i in 0..200 {
+            let class = if i % 10 == 0 { "b" } else { "a" };
+            b.push_row(&[Value::num((i % 37) as f64)], class, 1.0).unwrap();
+        }
+        let d = b.finish();
+        // disable the Release-8 penalty so the unpruned tree overfits the
+        // noise; pruning must then collapse it
+        let params = C45Params { release8_penalty: false, ..Default::default() };
+        let mut t = build_tree(&d, &params);
+        let before = t.n_leaves();
+        assert!(before > 1, "unpenalised tree should overfit, got {before} leaves");
+        prune_tree(&mut t, &d, &params);
+        let after = t.n_leaves();
+        assert!(after < before, "pruning should shrink {before} -> {after}");
+        assert_eq!(after, 1, "pure-noise structure collapses to the root");
+    }
+
+    #[test]
+    fn pruning_keeps_real_structure() {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        for i in 0..200 {
+            let x = (i % 20) as f64;
+            b.push_row(&[Value::num(x)], if x < 10.0 { "a" } else { "b" }, 1.0).unwrap();
+        }
+        let d = b.finish();
+        let params = C45Params::default();
+        let mut t = build_tree(&d, &params);
+        prune_tree(&mut t, &d, &params);
+        assert!(t.n_leaves() >= 2, "true split must survive");
+        let correct = (0..d.n_rows()).filter(|&r| t.classify(&d, r) == d.label(r)).count();
+        assert_eq!(correct, d.n_rows());
+    }
+
+    #[test]
+    fn leaf_upper_error_exceeds_observed() {
+        let dist = [90.0, 10.0];
+        let upper = leaf_upper_error(&dist, 0.25);
+        assert!(upper > 10.0);
+        assert!(upper < 20.0, "bound {upper} should stay reasonable");
+    }
+}

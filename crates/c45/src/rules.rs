@@ -1,0 +1,368 @@
+//! The C4.5rules pipeline: path extraction, per-rule generalisation,
+//! DL-guided subset selection, class ranking and the default class.
+
+use crate::model::{C45RulesModel, ClassRuleGroup};
+use crate::params::C45Params;
+use crate::prune::added_errors;
+use crate::tree::{majority_of, Node, Tree};
+use pnr_data::Dataset;
+use pnr_rules::mdl::{count_possible_conditions, total_dl};
+use pnr_rules::{Condition, Rule};
+
+/// One extracted rule predicting a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRule {
+    /// The antecedent.
+    pub rule: Rule,
+    /// The class the rule predicts.
+    pub class: u32,
+}
+
+/// Extracts one rule per leaf path of the (pruned) tree. Paths to leaves
+/// with zero training weight are skipped — they predict nothing.
+pub fn extract_rules(tree: &Tree) -> Vec<ClassRule> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    walk(&tree.root, &mut path, &mut out);
+    out
+}
+
+fn walk(node: &Node, path: &mut Vec<Condition>, out: &mut Vec<ClassRule>) {
+    match node {
+        Node::Leaf { dist } => {
+            let total: f64 = dist.iter().sum();
+            if total > 0.0 {
+                out.push(ClassRule {
+                    rule: Rule::new(path.clone()),
+                    class: majority_of(dist),
+                });
+            }
+        }
+        Node::CatSplit { attr, children, .. } => {
+            for (code, child) in children.iter().enumerate() {
+                path.push(Condition::CatEq { attr: *attr, value: code as u32 });
+                walk(child, path, out);
+                path.pop();
+            }
+        }
+        Node::NumSplit { attr, threshold, left, right, .. } => {
+            path.push(Condition::NumLe { attr: *attr, value: *threshold });
+            walk(left, path, out);
+            path.pop();
+            path.push(Condition::NumGt { attr: *attr, value: *threshold });
+            walk(right, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Pessimistic error rate of `rule` as a predictor of `class` over the full
+/// training set (CF upper bound, like C4.5rules' `errs` estimate). Returns
+/// 1.0 for a rule with empty coverage.
+pub fn pessimistic_error(rule: &Rule, class: u32, data: &Dataset, cf: f64) -> f64 {
+    let mut n = 0.0;
+    let mut e = 0.0;
+    for row in 0..data.n_rows() {
+        if rule.matches(data, row) {
+            let w = data.weight(row);
+            n += w;
+            if data.label(row) != class {
+                e += w;
+            }
+        }
+    }
+    if n <= 0.0 {
+        return 1.0;
+    }
+    (e + added_errors(n, e, cf)) / n
+}
+
+/// Generalises a rule by greedily deleting conditions: each round removes
+/// the condition whose deletion gives the lowest pessimistic error, as long
+/// as that error does not exceed the current rule's (Quinlan's procedure,
+/// using the entire training set — unlike RIPPER's random prune split).
+pub fn generalize_rule(rule: &Rule, class: u32, data: &Dataset, cf: f64) -> Rule {
+    let mut current = rule.clone();
+    let mut current_err = pessimistic_error(&current, class, data, cf);
+    loop {
+        if current.len() <= 1 {
+            break;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..current.len() {
+            let cand = current.without_condition(i);
+            let err = pessimistic_error(&cand, class, data, cf);
+            if err <= current_err && best.is_none_or(|(_, be)| err < be) {
+                best = Some((i, err));
+            }
+        }
+        match best {
+            Some((i, err)) => {
+                current = current.without_condition(i);
+                current_err = err;
+            }
+            None => break,
+        }
+    }
+    current
+}
+
+fn dedupe(rules: Vec<ClassRule>) -> Vec<ClassRule> {
+    let mut seen: Vec<(u32, Vec<String>)> = Vec::new();
+    let mut out = Vec::new();
+    for cr in rules {
+        let mut sig: Vec<String> =
+            cr.rule.conditions().iter().map(|c| format!("{c:?}")).collect();
+        sig.sort();
+        if !seen.iter().any(|(cls, s)| *cls == cr.class && *s == sig) {
+            seen.push((cr.class, sig));
+            out.push(cr);
+        }
+    }
+    out
+}
+
+/// Greedy DL-based subset selection for one class's rules (the polishing
+/// step C4.5rules performs per class). Starts from all rules and keeps
+/// removing the rule whose removal lowers the binary-task description
+/// length until no removal helps.
+pub fn select_subset(
+    mut rules: Vec<Rule>,
+    class: u32,
+    data: &Dataset,
+    params: &C45Params,
+) -> Vec<Rule> {
+    rules.truncate(params.max_rules_per_class);
+    let n_possible = count_possible_conditions(data);
+    let pos_total: f64 = (0..data.n_rows())
+        .filter(|&r| data.label(r) == class)
+        .map(|r| data.weight(r))
+        .sum();
+    let n_total: f64 = data.weights().iter().sum();
+
+    let dl_of = |rules: &[Rule]| -> f64 {
+        let mut covered = 0.0;
+        let mut covered_pos = 0.0;
+        for row in 0..data.n_rows() {
+            if rules.iter().any(|r| r.matches(data, row)) {
+                let w = data.weight(row);
+                covered += w;
+                if data.label(row) == class {
+                    covered_pos += w;
+                }
+            }
+        }
+        let lens: Vec<usize> = rules.iter().map(|r| r.len()).collect();
+        total_dl(
+            n_possible,
+            &lens,
+            covered,
+            n_total - covered,
+            covered - covered_pos,
+            pos_total - covered_pos,
+        )
+    };
+
+    let mut current_dl = dl_of(&rules);
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..rules.len() {
+            let mut trial = rules.clone();
+            trial.remove(i);
+            let dl = dl_of(&trial);
+            if dl < current_dl && best.is_none_or(|(_, bd)| dl < bd) {
+                best = Some((i, dl));
+            }
+        }
+        match best {
+            Some((i, dl)) => {
+                rules.remove(i);
+                current_dl = dl;
+            }
+            None => break,
+        }
+    }
+    rules
+}
+
+/// The full pipeline: tree → rules → generalisation → per-class subsets →
+/// ranking → default class.
+pub fn rules_from_tree(tree: &Tree, data: &Dataset, params: &C45Params) -> C45RulesModel {
+    let raw = extract_rules(tree);
+    let generalized: Vec<ClassRule> = raw
+        .into_iter()
+        .map(|cr| ClassRule {
+            rule: generalize_rule(&cr.rule, cr.class, data, params.cf),
+            class: cr.class,
+        })
+        .collect();
+    let deduped = dedupe(generalized);
+
+    // Per-class subset selection.
+    let n_classes = data.n_classes();
+    let mut groups: Vec<ClassRuleGroup> = Vec::new();
+    for class in 0..n_classes as u32 {
+        let class_rules: Vec<Rule> = deduped
+            .iter()
+            .filter(|cr| cr.class == class)
+            .map(|cr| cr.rule.clone())
+            .collect();
+        if class_rules.is_empty() {
+            continue;
+        }
+        let selected = select_subset(class_rules, class, data, params);
+        if selected.is_empty() {
+            continue;
+        }
+        groups.push(ClassRuleGroup::build(class, selected, data));
+    }
+
+    // Rank classes by ascending false positives of their rule groups.
+    let mut fp_of: Vec<(usize, f64)> = groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let fp: f64 = (0..data.n_rows())
+                .filter(|&row| {
+                    data.label(row) != g.class && g.rules.iter().any(|r| r.matches(data, row))
+                })
+                .map(|row| data.weight(row))
+                .sum();
+            (i, fp)
+        })
+        .collect();
+    fp_of.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fp"));
+    let groups: Vec<ClassRuleGroup> =
+        fp_of.into_iter().map(|(i, _)| groups[i].clone()).collect();
+
+    // Default class: majority among training records no group covers.
+    let mut uncovered = vec![0.0f64; n_classes];
+    let mut any_uncovered = false;
+    for row in 0..data.n_rows() {
+        let covered =
+            groups.iter().any(|g| g.rules.iter().any(|r| r.matches(data, row)));
+        if !covered {
+            uncovered[data.label(row) as usize] += data.weight(row);
+            any_uncovered = true;
+        }
+    }
+    let default_class = if any_uncovered {
+        majority_of(&uncovered)
+    } else {
+        majority_of(&data.class_weights())
+    };
+
+    C45RulesModel::new(groups, default_class, n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::build_tree;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+
+    fn band_data() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        for i in 0..300 {
+            let x = (i % 10) as f64;
+            let k = if (i / 10) % 3 == 0 { "p" } else { "q" };
+            let class = if x < 4.0 && k == "p" { "a" } else { "b" };
+            b.push_row(&[Value::num(x), Value::cat(k)], class, 1.0).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn extraction_yields_one_rule_per_populated_leaf() {
+        let d = band_data();
+        let t = build_tree(&d, &C45Params::default());
+        let rules = extract_rules(&t);
+        assert!(!rules.is_empty());
+        // every rule matches at least one training record of its class
+        for cr in &rules {
+            let hit = (0..d.n_rows())
+                .any(|r| cr.rule.matches(&d, r) && d.label(r) == cr.class);
+            assert!(hit, "rule {:?} matches nothing of its class", cr.rule);
+        }
+    }
+
+    #[test]
+    fn generalization_drops_redundant_conditions() {
+        let d = band_data();
+        // x<=3 AND x<=8: second condition is redundant
+        let rule = Rule::new(vec![
+            Condition::NumLe { attr: 0, value: 3.0 },
+            Condition::NumLe { attr: 0, value: 8.0 },
+            Condition::CatEq { attr: 1, value: d.schema().attr(1).dict.code("p").unwrap() },
+        ]);
+        let a = d.class_code("a").unwrap();
+        let g = generalize_rule(&rule, a, &d, 0.25);
+        assert!(g.len() < rule.len(), "should drop the redundant bound");
+        // and the result still covers the class cleanly
+        assert!(pessimistic_error(&g, a, &d, 0.25) < 0.2);
+    }
+
+    #[test]
+    fn generalization_keeps_needed_conditions() {
+        let d = band_data();
+        let a = d.class_code("a").unwrap();
+        let rule = Rule::new(vec![
+            Condition::NumLe { attr: 0, value: 3.0 },
+            Condition::CatEq { attr: 1, value: d.schema().attr(1).dict.code("p").unwrap() },
+        ]);
+        let g = generalize_rule(&rule, a, &d, 0.25);
+        assert_eq!(g.len(), 2, "both conditions carry signal");
+    }
+
+    #[test]
+    fn pessimistic_error_of_empty_coverage_is_one() {
+        let d = band_data();
+        let rule = Rule::new(vec![Condition::NumGt { attr: 0, value: 100.0 }]);
+        assert_eq!(pessimistic_error(&rule, 0, &d, 0.25), 1.0);
+    }
+
+    #[test]
+    fn subset_selection_removes_junk() {
+        let d = band_data();
+        let a = d.class_code("a").unwrap();
+        let good = Rule::new(vec![
+            Condition::NumLe { attr: 0, value: 3.0 },
+            Condition::CatEq { attr: 1, value: d.schema().attr(1).dict.code("p").unwrap() },
+        ]);
+        // junk rule covering mostly class b
+        let junk = Rule::new(vec![Condition::NumGt { attr: 0, value: 5.0 }]);
+        let kept = select_subset(vec![good.clone(), junk], a, &d, &C45Params::default());
+        assert_eq!(kept, vec![good]);
+    }
+
+    #[test]
+    fn full_pipeline_classifies_training_data() {
+        let d = band_data();
+        let model = rules_from_tree(
+            &build_tree(&d, &C45Params::default()),
+            &d,
+            &C45Params::default(),
+        );
+        let correct =
+            (0..d.n_rows()).filter(|&r| model.classify(&d, r) == d.label(r)).count();
+        assert!(
+            correct as f64 / d.n_rows() as f64 > 0.97,
+            "accuracy {}",
+            correct as f64 / d.n_rows() as f64
+        );
+    }
+
+    #[test]
+    fn dedupe_removes_identical_rules() {
+        let r = Rule::new(vec![Condition::NumLe { attr: 0, value: 1.0 }]);
+        let rules = vec![
+            ClassRule { rule: r.clone(), class: 0 },
+            ClassRule { rule: r.clone(), class: 0 },
+            ClassRule { rule: r, class: 1 },
+        ];
+        let d = dedupe(rules);
+        assert_eq!(d.len(), 2, "same rule for another class is kept");
+    }
+}

@@ -1,0 +1,301 @@
+//! Decision-tree construction and traversal.
+
+use crate::params::C45Params;
+use crate::split::{class_weights, find_best_split, SplitKind};
+use pnr_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A tree node. Every node keeps its training class distribution, which
+/// pruning and probability estimates use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Node {
+    /// A terminal node predicting the majority class of `dist`.
+    Leaf {
+        /// Weighted class distribution of the training rows that reached
+        /// this node.
+        dist: Vec<f64>,
+    },
+    /// A multiway split over a categorical attribute; `children[code]` is
+    /// the branch for dictionary code `code`. A branch that received no
+    /// training rows is a leaf with the parent's distribution.
+    CatSplit {
+        /// Attribute index.
+        attr: usize,
+        /// One child per dictionary code.
+        children: Vec<Node>,
+        /// Distribution at the split node itself.
+        dist: Vec<f64>,
+    },
+    /// A binary split `A ≤ threshold` / `A > threshold`.
+    NumSplit {
+        /// Attribute index.
+        attr: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Branch for `A ≤ threshold`.
+        left: Box<Node>,
+        /// Branch for `A > threshold`.
+        right: Box<Node>,
+        /// Distribution at the split node itself.
+        dist: Vec<f64>,
+    },
+}
+
+impl Node {
+    /// The node's training class distribution.
+    pub fn dist(&self) -> &[f64] {
+        match self {
+            Node::Leaf { dist } | Node::CatSplit { dist, .. } | Node::NumSplit { dist, .. } => {
+                dist
+            }
+        }
+    }
+
+    /// Majority class of the node's distribution (lowest code wins ties).
+    pub fn majority(&self) -> u32 {
+        majority_of(self.dist())
+    }
+
+    /// Number of leaves under (and including) this node.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::CatSplit { children, .. } => children.iter().map(Node::n_leaves).sum(),
+            Node::NumSplit { left, right, .. } => left.n_leaves() + right.n_leaves(),
+        }
+    }
+
+    /// Depth of the subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::CatSplit { children, .. } => {
+                1 + children.iter().map(Node::depth).max().unwrap_or(0)
+            }
+            Node::NumSplit { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    /// The leaf distribution a record descends to.
+    pub fn classify_dist<'a>(&'a self, data: &Dataset, row: usize) -> &'a [f64] {
+        match self {
+            Node::Leaf { dist } => dist,
+            Node::CatSplit { attr, children, dist } => {
+                let code = data.cat(*attr, row) as usize;
+                match children.get(code) {
+                    Some(child) => child.classify_dist(data, row),
+                    // unseen categorical code: fall back to this node
+                    None => dist,
+                }
+            }
+            Node::NumSplit { attr, threshold, left, right, .. } => {
+                if data.num(*attr, row) <= *threshold {
+                    left.classify_dist(data, row)
+                } else {
+                    right.classify_dist(data, row)
+                }
+            }
+        }
+    }
+}
+
+/// Majority class of a weighted distribution.
+pub fn majority_of(dist: &[f64]) -> u32 {
+    let mut best = 0usize;
+    for (i, &w) in dist.iter().enumerate() {
+        if w > dist[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// A complete decision tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    /// The root node.
+    pub root: Node,
+    /// Number of classes in the training schema.
+    pub n_classes: usize,
+}
+
+impl Tree {
+    /// Predicted class of `row`.
+    pub fn classify(&self, data: &Dataset, row: usize) -> u32 {
+        majority_of(self.root.classify_dist(data, row))
+    }
+
+    /// Total number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.root.n_leaves()
+    }
+}
+
+impl Tree {
+    /// Multi-line indented rendering with schema-resolved names and leaf
+    /// class distributions.
+    pub fn render(&self, schema: &pnr_data::Schema) -> String {
+        let mut out = String::new();
+        render_node(&self.root, schema, 0, &mut out);
+        out
+    }
+}
+
+fn render_node(node: &Node, schema: &pnr_data::Schema, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match node {
+        Node::Leaf { dist } => {
+            let total: f64 = dist.iter().sum();
+            out.push_str(&format!(
+                "{pad}-> {} ({:.0}/{:.0})\n",
+                schema.classes.name(majority_of(dist)),
+                dist.iter().fold(0.0f64, |a, &b| a.max(b)),
+                total
+            ));
+        }
+        Node::CatSplit { attr, children, .. } => {
+            for (code, child) in children.iter().enumerate() {
+                out.push_str(&format!(
+                    "{pad}{} = {}\n",
+                    schema.attr(*attr).name,
+                    schema.attr(*attr).dict.name(code as u32)
+                ));
+                render_node(child, schema, indent + 1, out);
+            }
+        }
+        Node::NumSplit { attr, threshold, left, right, .. } => {
+            out.push_str(&format!("{pad}{} <= {threshold}\n", schema.attr(*attr).name));
+            render_node(left, schema, indent + 1, out);
+            out.push_str(&format!("{pad}{} > {threshold}\n", schema.attr(*attr).name));
+            render_node(right, schema, indent + 1, out);
+        }
+    }
+}
+
+/// Builds an unpruned tree over every row of `data`.
+pub fn build_tree(data: &Dataset, params: &C45Params) -> Tree {
+    let rows: Vec<u32> = (0..data.n_rows() as u32).collect();
+    let root = build_node(data, &rows, params, 1);
+    Tree { root, n_classes: data.n_classes() }
+}
+
+fn build_node(data: &Dataset, rows: &[u32], params: &C45Params, depth: usize) -> Node {
+    let dist = class_weights(data, rows);
+    let total: f64 = dist.iter().sum();
+    let pure = dist.contains(&total) || total == 0.0;
+    if pure || total < 2.0 * params.min_objects || depth >= params.max_depth {
+        return Node::Leaf { dist };
+    }
+    let Some(split) = find_best_split(data, rows, params) else {
+        return Node::Leaf { dist };
+    };
+    match split.kind {
+        SplitKind::Categorical => {
+            let n_values = data.schema().attr(split.attr).dict.len();
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_values];
+            for &r in rows {
+                buckets[data.cat(split.attr, r as usize) as usize].push(r);
+            }
+            let children: Vec<Node> = buckets
+                .iter()
+                .map(|bucket| {
+                    if bucket.is_empty() {
+                        // empty branch inherits the parent's distribution
+                        Node::Leaf { dist: dist.clone() }
+                    } else {
+                        build_node(data, bucket, params, depth + 1)
+                    }
+                })
+                .collect();
+            Node::CatSplit { attr: split.attr, children, dist }
+        }
+        SplitKind::Numeric { threshold } => {
+            let (left_rows, right_rows): (Vec<u32>, Vec<u32>) =
+                rows.iter().partition(|&&r| data.num(split.attr, r as usize) <= threshold);
+            let left = build_node(data, &left_rows, params, depth + 1);
+            let right = build_node(data, &right_rows, params, depth + 1);
+            Node::NumSplit {
+                attr: split.attr,
+                threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+                dist,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+
+    fn xor_like() -> Dataset {
+        // class depends on x-band AND category: forces a two-level tree
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        for i in 0..200 {
+            let x = (i % 10) as f64;
+            let k = if (i / 10) % 2 == 0 { "p" } else { "q" };
+            let class = if x < 5.0 && k == "p" { "a" } else { "b" };
+            b.push_row(&[Value::num(x), Value::cat(k)], class, 1.0).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn tree_fits_training_data() {
+        let d = xor_like();
+        let t = build_tree(&d, &C45Params::default());
+        let correct =
+            (0..d.n_rows()).filter(|&r| t.classify(&d, r) == d.label(r)).count();
+        assert_eq!(correct, d.n_rows(), "unpruned tree must fit separable data");
+        assert!(t.n_leaves() >= 3, "needs both attributes: {} leaves", t.n_leaves());
+    }
+
+    #[test]
+    fn pure_data_gives_single_leaf() {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        for i in 0..10 {
+            b.push_row(&[Value::num(i as f64)], "only", 1.0).unwrap();
+        }
+        let d = b.finish();
+        let t = build_tree(&d, &C45Params::default());
+        assert_eq!(t.n_leaves(), 1);
+        assert!(matches!(t.root, Node::Leaf { .. }));
+    }
+
+    #[test]
+    fn depth_cap_limits_growth() {
+        let d = xor_like();
+        let t = build_tree(&d, &C45Params { max_depth: 1, ..Default::default() });
+        assert_eq!(t.root.depth(), 1);
+    }
+
+    #[test]
+    fn majority_prefers_heavier_class() {
+        assert_eq!(majority_of(&[1.0, 5.0, 3.0]), 1);
+        assert_eq!(majority_of(&[2.0, 2.0]), 0, "ties go to the lower code");
+    }
+
+    #[test]
+    fn classify_dist_returns_leaf_distribution() {
+        let d = xor_like();
+        let t = build_tree(&d, &C45Params::default());
+        let dist = t.root.classify_dist(&d, 0);
+        let total: f64 = dist.iter().sum();
+        assert!(total > 0.0);
+        // row 0 is class "a": its leaf should be pure in "a"
+        assert_eq!(majority_of(dist), d.label(0));
+    }
+
+    #[test]
+    fn node_statistics() {
+        let d = xor_like();
+        let t = build_tree(&d, &C45Params::default());
+        assert!(t.root.depth() >= 2);
+        assert_eq!(t.n_leaves(), t.root.n_leaves());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for C4.5's sub-procedures.
+
+use pnr_c45::prune::{added_errors, leaf_upper_error, normal_quantile};
+use pnr_c45::split::entropy_of;
+use pnr_c45::tree::build_tree;
+use pnr_c45::{C45Learner, C45Params};
+use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+use proptest::prelude::*;
+
+fn dataset(rows: &[(f64, usize)]) -> Dataset {
+    let classes = ["a", "b", "c"];
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("x", AttrType::Numeric);
+    for c in classes {
+        b.add_class(c);
+    }
+    for &(x, c) in rows {
+        b.push_row(&[Value::num(x)], classes[c % 3], 1.0).unwrap();
+    }
+    b.finish()
+}
+
+fn rows() -> impl Strategy<Value = Vec<(f64, usize)>> {
+    prop::collection::vec((-30.0f64..30.0, 0usize..3), 6..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn entropy_bounds(dist in prop::collection::vec(0.0f64..100.0, 1..6)) {
+        let h = entropy_of(&dist);
+        let k = dist.iter().filter(|&&w| w > 0.0).count().max(1);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (k as f64).log2() + 1e-9, "H {h} over log2({k})");
+    }
+
+    #[test]
+    fn normal_quantile_is_monotone(p1 in 0.001f64..0.999, p2 in 0.001f64..0.999) {
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(normal_quantile(lo) <= normal_quantile(hi) + 1e-12);
+    }
+
+    #[test]
+    fn added_errors_are_bounded(n in 1.0f64..10_000.0, frac in 0.0f64..1.0, cf in 0.05f64..0.5) {
+        let e = (n * frac).floor();
+        let add = added_errors(n, e, cf);
+        prop_assert!(add >= 0.0);
+        prop_assert!(e + add <= n + 1e-6, "upper error {} exceeds n {n}", e + add);
+    }
+
+    #[test]
+    fn leaf_upper_error_at_least_observed(dist in prop::collection::vec(0.0f64..500.0, 2..4)) {
+        let n: f64 = dist.iter().sum();
+        let e = n - dist.iter().fold(0.0f64, |a, &b| a.max(b));
+        prop_assert!(leaf_upper_error(&dist, 0.25) + 1e-9 >= e);
+    }
+
+    #[test]
+    fn pruning_never_grows_the_tree(data_rows in rows()) {
+        let d = dataset(&data_rows);
+        let params = C45Params::default();
+        let unpruned = build_tree(&d, &params);
+        let pruned = C45Learner::new(params).fit_tree(&d);
+        prop_assert!(pruned.tree().n_leaves() <= unpruned.n_leaves());
+    }
+
+    #[test]
+    fn tree_predictions_are_valid_classes(data_rows in rows()) {
+        let d = dataset(&data_rows);
+        let model = C45Learner::default().fit_tree(&d);
+        for row in 0..d.n_rows() {
+            prop_assert!((model.classify(&d, row) as usize) < d.n_classes());
+            let p: f64 =
+                (0..d.n_classes() as u32).map(|c| model.class_prob(&d, row, c)).sum();
+            prop_assert!((p - 1.0).abs() < 1e-9, "class probs sum to {p}");
+        }
+    }
+
+    #[test]
+    fn rules_model_covers_every_record(data_rows in rows()) {
+        let d = dataset(&data_rows);
+        let model = C45Learner::default().fit_rules(&d);
+        for row in 0..d.n_rows() {
+            prop_assert!((model.classify(&d, row) as usize) < d.n_classes());
+            let c = model.confidence(&d, row);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+}

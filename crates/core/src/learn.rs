@@ -1,0 +1,279 @@
+//! The end-to-end PNrule learner.
+
+use crate::model::PnruleModel;
+use crate::nphase::{learn_n_rules, StopReason};
+use crate::params::PnruleParams;
+use crate::pphase::learn_p_rules;
+use crate::scoring::ScoreMatrix;
+use pnr_data::{Dataset, RowSet};
+use pnr_rules::{CovStats, RuleSet, TaskView};
+
+/// Diagnostics of one `fit`: what each phase did and why it stopped.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Recall the P-phase union achieved on the training data.
+    pub p_covered_recall: f64,
+    /// Discovery-time coverage of each P-rule.
+    pub p_rule_stats: Vec<CovStats>,
+    /// Size of the pooled set handed to the N-phase.
+    pub pool_size: usize,
+    /// False-positive weight in the pool.
+    pub pool_fp_weight: f64,
+    /// Discovery-time coverage of each N-rule (over the pooled N-task:
+    /// `pos` = false positives removed, `neg()` = targets sacrificed).
+    pub n_rule_stats: Vec<CovStats>,
+    /// Retained recall after the N-phase.
+    pub retained_recall: f64,
+    /// Why the N-phase stopped.
+    pub n_stop_reason: StopReason,
+    /// Description length after each accepted N-rule (element 0 = empty
+    /// N-theory).
+    pub n_dl_trace: Vec<f64>,
+}
+
+/// Learns a [`PnruleModel`] for one target class: P-phase, pooling, N-phase
+/// and the scoring step, in that order (section 2.1).
+#[derive(Debug, Clone, Default)]
+pub struct PnruleLearner {
+    params: PnruleParams,
+}
+
+impl PnruleLearner {
+    /// A learner with the given parameters.
+    pub fn new(params: PnruleParams) -> Self {
+        params.validate();
+        PnruleLearner { params }
+    }
+
+    /// The learner's parameters.
+    pub fn params(&self) -> &PnruleParams {
+        &self.params
+    }
+
+    /// Fits a binary model distinguishing `target` from the rest of `data`.
+    /// Record weights are honoured throughout, so stratified training is
+    /// just a reweighted dataset.
+    pub fn fit(&self, data: &Dataset, target: u32) -> PnruleModel {
+        let is_pos: Vec<bool> = (0..data.n_rows()).map(|r| data.label(r) == target).collect();
+        self.fit_flags(data, target, &is_pos)
+    }
+
+    /// Fits with explicit target flags (used by the multi-class reduction
+    /// and by tests that need a synthetic labelling).
+    pub fn fit_flags(&self, data: &Dataset, target: u32, is_pos: &[bool]) -> PnruleModel {
+        self.fit_flags_with_report(data, target, is_pos).0
+    }
+
+    /// Like [`Self::fit`], also returning phase diagnostics.
+    pub fn fit_with_report(&self, data: &Dataset, target: u32) -> (PnruleModel, FitReport) {
+        let is_pos: Vec<bool> = (0..data.n_rows()).map(|r| data.label(r) == target).collect();
+        self.fit_flags_with_report(data, target, &is_pos)
+    }
+
+    /// The full pipeline with diagnostics.
+    pub fn fit_flags_with_report(
+        &self,
+        data: &Dataset,
+        target: u32,
+        is_pos: &[bool],
+    ) -> (PnruleModel, FitReport) {
+        assert_eq!(is_pos.len(), data.n_rows());
+        let weights = data.weights();
+        let view = TaskView::full(data, is_pos, weights);
+        let orig_pos_total = view.pos_weight();
+
+        // --- P-phase: presence rules, high support first. ---
+        let p_result = learn_p_rules(&view, &self.params);
+        let p_rules =
+            RuleSet::from_rules(p_result.rules.iter().map(|p| p.rule.clone()).collect());
+
+        // --- Pool every record the P-union covers. ---
+        let pooled_rows: RowSet =
+            (0..data.n_rows() as u32).filter(|&r| p_rules.any_match(data, r as usize)).collect();
+        let covered_pos: f64 = pooled_rows
+            .iter()
+            .filter(|&r| is_pos[r as usize])
+            .map(|r| weights[r as usize])
+            .sum();
+        let pool_size = pooled_rows.len();
+        let pool_total: f64 = pooled_rows.total_weight(weights);
+
+        // --- N-phase: absence rules on the pooled false positives. ---
+        let (n_rules, n_rule_stats, retained_recall, n_stop_reason, n_dl_trace) =
+            if self.params.enable_n_phase && !p_rules.is_empty() {
+                let flipped: Vec<bool> = is_pos.iter().map(|&p| !p).collect();
+                let pooled = TaskView::over(data, pooled_rows, &flipped, weights);
+                let n_result = learn_n_rules(&pooled, orig_pos_total, covered_pos, &self.params);
+                let stats = n_result.rules.iter().map(|n| n.stats).collect();
+                (
+                    RuleSet::from_rules(n_result.rules.into_iter().map(|n| n.rule).collect()),
+                    stats,
+                    n_result.retained_recall,
+                    n_result.stop_reason,
+                    n_result.dl_trace,
+                )
+            } else {
+                let achieved =
+                    if orig_pos_total > 0.0 { covered_pos / orig_pos_total } else { 0.0 };
+                (RuleSet::new(), Vec::new(), achieved, StopReason::Exhausted, Vec::new())
+            };
+
+        // --- Scoring: judge every P×N combination on the training data. ---
+        let score_matrix =
+            ScoreMatrix::build(data, is_pos, &p_rules, &n_rules, self.params.scoring_z_threshold);
+
+        let report = FitReport {
+            p_covered_recall: p_result.covered_recall,
+            p_rule_stats: p_result.rules.iter().map(|p| p.stats).collect(),
+            pool_size,
+            pool_fp_weight: pool_total - covered_pos,
+            n_rule_stats,
+            retained_recall,
+            n_stop_reason,
+            n_dl_trace,
+        };
+        let model = PnruleModel {
+            target,
+            threshold: self.params.decision_threshold,
+            p_rules,
+            n_rules,
+            score_matrix,
+        };
+        (model, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{stratify_weights, AttrType, DatasetBuilder, Value};
+    use pnr_metrics::BinaryConfusion;
+    use pnr_rules::{evaluate_classifier, BinaryClassifier};
+
+    /// The paper's motivating structure in miniature: the target's presence
+    /// signature (x-band) is inherently impure — it also captures records
+    /// whose absence signature (k = dos) must be learned separately.
+    fn intrusion_like(n: usize) -> pnr_data::Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        b.add_class("r2l");
+        b.add_class("rest");
+        for i in 0..n {
+            let x = (i % 50) as f64;
+            // k varies across blocks of 50, independently of x
+            let k = match (i / 50) % 5 {
+                0 => "dos",
+                1 => "web",
+                _ => "ok",
+            };
+            let in_band = (20.0..24.0).contains(&x);
+            let target = in_band && k != "dos";
+            b.push_row(&[Value::num(x), Value::cat(k)], if target { "r2l" } else { "rest" }, 1.0)
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn eval(model: &PnruleModel, data: &pnr_data::Dataset) -> BinaryConfusion {
+        evaluate_classifier(model, data, model.target)
+    }
+
+    #[test]
+    fn learns_presence_and_absence_signatures() {
+        let data = intrusion_like(2000);
+        let target = data.class_code("r2l").unwrap();
+        let model = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+        assert!(!model.p_rules.is_empty(), "needs at least one P-rule");
+        assert!(!model.n_rules.is_empty(), "the dos exclusion needs an N-rule");
+        let cm = eval(&model, &data);
+        assert!(cm.recall() > 0.9, "recall {}", cm.recall());
+        assert!(cm.precision() > 0.9, "precision {}", cm.precision());
+    }
+
+    #[test]
+    fn disabling_n_phase_costs_precision() {
+        let data = intrusion_like(2000);
+        let target = data.class_code("r2l").unwrap();
+        let full = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+        let ablated = PnruleLearner::new(PnruleParams {
+            enable_n_phase: false,
+            ..Default::default()
+        })
+        .fit(&data, target);
+        assert!(ablated.n_rules.is_empty());
+        let cm_full = eval(&full, &data);
+        let cm_abl = eval(&ablated, &data);
+        assert!(
+            cm_full.precision() >= cm_abl.precision(),
+            "full {} vs ablated {}",
+            cm_full.precision(),
+            cm_abl.precision()
+        );
+    }
+
+    #[test]
+    fn fit_on_weighted_data_matches_stratified_semantics() {
+        let data = intrusion_like(1000);
+        let target = data.class_code("r2l").unwrap();
+        let w = stratify_weights(&data, target);
+        let weighted = data.with_weights(w);
+        let model = PnruleLearner::new(PnruleParams::default()).fit(&weighted, target);
+        // stratification must not break learning on clean data
+        let cm = eval(&model, &data);
+        assert!(cm.f_measure() > 0.8, "F {}", cm.f_measure());
+    }
+
+    #[test]
+    fn no_target_examples_yields_reject_all_model() {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("ghost");
+        b.add_class("real");
+        for i in 0..50 {
+            b.push_row(&[Value::num(i as f64)], "real", 1.0).unwrap();
+        }
+        let data = b.finish();
+        let model = PnruleLearner::default().fit(&data, 0);
+        assert!(model.p_rules.is_empty());
+        for row in 0..data.n_rows() {
+            assert!(!model.predict(&data, row));
+        }
+    }
+
+    #[test]
+    fn fit_report_describes_the_phases() {
+        let data = intrusion_like(2000);
+        let target = data.class_code("r2l").unwrap();
+        let (model, report) =
+            PnruleLearner::new(PnruleParams::default()).fit_with_report(&data, target);
+        assert_eq!(report.p_rule_stats.len(), model.p_rules.len());
+        assert_eq!(report.n_rule_stats.len(), model.n_rules.len());
+        assert!(report.p_covered_recall > 0.9, "P recall {}", report.p_covered_recall);
+        assert!(report.pool_size > 0);
+        assert!(report.pool_fp_weight > 0.0, "the dos overlap plants FPs in the pool");
+        assert!(report.retained_recall <= report.p_covered_recall + 1e-9);
+    }
+
+    #[test]
+    fn generalisation_to_fresh_sample() {
+        let train = intrusion_like(2000);
+        let test = intrusion_like(500);
+        let target = train.class_code("r2l").unwrap();
+        let model = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+        let cm = eval(&model, &test);
+        assert!(cm.f_measure() > 0.9, "test F {}", cm.f_measure());
+    }
+
+    #[test]
+    fn fit_flags_allows_custom_targets() {
+        let data = intrusion_like(500);
+        // custom labelling independent of the class column: x < 25
+        let flags: Vec<bool> = (0..data.n_rows()).map(|r| data.num(0, r) < 25.0).collect();
+        let model = PnruleLearner::default().fit_flags(&data, 0, &flags);
+        let correct = (0..data.n_rows())
+            .filter(|&r| model.predict(&data, r) == flags[r])
+            .count();
+        assert!(correct as f64 > 0.95 * data.n_rows() as f64, "correct={correct}");
+    }
+}

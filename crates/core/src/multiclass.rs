@@ -1,0 +1,185 @@
+//! Multi-class classification via per-class binary PNrule models.
+//!
+//! The PNrule framework reduces a k-class problem to k binary problems —
+//! one model per class, scored records assigned to the highest-scoring
+//! class (the reduction the companion paper [1] describes; this paper's
+//! footnote 3 notes the framework's applicability "to the multi-class
+//! problem with different costs of misclassification"). Per-class
+//! misclassification costs scale the scores before the argmax.
+
+use crate::learn::PnruleLearner;
+use crate::model::PnruleModel;
+use crate::params::PnruleParams;
+use pnr_data::Dataset;
+use pnr_rules::BinaryClassifier;
+use serde::{Deserialize, Serialize};
+
+/// A k-class classifier made of one binary PNrule model per class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiClassPnrule {
+    models: Vec<PnruleModel>,
+    /// Per-class score multipliers (misclassification costs); 1.0 = none.
+    costs: Vec<f64>,
+    /// Fallback class when every model scores 0 (majority class at fit
+    /// time).
+    default_class: u32,
+}
+
+impl MultiClassPnrule {
+    /// Fits one binary model per class of `data` with shared `params`.
+    pub fn fit(data: &Dataset, params: &PnruleParams) -> Self {
+        Self::fit_with_costs(data, params, &vec![1.0; data.n_classes()])
+    }
+
+    /// Fits with per-class score multipliers.
+    ///
+    /// # Panics
+    /// Panics if `costs.len() != data.n_classes()` or any cost is
+    /// non-positive.
+    pub fn fit_with_costs(data: &Dataset, params: &PnruleParams, costs: &[f64]) -> Self {
+        assert_eq!(costs.len(), data.n_classes(), "one cost per class");
+        assert!(costs.iter().all(|&c| c > 0.0), "costs must be positive");
+        let learner = PnruleLearner::new(params.clone());
+        let models = (0..data.n_classes() as u32).map(|c| learner.fit(data, c)).collect();
+        let class_weights = data.class_weights();
+        let default_class = class_weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        MultiClassPnrule { models, costs: costs.to_vec(), default_class }
+    }
+
+    /// The per-class binary models, indexed by class code.
+    pub fn models(&self) -> &[PnruleModel] {
+        &self.models
+    }
+
+    /// Cost-scaled score of `row` for every class.
+    pub fn class_scores(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        self.models
+            .iter()
+            .zip(&self.costs)
+            .map(|(m, &c)| m.score(data, row) * c)
+            .collect()
+    }
+
+    /// Predicted class: the highest-scoring model, or the default class
+    /// when no model fires at all.
+    pub fn classify(&self, data: &Dataset, row: usize) -> u32 {
+        let scores = self.class_scores(data, row);
+        let (best, &best_score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .expect("at least one class");
+        if best_score <= 0.0 {
+            self.default_class
+        } else {
+            best as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+    use pnr_metrics::MulticlassConfusion;
+
+    fn three_class_data(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        b.add_class("low");
+        b.add_class("high");
+        b.add_class("special");
+        for i in 0..n {
+            let x = (i % 100) as f64;
+            let k = if (i / 100) % 4 == 0 { "s" } else { "t" };
+            let class = if k == "s" && x < 50.0 {
+                "special"
+            } else if x < 50.0 {
+                "low"
+            } else {
+                "high"
+            };
+            b.push_row(&[Value::num(x), Value::cat(k)], class, 1.0).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn learns_three_way_structure() {
+        let d = three_class_data(2_000);
+        let mc = MultiClassPnrule::fit(&d, &PnruleParams::default());
+        let mut cm = MulticlassConfusion::new(d.n_classes());
+        for row in 0..d.n_rows() {
+            cm.record(d.label(row) as usize, mc.classify(&d, row) as usize, 1.0);
+        }
+        assert!(cm.accuracy() > 0.95, "accuracy {}", cm.accuracy());
+        assert!(cm.macro_f() > 0.9, "macro F {}", cm.macro_f());
+    }
+
+    #[test]
+    fn one_model_per_class() {
+        let d = three_class_data(400);
+        let mc = MultiClassPnrule::fit(&d, &PnruleParams::default());
+        assert_eq!(mc.models().len(), 3);
+    }
+
+    #[test]
+    fn costs_bias_predictions_toward_expensive_class() {
+        let d = three_class_data(2_000);
+        let special = d.class_code("special").unwrap() as usize;
+        let uniform = MultiClassPnrule::fit(&d, &PnruleParams::default());
+        let mut costs = vec![1.0; 3];
+        costs[special] = 50.0;
+        let biased = MultiClassPnrule::fit_with_costs(&d, &PnruleParams::default(), &costs);
+        let count = |mc: &MultiClassPnrule| {
+            (0..d.n_rows()).filter(|&r| mc.classify(&d, r) == special as u32).count()
+        };
+        assert!(
+            count(&biased) >= count(&uniform),
+            "raising a class's cost must not shrink its predictions"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per class")]
+    fn wrong_cost_arity_panics() {
+        let d = three_class_data(100);
+        MultiClassPnrule::fit_with_costs(&d, &PnruleParams::default(), &[1.0]);
+    }
+
+    #[test]
+    fn unmatched_records_get_default_class() {
+        let d = three_class_data(400);
+        let mc = MultiClassPnrule::fit(&d, &PnruleParams::default());
+        // craft a query dataset far outside the training distribution
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        b.add_cat_value(1, "s");
+        b.add_cat_value(1, "t");
+        b.add_class("low");
+        b.add_class("high");
+        b.add_class("special");
+        b.push_row(&[Value::num(1e6), Value::cat("t")], "low", 1.0).unwrap();
+        let q = b.finish();
+        let c = mc.classify(&q, 0);
+        assert!((c as usize) < 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = three_class_data(400);
+        let mc = MultiClassPnrule::fit(&d, &PnruleParams::default());
+        let back: MultiClassPnrule =
+            serde_json::from_str(&serde_json::to_string(&mc).unwrap()).unwrap();
+        for row in (0..d.n_rows()).step_by(37) {
+            assert_eq!(back.classify(&d, row), mc.classify(&d, row));
+        }
+    }
+}

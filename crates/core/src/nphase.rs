@@ -1,0 +1,344 @@
+//! The N-phase: collective false-positive removal for precision.
+//!
+//! Before this phase starts, *all* records covered by the union of P-rules
+//! — true positives and false positives alike — are pooled (section 2.1).
+//! The N-task then flips the target: its positive class is "false positive
+//! of the P-union", and sequential covering learns N-rules that detect the
+//! *absence* of the original target class. Pooling is the antidote to the
+//! splintered-false-positives problem: every P-rule's mistakes contribute
+//! evidence to the same learner.
+//!
+//! Two guards shape the phase:
+//! * the **lower recall limit `rn`** forces a too-greedy N-rule to keep
+//!   refining rather than sacrifice retained recall (see
+//!   [`crate::grow::RecallGuard`]);
+//! * an **MDL stopping rule**: N-rules are added until the rule set's
+//!   description length exceeds the minimum seen so far by
+//!   `mdl_slack_bits` (the RIPPER convention, cited as [5] by the paper).
+
+use crate::grow::{grow_rule, GrowOptions, RecallGuard};
+use crate::params::PnruleParams;
+use pnr_rules::mdl::{count_possible_conditions, total_dl};
+use pnr_rules::{CovStats, Rule, TaskView};
+
+/// One accepted N-rule with its discovery-time statistics over the N-view
+/// (`stats.pos` = false-positive weight removed, `stats.neg()` =
+/// original-target weight sacrificed).
+#[derive(Debug, Clone)]
+pub struct NRule {
+    /// The rule.
+    pub rule: Rule,
+    /// Coverage over the remaining pooled view at discovery time.
+    pub stats: CovStats,
+}
+
+/// Why a covering phase stopped adding rules (diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopReason {
+    /// No positive weight left to cover.
+    #[default]
+    Exhausted,
+    /// The grower produced no rule.
+    NoRuleGrown,
+    /// The best grown rule's accuracy did not beat the remaining prior.
+    LowAccuracy,
+    /// Accepting the rule would violate the recall floor `rn`.
+    RecallFloor,
+    /// The MDL stopping criterion fired.
+    MdlStop,
+    /// The hard rule-count cap was reached.
+    RuleCap,
+}
+
+/// Outcome of the N-phase.
+#[derive(Debug, Clone, Default)]
+pub struct NPhaseResult {
+    /// Accepted N-rules in rank (discovery) order.
+    pub rules: Vec<NRule>,
+    /// Retained recall of the original target class (w.r.t. the whole
+    /// training set) after all N-rules are applied.
+    pub retained_recall: f64,
+    /// Why the phase stopped.
+    pub stop_reason: StopReason,
+    /// Description length after each accepted rule (diagnostics; element 0
+    /// is the DL of the empty N-theory).
+    pub dl_trace: Vec<f64>,
+}
+
+/// Runs the N-phase.
+///
+/// * `pooled` — a view over the union of P-rule coverage whose `is_pos`
+///   marks **false positives** (records the P-union covers that are *not*
+///   original targets);
+/// * `orig_pos_total` — weight of the original target class in the whole
+///   training set (the denominator of the recall guard);
+/// * `covered_pos` — original-target weight inside the pool (the recall the
+///   P-phase achieved, in weight terms).
+pub fn learn_n_rules(
+    pooled: &TaskView<'_>,
+    orig_pos_total: f64,
+    covered_pos: f64,
+    params: &PnruleParams,
+) -> NPhaseResult {
+    params.validate();
+    let mut result = NPhaseResult::default();
+    let mut retained_pos = covered_pos;
+    if pooled.is_empty() || pooled.pos_weight() <= 0.0 {
+        result.retained_recall =
+            if orig_pos_total > 0.0 { retained_pos / orig_pos_total } else { 0.0 };
+        return result;
+    }
+
+    let n_possible = count_possible_conditions(pooled.data);
+    let n_view_total = pooled.total_weight();
+    let fp_total = pooled.pos_weight();
+    // The DL prices the *final classifier* (P-rules minus N-rules) over the
+    // whole training set: its predicted-positive set is the pool minus the
+    // N-union, false positives are the pool FPs not yet removed, false
+    // negatives are the targets outside the pool plus those N-rules
+    // sacrifice.
+    let full_total: f64 = pooled.weights.iter().sum();
+    let missed_pos = (orig_pos_total - covered_pos).max(0.0);
+
+    let mut lens: Vec<usize> = Vec::new();
+    let mut dl =
+        total_dl(n_possible, &lens, n_view_total, full_total - n_view_total, fp_total, missed_pos);
+    let mut min_dl = dl;
+    result.dl_trace.push(dl);
+
+    let mut remaining = pooled.clone();
+    // Aggregate exception bookkeeping for the DL of the growing rule set.
+    let mut covered = 0.0; // total weight covered by accepted N-rules
+    let mut covered_orig = 0.0; // original-target weight they sacrifice
+    let mut removed_fp = 0.0; // false-positive weight they remove
+
+    result.stop_reason =
+        if params.max_n_rules == 0 { StopReason::RuleCap } else { StopReason::Exhausted };
+    while remaining.pos_weight() > 0.0 {
+        if result.rules.len() >= params.max_n_rules {
+            result.stop_reason = StopReason::RuleCap;
+            break;
+        }
+        // The floor binds the N-phase's *sacrifice*, not the recall the
+        // P-phase never achieved: when coverage already sits below `rn`,
+        // the effective floor is the achieved recall (only zero-sacrifice
+        // rules may enter).
+        let achieved =
+            if orig_pos_total > 0.0 { covered_pos / orig_pos_total } else { 1.0 };
+        let guard = RecallGuard {
+            retained_pos,
+            orig_pos_total,
+            min_recall: params.rn.min(achieved),
+        };
+        let opts = GrowOptions {
+            metric: params.metric,
+            max_len: params.max_n_rule_len,
+            min_support_weight: 0.0,
+            use_ranges: params.use_ranges,
+            min_improvement: params.min_improvement,
+            recall_guard: Some(guard),
+        };
+        let Some(mut grown) = grow_rule(&remaining, &opts) else {
+            result.stop_reason = StopReason::NoRuleGrown;
+            break;
+        };
+        if guard.violated_by(grown.stats.neg()) {
+            // The metric favoured a broad rule that would sacrifice too
+            // much recall and refinement could not rescue it. Retry with
+            // precision-first growth (Laplace accuracy, no improvement
+            // tolerance): it grows the narrow pure rules the recall floor
+            // demands. Without this fallback a single irredeemably broad
+            // candidate would end the phase with false positives left on
+            // the table.
+            let fallback = GrowOptions {
+                metric: pnr_rules::EvalMetric::Laplace,
+                min_improvement: 0.0,
+                ..opts
+            };
+            match grow_rule(&remaining, &fallback) {
+                Some(g) if !guard.violated_by(g.stats.neg()) => grown = g,
+                _ => {
+                    result.stop_reason = StopReason::RecallFloor;
+                    break;
+                }
+            }
+        }
+        if grown.stats.pos <= 0.0 || grown.stats.accuracy() <= remaining.prior() {
+            result.stop_reason = StopReason::LowAccuracy;
+            break;
+        }
+        // Price the final classifier with this rule added. The phase keeps
+        // growing past local DL increases — a single weak rule must not end
+        // it while good rules remain — and the rule list is truncated to
+        // the DL-optimal prefix (within the slack) afterwards.
+        lens.push(grown.rule.len());
+        covered += grown.stats.total;
+        covered_orig += grown.stats.neg();
+        removed_fp += grown.stats.pos;
+        let predicted_pos = n_view_total - covered;
+        dl = total_dl(
+            n_possible,
+            &lens,
+            predicted_pos,
+            full_total - predicted_pos,
+            fp_total - removed_fp,    // surviving false positives
+            missed_pos + covered_orig, // missed + sacrificed targets
+        );
+        result.dl_trace.push(dl);
+        min_dl = min_dl.min(dl);
+        retained_pos -= grown.stats.neg();
+        let covered_rows = remaining.rows_matching_rule(&grown.rule);
+        result.rules.push(NRule { rule: grown.rule, stats: grown.stats });
+        remaining = remaining.without(&covered_rows);
+    }
+
+    // MDL truncation: keep the longest prefix whose final DL is within the
+    // slack of the minimum along the trace (dl_trace[0] is the empty
+    // theory, dl_trace[k] the DL after rule k).
+    let keep = result
+        .dl_trace
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &d)| d <= min_dl + params.mdl_slack_bits)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    if keep < result.rules.len() {
+        for dropped in &result.rules[keep..] {
+            retained_pos += dropped.stats.neg();
+        }
+        result.rules.truncate(keep);
+        result.dl_trace.truncate(keep + 1);
+        if result.stop_reason == StopReason::Exhausted {
+            result.stop_reason = StopReason::MdlStop;
+        }
+    }
+
+    result.retained_recall =
+        if orig_pos_total > 0.0 { retained_pos / orig_pos_total } else { 0.0 };
+    result
+}
+
+/// Computes the pooled N-view ingredients from P-rule coverage.
+///
+/// Given the full-data view of the original task and the union of P-rule
+/// coverage, returns the flipped positive flags for the N-task (true =
+/// false positive of the pool).
+pub fn flip_targets(is_pos: &[bool]) -> Vec<bool> {
+    is_pos.iter().map(|&p| !p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, Dataset, DatasetBuilder, RowSet, Value};
+
+    /// A pooled set where false positives carry a clean signature (y ≤ 1)
+    /// and true positives live elsewhere.
+    fn pooled_data() -> (Dataset, Vec<bool>) {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("y", AttrType::Numeric);
+        b.add_class("fp");
+        b.add_class("tp");
+        for i in 0..200 {
+            let y = (i % 10) as f64;
+            let class = if y <= 1.0 { "fp" } else { "tp" };
+            b.push_row(&[Value::num(y)], class, 1.0).unwrap();
+        }
+        let d = b.finish();
+        let is_fp: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        (d, is_fp)
+    }
+
+    #[test]
+    fn removes_clean_false_positive_signature() {
+        let (d, is_fp) = pooled_data();
+        let v = TaskView::full(&d, &is_fp, d.weights());
+        let orig_pos_total = v.total_weight() - v.pos_weight(); // 160 targets
+        let res = learn_n_rules(&v, orig_pos_total, orig_pos_total, &PnruleParams::default());
+        assert!(!res.rules.is_empty(), "should find the FP signature");
+        // the signature is pure: recall must be fully retained
+        assert!((res.retained_recall - 1.0).abs() < 1e-9, "recall {}", res.retained_recall);
+        let removed: f64 = res.rules.iter().map(|r| r.stats.pos).sum();
+        assert_eq!(removed, 40.0, "all FPs removed");
+    }
+
+    #[test]
+    fn no_false_positives_means_no_rules() {
+        let (d, _) = pooled_data();
+        let none = vec![false; d.n_rows()];
+        let v = TaskView::full(&d, &none, d.weights());
+        let res = learn_n_rules(&v, 200.0, 200.0, &PnruleParams::default());
+        assert!(res.rules.is_empty());
+        assert_eq!(res.retained_recall, 1.0);
+    }
+
+    #[test]
+    fn empty_pool_returns_empty_result() {
+        let (d, is_fp) = pooled_data();
+        let v = TaskView::over(&d, RowSet::empty(), &is_fp, d.weights());
+        let res = learn_n_rules(&v, 100.0, 0.0, &PnruleParams::default());
+        assert!(res.rules.is_empty());
+        assert_eq!(res.retained_recall, 0.0);
+    }
+
+    #[test]
+    fn recall_floor_is_respected() {
+        // FPs overlap targets: any single-attribute rule removing FPs also
+        // sacrifices targets. With a high rn the phase must hold back.
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("y", AttrType::Numeric);
+        b.add_class("fp");
+        b.add_class("tp");
+        for i in 0..100 {
+            let y = (i % 4) as f64;
+            // y==0: 60% fp, 40% tp — impure signature
+            let class = if y == 0.0 && i % 5 < 3 { "fp" } else { "tp" };
+            b.push_row(&[Value::num(y)], class, 1.0).unwrap();
+        }
+        let d = b.finish();
+        let is_fp: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        let v = TaskView::full(&d, &is_fp, d.weights());
+        let orig = v.total_weight() - v.pos_weight();
+        let strict = PnruleParams { rn: 0.99, ..Default::default() };
+        let res = learn_n_rules(&v, orig, orig, &strict);
+        assert!(
+            res.retained_recall >= 0.99 - 1e-9,
+            "retained recall {} under floor",
+            res.retained_recall
+        );
+    }
+
+    #[test]
+    fn lax_recall_floor_removes_more() {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("y", AttrType::Numeric);
+        b.add_class("fp");
+        b.add_class("tp");
+        for i in 0..100 {
+            let y = (i % 4) as f64;
+            let class = if y == 0.0 && i % 5 < 3 { "fp" } else { "tp" };
+            b.push_row(&[Value::num(y)], class, 1.0).unwrap();
+        }
+        let d = b.finish();
+        let is_fp: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        let v = TaskView::full(&d, &is_fp, d.weights());
+        let orig = v.total_weight() - v.pos_weight();
+        let lax = PnruleParams { rn: 0.5, ..Default::default() };
+        let strict = PnruleParams { rn: 0.999, ..Default::default() };
+        let res_lax = learn_n_rules(&v, orig, orig, &lax);
+        let res_strict = learn_n_rules(&v, orig, orig, &strict);
+        let removed = |r: &NPhaseResult| r.rules.iter().map(|n| n.stats.pos).sum::<f64>();
+        assert!(
+            removed(&res_lax) >= removed(&res_strict),
+            "lax {} vs strict {}",
+            removed(&res_lax),
+            removed(&res_strict)
+        );
+    }
+
+    #[test]
+    fn flip_targets_inverts_flags() {
+        assert_eq!(flip_targets(&[true, false, true]), vec![false, true, false]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The ScoreMatrix: probabilistic scoring of P-rule/N-rule combinations.
+//!
+//! N-rules are learned on the records covered by *all* P-rules together, so
+//! "a given N-rule may be effective in removing false positives of only a
+//! subset of P-rules" (section 2.3). The scoring step judges the
+//! significance of each N-rule for each P-rule: the training data is pushed
+//! through the ranked P-rules then the ranked N-rules, the target fraction
+//! of every (first-P, first-N) combination is estimated with Laplace
+//! smoothing, and a combination whose accuracy does not differ
+//! *significantly* (one-sample z-test) from its P-rule's overall accuracy
+//! falls back to that P-rule's estimate — i.e. the N-rule's effect on that
+//! P-rule is ignored.
+//!
+//! The resulting matrix "reflects an approximate probability that a record
+//! belongs to the target class, given that a particular P-rule, N-rule
+//! combination applied to it".
+
+use pnr_data::Dataset;
+use pnr_rules::RuleSet;
+use serde::{Deserialize, Serialize};
+
+/// Per-(P-rule, N-rule) probability estimates. Column `n_n` (one past the
+/// last N-rule) is the **default N-rule** — "we always have a default last
+/// N-rule that applies when none of the discovered N-rules apply".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreMatrix {
+    n_p: usize,
+    n_n: usize,
+    scores: Vec<f64>, // row-major, n_p × (n_n + 1)
+}
+
+impl ScoreMatrix {
+    /// Builds the matrix from training data.
+    ///
+    /// * `is_pos[row]` — original target flags;
+    /// * `z_threshold` — |z| below which a cell is deemed insignificant and
+    ///   the P-rule's own estimate is used instead.
+    pub fn build(
+        data: &Dataset,
+        is_pos: &[bool],
+        p_rules: &RuleSet,
+        n_rules: &RuleSet,
+        z_threshold: f64,
+    ) -> ScoreMatrix {
+        let n_p = p_rules.len();
+        let n_n = n_rules.len();
+        let width = n_n + 1;
+        let mut cell_pos = vec![0.0f64; n_p * width];
+        let mut cell_tot = vec![0.0f64; n_p * width];
+
+        for (row, &row_is_pos) in is_pos.iter().enumerate() {
+            let Some(pi) = p_rules.first_match(data, row) else {
+                continue;
+            };
+            let nj = n_rules.first_match(data, row).unwrap_or(n_n);
+            let w = data.weight(row);
+            cell_tot[pi * width + nj] += w;
+            if row_is_pos {
+                cell_pos[pi * width + nj] += w;
+            }
+        }
+
+        let mut scores = vec![0.5f64; n_p * width];
+        for pi in 0..n_p {
+            let row_pos: f64 = (0..width).map(|j| cell_pos[pi * width + j]).sum();
+            let row_tot: f64 = (0..width).map(|j| cell_tot[pi * width + j]).sum();
+            let row_acc = if row_tot > 0.0 { row_pos / row_tot } else { 0.5 };
+            let row_score = (row_pos + 1.0) / (row_tot + 2.0);
+            for j in 0..width {
+                let tot = cell_tot[pi * width + j];
+                let pos = cell_pos[pi * width + j];
+                let raw = (pos + 1.0) / (tot + 2.0);
+                let use_raw = if j == n_n {
+                    // The default column is the P-rule's own evidence when
+                    // no N-rule fires; always use it.
+                    true
+                } else if tot == 0.0 {
+                    false
+                } else {
+                    // One-sample z-test of the cell accuracy against the
+                    // P-rule row accuracy.
+                    let sigma = (row_acc * (1.0 - row_acc) / tot).sqrt();
+                    if sigma == 0.0 {
+                        (pos / tot - row_acc).abs() > 0.0
+                    } else {
+                        ((pos / tot - row_acc) / sigma).abs() >= z_threshold
+                    }
+                };
+                scores[pi * width + j] = if use_raw { raw } else { row_score };
+            }
+        }
+        ScoreMatrix { n_p, n_n, scores }
+    }
+
+    /// Number of P-rules (rows).
+    pub fn n_p(&self) -> usize {
+        self.n_p
+    }
+
+    /// Number of learned N-rules (the matrix has one extra default column).
+    pub fn n_n(&self) -> usize {
+        self.n_n
+    }
+
+    /// Score of the combination: first-matching P-rule `p`, first-matching
+    /// N-rule `n` (`None` = no N-rule applied → default column).
+    pub fn score(&self, p: usize, n: Option<usize>) -> f64 {
+        assert!(p < self.n_p, "P-rule index out of range");
+        let j = match n {
+            Some(j) => {
+                assert!(j < self.n_n, "N-rule index out of range");
+                j
+            }
+            None => self.n_n,
+        };
+        self.scores[p * (self.n_n + 1) + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+    use pnr_rules::{Condition, Rule};
+
+    /// x identifies the P-rule, y the N-rule.
+    fn build_case(rows: &[(f64, f64, bool)], z: f64) -> ScoreMatrix {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("y", AttrType::Numeric);
+        for &(x, y, _) in rows {
+            b.push_row(&[Value::num(x), Value::num(y)], "c", 1.0).unwrap();
+        }
+        let d = b.finish();
+        let is_pos: Vec<bool> = rows.iter().map(|&(_, _, p)| p).collect();
+        let p_rules = RuleSet::from_rules(vec![
+            Rule::new(vec![Condition::NumLe { attr: 0, value: 0.0 }]),
+            Rule::new(vec![Condition::NumGt { attr: 0, value: 0.0 }]),
+        ]);
+        let n_rules =
+            RuleSet::from_rules(vec![Rule::new(vec![Condition::NumGt { attr: 1, value: 0.0 }])]);
+        ScoreMatrix::build(&d, &is_pos, &p_rules, &n_rules, z)
+    }
+
+    #[test]
+    fn significant_n_rule_lowers_score() {
+        // P-rule 0 (x ≤ 0): records with y > 0 are overwhelmingly negative.
+        let mut rows: Vec<(f64, f64, bool)> = Vec::new();
+        for _ in 0..30 {
+            rows.push((0.0, 0.0, true)); // P0, no N: targets
+            rows.push((0.0, 1.0, false)); // P0, N0: false positives
+        }
+        let m = build_case(&rows, 1.0);
+        assert!(m.score(0, Some(0)) < 0.1, "N-rule should kill the cell");
+        assert!(m.score(0, None) > 0.9, "default column keeps the P-rule");
+    }
+
+    #[test]
+    fn insignificant_cell_falls_back_to_row_estimate() {
+        // P-rule 1 (x > 0) has 60% accuracy overall; its single y>0 record
+        // is far too little evidence, so the cell reverts to the row score.
+        let mut rows: Vec<(f64, f64, bool)> = Vec::new();
+        for i in 0..30 {
+            rows.push((1.0, 0.0, i % 5 < 3)); // 60% positive
+        }
+        rows.push((1.0, 1.0, false)); // one lonely N-covered record
+        let m = build_case(&rows, 2.0);
+        let row_score = m.score(1, None);
+        assert!(
+            (m.score(1, Some(0)) - row_score).abs() < 0.1,
+            "cell {} should be near row {}",
+            m.score(1, Some(0)),
+            row_score
+        );
+    }
+
+    #[test]
+    fn n_rule_ignored_for_one_p_rule_but_not_another() {
+        // The headline behaviour: the same N-rule removes P0's false
+        // positives but would only hurt P1 (its N-cell is mostly true
+        // positives with plenty of evidence).
+        let mut rows: Vec<(f64, f64, bool)> = Vec::new();
+        for _ in 0..25 {
+            rows.push((0.0, 0.0, true));
+            rows.push((0.0, 1.0, false)); // N fires on P0's FPs
+            rows.push((1.0, 0.0, true));
+            rows.push((1.0, 1.0, true)); // N fires on P1's TPs!
+        }
+        let m = build_case(&rows, 1.0);
+        assert!(m.score(0, Some(0)) < 0.5, "N effective for P0");
+        assert!(m.score(1, Some(0)) > 0.5, "N neutralised for P1");
+    }
+
+    #[test]
+    fn empty_cell_uses_row_fallback() {
+        let rows: Vec<(f64, f64, bool)> = (0..20).map(|_| (0.0, 0.0, true)).collect();
+        let m = build_case(&rows, 1.0);
+        // P1 never fires: its default cell is the uninformed prior 0.5
+        // (predicted false at the usual threshold).
+        assert_eq!(m.score(1, None), 0.5);
+        // P0's N-cell never fires either → row fallback (high).
+        assert!(m.score(0, Some(0)) > 0.5);
+    }
+
+    #[test]
+    fn laplace_smoothing_keeps_scores_off_the_walls() {
+        let rows: Vec<(f64, f64, bool)> = (0..5).map(|_| (0.0, 0.0, true)).collect();
+        let m = build_case(&rows, 1.0);
+        let s = m.score(0, None);
+        assert!(s > 0.5 && s < 1.0, "smoothed score {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "N-rule index")]
+    fn out_of_range_n_index_panics() {
+        let rows = vec![(0.0, 0.0, true)];
+        let m = build_case(&rows, 1.0);
+        m.score(0, Some(5));
+    }
+
+    #[test]
+    fn dimensions_reported() {
+        let rows = vec![(0.0, 0.0, true)];
+        let m = build_case(&rows, 1.0);
+        assert_eq!(m.n_p(), 2);
+        assert_eq!(m.n_n(), 1);
+    }
+}

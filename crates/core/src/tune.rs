@@ -1,0 +1,231 @@
+//! Validation-based tuning: automatic recall-limit selection and N-stage
+//! pruning.
+//!
+//! Both are items from the paper's future-work list (section 5):
+//! "automating or guiding the selection of recall limits in each stage" and
+//! "adding some pruning mechanisms to further protect the N-stage from
+//! running into overfitting". The implementations here use a stratified
+//! internal validation split — the idiomatic way to realise either without
+//! touching the test set.
+
+use crate::learn::PnruleLearner;
+use crate::model::PnruleModel;
+use crate::params::PnruleParams;
+use crate::scoring::ScoreMatrix;
+use pnr_data::{stratified_split, Dataset};
+use pnr_metrics::BinaryConfusion;
+use pnr_rules::{evaluate_classifier, RuleSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of [`fit_auto`].
+#[derive(Debug, Clone)]
+pub struct AutoTuneOptions {
+    /// Candidate `rp` values. Default: the paper's synthetic-study grid.
+    pub rp_grid: Vec<f64>,
+    /// Candidate `rn` values.
+    pub rn_grid: Vec<f64>,
+    /// Also try the `P1` restriction (single-condition P-rules), which the
+    /// paper found decisive on the KDD classes.
+    pub try_p1: bool,
+    /// Fraction of the training data held out for validation.
+    pub validation_frac: f64,
+    /// Split seed.
+    pub seed: u64,
+    /// Base parameters every candidate inherits.
+    pub base: PnruleParams,
+}
+
+impl Default for AutoTuneOptions {
+    fn default() -> Self {
+        AutoTuneOptions {
+            rp_grid: vec![0.95, 0.99],
+            rn_grid: vec![0.7, 0.9, 0.95],
+            try_p1: true,
+            validation_frac: 0.33,
+            seed: 0x7E57,
+            base: PnruleParams::default(),
+        }
+    }
+}
+
+fn validation_f(params: &PnruleParams, train: &Dataset, valid: &Dataset, target: u32) -> f64 {
+    let model = PnruleLearner::new(params.clone()).fit(train, target);
+    evaluate_classifier(&model, valid, target).f_measure()
+}
+
+/// Fits PNrule with recall limits chosen on an internal validation split.
+///
+/// Every `(rp, rn[, P1])` combination is trained on the sub-train part and
+/// scored on the held-out part by F-measure; the winner is refit on the
+/// full training data. Returns the model and the chosen parameters.
+pub fn fit_auto(data: &Dataset, target: u32, opts: &AutoTuneOptions) -> (PnruleModel, PnruleParams) {
+    assert!(
+        opts.validation_frac > 0.0 && opts.validation_frac < 1.0,
+        "validation_frac must be in (0,1)"
+    );
+    assert!(!opts.rp_grid.is_empty() && !opts.rn_grid.is_empty(), "grids must be non-empty");
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let (sub_train, valid) = stratified_split(data, 1.0 - opts.validation_frac, &mut rng);
+
+    let mut best: Option<(f64, PnruleParams)> = None;
+    for &rp in &opts.rp_grid {
+        for &rn in &opts.rn_grid {
+            let mut variants = vec![PnruleParams { rp, rn, ..opts.base.clone() }];
+            if opts.try_p1 {
+                variants.push(PnruleParams {
+                    rp,
+                    rn,
+                    max_p_rule_len: Some(1),
+                    ..opts.base.clone()
+                });
+            }
+            for params in variants {
+                let f = validation_f(&params, &sub_train, &valid, target);
+                if best.as_ref().is_none_or(|(bf, _)| f > *bf) {
+                    best = Some((f, params));
+                }
+            }
+        }
+    }
+    let (_, winner) = best.expect("non-empty grid");
+    (PnruleLearner::new(winner.clone()).fit(data, target), winner)
+}
+
+/// N-stage pruning: greedily deletes N-rules whose removal does not hurt
+/// (or improves) the F-measure on `valid`, rebuilding the ScoreMatrix on
+/// `train` after each deletion. Returns the pruned model.
+///
+/// This protects the N-stage from overfitting when `rn` was set too high
+/// ("lot of highly refined, low support rules might be discovered, leading
+/// to overfitting in N-phase").
+pub fn prune_n_rules(
+    model: &PnruleModel,
+    train: &Dataset,
+    valid: &Dataset,
+    z_threshold: f64,
+) -> PnruleModel {
+    let is_pos: Vec<bool> =
+        (0..train.n_rows()).map(|r| train.label(r) == model.target).collect();
+    let rebuild = |n_rules: &RuleSet| -> PnruleModel {
+        let sm = ScoreMatrix::build(train, &is_pos, &model.p_rules, n_rules, z_threshold);
+        PnruleModel {
+            target: model.target,
+            threshold: model.threshold,
+            p_rules: model.p_rules.clone(),
+            n_rules: n_rules.clone(),
+            score_matrix: sm,
+        }
+    };
+    let f_of = |m: &PnruleModel| -> f64 {
+        let cm: BinaryConfusion = evaluate_classifier(m, valid, m.target);
+        cm.f_measure()
+    };
+
+    let mut current = model.clone();
+    let mut current_f = f_of(&current);
+    loop {
+        let mut best: Option<(usize, PnruleModel, f64)> = None;
+        for i in 0..current.n_rules.len() {
+            let mut trial_rules = current.n_rules.clone();
+            trial_rules.remove(i);
+            let trial = rebuild(&trial_rules);
+            let f = f_of(&trial);
+            if f >= current_f && best.as_ref().is_none_or(|(_, _, bf)| f > *bf) {
+                best = Some((i, trial, f));
+            }
+        }
+        match best {
+            Some((_, trial, f)) => {
+                current = trial;
+                current_f = f;
+            }
+            None => break,
+        }
+        if current.n_rules.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+    use pnr_rules::BinaryClassifier;
+
+    fn band_data(n: usize, seed_shift: u64) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("y", AttrType::Numeric);
+        b.add_class("pos");
+        b.add_class("neg");
+        for i in 0..n {
+            let x = ((i as u64 * 7 + seed_shift) % 100) as f64;
+            let y = ((i as u64 * 13 + seed_shift) % 10) as f64;
+            let target = (40.0..48.0).contains(&x) && y < 7.0;
+            b.push_row(&[Value::num(x), Value::num(y)], if target { "pos" } else { "neg" }, 1.0)
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn auto_tuning_picks_a_grid_member_and_learns() {
+        let data = band_data(4_000, 0);
+        let target = data.class_code("pos").unwrap();
+        let opts = AutoTuneOptions::default();
+        let (model, chosen) = fit_auto(&data, target, &opts);
+        assert!(opts.rp_grid.contains(&chosen.rp));
+        assert!(opts.rn_grid.contains(&chosen.rn));
+        let cm = evaluate_classifier(&model, &data, target);
+        assert!(cm.f_measure() > 0.9, "auto-tuned F {}", cm.f_measure());
+    }
+
+    #[test]
+    fn auto_tuning_is_deterministic_in_seed() {
+        let data = band_data(2_000, 0);
+        let target = data.class_code("pos").unwrap();
+        let opts = AutoTuneOptions::default();
+        let (_, p1) = fit_auto(&data, target, &opts);
+        let (_, p2) = fit_auto(&data, target, &opts);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "grids must be non-empty")]
+    fn empty_grid_rejected() {
+        let data = band_data(200, 0);
+        let opts = AutoTuneOptions { rp_grid: vec![], ..Default::default() };
+        fit_auto(&data, 0, &opts);
+    }
+
+    #[test]
+    fn pruning_never_hurts_validation_f() {
+        let train = band_data(3_000, 0);
+        let valid = band_data(1_000, 17);
+        let target = train.class_code("pos").unwrap();
+        // deliberately overfit the N-stage with a very high rn
+        let params = PnruleParams { rn: 0.999, ..Default::default() };
+        let model = PnruleLearner::new(params).fit(&train, target);
+        let before = evaluate_classifier(&model, &valid, target).f_measure();
+        let pruned = prune_n_rules(&model, &train, &valid, 1.0);
+        let after = evaluate_classifier(&pruned, &valid, target).f_measure();
+        assert!(after + 1e-12 >= before, "pruning hurt: {before} -> {after}");
+        assert!(pruned.n_rules.len() <= model.n_rules.len());
+    }
+
+    #[test]
+    fn pruned_model_still_scores_probabilities() {
+        let train = band_data(2_000, 0);
+        let valid = band_data(600, 5);
+        let target = train.class_code("pos").unwrap();
+        let model = PnruleLearner::default().fit(&train, target);
+        let pruned = prune_n_rules(&model, &train, &valid, 1.0);
+        for row in (0..valid.n_rows()).step_by(41) {
+            let s = pruned.score(&valid, row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimal CSV reader/writer for datasets.
+//!
+//! The format is deliberately simple (no quoting or embedded separators):
+//! one header line with attribute names followed by the class column name,
+//! then one record per line. Schema types are either supplied by the caller
+//! or inferred (a column is numeric when every field parses as `f64`).
+
+use crate::builder::{DatasetBuilder, Value};
+use crate::dataset::{Column, Dataset};
+use crate::error::DataError;
+use crate::schema::AttrType;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Explicit attribute types; when `None`, types are inferred from the
+    /// data (numeric iff every field parses as a finite `f64`).
+    pub types: Option<Vec<AttrType>>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { separator: ',', types: None }
+    }
+}
+
+/// Reads a dataset from a CSV file. See [`read_csv_str`].
+pub fn read_csv(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Dataset, DataError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    read_csv_str(&text, opts)
+}
+
+/// Parses a dataset from CSV text. The last column is the class label; all
+/// rows get weight 1.0.
+pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Dataset, DataError> {
+    let sep = opts.separator;
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| DataError::Csv { line: 1, message: "missing header".into() })?;
+    let names: Vec<&str> = header.split(sep).map(str::trim).collect();
+    if names.len() < 2 {
+        return Err(DataError::Csv {
+            line: 1,
+            message: "header needs at least one attribute and a class column".into(),
+        });
+    }
+    let n_attrs = names.len() - 1;
+
+    // Collect raw fields first; type inference needs a full pass.
+    let mut records: Vec<(usize, Vec<&str>)> = Vec::new();
+    for (lineno, line) in lines {
+        let fields: Vec<&str> = line.split(sep).map(str::trim).collect();
+        if fields.len() != names.len() {
+            return Err(DataError::Csv {
+                line: lineno + 1,
+                message: format!("expected {} fields, got {}", names.len(), fields.len()),
+            });
+        }
+        records.push((lineno + 1, fields));
+    }
+
+    let types: Vec<AttrType> = match &opts.types {
+        Some(t) => {
+            if t.len() != n_attrs {
+                return Err(DataError::Csv {
+                    line: 1,
+                    message: format!("{} types supplied for {} attributes", t.len(), n_attrs),
+                });
+            }
+            t.clone()
+        }
+        None => (0..n_attrs)
+            .map(|a| {
+                let all_numeric = records
+                    .iter()
+                    .all(|(_, f)| f[a].parse::<f64>().map(|x| x.is_finite()).unwrap_or(false));
+                if all_numeric && !records.is_empty() {
+                    AttrType::Numeric
+                } else {
+                    AttrType::Categorical
+                }
+            })
+            .collect(),
+    };
+
+    let mut b = DatasetBuilder::new();
+    for (name, ty) in names[..n_attrs].iter().zip(&types) {
+        b.add_attribute(*name, *ty);
+    }
+    b.reserve(records.len());
+    let mut row_vals: Vec<Value<'_>> = Vec::with_capacity(n_attrs);
+    for (lineno, fields) in &records {
+        row_vals.clear();
+        for (a, field) in fields[..n_attrs].iter().enumerate() {
+            match types[a] {
+                AttrType::Numeric => {
+                    let x: f64 = field.parse().map_err(|_| DataError::Csv {
+                        line: *lineno,
+                        message: format!("field {a} ({field:?}) is not numeric"),
+                    })?;
+                    row_vals.push(Value::Num(x));
+                }
+                AttrType::Categorical => row_vals.push(Value::Cat(field)),
+            }
+        }
+        b.push_row(&row_vals, fields[n_attrs], 1.0).map_err(|e| DataError::Csv {
+            line: *lineno,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(b.finish())
+}
+
+/// Writes a dataset to a CSV file. See [`write_csv_string`].
+pub fn write_csv(data: &Dataset, path: impl AsRef<Path>, sep: char) -> Result<(), DataError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(write_csv_string(data, sep).as_bytes())?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Renders a dataset as CSV text (weights are not serialised; CSV is a data
+/// interchange format, weights are a training-time construct).
+pub fn write_csv_string(data: &Dataset, sep: char) -> String {
+    let mut s = String::new();
+    for a in 0..data.n_attrs() {
+        let _ = write!(s, "{}{}", data.schema().attr(a).name, sep);
+    }
+    s.push_str("class\n");
+    for row in 0..data.n_rows() {
+        for a in 0..data.n_attrs() {
+            match data.column(a) {
+                Column::Num(_) => {
+                    let _ = write!(s, "{}{}", data.num(a, row), sep);
+                }
+                Column::Cat(_) => {
+                    let _ = write!(s, "{}{}", data.cat_name(a, row), sep);
+                }
+            }
+        }
+        s.push_str(data.class_name(data.label(row)));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_with_type_inference() {
+        let text = "x,proto,class\n1.5,tcp,normal\n2.5,udp,attack\n";
+        let d = read_csv_str(text, &CsvOptions::default()).unwrap();
+        assert_eq!(d.n_rows(), 2);
+        assert_eq!(d.schema().attr(0).ty, AttrType::Numeric);
+        assert_eq!(d.schema().attr(1).ty, AttrType::Categorical);
+        assert_eq!(d.num(0, 1), 2.5);
+        assert_eq!(d.cat_name(1, 0), "tcp");
+        assert_eq!(d.class_name(d.label(1)), "attack");
+    }
+
+    #[test]
+    fn numeric_looking_column_can_be_forced_categorical() {
+        let text = "code,class\n1,a\n2,b\n";
+        let opts = CsvOptions { types: Some(vec![AttrType::Categorical]), ..Default::default() };
+        let d = read_csv_str(text, &opts).unwrap();
+        assert_eq!(d.schema().attr(0).ty, AttrType::Categorical);
+        assert_eq!(d.cat_name(0, 1), "2");
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let text = "x,k,class\n1,a,c0\n2,b,c1\n3,a,c0\n";
+        let d = read_csv_str(text, &CsvOptions::default()).unwrap();
+        let rendered = write_csv_string(&d, ',');
+        let d2 = read_csv_str(&rendered, &CsvOptions::default()).unwrap();
+        assert_eq!(d2.n_rows(), d.n_rows());
+        for row in 0..d.n_rows() {
+            assert_eq!(d2.num(0, row), d.num(0, row));
+            assert_eq!(d2.cat_name(1, row), d.cat_name(1, row));
+            assert_eq!(d2.class_name(d2.label(row)), d.class_name(d.label(row)));
+        }
+    }
+
+    #[test]
+    fn field_count_mismatch_reports_line() {
+        let text = "x,class\n1,a\n2\n";
+        let err = read_csv_str(text, &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let err = read_csv_str("", &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn wrong_type_count_is_error() {
+        let opts = CsvOptions { types: Some(vec![]), ..Default::default() };
+        let err = read_csv_str("x,class\n1,a\n", &opts).unwrap_err();
+        assert!(err.to_string().contains("types"));
+    }
+
+    #[test]
+    fn alternative_separator() {
+        let text = "x;class\n4;a\n";
+        let opts = CsvOptions { separator: ';', ..Default::default() };
+        let d = read_csv_str(text, &opts).unwrap();
+        assert_eq!(d.num(0, 0), 4.0);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "x,class\n\n1,a\n\n2,b\n";
+        let d = read_csv_str(text, &CsvOptions::default()).unwrap();
+        assert_eq!(d.n_rows(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pnr_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let text = "x,class\n1,a\n2,b\n";
+        let d = read_csv_str(text, &CsvOptions::default()).unwrap();
+        write_csv(&d, &path, ',').unwrap();
+        let d2 = read_csv(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(d2.n_rows(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! String interning for categorical attribute values and class labels.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An append-only string dictionary mapping strings to dense `u32` codes.
+///
+/// Every categorical attribute and the class column own one dictionary.
+/// Codes are assigned in first-seen order, which makes dataset construction
+/// deterministic for a fixed row order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dictionary {
+    values: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its code (existing or newly assigned).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(s.to_owned());
+        self.index.insert(s.to_owned(), code);
+        code
+    }
+
+    /// Looks up the code of `s` without interning.
+    pub fn code(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Returns the string for `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` was never assigned.
+    pub fn name(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(code, value)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str()))
+    }
+
+    /// Rebuilds the lookup index from the value list. Needed after
+    /// deserialisation, where the index is skipped.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes_in_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("tcp"), 0);
+        assert_eq!(d.intern("udp"), 1);
+        assert_eq!(d.intern("tcp"), 0);
+        assert_eq!(d.intern("icmp"), 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn code_does_not_intern() {
+        let mut d = Dictionary::new();
+        d.intern("a");
+        assert_eq!(d.code("a"), Some(0));
+        assert_eq!(d.code("b"), None);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut d = Dictionary::new();
+        for s in ["x", "y", "z"] {
+            let c = d.intern(s);
+            assert_eq!(d.name(c), s);
+        }
+    }
+
+    #[test]
+    fn iter_yields_code_order() {
+        let mut d = Dictionary::new();
+        d.intern("b");
+        d.intern("a");
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "b"), (1, "a")]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut d = Dictionary::new();
+        d.intern("p");
+        d.intern("q");
+        let json = serde_json::to_string(&d).unwrap();
+        let mut back: Dictionary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.code("q"), None); // index was skipped
+        back.rebuild_index();
+        assert_eq!(back.code("q"), Some(1));
+        assert_eq!(back.name(0), "p");
+    }
+
+    #[test]
+    fn empty_dictionary_reports_empty() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

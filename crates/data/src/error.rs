@@ -1,0 +1,96 @@
+//! Error type for dataset construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, reading or writing datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A row was pushed with a different number of values than the schema has
+    /// attributes.
+    ArityMismatch {
+        /// Number of attributes declared in the schema.
+        expected: usize,
+        /// Number of values supplied in the offending row.
+        got: usize,
+    },
+    /// A numeric value was supplied for a categorical attribute or vice versa.
+    TypeMismatch {
+        /// Attribute index the value was destined for.
+        attr: usize,
+        /// Human-readable description of the expected type.
+        expected: &'static str,
+    },
+    /// A numeric value was NaN or infinite; the substrate requires finite
+    /// values (there is no missing-value support).
+    NonFiniteValue {
+        /// Attribute index of the offending value.
+        attr: usize,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values but schema has {expected} attributes")
+            }
+            DataError::TypeMismatch { attr, expected } => {
+                write!(f, "attribute {attr} expects a {expected} value")
+            }
+            DataError::NonFiniteValue { attr } => {
+                write!(f, "attribute {attr} received a non-finite numeric value")
+            }
+            DataError::Csv { line, message } => write!(f, "csv line {line}: {message}"),
+            DataError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::ArityMismatch { expected: 3, got: 2 };
+        assert_eq!(e.to_string(), "row has 2 values but schema has 3 attributes");
+        let e = DataError::TypeMismatch { attr: 1, expected: "numeric" };
+        assert!(e.to_string().contains("attribute 1"));
+        let e = DataError::NonFiniteValue { attr: 0 };
+        assert!(e.to_string().contains("non-finite"));
+        let e = DataError::Csv { line: 7, message: "bad field".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e = DataError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

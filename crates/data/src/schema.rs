@@ -1,0 +1,126 @@
+//! Dataset schema: attribute names, types and categorical dictionaries.
+
+use crate::dict::Dictionary;
+use serde::{Deserialize, Serialize};
+
+/// The type of an attribute column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Continuous-valued attribute stored as `f64`.
+    Numeric,
+    /// Discrete attribute stored as interned `u32` codes.
+    Categorical,
+}
+
+/// A single attribute (column) of a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Column type.
+    pub ty: AttrType,
+    /// Value dictionary; non-empty only for categorical attributes.
+    pub dict: Dictionary,
+}
+
+impl Attribute {
+    /// Creates an attribute with an empty dictionary.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty, dict: Dictionary::new() }
+    }
+
+    /// True for numeric attributes.
+    pub fn is_numeric(&self) -> bool {
+        self.ty == AttrType::Numeric
+    }
+
+    /// True for categorical attributes.
+    pub fn is_categorical(&self) -> bool {
+        self.ty == AttrType::Categorical
+    }
+}
+
+/// The schema of a dataset: ordered attributes plus the class dictionary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schema {
+    /// Attribute columns in declaration order.
+    pub attributes: Vec<Attribute>,
+    /// Dictionary of class label names.
+    pub classes: Dictionary,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of distinct class labels.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns the index of the attribute named `name`, if present.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Returns the attribute at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn attr(&self, index: usize) -> &Attribute {
+        &self.attributes[index]
+    }
+
+    /// Rebuilds all dictionary lookup indexes after deserialisation.
+    pub fn rebuild_indexes(&mut self) {
+        for a in &mut self.attributes {
+            a.dict.rebuild_index();
+        }
+        self.classes.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_index_finds_by_name() {
+        let mut s = Schema::new();
+        s.attributes.push(Attribute::new("a", AttrType::Numeric));
+        s.attributes.push(Attribute::new("b", AttrType::Categorical));
+        assert_eq!(s.attr_index("b"), Some(1));
+        assert_eq!(s.attr_index("c"), None);
+        assert_eq!(s.n_attrs(), 2);
+    }
+
+    #[test]
+    fn attribute_type_predicates() {
+        let a = Attribute::new("x", AttrType::Numeric);
+        assert!(a.is_numeric() && !a.is_categorical());
+        let b = Attribute::new("y", AttrType::Categorical);
+        assert!(b.is_categorical() && !b.is_numeric());
+    }
+
+    #[test]
+    fn rebuild_indexes_after_serde() {
+        let mut s = Schema::new();
+        let mut a = Attribute::new("proto", AttrType::Categorical);
+        a.dict.intern("tcp");
+        s.attributes.push(a);
+        s.classes.intern("normal");
+        s.classes.intern("attack");
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: Schema = serde_json::from_str(&json).unwrap();
+        back.rebuild_indexes();
+        assert_eq!(back.attributes[0].dict.code("tcp"), Some(0));
+        assert_eq!(back.classes.code("attack"), Some(1));
+    }
+}

@@ -1,0 +1,155 @@
+//! Train/test splitting and class subsampling.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Randomly splits `data` into `(train, test)` with `train_frac` of rows in
+/// the training part.
+///
+/// The split is a uniform shuffle; use [`stratified_split`] when class
+/// proportions must be preserved exactly (important for rare classes, where a
+/// uniform split can starve one side of positives).
+pub fn train_test_split<R: Rng>(data: &Dataset, train_frac: f64, rng: &mut R) -> (Dataset, Dataset) {
+    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+    let mut rows: Vec<u32> = (0..data.n_rows() as u32).collect();
+    rows.shuffle(rng);
+    let n_train = ((data.n_rows() as f64) * train_frac).round() as usize;
+    let (train_rows, test_rows) = rows.split_at(n_train.min(rows.len()));
+    let mut train_rows = train_rows.to_vec();
+    let mut test_rows = test_rows.to_vec();
+    // Restore row order inside each part so splits are stable views of the
+    // original ordering.
+    train_rows.sort_unstable();
+    test_rows.sort_unstable();
+    (data.select_rows(&train_rows), data.select_rows(&test_rows))
+}
+
+/// Splits `data` into `(train, test)` preserving per-class proportions.
+///
+/// Each class's rows are shuffled independently and `train_frac` of them go
+/// to the training side (rounded per class).
+pub fn stratified_split<R: Rng>(data: &Dataset, train_frac: f64, rng: &mut R) -> (Dataset, Dataset) {
+    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+    let mut per_class: Vec<Vec<u32>> = vec![Vec::new(); data.n_classes()];
+    for row in 0..data.n_rows() {
+        per_class[data.label(row) as usize].push(row as u32);
+    }
+    let mut train_rows = Vec::new();
+    let mut test_rows = Vec::new();
+    for rows in &mut per_class {
+        rows.shuffle(rng);
+        let n_train = ((rows.len() as f64) * train_frac).round() as usize;
+        train_rows.extend_from_slice(&rows[..n_train.min(rows.len())]);
+        test_rows.extend_from_slice(&rows[n_train.min(rows.len())..]);
+    }
+    train_rows.sort_unstable();
+    test_rows.sort_unstable();
+    (data.select_rows(&train_rows), data.select_rows(&test_rows))
+}
+
+/// Keeps all rows of classes other than `class`, and a random `frac` of the
+/// rows of `class`.
+///
+/// This implements the paper's `ntc-frac` transform (Table 5): the
+/// *non-target* class is subsampled while every target example is retained,
+/// raising the effective target-class proportion.
+pub fn subsample_class<R: Rng>(data: &Dataset, class: u32, frac: f64, rng: &mut R) -> Dataset {
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1]");
+    let mut class_rows = Vec::new();
+    let mut other_rows = Vec::new();
+    for row in 0..data.n_rows() {
+        if data.label(row) == class {
+            class_rows.push(row as u32);
+        } else {
+            other_rows.push(row as u32);
+        }
+    }
+    class_rows.shuffle(rng);
+    let n_keep = ((class_rows.len() as f64) * frac).round() as usize;
+    class_rows.truncate(n_keep.min(class_rows.len()));
+    let mut rows = other_rows;
+    rows.extend_from_slice(&class_rows);
+    rows.sort_unstable();
+    data.select_rows(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{DatasetBuilder, Value};
+    use crate::schema::AttrType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labelled(n_pos: usize, n_neg: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("pos");
+        b.add_class("neg");
+        for i in 0..n_pos {
+            b.push_row(&[Value::num(i as f64)], "pos", 1.0).unwrap();
+        }
+        for i in 0..n_neg {
+            b.push_row(&[Value::num(i as f64 + 1000.0)], "neg", 1.0).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn train_test_split_partitions_rows() {
+        let d = labelled(10, 90);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (tr, te) = train_test_split(&d, 0.7, &mut rng);
+        assert_eq!(tr.n_rows(), 70);
+        assert_eq!(te.n_rows(), 30);
+        assert_eq!(tr.n_rows() + te.n_rows(), d.n_rows());
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let d = labelled(20, 80);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (tr, te) = stratified_split(&d, 0.5, &mut rng);
+        let pos = d.class_code("pos").unwrap() as usize;
+        assert_eq!(tr.class_counts()[pos], 10);
+        assert_eq!(te.class_counts()[pos], 10);
+        assert_eq!(tr.n_rows(), 50);
+    }
+
+    #[test]
+    fn stratified_split_is_seed_deterministic() {
+        let d = labelled(6, 14);
+        let (a1, _) = stratified_split(&d, 0.5, &mut StdRng::seed_from_u64(3));
+        let (a2, _) = stratified_split(&d, 0.5, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a1.labels(), a2.labels());
+    }
+
+    #[test]
+    fn subsample_class_keeps_other_classes_whole() {
+        let d = labelled(10, 100);
+        let neg = d.class_code("neg").unwrap();
+        let pos = d.class_code("pos").unwrap() as usize;
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = subsample_class(&d, neg, 0.1, &mut rng);
+        assert_eq!(s.class_counts()[pos], 10);
+        assert_eq!(s.class_counts()[neg as usize], 10);
+    }
+
+    #[test]
+    fn subsample_class_frac_one_is_identity_sized() {
+        let d = labelled(5, 15);
+        let neg = d.class_code("neg").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = subsample_class(&d, neg, 1.0, &mut rng);
+        assert_eq!(s.n_rows(), d.n_rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "train_frac")]
+    fn split_rejects_bad_fraction() {
+        let d = labelled(1, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = train_test_split(&d, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,192 @@
+//! Dataset summaries: per-attribute and per-class statistics.
+
+use crate::dataset::{Column, Dataset};
+use std::fmt::Write as _;
+
+/// Summary of one numeric attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericSummary {
+    /// Attribute name.
+    pub name: String,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Unweighted mean.
+    pub mean: f64,
+    /// Unweighted standard deviation (population).
+    pub std_dev: f64,
+    /// Number of distinct values.
+    pub distinct: usize,
+}
+
+/// Summary of one categorical attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoricalSummary {
+    /// Attribute name.
+    pub name: String,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// The most frequent value and its count.
+    pub mode: (String, usize),
+}
+
+/// A per-attribute summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrSummary {
+    /// Numeric attribute statistics.
+    Numeric(NumericSummary),
+    /// Categorical attribute statistics.
+    Categorical(CategoricalSummary),
+}
+
+/// Summarises every attribute of `data`.
+///
+/// # Panics
+/// Panics on an empty dataset (no rows to summarise).
+pub fn summarize(data: &Dataset) -> Vec<AttrSummary> {
+    assert!(data.n_rows() > 0, "cannot summarise an empty dataset");
+    (0..data.n_attrs())
+        .map(|a| {
+            let name = data.schema().attr(a).name.clone();
+            match data.column(a) {
+                Column::Num(values) => {
+                    let n = values.len() as f64;
+                    let mean = values.iter().sum::<f64>() / n;
+                    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                    let sorted = data.sort_index(a);
+                    let mut distinct = 0;
+                    let mut last = f64::NAN;
+                    for &r in sorted {
+                        let v = values[r as usize];
+                        if v != last {
+                            distinct += 1;
+                            last = v;
+                        }
+                    }
+                    AttrSummary::Numeric(NumericSummary {
+                        name,
+                        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+                        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                        mean,
+                        std_dev: var.sqrt(),
+                        distinct,
+                    })
+                }
+                Column::Cat(codes) => {
+                    let vocab = data.schema().attr(a).dict.len();
+                    let mut counts = vec![0usize; vocab];
+                    for &c in codes {
+                        counts[c as usize] += 1;
+                    }
+                    let (mode_code, &mode_count) = counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &c)| c)
+                        .expect("non-empty vocabulary");
+                    AttrSummary::Categorical(CategoricalSummary {
+                        name,
+                        vocab,
+                        mode: (
+                            data.schema().attr(a).dict.name(mode_code as u32).to_string(),
+                            mode_count,
+                        ),
+                    })
+                }
+            }
+        })
+        .collect()
+}
+
+/// Renders the class distribution and attribute summaries as a plain-text
+/// report.
+pub fn describe(data: &Dataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} records, {} attributes, {} classes", data.n_rows(), data.n_attrs(), data.n_classes());
+    let counts = data.class_counts();
+    for (code, count) in counts.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  class {:<12} {:>8} ({:.3}%)",
+            data.class_name(code as u32),
+            count,
+            100.0 * *count as f64 / data.n_rows() as f64
+        );
+    }
+    for s in summarize(data) {
+        match s {
+            AttrSummary::Numeric(n) => {
+                let _ = writeln!(
+                    out,
+                    "  num {:<14} min {:>10.3} max {:>10.3} mean {:>10.3} sd {:>9.3} distinct {}",
+                    n.name, n.min, n.max, n.mean, n.std_dev, n.distinct
+                );
+            }
+            AttrSummary::Categorical(c) => {
+                let _ = writeln!(
+                    out,
+                    "  cat {:<14} vocab {:>5} mode {} ({})",
+                    c.name, c.vocab, c.mode.0, c.mode.1
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{DatasetBuilder, Value};
+    use crate::schema::AttrType;
+
+    fn data() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        for (x, k, c) in [(1.0, "a", "p"), (2.0, "b", "q"), (3.0, "a", "q"), (2.0, "a", "q")] {
+            b.push_row(&[Value::num(x), Value::cat(k)], c, 1.0).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn numeric_summary_is_correct() {
+        let d = data();
+        let s = summarize(&d);
+        let AttrSummary::Numeric(n) = &s[0] else { panic!("expected numeric") };
+        assert_eq!(n.min, 1.0);
+        assert_eq!(n.max, 3.0);
+        assert_eq!(n.mean, 2.0);
+        assert_eq!(n.distinct, 3);
+        assert!((n.std_dev - (0.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_summary_is_correct() {
+        let d = data();
+        let s = summarize(&d);
+        let AttrSummary::Categorical(c) = &s[1] else { panic!("expected categorical") };
+        assert_eq!(c.vocab, 2);
+        assert_eq!(c.mode, ("a".to_string(), 3));
+    }
+
+    #[test]
+    fn describe_renders_classes_and_attrs() {
+        let d = data();
+        let text = describe(&d);
+        assert!(text.contains("4 records"));
+        assert!(text.contains("class p"));
+        assert!(text.contains("num x"));
+        assert!(text.contains("cat k"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        let d = b.finish();
+        summarize(&d);
+    }
+}

@@ -1,0 +1,109 @@
+//! Record weighting, including the paper's stratification transform.
+
+use crate::dataset::Dataset;
+
+/// Sum of all record weights.
+pub fn total_weight(data: &Dataset) -> f64 {
+    data.weights().iter().sum()
+}
+
+/// Total weight of records labelled `class`.
+pub fn weight_of_class(data: &Dataset, class: u32) -> f64 {
+    (0..data.n_rows())
+        .filter(|&r| data.label(r) == class)
+        .map(|r| data.weight(r))
+        .sum()
+}
+
+/// Returns a weight vector implementing the paper's **stratified training
+/// set** (the `-we` classifier variants, section 3.1):
+///
+/// > "each target class record has identical weight such that the sum of
+/// > these weights is equal to the number of non-target-class records, each
+/// > of which is given a unit weight."
+///
+/// Non-target rows get weight 1.0; each target row gets
+/// `n_non_target / n_target`. The stratification converts an originally rare
+/// class into a class of equal aggregate strength.
+///
+/// # Panics
+/// Panics if the dataset contains no record of `target`.
+pub fn stratify_weights(data: &Dataset, target: u32) -> Vec<f64> {
+    let n_target = (0..data.n_rows()).filter(|&r| data.label(r) == target).count();
+    assert!(n_target > 0, "target class has no records");
+    let n_other = data.n_rows() - n_target;
+    let target_weight = n_other as f64 / n_target as f64;
+    (0..data.n_rows())
+        .map(|r| if data.label(r) == target { target_weight } else { 1.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{DatasetBuilder, Value};
+    use crate::schema::AttrType;
+
+    fn data(n_pos: usize, n_neg: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("pos");
+        b.add_class("neg");
+        for _ in 0..n_pos {
+            b.push_row(&[Value::num(0.0)], "pos", 1.0).unwrap();
+        }
+        for _ in 0..n_neg {
+            b.push_row(&[Value::num(1.0)], "neg", 1.0).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn stratified_weights_balance_classes() {
+        let d = data(3, 97);
+        let pos = d.class_code("pos").unwrap();
+        let w = stratify_weights(&d, pos);
+        let d2 = d.with_weights(w);
+        let cw = d2.class_weights();
+        let pos_w = cw[pos as usize];
+        let neg_w = cw[d.class_code("neg").unwrap() as usize];
+        assert!((pos_w - neg_w).abs() < 1e-9, "pos={pos_w} neg={neg_w}");
+        assert!((pos_w - 97.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_target_rows_keep_unit_weight() {
+        let d = data(2, 8);
+        let pos = d.class_code("pos").unwrap();
+        let w = stratify_weights(&d, pos);
+        for (r, &wr) in w.iter().enumerate() {
+            if d.label(r) != pos {
+                assert_eq!(wr, 1.0);
+            } else {
+                assert_eq!(wr, 4.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no records")]
+    fn stratify_requires_target_presence() {
+        let d = data(1, 1);
+        // class code 2 does not exist in any row
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("a");
+        b.add_class("ghost");
+        b.push_row(&[Value::num(0.0)], "a", 1.0).unwrap();
+        let d2 = b.finish();
+        drop(d);
+        let _ = stratify_weights(&d2, 1);
+    }
+
+    #[test]
+    fn total_and_class_weight_sums() {
+        let d = data(2, 3);
+        assert_eq!(total_weight(&d), 5.0);
+        assert_eq!(weight_of_class(&d, d.class_code("neg").unwrap()), 3.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the dataset substrate.
+
+use pnr_data::{
+    read_csv_str, stratify_weights, write_csv_string, AttrType, CsvOptions, DatasetBuilder,
+    RowSet, Value,
+};
+use proptest::prelude::*;
+
+fn rowset_strategy(max: u32) -> impl Strategy<Value = RowSet> {
+    prop::collection::vec(0..max, 0..64).prop_map(RowSet::from_vec)
+}
+
+proptest! {
+    #[test]
+    fn rowset_from_vec_is_sorted_and_unique(rows in prop::collection::vec(0u32..100, 0..64)) {
+        let s = RowSet::from_vec(rows);
+        let v = s.as_slice();
+        for w in v.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn rowset_difference_union_partition(a in rowset_strategy(80), b in rowset_strategy(80)) {
+        // (a \ b) ∪ (a ∩ b) == a
+        let diff = a.difference(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(diff.union(&inter), a.clone());
+        // difference and intersection are disjoint
+        prop_assert!(diff.intersection(&inter).is_empty());
+    }
+
+    #[test]
+    fn rowset_union_is_commutative_and_contains_both(
+        a in rowset_strategy(80),
+        b in rowset_strategy(80),
+    ) {
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        prop_assert_eq!(&u1, &u2);
+        for r in a.iter().chain(b.iter()) {
+            prop_assert!(u1.contains(r));
+        }
+        prop_assert!(u1.len() <= a.len() + b.len());
+    }
+
+    #[test]
+    fn rowset_mask_round_trips(a in rowset_strategy(60)) {
+        let mask = a.mask(60);
+        let back: RowSet = (0..60u32).filter(|&r| mask[r as usize]).collect();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_everything(
+        rows in prop::collection::vec((0i32..1000, 0usize..4, prop::bool::ANY), 1..40),
+    ) {
+        let cats = ["red", "green", "blue", "plaid"];
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        for &(x, k, pos) in &rows {
+            b.push_row(
+                &[Value::num(x as f64), Value::cat(cats[k])],
+                if pos { "p" } else { "n" },
+                1.0,
+            )
+            .unwrap();
+        }
+        let d = b.finish();
+        let text = write_csv_string(&d, ',');
+        let back = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.n_rows(), d.n_rows());
+        for row in 0..d.n_rows() {
+            prop_assert_eq!(back.num(0, row), d.num(0, row));
+            prop_assert_eq!(back.cat_name(1, row), d.cat_name(1, row));
+            prop_assert_eq!(
+                back.class_name(back.label(row)),
+                d.class_name(d.label(row))
+            );
+        }
+    }
+
+    #[test]
+    fn sort_index_is_a_sorted_permutation(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        for &v in &values {
+            b.push_row(&[Value::num(v)], "c", 1.0).unwrap();
+        }
+        let d = b.finish();
+        let idx = d.sort_index(0);
+        // permutation
+        let mut seen = vec![false; values.len()];
+        for &r in idx {
+            prop_assert!(!seen[r as usize]);
+            seen[r as usize] = true;
+        }
+        // sorted
+        for w in idx.windows(2) {
+            prop_assert!(d.num(0, w[0] as usize) <= d.num(0, w[1] as usize));
+        }
+    }
+
+    #[test]
+    fn stratified_weights_always_balance(n_pos in 1usize..50, n_neg in 1usize..200) {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("pos");
+        b.add_class("neg");
+        for i in 0..n_pos {
+            b.push_row(&[Value::num(i as f64)], "pos", 1.0).unwrap();
+        }
+        for i in 0..n_neg {
+            b.push_row(&[Value::num(i as f64)], "neg", 1.0).unwrap();
+        }
+        let d = b.finish();
+        let w = stratify_weights(&d, 0);
+        let d2 = d.with_weights(w);
+        let cw = d2.class_weights();
+        prop_assert!((cw[0] - cw[1]).abs() < 1e-6 * cw[1].max(1.0));
+    }
+
+    #[test]
+    fn select_rows_preserves_values(n in 2usize..60, pick in prop::collection::vec(prop::bool::ANY, 60)) {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        for i in 0..n {
+            b.push_row(&[Value::num(i as f64 * 1.5)], "c", (i + 1) as f64).unwrap();
+        }
+        let d = b.finish();
+        let rows: Vec<u32> = (0..n as u32).filter(|&r| pick[r as usize]).collect();
+        let s = d.select_rows(&rows);
+        prop_assert_eq!(s.n_rows(), rows.len());
+        for (new, &old) in rows.iter().enumerate() {
+            prop_assert_eq!(s.num(0, new), d.num(0, old as usize));
+            prop_assert_eq!(s.weight(new), d.weight(old as usize));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Trains PNrule on one of the paper's datasets and prints the learned
+//! model with per-rule coverage — the debugging/teaching view.
+//!
+//! Usage: `inspect <dataset>[:tr=<f>][:nr=<f>] [--scale f] [--seed n]`
+//! where `<dataset>` is `nsyn1..6`, `coa1..6`, `coad1..4`, `syngen`, or
+//! `kdd:<class>`; optional `:tr=`/`:nr=` suffixes override peak widths on
+//! the numeric and general models.
+
+use pnr_core::{PnruleLearner, PnruleParams};
+use pnr_data::Dataset;
+use pnr_experiments::CliOptions;
+use pnr_rules::{evaluate_classifier, TaskView};
+use pnr_synth::SynthScale;
+
+fn load(name: &str, scale: f64, seed: u64) -> (Dataset, Dataset, u32) {
+    let train_scale = SynthScale::paper_train().scaled_by(scale);
+    let test_scale = SynthScale::paper_test().scaled_by(scale);
+    if let Some(class) = name.strip_prefix("kdd:") {
+        let train = pnr_kddsim::generate_train((494_021.0 * scale) as usize, seed);
+        let test = pnr_kddsim::generate_test((311_029.0 * scale) as usize, seed + 1);
+        let target = train.class_code(class).expect("kdd class");
+        return (train, test, target);
+    }
+    // optional :tr=<f>/:nr=<f> suffixes
+    let mut parts = name.split(':');
+    let base = parts.next().expect("dataset name");
+    let (mut tr_over, mut nr_over) = (None, None);
+    for p in parts {
+        if let Some(v) = p.strip_prefix("tr=") {
+            tr_over = Some(v.parse::<f64>().expect("tr value"));
+        } else if let Some(v) = p.strip_prefix("nr=") {
+            nr_over = Some(v.parse::<f64>().expect("nr value"));
+        } else {
+            panic!("unknown dataset suffix {p}");
+        }
+    }
+    let name = base;
+    let (train, test) = if name == "syngen" {
+        let mut cfg = pnr_synth::general::GeneralModelConfig::default();
+        cfg.tr = tr_over.unwrap_or(cfg.tr);
+        cfg.nr = nr_over.unwrap_or(cfg.nr);
+        (
+            pnr_synth::general::generate(&cfg, &train_scale, seed),
+            pnr_synth::general::generate(&cfg, &test_scale, seed + 1),
+        )
+    } else if let Some(i) = name.strip_prefix("nsyn") {
+        let mut cfg = pnr_synth::numeric::NumericModelConfig::nsyn(i.parse().expect("index"));
+        cfg.tr = tr_over.unwrap_or(cfg.tr);
+        cfg.nr = nr_over.unwrap_or(cfg.nr);
+        (
+            pnr_synth::numeric::generate(&cfg, &train_scale, seed),
+            pnr_synth::numeric::generate(&cfg, &test_scale, seed + 1),
+        )
+    } else if let Some(i) = name.strip_prefix("coad") {
+        let cfg = pnr_synth::categorical::CategoricalModelConfig::coad(i.parse().expect("index"));
+        (
+            pnr_synth::categorical::generate(&cfg, &train_scale, seed),
+            pnr_synth::categorical::generate(&cfg, &test_scale, seed + 1),
+        )
+    } else if let Some(i) = name.strip_prefix("coa") {
+        let cfg = pnr_synth::categorical::CategoricalModelConfig::coa(i.parse().expect("index"));
+        (
+            pnr_synth::categorical::generate(&cfg, &train_scale, seed),
+            pnr_synth::categorical::generate(&cfg, &test_scale, seed + 1),
+        )
+    } else {
+        panic!("unknown dataset {name}");
+    };
+    let target = train.class_code(pnr_synth::TARGET_CLASS).expect("target");
+    (train, test, target)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    assert!(!args.is_empty(), "usage: inspect <dataset> [--rp f] [--rn f] [--scale f] [--seed n]");
+    let name = args.remove(0);
+    let mut rp = 0.95;
+    let mut rn = 0.9;
+    let mut method = "pnrule".to_string();
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rp" => rp = it.next().expect("--rp value").parse().expect("float"),
+            "--rn" => rn = it.next().expect("--rn value").parse().expect("float"),
+            "--method" => method = it.next().expect("--method value"),
+            other => rest.push(other.to_string()),
+        }
+    }
+    let opts = CliOptions::parse(rest.into_iter());
+
+    let (train, test, target) = load(&name, opts.scale, opts.seed);
+    println!(
+        "{name}: train {} rows ({} targets), test {} rows",
+        train.n_rows(),
+        train.class_counts()[target as usize],
+        test.n_rows()
+    );
+
+    if method == "ripper" {
+        let model = pnr_ripper::RipperLearner::default().fit(&train, target);
+        println!("\n{}", model.describe(train.schema()));
+        let cm_train = evaluate_classifier(&model, &train, target);
+        let cm_test = evaluate_classifier(&model, &test, target);
+        println!(
+            "train: R {:.4} P {:.4} F {:.4}\ntest:  R {:.4} P {:.4} F {:.4}",
+            cm_train.recall(), cm_train.precision(), cm_train.f_measure(),
+            cm_test.recall(), cm_test.precision(), cm_test.f_measure()
+        );
+        return;
+    }
+    if method == "c45rules" {
+        let model = pnr_c45::C45Learner::default().fit_rules(&train);
+        println!("\n{}", model.describe(train.schema()));
+        let bv = model.binary_view(target);
+        let cm_train = evaluate_classifier(&bv, &train, target);
+        let cm_test = evaluate_classifier(&bv, &test, target);
+        println!(
+            "train: R {:.4} P {:.4} F {:.4}\ntest:  R {:.4} P {:.4} F {:.4}",
+            cm_train.recall(), cm_train.precision(), cm_train.f_measure(),
+            cm_test.recall(), cm_test.precision(), cm_test.f_measure()
+        );
+        return;
+    }
+    let params = PnruleParams::with_recall_limits(rp, rn);
+    println!("params: rp={rp} rn={rn}");
+    let (model, report) = PnruleLearner::new(params).fit_with_report(&train, target);
+    println!("\n{}", model.describe(train.schema()));
+
+    // per-rule coverage on the training set
+    let is_pos: Vec<bool> = (0..train.n_rows()).map(|r| train.label(r) == target).collect();
+    let view = TaskView::full(&train, &is_pos, train.weights());
+    println!("P-rule coverage on train (full-set, not sequential):");
+    for (i, rule) in model.p_rules.rules().iter().enumerate() {
+        let c = view.coverage(rule);
+        println!("  [{i}] pos={:.0} total={:.0} acc={:.3}", c.pos, c.total, c.accuracy());
+    }
+    println!("N-rule coverage on train:");
+    for (i, rule) in model.n_rules.rules().iter().enumerate() {
+        let c = view.coverage(rule);
+        println!("  [{i}] pos={:.0} total={:.0}", c.pos, c.total);
+    }
+
+    println!(
+        "\nP-phase: recall {:.3}; pool {} rows with FP weight {:.0}",
+        report.p_covered_recall, report.pool_size, report.pool_fp_weight
+    );
+    println!(
+        "N-phase: {} rules, retained recall {:.3}, stop reason {:?}",
+        report.n_rule_stats.len(),
+        report.retained_recall,
+        report.n_stop_reason
+    );
+    println!("DL trace: {:?}", report.n_dl_trace.iter().map(|d| d.round()).collect::<Vec<_>>());
+    for (i, (rule, st)) in model.n_rules.rules().iter().zip(&report.n_rule_stats).enumerate() {
+        println!(
+            "  n[{i}] len={} fp_removed={:.0} targets_lost={:.0} | {}",
+            rule.len(),
+            st.pos,
+            st.neg(),
+            rule.display(train.schema())
+        );
+    }
+
+    let cm_train = evaluate_classifier(&model, &train, target);
+    let cm_test = evaluate_classifier(&model, &test, target);
+    println!(
+        "\ntrain: R {:.4} P {:.4} F {:.4}\ntest:  R {:.4} P {:.4} F {:.4}",
+        cm_train.recall(),
+        cm_train.precision(),
+        cm_train.f_measure(),
+        cm_test.recall(),
+        cm_test.precision(),
+        cm_test.f_measure()
+    );
+}

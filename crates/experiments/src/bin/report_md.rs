@@ -1,0 +1,68 @@
+//! Assembles `EXPERIMENTS.md` from the JSON result files in `results/`:
+//! one markdown table per experiment with the paper's published F next to
+//! the measured F.
+//!
+//! Usage: `report_md [--out results] > EXPERIMENTS.md`
+
+use pnr_experiments::paper::paper_f;
+use pnr_experiments::ExperimentResult;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir = "results".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => dir = args.next().expect("--out requires a value"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let order = [
+        ("table1", "Table 1 — numerical-only datasets (nsyn1..6)"),
+        ("figure1", "Figure 1 — nsyn3 under tr × nr"),
+        ("table2", "Table 2 — nsyn5 under tr × nr"),
+        ("table3", "Table 3 — categorical-only datasets"),
+        ("table4", "Table 4 — syngen under tr × nr"),
+        ("table5", "Table 5 — target-class proportion sweep"),
+        ("table6", "Table 6 — KDD'99 simulation (probe, r2l)"),
+        ("table_r2l", "Section 4 — r2l rp × rn grid"),
+        ("table_r2l_p1", "Section 4 — r2l.P1 rp × rn grid"),
+        ("table_probe", "Section 4 — probe rp × rn grid"),
+        ("table_probe_p1", "Section 4 — probe.P1 rp × rn grid"),
+        ("ablations", "Ablations (beyond the paper)"),
+    ];
+
+    let mut out = String::new();
+    for (file, title) in order {
+        let path = format!("{dir}/{file}.json");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("skipping {path} (not found)");
+            continue;
+        };
+        let experiments: Vec<ExperimentResult> =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+        let _ = writeln!(out, "### {title}\n");
+        for exp in &experiments {
+            let _ = writeln!(out, "**{}** — {}\n", exp.id, exp.description);
+            let _ = writeln!(out, "| model | recall % | precision % | F (ours) | F (paper) |");
+            let _ = writeln!(out, "|---|---|---|---|---|");
+            for row in &exp.rows {
+                let paper = paper_f(&exp.id, &row.label)
+                    .map(|f| format!("{f:.4}"))
+                    .unwrap_or_else(|| "—".to_string());
+                let _ = writeln!(
+                    out,
+                    "| {} | {:.2} | {:.2} | {:.4} | {} |",
+                    row.label,
+                    row.recall * 100.0,
+                    row.precision * 100.0,
+                    row.f,
+                    paper
+                );
+            }
+            let _ = writeln!(out);
+        }
+    }
+    print!("{out}");
+}

@@ -1,0 +1,99 @@
+//! Verifies the reproduction's *shape* against the paper: for every
+//! experiment with published numbers, does the same method win, and do the
+//! paper's headline orderings hold?
+//!
+//! Usage: `shape_check [--out results]`. Exits non-zero when a majority of
+//! shape checks fail.
+
+use pnr_experiments::paper::paper_f;
+use pnr_experiments::ExperimentResult;
+
+struct Check {
+    label: String,
+    pass: bool,
+}
+
+fn winner(rows: &[(String, f64)]) -> Option<&str> {
+    rows.iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite F"))
+        .map(|(l, _)| l.as_str())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir = "results".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => dir = args.next().expect("--out requires a value"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let mut checks: Vec<Check> = Vec::new();
+    for file in
+        ["table1", "figure1", "table2", "table3", "table4", "table5", "table6"]
+    {
+        let path = format!("{dir}/{file}.json");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("skipping {path}");
+            continue;
+        };
+        let experiments: Vec<ExperimentResult> =
+            serde_json::from_str(&text).expect("valid results json");
+        for exp in &experiments {
+            // measured rows and the paper's reference rows
+            let ours: Vec<(String, f64)> =
+                exp.rows.iter().map(|r| (r.label.clone(), r.f)).collect();
+            let paper: Vec<(String, f64)> = exp
+                .rows
+                .iter()
+                .filter_map(|r| paper_f(&exp.id, &r.label).map(|f| (r.label.clone(), f)))
+                .collect();
+            if paper.len() < 2 {
+                continue;
+            }
+            let (Some(ours_w), Some(paper_w)) = (winner(&ours), winner(&paper)) else {
+                continue;
+            };
+            checks.push(Check {
+                label: format!("{}: winner {} (paper: {})", exp.id, ours_w, paper_w),
+                pass: ours_w == paper_w,
+            });
+            // headline ordering: wherever the paper puts PNrule on top by a
+            // margin > 0.05, we must too
+            let pnr_paper = paper.iter().find(|(l, _)| l == "PNrule").map(|(_, f)| *f);
+            let best_other_paper = paper
+                .iter()
+                .filter(|(l, _)| l != "PNrule")
+                .map(|(_, f)| *f)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if let Some(pp) = pnr_paper {
+                if pp > best_other_paper + 0.05 {
+                    let pn_ours =
+                        ours.iter().find(|(l, _)| l == "PNrule").map(|(_, f)| *f).unwrap_or(0.0);
+                    let best_other_ours = ours
+                        .iter()
+                        .filter(|(l, _)| l != "PNrule")
+                        .map(|(_, f)| *f)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    checks.push(Check {
+                        label: format!(
+                            "{}: PNrule dominance (ours {:.3} vs {:.3})",
+                            exp.id, pn_ours, best_other_ours
+                        ),
+                        pass: pn_ours >= best_other_ours,
+                    });
+                }
+            }
+        }
+    }
+
+    let passed = checks.iter().filter(|c| c.pass).count();
+    for c in &checks {
+        println!("{} {}", if c.pass { "PASS" } else { "FAIL" }, c.label);
+    }
+    println!("\n{passed}/{} shape checks passed", checks.len());
+    if passed * 2 < checks.len() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 1 (nsyn1..nsyn6) of the paper. Usage: `--scale <f> --seed <n> --out <dir> --threads <n>`.
+use pnr_experiments::{experiments, print_experiment, write_json, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let results = experiments::table1(&opts);
+    for exp in &results {
+        print_experiment(exp);
+    }
+    let path = write_json(&opts.out_dir, "table1", &results).expect("write results");
+    eprintln!("results written to {}", path.display());
+}

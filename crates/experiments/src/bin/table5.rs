@@ -1,0 +1,12 @@
+//! Regenerates Table 5 (target-class proportion sweep) of the paper. Usage: `--scale <f> --seed <n> --out <dir> --threads <n>`.
+use pnr_experiments::{experiments, print_experiment, write_json, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let results = experiments::table5(&opts);
+    for exp in &results {
+        print_experiment(exp);
+    }
+    let path = write_json(&opts.out_dir, "table5", &results).expect("write results");
+    eprintln!("results written to {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the section-4 probe rp×rn grid of the paper. Usage: `--scale <f> --seed <n> --out <dir> --threads <n>`.
+use pnr_experiments::{experiments, print_experiment, write_json, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let results = experiments::rp_rn_grid(&opts, "probe", &[0.95, 0.995], &[0.8, 0.95, 0.995], false);
+    for exp in &results {
+        print_experiment(exp);
+    }
+    let path = write_json(&opts.out_dir, "table_probe", &results).expect("write results");
+    eprintln!("results written to {}", path.display());
+}

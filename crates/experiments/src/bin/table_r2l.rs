@@ -1,0 +1,12 @@
+//! Regenerates the section-4 r2l rp×rn grid of the paper. Usage: `--scale <f> --seed <n> --out <dir> --threads <n>`.
+use pnr_experiments::{experiments, print_experiment, write_json, CliOptions};
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let results = experiments::rp_rn_grid(&opts, "r2l", &[0.95, 0.995], &[0.95, 0.995], false);
+    for exp in &results {
+        print_experiment(exp);
+    }
+    let path = write_json(&opts.out_dir, "table_r2l", &results).expect("write results");
+    eprintln!("results written to {}", path.display());
+}

@@ -1,0 +1,104 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+/// Options every experiment binary accepts:
+/// `--scale <f>` (default 0.2), `--seed <n>` (default 20010521 — the
+/// paper's conference date), `--out <dir>` (default `results`),
+/// `--threads <n>` (default: available parallelism).
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Dataset scale factor relative to the paper's 500k/250k records.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Output directory for JSON results.
+    pub out_dir: String,
+    /// Worker threads for independent (dataset, method) runs.
+    pub threads: usize,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            scale: 0.2,
+            seed: 20_010_521,
+            out_dir: "results".to_string(),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed input.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = CliOptions::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    opts.scale = value("--scale").parse().expect("--scale takes a float");
+                    assert!(opts.scale > 0.0, "--scale must be positive");
+                }
+                "--seed" => {
+                    opts.seed = value("--seed").parse().expect("--seed takes an integer");
+                }
+                "--out" => opts.out_dir = value("--out"),
+                "--threads" => {
+                    opts.threads = value("--threads").parse().expect("--threads takes an integer");
+                    assert!(opts.threads > 0, "--threads must be positive");
+                }
+                other => panic!(
+                    "unknown argument {other}; expected --scale / --seed / --out / --threads"
+                ),
+            }
+        }
+        opts
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CliOptions {
+        CliOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let o = parse(&[]);
+        assert_eq!(o.scale, 0.2);
+        assert_eq!(o.out_dir, "results");
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&["--scale", "1.0", "--seed", "42", "--out", "r2", "--threads", "3"]);
+        assert_eq!(o.scale, 1.0);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.out_dir, "r2");
+        assert_eq!(o.threads, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown_flag() {
+        parse(&["--nope"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be positive")]
+    fn rejects_nonpositive_scale() {
+        parse(&["--scale", "0"]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Definitions of every table/figure experiment.
+
+use crate::cli::CliOptions;
+use crate::methods::{pnrule_variant_grid, run_method, run_pnrule_best, Method};
+use crate::report::ExperimentResult;
+use pnr_core::PnruleParams;
+use pnr_data::{subsample_class, Dataset};
+use pnr_metrics::PrfReport;
+use pnr_rules::EvalMetric;
+use pnr_synth::categorical::CategoricalModelConfig;
+use pnr_synth::general::GeneralModelConfig;
+use pnr_synth::numeric::NumericModelConfig;
+use pnr_synth::SynthScale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// A boxed unit of work returning `T`.
+pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Runs the closures on `threads` workers, returning results in input
+/// order. Each closure is independent (one method on one dataset).
+pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, threads: usize) -> Vec<T> {
+    let n = jobs.len();
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let queue: Mutex<Vec<(usize, Job<'_, T>)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1).min(n.max(1)) {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                match job {
+                    Some((i, f)) => {
+                        let out = f();
+                        slots.lock().expect("slot lock")[i] = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("threads joined")
+        .into_iter()
+        .map(|o| o.expect("every job ran"))
+        .collect()
+}
+
+fn train_scale(opts: &CliOptions) -> SynthScale {
+    SynthScale::paper_train().scaled_by(opts.scale)
+}
+
+fn test_scale(opts: &CliOptions) -> SynthScale {
+    SynthScale::paper_test().scaled_by(opts.scale)
+}
+
+/// The standard five-method comparison on one (train, test) pair: `C`,
+/// `Cte`, `R`, `Re`, and best-of-grid PNrule.
+fn compare_all(
+    train: &Dataset,
+    test: &Dataset,
+    threads: usize,
+) -> Vec<(&'static str, PrfReport)> {
+    let target = train.class_code(pnr_synth::TARGET_CLASS).expect("target class");
+    let methods =
+        [Method::C45Rules, Method::C45TreeWe, Method::Ripper, Method::RipperWe];
+    let mut jobs: Vec<Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>> = methods
+        .iter()
+        .map(|m| {
+            let m = m.clone();
+            Box::new(move || (m.label(), run_method(&m, train, test, target)))
+                as Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>
+        })
+        .collect();
+    jobs.push(Box::new(move || {
+        ("PNrule", run_pnrule_best(train, test, target, &pnrule_variant_grid()).0)
+    }));
+    run_jobs(jobs, threads)
+}
+
+fn subset(
+    rows: Vec<(&'static str, PrfReport)>,
+    keep: &[&str],
+    exp: &mut ExperimentResult,
+) {
+    for (label, rep) in rows {
+        if keep.is_empty() || keep.contains(&label) {
+            exp.push(label, rep);
+        }
+    }
+}
+
+/// **Table 1** — `nsyn1..nsyn6`, five classifiers each.
+pub fn table1(opts: &CliOptions) -> Vec<ExperimentResult> {
+    (1..=6)
+        .map(|i| {
+            let cfg = NumericModelConfig::nsyn(i);
+            let train = pnr_synth::numeric::generate(&cfg, &train_scale(opts), opts.seed);
+            let test =
+                pnr_synth::numeric::generate(&cfg, &test_scale(opts), opts.seed + 1);
+            let mut exp = ExperimentResult::new(
+                format!("table1/nsyn{i}"),
+                format!(
+                    "nsptc={} ntc={} nspntc={} tr={} nr={} | train {} test {} (scale {})",
+                    cfg.nsptc, cfg.ntc, cfg.nspntc, cfg.tr, cfg.nr,
+                    train.n_rows(), test.n_rows(), opts.scale
+                ),
+            );
+            subset(compare_all(&train, &test, opts.threads), &[], &mut exp);
+            exp
+        })
+        .collect()
+}
+
+/// **Figure 1** — nsyn3 under the `tr × nr ∈ {0.2, 2, 4}²` grid.
+pub fn figure1(opts: &CliOptions) -> Vec<ExperimentResult> {
+    let mut out = Vec::new();
+    for tr in [0.2, 2.0, 4.0] {
+        for nr in [0.2, 2.0, 4.0] {
+            let cfg = NumericModelConfig::nsyn(3).with_widths(tr, nr);
+            let train = pnr_synth::numeric::generate(&cfg, &train_scale(opts), opts.seed);
+            let test =
+                pnr_synth::numeric::generate(&cfg, &test_scale(opts), opts.seed + 1);
+            let mut exp = ExperimentResult::new(
+                format!("figure1/nsyn3 tr={tr} nr={nr}"),
+                format!("train {} test {} (scale {})", train.n_rows(), test.n_rows(), opts.scale),
+            );
+            subset(compare_all(&train, &test, opts.threads), &[], &mut exp);
+            out.push(exp);
+        }
+    }
+    out
+}
+
+/// **Table 2** — nsyn5 under `tr × nr ∈ {0.2, 4}²`; `Cte`, `Re`, `P` rows.
+pub fn table2(opts: &CliOptions) -> Vec<ExperimentResult> {
+    let mut out = Vec::new();
+    for tr in [0.2, 4.0] {
+        for nr in [0.2, 4.0] {
+            let cfg = NumericModelConfig::nsyn(5).with_widths(tr, nr);
+            let train = pnr_synth::numeric::generate(&cfg, &train_scale(opts), opts.seed);
+            let test =
+                pnr_synth::numeric::generate(&cfg, &test_scale(opts), opts.seed + 1);
+            let mut exp = ExperimentResult::new(
+                format!("table2/nsyn5 tr={tr} nr={nr}"),
+                format!("train {} test {} (scale {})", train.n_rows(), test.n_rows(), opts.scale),
+            );
+            subset(
+                compare_all(&train, &test, opts.threads),
+                &["C4.5-we", "RIPPER-we", "PNrule"],
+                &mut exp,
+            );
+            out.push(exp);
+        }
+    }
+    out
+}
+
+/// The ten categorical dataset names of Table 3.
+pub fn categorical_dataset_names() -> Vec<String> {
+    (1..=6)
+        .map(|i| format!("coa{i}"))
+        .chain((1..=4).map(|i| format!("coad{i}")))
+        .collect()
+}
+
+fn categorical_config(name: &str) -> CategoricalModelConfig {
+    if let Some(i) = name.strip_prefix("coad") {
+        CategoricalModelConfig::coad(i.parse().expect("coad index"))
+    } else if let Some(i) = name.strip_prefix("coa") {
+        CategoricalModelConfig::coa(i.parse().expect("coa index"))
+    } else {
+        panic!("unknown categorical dataset {name}")
+    }
+}
+
+/// **Table 3** — the ten categorical-only datasets; `C4.5rules`, `RIPPER`,
+/// `PNrule` rows.
+pub fn table3(opts: &CliOptions) -> Vec<ExperimentResult> {
+    categorical_dataset_names()
+        .into_iter()
+        .map(|name| {
+            let cfg = categorical_config(&name);
+            let train = pnr_synth::categorical::generate(&cfg, &train_scale(opts), opts.seed);
+            let test =
+                pnr_synth::categorical::generate(&cfg, &test_scale(opts), opts.seed + 1);
+            let target = train.class_code(pnr_synth::TARGET_CLASS).expect("target");
+            let mut exp = ExperimentResult::new(
+                format!("table3/{name}"),
+                format!(
+                    "t(na={},nspa={},V={}) nt(na={},nspa={},V={}) | train {} test {}",
+                    cfg.target.na, cfg.target.nspa, cfg.target.vocab,
+                    cfg.non_target.na, cfg.non_target.nspa, cfg.non_target.vocab,
+                    train.n_rows(), test.n_rows()
+                ),
+            );
+            let jobs: Vec<Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>> = vec![
+                Box::new(|| {
+                    ("C4.5rules", run_method(&Method::C45Rules, &train, &test, target))
+                }),
+                Box::new(|| ("RIPPER", run_method(&Method::Ripper, &train, &test, target))),
+                Box::new(|| {
+                    ("PNrule", run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0)
+                }),
+            ];
+            for (label, rep) in run_jobs(jobs, opts.threads) {
+                exp.push(label, rep);
+            }
+            exp
+        })
+        .collect()
+}
+
+/// **Table 4** — syngen under `tr × nr ∈ {0.2, 4}²`; `C`, `Re`, `P` rows.
+pub fn table4(opts: &CliOptions) -> Vec<ExperimentResult> {
+    let mut out = Vec::new();
+    for tr in [0.2, 4.0] {
+        for nr in [0.2, 4.0] {
+            let cfg = GeneralModelConfig::default().with_widths(tr, nr);
+            let train = pnr_synth::general::generate(&cfg, &train_scale(opts), opts.seed);
+            let test = pnr_synth::general::generate(&cfg, &test_scale(opts), opts.seed + 1);
+            let mut exp = ExperimentResult::new(
+                format!("table4/syngen tr={tr} nr={nr}"),
+                format!("train {} test {} (scale {})", train.n_rows(), test.n_rows(), opts.scale),
+            );
+            subset(
+                compare_all(&train, &test, opts.threads),
+                &["C4.5rules", "RIPPER-we", "PNrule"],
+                &mut exp,
+            );
+            out.push(exp);
+        }
+    }
+    out
+}
+
+/// **Table 5** — effect of target-class proportion: the non-target class of
+/// syngen is subsampled by `ntc-frac`, raising the target fraction from
+/// 0.3% towards 50%.
+pub fn table5(opts: &CliOptions) -> Vec<ExperimentResult> {
+    let mut out = Vec::new();
+    for (tr, nr, fracs) in [
+        (0.2, 0.2, vec![1.0, 0.5, 0.1, 0.05, 0.02, 0.01, 0.003]),
+        (4.0, 4.0, vec![1.0, 0.1, 0.05, 0.02, 0.01]),
+    ] {
+        let cfg = GeneralModelConfig::default().with_widths(tr, nr);
+        let full_train = pnr_synth::general::generate(&cfg, &train_scale(opts), opts.seed);
+        let full_test = pnr_synth::general::generate(&cfg, &test_scale(opts), opts.seed + 1);
+        let target = full_train.class_code(pnr_synth::TARGET_CLASS).expect("target");
+        let non_target = full_train.class_code(pnr_synth::NON_TARGET_CLASS).expect("nc");
+        for frac in fracs {
+            let frac: f64 = frac;
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ frac.to_bits());
+            let train = subsample_class(&full_train, non_target, frac, &mut rng);
+            let test = subsample_class(&full_test, non_target, frac, &mut rng);
+            let tc_pct = 100.0 * train.class_counts()[target as usize] as f64
+                / train.n_rows() as f64;
+            let mut exp = ExperimentResult::new(
+                format!("table5/syngen tr={tr} nr={nr} ntc-frac={frac}"),
+                format!("target proportion {tc_pct:.1}% | train {}", train.n_rows()),
+            );
+            let jobs: Vec<Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>> = vec![
+                Box::new(|| {
+                    ("C4.5rules", run_method(&Method::C45Rules, &train, &test, target))
+                }),
+                Box::new(|| ("RIPPER", run_method(&Method::Ripper, &train, &test, target))),
+                Box::new(|| {
+                    ("PNrule", run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0)
+                }),
+            ];
+            for (label, rep) in run_jobs(jobs, opts.threads) {
+                exp.push(label, rep);
+            }
+            out.push(exp);
+        }
+    }
+    out
+}
+
+/// KDD simulation sizes: the contest's 10% training sample (~494k) and the
+/// test set (~311k), shrunk by the scale factor.
+pub fn kdd_sizes(opts: &CliOptions) -> (usize, usize) {
+    (
+        ((494_021.0 * opts.scale).round() as usize).max(1_000),
+        ((311_029.0 * opts.scale).round() as usize).max(1_000),
+    )
+}
+
+/// **Table 6** — simulated KDD'99, classes `probe` and `r2l`: each baseline
+/// reports its best of {as-is, stratified}; PNrule runs with the default
+/// two-phase settings (the "old PNrule" configuration).
+pub fn table6(opts: &CliOptions) -> Vec<ExperimentResult> {
+    let (n_train, n_test) = kdd_sizes(opts);
+    let train = pnr_kddsim::generate_train(n_train, opts.seed);
+    let test = pnr_kddsim::generate_test(n_test, opts.seed + 1);
+    ["probe", "r2l"]
+        .iter()
+        .map(|class| {
+            let target = train.class_code(class).expect("class exists");
+            let mut exp = ExperimentResult::new(
+                format!("table6/{class}"),
+                format!("KDD sim | train {n_train} test {n_test} (scale {})", opts.scale),
+            );
+            type Job<'a> = Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + 'a>;
+            let best = |a: PrfReport, b: PrfReport| if a.f >= b.f { a } else { b };
+            let (train, test) = (&train, &test);
+            let jobs: Vec<Job<'_>> = vec![
+                Box::new(move || {
+                    let unit = run_method(&Method::C45Rules, train, test, target);
+                    let strat = run_method(&Method::C45TreeWe, train, test, target);
+                    ("C4.5rules", best(unit, strat))
+                }),
+                Box::new(move || {
+                    let unit = run_method(&Method::Ripper, train, test, target);
+                    let strat = run_method(&Method::RipperWe, train, test, target);
+                    ("RIPPER", best(unit, strat))
+                }),
+                Box::new(move || {
+                    let params = PnruleParams::default();
+                    ("PNrule", run_method(&Method::Pnrule(params), train, test, target))
+                }),
+            ];
+            for (label, rep) in run_jobs(jobs, opts.threads) {
+                exp.push(label, rep);
+            }
+            exp
+        })
+        .collect()
+}
+
+/// The section-4 `rp × rn` parameter grids. `p1` restricts P-rules to one
+/// condition; the metric is RIPPER's information gain, as in the paper.
+pub fn rp_rn_grid(
+    opts: &CliOptions,
+    class: &str,
+    rps: &[f64],
+    rns: &[f64],
+    p1: bool,
+) -> Vec<ExperimentResult> {
+    let (n_train, n_test) = kdd_sizes(opts);
+    let train = pnr_kddsim::generate_train(n_train, opts.seed);
+    let test = pnr_kddsim::generate_test(n_test, opts.seed + 1);
+    let target = train.class_code(class).expect("class exists");
+    let suffix = if p1 { ".P1" } else { "" };
+    let mut out = Vec::new();
+    for &rp in rps {
+        let mut exp = ExperimentResult::new(
+            format!("section4/{class}{suffix} rp={rp}"),
+            format!("KDD sim | train {n_train} test {n_test}"),
+        );
+        let jobs: Vec<Box<dyn FnOnce() -> (String, PrfReport) + Send + '_>> = rns
+            .iter()
+            .map(|&rn| {
+                let train = &train;
+                let test = &test;
+                Box::new(move || {
+                    let params = PnruleParams {
+                        metric: EvalMetric::FoilGain,
+                        max_p_rule_len: if p1 { Some(1) } else { None },
+                        ..PnruleParams::with_recall_limits(rp, rn)
+                    };
+                    (
+                        format!("rn={rn}"),
+                        run_method(&Method::Pnrule(params), train, test, target),
+                    )
+                }) as Box<dyn FnOnce() -> (String, PrfReport) + Send + '_>
+            })
+            .collect();
+        for (label, rep) in run_jobs(jobs, opts.threads) {
+            exp.push(label, rep);
+        }
+        out.push(exp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> CliOptions {
+        CliOptions { scale: 0.004, threads: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn run_jobs_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_jobs(jobs, 3);
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_single_thread_and_empty() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![Box::new(|| 7)];
+        assert_eq!(run_jobs(jobs, 1), vec![7]);
+        let none: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![];
+        assert!(run_jobs(none, 4).is_empty());
+    }
+
+    #[test]
+    fn categorical_names_cover_table_3() {
+        let names = categorical_dataset_names();
+        assert_eq!(names.len(), 10);
+        assert_eq!(names[0], "coa1");
+        assert_eq!(names[9], "coad4");
+        for n in &names {
+            let _ = categorical_config(n); // must not panic
+        }
+    }
+
+    #[test]
+    fn kdd_sizes_scale() {
+        let opts = CliOptions { scale: 0.1, ..Default::default() };
+        let (tr, te) = kdd_sizes(&opts);
+        assert_eq!(tr, 49_402);
+        assert_eq!(te, 31_103);
+    }
+
+    #[test]
+    fn table6_smoke_runs_at_tiny_scale() {
+        let out = table6(&tiny_opts());
+        assert_eq!(out.len(), 2);
+        for exp in &out {
+            assert_eq!(exp.rows.len(), 3);
+        }
+    }
+
+    #[test]
+    fn rp_rn_grid_smoke() {
+        let out = rp_rn_grid(&tiny_opts(), "probe", &[0.95], &[0.9, 0.995], true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rows.len(), 2);
+        assert!(out[0].id.contains(".P1"));
+    }
+}

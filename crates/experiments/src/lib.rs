@@ -1,0 +1,23 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each `table*`/`figure*` binary in this crate builds the experiment's
+//! datasets from [`pnr_synth`] / [`pnr_kddsim`], runs the competing
+//! classifiers through a common [`Method`] interface, and prints rows in
+//! the paper's format (recall %, precision %, F). Results are also written
+//! as JSON for the `EXPERIMENTS.md` record.
+//!
+//! Scale: the paper trains on 500 000 records. Every binary accepts
+//! `--scale <f>` (default 0.2) to shrink the datasets proportionally while
+//! preserving the 0.3% target rarity, and `--seed <n>` for the generator.
+//! The qualitative shape — who wins, where methods collapse — is stable
+//! across scales; absolute numbers move a little.
+
+pub mod cli;
+pub mod experiments;
+pub mod methods;
+pub mod paper;
+pub mod report;
+
+pub use cli::CliOptions;
+pub use methods::{run_method, run_pnrule_best, Method};
+pub use report::{print_experiment, write_json, ExperimentResult, ResultRow};

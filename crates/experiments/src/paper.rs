@@ -1,0 +1,180 @@
+//! The paper's published numbers, keyed by experiment id and row label —
+//! the reference column of `EXPERIMENTS.md`.
+//!
+//! Values are transcribed from the tables of Joshi, Agarwal & Kumar
+//! (SIGMOD 2001). F-measures only: F is the paper's comparison metric, and
+//! what the reproduction tracks is its *shape* across datasets and methods.
+
+/// Returns the paper's F-measure for `(experiment_id, row_label)` when the
+/// paper reports one.
+pub fn paper_f(id: &str, label: &str) -> Option<f64> {
+    // Table 1 (numerical-only datasets), columns: C4.5 (rules), C4.5-we,
+    // RIPPER, RIPPER-we, PNrule.
+    let table1: &[(&str, [f64; 5])] = &[
+        ("nsyn1", [0.9845, 0.4498, 0.9796, 0.5182, 0.9892]),
+        ("nsyn2", [0.9721, 0.4633, 0.9440, 0.5580, 0.9701]),
+        ("nsyn3", [0.9792, 0.4455, 0.7096, 0.4659, 0.9728]),
+        ("nsyn4", [0.9480, 0.4505, 0.4406, 0.5051, 0.9693]),
+        ("nsyn5", [0.1249, 0.4479, 0.3730, 0.4532, 0.9607]),
+        ("nsyn6", [0.1193, 0.4470, 0.1299, 0.4559, 0.9489]),
+    ];
+    // Figure 1 (nsyn3, tr × nr grid), rows: C, Cte, R, Re, P.
+    let figure1: &[(&str, [f64; 5])] = &[
+        ("tr=0.2 nr=0.2", [0.9792, 0.4455, 0.7096, 0.4659, 0.9728]),
+        ("tr=0.2 nr=2", [0.9607, 0.1013, 0.8820, 0.1108, 0.9382]),
+        ("tr=0.2 nr=4", [0.9585, 0.0801, 0.8440, 0.1360, 0.9721]),
+        ("tr=2 nr=0.2", [0.8679, 0.4640, 0.5165, 0.4682, 0.9052]),
+        ("tr=2 nr=2", [0.8686, 0.0882, 0.5088, 0.0849, 0.8670]),
+        ("tr=2 nr=4", [0.8582, 0.0714, 0.6173, 0.0432, 0.8785]),
+        ("tr=4 nr=0.2", [0.4586, 0.4518, 0.3714, 0.4659, 0.7978]),
+        ("tr=4 nr=2", [0.6460, 0.0908, 0.0488, 0.0791, 0.7860]),
+        ("tr=4 nr=4", [0.5604, 0.0613, 0.1335, 0.0447, 0.7715]),
+    ];
+    // Table 2 (nsyn5 grid), rows: Cte, Re, P.
+    let table2: &[(&str, [f64; 3])] = &[
+        ("tr=0.2 nr=0.2", [0.4479, 0.4532, 0.9607]),
+        ("tr=0.2 nr=4", [0.4654, 0.4673, 0.7294]),
+        ("tr=4 nr=0.2", [0.0499, 0.0507, 0.9493]),
+        ("tr=4 nr=4", [0.0469, 0.0413, 0.5710]),
+    ];
+    // Table 3 (categorical-only), rows: C4.5rules, RIPPER, PNrule.
+    let table3: &[(&str, [f64; 3])] = &[
+        ("coa1", [0.9035, 0.2868, 0.8462]),
+        ("coa2", [0.7725, 0.2892, 0.9083]),
+        ("coa3", [0.6297, 0.2875, 0.8789]),
+        ("coa4", [0.8386, 0.2321, 0.9195]),
+        ("coa5", [0.5983, 0.2316, 0.8692]),
+        ("coa6", [0.3685, 0.2326, 0.8323]),
+        ("coad1", [0.1258, 0.1315, 0.7548]),
+        ("coad2", [0.0060, 0.1325, 0.5758]),
+        ("coad3", [0.0885, 0.0379, 0.7285]),
+        ("coad4", [0.3454, 0.0377, 0.8377]),
+    ];
+    // Table 4 (syngen grid), rows: C, Re, P.
+    let table4: &[(&str, [f64; 3])] = &[
+        ("tr=0.2 nr=0.2", [0.4038, 0.2717, 0.8988]),
+        ("tr=0.2 nr=4", [0.4085, 0.2586, 0.6596]),
+        ("tr=4 nr=0.2", [0.4043, 0.0444, 0.8530]),
+        ("tr=4 nr=4", [0.1722, 0.0450, 0.5013]),
+    ];
+    // Table 5 (proportion sweep on syngen tr=0.2 nr=0.2 and tr=4 nr=4),
+    // rows: C4.5rules, RIPPER, PNrule.
+    let table5: &[(&str, [f64; 3])] = &[
+        ("tr=0.2 nr=0.2 ntc-frac=1", [0.4038, 0.2717, 0.8988]),
+        ("tr=0.2 nr=0.2 ntc-frac=0.5", [0.5177, 0.4137, 0.9208]),
+        ("tr=0.2 nr=0.2 ntc-frac=0.1", [0.7569, 0.7766, 0.9090]),
+        ("tr=0.2 nr=0.2 ntc-frac=0.05", [0.8261, 0.8643, 0.8709]),
+        ("tr=0.2 nr=0.2 ntc-frac=0.02", [0.9270, 0.9395, 0.9390]),
+        ("tr=0.2 nr=0.2 ntc-frac=0.01", [0.9448, 0.9644, 0.9603]),
+        ("tr=0.2 nr=0.2 ntc-frac=0.003", [0.9577, 0.9840, 0.9539]),
+        ("tr=4 nr=4 ntc-frac=1", [0.1722, 0.0450, 0.5013]),
+        ("tr=4 nr=4 ntc-frac=0.1", [0.5326, 0.5293, 0.6181]),
+        ("tr=4 nr=4 ntc-frac=0.05", [0.6411, 0.6639, 0.6944]),
+        ("tr=4 nr=4 ntc-frac=0.02", [0.6545, 0.7314, 0.7598]),
+        ("tr=4 nr=4 ntc-frac=0.01", [0.7681, 0.7935, 0.8328]),
+    ];
+    // Table 6 (KDD'99), rows: C4.5rules, RIPPER, PNrule (old version).
+    let table6: &[(&str, [f64; 3])] =
+        &[("probe", [0.7915, 0.7951, 0.8542]), ("r2l", [0.0993, 0.1512, 0.2252])];
+
+    // Section 4 grids: best cells the paper highlights.
+    // r2l (unrestricted): best .1531 at rp=0.995 rn=0.995.
+    // r2l.P1: best .2299 at rp=0.95 rn=0.95.
+    // probe: best .8041 at rp=0.95 (any rn).
+    // probe.P1: best .8837 at rp=0.95 rn=0.9/0.995.
+    let section4: &[(&str, &str, f64)] = &[
+        ("section4/r2l rp=0.95", "rn=0.95", 0.1135),
+        ("section4/r2l rp=0.95", "rn=0.995", 0.1135),
+        ("section4/r2l rp=0.995", "rn=0.95", 0.1192),
+        ("section4/r2l rp=0.995", "rn=0.995", 0.1531),
+        ("section4/r2l.P1 rp=0.95", "rn=0.8", 0.1149),
+        ("section4/r2l.P1 rp=0.95", "rn=0.9", 0.1138),
+        ("section4/r2l.P1 rp=0.95", "rn=0.95", 0.2299),
+        ("section4/r2l.P1 rp=0.95", "rn=0.995", 0.2252),
+        ("section4/r2l.P1 rp=0.995", "rn=0.8", 0.1192),
+        ("section4/r2l.P1 rp=0.995", "rn=0.9", 0.1519),
+        ("section4/r2l.P1 rp=0.995", "rn=0.95", 0.1853),
+        ("section4/r2l.P1 rp=0.995", "rn=0.995", 0.1887),
+        ("section4/probe rp=0.95", "rn=0.8", 0.8041),
+        ("section4/probe rp=0.95", "rn=0.95", 0.8041),
+        ("section4/probe rp=0.95", "rn=0.995", 0.8041),
+        ("section4/probe rp=0.995", "rn=0.8", 0.7980),
+        ("section4/probe rp=0.995", "rn=0.95", 0.7636),
+        ("section4/probe rp=0.995", "rn=0.995", 0.7891),
+        ("section4/probe.P1 rp=0.95", "rn=0.9", 0.8837),
+        ("section4/probe.P1 rp=0.95", "rn=0.995", 0.8837),
+        ("section4/probe.P1 rp=0.995", "rn=0.9", 0.7980),
+        ("section4/probe.P1 rp=0.995", "rn=0.995", 0.7980),
+    ];
+
+    let five = |labels: [&str; 5], values: &[f64; 5]| -> Option<f64> {
+        labels.iter().position(|&l| l == label).map(|i| values[i])
+    };
+    let three = |labels: [&str; 3], values: &[f64; 3]| -> Option<f64> {
+        labels.iter().position(|&l| l == label).map(|i| values[i])
+    };
+
+    if let Some(ds) = id.strip_prefix("table1/") {
+        let (_, v) = table1.iter().find(|(name, _)| *name == ds)?;
+        return five(["C4.5rules", "C4.5-we", "RIPPER", "RIPPER-we", "PNrule"], v);
+    }
+    if let Some(rest) = id.strip_prefix("figure1/nsyn3 ") {
+        let (_, v) = figure1.iter().find(|(name, _)| *name == rest)?;
+        return five(["C4.5rules", "C4.5-we", "RIPPER", "RIPPER-we", "PNrule"], v);
+    }
+    if let Some(rest) = id.strip_prefix("table2/nsyn5 ") {
+        let (_, v) = table2.iter().find(|(name, _)| *name == rest)?;
+        return three(["C4.5-we", "RIPPER-we", "PNrule"], v);
+    }
+    if let Some(ds) = id.strip_prefix("table3/") {
+        let (_, v) = table3.iter().find(|(name, _)| *name == ds)?;
+        return three(["C4.5rules", "RIPPER", "PNrule"], v);
+    }
+    if let Some(rest) = id.strip_prefix("table4/syngen ") {
+        let (_, v) = table4.iter().find(|(name, _)| *name == rest)?;
+        return three(["C4.5rules", "RIPPER-we", "PNrule"], v);
+    }
+    if let Some(rest) = id.strip_prefix("table5/syngen ") {
+        let (_, v) = table5.iter().find(|(name, _)| *name == rest)?;
+        return three(["C4.5rules", "RIPPER", "PNrule"], v);
+    }
+    if let Some(cls) = id.strip_prefix("table6/") {
+        let (_, v) = table6.iter().find(|(name, _)| *name == cls)?;
+        return three(["C4.5rules", "RIPPER", "PNrule"], v);
+    }
+    section4
+        .iter()
+        .find(|(gid, glabel, _)| *gid == id && *glabel == label)
+        .map(|(_, _, f)| *f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lookup() {
+        assert_eq!(paper_f("table1/nsyn3", "PNrule"), Some(0.9728));
+        assert_eq!(paper_f("table1/nsyn5", "C4.5rules"), Some(0.1249));
+        assert_eq!(paper_f("table1/nsyn9", "PNrule"), None);
+        assert_eq!(paper_f("table1/nsyn1", "nope"), None);
+    }
+
+    #[test]
+    fn figure1_and_grids_lookup() {
+        assert_eq!(paper_f("figure1/nsyn3 tr=4 nr=4", "PNrule"), Some(0.7715));
+        assert_eq!(paper_f("table2/nsyn5 tr=4 nr=0.2", "PNrule"), Some(0.9493));
+        assert_eq!(paper_f("section4/probe.P1 rp=0.95", "rn=0.9"), Some(0.8837));
+    }
+
+    #[test]
+    fn table3_to_6_lookup() {
+        assert_eq!(paper_f("table3/coad2", "C4.5rules"), Some(0.0060));
+        assert_eq!(paper_f("table4/syngen tr=0.2 nr=0.2", "PNrule"), Some(0.8988));
+        assert_eq!(
+            paper_f("table5/syngen tr=0.2 nr=0.2 ntc-frac=0.01", "RIPPER"),
+            Some(0.9644)
+        );
+        assert_eq!(paper_f("table6/r2l", "PNrule"), Some(0.2252));
+    }
+}

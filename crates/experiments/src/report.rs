@@ -1,0 +1,109 @@
+//! Result records: paper-format text tables plus JSON for EXPERIMENTS.md.
+
+use pnr_metrics::{format_prf_table, PrfReport, PrfRow};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One labelled result row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultRow {
+    /// Row label (classifier, possibly suffixed with a configuration).
+    pub label: String,
+    /// Recall in [0,1].
+    pub recall: f64,
+    /// Precision in [0,1].
+    pub precision: f64,
+    /// F-measure in [0,1].
+    pub f: f64,
+}
+
+impl ResultRow {
+    /// Builds a row from a report.
+    pub fn new(label: impl Into<String>, rep: PrfReport) -> Self {
+        ResultRow { label: label.into(), recall: rep.recall, precision: rep.precision, f: rep.f }
+    }
+
+    fn to_prf_row(&self) -> PrfRow {
+        PrfRow::new(
+            self.label.clone(),
+            PrfReport { recall: self.recall, precision: self.precision, f: self.f },
+        )
+    }
+}
+
+/// One experiment (one table section): a title and its rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `"table1/nsyn3"`.
+    pub id: String,
+    /// Free-form description (dataset parameters, scale, seed).
+    pub description: String,
+    /// The rows.
+    pub rows: Vec<ResultRow>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty experiment record.
+    pub fn new(id: impl Into<String>, description: impl Into<String>) -> Self {
+        ExperimentResult { id: id.into(), description: description.into(), rows: Vec::new() }
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, label: impl Into<String>, rep: PrfReport) {
+        self.rows.push(ResultRow::new(label, rep));
+    }
+}
+
+/// Prints an experiment in the paper's row format.
+pub fn print_experiment(exp: &ExperimentResult) {
+    let rows: Vec<PrfRow> = exp.rows.iter().map(ResultRow::to_prf_row).collect();
+    let title = format!("== {} ==\n{}", exp.id, exp.description);
+    print!("{}", format_prf_table(&title, &rows));
+    println!();
+}
+
+/// Writes experiments as pretty JSON under `dir` (created if needed), one
+/// file per invocation: `<name>.json`.
+pub fn write_json(
+    dir: impl AsRef<Path>,
+    name: &str,
+    experiments: &[ExperimentResult],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(experiments).expect("serializable results");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(f: f64) -> PrfReport {
+        PrfReport { recall: f, precision: f, f }
+    }
+
+    #[test]
+    fn experiment_accumulates_rows() {
+        let mut e = ExperimentResult::new("t", "demo");
+        e.push("A", rep(0.5));
+        e.push("B", rep(0.9));
+        assert_eq!(e.rows.len(), 2);
+        assert_eq!(e.rows[1].label, "B");
+    }
+
+    #[test]
+    fn json_round_trip_via_file() {
+        let mut e = ExperimentResult::new("table9/demo", "tiny");
+        e.push("PNrule", rep(0.75));
+        let dir = std::env::temp_dir().join("pnr_experiments_test");
+        let path = write_json(&dir, "unit", &[e]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<ExperimentResult> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back[0].id, "table9/demo");
+        assert_eq!(back[0].rows[0].f, 0.75);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! The simulated connection-record schema (a representative subset of the
+//! 41 KDD-CUP'99 features: the categoricals plus the numeric counters and
+//! rates the attack signatures live in).
+
+use pnr_data::{AttrType, DatasetBuilder};
+
+/// Protocol vocabulary.
+pub const PROTOCOLS: &[&str] = &["tcp", "udp", "icmp"];
+
+/// Service vocabulary (a representative subset of KDD'99's 70 services).
+pub const SERVICES: &[&str] = &[
+    "http", "smtp", "ftp", "ftp_data", "telnet", "pop_3", "domain_u", "ecr_i", "eco_i",
+    "private", "finger", "snmp", "other",
+];
+
+/// TCP status-flag vocabulary.
+pub const FLAGS: &[&str] = &["SF", "S0", "REJ", "RSTR", "SH", "OTH"];
+
+/// Class labels in fixed code order.
+pub const CLASSES: &[&str] = &["normal", "dos", "probe", "r2l", "u2r"];
+
+/// Attribute names in schema order: 3 categorical + 13 numeric.
+pub const ATTR_NAMES: &[&str] = &[
+    "protocol_type",
+    "service",
+    "flag",
+    "duration",
+    "src_bytes",
+    "dst_bytes",
+    "wrong_fragment",
+    "hot",
+    "num_failed_logins",
+    "logged_in",
+    "count",
+    "srv_count",
+    "serror_rate",
+    "rerror_rate",
+    "same_srv_rate",
+    "diff_srv_rate",
+];
+
+/// Number of attributes.
+pub const N_ATTRS: usize = 16;
+
+/// Index of an attribute by name.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn attr_index(name: &str) -> usize {
+    ATTR_NAMES.iter().position(|&n| n == name).unwrap_or_else(|| panic!("unknown attribute {name}"))
+}
+
+/// A builder with the full schema, every categorical vocabulary and every
+/// class pre-registered (so all generated datasets share dictionary codes).
+pub fn build_schema_builder() -> DatasetBuilder {
+    let mut b = DatasetBuilder::new();
+    for (i, name) in ATTR_NAMES.iter().enumerate() {
+        let ty = if i < 3 { AttrType::Categorical } else { AttrType::Numeric };
+        b.add_attribute(*name, ty);
+    }
+    for p in PROTOCOLS {
+        b.add_cat_value(0, p);
+    }
+    for s in SERVICES {
+        b.add_cat_value(1, s);
+    }
+    for f in FLAGS {
+        b.add_cat_value(2, f);
+    }
+    for c in CLASSES {
+        b.add_class(c);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_expected_shape() {
+        let b = build_schema_builder();
+        let d = b.finish();
+        assert_eq!(d.n_attrs(), N_ATTRS);
+        assert_eq!(d.n_classes(), 5);
+        assert_eq!(d.schema().attr(0).dict.len(), PROTOCOLS.len());
+        assert_eq!(d.schema().attr(1).dict.len(), SERVICES.len());
+        assert_eq!(d.schema().attr(2).dict.len(), FLAGS.len());
+    }
+
+    #[test]
+    fn attr_index_finds_all_names() {
+        for (i, name) in ATTR_NAMES.iter().enumerate() {
+            assert_eq!(attr_index(name), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attribute")]
+    fn attr_index_rejects_unknown() {
+        attr_index("nope");
+    }
+
+    #[test]
+    fn names_and_count_agree() {
+        assert_eq!(ATTR_NAMES.len(), N_ATTRS);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the KDD simulator.
+
+use pnr_kddsim::{generate_with_mix, test_mix, train_mix, Subclass, CLASSES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_size_is_exact(n in 100usize..5_000, seed in 0u64..50) {
+        let d = generate_with_mix(n, seed, &train_mix());
+        prop_assert_eq!(d.n_rows(), n);
+    }
+
+    #[test]
+    fn class_codes_are_stable_across_sizes_and_seeds(
+        n1 in 100usize..2_000,
+        n2 in 100usize..2_000,
+        s1 in 0u64..50,
+        s2 in 0u64..50,
+    ) {
+        let d1 = generate_with_mix(n1, s1, &train_mix());
+        let d2 = generate_with_mix(n2, s2, &test_mix());
+        for c in CLASSES {
+            prop_assert_eq!(d1.class_code(c), d2.class_code(c));
+        }
+        for a in 0..d1.n_attrs() {
+            prop_assert_eq!(d1.schema().attr(a).dict.len(), d2.schema().attr(a).dict.len());
+        }
+    }
+
+    #[test]
+    fn largest_remainder_apportionment_is_exact(
+        n in 50usize..3_000,
+        w1 in 1u32..100,
+        w2 in 1u32..100,
+        w3 in 1u32..100,
+    ) {
+        let mix = vec![
+            (Subclass::NormalHttp, w1 as f64),
+            (Subclass::DosSmurf, w2 as f64),
+            (Subclass::R2lGuessPasswd, w3 as f64),
+        ];
+        let d = generate_with_mix(n, 1, &mix);
+        prop_assert_eq!(d.n_rows(), n);
+        // every subclass with positive weight gets within ±1 of its share
+        let total = (w1 + w2 + w3) as f64;
+        let counts = d.class_counts();
+        let expect_r2l = n as f64 * w3 as f64 / total;
+        let r2l = d.class_code("r2l").unwrap() as usize;
+        prop_assert!(
+            (counts[r2l] as f64 - expect_r2l).abs() <= 1.0,
+            "r2l count {} vs expected {expect_r2l}",
+            counts[r2l]
+        );
+    }
+
+    #[test]
+    fn numeric_features_are_finite(n in 200usize..1_000, seed in 0u64..20) {
+        let d = generate_with_mix(n, seed, &test_mix());
+        for a in 3..d.n_attrs() {
+            for row in 0..d.n_rows() {
+                prop_assert!(d.num(a, row).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn determinism(n in 200usize..1_000, seed in 0u64..50) {
+        let d1 = generate_with_mix(n, seed, &train_mix());
+        let d2 = generate_with_mix(n, seed, &train_mix());
+        prop_assert_eq!(d1.labels(), d2.labels());
+    }
+}

@@ -1,0 +1,235 @@
+//! Weighted binary confusion matrix and derived rates.
+
+use serde::{Deserialize, Serialize};
+
+/// A weighted 2×2 confusion matrix for a binary (target vs rest) task.
+///
+/// All cells are weight sums, so the same type serves unit-weight and
+/// stratified evaluations. Rates follow the paper's definitions: with `p`
+/// target examples of which `q` are predicted correctly and `r` false
+/// positives, recall `R = q/p` and precision `P = q/(q+r)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// Weight of target records predicted target.
+    pub tp: f64,
+    /// Weight of non-target records predicted target.
+    pub fp: f64,
+    /// Weight of target records predicted non-target.
+    pub fn_: f64,
+    /// Weight of non-target records predicted non-target.
+    pub tn: f64,
+}
+
+impl BinaryConfusion {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds directly from the four cells.
+    pub fn from_counts(tp: f64, fp: f64, fn_: f64, tn: f64) -> Self {
+        BinaryConfusion { tp, fp, fn_, tn }
+    }
+
+    /// Records one example with the given `weight`.
+    pub fn record(&mut self, actual_positive: bool, predicted_positive: bool, weight: f64) {
+        match (actual_positive, predicted_positive) {
+            (true, true) => self.tp += weight,
+            (false, true) => self.fp += weight,
+            (true, false) => self.fn_ += weight,
+            (false, false) => self.tn += weight,
+        }
+    }
+
+    /// Merges another matrix into this one (e.g. per-shard evaluation).
+    pub fn merge(&mut self, other: &BinaryConfusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total weight of actual positives `p = tp + fn`.
+    pub fn actual_positive(&self) -> f64 {
+        self.tp + self.fn_
+    }
+
+    /// Total weight of predicted positives `q + r = tp + fp`.
+    pub fn predicted_positive(&self) -> f64 {
+        self.tp + self.fp
+    }
+
+    /// Total recorded weight.
+    pub fn total(&self) -> f64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Recall `R = tp / (tp + fn)`; 0 when there are no actual positives
+    /// (the conservative convention for rare-class evaluation: a classifier
+    /// scored on a positive-free sample earns nothing).
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.actual_positive())
+    }
+
+    /// Precision `P = tp / (tp + fp)`; 0 when nothing is predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.predicted_positive())
+    }
+
+    /// Balanced F-measure `F = 2RP / (R + P)`; 0 when both R and P are 0.
+    pub fn f_measure(&self) -> f64 {
+        self.f_beta(1.0)
+    }
+
+    /// General Fβ: `(1+β²)RP / (β²P + R)`. β > 1 weighs recall higher.
+    pub fn f_beta(&self, beta: f64) -> f64 {
+        assert!(beta > 0.0, "beta must be positive");
+        let r = self.recall();
+        let p = self.precision();
+        let b2 = beta * beta;
+        let denom = b2 * p + r;
+        if denom == 0.0 {
+            0.0
+        } else {
+            (1.0 + b2) * p * r / denom
+        }
+    }
+
+    /// Accuracy `(tp + tn) / total`; the metric the paper argues is
+    /// inadequate for rare classes (kept for completeness).
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// False-positive rate `fp / (fp + tn)`.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// A compact recall/precision/F snapshot.
+    pub fn report(&self) -> PrfReport {
+        PrfReport { recall: self.recall(), precision: self.precision(), f: self.f_measure() }
+    }
+}
+
+#[inline]
+fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Recall/precision/F triple, the row format of every result table in the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrfReport {
+    /// Recall in `[0,1]`.
+    pub recall: f64,
+    /// Precision in `[0,1]`.
+    pub precision: f64,
+    /// Balanced F-measure in `[0,1]`.
+    pub f: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let cm = BinaryConfusion::from_counts(5.0, 0.0, 0.0, 95.0);
+        assert_eq!(cm.recall(), 1.0);
+        assert_eq!(cm.precision(), 1.0);
+        assert_eq!(cm.f_measure(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_all_negative_prediction() {
+        // Predicting everything non-target on a 0.5% rare class: accuracy is
+        // high but recall/precision/F are zero — the paper's motivating case.
+        let cm = BinaryConfusion::from_counts(0.0, 0.0, 5.0, 995.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.f_measure(), 0.0);
+        assert!(cm.accuracy() > 0.99);
+    }
+
+    #[test]
+    fn empty_matrix_rates_are_zero() {
+        let cm = BinaryConfusion::new();
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.f_measure(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn f_is_harmonic_mean() {
+        let cm = BinaryConfusion::from_counts(30.0, 70.0, 10.0, 0.0);
+        let r = cm.recall(); // 0.75
+        let p = cm.precision(); // 0.3
+        let expected = 2.0 * r * p / (r + p);
+        assert!((cm.f_measure() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_beta_extremes_track_components() {
+        let cm = BinaryConfusion::from_counts(8.0, 2.0, 8.0, 100.0);
+        let r = cm.recall(); // 0.5
+        let p = cm.precision(); // 0.8
+        // large beta → recall-dominated, small beta → precision-dominated
+        assert!((cm.f_beta(100.0) - r).abs() < 1e-2);
+        assert!((cm.f_beta(0.01) - p).abs() < 1e-2);
+        assert!((cm.f_beta(1.0) - cm.f_measure()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn f_beta_rejects_nonpositive_beta() {
+        BinaryConfusion::new().f_beta(0.0);
+    }
+
+    #[test]
+    fn record_routes_to_correct_cell() {
+        let mut cm = BinaryConfusion::new();
+        cm.record(true, true, 1.0);
+        cm.record(true, false, 2.0);
+        cm.record(false, true, 3.0);
+        cm.record(false, false, 4.0);
+        assert_eq!((cm.tp, cm.fn_, cm.fp, cm.tn), (1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn merge_adds_cellwise() {
+        let mut a = BinaryConfusion::from_counts(1.0, 2.0, 3.0, 4.0);
+        let b = BinaryConfusion::from_counts(10.0, 20.0, 30.0, 40.0);
+        a.merge(&b);
+        assert_eq!(a, BinaryConfusion::from_counts(11.0, 22.0, 33.0, 44.0));
+    }
+
+    #[test]
+    fn weighted_cells_affect_rates() {
+        let mut cm = BinaryConfusion::new();
+        cm.record(true, true, 10.0);
+        cm.record(true, false, 30.0);
+        assert_eq!(cm.recall(), 0.25);
+    }
+
+    #[test]
+    fn false_positive_rate_ignores_positives() {
+        let cm = BinaryConfusion::from_counts(100.0, 5.0, 100.0, 95.0);
+        assert_eq!(cm.false_positive_rate(), 0.05);
+    }
+
+    #[test]
+    fn report_matches_components() {
+        let cm = BinaryConfusion::from_counts(3.0, 1.0, 1.0, 5.0);
+        let rep = cm.report();
+        assert_eq!(rep.recall, cm.recall());
+        assert_eq!(rep.precision, cm.precision());
+        assert_eq!(rep.f, cm.f_measure());
+    }
+}

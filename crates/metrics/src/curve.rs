@@ -1,0 +1,208 @@
+//! Score-based evaluation: precision-recall curves, AUC-PR, and best-F
+//! threshold selection.
+//!
+//! PNrule's ScoreMatrix makes the classifier score-valued ("we predict the
+//! record to be True with certain score in the interval (0%,100%)"), and
+//! the paper notes the decision threshold is "usually 50%". This module
+//! turns scored predictions into the full recall/precision trade-off curve,
+//! which is the natural lens for rare classes (ROC curves are inflated by
+//! the huge negative class).
+
+use crate::binary::PrfReport;
+
+/// One operating point of a scored classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Score threshold: predictions are positive when `score > threshold`.
+    pub threshold: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// F-measure at the threshold.
+    pub f: f64,
+}
+
+/// A precision-recall curve computed from `(score, actual_positive, weight)`
+/// triples.
+#[derive(Debug, Clone, Default)]
+pub struct PrCurve {
+    points: Vec<CurvePoint>,
+}
+
+impl PrCurve {
+    /// Builds the curve: one operating point per distinct score, ordered by
+    /// descending threshold (ascending recall).
+    pub fn from_scored(mut scored: Vec<(f64, bool, f64)>) -> PrCurve {
+        assert!(
+            scored.iter().all(|(s, _, w)| s.is_finite() && *w >= 0.0),
+            "scores must be finite and weights non-negative"
+        );
+        let pos_total: f64 = scored.iter().filter(|(_, p, _)| *p).map(|(_, _, w)| w).sum();
+        if pos_total == 0.0 || scored.is_empty() {
+            return PrCurve::default();
+        }
+        // descending by score
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        let mut points = Vec::new();
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut i = 0;
+        while i < scored.len() {
+            let s = scored[i].0;
+            // absorb the whole tie group: the threshold sits just below it
+            while i < scored.len() && scored[i].0 == s {
+                let (_, p, w) = scored[i];
+                if p {
+                    tp += w;
+                } else {
+                    fp += w;
+                }
+                i += 1;
+            }
+            let recall = tp / pos_total;
+            let precision = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
+            let f = if recall + precision == 0.0 {
+                0.0
+            } else {
+                2.0 * recall * precision / (recall + precision)
+            };
+            points.push(CurvePoint { threshold: s, recall, precision, f });
+        }
+        PrCurve { points }
+    }
+
+    /// The curve's operating points (descending threshold).
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// True when no positives were present.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Area under the precision-recall curve (step-wise interpolation, the
+    /// conservative convention).
+    pub fn auc_pr(&self) -> f64 {
+        let mut auc = 0.0;
+        let mut prev_recall = 0.0;
+        for p in &self.points {
+            auc += (p.recall - prev_recall) * p.precision;
+            prev_recall = p.recall;
+        }
+        auc
+    }
+
+    /// The operating point with the highest F-measure.
+    pub fn best_f_point(&self) -> Option<CurvePoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.f.partial_cmp(&b.f).expect("finite F"))
+    }
+
+    /// The report at decision rule `score > threshold`: the last operating
+    /// point whose threshold exceeds the requested one, or `None` when no
+    /// score clears it.
+    pub fn report_at(&self, threshold: f64) -> Option<PrfReport> {
+        self.points
+            .iter()
+            .rfind(|p| p.threshold > threshold)
+            .map(|p| PrfReport { recall: p.recall, precision: p.precision, f: p.f })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> Vec<(f64, bool, f64)> {
+        vec![(0.9, true, 1.0), (0.8, true, 1.0), (0.2, false, 1.0), (0.1, false, 1.0)]
+    }
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let c = PrCurve::from_scored(perfect());
+        assert!((c.auc_pr() - 1.0).abs() < 1e-12, "auc {}", c.auc_pr());
+        let best = c.best_f_point().unwrap();
+        assert_eq!(best.f, 1.0);
+        assert_eq!(best.recall, 1.0);
+    }
+
+    #[test]
+    fn reversed_ranking_has_low_auc() {
+        let c = PrCurve::from_scored(vec![
+            (0.9, false, 1.0),
+            (0.8, false, 1.0),
+            (0.2, true, 1.0),
+            (0.1, true, 1.0),
+        ]);
+        assert!(c.auc_pr() < 0.6, "auc {}", c.auc_pr());
+    }
+
+    #[test]
+    fn curve_recall_is_monotone_nondecreasing() {
+        let c = PrCurve::from_scored(vec![
+            (0.9, true, 1.0),
+            (0.7, false, 2.0),
+            (0.7, true, 1.0),
+            (0.4, true, 3.0),
+            (0.2, false, 1.0),
+        ]);
+        for w in c.points().windows(2) {
+            assert!(w[0].recall <= w[1].recall + 1e-12);
+            assert!(w[0].threshold > w[1].threshold);
+        }
+        let last = c.points().last().unwrap();
+        assert!((last.recall - 1.0).abs() < 1e-12, "curve must end at full recall");
+    }
+
+    #[test]
+    fn ties_are_absorbed_into_one_point() {
+        let c = PrCurve::from_scored(vec![
+            (0.5, true, 1.0),
+            (0.5, false, 1.0),
+            (0.5, true, 1.0),
+        ]);
+        assert_eq!(c.points().len(), 1);
+        let p = c.points()[0];
+        assert_eq!(p.recall, 1.0);
+        assert!((p.precision - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_scale_contributions() {
+        let c = PrCurve::from_scored(vec![(0.9, true, 10.0), (0.8, false, 10.0), (0.7, true, 30.0)]);
+        // after the first point: tp=10 of 40 → recall 0.25
+        assert!((c.points()[0].recall - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_positives_gives_empty_curve() {
+        let c = PrCurve::from_scored(vec![(0.9, false, 1.0)]);
+        assert!(c.is_empty());
+        assert_eq!(c.auc_pr(), 0.0);
+        assert!(c.best_f_point().is_none());
+    }
+
+    #[test]
+    fn best_f_beats_default_threshold_sometimes() {
+        // all scores below 0.5: the default threshold predicts nothing, but
+        // the curve still finds the ranking's best operating point
+        let c = PrCurve::from_scored(vec![
+            (0.4, true, 1.0),
+            (0.3, true, 1.0),
+            (0.1, false, 5.0),
+        ]);
+        let best = c.best_f_point().unwrap();
+        assert_eq!(best.f, 1.0);
+        assert!(best.threshold < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_scores_rejected() {
+        PrCurve::from_scored(vec![(f64::NAN, true, 1.0)]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Evaluation metrics for rare-class classification.
+//!
+//! The paper evaluates every classifier with **recall**, **precision** and
+//! the balanced **F-measure** `F = 2RP/(R+P)` (van Rijsbergen's F with equal
+//! weights), because plain accuracy is meaningless when the target class is
+//! a fraction of a percent of the data. This crate provides weighted binary
+//! confusion matrices, the derived rates, the general F<sub>β</sub> family,
+//! multiclass confusion matrices, and plain-text report rendering used by
+//! the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use pnr_metrics::BinaryConfusion;
+//!
+//! let mut cm = BinaryConfusion::new();
+//! // (actual_positive, predicted_positive, weight)
+//! cm.record(true, true, 1.0);
+//! cm.record(true, false, 1.0);
+//! cm.record(false, true, 1.0);
+//! cm.record(false, false, 7.0);
+//! assert_eq!(cm.recall(), 0.5);
+//! assert_eq!(cm.precision(), 0.5);
+//! assert_eq!(cm.f_measure(), 0.5);
+//! ```
+
+mod binary;
+mod curve;
+mod multiclass;
+mod report;
+
+pub use binary::{BinaryConfusion, PrfReport};
+pub use curve::{CurvePoint, PrCurve};
+pub use multiclass::MulticlassConfusion;
+pub use report::{format_prf_row, format_prf_table, PrfRow};

@@ -1,0 +1,138 @@
+//! Weighted multiclass confusion matrix.
+
+use crate::binary::BinaryConfusion;
+use serde::{Deserialize, Serialize};
+
+/// A weighted `k × k` confusion matrix. `cell(actual, predicted)` holds the
+/// accumulated weight of records of class `actual` predicted as `predicted`.
+///
+/// The PNrule framework reduces multiclass problems to one binary task per
+/// class; [`MulticlassConfusion::binary_for`] recovers each task's 2×2 view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticlassConfusion {
+    n_classes: usize,
+    cells: Vec<f64>, // row-major [actual][predicted]
+}
+
+impl MulticlassConfusion {
+    /// An empty matrix over `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        MulticlassConfusion { n_classes, cells: vec![0.0; n_classes * n_classes] }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Records one example.
+    ///
+    /// # Panics
+    /// Panics if either class index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize, weight: f64) {
+        assert!(actual < self.n_classes && predicted < self.n_classes);
+        self.cells[actual * self.n_classes + predicted] += weight;
+    }
+
+    /// The accumulated weight in cell `(actual, predicted)`.
+    pub fn cell(&self, actual: usize, predicted: usize) -> f64 {
+        self.cells[actual * self.n_classes + predicted]
+    }
+
+    /// Total recorded weight.
+    pub fn total(&self) -> f64 {
+        self.cells.iter().sum()
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let correct: f64 = (0..self.n_classes).map(|c| self.cell(c, c)).sum();
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            correct / total
+        }
+    }
+
+    /// The one-vs-rest binary view for `class`.
+    pub fn binary_for(&self, class: usize) -> BinaryConfusion {
+        assert!(class < self.n_classes);
+        let mut b = BinaryConfusion::new();
+        for actual in 0..self.n_classes {
+            for predicted in 0..self.n_classes {
+                let w = self.cell(actual, predicted);
+                b.record(actual == class, predicted == class, w);
+            }
+        }
+        b
+    }
+
+    /// Unweighted macro-averaged F-measure over all classes.
+    pub fn macro_f(&self) -> f64 {
+        let sum: f64 = (0..self.n_classes).map(|c| self.binary_for(c).f_measure()).sum();
+        sum / self.n_classes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_cell_access() {
+        let mut m = MulticlassConfusion::new(3);
+        m.record(0, 1, 2.0);
+        m.record(0, 1, 1.0);
+        m.record(2, 2, 5.0);
+        assert_eq!(m.cell(0, 1), 3.0);
+        assert_eq!(m.cell(2, 2), 5.0);
+        assert_eq!(m.total(), 8.0);
+    }
+
+    #[test]
+    fn accuracy_is_trace_over_total() {
+        let mut m = MulticlassConfusion::new(2);
+        m.record(0, 0, 3.0);
+        m.record(1, 1, 1.0);
+        m.record(1, 0, 4.0);
+        assert_eq!(m.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn binary_view_aggregates_rest() {
+        let mut m = MulticlassConfusion::new(3);
+        // class 0 is the "target"
+        m.record(0, 0, 2.0); // tp
+        m.record(0, 1, 1.0); // fn
+        m.record(1, 0, 3.0); // fp
+        m.record(1, 2, 4.0); // tn
+        m.record(2, 1, 5.0); // tn
+        let b = m.binary_for(0);
+        assert_eq!(b.tp, 2.0);
+        assert_eq!(b.fn_, 1.0);
+        assert_eq!(b.fp, 3.0);
+        assert_eq!(b.tn, 9.0);
+    }
+
+    #[test]
+    fn macro_f_averages_classes() {
+        let mut m = MulticlassConfusion::new(2);
+        m.record(0, 0, 1.0);
+        m.record(1, 1, 1.0);
+        assert!((m.macro_f() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        assert_eq!(MulticlassConfusion::new(4).accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_class_panics() {
+        let mut m = MulticlassConfusion::new(2);
+        m.record(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Plain-text rendering of result tables in the paper's format.
+
+use crate::binary::PrfReport;
+
+/// One labelled row of a recall/precision/F table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrfRow {
+    /// Row label, e.g. a classifier abbreviation (`C`, `Re`, `P`).
+    pub label: String,
+    /// The metrics for this row.
+    pub report: PrfReport,
+}
+
+impl PrfRow {
+    /// Builds a row.
+    pub fn new(label: impl Into<String>, report: PrfReport) -> Self {
+        PrfRow { label: label.into(), report }
+    }
+}
+
+/// Formats one row the way the paper prints results: recall and precision as
+/// percentages with two decimals, F as a bare fraction with four decimals
+/// (e.g. `PNrule  95.21  99.44  .9728`).
+pub fn format_prf_row(row: &PrfRow) -> String {
+    format!(
+        "{:<12} {:>6.2} {:>6.2}  {}",
+        row.label,
+        row.report.recall * 100.0,
+        row.report.precision * 100.0,
+        format_f(row.report.f),
+    )
+}
+
+/// Formats an F value like the paper: `.9728`, with `1.0000` for a perfect
+/// score.
+pub fn format_f(f: f64) -> String {
+    let s = format!("{f:.4}");
+    match s.strip_prefix("0") {
+        Some(rest) => rest.to_string(),
+        None => s,
+    }
+}
+
+/// Renders a table with a title and header, one line per row, and a `*`
+/// marking the best F (ties marked on every best row) — the textual
+/// equivalent of the paper's bold-faced best-classifier convention.
+pub fn format_prf_table(title: &str, rows: &[PrfRow]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<12} {:>6} {:>6}  {:>6}\n", "model", "Rec", "Prec", "F"));
+    let best = rows.iter().map(|r| r.report.f).fold(f64::NEG_INFINITY, f64::max);
+    for row in rows {
+        out.push_str(&format_prf_row(row));
+        if rows.len() > 1 && (row.report.f - best).abs() < 1e-12 {
+            out.push_str(" *");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(r: f64, p: f64) -> PrfReport {
+        let f = if r + p == 0.0 { 0.0 } else { 2.0 * r * p / (r + p) };
+        PrfReport { recall: r, precision: p, f }
+    }
+
+    #[test]
+    fn row_formats_percentages_and_f() {
+        let row = PrfRow::new("PNrule", rep(0.9521, 0.9944));
+        let s = format_prf_row(&row);
+        assert!(s.contains("95.21"), "{s}");
+        assert!(s.contains("99.44"), "{s}");
+        assert!(s.contains(".9728"), "{s}");
+    }
+
+    #[test]
+    fn f_formatting_strips_leading_zero() {
+        assert_eq!(format_f(0.9728), ".9728");
+        assert_eq!(format_f(0.0), ".0000");
+        assert_eq!(format_f(1.0), "1.0000");
+    }
+
+    #[test]
+    fn table_marks_best_f() {
+        let rows =
+            vec![PrfRow::new("A", rep(0.5, 0.5)), PrfRow::new("B", rep(0.9, 0.9))];
+        let t = format_prf_table("demo", &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[2].starts_with("A"));
+        assert!(!lines[2].ends_with('*'));
+        assert!(lines[3].starts_with("B"));
+        assert!(lines[3].ends_with('*'));
+    }
+
+    #[test]
+    fn single_row_table_is_unstarred() {
+        let rows = vec![PrfRow::new("only", rep(0.4, 0.4))];
+        let t = format_prf_table("demo", &rows);
+        assert!(!t.contains('*'));
+    }
+}

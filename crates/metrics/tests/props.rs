@@ -1,0 +1,90 @@
+//! Property-based tests for the metric algebra.
+
+use pnr_metrics::{BinaryConfusion, MulticlassConfusion};
+use proptest::prelude::*;
+
+fn cells() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (0.0f64..1e5, 0.0f64..1e5, 0.0f64..1e5, 0.0f64..1e5)
+}
+
+proptest! {
+    #[test]
+    fn rates_are_bounded((tp, fp, fn_, tn) in cells()) {
+        let cm = BinaryConfusion::from_counts(tp, fp, fn_, tn);
+        for v in [cm.recall(), cm.precision(), cm.f_measure(), cm.accuracy(),
+                  cm.false_positive_rate()] {
+            prop_assert!((0.0..=1.0).contains(&v), "rate {v} out of bounds");
+        }
+    }
+
+    #[test]
+    fn f_is_between_min_and_max_of_r_p((tp, fp, fn_, tn) in cells()) {
+        let cm = BinaryConfusion::from_counts(tp, fp, fn_, tn);
+        let (r, p, f) = (cm.recall(), cm.precision(), cm.f_measure());
+        // The harmonic mean lies between min and max: when either rate is
+        // zero F is zero (= min); otherwise 2rp/(r+p) ≥ min because
+        // 2·max/(min+max) ≥ 1, and ≤ max symmetrically.
+        prop_assert!(f <= r.max(p) + 1e-12);
+        if r > 0.0 && p > 0.0 {
+            prop_assert!(f + 1e-12 >= r.min(p));
+        } else {
+            prop_assert_eq!(f, 0.0);
+        }
+    }
+
+    #[test]
+    fn f_beta_interpolates_r_and_p((tp, fp, fn_, tn) in cells()) {
+        let cm = BinaryConfusion::from_counts(tp + 1.0, fp, fn_, tn);
+        // β→∞ approaches recall; β→0 approaches precision
+        prop_assert!((cm.f_beta(1e6) - cm.recall()).abs() < 1e-3);
+        prop_assert!((cm.f_beta(1e-6) - cm.precision()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn merge_equals_joint_recording(
+        a in prop::collection::vec((prop::bool::ANY, prop::bool::ANY, 0.1f64..10.0), 0..30),
+        b in prop::collection::vec((prop::bool::ANY, prop::bool::ANY, 0.1f64..10.0), 0..30),
+    ) {
+        let mut left = BinaryConfusion::new();
+        let mut right = BinaryConfusion::new();
+        let mut joint = BinaryConfusion::new();
+        for &(actual, pred, w) in &a {
+            left.record(actual, pred, w);
+            joint.record(actual, pred, w);
+        }
+        for &(actual, pred, w) in &b {
+            right.record(actual, pred, w);
+            joint.record(actual, pred, w);
+        }
+        left.merge(&right);
+        prop_assert!((left.tp - joint.tp).abs() < 1e-9);
+        prop_assert!((left.total() - joint.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiclass_binary_view_consistent(
+        records in prop::collection::vec((0usize..4, 0usize..4, 0.1f64..5.0), 1..60),
+    ) {
+        let mut m = MulticlassConfusion::new(4);
+        for &(actual, pred, w) in &records {
+            m.record(actual, pred, w);
+        }
+        for class in 0..4 {
+            let b = m.binary_for(class);
+            prop_assert!((b.total() - m.total()).abs() < 1e-9);
+            // tp of the view equals the diagonal cell
+            prop_assert!((b.tp - m.cell(class, class)).abs() < 1e-9);
+        }
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&m.macro_f()));
+    }
+
+    #[test]
+    fn accuracy_can_mislead_on_rare_classes(tn in 1e3f64..1e6, fn_ in 1.0f64..50.0) {
+        // the paper's motivating identity: predict-all-negative has high
+        // accuracy but F = 0 whenever the class is rare
+        let cm = BinaryConfusion::from_counts(0.0, 0.0, fn_, tn);
+        prop_assert!(cm.accuracy() > 0.9);
+        prop_assert_eq!(cm.f_measure(), 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! IREP* — grow/prune rule induction with MDL stopping.
+
+use crate::model::RipperModel;
+use crate::optimize::optimize_ruleset;
+use crate::params::RipperParams;
+use crate::prune::prune_rule;
+use pnr_data::RowSet;
+use pnr_rules::mdl::{count_possible_conditions, total_dl};
+use pnr_rules::{
+    find_best_condition, EvalMetric, Rule, RuleSet, SearchOptions, TaskView,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Grows a rule to purity on `grow_view`, adding the condition with maximum
+/// FOIL information gain each step. One-sided numeric tests only (RIPPER
+/// has no explicit range conditions). Stops at purity, at zero gain, or at
+/// `max_len`.
+pub fn grow_rule_foil(grow_view: &TaskView<'_>, max_len: usize) -> Option<Rule> {
+    let opts = SearchOptions { use_ranges: false, ..Default::default() };
+    let mut rule = Rule::empty();
+    let mut current = grow_view.clone();
+    while rule.len() < max_len {
+        // FOIL gain is computed against the data still covered by the rule,
+        // which is exactly `current`'s own distribution.
+        let Some(cand) = find_best_condition(&current, EvalMetric::FoilGain, &opts) else {
+            break;
+        };
+        if cand.score <= 0.0 {
+            break;
+        }
+        let matched = current.rows_matching(&cand.condition);
+        rule.push(cand.condition);
+        current = current.restricted_to(matched);
+        if current.pos_weight() >= current.total_weight() {
+            break; // pure
+        }
+    }
+    if rule.is_empty() {
+        None
+    } else {
+        Some(rule)
+    }
+}
+
+/// Stratified random split of a view's rows into (grow, prune) with
+/// `1 − prune_frac` of each class in the grow part.
+pub(crate) fn grow_prune_split<R: Rng>(
+    view: &TaskView<'_>,
+    prune_frac: f64,
+    rng: &mut R,
+) -> (RowSet, RowSet) {
+    let mut pos_rows: Vec<u32> = Vec::new();
+    let mut neg_rows: Vec<u32> = Vec::new();
+    for r in view.rows.iter() {
+        if view.is_pos[r as usize] {
+            pos_rows.push(r);
+        } else {
+            neg_rows.push(r);
+        }
+    }
+    let mut grow = Vec::with_capacity(view.n_rows());
+    let mut prune = Vec::with_capacity(view.n_rows());
+    for rows in [&mut pos_rows, &mut neg_rows] {
+        rows.shuffle(rng);
+        let n_grow = ((rows.len() as f64) * (1.0 - prune_frac)).round() as usize;
+        grow.extend_from_slice(&rows[..n_grow.min(rows.len())]);
+        prune.extend_from_slice(&rows[n_grow.min(rows.len())..]);
+    }
+    (RowSet::from_vec(grow), RowSet::from_vec(prune))
+}
+
+/// Bookkeeping for the DL of a rule set over the full training view.
+pub(crate) struct DlContext {
+    pub n_possible: f64,
+    pub pos_total: f64,
+    pub n_total: f64,
+}
+
+impl DlContext {
+    pub fn new(view: &TaskView<'_>) -> Self {
+        DlContext {
+            n_possible: count_possible_conditions(view.data),
+            pos_total: view.pos_weight(),
+            n_total: view.total_weight(),
+        }
+    }
+
+    /// DL of `rules` as a predictor of the target class over the full view.
+    pub fn ruleset_dl(&self, view: &TaskView<'_>, rules: &[Rule]) -> f64 {
+        let mut covered = 0.0;
+        let mut covered_pos = 0.0;
+        for r in view.rows.iter() {
+            let row = r as usize;
+            if rules.iter().any(|rule| rule.matches(view.data, row)) {
+                let w = view.weights[row];
+                covered += w;
+                if view.is_pos[row] {
+                    covered_pos += w;
+                }
+            }
+        }
+        let fp = covered - covered_pos;
+        let fn_ = self.pos_total - covered_pos;
+        let lens: Vec<usize> = rules.iter().map(|r| r.len()).collect();
+        total_dl(self.n_possible, &lens, covered, self.n_total - covered, fp, fn_)
+    }
+}
+
+/// The full IREP* + optimisation pipeline.
+pub(crate) fn fit_irep_star<R: Rng>(
+    view: &TaskView<'_>,
+    params: &RipperParams,
+    target: u32,
+    rng: &mut R,
+) -> RipperModel {
+    let dl_ctx = DlContext::new(view);
+    let mut rules = build_rules(view, params, &dl_ctx, Vec::new(), rng);
+
+    for _ in 0..params.k_optimizations {
+        rules = optimize_ruleset(view, params, &dl_ctx, rules, rng);
+        // Residual pass: cover positives the optimised set lost.
+        rules = build_rules(view, params, &dl_ctx, rules, rng);
+    }
+    rules = delete_rules_by_dl(view, &dl_ctx, rules);
+
+    RipperModel::from_rules(view, RuleSet::from_rules(rules), target)
+}
+
+/// Adds rules to `rules` (possibly empty) until the MDL criterion stops it.
+pub(crate) fn build_rules<R: Rng>(
+    view: &TaskView<'_>,
+    params: &RipperParams,
+    dl_ctx: &DlContext,
+    mut rules: Vec<Rule>,
+    rng: &mut R,
+) -> Vec<Rule> {
+    // Remaining = rows not covered by current rules.
+    let covered: RowSet = view
+        .rows
+        .filter(|r| rules.iter().any(|rule| rule.matches(view.data, r as usize)));
+    let mut remaining = view.without(&covered);
+
+    let mut min_dl = dl_ctx.ruleset_dl(view, &rules);
+    while rules.len() < params.max_rules && remaining.pos_weight() > 0.0 {
+        let (grow_rows, prune_rows) = grow_prune_split(&remaining, params.prune_frac, rng);
+        let grow_view = remaining.restricted_to(grow_rows);
+        let prune_view = remaining.restricted_to(prune_rows);
+        if grow_view.pos_weight() <= 0.0 {
+            break;
+        }
+        let Some(raw) = grow_rule_foil(&grow_view, params.max_rule_len) else {
+            break;
+        };
+        let (rule, v_star) = if prune_view.is_empty() {
+            (raw, 1.0)
+        } else {
+            prune_rule(&raw, &prune_view)
+        };
+        // "Worse than random on the prune data" check (accuracy ≤ 50%).
+        if v_star < 0.0 {
+            break;
+        }
+        rules.push(rule.clone());
+        let dl = dl_ctx.ruleset_dl(view, &rules);
+        if dl > min_dl + params.mdl_slack_bits {
+            rules.pop();
+            break;
+        }
+        min_dl = min_dl.min(dl);
+        let covered_now = remaining.rows_matching_rule(&rule);
+        if covered_now.is_empty() {
+            rules.pop();
+            break;
+        }
+        remaining = remaining.without(&covered_now);
+    }
+    rules
+}
+
+/// Examines each rule in reverse order and deletes it when the deletion
+/// reduces the rule set's description length.
+pub(crate) fn delete_rules_by_dl(
+    view: &TaskView<'_>,
+    dl_ctx: &DlContext,
+    mut rules: Vec<Rule>,
+) -> Vec<Rule> {
+    let mut current_dl = dl_ctx.ruleset_dl(view, &rules);
+    let mut i = rules.len();
+    while i > 0 {
+        i -= 1;
+        let removed = rules.remove(i);
+        let dl = dl_ctx.ruleset_dl(view, &rules);
+        if dl < current_dl {
+            current_dl = dl; // keep the deletion
+        } else {
+            rules.insert(i, removed);
+        }
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn band_data(n: usize) -> (Dataset, Vec<bool>) {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        b.add_class("pos");
+        b.add_class("neg");
+        for i in 0..n {
+            let x = (i % 20) as f64;
+            let k = if (i / 20) % 3 == 0 { "a" } else { "b" };
+            let target = x < 4.0 && k == "a";
+            b.push_row(&[Value::num(x), Value::cat(k)], if target { "pos" } else { "neg" }, 1.0)
+                .unwrap();
+        }
+        let d = b.finish();
+        let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        (d, is_pos)
+    }
+
+    #[test]
+    fn foil_growth_reaches_purity() {
+        let (d, is_pos) = band_data(600);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let rule = grow_rule_foil(&v, 32).expect("rule grown");
+        let c = v.coverage(&rule);
+        assert_eq!(c.neg(), 0.0, "grown rule must be pure: {:?}", rule);
+        assert!(c.pos > 0.0);
+    }
+
+    #[test]
+    fn growth_respects_max_len() {
+        let (d, is_pos) = band_data(600);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let rule = grow_rule_foil(&v, 1).unwrap();
+        assert_eq!(rule.len(), 1);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let (d, is_pos) = band_data(600);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let mut rng = StdRng::seed_from_u64(1);
+        let (grow, prune) = grow_prune_split(&v, 1.0 / 3.0, &mut rng);
+        assert_eq!(grow.len() + prune.len(), v.n_rows());
+        let pos_in = |rs: &RowSet| rs.iter().filter(|&r| is_pos[r as usize]).count();
+        let total_pos = pos_in(&grow) + pos_in(&prune);
+        // grow side holds ~2/3 of the positives
+        let frac = pos_in(&grow) as f64 / total_pos as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.05, "grow pos fraction {frac}");
+    }
+
+    #[test]
+    fn dl_deletion_removes_noise_rules() {
+        let (d, is_pos) = band_data(600);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let dl_ctx = DlContext::new(&v);
+        let good = grow_rule_foil(&v, 32).unwrap();
+        // a junk rule covering mostly negatives
+        let junk = Rule::new(vec![pnr_rules::Condition::NumGt { attr: 0, value: 10.0 }]);
+        let kept = delete_rules_by_dl(&v, &dl_ctx, vec![good.clone(), junk]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0], good);
+    }
+
+    #[test]
+    fn empty_positive_class_yields_empty_model() {
+        let (d, _) = band_data(100);
+        let none = vec![false; d.n_rows()];
+        let v = TaskView::full(&d, &none, d.weights());
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = fit_irep_star(&v, &RipperParams::default(), 0, &mut rng);
+        assert!(model.rules().is_empty());
+    }
+}

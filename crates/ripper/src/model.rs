@@ -1,0 +1,168 @@
+//! The trained RIPPER model.
+
+use pnr_data::{Dataset, Schema};
+use pnr_rules::{BinaryClassifier, RuleSet, TaskView};
+use serde::{Deserialize, Serialize};
+
+/// A binary RIPPER rule set: a record is predicted target iff any rule
+/// matches (the implicit default rule predicts non-target).
+///
+/// Scores are the training-time Laplace accuracy of the first matching
+/// rule, so the model slots into threshold-based evaluation alongside
+/// PNrule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RipperModel {
+    target: u32,
+    rules: RuleSet,
+    /// Laplace accuracy of each rule, estimated on the training data at
+    /// fit time (first-match attribution).
+    rule_scores: Vec<f64>,
+}
+
+impl RipperModel {
+    /// Builds the model and estimates per-rule scores on the training view.
+    pub(crate) fn from_rules(view: &TaskView<'_>, rules: RuleSet, target: u32) -> Self {
+        let mut pos = vec![0.0f64; rules.len()];
+        let mut tot = vec![0.0f64; rules.len()];
+        for r in view.rows.iter() {
+            let row = r as usize;
+            if let Some(i) = rules.first_match(view.data, row) {
+                let w = view.weights[row];
+                tot[i] += w;
+                if view.is_pos[row] {
+                    pos[i] += w;
+                }
+            }
+        }
+        let rule_scores =
+            pos.iter().zip(&tot).map(|(p, t)| (p + 1.0) / (t + 2.0)).collect();
+        RipperModel { target, rules, rule_scores }
+    }
+
+    /// The learned rules in order.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The class code this model detects.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+
+    /// Training-time Laplace accuracy of each rule.
+    pub fn rule_scores(&self) -> &[f64] {
+        &self.rule_scores
+    }
+
+    /// Human-readable rendering.
+    pub fn describe(&self, schema: &Schema) -> String {
+        format!("RIPPER model: {} rules\n{}", self.rules.len(), self.rules.display_lines(schema))
+    }
+}
+
+impl BinaryClassifier for RipperModel {
+    fn score(&self, data: &Dataset, row: usize) -> f64 {
+        match self.rules.first_match(data, row) {
+            Some(i) => self.rule_scores[i],
+            None => 0.0,
+        }
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> bool {
+        // RIPPER's decision is crisp: any matching rule predicts target.
+        self.rules.any_match(data, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RipperLearner, RipperParams};
+    use pnr_data::{stratify_weights, AttrType, DatasetBuilder, Value};
+    use pnr_rules::evaluate_classifier;
+
+    fn band_data(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        b.add_class("pos");
+        b.add_class("neg");
+        for i in 0..n {
+            let x = (i % 20) as f64;
+            let k = if (i / 20) % 3 == 0 { "a" } else { "b" };
+            let target = x < 4.0 && k == "a";
+            b.push_row(&[Value::num(x), Value::cat(k)], if target { "pos" } else { "neg" }, 1.0)
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn learns_clean_conjunction() {
+        let d = band_data(900);
+        let target = d.class_code("pos").unwrap();
+        let model = RipperLearner::new(RipperParams::default()).fit(&d, target);
+        let cm = evaluate_classifier(&model, &d, target);
+        assert!(cm.recall() > 0.95, "recall {}", cm.recall());
+        assert!(cm.precision() > 0.95, "precision {}", cm.precision());
+    }
+
+    #[test]
+    fn generalises_to_fresh_sample() {
+        let train = band_data(900);
+        let test = band_data(300);
+        let target = train.class_code("pos").unwrap();
+        let model = RipperLearner::new(RipperParams::default()).fit(&train, target);
+        let cm = evaluate_classifier(&model, &test, target);
+        assert!(cm.f_measure() > 0.9, "F {}", cm.f_measure());
+    }
+
+    #[test]
+    fn stratified_weights_are_honoured() {
+        let d = band_data(600);
+        let target = d.class_code("pos").unwrap();
+        let w = stratify_weights(&d, target);
+        let model = RipperLearner::default().fit(&d.with_weights(w), target);
+        let cm = evaluate_classifier(&model, &d, target);
+        assert!(cm.recall() > 0.9, "stratification should push recall, got {}", cm.recall());
+    }
+
+    #[test]
+    fn score_is_zero_without_match() {
+        let d = band_data(600);
+        let target = d.class_code("pos").unwrap();
+        let model = RipperLearner::default().fit(&d, target);
+        let neg_row = (0..d.n_rows()).find(|&r| d.num(0, r) > 10.0).unwrap();
+        assert_eq!(model.score(&d, neg_row), 0.0);
+        assert!(!model.predict(&d, neg_row));
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let d = band_data(600);
+        let target = d.class_code("pos").unwrap();
+        let m1 = RipperLearner::default().fit(&d, target);
+        let m2 = RipperLearner::default().fit(&d, target);
+        assert_eq!(m1.rules(), m2.rules());
+    }
+
+    #[test]
+    fn describe_mentions_rule_count() {
+        let d = band_data(600);
+        let target = d.class_code("pos").unwrap();
+        let model = RipperLearner::default().fit(&d, target);
+        assert!(model.describe(d.schema()).contains("RIPPER model"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = band_data(600);
+        let target = d.class_code("pos").unwrap();
+        let model = RipperLearner::default().fit(&d, target);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: RipperModel = serde_json::from_str(&json).unwrap();
+        for row in 0..d.n_rows() {
+            assert_eq!(back.predict(&d, row), model.predict(&d, row));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! RIPPER's rule-set optimisation pass.
+//!
+//! For each rule in turn, two candidate variants are produced on a fresh
+//! grow/prune split: a **replacement** grown from scratch and a **revision**
+//! grown from the existing rule. Both are pruned to minimise the error of
+//! the *entire* rule set on the prune split (with the variant standing in
+//! for the original rule), and the variant giving the lowest total
+//! description length of the set is kept.
+
+use crate::irep::{grow_prune_split, grow_rule_foil, DlContext};
+use crate::params::RipperParams;
+use pnr_rules::{Rule, TaskView};
+use rand::Rng;
+
+/// Error (fp + fn weight) of a rule set on `view` when `candidate` stands at
+/// position `idx` (a `None` candidate means the rule is deleted).
+fn ruleset_error(
+    view: &TaskView<'_>,
+    rules: &[Rule],
+    idx: usize,
+    candidate: Option<&Rule>,
+) -> f64 {
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for r in view.rows.iter() {
+        let row = r as usize;
+        let mut covered = false;
+        for (i, rule) in rules.iter().enumerate() {
+            let m = if i == idx {
+                match candidate {
+                    Some(c) => c.matches(view.data, row),
+                    None => false,
+                }
+            } else {
+                rule.matches(view.data, row)
+            };
+            if m {
+                covered = true;
+                break;
+            }
+        }
+        let w = view.weights[row];
+        if covered && !view.is_pos[row] {
+            fp += w;
+        } else if !covered && view.is_pos[row] {
+            fn_ += w;
+        }
+    }
+    fp + fn_
+}
+
+/// Prunes `rule` (final-sequence) to minimise whole-set error on the prune
+/// view with the rule standing at position `idx`.
+fn prune_for_set(
+    prune_view: &TaskView<'_>,
+    rules: &[Rule],
+    idx: usize,
+    rule: &Rule,
+) -> Rule {
+    if rule.is_empty() {
+        return rule.clone();
+    }
+    let mut best = rule.clone();
+    let mut best_err = ruleset_error(prune_view, rules, idx, Some(rule));
+    for len in (1..rule.len()).rev() {
+        let prefix = rule.truncated(len);
+        let err = ruleset_error(prune_view, rules, idx, Some(&prefix));
+        if err <= best_err {
+            best_err = err;
+            best = prefix;
+        }
+    }
+    best
+}
+
+/// One optimisation pass (Cohen's RIPPER step 2).
+pub(crate) fn optimize_ruleset<R: Rng>(
+    view: &TaskView<'_>,
+    params: &RipperParams,
+    dl_ctx: &DlContext,
+    mut rules: Vec<Rule>,
+    rng: &mut R,
+) -> Vec<Rule> {
+    for idx in 0..rules.len() {
+        let (grow_rows, prune_rows) = grow_prune_split(view, params.prune_frac, rng);
+        let grow_view = view.restricted_to(grow_rows);
+        let prune_view = view.restricted_to(prune_rows);
+
+        // Replacement: grow from scratch on the rows not covered by the
+        // *other* rules, so it targets the residual this rule is
+        // responsible for.
+        let others_covered = grow_view.rows.filter(|r| {
+            rules
+                .iter()
+                .enumerate()
+                .any(|(i, rule)| i != idx && rule.matches(view.data, r as usize))
+        });
+        let residual_view = grow_view.without(&others_covered);
+        let replacement = grow_rule_foil(&residual_view, params.max_rule_len)
+            .map(|r| prune_for_set(&prune_view, &rules, idx, &r));
+
+        // Revision: extend the existing rule with further FOIL growth on
+        // the rows it covers in the grow split.
+        let revision = {
+            let covered = grow_view.rows_matching_rule(&rules[idx]);
+            let rule_view = grow_view.restricted_to(covered);
+            let extension = grow_rule_foil(&rule_view, params.max_rule_len);
+            let mut revised = rules[idx].clone();
+            if let Some(ext) = extension {
+                for c in ext.conditions() {
+                    revised.push(c.clone());
+                }
+            }
+            prune_for_set(&prune_view, &rules, idx, &revised)
+        };
+
+        // Keep the variant that minimises the DL of the whole set.
+        let mut candidates: Vec<Rule> = vec![rules[idx].clone(), revision];
+        if let Some(rep) = replacement {
+            candidates.push(rep);
+        }
+        let mut best = rules[idx].clone();
+        let mut best_dl = f64::INFINITY;
+        for cand in candidates {
+            let mut trial = rules.clone();
+            trial[idx] = cand.clone();
+            let dl = dl_ctx.ruleset_dl(view, &trial);
+            if dl < best_dl {
+                best_dl = dl;
+                best = cand;
+            }
+        }
+        rules[idx] = best;
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+    use pnr_rules::Condition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> (Dataset, Vec<bool>) {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("pos");
+        b.add_class("neg");
+        for i in 0..300 {
+            let x = (i % 20) as f64;
+            b.push_row(&[Value::num(x)], if x < 5.0 { "pos" } else { "neg" }, 1.0).unwrap();
+        }
+        let d = b.finish();
+        let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        (d, is_pos)
+    }
+
+    #[test]
+    fn ruleset_error_counts_fp_and_fn() {
+        let (d, is_pos) = data();
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        // rule covering everything: fp = all negatives
+        let all = Rule::new(vec![Condition::NumLe { attr: 0, value: 100.0 }]);
+        let err = ruleset_error(&v, std::slice::from_ref(&all), 0, Some(&all));
+        assert_eq!(err, 225.0); // 15/20 of 300 are negative
+        // deleting the rule: fn = all positives
+        let err = ruleset_error(&v, std::slice::from_ref(&all), 0, None);
+        assert_eq!(err, 75.0);
+    }
+
+    #[test]
+    fn optimization_improves_or_keeps_a_sloppy_rule() {
+        let (d, is_pos) = data();
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let dl_ctx = DlContext::new(&v);
+        // deliberately sloppy rule: covers ~half the negatives too
+        let sloppy = Rule::new(vec![Condition::NumLe { attr: 0, value: 12.0 }]);
+        let before_dl = dl_ctx.ruleset_dl(&v, std::slice::from_ref(&sloppy));
+        let mut rng = StdRng::seed_from_u64(42);
+        let optimized =
+            optimize_ruleset(&v, &RipperParams::default(), &dl_ctx, vec![sloppy], &mut rng);
+        let after_dl = dl_ctx.ruleset_dl(&v, &optimized);
+        assert!(after_dl <= before_dl, "DL must not increase: {after_dl} vs {before_dl}");
+        // the optimised rule should be the clean band
+        let c = v.coverage(&optimized[0]);
+        assert_eq!(c.neg(), 0.0, "optimised rule should be pure, got {:?}", optimized[0]);
+    }
+
+    #[test]
+    fn optimization_preserves_rule_count() {
+        let (d, is_pos) = data();
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let dl_ctx = DlContext::new(&v);
+        let r1 = Rule::new(vec![Condition::NumLe { attr: 0, value: 4.0 }]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let optimized =
+            optimize_ruleset(&v, &RipperParams::default(), &dl_ctx, vec![r1], &mut rng);
+        assert_eq!(optimized.len(), 1);
+    }
+}

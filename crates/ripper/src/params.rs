@@ -1,0 +1,74 @@
+//! RIPPER parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of [`crate::RipperLearner`]. The defaults reproduce the "default
+/// recommended settings" the paper uses for its comparisons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RipperParams {
+    /// Number of optimisation passes over the rule set (Cohen's `k`;
+    /// RIPPER*k*). Default 2.
+    pub k_optimizations: usize,
+    /// Fraction of the remaining data used as the *prune* split each
+    /// iteration (Cohen: one third).
+    pub prune_frac: f64,
+    /// MDL slack: stop adding rules when the set's description length
+    /// exceeds the minimum seen so far by this many bits.
+    pub mdl_slack_bits: f64,
+    /// Seed of the grow/prune splits (the only stochastic element).
+    pub seed: u64,
+    /// Safety cap on the number of rules.
+    pub max_rules: usize,
+    /// Safety cap on rule length during growth.
+    pub max_rule_len: usize,
+}
+
+impl Default for RipperParams {
+    fn default() -> Self {
+        RipperParams {
+            k_optimizations: 2,
+            prune_frac: 1.0 / 3.0,
+            mdl_slack_bits: 64.0,
+            seed: 0xA11CE,
+            max_rules: 200,
+            max_rule_len: 32,
+        }
+    }
+}
+
+impl RipperParams {
+    /// Panics if a parameter is out of range.
+    pub fn validate(&self) {
+        assert!(
+            self.prune_frac > 0.0 && self.prune_frac < 1.0,
+            "prune_frac must be in (0,1), got {}",
+            self.prune_frac
+        );
+        assert!(self.mdl_slack_bits >= 0.0, "mdl_slack_bits must be non-negative");
+        assert!(self.max_rules > 0, "max_rules must be positive");
+        assert!(self.max_rule_len > 0, "max_rule_len must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        RipperParams::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "prune_frac")]
+    fn bad_prune_frac_panics() {
+        RipperParams { prune_frac: 1.0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = RipperParams { k_optimizations: 4, ..Default::default() };
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<RipperParams>(&json).unwrap(), p);
+    }
+}

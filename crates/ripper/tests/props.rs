@@ -1,0 +1,96 @@
+//! Property-based tests for RIPPER's sub-procedures.
+
+use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+use pnr_ripper::{grow_rule_foil, prune_rule, RipperLearner, RipperParams};
+use pnr_rules::{BinaryClassifier, Condition, Rule, TaskView};
+use proptest::prelude::*;
+
+fn dataset(rows: &[(f64, bool)]) -> (Dataset, Vec<bool>) {
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("x", AttrType::Numeric);
+    b.add_class("pos");
+    b.add_class("neg");
+    for &(x, p) in rows {
+        b.push_row(&[Value::num(x)], if p { "pos" } else { "neg" }, 1.0).unwrap();
+    }
+    let d = b.finish();
+    let flags: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+    (d, flags)
+}
+
+fn rows() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    prop::collection::vec((-30.0f64..30.0, prop::bool::ANY), 6..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grown_rules_cover_at_least_one_positive(data_rows in rows()) {
+        let (d, flags) = dataset(&data_rows);
+        let v = TaskView::full(&d, &flags, d.weights());
+        if let Some(rule) = grow_rule_foil(&v, 16) {
+            let c = v.coverage(&rule);
+            prop_assert!(c.pos > 0.0, "grown rule covers no positives");
+            prop_assert!(rule.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn pruning_never_reduces_prune_set_value(data_rows in rows(), t in -30.0f64..30.0, t2 in -30.0f64..30.0) {
+        let (d, flags) = dataset(&data_rows);
+        let v = TaskView::full(&d, &flags, d.weights());
+        let rule = Rule::new(vec![
+            Condition::NumLe { attr: 0, value: t },
+            Condition::NumGt { attr: 0, value: t2 },
+        ]);
+        let c0 = v.coverage(&rule);
+        let v0 = if c0.total == 0.0 { 0.0 } else { (c0.pos - c0.neg()) / c0.total };
+        let (pruned, v_star) = prune_rule(&rule, &v);
+        prop_assert!(v_star + 1e-9 >= v0, "pruned value {v_star} below original {v0}");
+        prop_assert!(!pruned.is_empty() && pruned.len() <= rule.len());
+    }
+
+    #[test]
+    fn model_predictions_are_crisp_and_bounded(data_rows in rows()) {
+        let (d, _) = dataset(&data_rows);
+        let model = RipperLearner::new(RipperParams::default()).fit(&d, 0);
+        for row in 0..d.n_rows() {
+            let s = model.score(&d, row);
+            prop_assert!((0.0..=1.0).contains(&s));
+            // prediction implies a rule matched, which implies score > 0
+            if model.predict(&d, row) {
+                prop_assert!(s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_determinism(data_rows in rows(), seed in 0u64..500) {
+        let (d, _) = dataset(&data_rows);
+        let params = RipperParams { seed, ..Default::default() };
+        let m1 = RipperLearner::new(params.clone()).fit(&d, 0);
+        let m2 = RipperLearner::new(params).fit(&d, 0);
+        prop_assert_eq!(m1.rules(), m2.rules());
+    }
+
+    #[test]
+    fn separable_data_is_learned(split in -20.0f64..20.0, n in 30usize..120) {
+        let rows: Vec<(f64, bool)> = (0..n)
+            .map(|i| {
+                let off = 1.0 + (i % 13) as f64;
+                if i % 2 == 0 { (split - off, true) } else { (split + off, false) }
+            })
+            .collect();
+        let (d, _) = dataset(&rows);
+        let model = RipperLearner::new(RipperParams::default()).fit(&d, 0);
+        let correct = (0..d.n_rows())
+            .filter(|&r| model.predict(&d, r) == (d.label(r) == 0))
+            .count();
+        prop_assert!(
+            correct as f64 / d.n_rows() as f64 > 0.9,
+            "separable accuracy {}",
+            correct as f64 / d.n_rows() as f64
+        );
+    }
+}

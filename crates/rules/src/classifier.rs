@@ -1,0 +1,140 @@
+//! The common classifier interface every learner's model implements.
+
+use pnr_data::Dataset;
+use pnr_metrics::{BinaryConfusion, PrCurve};
+
+/// A trained binary (target vs rest) classifier.
+///
+/// `score` returns an estimate of `P(target | record)` in `[0,1]`;
+/// `predict` thresholds it. PNrule's ScoreMatrix produces calibrated-ish
+/// probabilities, RIPPER and C4.5rules produce {0,1}-style scores from their
+/// crisp decisions — both fit this interface, which is what the experiment
+/// harness evaluates.
+pub trait BinaryClassifier {
+    /// Probability-like score that `row` of `data` belongs to the target
+    /// class.
+    fn score(&self, data: &Dataset, row: usize) -> f64;
+
+    /// Crisp decision at the classifier's threshold (default 0.5).
+    fn predict(&self, data: &Dataset, row: usize) -> bool {
+        self.score(data, row) > 0.5
+    }
+}
+
+/// A classifier that predicts a constant score; the degenerate model the
+/// paper's accuracy critique warns about ("predict everything non-target"),
+/// useful as a floor baseline in tests and benches.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantClassifier {
+    /// The constant score returned for every record.
+    pub score: f64,
+}
+
+impl BinaryClassifier for ConstantClassifier {
+    fn score(&self, _data: &Dataset, _row: usize) -> f64 {
+        self.score
+    }
+}
+
+/// Evaluates `clf` on every row of `data`, treating records labelled
+/// `target` as actual positives. Cells accumulate record weights.
+pub fn evaluate_classifier<C: BinaryClassifier + ?Sized>(
+    clf: &C,
+    data: &Dataset,
+    target: u32,
+) -> BinaryConfusion {
+    let mut cm = BinaryConfusion::new();
+    for row in 0..data.n_rows() {
+        cm.record(data.label(row) == target, clf.predict(data, row), data.weight(row));
+    }
+    cm
+}
+
+/// Builds the precision-recall curve of `clf`'s scores over `data` for the
+/// `target` class — the threshold-free view of a scored rare-class
+/// classifier.
+pub fn score_curve<C: BinaryClassifier + ?Sized>(
+    clf: &C,
+    data: &Dataset,
+    target: u32,
+) -> PrCurve {
+    let scored: Vec<(f64, bool, f64)> = (0..data.n_rows())
+        .map(|row| (clf.score(data, row), data.label(row) == target, data.weight(row)))
+        .collect();
+    PrCurve::from_scored(scored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+
+    fn data() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("pos");
+        b.add_class("neg");
+        for i in 0..10 {
+            b.push_row(&[Value::num(i as f64)], if i < 3 { "pos" } else { "neg" }, 1.0).unwrap();
+        }
+        b.finish()
+    }
+
+    struct ThresholdClf;
+    impl BinaryClassifier for ThresholdClf {
+        fn score(&self, data: &Dataset, row: usize) -> f64 {
+            if data.num(0, row) < 4.0 {
+                0.9
+            } else {
+                0.1
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_counts_cells() {
+        let d = data();
+        let cm = evaluate_classifier(&ThresholdClf, &d, 0);
+        // predicts rows 0..4 positive; actual positives are rows 0..3
+        assert_eq!(cm.tp, 3.0);
+        assert_eq!(cm.fp, 1.0);
+        assert_eq!(cm.fn_, 0.0);
+        assert_eq!(cm.tn, 6.0);
+        assert_eq!(cm.recall(), 1.0);
+        assert_eq!(cm.precision(), 0.75);
+    }
+
+    #[test]
+    fn constant_all_negative_has_zero_f() {
+        let d = data();
+        let cm = evaluate_classifier(&ConstantClassifier { score: 0.0 }, &d, 0);
+        assert_eq!(cm.f_measure(), 0.0);
+        assert!(cm.accuracy() > 0.5);
+    }
+
+    #[test]
+    fn constant_all_positive_has_full_recall() {
+        let d = data();
+        let cm = evaluate_classifier(&ConstantClassifier { score: 1.0 }, &d, 0);
+        assert_eq!(cm.recall(), 1.0);
+        assert_eq!(cm.precision(), 0.3);
+    }
+
+    #[test]
+    fn score_curve_ranks_threshold_classifier_perfectly() {
+        let d = data();
+        let curve = score_curve(&ThresholdClf, &d, 0);
+        assert!(!curve.is_empty());
+        // ThresholdClf scores rows 0..4 high; actual positives are 0..3:
+        // best F on the curve is 2*1.0*0.75/1.75
+        let best = curve.best_f_point().unwrap();
+        assert!((best.f - 6.0 / 7.0).abs() < 1e-9, "best F {}", best.f);
+    }
+
+    #[test]
+    fn predict_thresholds_score() {
+        let d = data();
+        let c = ConstantClassifier { score: 0.5 };
+        assert!(!c.predict(&d, 0), "score exactly 0.5 is not positive");
+    }
+}

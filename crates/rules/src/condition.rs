@@ -1,0 +1,183 @@
+//! Atomic conditions on a single attribute.
+
+use pnr_data::{Dataset, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An atomic test on one attribute of a record.
+///
+/// Numeric thresholds follow the closed-on-the-right convention used
+/// throughout the workspace: `NumLe` is `A ≤ v`, `NumGt` is `A > v`, and
+/// `NumRange` is the half-open interval `lo < A ≤ hi` — so a range is
+/// exactly the conjunction `NumGt(lo) ∧ NumLe(hi)` and the three forms
+/// partition cleanly at sorted-value boundaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// Categorical attribute equals the dictionary code.
+    CatEq {
+        /// Attribute index.
+        attr: usize,
+        /// Dictionary code of the value.
+        value: u32,
+    },
+    /// Numeric attribute `≤ v`.
+    NumLe {
+        /// Attribute index.
+        attr: usize,
+        /// Threshold.
+        value: f64,
+    },
+    /// Numeric attribute `> v`.
+    NumGt {
+        /// Attribute index.
+        attr: usize,
+        /// Threshold.
+        value: f64,
+    },
+    /// Numeric attribute in `(lo, hi]`.
+    NumRange {
+        /// Attribute index.
+        attr: usize,
+        /// Exclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl Condition {
+    /// The attribute this condition tests.
+    pub fn attr(&self) -> usize {
+        match *self {
+            Condition::CatEq { attr, .. }
+            | Condition::NumLe { attr, .. }
+            | Condition::NumGt { attr, .. }
+            | Condition::NumRange { attr, .. } => attr,
+        }
+    }
+
+    /// Whether `row` of `data` satisfies the condition.
+    #[inline]
+    pub fn matches(&self, data: &Dataset, row: usize) -> bool {
+        match *self {
+            Condition::CatEq { attr, value } => data.cat(attr, row) == value,
+            Condition::NumLe { attr, value } => data.num(attr, row) <= value,
+            Condition::NumGt { attr, value } => data.num(attr, row) > value,
+            Condition::NumRange { attr, lo, hi } => {
+                let x = data.num(attr, row);
+                lo < x && x <= hi
+            }
+        }
+    }
+
+    /// A displayable form that resolves attribute and value names through
+    /// `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayCondition<'a> {
+        DisplayCondition { cond: self, schema }
+    }
+}
+
+/// Pretty-printer for a [`Condition`] with schema-resolved names.
+pub struct DisplayCondition<'a> {
+    cond: &'a Condition,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayCondition<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |attr: usize| &self.schema.attr(attr).name;
+        match *self.cond {
+            Condition::CatEq { attr, value } => {
+                write!(f, "{} = {}", name(attr), self.schema.attr(attr).dict.name(value))
+            }
+            Condition::NumLe { attr, value } => write!(f, "{} <= {}", name(attr), value),
+            Condition::NumGt { attr, value } => write!(f, "{} > {}", name(attr), value),
+            Condition::NumRange { attr, lo, hi } => {
+                write!(f, "{} in ({}, {}]", name(attr), lo, hi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+
+    fn data() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        b.push_row(&[Value::num(1.0), Value::cat("a")], "c", 1.0).unwrap();
+        b.push_row(&[Value::num(2.0), Value::cat("b")], "c", 1.0).unwrap();
+        b.push_row(&[Value::num(3.0), Value::cat("a")], "c", 1.0).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn cat_eq_matches_code() {
+        let d = data();
+        let a = d.schema().attr(1).dict.code("a").unwrap();
+        let c = Condition::CatEq { attr: 1, value: a };
+        assert!(c.matches(&d, 0));
+        assert!(!c.matches(&d, 1));
+        assert!(c.matches(&d, 2));
+    }
+
+    #[test]
+    fn numeric_thresholds_are_inclusive_exclusive() {
+        let d = data();
+        let le = Condition::NumLe { attr: 0, value: 2.0 };
+        assert!(le.matches(&d, 0) && le.matches(&d, 1) && !le.matches(&d, 2));
+        let gt = Condition::NumGt { attr: 0, value: 2.0 };
+        assert!(!gt.matches(&d, 0) && !gt.matches(&d, 1) && gt.matches(&d, 2));
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let d = data();
+        let r = Condition::NumRange { attr: 0, lo: 1.0, hi: 2.0 };
+        assert!(!r.matches(&d, 0), "lo is exclusive");
+        assert!(r.matches(&d, 1), "hi is inclusive");
+        assert!(!r.matches(&d, 2));
+    }
+
+    #[test]
+    fn range_equals_conjunction_of_sides() {
+        let d = data();
+        let r = Condition::NumRange { attr: 0, lo: 1.0, hi: 3.0 };
+        let gt = Condition::NumGt { attr: 0, value: 1.0 };
+        let le = Condition::NumLe { attr: 0, value: 3.0 };
+        for row in 0..d.n_rows() {
+            assert_eq!(r.matches(&d, row), gt.matches(&d, row) && le.matches(&d, row));
+        }
+    }
+
+    #[test]
+    fn display_resolves_names() {
+        let d = data();
+        let a = d.schema().attr(1).dict.code("a").unwrap();
+        assert_eq!(
+            Condition::CatEq { attr: 1, value: a }.display(d.schema()).to_string(),
+            "k = a"
+        );
+        assert_eq!(
+            Condition::NumRange { attr: 0, lo: 0.5, hi: 1.5 }.display(d.schema()).to_string(),
+            "x in (0.5, 1.5]"
+        );
+        assert_eq!(
+            Condition::NumLe { attr: 0, value: 2.0 }.display(d.schema()).to_string(),
+            "x <= 2"
+        );
+        assert_eq!(
+            Condition::NumGt { attr: 0, value: 2.0 }.display(d.schema()).to_string(),
+            "x > 2"
+        );
+    }
+
+    #[test]
+    fn attr_accessor() {
+        assert_eq!(Condition::NumLe { attr: 3, value: 0.0 }.attr(), 3);
+        assert_eq!(Condition::CatEq { attr: 1, value: 0 }.attr(), 1);
+    }
+}

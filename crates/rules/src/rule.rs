@@ -1,0 +1,177 @@
+//! Conjunctive rules.
+
+use crate::condition::Condition;
+use pnr_data::{Dataset, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A conjunction of [`Condition`]s. The empty rule matches every record (the
+/// most general rule, the starting point of general-to-specific induction).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    conditions: Vec<Condition>,
+}
+
+impl Rule {
+    /// The empty (always-true) rule.
+    pub fn empty() -> Self {
+        Rule::default()
+    }
+
+    /// A rule from a list of conditions.
+    pub fn new(conditions: Vec<Condition>) -> Self {
+        Rule { conditions }
+    }
+
+    /// The rule's conditions in the order they were added.
+    pub fn conditions(&self) -> &[Condition] {
+        &self.conditions
+    }
+
+    /// Number of conditions (the rule's length).
+    pub fn len(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// True for the empty rule.
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+
+    /// Returns a copy of this rule with `cond` appended.
+    pub fn refined_with(&self, cond: Condition) -> Rule {
+        let mut conditions = Vec::with_capacity(self.conditions.len() + 1);
+        conditions.extend_from_slice(&self.conditions);
+        conditions.push(cond);
+        Rule { conditions }
+    }
+
+    /// Appends a condition in place.
+    pub fn push(&mut self, cond: Condition) {
+        self.conditions.push(cond);
+    }
+
+    /// Returns a copy with the condition at `index` removed (used by pruning
+    /// procedures that generalise rules).
+    pub fn without_condition(&self, index: usize) -> Rule {
+        let mut conditions = self.conditions.clone();
+        conditions.remove(index);
+        Rule { conditions }
+    }
+
+    /// Returns a copy truncated to its first `len` conditions (used by
+    /// RIPPER's final-sequence pruning).
+    pub fn truncated(&self, len: usize) -> Rule {
+        Rule { conditions: self.conditions[..len.min(self.conditions.len())].to_vec() }
+    }
+
+    /// Whether `row` of `data` satisfies every condition.
+    #[inline]
+    pub fn matches(&self, data: &Dataset, row: usize) -> bool {
+        self.conditions.iter().all(|c| c.matches(data, row))
+    }
+
+    /// A displayable form resolving names through `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayRule<'a> {
+        DisplayRule { rule: self, schema }
+    }
+}
+
+/// Pretty-printer for a [`Rule`].
+pub struct DisplayRule<'a> {
+    rule: &'a Rule,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayRule<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rule.is_empty() {
+            return write!(f, "TRUE");
+        }
+        for (i, c) in self.rule.conditions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{}", c.display(self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+
+    fn data() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("y", AttrType::Numeric);
+        for (x, y) in [(1.0, 1.0), (1.0, 5.0), (4.0, 1.0), (4.0, 5.0)] {
+            b.push_row(&[Value::num(x), Value::num(y)], "c", 1.0).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn empty_rule_matches_everything() {
+        let d = data();
+        let r = Rule::empty();
+        assert!(r.is_empty());
+        for row in 0..d.n_rows() {
+            assert!(r.matches(&d, row));
+        }
+    }
+
+    #[test]
+    fn conjunction_requires_all_conditions() {
+        let d = data();
+        let r = Rule::new(vec![
+            Condition::NumLe { attr: 0, value: 2.0 },
+            Condition::NumGt { attr: 1, value: 2.0 },
+        ]);
+        let matched: Vec<usize> = (0..d.n_rows()).filter(|&row| r.matches(&d, row)).collect();
+        assert_eq!(matched, vec![1]);
+    }
+
+    #[test]
+    fn refined_with_appends_without_mutating_original() {
+        let r = Rule::empty();
+        let r1 = r.refined_with(Condition::NumLe { attr: 0, value: 2.0 });
+        assert_eq!(r.len(), 0);
+        assert_eq!(r1.len(), 1);
+    }
+
+    #[test]
+    fn without_condition_removes_by_index() {
+        let r = Rule::new(vec![
+            Condition::NumLe { attr: 0, value: 2.0 },
+            Condition::NumGt { attr: 1, value: 2.0 },
+        ]);
+        let g = r.without_condition(0);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.conditions()[0].attr(), 1);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let r = Rule::new(vec![
+            Condition::NumLe { attr: 0, value: 2.0 },
+            Condition::NumGt { attr: 1, value: 2.0 },
+        ]);
+        assert_eq!(r.truncated(1).len(), 1);
+        assert_eq!(r.truncated(9).len(), 2);
+        assert_eq!(r.truncated(0), Rule::empty());
+    }
+
+    #[test]
+    fn display_joins_with_and() {
+        let d = data();
+        let r = Rule::new(vec![
+            Condition::NumLe { attr: 0, value: 2.0 },
+            Condition::NumGt { attr: 1, value: 2.0 },
+        ]);
+        assert_eq!(r.display(d.schema()).to_string(), "x <= 2 AND y > 2");
+        assert_eq!(Rule::empty().display(d.schema()).to_string(), "TRUE");
+    }
+}

@@ -1,0 +1,500 @@
+//! Greedy best-condition search, including the paper's range finder.
+//!
+//! For categorical attributes every `attr = value` test is scored from a
+//! single counting pass. For numeric attributes the two one-sided tests
+//! `A ≤ v` and `A > v` are scored for every distinct-value boundary in one
+//! scan of the dataset's global sort index (section 2.2 of the paper), and a
+//! **range-based** condition `lo < A ≤ hi` is then sought with one extra
+//! scan: the better one-sided bound is fixed and the opposite bound swept —
+//! "If condition A ≤ vᵣ has higher value than condition A > vₗ, then we fix
+//! vᵣ and scan for the best value of vₗ to the left of vᵣ", and vice versa.
+
+use crate::condition::Condition;
+use crate::stats::{CovStats, EvalMetric};
+use crate::task::TaskView;
+use pnr_data::Column;
+
+/// Options controlling condition search.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Evaluate explicit range conditions on numeric attributes (the
+    /// paper's method). Disable to emulate learners that only use one-sided
+    /// tests (RIPPER, C4.5) or for the `ablation_range` experiment.
+    pub use_ranges: bool,
+    /// Minimum weighted support (total covered weight) a candidate must
+    /// retain. The P-phase sets this to its min-support floor; 0 disables.
+    pub min_support_weight: f64,
+    /// Optional `(pos_total, n_total)` context the metric is evaluated
+    /// against, overriding the view's own totals. The paper scores both the
+    /// current rule and its refinement "with respect to the distribution of
+    /// target class in the data-set that remains after removing data
+    /// supported by earlier rules" — i.e. against the rule's starting view,
+    /// not the shrinking refinement view.
+    pub context: Option<(f64, f64)>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { use_ranges: true, min_support_weight: 0.0, context: None }
+    }
+}
+
+/// A scored candidate condition.
+#[derive(Debug, Clone)]
+pub struct CandidateCondition {
+    /// The condition itself.
+    pub condition: Condition,
+    /// Its weighted coverage over the searched view.
+    pub stats: CovStats,
+    /// Its evaluation-metric score.
+    pub score: f64,
+}
+
+/// Tracks the best candidate seen; strictly-greater comparison keeps the
+/// search deterministic (first best wins ties).
+#[derive(Debug, Default)]
+struct Best {
+    cand: Option<CandidateCondition>,
+}
+
+impl Best {
+    fn offer(&mut self, condition: Condition, stats: CovStats, score: f64) {
+        if !score.is_finite() {
+            return;
+        }
+        if self.cand.as_ref().is_none_or(|c| score > c.score) {
+            self.cand = Some(CandidateCondition { condition, stats, score });
+        }
+    }
+}
+
+/// Finds the highest-scoring single condition over the view, or `None` when
+/// no candidate has positive support under the constraints.
+pub fn find_best_condition(
+    view: &TaskView<'_>,
+    metric: EvalMetric,
+    opts: &SearchOptions,
+) -> Option<CandidateCondition> {
+    if view.is_empty() {
+        return None;
+    }
+    let (pos_total, n_total) =
+        opts.context.unwrap_or_else(|| (view.pos_weight(), view.total_weight()));
+    let mut best = Best::default();
+    let mask = view.rows.mask(view.data.n_rows());
+
+    for attr in 0..view.data.n_attrs() {
+        match view.data.column(attr) {
+            Column::Cat(_) => {
+                search_categorical(view, attr, metric, opts, pos_total, n_total, &mut best)
+            }
+            Column::Num(_) => {
+                search_numeric(view, attr, &mask, metric, opts, pos_total, n_total, &mut best)
+            }
+        }
+    }
+    best.cand
+}
+
+fn search_categorical(
+    view: &TaskView<'_>,
+    attr: usize,
+    metric: EvalMetric,
+    opts: &SearchOptions,
+    pos_total: f64,
+    n_total: f64,
+    best: &mut Best,
+) {
+    let n_values = view.data.schema().attr(attr).dict.len();
+    if n_values == 0 {
+        return;
+    }
+    let mut pos = vec![0.0f64; n_values];
+    let mut tot = vec![0.0f64; n_values];
+    for r in view.rows.iter() {
+        let code = view.data.cat(attr, r as usize) as usize;
+        let w = view.weights[r as usize];
+        tot[code] += w;
+        if view.is_pos[r as usize] {
+            pos[code] += w;
+        }
+    }
+    for code in 0..n_values {
+        if tot[code] == 0.0 || tot[code] < opts.min_support_weight {
+            continue;
+        }
+        let stats = CovStats::new(pos[code], tot[code]);
+        let score = metric.score(stats, pos_total, n_total);
+        best.offer(Condition::CatEq { attr, value: code as u32 }, stats, score);
+    }
+}
+
+/// Cumulative weights at each distinct-value boundary of a numeric attribute
+/// restricted to the view's rows: `cum_pos[i]` / `cum_tot[i]` cover all view
+/// rows with value ≤ `values[i]`.
+struct Boundaries {
+    values: Vec<f64>,
+    cum_pos: Vec<f64>,
+    cum_tot: Vec<f64>,
+}
+
+impl Boundaries {
+    /// Threshold for a cut after boundary `i`: the midpoint between the
+    /// boundary value and the next distinct value. Train-set coverage is
+    /// identical to cutting at the value itself, but the midpoint
+    /// generalises symmetrically to unseen records between the two training
+    /// values.
+    fn threshold(&self, i: usize) -> f64 {
+        if i + 1 < self.values.len() {
+            (self.values[i] + self.values[i + 1]) / 2.0
+        } else {
+            self.values[i]
+        }
+    }
+
+    /// Lower bound for a range starting after boundary `i` (midpoint below).
+    fn lower_threshold(&self, i: usize) -> f64 {
+        self.threshold(i)
+    }
+    /// Coverage of the half-open interval `(values[lo_idx], values[hi_idx]]`;
+    /// `lo_idx == None` means unbounded below.
+    fn interval(&self, lo_idx: Option<usize>, hi_idx: usize) -> CovStats {
+        let (lp, lt) = match lo_idx {
+            Some(i) => (self.cum_pos[i], self.cum_tot[i]),
+            None => (0.0, 0.0),
+        };
+        CovStats::new(self.cum_pos[hi_idx] - lp, self.cum_tot[hi_idx] - lt)
+    }
+
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+}
+
+fn build_boundaries(view: &TaskView<'_>, attr: usize, mask: &[bool]) -> Boundaries {
+    let sorted = view.data.sort_index(attr);
+    let mut b = Boundaries { values: Vec::new(), cum_pos: Vec::new(), cum_tot: Vec::new() };
+    let mut cum_pos = 0.0;
+    let mut cum_tot = 0.0;
+    for &r in sorted {
+        if !mask[r as usize] {
+            continue;
+        }
+        let v = view.data.num(attr, r as usize);
+        let w = view.weights[r as usize];
+        if b.values.last() == Some(&v) {
+            cum_tot += w;
+            if view.is_pos[r as usize] {
+                cum_pos += w;
+            }
+            *b.cum_pos.last_mut().expect("non-empty") = cum_pos;
+            *b.cum_tot.last_mut().expect("non-empty") = cum_tot;
+        } else {
+            cum_tot += w;
+            if view.is_pos[r as usize] {
+                cum_pos += w;
+            }
+            b.values.push(v);
+            b.cum_pos.push(cum_pos);
+            b.cum_tot.push(cum_tot);
+        }
+    }
+    b
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_numeric(
+    view: &TaskView<'_>,
+    attr: usize,
+    mask: &[bool],
+    metric: EvalMetric,
+    opts: &SearchOptions,
+    pos_total: f64,
+    n_total: f64,
+    best: &mut Best,
+) {
+    let b = build_boundaries(view, attr, mask);
+    if b.len() < 2 {
+        // A constant attribute offers no split.
+        return;
+    }
+    let all = CovStats::new(*b.cum_pos.last().expect("non-empty"), *b.cum_tot.last().expect("non-empty"));
+
+    // One-sided scan. The last boundary is excluded for `≤` (covers all) and
+    // for `>` (covers nothing).
+    let mut best_le: Option<(usize, f64)> = None;
+    let mut best_gt: Option<(usize, f64)> = None;
+    for i in 0..b.len() - 1 {
+        let le = b.interval(None, i);
+        if le.total >= opts.min_support_weight {
+            let s = metric.score(le, pos_total, n_total);
+            if s.is_finite() && best_le.is_none_or(|(_, bs)| s > bs) {
+                best_le = Some((i, s));
+            }
+        }
+        let gt = CovStats::new(all.pos - le.pos, all.total - le.total);
+        if gt.total >= opts.min_support_weight {
+            let s = metric.score(gt, pos_total, n_total);
+            if s.is_finite() && best_gt.is_none_or(|(_, bs)| s > bs) {
+                best_gt = Some((i, s));
+            }
+        }
+    }
+    if let Some((i, s)) = best_le {
+        best.offer(Condition::NumLe { attr, value: b.threshold(i) }, b.interval(None, i), s);
+    }
+    if let Some((i, s)) = best_gt {
+        let le = b.interval(None, i);
+        let stats = CovStats::new(all.pos - le.pos, all.total - le.total);
+        best.offer(Condition::NumGt { attr, value: b.threshold(i) }, stats, s);
+    }
+
+    if !opts.use_ranges {
+        return;
+    }
+
+    // Range scan: fix the better one-sided bound and sweep the other side.
+    let (le_score, gt_score) = (
+        best_le.map_or(f64::NEG_INFINITY, |(_, s)| s),
+        best_gt.map_or(f64::NEG_INFINITY, |(_, s)| s),
+    );
+    if le_score == f64::NEG_INFINITY && gt_score == f64::NEG_INFINITY {
+        return;
+    }
+    if gt_score >= le_score {
+        // Best one-sided is `A > v_lo`: fix lo, scan hi to the right.
+        let (lo_idx, _) = best_gt.expect("gt_score finite implies candidate");
+        for hi_idx in lo_idx + 1..b.len() - 1 {
+            let stats = b.interval(Some(lo_idx), hi_idx);
+            if stats.total < opts.min_support_weight {
+                continue;
+            }
+            let s = metric.score(stats, pos_total, n_total);
+            best.offer(
+                Condition::NumRange {
+                    attr,
+                    lo: b.lower_threshold(lo_idx),
+                    hi: b.threshold(hi_idx),
+                },
+                stats,
+                s,
+            );
+        }
+    } else {
+        // Best one-sided is `A ≤ v_hi`: fix hi, scan lo to the left.
+        let (hi_idx, _) = best_le.expect("le_score finite implies candidate");
+        for lo_idx in 0..hi_idx {
+            let stats = b.interval(Some(lo_idx), hi_idx);
+            if stats.total < opts.min_support_weight {
+                continue;
+            }
+            let s = metric.score(stats, pos_total, n_total);
+            best.offer(
+                Condition::NumRange {
+                    attr,
+                    lo: b.lower_threshold(lo_idx),
+                    hi: b.threshold(hi_idx),
+                },
+                stats,
+                s,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+
+    fn numeric_data(values: &[(f64, bool)]) -> (Dataset, Vec<bool>) {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("pos");
+        b.add_class("neg");
+        for &(x, p) in values {
+            b.push_row(&[Value::num(x)], if p { "pos" } else { "neg" }, 1.0).unwrap();
+        }
+        let d = b.finish();
+        let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        (d, is_pos)
+    }
+
+    #[test]
+    fn one_sided_threshold_found_on_separable_data() {
+        let (d, is_pos) =
+            numeric_data(&[(1.0, true), (2.0, true), (3.0, false), (4.0, false)]);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let best =
+            find_best_condition(&v, EvalMetric::EntropyGain, &SearchOptions::default()).unwrap();
+        // x ≤ 2 isolates the positives perfectly
+        assert_eq!(best.stats.pos, 2.0);
+        assert_eq!(best.stats.total, 2.0);
+        match best.condition {
+            // midpoint between the boundary value 2 and the next value 3
+            Condition::NumLe { value, .. } => assert_eq!(value, 2.5),
+            ref c => panic!("expected NumLe, got {c:?}"),
+        }
+    }
+
+    #[test]
+    fn range_condition_isolates_interior_peak() {
+        // positives form an interior band: only a range isolates them in one step
+        let rows: Vec<(f64, bool)> =
+            (0..20).map(|i| (i as f64, (8..12).contains(&i))).collect();
+        let (d, is_pos) = numeric_data(&rows);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let best = find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default()).unwrap();
+        match best.condition {
+            Condition::NumRange { lo, hi, .. } => {
+                // midpoints between the boundary values and their neighbours
+                assert_eq!(lo, 7.5);
+                assert_eq!(hi, 11.5);
+            }
+            ref c => panic!("expected NumRange, got {c:?}"),
+        }
+        assert_eq!(best.stats.pos, 4.0);
+        assert_eq!(best.stats.total, 4.0);
+    }
+
+    #[test]
+    fn disabling_ranges_falls_back_to_one_sided() {
+        let rows: Vec<(f64, bool)> =
+            (0..20).map(|i| (i as f64, (8..12).contains(&i))).collect();
+        let (d, is_pos) = numeric_data(&rows);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let opts = SearchOptions { use_ranges: false, ..Default::default() };
+        let best = find_best_condition(&v, EvalMetric::ZNumber, &opts).unwrap();
+        assert!(
+            matches!(best.condition, Condition::NumLe { .. } | Condition::NumGt { .. }),
+            "got {:?}",
+            best.condition
+        );
+    }
+
+    #[test]
+    fn range_never_scores_worse_than_best_one_sided() {
+        // On several random-ish configurations the returned best candidate
+        // with ranges enabled must score >= the best without ranges.
+        let patterns: Vec<Vec<(f64, bool)>> = vec![
+            (0..30).map(|i| (i as f64 % 7.0, i % 3 == 0)).collect(),
+            (0..30).map(|i| ((i * i % 13) as f64, i % 5 == 0)).collect(),
+            (0..30).map(|i| (i as f64, i >= 25)).collect(),
+        ];
+        for rows in patterns {
+            let (d, is_pos) = numeric_data(&rows);
+            let v = TaskView::full(&d, &is_pos, d.weights());
+            let with = find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default());
+            let without = find_best_condition(
+                &v,
+                EvalMetric::ZNumber,
+                &SearchOptions { use_ranges: false, ..Default::default() },
+            );
+            match (with, without) {
+                (Some(w), Some(wo)) => assert!(w.score >= wo.score - 1e-12),
+                (None, Some(_)) => panic!("range search lost candidates"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_value_selected() {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("k", AttrType::Categorical);
+        b.add_class("pos");
+        b.add_class("neg");
+        for (k, c) in [("a", "pos"), ("a", "pos"), ("b", "neg"), ("c", "neg"), ("a", "neg")] {
+            b.push_row(&[Value::cat(k)], c, 1.0).unwrap();
+        }
+        let d = b.finish();
+        let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let best = find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default()).unwrap();
+        match best.condition {
+            Condition::CatEq { attr: 0, value } => {
+                assert_eq!(d.schema().attr(0).dict.name(value), "a")
+            }
+            ref c => panic!("expected CatEq, got {c:?}"),
+        }
+        assert_eq!(best.stats.pos, 2.0);
+        assert_eq!(best.stats.total, 3.0);
+    }
+
+    #[test]
+    fn min_support_filters_small_candidates() {
+        let (d, is_pos) = numeric_data(&[
+            (1.0, true),
+            (2.0, false),
+            (2.0, false),
+            (3.0, false),
+            (3.0, true),
+            (4.0, false),
+        ]);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let opts = SearchOptions { min_support_weight: 3.0, ..Default::default() };
+        let best = find_best_condition(&v, EvalMetric::ZNumber, &opts);
+        if let Some(c) = best {
+            assert!(c.stats.total >= 3.0, "support {} below floor", c.stats.total);
+        }
+    }
+
+    #[test]
+    fn constant_attribute_yields_no_candidate() {
+        let (d, is_pos) = numeric_data(&[(5.0, true), (5.0, false), (5.0, false)]);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        assert!(find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default()).is_none());
+    }
+
+    #[test]
+    fn empty_view_yields_none() {
+        let (d, is_pos) = numeric_data(&[(1.0, true)]);
+        let v = TaskView::over(&d, pnr_data::RowSet::empty(), &is_pos, d.weights());
+        assert!(find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default()).is_none());
+    }
+
+    #[test]
+    fn weighted_rows_shift_the_chosen_threshold() {
+        // One heavy positive at x=10 outweighs several unit negatives.
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("pos");
+        b.add_class("neg");
+        b.push_row(&[Value::num(10.0)], "pos", 50.0).unwrap();
+        for i in 0..5 {
+            b.push_row(&[Value::num(i as f64)], "neg", 1.0).unwrap();
+        }
+        let d = b.finish();
+        let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let best = find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default()).unwrap();
+        assert_eq!(best.stats.pos, 50.0);
+        assert_eq!(best.stats.neg(), 0.0);
+    }
+
+    #[test]
+    fn brute_force_agreement_one_sided() {
+        // Exhaustively verify the scan equals brute-force enumeration of all
+        // one-sided conditions on a small dataset.
+        let rows: Vec<(f64, bool)> = (0..15).map(|i| ((i % 5) as f64, i % 4 == 0)).collect();
+        let (d, is_pos) = numeric_data(&rows);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let opts = SearchOptions { use_ranges: false, ..Default::default() };
+        let got = find_best_condition(&v, EvalMetric::EntropyGain, &opts).unwrap();
+
+        let mut want = f64::NEG_INFINITY;
+        for t in 0..5 {
+            for cond in [
+                Condition::NumLe { attr: 0, value: t as f64 },
+                Condition::NumGt { attr: 0, value: t as f64 },
+            ] {
+                let stats = v.coverage(&crate::rule::Rule::new(vec![cond]));
+                if stats.total > 0.0 && stats.total < v.total_weight() {
+                    let s = EvalMetric::EntropyGain.score(stats, v.pos_weight(), v.total_weight());
+                    want = want.max(s);
+                }
+            }
+        }
+        assert!((got.score - want).abs() < 1e-12, "scan {} vs brute {}", got.score, want);
+    }
+}

@@ -1,0 +1,331 @@
+//! Weighted rule-evaluation statistics.
+//!
+//! Every statistic scores a candidate rule from four weighted counts: the
+//! rule's coverage of target examples (`pos`), its total coverage
+//! (`total` — the paper's notion of *support*, "the total number of examples
+//! a rule covers, positive as well as negative"), and the same two numbers
+//! for the data the rule is being evaluated against (`pos_total`, `n_total`).
+
+use serde::{Deserialize, Serialize};
+
+/// Weighted coverage of a candidate rule or condition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CovStats {
+    /// Weight of covered target-class examples.
+    pub pos: f64,
+    /// Weight of all covered examples (the rule's *support*).
+    pub total: f64,
+}
+
+impl CovStats {
+    /// Builds from the two weights.
+    pub fn new(pos: f64, total: f64) -> Self {
+        debug_assert!(pos >= -1e-9 && total + 1e-9 >= pos, "pos={pos} total={total}");
+        CovStats { pos, total }
+    }
+
+    /// Weight of covered non-target examples.
+    pub fn neg(&self) -> f64 {
+        self.total - self.pos
+    }
+
+    /// The rule's accuracy `pos / total` (0 on empty coverage).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.pos / self.total
+        }
+    }
+}
+
+/// The statistic used to rank candidate rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvalMetric {
+    /// The PNrule default (section 2.2): a one-sample z-statistic of the
+    /// rule's accuracy against the target prior, scaled by the square root
+    /// of the rule's support — high for rules with *both* high support and
+    /// accuracy above the prior.
+    ZNumber,
+    /// FOIL's information gain, the growth metric of RIPPER:
+    /// `pos · (log₂ a − log₂ a₀)`.
+    FoilGain,
+    /// Reduction of binary class entropy when the data is split into
+    /// covered / uncovered.
+    EntropyGain,
+    /// Entropy gain divided by the split information (C4.5's criterion
+    /// specialised to the covered/uncovered split).
+    GainRatio,
+    /// Reduction of Gini impurity when splitting into covered / uncovered.
+    GiniGain,
+    /// Pearson χ² statistic of the 2×2 coverage-vs-class table.
+    ChiSquared,
+    /// Laplace-corrected accuracy `(pos + 1) / (total + 2)`.
+    Laplace,
+}
+
+impl EvalMetric {
+    /// Scores a candidate with coverage `c` against a context with
+    /// `pos_total` target weight among `n_total` total weight. Larger is
+    /// better for every metric. Candidates with zero support score
+    /// `f64::NEG_INFINITY` so they are never selected.
+    pub fn score(self, c: CovStats, pos_total: f64, n_total: f64) -> f64 {
+        if c.total <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        match self {
+            EvalMetric::ZNumber => z_number(c, pos_total, n_total),
+            EvalMetric::FoilGain => foil_gain(c, pos_total, n_total),
+            EvalMetric::EntropyGain => entropy_gain(c, pos_total, n_total),
+            EvalMetric::GainRatio => gain_ratio(c, pos_total, n_total),
+            EvalMetric::GiniGain => gini_gain(c, pos_total, n_total),
+            EvalMetric::ChiSquared => chi_squared(c, pos_total, n_total),
+            EvalMetric::Laplace => (c.pos + 1.0) / (c.total + 2.0),
+        }
+    }
+}
+
+/// Z-number: `√S · (a − p₀) / √(p₀(1−p₀))` where `S` is the rule's support,
+/// `a` its accuracy and `p₀` the prior target fraction. Positive iff the
+/// rule beats the prior; grows with support at fixed accuracy.
+pub fn z_number(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
+    if n_total <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let p0 = pos_total / n_total;
+    let sigma0 = (p0 * (1.0 - p0)).sqrt();
+    if sigma0 == 0.0 {
+        // Degenerate prior (all-positive or all-negative data): no
+        // candidate can beat or trail it; every rule is equally scored.
+        return 0.0;
+    }
+    c.total.sqrt() * (c.accuracy() - p0) / sigma0
+}
+
+/// FOIL gain: `pos · (log₂(pos/total) − log₂(pos₀/total₀))` with the usual
+/// +1 smoothing on the accuracy terms to tolerate empty coverage.
+pub fn foil_gain(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
+    if c.pos == 0.0 {
+        // No positives covered: the gain is defined as 0 at best, and we
+        // want such candidates ranked below any that covers a positive.
+        return f64::NEG_INFINITY;
+    }
+    let acc1 = (c.pos + 1.0) / (c.total + 1.0);
+    let acc0 = (pos_total + 1.0) / (n_total + 1.0);
+    c.pos * (acc1.log2() - acc0.log2())
+}
+
+fn entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+    }
+}
+
+/// Entropy gain of the covered/uncovered split.
+pub fn entropy_gain(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
+    if n_total <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let p0 = pos_total / n_total;
+    let w_in = c.total / n_total;
+    let w_out = 1.0 - w_in;
+    let pos_out = pos_total - c.pos;
+    let total_out = n_total - c.total;
+    let h_out = if total_out <= 0.0 { 0.0 } else { entropy(pos_out / total_out) };
+    entropy(p0) - w_in * entropy(c.accuracy()) - w_out * h_out
+}
+
+/// Gain ratio: entropy gain normalised by the split information of the
+/// covered/uncovered partition.
+pub fn gain_ratio(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
+    if n_total <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let w_in = c.total / n_total;
+    let split_info = entropy(w_in);
+    if split_info == 0.0 {
+        return 0.0;
+    }
+    entropy_gain(c, pos_total, n_total) / split_info
+}
+
+/// Gini gain of the covered/uncovered split.
+pub fn gini_gain(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
+    if n_total <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let gini = |p: f64| 2.0 * p * (1.0 - p);
+    let p0 = pos_total / n_total;
+    let w_in = c.total / n_total;
+    let w_out = 1.0 - w_in;
+    let pos_out = pos_total - c.pos;
+    let total_out = n_total - c.total;
+    let g_out = if total_out <= 0.0 { 0.0 } else { gini(pos_out / total_out) };
+    gini(p0) - w_in * gini(c.accuracy()) - w_out * g_out
+}
+
+/// Pearson χ² of the 2×2 (covered?, target?) contingency table, signed by
+/// whether the rule's accuracy beats the prior so that anti-correlated
+/// candidates rank below uninformative ones.
+pub fn chi_squared(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
+    if n_total <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let p0 = pos_total / n_total;
+    let observed = [
+        c.pos,                               // covered, target
+        c.neg(),                             // covered, non-target
+        pos_total - c.pos,                   // uncovered, target
+        (n_total - c.total) - (pos_total - c.pos), // uncovered, non-target
+    ];
+    let expected = [
+        c.total * p0,
+        c.total * (1.0 - p0),
+        (n_total - c.total) * p0,
+        (n_total - c.total) * (1.0 - p0),
+    ];
+    let mut chi2 = 0.0;
+    for (o, e) in observed.iter().zip(&expected) {
+        if *e > 0.0 {
+            chi2 += (o - e) * (o - e) / e;
+        }
+    }
+    if c.accuracy() >= p0 {
+        chi2
+    } else {
+        -chi2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POS0: f64 = 100.0;
+    const N0: f64 = 10_000.0;
+
+    #[test]
+    fn cov_stats_basics() {
+        let c = CovStats::new(3.0, 10.0);
+        assert_eq!(c.neg(), 7.0);
+        assert_eq!(c.accuracy(), 0.3);
+        assert_eq!(CovStats::new(0.0, 0.0).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn z_number_sign_tracks_accuracy_vs_prior() {
+        // prior is 1%
+        let better = CovStats::new(5.0, 10.0);
+        let worse = CovStats::new(0.0, 100.0);
+        assert!(z_number(better, POS0, N0) > 0.0);
+        assert!(z_number(worse, POS0, N0) < 0.0);
+        let at_prior = CovStats::new(1.0, 100.0);
+        assert!(z_number(at_prior, POS0, N0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_number_grows_with_support_at_fixed_accuracy() {
+        let small = CovStats::new(5.0, 10.0);
+        let large = CovStats::new(50.0, 100.0);
+        assert!(z_number(large, POS0, N0) > z_number(small, POS0, N0));
+    }
+
+    #[test]
+    fn z_number_prefers_high_support_over_slightly_purer_rule() {
+        // The design point of the P-phase: a 90%-accurate rule covering 100
+        // examples outranks a 100%-accurate rule covering 4.
+        let pure_small = CovStats::new(4.0, 4.0);
+        let big = CovStats::new(90.0, 100.0);
+        assert!(z_number(big, POS0, N0) > z_number(pure_small, POS0, N0));
+    }
+
+    #[test]
+    fn z_number_degenerate_prior_is_zero() {
+        assert_eq!(z_number(CovStats::new(1.0, 1.0), 10.0, 10.0), 0.0);
+        assert_eq!(z_number(CovStats::new(0.0, 1.0), 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn foil_gain_positive_when_accuracy_improves() {
+        let c = CovStats::new(10.0, 20.0);
+        assert!(foil_gain(c, POS0, N0) > 0.0);
+        assert_eq!(foil_gain(CovStats::new(0.0, 50.0), POS0, N0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn foil_gain_scales_with_positive_coverage() {
+        let small = CovStats::new(5.0, 10.0);
+        let large = CovStats::new(50.0, 100.0);
+        assert!(foil_gain(large, POS0, N0) > foil_gain(small, POS0, N0));
+    }
+
+    #[test]
+    fn entropy_gain_is_nonnegative_and_bounded() {
+        for &(pos, tot) in &[(0.0, 50.0), (50.0, 50.0), (25.0, 400.0), (100.0, 100.0)] {
+            let g = entropy_gain(CovStats::new(pos, tot), POS0, N0);
+            let h0 = entropy(POS0 / N0);
+            assert!(g >= -1e-12, "gain {g} negative for ({pos},{tot})");
+            assert!(g <= h0 + 1e-12, "gain {g} exceeds prior entropy {h0}");
+        }
+    }
+
+    #[test]
+    fn perfect_split_recovers_full_entropy() {
+        let g = entropy_gain(CovStats::new(POS0, POS0), POS0, N0);
+        assert!((g - entropy(POS0 / N0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_ratio_normalises_by_split_info() {
+        let c = CovStats::new(POS0, POS0);
+        let gr = gain_ratio(c, POS0, N0);
+        let eg = entropy_gain(c, POS0, N0);
+        assert!(gr > eg, "tiny split should be boosted by gain ratio");
+        assert_eq!(gain_ratio(CovStats::new(POS0, N0), POS0, N0), 0.0);
+    }
+
+    #[test]
+    fn gini_gain_perfect_split() {
+        let g = gini_gain(CovStats::new(POS0, POS0), POS0, N0);
+        let p0 = POS0 / N0;
+        assert!((g - 2.0 * p0 * (1.0 - p0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_squared_sign_and_magnitude() {
+        let good = CovStats::new(50.0, 60.0);
+        let bad = CovStats::new(0.0, 5_000.0);
+        assert!(chi_squared(good, POS0, N0) > 0.0);
+        assert!(chi_squared(bad, POS0, N0) < 0.0);
+        // independence → 0
+        let indep = CovStats::new(10.0, 1_000.0);
+        assert!(chi_squared(indep, POS0, N0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laplace_smooths_small_counts() {
+        let m = EvalMetric::Laplace;
+        assert_eq!(m.score(CovStats::new(1.0, 1.0), POS0, N0), 2.0 / 3.0);
+        assert!(
+            m.score(CovStats::new(99.0, 100.0), POS0, N0)
+                > m.score(CovStats::new(1.0, 1.0), POS0, N0)
+        );
+    }
+
+    #[test]
+    fn zero_support_scores_neg_infinity_for_all_metrics() {
+        for m in [
+            EvalMetric::ZNumber,
+            EvalMetric::FoilGain,
+            EvalMetric::EntropyGain,
+            EvalMetric::GainRatio,
+            EvalMetric::GiniGain,
+            EvalMetric::ChiSquared,
+            EvalMetric::Laplace,
+        ] {
+            assert_eq!(m.score(CovStats::new(0.0, 0.0), POS0, N0), f64::NEG_INFINITY);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! A learner's working view of a binary task over a dataset.
+
+use crate::condition::Condition;
+use crate::rule::Rule;
+use crate::stats::CovStats;
+use pnr_data::{Dataset, RowSet};
+
+/// The state a sequential-covering learner threads through induction: the
+/// dataset, the *current* row set (shrinking as rules cover records), a
+/// per-row binary target flag and per-row weights.
+///
+/// `is_pos` and `weights` are indexed by **global** row id (they never
+/// shrink), so restricting a view is just a row-set operation.
+#[derive(Debug, Clone)]
+pub struct TaskView<'a> {
+    /// The underlying dataset.
+    pub data: &'a Dataset,
+    /// Rows currently in play.
+    pub rows: RowSet,
+    /// `is_pos[row]` — whether the record is a target-class example.
+    pub is_pos: &'a [bool],
+    /// `weights[row]` — the record's training weight.
+    pub weights: &'a [f64],
+    pos_weight: f64,
+    total_weight: f64,
+}
+
+impl<'a> TaskView<'a> {
+    /// A view over every row of `data`.
+    pub fn full(data: &'a Dataset, is_pos: &'a [bool], weights: &'a [f64]) -> Self {
+        Self::over(data, RowSet::all(data.n_rows()), is_pos, weights)
+    }
+
+    /// A view over an explicit row set.
+    pub fn over(data: &'a Dataset, rows: RowSet, is_pos: &'a [bool], weights: &'a [f64]) -> Self {
+        assert_eq!(is_pos.len(), data.n_rows());
+        assert_eq!(weights.len(), data.n_rows());
+        let mut pos_weight = 0.0;
+        let mut total_weight = 0.0;
+        for r in rows.iter() {
+            let w = weights[r as usize];
+            total_weight += w;
+            if is_pos[r as usize] {
+                pos_weight += w;
+            }
+        }
+        TaskView { data, rows, is_pos, weights, pos_weight, total_weight }
+    }
+
+    /// Total weight of target rows in the view.
+    pub fn pos_weight(&self) -> f64 {
+        self.pos_weight
+    }
+
+    /// Total weight of all rows in the view.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Number of rows in the view.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows remain.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Fraction of view weight that is target weight (the prior `p₀`).
+    pub fn prior(&self) -> f64 {
+        if self.total_weight == 0.0 {
+            0.0
+        } else {
+            self.pos_weight / self.total_weight
+        }
+    }
+
+    /// Rows of the view matched by `cond`.
+    pub fn rows_matching(&self, cond: &Condition) -> RowSet {
+        self.rows.filter(|r| cond.matches(self.data, r as usize))
+    }
+
+    /// Rows of the view matched by `rule`.
+    pub fn rows_matching_rule(&self, rule: &Rule) -> RowSet {
+        self.rows.filter(|r| rule.matches(self.data, r as usize))
+    }
+
+    /// Weighted coverage of `rule` over the view.
+    pub fn coverage(&self, rule: &Rule) -> CovStats {
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for r in self.rows.iter() {
+            if rule.matches(self.data, r as usize) {
+                let w = self.weights[r as usize];
+                total += w;
+                if self.is_pos[r as usize] {
+                    pos += w;
+                }
+            }
+        }
+        CovStats::new(pos, total)
+    }
+
+    /// Weighted coverage of an explicit row set (assumed ⊆ view rows).
+    pub fn coverage_of_rows(&self, rows: &RowSet) -> CovStats {
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for r in rows.iter() {
+            let w = self.weights[r as usize];
+            total += w;
+            if self.is_pos[r as usize] {
+                pos += w;
+            }
+        }
+        CovStats::new(pos, total)
+    }
+
+    /// A new view restricted to `rows`.
+    pub fn restricted_to(&self, rows: RowSet) -> TaskView<'a> {
+        TaskView::over(self.data, rows, self.is_pos, self.weights)
+    }
+
+    /// A new view with `rows` removed (sequential covering's "remove the
+    /// examples supported by the rule").
+    pub fn without(&self, rows: &RowSet) -> TaskView<'a> {
+        TaskView::over(self.data, self.rows.difference(rows), self.is_pos, self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+
+    fn setup() -> (Dataset, Vec<bool>, Vec<f64>) {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        for i in 0..6 {
+            let class = if i < 2 { "pos" } else { "neg" };
+            b.push_row(&[Value::num(i as f64)], class, 1.0 + i as f64).unwrap();
+        }
+        let d = b.finish();
+        let pos = d.class_code("pos").unwrap();
+        let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == pos).collect();
+        let weights = d.weights().to_vec();
+        (d, is_pos, weights)
+    }
+
+    #[test]
+    fn full_view_sums_weights() {
+        let (d, is_pos, w) = setup();
+        let v = TaskView::full(&d, &is_pos, &w);
+        assert_eq!(v.total_weight(), 21.0); // 1+2+3+4+5+6
+        assert_eq!(v.pos_weight(), 3.0); // rows 0,1 → 1+2
+        assert!((v.prior() - 3.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_counts_matching_rows_only() {
+        let (d, is_pos, w) = setup();
+        let v = TaskView::full(&d, &is_pos, &w);
+        let rule = Rule::new(vec![Condition::NumLe { attr: 0, value: 2.0 }]);
+        let c = v.coverage(&rule);
+        assert_eq!(c.pos, 3.0); // rows 0,1
+        assert_eq!(c.total, 6.0); // rows 0,1,2
+    }
+
+    #[test]
+    fn without_removes_rows_and_recomputes_sums() {
+        let (d, is_pos, w) = setup();
+        let v = TaskView::full(&d, &is_pos, &w);
+        let covered = v.rows_matching(&Condition::NumLe { attr: 0, value: 0.0 });
+        let v2 = v.without(&covered);
+        assert_eq!(v2.n_rows(), 5);
+        assert_eq!(v2.pos_weight(), 2.0);
+        assert_eq!(v2.total_weight(), 20.0);
+    }
+
+    #[test]
+    fn restricted_to_subset() {
+        let (d, is_pos, w) = setup();
+        let v = TaskView::full(&d, &is_pos, &w);
+        let sub = v.restricted_to(RowSet::from_vec(vec![0, 5]));
+        assert_eq!(sub.n_rows(), 2);
+        assert_eq!(sub.pos_weight(), 1.0);
+        assert_eq!(sub.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn empty_view_prior_is_zero() {
+        let (d, is_pos, w) = setup();
+        let v = TaskView::over(&d, RowSet::empty(), &is_pos, &w);
+        assert!(v.is_empty());
+        assert_eq!(v.prior(), 0.0);
+    }
+
+    #[test]
+    fn rows_matching_rule_agrees_with_condition() {
+        let (d, is_pos, w) = setup();
+        let v = TaskView::full(&d, &is_pos, &w);
+        let cond = Condition::NumGt { attr: 0, value: 3.0 };
+        let rule = Rule::new(vec![cond.clone()]);
+        assert_eq!(v.rows_matching(&cond), v.rows_matching_rule(&rule));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for rule machinery: coverage, search optimality,
+//! metric invariants.
+
+use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+use pnr_rules::{
+    find_best_condition, CovStats, Condition, EvalMetric, Rule, SearchOptions, TaskView,
+};
+use proptest::prelude::*;
+
+/// A small mixed dataset from generated rows.
+fn build(rows: &[(f64, usize, bool)]) -> (Dataset, Vec<bool>) {
+    let cats = ["a", "b", "c"];
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("x", AttrType::Numeric);
+    b.add_attribute("k", AttrType::Categorical);
+    b.add_class("pos");
+    b.add_class("neg");
+    for &(x, k, pos) in rows {
+        b.push_row(&[Value::num(x), Value::cat(cats[k])], if pos { "pos" } else { "neg" }, 1.0)
+            .unwrap();
+    }
+    let d = b.finish();
+    let flags: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+    (d, flags)
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(f64, usize, bool)>> {
+    prop::collection::vec((-50.0f64..50.0, 0usize..3, prop::bool::ANY), 4..80)
+}
+
+proptest! {
+    #[test]
+    fn coverage_matches_brute_force(rows in rows_strategy(), t in -50.0f64..50.0) {
+        let (d, flags) = build(&rows);
+        let v = TaskView::full(&d, &flags, d.weights());
+        let rule = Rule::new(vec![Condition::NumLe { attr: 0, value: t }]);
+        let c = v.coverage(&rule);
+        let brute_pos = rows.iter().filter(|&&(x, _, p)| x <= t && p).count() as f64;
+        let brute_tot = rows.iter().filter(|&&(x, _, _)| x <= t).count() as f64;
+        prop_assert!((c.pos - brute_pos).abs() < 1e-9);
+        prop_assert!((c.total - brute_tot).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_result_is_never_beaten_by_any_single_condition(rows in rows_strategy()) {
+        let (d, flags) = build(&rows);
+        let v = TaskView::full(&d, &flags, d.weights());
+        let metric = EvalMetric::EntropyGain;
+        let Some(best) = find_best_condition(&v, metric, &SearchOptions::default()) else {
+            return Ok(());
+        };
+        // brute force every categorical value and every one-sided cut at
+        // occurring values (the scan uses midpoints, which give identical
+        // train coverage and hence identical scores)
+        let mut best_brute = f64::NEG_INFINITY;
+        for code in 0..3u32 {
+            let c = v.coverage(&Rule::new(vec![Condition::CatEq { attr: 1, value: code }]));
+            if c.total > 0.0 {
+                best_brute = best_brute.max(metric.score(c, v.pos_weight(), v.total_weight()));
+            }
+        }
+        for &(x, _, _) in &rows {
+            for cond in [
+                Condition::NumLe { attr: 0, value: x },
+                Condition::NumGt { attr: 0, value: x },
+            ] {
+                let c = v.coverage(&Rule::new(vec![cond]));
+                if c.total > 0.0 && c.total < v.total_weight() {
+                    best_brute =
+                        best_brute.max(metric.score(c, v.pos_weight(), v.total_weight()));
+                }
+            }
+        }
+        prop_assert!(
+            best.score + 1e-9 >= best_brute,
+            "search {} < brute {}",
+            best.score,
+            best_brute
+        );
+    }
+
+    #[test]
+    fn range_search_dominates_one_sided(rows in rows_strategy()) {
+        let (d, flags) = build(&rows);
+        let v = TaskView::full(&d, &flags, d.weights());
+        let with = find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default());
+        let without = find_best_condition(
+            &v,
+            EvalMetric::ZNumber,
+            &SearchOptions { use_ranges: false, ..Default::default() },
+        );
+        match (with, without) {
+            (Some(w), Some(wo)) => prop_assert!(w.score + 1e-9 >= wo.score),
+            (None, Some(_)) => prop_assert!(false, "ranges lost a candidate"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn rule_matching_is_conjunction(rows in rows_strategy(), t1 in -50.0f64..50.0, t2 in -50.0f64..50.0) {
+        let (d, _) = build(&rows);
+        let c1 = Condition::NumGt { attr: 0, value: t1 };
+        let c2 = Condition::NumLe { attr: 0, value: t2 };
+        let rule = Rule::new(vec![c1.clone(), c2.clone()]);
+        for row in 0..d.n_rows() {
+            prop_assert_eq!(
+                rule.matches(&d, row),
+                c1.matches(&d, row) && c2.matches(&d, row)
+            );
+        }
+    }
+
+    #[test]
+    fn range_equals_two_sided_conjunction(rows in rows_strategy(), lo in -50.0f64..0.0, width in 0.0f64..50.0) {
+        let (d, _) = build(&rows);
+        let hi = lo + width;
+        let range = Condition::NumRange { attr: 0, lo, hi };
+        let pair = Rule::new(vec![
+            Condition::NumGt { attr: 0, value: lo },
+            Condition::NumLe { attr: 0, value: hi },
+        ]);
+        for row in 0..d.n_rows() {
+            prop_assert_eq!(range.matches(&d, row), pair.matches(&d, row));
+        }
+    }
+
+    #[test]
+    fn z_number_sign_tracks_prior(pos in 0.0f64..100.0, extra in 0.0f64..100.0,
+                                  pos_total in 1.0f64..1000.0, extra_total in 1.0f64..10000.0) {
+        let c = CovStats::new(pos, pos + extra);
+        let n_total = pos_total + extra_total;
+        let z = pnr_rules::stats::z_number(c, pos_total, n_total);
+        if c.total > 0.0 {
+            let prior = pos_total / n_total;
+            if c.accuracy() > prior {
+                prop_assert!(z > 0.0);
+            } else if c.accuracy() < prior {
+                prop_assert!(z < 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_gain_nonnegative(pos in 0.0f64..100.0, extra in 0.0f64..100.0,
+                                rest_pos in 0.0f64..100.0, rest_neg in 0.0f64..100.0) {
+        let c = CovStats::new(pos, pos + extra);
+        let pos_total = pos + rest_pos;
+        let n_total = pos + extra + rest_pos + rest_neg;
+        if n_total > 0.0 && c.total > 0.0 {
+            let g = pnr_rules::stats::entropy_gain(c, pos_total, n_total);
+            prop_assert!(g >= -1e-9, "gain {g}");
+        }
+    }
+
+    #[test]
+    fn task_view_without_then_weights_consistent(rows in rows_strategy(), t in -50.0f64..50.0) {
+        let (d, flags) = build(&rows);
+        let v = TaskView::full(&d, &flags, d.weights());
+        let covered = v.rows_matching(&Condition::NumLe { attr: 0, value: t });
+        let rest = v.without(&covered);
+        prop_assert!((rest.total_weight() + covered.total_weight(d.weights())
+            - v.total_weight()).abs() < 1e-9);
+        prop_assert_eq!(rest.n_rows() + covered.len(), v.n_rows());
+    }
+}

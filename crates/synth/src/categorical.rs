@@ -1,0 +1,305 @@
+//! The categorical-only model (`coa*`, `coad*`; section 3.2.2, Figure 2).
+//!
+//! Instead of peaks over a continuous attribute, each signature is a
+//! conjunction of words over a **distinct pair of attributes** owned by the
+//! subclass: signature `k` matches when the pair takes one of the
+//! signature's `nwps` reserved word *combinations* (diagonal pairs
+//! `(w, w)`), out of the `vocab²` combinations the pair can take. Records
+//! are uniform over every other attribute's vocabulary — including the
+//! reserved words, which is what plants false positives.
+//!
+//! Calibration note: Table 3's `nwps = 2/400` is read as *2 combinations of
+//! the 400 a 20-word-per-attribute pair offers* (and `2/100` as 2 of 10²).
+//! This reading reproduces the paper's arithmetic exactly: on `coa1` a
+//! learner that covers just the target's 6 reserved combinations captures
+//! `250k·6/400 = 3750` false positives against 750 targets — precision
+//! 16.7%, the paper's published RIPPER precision.
+
+use crate::{SynthScale, NON_TARGET_CLASS, TARGET_CLASS};
+use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The signature structure of one class (Figure 2's `na`, `nspa`, `nwps`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatClassSpec {
+    /// Number of subclasses (`na`).
+    pub na: usize,
+    /// Signatures per subclass (`nspa`).
+    pub nspa: usize,
+    /// Reserved word combinations per signature (`nwps`; the paper's tables
+    /// use 2). Combination `t` of signature `k` is the diagonal pair
+    /// `(w, w)` with `w = k·nwps + t`.
+    pub combos_per_sig: usize,
+    /// Vocabulary size of each attribute this class owns; the pair offers
+    /// `vocab²` combinations (the `/400` or `/100` denominator in Table 3).
+    pub vocab: usize,
+}
+
+impl CatClassSpec {
+    /// Word combinations per signature (`nwps`).
+    pub fn nwps(&self) -> usize {
+        self.combos_per_sig
+    }
+
+    fn validate(&self) {
+        assert!(self.na > 0 && self.nspa > 0 && self.combos_per_sig > 0);
+        assert!(
+            self.nspa * self.combos_per_sig <= self.vocab,
+            "vocabulary of {} too small for {} signatures × {} combinations",
+            self.vocab,
+            self.nspa,
+            self.combos_per_sig
+        );
+    }
+}
+
+/// Parameters of the categorical-only model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CategoricalModelConfig {
+    /// Target-class structure.
+    pub target: CatClassSpec,
+    /// Non-target-class structure.
+    pub non_target: CatClassSpec,
+}
+
+impl CategoricalModelConfig {
+    /// The `coa1..coa6` presets of Table 3 (category A and B datasets).
+    ///
+    /// # Panics
+    /// Panics if `index` is not in `1..=6`.
+    pub fn coa(index: usize) -> Self {
+        let (t_nspa, nt_na, nt_nspa) = match index {
+            1 => (3, 2, 3),
+            2 => (3, 3, 3),
+            3 => (3, 4, 3),
+            4 => (4, 2, 4),
+            5 => (4, 3, 4),
+            6 => (4, 4, 4),
+            _ => panic!("coa index must be 1..=6, got {index}"),
+        };
+        CategoricalModelConfig {
+            target: CatClassSpec { na: 1, nspa: t_nspa, combos_per_sig: 2, vocab: 20 },
+            non_target: CatClassSpec { na: nt_na, nspa: nt_nspa, combos_per_sig: 2, vocab: 10 },
+        }
+    }
+
+    /// The `coad1..coad4` presets of Table 3 (category C datasets, varying
+    /// which side has the dense vocabulary).
+    ///
+    /// # Panics
+    /// Panics if `index` is not in `1..=4`.
+    pub fn coad(index: usize) -> Self {
+        let (t_vocab, nt_vocab) = match index {
+            1 => (20, 20),
+            2 => (20, 10),
+            3 => (10, 20),
+            4 => (10, 10),
+            _ => panic!("coad index must be 1..=4, got {index}"),
+        };
+        CategoricalModelConfig {
+            target: CatClassSpec { na: 2, nspa: 4, combos_per_sig: 2, vocab: t_vocab },
+            non_target: CatClassSpec { na: 4, nspa: 4, combos_per_sig: 2, vocab: nt_vocab },
+        }
+    }
+
+    /// Total attributes: one distinct pair per subclass.
+    pub fn n_attrs(&self) -> usize {
+        2 * (self.target.na + self.non_target.na)
+    }
+
+    /// The attribute pair owned by target subclass `s`.
+    pub fn target_pair(&self, s: usize) -> (usize, usize) {
+        assert!(s < self.target.na);
+        (2 * s, 2 * s + 1)
+    }
+
+    /// The attribute pair owned by non-target subclass `j`.
+    pub fn non_target_pair(&self, j: usize) -> (usize, usize) {
+        assert!(j < self.non_target.na);
+        let base = 2 * self.target.na;
+        (base + 2 * j, base + 2 * j + 1)
+    }
+
+    /// Vocabulary size of attribute `attr` (set by its owning class).
+    pub fn vocab_of(&self, attr: usize) -> usize {
+        if attr < 2 * self.target.na {
+            self.target.vocab
+        } else {
+            self.non_target.vocab
+        }
+    }
+
+    /// The reserved word indices of signature `sig` (the same word appears
+    /// on both attributes of the pair — diagonal combinations): signature
+    /// words occupy the front of the vocabulary, `combos_per_sig` per
+    /// signature.
+    pub fn signature_words(&self, spec: &CatClassSpec, sig: usize) -> std::ops::Range<usize> {
+        let w = spec.combos_per_sig;
+        sig * w..(sig + 1) * w
+    }
+}
+
+/// Generates a dataset from the model. Deterministic in `seed`. All word
+/// vocabularies are pre-registered so train/test dictionaries agree.
+pub fn generate(cfg: &CategoricalModelConfig, scale: &SynthScale, seed: u64) -> Dataset {
+    cfg.target.validate();
+    cfg.non_target.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_target = scale.n_target();
+    let n_non_target = scale.n_records - n_target;
+
+    let mut b = DatasetBuilder::new();
+    for a in 0..cfg.n_attrs() {
+        b.add_attribute(format!("a{a}"), AttrType::Categorical);
+    }
+    // Pre-register every word of every attribute; "w{i}" naming.
+    let word_names: Vec<String> = (0..cfg.vocab_of(0).max(cfg.vocab_of(cfg.n_attrs() - 1)))
+        .map(|i| format!("w{i}"))
+        .collect();
+    for a in 0..cfg.n_attrs() {
+        for name in word_names.iter().take(cfg.vocab_of(a)) {
+            b.add_cat_value(a, name);
+        }
+    }
+    b.add_class(TARGET_CLASS);
+    b.add_class(NON_TARGET_CLASS);
+    b.reserve(scale.n_records);
+
+    let n_attrs = cfg.n_attrs();
+    let mut word_idx = vec![0usize; n_attrs];
+    let mut emit = |b: &mut DatasetBuilder,
+                    rng: &mut StdRng,
+                    class: &str,
+                    pair: (usize, usize),
+                    spec: &CatClassSpec,
+                    sig: usize| {
+        // pick the signature's combination once: both pair attributes carry
+        // the SAME word (diagonal combination)
+        let words = cfg.signature_words(spec, sig);
+        let sig_word = words.start + rng.gen_range(0..spec.combos_per_sig);
+        for (a, wi) in word_idx.iter_mut().enumerate() {
+            *wi = if a == pair.0 || a == pair.1 {
+                sig_word
+            } else {
+                rng.gen_range(0..cfg.vocab_of(a))
+            };
+        }
+        let row: Vec<Value<'_>> =
+            word_idx.iter().map(|&wi| Value::Cat(&word_names[wi])).collect();
+        b.push_row(&row, class, 1.0).expect("schema fixed");
+    };
+
+    for i in 0..n_target {
+        let s = i % cfg.target.na;
+        let sig = (i / cfg.target.na) % cfg.target.nspa;
+        emit(&mut b, &mut rng, TARGET_CLASS, cfg.target_pair(s), &cfg.target, sig);
+    }
+    for i in 0..n_non_target {
+        let j = i % cfg.non_target.na;
+        let sig = (i / cfg.non_target.na) % cfg.non_target.nspa;
+        emit(&mut b, &mut rng, NON_TARGET_CLASS, cfg.non_target_pair(j), &cfg.non_target, sig);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SynthScale {
+        SynthScale { n_records: 5_000, target_frac: 0.01 }
+    }
+
+    #[test]
+    fn presets_match_table_3() {
+        let c3 = CategoricalModelConfig::coa(3);
+        assert_eq!(c3.target.nspa, 3);
+        assert_eq!(c3.non_target.na, 4);
+        assert_eq!(c3.n_attrs(), 10);
+        let d2 = CategoricalModelConfig::coad(2);
+        assert_eq!(d2.target.na, 2);
+        assert_eq!((d2.target.vocab, d2.non_target.vocab), (20, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "coa index")]
+    fn bad_coa_panics() {
+        CategoricalModelConfig::coa(0);
+    }
+
+    #[test]
+    fn nwps_is_the_combination_count() {
+        let spec = CatClassSpec { na: 1, nspa: 2, combos_per_sig: 2, vocab: 20 };
+        assert_eq!(spec.nwps(), 2);
+    }
+
+    #[test]
+    fn class_proportions_exact() {
+        let d = generate(&CategoricalModelConfig::coa(1), &small(), 1);
+        let c = d.class_code(TARGET_CLASS).unwrap() as usize;
+        assert_eq!(d.class_counts()[c], 50);
+        assert_eq!(d.n_rows(), 5_000);
+    }
+
+    #[test]
+    fn target_records_carry_diagonal_signature_combinations() {
+        let cfg = CategoricalModelConfig::coa(1);
+        let d = generate(&cfg, &small(), 2);
+        let c = d.class_code(TARGET_CLASS).unwrap();
+        let (a0, a1) = cfg.target_pair(0);
+        let max_sig_word = cfg.target.nspa * cfg.target.combos_per_sig;
+        for row in 0..d.n_rows() {
+            if d.label(row) == c {
+                // signature words live at the front of the vocabulary
+                let w0: usize =
+                    d.cat_name(a0, row).strip_prefix('w').unwrap().parse().unwrap();
+                let w1: usize =
+                    d.cat_name(a1, row).strip_prefix('w').unwrap().parse().unwrap();
+                assert!(w0 < max_sig_word, "row {row} word {w0} not a signature word");
+                assert_eq!(w0, w1, "diagonal combination: both attributes carry the same word");
+            }
+        }
+    }
+
+    #[test]
+    fn dictionaries_agree_across_seeds() {
+        let cfg = CategoricalModelConfig::coa(2);
+        let train = generate(&cfg, &small(), 1);
+        let test = generate(&cfg, &small(), 99);
+        for a in 0..cfg.n_attrs() {
+            assert_eq!(
+                train.schema().attr(a).dict.code("w7"),
+                test.schema().attr(a).dict.code("w7"),
+                "attribute {a} dictionaries diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn vocab_respects_owner_class() {
+        let cfg = CategoricalModelConfig::coa(1); // target 20 words, non-target 10
+        let d = generate(&cfg, &small(), 3);
+        assert_eq!(d.schema().attr(0).dict.len(), 20);
+        assert_eq!(d.schema().attr(cfg.n_attrs() - 1).dict.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn vocabulary_must_fit_signatures() {
+        let bad = CatClassSpec { na: 1, nspa: 100, combos_per_sig: 2, vocab: 100 };
+        let cfg = CategoricalModelConfig { target: bad, non_target: bad };
+        generate(&cfg, &small(), 0);
+    }
+
+    #[test]
+    fn determinism_in_seed() {
+        let cfg = CategoricalModelConfig::coa(1);
+        let d1 = generate(&cfg, &small(), 5);
+        let d2 = generate(&cfg, &small(), 5);
+        for row in (0..d1.n_rows()).step_by(97) {
+            assert_eq!(d1.cat(0, row), d2.cat(0, row));
+        }
+    }
+}

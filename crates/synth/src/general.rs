@@ -1,0 +1,316 @@
+//! The general mixed model `syngen` (section 3.2.3, Figure 3).
+//!
+//! Eight attributes — four numeric, four categorical — and three subclasses
+//! per class, each exercising a different signature shape:
+//!
+//! * **C1 / NC1** — *conjunctive* numeric signatures: a disjunction of two
+//!   conjunctions of peaks over the **same two attributes** (`n0`, `n1`),
+//!   shared by target and non-target (the figure's left two graphs);
+//! * **C2 / NC2** — *disjunctive* numeric signatures: each record carries a
+//!   peak on `n2` **or** `n3` (the right two graphs);
+//! * **C3 / NC3** — categorical word-pair signatures on distinct attribute
+//!   pairs (`c0,c1` and `c2,c3`), with C3 `nspa = 2` and NC3 `nspa = 4`,
+//!   `nwps = 2` word combinations each.
+//!
+//! Every subclass is uniform over all attributes it does not own.
+
+use crate::peaks::{Peak, PeakShape};
+use crate::{SynthScale, NON_TARGET_CLASS, TARGET_CLASS};
+use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the `syngen` model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneralModelConfig {
+    /// Total width of each target subclass's peaks per attribute (`tr`).
+    pub tr: f64,
+    /// Total width of each non-target subclass's peaks per attribute (`nr`).
+    pub nr: f64,
+    /// Peak shape.
+    pub shape: PeakShape,
+    /// Numeric attribute domain `[0, domain)`.
+    pub domain: f64,
+    /// Vocabulary size of each categorical attribute.
+    pub vocab: usize,
+}
+
+impl Default for GeneralModelConfig {
+    fn default() -> Self {
+        GeneralModelConfig {
+            tr: 0.2,
+            nr: 0.2,
+            shape: PeakShape::Triangular,
+            domain: 50.0,
+            vocab: 50,
+        }
+    }
+}
+
+/// Signature words per categorical signature (`nwps = 2` diagonal pairs).
+const WORDS_PER_SIG: usize = 2;
+/// C3 signatures.
+const C3_NSPA: usize = 2;
+/// NC3 signatures.
+const NC3_NSPA: usize = 4;
+
+impl GeneralModelConfig {
+    /// The Figure-1-style width override used by Table 4's grid.
+    pub fn with_widths(mut self, tr: f64, nr: f64) -> Self {
+        self.tr = tr;
+        self.nr = nr;
+        self
+    }
+
+    fn peaks_at(&self, centers: &[f64], total_width: f64) -> Vec<Peak> {
+        let width = total_width / centers.len() as f64;
+        centers
+            .iter()
+            .map(|&c| Peak { lo: c * self.domain - width / 2.0, width })
+            .collect()
+    }
+
+    /// C1's two conjunction signatures: `(n0 peaks, n1 peaks)` indexed by
+    /// signature.
+    pub fn c1_peaks(&self) -> (Vec<Peak>, Vec<Peak>) {
+        (self.peaks_at(&[0.35, 0.85], self.tr), self.peaks_at(&[0.35, 0.85], self.tr))
+    }
+
+    /// NC1's two conjunction signatures on the same attributes, at
+    /// different locations.
+    pub fn nc1_peaks(&self) -> (Vec<Peak>, Vec<Peak>) {
+        (self.peaks_at(&[0.15, 0.6], self.nr), self.peaks_at(&[0.15, 0.6], self.nr))
+    }
+
+    /// C2's disjunctive peaks: two on `n2`, two on `n3`.
+    pub fn c2_peaks(&self) -> (Vec<Peak>, Vec<Peak>) {
+        (self.peaks_at(&[0.3, 0.8], self.tr), self.peaks_at(&[0.3, 0.8], self.tr))
+    }
+
+    /// NC2's disjunctive peaks.
+    pub fn nc2_peaks(&self) -> (Vec<Peak>, Vec<Peak>) {
+        (self.peaks_at(&[0.1, 0.55], self.nr), self.peaks_at(&[0.1, 0.55], self.nr))
+    }
+}
+
+/// Attribute layout: numeric `n0..n3` at indexes 0..4, categorical
+/// `c0..c3` at indexes 4..8.
+pub const N_NUMERIC: usize = 4;
+/// Total attribute count.
+pub const N_ATTRS: usize = 8;
+
+/// Generates a `syngen` dataset. Deterministic in `seed`.
+pub fn generate(cfg: &GeneralModelConfig, scale: &SynthScale, seed: u64) -> Dataset {
+    assert!(cfg.vocab >= NC3_NSPA * WORDS_PER_SIG, "vocabulary too small");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_target = scale.n_target();
+    let n_non_target = scale.n_records - n_target;
+
+    let mut b = DatasetBuilder::new();
+    for a in 0..N_NUMERIC {
+        b.add_attribute(format!("n{a}"), AttrType::Numeric);
+    }
+    for a in 0..N_ATTRS - N_NUMERIC {
+        b.add_attribute(format!("c{a}"), AttrType::Categorical);
+    }
+    let word_names: Vec<String> = (0..cfg.vocab).map(|i| format!("w{i}")).collect();
+    for a in N_NUMERIC..N_ATTRS {
+        for w in &word_names {
+            b.add_cat_value(a, w);
+        }
+    }
+    b.add_class(TARGET_CLASS);
+    b.add_class(NON_TARGET_CLASS);
+    b.reserve(scale.n_records);
+
+    let c1 = cfg.c1_peaks();
+    let nc1 = cfg.nc1_peaks();
+    let c2 = cfg.c2_peaks();
+    let nc2 = cfg.nc2_peaks();
+
+    let mut nums = [0.0f64; N_NUMERIC];
+    let mut cats = [0usize; N_ATTRS - N_NUMERIC];
+
+    let mut emit = |b: &mut DatasetBuilder,
+                    rng: &mut StdRng,
+                    class: &str,
+                    subclass: usize,
+                    sig: usize| {
+        // start uniform everywhere, then overwrite the owned attributes
+        for v in nums.iter_mut() {
+            *v = rng.gen::<f64>() * cfg.domain;
+        }
+        for c in cats.iter_mut() {
+            *c = rng.gen_range(0..cfg.vocab);
+        }
+        let is_target = class == TARGET_CLASS;
+        match subclass {
+            0 => {
+                // conjunctive signature on (n0, n1)
+                let (p0, p1) = if is_target { &c1 } else { &nc1 };
+                let s = sig % 2;
+                nums[0] = p0[s].sample(cfg.shape, rng);
+                nums[1] = p1[s].sample(cfg.shape, rng);
+            }
+            1 => {
+                // disjunctive signature: one peak on n2 OR n3
+                let (p2, p3) = if is_target { &c2 } else { &nc2 };
+                let s = sig % 4;
+                if s < 2 {
+                    nums[2] = p2[s].sample(cfg.shape, rng);
+                } else {
+                    nums[3] = p3[s - 2].sample(cfg.shape, rng);
+                }
+            }
+            _ => {
+                // categorical word pair; nwps = 2 diagonal combinations
+                let nspa = if is_target { C3_NSPA } else { NC3_NSPA };
+                let pair = if is_target { (0, 1) } else { (2, 3) };
+                let s = sig % nspa;
+                let t = rng.gen_range(0..WORDS_PER_SIG);
+                let word = s * WORDS_PER_SIG + t;
+                cats[pair.0] = word;
+                cats[pair.1] = word;
+            }
+        }
+        let mut row: Vec<Value<'_>> = Vec::with_capacity(N_ATTRS);
+        row.extend(nums.iter().map(|&v| Value::Num(v)));
+        row.extend(cats.iter().map(|&c| Value::Cat(word_names[c].as_str())));
+        b.push_row(&row, class, 1.0).expect("schema fixed");
+    };
+
+    for i in 0..n_target {
+        emit(&mut b, &mut rng, TARGET_CLASS, i % 3, i / 3);
+    }
+    for i in 0..n_non_target {
+        emit(&mut b, &mut rng, NON_TARGET_CLASS, i % 3, i / 3);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SynthScale {
+        SynthScale { n_records: 6_000, target_frac: 0.01 }
+    }
+
+    #[test]
+    fn shape_of_generated_dataset() {
+        let d = generate(&GeneralModelConfig::default(), &small(), 1);
+        assert_eq!(d.n_rows(), 6_000);
+        assert_eq!(d.n_attrs(), 8);
+        assert_eq!(d.schema().attr(0).ty, AttrType::Numeric);
+        assert_eq!(d.schema().attr(7).ty, AttrType::Categorical);
+        let c = d.class_code(TARGET_CLASS).unwrap() as usize;
+        assert_eq!(d.class_counts()[c], 60);
+    }
+
+    #[test]
+    fn c1_records_satisfy_the_conjunction() {
+        let cfg = GeneralModelConfig::default();
+        let d = generate(&cfg, &small(), 2);
+        let c = d.class_code(TARGET_CLASS).unwrap();
+        let (p0, p1) = cfg.c1_peaks();
+        let mut seen = 0;
+        // target subclass 0 = every third target record (emission order is
+        // round-robin and targets are emitted first)
+        let mut target_idx = 0usize;
+        for row in 0..d.n_rows() {
+            if d.label(row) == c {
+                if target_idx.is_multiple_of(3) {
+                    let x0 = d.num(0, row);
+                    let x1 = d.num(1, row);
+                    let s = (0..2).find(|&s| p0[s].contains(x0));
+                    assert!(s.is_some(), "row {row}: n0={x0} in no C1 peak");
+                    assert!(
+                        p1[s.unwrap()].contains(x1),
+                        "row {row}: conjunction broken (n1={x1})"
+                    );
+                    seen += 1;
+                }
+                target_idx += 1;
+            }
+        }
+        assert!(seen > 0);
+    }
+
+    #[test]
+    fn c2_records_satisfy_a_disjunct() {
+        let cfg = GeneralModelConfig::default();
+        let d = generate(&cfg, &small(), 3);
+        let c = d.class_code(TARGET_CLASS).unwrap();
+        let (p2, p3) = cfg.c2_peaks();
+        let mut target_idx = 0usize;
+        for row in 0..d.n_rows() {
+            if d.label(row) == c {
+                if target_idx % 3 == 1 {
+                    let in2 = p2.iter().any(|p| p.contains(d.num(2, row)));
+                    let in3 = p3.iter().any(|p| p.contains(d.num(3, row)));
+                    assert!(in2 || in3, "row {row} satisfies no C2 disjunct");
+                }
+                target_idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn c3_records_carry_matching_word_pairs() {
+        let cfg = GeneralModelConfig::default();
+        let d = generate(&cfg, &small(), 4);
+        let c = d.class_code(TARGET_CLASS).unwrap();
+        let mut target_idx = 0usize;
+        for row in 0..d.n_rows() {
+            if d.label(row) == c {
+                if target_idx % 3 == 2 {
+                    assert_eq!(
+                        d.cat_name(4, row),
+                        d.cat_name(5, row),
+                        "row {row}: diagonal word pair broken"
+                    );
+                    let w: usize =
+                        d.cat_name(4, row).strip_prefix('w').unwrap().parse().unwrap();
+                    assert!(w < C3_NSPA * WORDS_PER_SIG);
+                }
+                target_idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn target_and_non_target_conjunctions_are_disjoint() {
+        let cfg = GeneralModelConfig::default().with_widths(4.0, 4.0);
+        let (c1, _) = cfg.c1_peaks();
+        let (nc1, _) = cfg.nc1_peaks();
+        for cp in &c1 {
+            for np in &nc1 {
+                assert!(
+                    cp.hi() <= np.lo || np.hi() <= cp.lo,
+                    "C1 {cp:?} overlaps NC1 {np:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dictionaries_agree_across_seeds() {
+        let cfg = GeneralModelConfig::default();
+        let d1 = generate(&cfg, &small(), 1);
+        let d2 = generate(&cfg, &small(), 2);
+        assert_eq!(
+            d1.schema().attr(5).dict.code("w3"),
+            d2.schema().attr(5).dict.code("w3")
+        );
+    }
+
+    #[test]
+    fn width_override() {
+        let cfg = GeneralModelConfig::default().with_widths(4.0, 2.0);
+        let (p0, _) = cfg.c1_peaks();
+        assert!((p0[0].width - 2.0).abs() < 1e-12);
+        let (q0, _) = cfg.nc1_peaks();
+        assert!((q0[0].width - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Synthetic dataset models from the PNrule paper (section 3.2).
+//!
+//! Three model families, each exercising a different failure mode of
+//! classical sequential covering on rare classes:
+//!
+//! * [`numeric`] — the numerical-only peaks model behind `nsyn1..nsyn6`
+//!   (Table 1, Figure 1, Table 2): every subclass is distinguished by
+//!   disjoint, uniformly spaced, identical peaks in the distribution of a
+//!   single attribute, and is uniform everywhere else;
+//! * [`categorical`] — the word-conjunction model behind `coa1..coa6` and
+//!   `coad1..coad4` (Figure 2, Table 3): signatures are conjunctions of
+//!   word sets over a distinct pair of attributes per subclass;
+//! * [`general`] — the mixed `syngen` model (Figure 3, Tables 4-5):
+//!   conjunctive numeric signatures shared between target and non-target
+//!   subclasses, disjunctive numeric signatures, and categorical word
+//!   signatures, together "fairly general and complex to represent
+//!   real-life situations".
+//!
+//! All generators are deterministic in their seed, pre-register class names
+//! and categorical vocabularies (so independently generated train/test sets
+//! share dictionary codes), and label records with just two classes: `"C"`
+//! (target) and `"NC"` (rest).
+//!
+//! # Example
+//!
+//! ```
+//! use pnr_synth::{numeric::NumericModelConfig, SynthScale};
+//!
+//! let cfg = NumericModelConfig::nsyn(3);
+//! let scale = SynthScale { n_records: 5_000, target_frac: 0.003 };
+//! let data = pnr_synth::numeric::generate(&cfg, &scale, 42);
+//! assert_eq!(data.n_rows(), 5_000);
+//! let c = data.class_code("C").unwrap();
+//! assert_eq!(data.class_counts()[c as usize], 15);
+//! ```
+
+pub mod categorical;
+pub mod general;
+pub mod numeric;
+pub mod peaks;
+
+use serde::{Deserialize, Serialize};
+
+/// Name of the target class in every generated dataset.
+pub const TARGET_CLASS: &str = "C";
+/// Name of the non-target class in every generated dataset.
+pub const NON_TARGET_CLASS: &str = "NC";
+
+/// Size and rarity of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthScale {
+    /// Total number of records.
+    pub n_records: usize,
+    /// Fraction of records labelled with the target class.
+    pub target_frac: f64,
+}
+
+impl SynthScale {
+    /// The paper's training scale: 500 000 records, 0.3% target (1 500
+    /// target examples).
+    pub fn paper_train() -> Self {
+        SynthScale { n_records: 500_000, target_frac: 0.003 }
+    }
+
+    /// The paper's test scale: 250 000 records, 750 of them targets.
+    pub fn paper_test() -> Self {
+        SynthScale { n_records: 250_000, target_frac: 0.003 }
+    }
+
+    /// A proportionally shrunk scale (for quick runs); `factor` 1.0 is the
+    /// original size.
+    pub fn scaled_by(&self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        SynthScale {
+            n_records: ((self.n_records as f64) * factor).round().max(1.0) as usize,
+            target_frac: self.target_frac,
+        }
+    }
+
+    /// Number of target records this scale yields.
+    pub fn n_target(&self) -> usize {
+        ((self.n_records as f64) * self.target_frac).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scales_match_section_3() {
+        let tr = SynthScale::paper_train();
+        assert_eq!(tr.n_records, 500_000);
+        assert_eq!(tr.n_target(), 1_500);
+        let te = SynthScale::paper_test();
+        assert_eq!(te.n_records, 250_000);
+        assert_eq!(te.n_target(), 750);
+    }
+
+    #[test]
+    fn scaling_preserves_rarity() {
+        let s = SynthScale::paper_train().scaled_by(0.1);
+        assert_eq!(s.n_records, 50_000);
+        assert_eq!(s.target_frac, 0.003);
+        assert_eq!(s.n_target(), 150);
+    }
+}

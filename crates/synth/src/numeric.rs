@@ -1,0 +1,261 @@
+//! The numerical-only model (`nsyn1..nsyn6`, section 3.2.1).
+//!
+//! Every subclass — one or more target subclasses, two or more non-target
+//! subclasses — is distinguished by disjoint, uniformly spaced, identical
+//! peaks in its distribution over a **single attribute of its own**, and is
+//! uniformly distributed over every other attribute. Full coverage of the
+//! target's tiny peaks inherently captures many false positives (uniform
+//! non-target mass under the peaks); removing them requires learning the
+//! non-target subclasses' peak regions on the *other* attributes — the
+//! splintered-false-positive trap for per-rule refinement.
+
+use crate::peaks::{layout_peaks, Peak, PeakShape};
+use crate::{SynthScale, NON_TARGET_CLASS, TARGET_CLASS};
+use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the numerical-only model (Table 1's columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumericModelConfig {
+    /// Number of target subclasses (`tc`).
+    pub tc: usize,
+    /// Signatures (peaks) per target subclass (`nsptc`).
+    pub nsptc: usize,
+    /// Total width of a target subclass's peaks (`tr`).
+    pub tr: f64,
+    /// Number of non-target subclasses (`ntc`).
+    pub ntc: usize,
+    /// Signatures per non-target subclass (`nspntc`).
+    pub nspntc: usize,
+    /// Total width of a non-target subclass's peaks (`nr`).
+    pub nr: f64,
+    /// Signature distribution shape (`d-shape`).
+    pub shape: PeakShape,
+    /// Attribute domain `[0, domain)`; the paper's figures use a domain of
+    /// roughly this size.
+    pub domain: f64,
+}
+
+impl NumericModelConfig {
+    /// The `nsyn1..nsyn6` presets of Table 1.
+    ///
+    /// # Panics
+    /// Panics if `index` is not in `1..=6`.
+    pub fn nsyn(index: usize) -> Self {
+        let (nsptc, ntc, nspntc) = match index {
+            1 => (1, 2, 3),
+            2 => (4, 2, 3),
+            3 => (4, 2, 4),
+            4 => (4, 2, 5),
+            5 => (4, 3, 4),
+            6 => (4, 3, 5),
+            _ => panic!("nsyn index must be 1..=6, got {index}"),
+        };
+        NumericModelConfig {
+            tc: 1,
+            nsptc,
+            tr: 0.2,
+            ntc,
+            nspntc,
+            nr: 0.2,
+            shape: PeakShape::Triangular,
+            domain: 50.0,
+        }
+    }
+
+    /// The same preset with peak widths overridden — the `tr`/`nr`
+    /// variations of Figure 1 and Table 2.
+    pub fn with_widths(mut self, tr: f64, nr: f64) -> Self {
+        self.tr = tr;
+        self.nr = nr;
+        self
+    }
+
+    /// Total number of attributes: one per subclass.
+    pub fn n_attrs(&self) -> usize {
+        self.tc + self.ntc
+    }
+
+    /// Peak layout of target subclass `s` (over attribute `s`).
+    pub fn target_peaks(&self, s: usize) -> Vec<Peak> {
+        assert!(s < self.tc);
+        layout_peaks(self.nsptc, self.tr, self.domain)
+    }
+
+    /// Peak layout of non-target subclass `j` (over attribute `tc + j`).
+    pub fn non_target_peaks(&self, j: usize) -> Vec<Peak> {
+        assert!(j < self.ntc);
+        layout_peaks(self.nspntc, self.nr, self.domain)
+    }
+}
+
+/// Generates a dataset from the model. Deterministic in `seed`.
+///
+/// Target records are divided equally among target subclasses and, within a
+/// subclass, equally among its signatures; likewise for non-target records.
+pub fn generate(cfg: &NumericModelConfig, scale: &SynthScale, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_target = scale.n_target();
+    let n_non_target = scale.n_records - n_target;
+
+    let mut b = DatasetBuilder::new();
+    for a in 0..cfg.n_attrs() {
+        b.add_attribute(format!("a{a}"), AttrType::Numeric);
+    }
+    b.add_class(TARGET_CLASS);
+    b.add_class(NON_TARGET_CLASS);
+    b.reserve(scale.n_records);
+
+    let target_peaks: Vec<Vec<Peak>> = (0..cfg.tc).map(|s| cfg.target_peaks(s)).collect();
+    let non_target_peaks: Vec<Vec<Peak>> =
+        (0..cfg.ntc).map(|j| cfg.non_target_peaks(j)).collect();
+
+    let mut values = vec![0.0f64; cfg.n_attrs()];
+    let mut row_buf: Vec<Value<'_>> = Vec::with_capacity(cfg.n_attrs());
+
+    for i in 0..n_target {
+        let s = i % cfg.tc; // subclass round-robin keeps the division exact
+        let sig = (i / cfg.tc) % cfg.nsptc;
+        for (a, v) in values.iter_mut().enumerate() {
+            *v = if a == s {
+                target_peaks[s][sig].sample(cfg.shape, &mut rng)
+            } else {
+                rng.gen::<f64>() * cfg.domain
+            };
+        }
+        row_buf.clear();
+        row_buf.extend(values.iter().map(|&v| Value::Num(v)));
+        b.push_row(&row_buf, TARGET_CLASS, 1.0).expect("schema fixed");
+    }
+    for i in 0..n_non_target {
+        let j = i % cfg.ntc;
+        let sig = (i / cfg.ntc) % cfg.nspntc;
+        let attr = cfg.tc + j;
+        for (a, v) in values.iter_mut().enumerate() {
+            *v = if a == attr {
+                non_target_peaks[j][sig].sample(cfg.shape, &mut rng)
+            } else {
+                rng.gen::<f64>() * cfg.domain
+            };
+        }
+        row_buf.clear();
+        row_buf.extend(values.iter().map(|&v| Value::Num(v)));
+        b.push_row(&row_buf, NON_TARGET_CLASS, 1.0).expect("schema fixed");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scale() -> SynthScale {
+        SynthScale { n_records: 10_000, target_frac: 0.01 }
+    }
+
+    #[test]
+    fn presets_match_table_1() {
+        let n3 = NumericModelConfig::nsyn(3);
+        assert_eq!((n3.tc, n3.nsptc, n3.ntc, n3.nspntc), (1, 4, 2, 4));
+        assert_eq!(n3.n_attrs(), 3);
+        let n6 = NumericModelConfig::nsyn(6);
+        assert_eq!((n6.ntc, n6.nspntc), (3, 5));
+        assert_eq!(n6.n_attrs(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=6")]
+    fn bad_preset_panics() {
+        NumericModelConfig::nsyn(7);
+    }
+
+    #[test]
+    fn class_proportions_are_exact() {
+        let d = generate(&NumericModelConfig::nsyn(2), &small_scale(), 1);
+        assert_eq!(d.n_rows(), 10_000);
+        let c = d.class_code(TARGET_CLASS).unwrap() as usize;
+        assert_eq!(d.class_counts()[c], 100);
+    }
+
+    #[test]
+    fn target_records_sit_in_their_peaks() {
+        let cfg = NumericModelConfig::nsyn(3);
+        let d = generate(&cfg, &small_scale(), 2);
+        let c = d.class_code(TARGET_CLASS).unwrap();
+        let peaks = cfg.target_peaks(0);
+        for row in 0..d.n_rows() {
+            if d.label(row) == c {
+                let x = d.num(0, row);
+                assert!(
+                    peaks.iter().any(|p| p.contains(x)),
+                    "target row {row} value {x} outside every peak"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_target_records_sit_in_their_subclass_peaks() {
+        let cfg = NumericModelConfig::nsyn(1);
+        let d = generate(&cfg, &small_scale(), 3);
+        let nc = d.class_code(NON_TARGET_CLASS).unwrap();
+        let peaks0 = cfg.non_target_peaks(0);
+        let peaks1 = cfg.non_target_peaks(1);
+        for row in 0..d.n_rows() {
+            if d.label(row) == nc {
+                let in0 = peaks0.iter().any(|p| p.contains(d.num(1, row)));
+                let in1 = peaks1.iter().any(|p| p.contains(d.num(2, row)));
+                assert!(
+                    in0 || in1,
+                    "non-target row {row} belongs to no subclass signature"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_distinguishing_attributes_are_roughly_uniform() {
+        let cfg = NumericModelConfig::nsyn(1);
+        let d = generate(&cfg, &SynthScale { n_records: 20_000, target_frac: 0.5 }, 4);
+        let c = d.class_code(TARGET_CLASS).unwrap();
+        // attribute 1 distinguishes NC1; target rows should be uniform there
+        let mut counts = [0usize; 5];
+        let mut total = 0usize;
+        for row in 0..d.n_rows() {
+            if d.label(row) == c {
+                let x = d.num(1, row);
+                counts[((x / cfg.domain * 5.0) as usize).min(4)] += 1;
+                total += 1;
+            }
+        }
+        for (i, &cnt) in counts.iter().enumerate() {
+            let frac = cnt as f64 / total as f64;
+            assert!((frac - 0.2).abs() < 0.03, "bucket {i} fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let cfg = NumericModelConfig::nsyn(2);
+        let s = SynthScale { n_records: 1_000, target_frac: 0.01 };
+        let d1 = generate(&cfg, &s, 7);
+        let d2 = generate(&cfg, &s, 7);
+        for row in 0..d1.n_rows() {
+            assert_eq!(d1.num(0, row), d2.num(0, row));
+        }
+        let d3 = generate(&cfg, &s, 8);
+        let diff = (0..d1.n_rows()).any(|r| d1.num(0, r) != d3.num(0, r));
+        assert!(diff, "different seed should change the data");
+    }
+
+    #[test]
+    fn width_override_applies() {
+        let cfg = NumericModelConfig::nsyn(3).with_widths(4.0, 2.0);
+        assert_eq!(cfg.tr, 4.0);
+        assert_eq!(cfg.nr, 2.0);
+        let p = cfg.target_peaks(0);
+        assert!((p[0].width - 1.0).abs() < 1e-12);
+    }
+}

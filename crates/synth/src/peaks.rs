@@ -1,0 +1,167 @@
+//! Peak (signature) geometry and sampling shared by the numeric and general
+//! models.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The shape of a signature's distribution over its peak interval (the
+/// model's `d-shape` parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeakShape {
+    /// Flat rectangular (uniform over the peak).
+    Rectangular,
+    /// Symmetric triangular, densest at the centre (the shape used in the
+    /// paper's experiments).
+    Triangular,
+    /// Truncated Gaussian (σ = width/6, clipped to the peak).
+    Gaussian,
+}
+
+/// One peak: the half-open interval `[lo, lo + width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Left edge.
+    pub lo: f64,
+    /// Width.
+    pub width: f64,
+}
+
+impl Peak {
+    /// The peak's centre.
+    pub fn center(&self) -> f64 {
+        self.lo + self.width / 2.0
+    }
+
+    /// Right edge.
+    pub fn hi(&self) -> f64 {
+        self.lo + self.width
+    }
+
+    /// Whether `x` falls inside the peak.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x < self.hi()
+    }
+
+    /// Samples a value from the peak under `shape`.
+    pub fn sample<R: Rng>(&self, shape: PeakShape, rng: &mut R) -> f64 {
+        match shape {
+            PeakShape::Rectangular => self.lo + rng.gen::<f64>() * self.width,
+            PeakShape::Triangular => {
+                // mean of two uniforms is triangular on [0,1]
+                let t = (rng.gen::<f64>() + rng.gen::<f64>()) / 2.0;
+                self.lo + t * self.width
+            }
+            PeakShape::Gaussian => {
+                let sigma = self.width / 6.0;
+                loop {
+                    // Box-Muller, retry until inside the peak
+                    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u2: f64 = rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let x = self.center() + z * sigma;
+                    if self.contains(x) {
+                        return x;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lays out `n_peaks` disjoint, uniformly spaced, identical peaks of total
+/// width `total_width` over the domain `[0, domain)` — the paper's
+/// signature geometry. Peak `k` is centred at `domain·(2k+1)/(2n)`.
+pub fn layout_peaks(n_peaks: usize, total_width: f64, domain: f64) -> Vec<Peak> {
+    assert!(n_peaks > 0, "need at least one peak");
+    assert!(total_width > 0.0 && total_width < domain, "peaks must fit the domain");
+    let width = total_width / n_peaks as f64;
+    assert!(
+        width <= domain / n_peaks as f64,
+        "peaks of width {width} overlap at spacing {}",
+        domain / n_peaks as f64
+    );
+    (0..n_peaks)
+        .map(|k| {
+            let center = domain * (2 * k + 1) as f64 / (2 * n_peaks) as f64;
+            Peak { lo: center - width / 2.0, width }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layout_spaces_peaks_uniformly() {
+        let peaks = layout_peaks(4, 0.2, 50.0);
+        assert_eq!(peaks.len(), 4);
+        let centers: Vec<f64> = peaks.iter().map(Peak::center).collect();
+        assert_eq!(centers, vec![6.25, 18.75, 31.25, 43.75]);
+        for p in &peaks {
+            assert!((p.width - 0.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn peaks_are_disjoint() {
+        let peaks = layout_peaks(5, 4.0, 50.0);
+        for w in peaks.windows(2) {
+            assert!(w[0].hi() <= w[1].lo, "{:?} overlaps {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fit the domain")]
+    fn oversized_peaks_rejected() {
+        layout_peaks(2, 60.0, 50.0);
+    }
+
+    #[test]
+    fn samples_stay_inside_peak_for_all_shapes() {
+        let peak = Peak { lo: 10.0, width: 2.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for shape in [PeakShape::Rectangular, PeakShape::Triangular, PeakShape::Gaussian] {
+            for _ in 0..500 {
+                let x = peak.sample(shape, &mut rng);
+                assert!(peak.contains(x), "{x} outside peak for {shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_mass_concentrates_at_centre() {
+        let peak = Peak { lo: 0.0, width: 1.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10_000;
+        let central = (0..n)
+            .map(|_| peak.sample(PeakShape::Triangular, &mut rng))
+            .filter(|x| (0.25..0.75).contains(x))
+            .count();
+        // middle half holds 3/4 of a triangular distribution
+        let frac = central as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "central mass {frac}");
+    }
+
+    #[test]
+    fn rectangular_mass_is_flat() {
+        let peak = Peak { lo: 0.0, width: 1.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let central = (0..n)
+            .map(|_| peak.sample(PeakShape::Rectangular, &mut rng))
+            .filter(|x| (0.25..0.75).contains(x))
+            .count();
+        let frac = central as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "central mass {frac}");
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let p = Peak { lo: 1.0, width: 1.0 };
+        assert!(p.contains(1.0));
+        assert!(!p.contains(2.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the synthetic dataset models.
+
+use pnr_synth::categorical::CategoricalModelConfig;
+use pnr_synth::general::GeneralModelConfig;
+use pnr_synth::numeric::NumericModelConfig;
+use pnr_synth::peaks::{layout_peaks, Peak, PeakShape};
+use pnr_synth::{SynthScale, NON_TARGET_CLASS, TARGET_CLASS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn peak_layout_is_disjoint_and_inside_domain(
+        n_peaks in 1usize..8,
+        total_width in 0.01f64..4.0,
+        domain in 10.0f64..100.0,
+    ) {
+        prop_assume!(total_width < domain);
+        let peaks = layout_peaks(n_peaks, total_width, domain);
+        prop_assert_eq!(peaks.len(), n_peaks);
+        let width_sum: f64 = peaks.iter().map(|p| p.width).sum();
+        prop_assert!((width_sum - total_width).abs() < 1e-9);
+        for p in &peaks {
+            prop_assert!(p.lo >= 0.0 && p.hi() <= domain);
+        }
+        for w in peaks.windows(2) {
+            prop_assert!(w[0].hi() <= w[1].lo + 1e-12);
+        }
+    }
+
+    #[test]
+    fn peak_samples_stay_inside(
+        lo in -50.0f64..50.0,
+        width in 0.01f64..10.0,
+        seed in 0u64..100,
+        shape_pick in 0usize..3,
+    ) {
+        use rand::SeedableRng;
+        let shape = [PeakShape::Rectangular, PeakShape::Triangular, PeakShape::Gaussian]
+            [shape_pick];
+        let peak = Peak { lo, width };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = peak.sample(shape, &mut rng);
+            prop_assert!(peak.contains(x), "{x} outside [{lo}, {})", peak.hi());
+        }
+    }
+
+    #[test]
+    fn numeric_generator_class_counts_are_exact(
+        preset in 1usize..7,
+        n in 500usize..3000,
+        frac_millis in 1u32..100,
+        seed in 0u64..50,
+    ) {
+        let frac = frac_millis as f64 / 1000.0;
+        let cfg = NumericModelConfig::nsyn(preset);
+        let scale = SynthScale { n_records: n, target_frac: frac };
+        let d = pnr_synth::numeric::generate(&cfg, &scale, seed);
+        prop_assert_eq!(d.n_rows(), n);
+        let c = d.class_code(TARGET_CLASS).unwrap() as usize;
+        prop_assert_eq!(d.class_counts()[c], scale.n_target());
+        let nc = d.class_code(NON_TARGET_CLASS).unwrap() as usize;
+        prop_assert_eq!(d.class_counts()[nc], n - scale.n_target());
+    }
+
+    #[test]
+    fn numeric_targets_always_carry_a_signature(
+        preset in 1usize..7,
+        seed in 0u64..30,
+    ) {
+        let cfg = NumericModelConfig::nsyn(preset);
+        let scale = SynthScale { n_records: 2_000, target_frac: 0.02 };
+        let d = pnr_synth::numeric::generate(&cfg, &scale, seed);
+        let c = d.class_code(TARGET_CLASS).unwrap();
+        let peaks = cfg.target_peaks(0);
+        for row in 0..d.n_rows() {
+            if d.label(row) == c {
+                let x = d.num(0, row);
+                prop_assert!(peaks.iter().any(|p| p.contains(x)));
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_generator_respects_vocab(
+        coa in 1usize..7,
+        seed in 0u64..30,
+    ) {
+        let cfg = CategoricalModelConfig::coa(coa);
+        let scale = SynthScale { n_records: 1_000, target_frac: 0.01 };
+        let d = pnr_synth::categorical::generate(&cfg, &scale, seed);
+        for a in 0..d.n_attrs() {
+            prop_assert_eq!(d.schema().attr(a).dict.len(), cfg.vocab_of(a));
+        }
+    }
+
+    #[test]
+    fn general_generator_is_deterministic(seed in 0u64..50) {
+        let cfg = GeneralModelConfig::default();
+        let scale = SynthScale { n_records: 800, target_frac: 0.01 };
+        let d1 = pnr_synth::general::generate(&cfg, &scale, seed);
+        let d2 = pnr_synth::general::generate(&cfg, &scale, seed);
+        for row in (0..d1.n_rows()).step_by(29) {
+            prop_assert_eq!(d1.num(0, row), d2.num(0, row));
+            prop_assert_eq!(d1.cat(4, row), d2.cat(4, row));
+        }
+    }
+
+    #[test]
+    fn scaled_by_preserves_target_fraction(factor_pct in 1u32..300) {
+        let factor = factor_pct as f64 / 100.0;
+        let s = SynthScale::paper_train().scaled_by(factor);
+        prop_assert_eq!(s.target_frac, 0.003);
+        prop_assert!(s.n_records >= 1);
+    }
+}

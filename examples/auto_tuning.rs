@@ -1,0 +1,99 @@
+//! Advanced usage: the paper's future-work features implemented here —
+//! automatic recall-limit selection, N-stage pruning, multi-class
+//! classification with misclassification costs, and threshold-free
+//! precision-recall analysis.
+//!
+//! Run with: `cargo run --release --example auto_tuning`
+
+use pnrule::prelude::*;
+use pnrule::synth::numeric::NumericModelConfig;
+use pnrule::synth::SynthScale;
+
+fn main() {
+    // --- auto-tuned binary PNrule on nsyn3 ---
+    let cfg = NumericModelConfig::nsyn(3);
+    let train = pnrule::synth::numeric::generate(
+        &cfg,
+        &SynthScale { n_records: 60_000, target_frac: 0.003 },
+        1,
+    );
+    let test = pnrule::synth::numeric::generate(
+        &cfg,
+        &SynthScale { n_records: 30_000, target_frac: 0.003 },
+        2,
+    );
+    let target = train.class_code("C").unwrap();
+    println!("dataset summary:\n{}", pnrule::data::describe(&train));
+
+    let (model, chosen) = fit_auto(&train, target, &AutoTuneOptions::default());
+    println!(
+        "auto-tuned parameters: rp={} rn={} P1={:?}",
+        chosen.rp, chosen.rn, chosen.max_p_rule_len
+    );
+    let cm = evaluate_classifier(&model, &test, target);
+    println!(
+        "auto-tuned test: R {:.2}% P {:.2}% F {:.4}",
+        cm.recall() * 100.0,
+        cm.precision() * 100.0,
+        cm.f_measure()
+    );
+
+    // --- N-stage pruning on a validation split ---
+    // Wider peaks (tr=2) make the P-phase capture many false positives, so
+    // the N-stage learns plenty of rules — some of them overfit noise.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let wide = NumericModelConfig::nsyn(3).with_widths(2.0, 2.0);
+    let wide_train = pnrule::synth::numeric::generate(
+        &wide,
+        &SynthScale { n_records: 60_000, target_frac: 0.003 },
+        4,
+    );
+    let wide_test = pnrule::synth::numeric::generate(
+        &wide,
+        &SynthScale { n_records: 30_000, target_frac: 0.003 },
+        5,
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let (sub_train, valid) = stratified_split(&wide_train, 0.7, &mut rng);
+    let overfit = PnruleLearner::new(PnruleParams { rn: 0.999, ..Default::default() })
+        .fit(&sub_train, target);
+    let pruned = prune_n_rules(&overfit, &sub_train, &valid, 1.0);
+    println!(
+        "\nN-stage pruning (nsyn3 tr=nr=2): {} -> {} N-rules, test F {:.4} -> {:.4}",
+        overfit.n_rules.len(),
+        pruned.n_rules.len(),
+        evaluate_classifier(&overfit, &wide_test, target).f_measure(),
+        evaluate_classifier(&pruned, &wide_test, target).f_measure()
+    );
+
+    // --- threshold-free view: the precision-recall curve ---
+    let curve = score_curve(&model, &test, target);
+    let best = curve.best_f_point().expect("positives present");
+    println!(
+        "\nPR analysis: AUC-PR {:.4}; best F {:.4} at threshold {:.3} (default 0.5: F {:.4})",
+        curve.auc_pr(),
+        best.f,
+        best.threshold,
+        cm.f_measure()
+    );
+
+    // --- multi-class reduction on the KDD simulation ---
+    let kdd = pnrule::kddsim::generate_train(30_000, 9);
+    let mc = MultiClassPnrule::fit(&kdd, &PnruleParams::default());
+    let mut confusion = pnrule::metrics::MulticlassConfusion::new(kdd.n_classes());
+    for row in 0..kdd.n_rows() {
+        confusion.record(kdd.label(row) as usize, mc.classify(&kdd, row) as usize, 1.0);
+    }
+    println!(
+        "\nmulti-class KDD (5 classes): accuracy {:.4}, per-class F:",
+        confusion.accuracy()
+    );
+    for c in 0..kdd.n_classes() {
+        println!(
+            "  {:<8} F {:.4}",
+            kdd.class_name(c as u32),
+            confusion.binary_for(c).f_measure()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Persisting datasets and trained models: CSV round-trips for data, JSON
+//! round-trips for every model type — the operational glue a production
+//! deployment needs.
+//!
+//! Run with: `cargo run --example model_persistence`
+
+use pnrule::data::{read_csv_str, write_csv_string, CsvOptions};
+use pnrule::prelude::*;
+
+fn main() {
+    // Build a small dataset, ship it through CSV, and confirm fidelity.
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("bytes", AttrType::Numeric);
+    b.add_attribute("proto", AttrType::Categorical);
+    for i in 0..600 {
+        let bytes = (i % 50) as f64 * 10.0;
+        let proto = if i % 3 == 0 { "udp" } else { "tcp" };
+        let label = if bytes < 60.0 && proto == "udp" { "anomaly" } else { "normal" };
+        b.push_row(&[Value::num(bytes), Value::cat(proto)], label, 1.0).unwrap();
+    }
+    let data = b.finish();
+    let csv = write_csv_string(&data, ',');
+    let reloaded = read_csv_str(&csv, &CsvOptions::default()).unwrap();
+    assert_eq!(reloaded.n_rows(), data.n_rows());
+    println!("CSV round-trip: {} records ok", reloaded.n_rows());
+
+    // Train all three learners and persist each as JSON.
+    let target = data.class_code("anomaly").unwrap();
+
+    let pn = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+    let pn_json = serde_json::to_string(&pn).unwrap();
+    let pn2: pnrule::core::PnruleModel = serde_json::from_str(&pn_json).unwrap();
+    println!("PNrule model: {} bytes of JSON", pn_json.len());
+
+    let rip = RipperLearner::new(RipperParams::default()).fit(&data, target);
+    let rip_json = serde_json::to_string(&rip).unwrap();
+    let rip2: pnrule::ripper::RipperModel = serde_json::from_str(&rip_json).unwrap();
+    println!("RIPPER model: {} bytes of JSON", rip_json.len());
+
+    let c45 = C45Learner::new(C45Params::default()).fit_rules(&data);
+    let c45_json = serde_json::to_string(&c45).unwrap();
+    let c45_2: pnrule::c45::C45RulesModel = serde_json::from_str(&c45_json).unwrap();
+    println!("C4.5rules model: {} bytes of JSON", c45_json.len());
+
+    // Reloaded models must agree with the originals on every record.
+    for row in 0..data.n_rows() {
+        assert_eq!(pn.predict(&data, row), pn2.predict(&data, row));
+        assert_eq!(rip.predict(&data, row), rip2.predict(&data, row));
+        assert_eq!(c45.classify(&data, row), c45_2.classify(&data, row));
+    }
+    println!("all reloaded models agree with the originals on {} records", data.n_rows());
+}

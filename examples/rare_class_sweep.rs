@@ -1,0 +1,48 @@
+//! Why PNrule is *specifically* a rare-class method: sweep the target-class
+//! proportion of the `syngen` model (the paper's Table 5 protocol) and
+//! watch the gap between PNrule and RIPPER close as the class becomes
+//! prevalent.
+//!
+//! Run with: `cargo run --release --example rare_class_sweep`
+
+use pnrule::prelude::*;
+use pnrule::synth::general::GeneralModelConfig;
+use pnrule::synth::SynthScale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = GeneralModelConfig::default();
+    let scale = SynthScale { n_records: 60_000, target_frac: 0.003 };
+    let full_train = pnrule::synth::general::generate(&cfg, &scale, 11);
+    let full_test = pnrule::synth::general::generate(
+        &cfg,
+        &SynthScale { n_records: 30_000, target_frac: 0.003 },
+        12,
+    );
+    let target = full_train.class_code("C").unwrap();
+    let non_target = full_train.class_code("NC").unwrap();
+
+    println!("{:>9} {:>7} {:>10} {:>10}", "ntc-frac", "tc %", "RIPPER F", "PNrule F");
+    for frac in [1.0, 0.1, 0.02, 0.003] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let train = pnrule::data::subsample_class(&full_train, non_target, frac, &mut rng);
+        let test = pnrule::data::subsample_class(&full_test, non_target, frac, &mut rng);
+        let tc_pct =
+            100.0 * train.class_counts()[target as usize] as f64 / train.n_rows() as f64;
+
+        let rip = RipperLearner::new(RipperParams::default()).fit(&train, target);
+        let rip_f = evaluate_classifier(&rip, &test, target).f_measure();
+
+        let pn = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+        let pn_f = evaluate_classifier(&pn, &test, target).f_measure();
+
+        println!("{frac:>9} {tc_pct:>6.1}% {rip_f:>10.4} {pn_f:>10.4}");
+    }
+    println!(
+        "\nThe paper's observation: \"As the target class proportion increases, the\n\
+         difference between the performances of all the three techniques becomes\n\
+         lesser and lesser ... PNrule is clearly the best choice when the target\n\
+         class is rare.\""
+    );
+}

@@ -1,0 +1,21 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper into results/.
+# Usage: ./run_experiments.sh [scale]
+set -u
+SCALE="${1:-0.5}"
+OUT=results
+mkdir -p "$OUT"
+BIN=./target/release
+for exp in table1 figure1 table2 table3 table4 table5 table6 \
+           table_r2l table_r2l_p1 table_probe table_probe_p1; do
+  echo "=== $exp (scale $SCALE) ==="
+  start=$(date +%s)
+  "$BIN/$exp" --scale "$SCALE" --out "$OUT" > "$OUT/$exp.txt" 2>&1 || echo "$exp FAILED"
+  echo "$exp took $(( $(date +%s) - start ))s" | tee "$OUT/$exp.time"
+done
+"$BIN/figure2" > "$OUT/figure2.txt" 2>&1
+"$BIN/figure3" > "$OUT/figure3.txt" 2>&1
+echo "=== ablations ==="
+"$BIN/ablations" --scale 0.3 --out "$OUT" > "$OUT/ablations.txt" 2>&1 || echo "ablations FAILED"
+"$BIN/report_md" --out "$OUT" > EXPERIMENTS_RESULTS.md 2>/dev/null || true
+echo ALL_DONE

@@ -1,0 +1,69 @@
+//! # PNrule — two-phase rule induction for rare classes
+//!
+//! A complete Rust implementation of *"Mining Needles in a Haystack:
+//! Classifying Rare Classes via Two-Phase Rule Induction"* (Joshi, Agarwal,
+//! Kumar — SIGMOD 2001), including the PNrule learner itself, the RIPPER
+//! and C4.5/C4.5rules baselines it is compared against, the paper's
+//! synthetic dataset models, a KDD-CUP'99-style intrusion simulator, and an
+//! experiment harness regenerating every table and figure.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`data`] | `pnr-data` | columnar datasets, weights, splits, CSV |
+//! | [`metrics`] | `pnr-metrics` | recall / precision / F-measure |
+//! | [`rules`] | `pnr-rules` | conditions, rules, metrics, condition search |
+//! | [`core`] | `pnr-core` | the PNrule two-phase learner |
+//! | [`ripper`] | `pnr-ripper` | the RIPPER baseline |
+//! | [`c45`] | `pnr-c45` | the C4.5 / C4.5rules baseline |
+//! | [`synth`] | `pnr-synth` | the paper's synthetic dataset models |
+//! | [`kddsim`] | `pnr-kddsim` | the KDD-CUP'99 simulator |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pnrule::prelude::*;
+//!
+//! // A rare class hiding in a numeric band of one attribute.
+//! let mut b = DatasetBuilder::new();
+//! b.add_attribute("x", AttrType::Numeric);
+//! for i in 0..2_000 {
+//!     let x = (i % 100) as f64;
+//!     let label = if (40.0..42.0).contains(&x) { "rare" } else { "rest" };
+//!     b.push_row(&[Value::num(x)], label, 1.0).unwrap();
+//! }
+//! let data = b.finish();
+//! let target = data.class_code("rare").unwrap();
+//!
+//! let model = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+//! let cm = evaluate_classifier(&model, &data, target);
+//! assert!(cm.f_measure() > 0.95);
+//! ```
+
+pub use pnr_c45 as c45;
+pub use pnr_core as core;
+pub use pnr_data as data;
+pub use pnr_kddsim as kddsim;
+pub use pnr_metrics as metrics;
+pub use pnr_ripper as ripper;
+pub use pnr_rules as rules;
+pub use pnr_synth as synth;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use pnr_c45::{C45Learner, C45Params};
+    pub use pnr_core::{
+        fit_auto, prune_n_rules, AutoTuneOptions, MultiClassPnrule, PnruleLearner, PnruleModel,
+        PnruleParams,
+    };
+    pub use pnr_data::{
+        stratified_split, stratify_weights, train_test_split, AttrType, Dataset,
+        DatasetBuilder, RowSet, Value,
+    };
+    pub use pnr_metrics::{BinaryConfusion, PrCurve, PrfReport};
+    pub use pnr_ripper::{RipperLearner, RipperParams};
+    pub use pnr_rules::{
+        evaluate_classifier, score_curve, BinaryClassifier, Condition, EvalMetric, Rule, RuleSet,
+    };
+}

@@ -1,0 +1,142 @@
+//! Cross-learner integration tests: the three learners behind one trait,
+//! determinism, serialisation, and the paper's comparative claims on a
+//! controlled fixture.
+
+use pnrule::prelude::*;
+use pnrule::synth::numeric::NumericModelConfig;
+use pnrule::synth::SynthScale;
+
+/// Train/test pair from nsyn3 (the paper's workhorse dataset).
+fn fixture() -> (Dataset, Dataset, u32) {
+    let cfg = NumericModelConfig::nsyn(3);
+    let train = pnrule::synth::numeric::generate(
+        &cfg,
+        &SynthScale { n_records: 50_000, target_frac: 0.003 },
+        1,
+    );
+    let test = pnrule::synth::numeric::generate(
+        &cfg,
+        &SynthScale { n_records: 25_000, target_frac: 0.003 },
+        2,
+    );
+    let target = train.class_code("C").unwrap();
+    (train, test, target)
+}
+
+/// Every model boxed behind the common trait.
+fn all_models(train: &Dataset, target: u32) -> Vec<(&'static str, Box<dyn BinaryClassifier>)> {
+    let pn = PnruleLearner::new(PnruleParams::default()).fit(train, target);
+    let rip = RipperLearner::new(RipperParams::default()).fit(train, target);
+    let tree = C45Learner::new(C45Params::default()).fit_tree(train);
+    struct OwnedTreeView {
+        model: pnrule::c45::C45TreeModel,
+        target: u32,
+    }
+    impl BinaryClassifier for OwnedTreeView {
+        fn score(&self, data: &Dataset, row: usize) -> f64 {
+            self.model.binary_view(self.target).score(data, row)
+        }
+        fn predict(&self, data: &Dataset, row: usize) -> bool {
+            self.model.binary_view(self.target).predict(data, row)
+        }
+    }
+    vec![
+        ("pnrule", Box::new(pn)),
+        ("ripper", Box::new(rip)),
+        ("c45tree", Box::new(OwnedTreeView { model: tree, target })),
+    ]
+}
+
+#[test]
+fn all_learners_work_through_the_trait() {
+    let (train, test, target) = fixture();
+    for (name, model) in all_models(&train, target) {
+        let cm = evaluate_classifier(model.as_ref(), &test, target);
+        assert!(
+            cm.f_measure() > 0.2,
+            "{name} collapsed on nsyn3: F {}",
+            cm.f_measure()
+        );
+        // scores must be valid probabilities
+        for row in (0..test.n_rows()).step_by(997) {
+            let s = model.score(&test, row);
+            assert!((0.0..=1.0).contains(&s), "{name} score {s}");
+        }
+    }
+}
+
+#[test]
+fn pnrule_wins_on_the_rare_class_fixture() {
+    // The paper's central claim on nsyn3 (0.3% target): PNrule's F beats
+    // both baselines.
+    let (train, test, target) = fixture();
+    let mut scores = std::collections::HashMap::new();
+    for (name, model) in all_models(&train, target) {
+        scores.insert(name, evaluate_classifier(model.as_ref(), &test, target).f_measure());
+    }
+    let pn = scores["pnrule"];
+    assert!(
+        pn >= scores["ripper"] && pn >= scores["c45tree"],
+        "PNrule F {pn} vs RIPPER {} vs C4.5 {}",
+        scores["ripper"],
+        scores["c45tree"]
+    );
+}
+
+#[test]
+fn learners_are_deterministic() {
+    let (train, _, target) = fixture();
+    let p1 = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+    let p2 = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+    assert_eq!(p1.p_rules, p2.p_rules);
+    assert_eq!(p1.n_rules, p2.n_rules);
+    let r1 = RipperLearner::new(RipperParams::default()).fit(&train, target);
+    let r2 = RipperLearner::new(RipperParams::default()).fit(&train, target);
+    assert_eq!(r1.rules(), r2.rules());
+}
+
+#[test]
+fn rp_controls_recall_ceiling() {
+    let (train, test, target) = fixture();
+    let low = PnruleLearner::new(PnruleParams { rp: 0.5, ..Default::default() })
+        .fit(&train, target);
+    let high = PnruleLearner::new(PnruleParams { rp: 0.99, ..Default::default() })
+        .fit(&train, target);
+    let cm_low = evaluate_classifier(&low, &test, target);
+    let cm_high = evaluate_classifier(&high, &test, target);
+    assert!(
+        cm_high.recall() + 1e-9 >= cm_low.recall(),
+        "rp=0.99 recall {} < rp=0.5 recall {}",
+        cm_high.recall(),
+        cm_low.recall()
+    );
+}
+
+#[test]
+fn pnrule_model_serde_preserves_decisions() {
+    let (train, test, target) = fixture();
+    let model = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+    let back: pnrule::core::PnruleModel =
+        serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+    for row in (0..test.n_rows()).step_by(313) {
+        assert_eq!(model.predict(&test, row), back.predict(&test, row));
+    }
+}
+
+#[test]
+fn range_ablation_hurts_or_ties_on_peak_data() {
+    // nsyn signatures are interior peaks: explicit ranges should never be
+    // worse than one-sided-only search.
+    let (train, test, target) = fixture();
+    let with = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+    let without = PnruleLearner::new(PnruleParams { use_ranges: false, ..Default::default() })
+        .fit(&train, target);
+    let f_with = evaluate_classifier(&with, &test, target).f_measure();
+    let f_without = evaluate_classifier(&without, &test, target).f_measure();
+    assert!(
+        f_with >= f_without - 0.1,
+        "ranges should help on peaks: with {} vs without {}",
+        f_with,
+        f_without
+    );
+}

@@ -1,0 +1,126 @@
+//! End-to-end integration tests: every learner through the public facade
+//! API on the paper's synthetic models, with train/test generalisation.
+
+use pnrule::prelude::*;
+use pnrule::synth::categorical::CategoricalModelConfig;
+use pnrule::synth::numeric::NumericModelConfig;
+use pnrule::synth::SynthScale;
+
+fn nsyn_pair(index: usize, n: usize, frac: f64) -> (Dataset, Dataset, u32) {
+    let cfg = NumericModelConfig::nsyn(index);
+    let scale = SynthScale { n_records: n, target_frac: frac };
+    let train = pnrule::synth::numeric::generate(&cfg, &scale, 100 + index as u64);
+    let test = pnrule::synth::numeric::generate(
+        &cfg,
+        &SynthScale { n_records: n / 2, target_frac: frac },
+        200 + index as u64,
+    );
+    let target = train.class_code("C").unwrap();
+    (train, test, target)
+}
+
+#[test]
+fn pnrule_learns_nsyn1_structure() {
+    let (train, test, target) = nsyn_pair(1, 30_000, 0.01);
+    let model = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+    assert!(!model.p_rules.is_empty());
+    let cm = evaluate_classifier(&model, &test, target);
+    assert!(cm.f_measure() > 0.7, "nsyn1 test F {}", cm.f_measure());
+}
+
+#[test]
+fn ripper_learns_nsyn1_structure() {
+    let (train, test, target) = nsyn_pair(1, 30_000, 0.01);
+    let model = RipperLearner::new(RipperParams::default()).fit(&train, target);
+    let cm = evaluate_classifier(&model, &test, target);
+    assert!(cm.f_measure() > 0.5, "nsyn1 RIPPER test F {}", cm.f_measure());
+}
+
+#[test]
+fn c45_learns_nsyn1_structure() {
+    let (train, test, target) = nsyn_pair(1, 30_000, 0.01);
+    let model = C45Learner::new(C45Params::default()).fit_rules(&train);
+    let cm = evaluate_classifier(&model.binary_view(target), &test, target);
+    assert!(cm.f_measure() > 0.5, "nsyn1 C4.5rules test F {}", cm.f_measure());
+}
+
+#[test]
+fn pnrule_beats_na_baseline_on_categorical_model() {
+    let cfg = CategoricalModelConfig::coa(1);
+    let scale = SynthScale { n_records: 20_000, target_frac: 0.01 };
+    let train = pnrule::synth::categorical::generate(&cfg, &scale, 31);
+    let test = pnrule::synth::categorical::generate(&cfg, &scale, 32);
+    let target = train.class_code("C").unwrap();
+    let model = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+    let cm = evaluate_classifier(&model, &test, target);
+    // the all-negative baseline has F = 0; the model must do far better
+    assert!(cm.f_measure() > 0.6, "coa1 test F {}", cm.f_measure());
+    assert!(cm.precision() > 0.6, "coa1 precision {}", cm.precision());
+}
+
+#[test]
+fn pnrule_handles_kdd_simulation_probe() {
+    let train = pnrule::kddsim::generate_train(40_000, 41);
+    let test = pnrule::kddsim::generate_test(20_000, 42);
+    let target = train.class_code("probe").unwrap();
+    let model = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+    let cm = evaluate_classifier(&model, &test, target);
+    assert!(cm.f_measure() > 0.6, "probe test F {}", cm.f_measure());
+}
+
+#[test]
+fn two_phase_structure_appears_on_overlapping_signatures() {
+    // r2l's ftp presence signature overlaps dos flooding: PNrule should
+    // learn at least one P-rule, and its N-phase or scoring must suppress
+    // flood false positives well enough for decent precision.
+    let train = pnrule::kddsim::generate_train(60_000, 51);
+    let target = train.class_code("r2l").unwrap();
+    let model = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
+    assert!(!model.p_rules.is_empty(), "needs P-rules");
+    let cm = evaluate_classifier(&model, &train, target);
+    assert!(cm.precision() > 0.8, "train precision {}", cm.precision());
+    assert!(cm.recall() > 0.8, "train recall {}", cm.recall());
+}
+
+#[test]
+fn stratified_weighting_trades_precision_for_recall() {
+    let (train, test, target) = nsyn_pair(3, 40_000, 0.003);
+    let unit = RipperLearner::default().fit(&train, target);
+    let strat =
+        RipperLearner::default().fit(&train.with_weights(stratify_weights(&train, target)), target);
+    let cm_unit = evaluate_classifier(&unit, &test, target);
+    let cm_strat = evaluate_classifier(&strat, &test, target);
+    assert!(
+        cm_strat.recall() >= cm_unit.recall() - 0.05,
+        "stratified recall {} vs unit {}",
+        cm_strat.recall(),
+        cm_unit.recall()
+    );
+}
+
+#[test]
+fn splits_and_training_compose() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let cfg = NumericModelConfig::nsyn(1);
+    let all = pnrule::synth::numeric::generate(
+        &cfg,
+        &SynthScale { n_records: 20_000, target_frac: 0.02 },
+        7,
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    let (train, test) = stratified_split(&all, 0.7, &mut rng);
+    let target = train.class_code("C").unwrap();
+    let model = PnruleLearner::default().fit(&train, target);
+    let cm = evaluate_classifier(&model, &test, target);
+    assert!(cm.f_measure() > 0.7, "split-train F {}", cm.f_measure());
+}
+
+#[test]
+fn facade_prelude_exposes_needed_types() {
+    // compile-time check that the prelude covers the common workflow
+    let _params: PnruleParams = PnruleParams::default();
+    let _r: RipperParams = RipperParams::default();
+    let _c: C45Params = C45Params::default();
+    let _m: EvalMetric = EvalMetric::ZNumber;
+}

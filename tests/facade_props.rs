@@ -1,0 +1,93 @@
+//! Workspace-level property tests: classifier behaviour invariants that
+//! cross crate boundaries.
+
+use pnrule::prelude::*;
+use proptest::prelude::*;
+
+fn tiny_dataset(rows: &[(f64, bool)]) -> (Dataset, u32) {
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("x", AttrType::Numeric);
+    b.add_class("pos");
+    b.add_class("neg");
+    for &(x, p) in rows {
+        b.push_row(&[Value::num(x)], if p { "pos" } else { "neg" }, 1.0).unwrap();
+    }
+    (b.finish(), 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pnrule_never_crashes_on_arbitrary_labellings(
+        rows in prop::collection::vec((-100.0f64..100.0, prop::bool::ANY), 4..120),
+    ) {
+        let (data, target) = tiny_dataset(&rows);
+        let model = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+        for row in 0..data.n_rows() {
+            let s = pnrule::rules::BinaryClassifier::score(&model, &data, row);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn ripper_never_crashes_on_arbitrary_labellings(
+        rows in prop::collection::vec((-100.0f64..100.0, prop::bool::ANY), 4..120),
+    ) {
+        let (data, target) = tiny_dataset(&rows);
+        let model = RipperLearner::new(RipperParams::default()).fit(&data, target);
+        let cm = evaluate_classifier(&model, &data, target);
+        prop_assert!(cm.total() > 0.0);
+    }
+
+    #[test]
+    fn c45_tree_classifies_every_record_into_a_valid_class(
+        rows in prop::collection::vec((-100.0f64..100.0, prop::bool::ANY), 4..120),
+    ) {
+        let (data, _) = tiny_dataset(&rows);
+        let model = C45Learner::new(C45Params::default()).fit_tree(&data);
+        for row in 0..data.n_rows() {
+            prop_assert!((model.classify(&data, row) as usize) < data.n_classes());
+        }
+    }
+
+    #[test]
+    fn perfectly_separable_data_is_learned_perfectly(
+        threshold in -50.0f64..50.0,
+        n in 40usize..150,
+    ) {
+        // positives strictly below the threshold with a clear margin
+        let rows: Vec<(f64, bool)> = (0..n)
+            .map(|i| {
+                let offset = 1.0 + (i % 20) as f64;
+                if i % 2 == 0 {
+                    (threshold - offset, true)
+                } else {
+                    (threshold + offset, false)
+                }
+            })
+            .collect();
+        let (data, target) = tiny_dataset(&rows);
+        let model = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+        let cm = evaluate_classifier(&model, &data, target);
+        prop_assert!(cm.f_measure() > 0.99, "separable data F {}", cm.f_measure());
+    }
+
+    #[test]
+    fn evaluation_is_invariant_to_row_order(
+        rows in prop::collection::vec((-100.0f64..100.0, prop::bool::ANY), 10..60),
+        seed in 0u64..1000,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let (data, target) = tiny_dataset(&rows);
+        let model = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+        let cm1 = evaluate_classifier(&model, &data, target);
+        let mut order: Vec<u32> = (0..data.n_rows() as u32).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let shuffled = data.select_rows(&order);
+        let cm2 = evaluate_classifier(&model, &shuffled, target);
+        prop_assert!((cm1.f_measure() - cm2.f_measure()).abs() < 1e-9);
+        prop_assert!((cm1.tp - cm2.tp).abs() < 1e-9);
+    }
+}
