@@ -10,7 +10,10 @@ use pnr_synth::SynthScale;
 const N: usize = 20_000;
 
 fn scale() -> SynthScale {
-    SynthScale { n_records: N, target_frac: 0.003 }
+    SynthScale {
+        n_records: N,
+        target_frac: 0.003,
+    }
 }
 
 fn bench_generators(c: &mut Criterion) {

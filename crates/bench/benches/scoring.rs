@@ -32,5 +32,9 @@ fn bench_classification_throughput(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_score_matrix_build, bench_classification_throughput);
+criterion_group!(
+    benches,
+    bench_score_matrix_build,
+    bench_classification_throughput
+);
 criterion_main!(benches);

@@ -20,10 +20,37 @@ fn bench_find_best_condition(c: &mut Criterion) {
                     .expect("candidate")
             })
         });
-        let no_ranges = SearchOptions { use_ranges: false, ..Default::default() };
+        let no_ranges = SearchOptions {
+            use_ranges: false,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("one_sided_only", n), &view, |b, v| {
+            b.iter(|| find_best_condition(v, EvalMetric::ZNumber, &no_ranges).expect("candidate"))
+        });
+        let sequential = SearchOptions {
+            parallel: false,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("sequential", n), &view, |b, v| {
+            b.iter(|| find_best_condition(v, EvalMetric::ZNumber, &sequential).expect("candidate"))
+        });
+        let threaded = SearchOptions {
+            parallel_min_cells: 0,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("threaded", n), &view, |b, v| {
+            b.iter(|| find_best_condition(v, EvalMetric::ZNumber, &threaded).expect("candidate"))
+        });
+        // View-proportional scan: a 5% restricted view should cost a small
+        // fraction of the full-view search once its projection is warm.
+        let small = view.restricted_to(view.rows.filter(|r| r % 20 == 0));
+        for a in 0..data.n_attrs() {
+            let _ = small.projection(a);
+        }
+        group.bench_with_input(BenchmarkId::new("restricted_5pct", n), &small, |b, v| {
             b.iter(|| {
-                find_best_condition(v, EvalMetric::ZNumber, &no_ranges).expect("candidate")
+                find_best_condition(v, EvalMetric::ZNumber, &SearchOptions::default())
+                    .expect("candidate")
             })
         });
     }
@@ -59,5 +86,10 @@ fn bench_metrics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_find_best_condition, bench_sort_index, bench_metrics);
+criterion_group!(
+    benches,
+    bench_find_best_condition,
+    bench_sort_index,
+    bench_metrics
+);
 criterion_main!(benches);

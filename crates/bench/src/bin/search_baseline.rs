@@ -1,0 +1,118 @@
+//! Emits `BENCH_search.json` — a committed wall-clock baseline of the
+//! condition search, so regressions in the scan or the view-projection
+//! machinery show up as a diff against a known-good measurement.
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p pnr-bench --bin search_baseline
+//! ```
+//!
+//! Numbers are machine-dependent; the committed file records the machine's
+//! core count alongside the timings so speedups are interpreted in context.
+//! The interesting *relative* quantities are:
+//!
+//! * `threaded_speedup` — parallel over sequential scan on the same view
+//!   (bounded by attribute count and available cores);
+//! * `restricted_5pct_speedup` — full-view scan cost over the cost on a 5%
+//!   restricted view (the view-proportional win; the pre-projection scan
+//!   paid a full mask pass here regardless of view size).
+
+use pnr_bench::{nsyn3_dataset, target_flags};
+use pnr_rules::{find_best_condition, EvalMetric, SearchOptions, TaskView};
+use std::time::Instant;
+
+/// Mean/min wall-clock nanoseconds of `f` over `iters` timed runs (after
+/// warm-up).
+fn time_ns(iters: usize, mut f: impl FnMut()) -> (f64, f64) {
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    (mean, min)
+}
+
+fn main() {
+    let n = 50_000usize;
+    let data = nsyn3_dataset(n);
+    let flags = target_flags(&data, "C");
+    let view = TaskView::full(&data, &flags, data.weights());
+    // Warm the projections so the scan itself is measured.
+    for a in 0..data.n_attrs() {
+        let _ = view.projection(a);
+    }
+    let iters = 30;
+
+    let sequential = SearchOptions {
+        parallel: false,
+        ..Default::default()
+    };
+    let threaded = SearchOptions {
+        parallel_min_cells: 0,
+        ..Default::default()
+    };
+    let (seq_mean, seq_min) = time_ns(iters, || {
+        find_best_condition(&view, EvalMetric::ZNumber, &sequential).expect("candidate");
+    });
+    let (par_mean, par_min) = time_ns(iters, || {
+        find_best_condition(&view, EvalMetric::ZNumber, &threaded).expect("candidate");
+    });
+
+    // A 5% restricted view with warm projections: the scan must now be
+    // proportional to the view, not the dataset.
+    let small = view.restricted_to(view.rows.filter(|r| r % 20 == 0));
+    for a in 0..data.n_attrs() {
+        let _ = small.projection(a);
+    }
+    let (small_mean, small_min) = time_ns(iters, || {
+        find_best_condition(&small, EvalMetric::ZNumber, &sequential).expect("candidate");
+    });
+
+    // Cold derived view: restriction + lazy projection build + scan, the
+    // sequential-covering inner-loop pattern.
+    let (derive_mean, derive_min) = time_ns(iters, || {
+        let v = view.restricted_to(view.rows.filter(|r| r % 20 == 0));
+        find_best_condition(&v, EvalMetric::ZNumber, &sequential).expect("candidate");
+    });
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let json = serde_json::to_string_pretty(
+        &serde_json::parse(&format!(
+            r#"{{
+  "bench": "find_best_condition",
+  "dataset": "nsyn3",
+  "rows": {n},
+  "attrs": {attrs},
+  "cores": {cores},
+  "iters": {iters},
+  "full_view_sequential_ns": {{"mean": {seq_mean:.0}, "min": {seq_min:.0}}},
+  "full_view_threaded_ns": {{"mean": {par_mean:.0}, "min": {par_min:.0}}},
+  "restricted_5pct_warm_ns": {{"mean": {small_mean:.0}, "min": {small_min:.0}}},
+  "restricted_5pct_cold_ns": {{"mean": {derive_mean:.0}, "min": {derive_min:.0}}},
+  "threaded_speedup": {thr_speedup:.3},
+  "restricted_5pct_speedup": {view_speedup:.3}
+}}"#,
+            attrs = data.n_attrs(),
+            thr_speedup = seq_mean / par_mean,
+            view_speedup = seq_mean / small_mean,
+        ))
+        .expect("baseline JSON is well-formed"),
+    )
+    .expect("serialize");
+    std::fs::write("BENCH_search.json", json + "\n").expect("write BENCH_search.json");
+    println!(
+        "BENCH_search.json written: seq {:.2} ms, threaded {:.2} ms ({}x), 5% view {:.3} ms ({}x)",
+        seq_mean / 1e6,
+        par_mean / 1e6,
+        format_args!("{:.2}", seq_mean / par_mean),
+        small_mean / 1e6,
+        format_args!("{:.1}", seq_mean / small_mean),
+    );
+}

@@ -12,7 +12,10 @@ use pnr_synth::SynthScale;
 /// A small nsyn3-model dataset (benchmark workhorse).
 pub fn nsyn3_dataset(n_records: usize) -> Dataset {
     let cfg = NumericModelConfig::nsyn(3);
-    let scale = SynthScale { n_records, target_frac: 0.01 };
+    let scale = SynthScale {
+        n_records,
+        target_frac: 0.01,
+    };
     pnr_synth::numeric::generate(&cfg, &scale, 42)
 }
 

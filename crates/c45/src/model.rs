@@ -42,7 +42,10 @@ impl C45TreeModel {
 
     /// One-vs-rest adapter for `target`.
     pub fn binary_view(&self, target: u32) -> BinaryTreeView<'_> {
-        BinaryTreeView { model: self, target }
+        BinaryTreeView {
+            model: self,
+            target,
+        }
     }
 }
 
@@ -95,7 +98,11 @@ impl ClassRuleGroup {
                 (pos + 1.0) / (n + 2.0)
             })
             .collect();
-        ClassRuleGroup { class, rules, confidences }
+        ClassRuleGroup {
+            class,
+            rules,
+            confidences,
+        }
     }
 }
 
@@ -111,7 +118,11 @@ pub struct C45RulesModel {
 
 impl C45RulesModel {
     pub(crate) fn new(groups: Vec<ClassRuleGroup>, default_class: u32, n_classes: usize) -> Self {
-        C45RulesModel { groups, default_class, n_classes }
+        C45RulesModel {
+            groups,
+            default_class,
+            n_classes,
+        }
     }
 
     /// The ranked rule groups.
@@ -154,7 +165,10 @@ impl C45RulesModel {
 
     /// One-vs-rest adapter for `target`.
     pub fn binary_view(&self, target: u32) -> BinaryRulesView<'_> {
-        BinaryRulesView { model: self, target }
+        BinaryRulesView {
+            model: self,
+            target,
+        }
     }
 
     /// Human-readable rendering.
@@ -213,8 +227,12 @@ mod tests {
             let x = (i % 20) as f64;
             let k = if (i / 20) % 3 == 0 { "p" } else { "q" };
             let target = x < 4.0 && k == "p";
-            b.push_row(&[Value::num(x), Value::cat(k)], if target { "pos" } else { "neg" }, 1.0)
-                .unwrap();
+            b.push_row(
+                &[Value::num(x), Value::cat(k)],
+                if target { "pos" } else { "neg" },
+                1.0,
+            )
+            .unwrap();
         }
         b.finish()
     }

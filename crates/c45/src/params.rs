@@ -45,7 +45,10 @@ impl C45Params {
             self.cf
         );
         assert!(self.max_depth > 0, "max_depth must be positive");
-        assert!(self.max_rules_per_class > 0, "max_rules_per_class must be positive");
+        assert!(
+            self.max_rules_per_class > 0,
+            "max_rules_per_class must be positive"
+        );
     }
 }
 
@@ -61,12 +64,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "cf")]
     fn bad_cf_panics() {
-        C45Params { cf: 0.0, ..Default::default() }.validate();
+        C45Params {
+            cf: 0.0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     fn serde_round_trip() {
-        let p = C45Params { cf: 0.1, ..Default::default() };
+        let p = C45Params {
+            cf: 0.1,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&p).unwrap();
         assert_eq!(serde_json::from_str::<C45Params>(&json).unwrap(), p);
     }

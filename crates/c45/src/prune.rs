@@ -75,8 +75,7 @@ pub fn added_errors(n: f64, e: f64, cf: f64) -> f64 {
     }
     let z = normal_quantile(1.0 - cf);
     let f = (e + 0.5) / n; // continuity correction, as in C4.5
-    let r = (f + z * z / (2.0 * n)
-        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+    let r = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
         / (1.0 + z * z / n);
     (r * n - e).max(0.0)
 }
@@ -124,7 +123,9 @@ fn prune_node(node: &mut Node, cf: f64) {
     // C4.5 collapses when the leaf is no worse than the subtree plus a
     // small tolerance (0.1 errors).
     if as_leaf <= as_subtree + 0.1 {
-        *node = Node::Leaf { dist: node.dist().to_vec() };
+        *node = Node::Leaf {
+            dist: node.dist().to_vec(),
+        };
     }
 }
 
@@ -173,15 +174,22 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         for i in 0..200 {
             let class = if i % 10 == 0 { "b" } else { "a" };
-            b.push_row(&[Value::num((i % 37) as f64)], class, 1.0).unwrap();
+            b.push_row(&[Value::num((i % 37) as f64)], class, 1.0)
+                .unwrap();
         }
         let d = b.finish();
         // disable the Release-8 penalty so the unpruned tree overfits the
         // noise; pruning must then collapse it
-        let params = C45Params { release8_penalty: false, ..Default::default() };
+        let params = C45Params {
+            release8_penalty: false,
+            ..Default::default()
+        };
         let mut t = build_tree(&d, &params);
         let before = t.n_leaves();
-        assert!(before > 1, "unpenalised tree should overfit, got {before} leaves");
+        assert!(
+            before > 1,
+            "unpenalised tree should overfit, got {before} leaves"
+        );
         prune_tree(&mut t, &d, &params);
         let after = t.n_leaves();
         assert!(after < before, "pruning should shrink {before} -> {after}");
@@ -194,14 +202,17 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         for i in 0..200 {
             let x = (i % 20) as f64;
-            b.push_row(&[Value::num(x)], if x < 10.0 { "a" } else { "b" }, 1.0).unwrap();
+            b.push_row(&[Value::num(x)], if x < 10.0 { "a" } else { "b" }, 1.0)
+                .unwrap();
         }
         let d = b.finish();
         let params = C45Params::default();
         let mut t = build_tree(&d, &params);
         prune_tree(&mut t, &d, &params);
         assert!(t.n_leaves() >= 2, "true split must survive");
-        let correct = (0..d.n_rows()).filter(|&r| t.classify(&d, r) == d.label(r)).count();
+        let correct = (0..d.n_rows())
+            .filter(|&r| t.classify(&d, r) == d.label(r))
+            .count();
         assert_eq!(correct, d.n_rows());
     }
 

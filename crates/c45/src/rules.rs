@@ -40,16 +40,31 @@ fn walk(node: &Node, path: &mut Vec<Condition>, out: &mut Vec<ClassRule>) {
         }
         Node::CatSplit { attr, children, .. } => {
             for (code, child) in children.iter().enumerate() {
-                path.push(Condition::CatEq { attr: *attr, value: code as u32 });
+                path.push(Condition::CatEq {
+                    attr: *attr,
+                    value: code as u32,
+                });
                 walk(child, path, out);
                 path.pop();
             }
         }
-        Node::NumSplit { attr, threshold, left, right, .. } => {
-            path.push(Condition::NumLe { attr: *attr, value: *threshold });
+        Node::NumSplit {
+            attr,
+            threshold,
+            left,
+            right,
+            ..
+        } => {
+            path.push(Condition::NumLe {
+                attr: *attr,
+                value: *threshold,
+            });
             walk(left, path, out);
             path.pop();
-            path.push(Condition::NumGt { attr: *attr, value: *threshold });
+            path.push(Condition::NumGt {
+                attr: *attr,
+                value: *threshold,
+            });
             walk(right, path, out);
             path.pop();
         }
@@ -111,8 +126,12 @@ fn dedupe(rules: Vec<ClassRule>) -> Vec<ClassRule> {
     let mut seen: Vec<(u32, Vec<String>)> = Vec::new();
     let mut out = Vec::new();
     for cr in rules {
-        let mut sig: Vec<String> =
-            cr.rule.conditions().iter().map(|c| format!("{c:?}")).collect();
+        let mut sig: Vec<String> = cr
+            .rule
+            .conditions()
+            .iter()
+            .map(|c| format!("{c:?}"))
+            .collect();
         sig.sort();
         if !seen.iter().any(|(cls, s)| *cls == cr.class && *s == sig) {
             seen.push((cr.class, sig));
@@ -232,15 +251,15 @@ pub fn rules_from_tree(tree: &Tree, data: &Dataset, params: &C45Params) -> C45Ru
         })
         .collect();
     fp_of.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fp"));
-    let groups: Vec<ClassRuleGroup> =
-        fp_of.into_iter().map(|(i, _)| groups[i].clone()).collect();
+    let groups: Vec<ClassRuleGroup> = fp_of.into_iter().map(|(i, _)| groups[i].clone()).collect();
 
     // Default class: majority among training records no group covers.
     let mut uncovered = vec![0.0f64; n_classes];
     let mut any_uncovered = false;
     for row in 0..data.n_rows() {
-        let covered =
-            groups.iter().any(|g| g.rules.iter().any(|r| r.matches(data, row)));
+        let covered = groups
+            .iter()
+            .any(|g| g.rules.iter().any(|r| r.matches(data, row)));
         if !covered {
             uncovered[data.label(row) as usize] += data.weight(row);
             any_uncovered = true;
@@ -269,7 +288,8 @@ mod tests {
             let x = (i % 10) as f64;
             let k = if (i / 10) % 3 == 0 { "p" } else { "q" };
             let class = if x < 4.0 && k == "p" { "a" } else { "b" };
-            b.push_row(&[Value::num(x), Value::cat(k)], class, 1.0).unwrap();
+            b.push_row(&[Value::num(x), Value::cat(k)], class, 1.0)
+                .unwrap();
         }
         b.finish()
     }
@@ -282,8 +302,7 @@ mod tests {
         assert!(!rules.is_empty());
         // every rule matches at least one training record of its class
         for cr in &rules {
-            let hit = (0..d.n_rows())
-                .any(|r| cr.rule.matches(&d, r) && d.label(r) == cr.class);
+            let hit = (0..d.n_rows()).any(|r| cr.rule.matches(&d, r) && d.label(r) == cr.class);
             assert!(hit, "rule {:?} matches nothing of its class", cr.rule);
         }
     }
@@ -293,9 +312,18 @@ mod tests {
         let d = band_data();
         // x<=3 AND x<=8: second condition is redundant
         let rule = Rule::new(vec![
-            Condition::NumLe { attr: 0, value: 3.0 },
-            Condition::NumLe { attr: 0, value: 8.0 },
-            Condition::CatEq { attr: 1, value: d.schema().attr(1).dict.code("p").unwrap() },
+            Condition::NumLe {
+                attr: 0,
+                value: 3.0,
+            },
+            Condition::NumLe {
+                attr: 0,
+                value: 8.0,
+            },
+            Condition::CatEq {
+                attr: 1,
+                value: d.schema().attr(1).dict.code("p").unwrap(),
+            },
         ]);
         let a = d.class_code("a").unwrap();
         let g = generalize_rule(&rule, a, &d, 0.25);
@@ -309,8 +337,14 @@ mod tests {
         let d = band_data();
         let a = d.class_code("a").unwrap();
         let rule = Rule::new(vec![
-            Condition::NumLe { attr: 0, value: 3.0 },
-            Condition::CatEq { attr: 1, value: d.schema().attr(1).dict.code("p").unwrap() },
+            Condition::NumLe {
+                attr: 0,
+                value: 3.0,
+            },
+            Condition::CatEq {
+                attr: 1,
+                value: d.schema().attr(1).dict.code("p").unwrap(),
+            },
         ]);
         let g = generalize_rule(&rule, a, &d, 0.25);
         assert_eq!(g.len(), 2, "both conditions carry signal");
@@ -319,7 +353,10 @@ mod tests {
     #[test]
     fn pessimistic_error_of_empty_coverage_is_one() {
         let d = band_data();
-        let rule = Rule::new(vec![Condition::NumGt { attr: 0, value: 100.0 }]);
+        let rule = Rule::new(vec![Condition::NumGt {
+            attr: 0,
+            value: 100.0,
+        }]);
         assert_eq!(pessimistic_error(&rule, 0, &d, 0.25), 1.0);
     }
 
@@ -328,11 +365,20 @@ mod tests {
         let d = band_data();
         let a = d.class_code("a").unwrap();
         let good = Rule::new(vec![
-            Condition::NumLe { attr: 0, value: 3.0 },
-            Condition::CatEq { attr: 1, value: d.schema().attr(1).dict.code("p").unwrap() },
+            Condition::NumLe {
+                attr: 0,
+                value: 3.0,
+            },
+            Condition::CatEq {
+                attr: 1,
+                value: d.schema().attr(1).dict.code("p").unwrap(),
+            },
         ]);
         // junk rule covering mostly class b
-        let junk = Rule::new(vec![Condition::NumGt { attr: 0, value: 5.0 }]);
+        let junk = Rule::new(vec![Condition::NumGt {
+            attr: 0,
+            value: 5.0,
+        }]);
         let kept = select_subset(vec![good.clone(), junk], a, &d, &C45Params::default());
         assert_eq!(kept, vec![good]);
     }
@@ -345,8 +391,9 @@ mod tests {
             &d,
             &C45Params::default(),
         );
-        let correct =
-            (0..d.n_rows()).filter(|&r| model.classify(&d, r) == d.label(r)).count();
+        let correct = (0..d.n_rows())
+            .filter(|&r| model.classify(&d, r) == d.label(r))
+            .count();
         assert!(
             correct as f64 / d.n_rows() as f64 > 0.97,
             "accuracy {}",
@@ -356,10 +403,19 @@ mod tests {
 
     #[test]
     fn dedupe_removes_identical_rules() {
-        let r = Rule::new(vec![Condition::NumLe { attr: 0, value: 1.0 }]);
+        let r = Rule::new(vec![Condition::NumLe {
+            attr: 0,
+            value: 1.0,
+        }]);
         let rules = vec![
-            ClassRule { rule: r.clone(), class: 0 },
-            ClassRule { rule: r.clone(), class: 0 },
+            ClassRule {
+                rule: r.clone(),
+                class: 0,
+            },
+            ClassRule {
+                rule: r.clone(),
+                class: 0,
+            },
             ClassRule { rule: r, class: 1 },
         ];
         let d = dedupe(rules);

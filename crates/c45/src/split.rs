@@ -61,11 +61,7 @@ fn split_info(weights: &[f64]) -> f64 {
 /// Evaluates the best split of `rows` over every attribute, applying C4.5's
 /// selection rule: among candidates whose gain is at least the average
 /// positive gain, pick the highest gain ratio.
-pub fn find_best_split(
-    data: &Dataset,
-    rows: &[u32],
-    params: &C45Params,
-) -> Option<SplitCandidate> {
+pub fn find_best_split(data: &Dataset, rows: &[u32], params: &C45Params) -> Option<SplitCandidate> {
     let dist = class_weights(data, rows);
     let base_entropy = entropy_of(&dist);
     let total: f64 = dist.iter().sum();
@@ -86,12 +82,15 @@ pub fn find_best_split(
     if candidates.is_empty() {
         return None;
     }
-    let avg_gain: f64 =
-        candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+    let avg_gain: f64 = candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
     candidates
         .into_iter()
         .filter(|c| c.gain + 1e-12 >= avg_gain)
-        .max_by(|a, b| a.gain_ratio.partial_cmp(&b.gain_ratio).expect("finite ratios"))
+        .max_by(|a, b| {
+            a.gain_ratio
+                .partial_cmp(&b.gain_ratio)
+                .expect("finite ratios")
+        })
 }
 
 fn eval_categorical(
@@ -124,8 +123,8 @@ fn eval_categorical(
     let mut cond_entropy = 0.0;
     for v in 0..n_values {
         if value_w[v] > 0.0 {
-            cond_entropy += value_w[v] / total
-                * entropy_of(&dists[v * n_classes..(v + 1) * n_classes]);
+            cond_entropy +=
+                value_w[v] / total * entropy_of(&dists[v * n_classes..(v + 1) * n_classes]);
         }
     }
     let gain = base_entropy - cond_entropy;
@@ -136,7 +135,12 @@ fn eval_categorical(
     if si <= 0.0 {
         return None;
     }
-    Some(SplitCandidate { attr, kind: SplitKind::Categorical, gain, gain_ratio: gain / si })
+    Some(SplitCandidate {
+        attr,
+        kind: SplitKind::Categorical,
+        gain,
+        gain_ratio: gain / si,
+    })
 }
 
 fn eval_numeric(
@@ -174,10 +178,9 @@ fn eval_numeric(
                 distinct += 1;
                 let right_w = total - cum_w;
                 if cum_w + 1e-12 >= params.min_objects && right_w + 1e-12 >= params.min_objects {
-                    let right: Vec<f64> =
-                        full.iter().zip(&cum).map(|(f, c)| f - c).collect();
-                    let cond = cum_w / total * entropy_of(&cum)
-                        + right_w / total * entropy_of(&right);
+                    let right: Vec<f64> = full.iter().zip(&cum).map(|(f, c)| f - c).collect();
+                    let cond =
+                        cum_w / total * entropy_of(&cum) + right_w / total * entropy_of(&right);
                     let gain = base_entropy - cond;
                     if best.is_none_or(|(_, g)| gain > g) {
                         best = Some((v, gain));
@@ -236,7 +239,8 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         for i in 0..40 {
             let x = i as f64;
-            b.push_row(&[Value::num(x)], if x < 20.0 { "a" } else { "b" }, 1.0).unwrap();
+            b.push_row(&[Value::num(x)], if x < 20.0 { "a" } else { "b" }, 1.0)
+                .unwrap();
         }
         let d = b.finish();
         let s = find_best_split(&d, &all_rows(&d), &C45Params::default()).unwrap();
@@ -256,7 +260,8 @@ mod tests {
         for i in 0..60 {
             let k = ["p", "q", "r"][i % 3];
             let class = if k == "p" { "a" } else { "b" };
-            b.push_row(&[Value::num((i % 7) as f64), Value::cat(k)], class, 1.0).unwrap();
+            b.push_row(&[Value::num((i % 7) as f64), Value::cat(k)], class, 1.0)
+                .unwrap();
         }
         let d = b.finish();
         let s = find_best_split(&d, &all_rows(&d), &C45Params::default()).unwrap();
@@ -285,7 +290,10 @@ mod tests {
         }
         let d = b.finish();
         // splitting off the single `a` row needs a branch of weight 1 < 5
-        let params = C45Params { min_objects: 5.0, ..Default::default() };
+        let params = C45Params {
+            min_objects: 5.0,
+            ..Default::default()
+        };
         let s = find_best_split(&d, &all_rows(&d), &params);
         if let Some(s) = s {
             if let SplitKind::Numeric { threshold } = s.kind {
@@ -301,14 +309,18 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         for i in 0..20 {
             let x = i as f64;
-            b.push_row(&[Value::num(x)], if x < 10.0 { "a" } else { "b" }, 1.0).unwrap();
+            b.push_row(&[Value::num(x)], if x < 10.0 { "a" } else { "b" }, 1.0)
+                .unwrap();
         }
         let d = b.finish();
         let with = find_best_split(&d, &all_rows(&d), &C45Params::default()).unwrap();
         let without = find_best_split(
             &d,
             &all_rows(&d),
-            &C45Params { release8_penalty: false, ..Default::default() },
+            &C45Params {
+                release8_penalty: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(with.gain < without.gain);

@@ -45,9 +45,7 @@ impl Node {
     /// The node's training class distribution.
     pub fn dist(&self) -> &[f64] {
         match self {
-            Node::Leaf { dist } | Node::CatSplit { dist, .. } | Node::NumSplit { dist, .. } => {
-                dist
-            }
+            Node::Leaf { dist } | Node::CatSplit { dist, .. } | Node::NumSplit { dist, .. } => dist,
         }
     }
 
@@ -80,7 +78,11 @@ impl Node {
     pub fn classify_dist<'a>(&'a self, data: &Dataset, row: usize) -> &'a [f64] {
         match self {
             Node::Leaf { dist } => dist,
-            Node::CatSplit { attr, children, dist } => {
+            Node::CatSplit {
+                attr,
+                children,
+                dist,
+            } => {
                 let code = data.cat(*attr, row) as usize;
                 match children.get(code) {
                     Some(child) => child.classify_dist(data, row),
@@ -88,7 +90,13 @@ impl Node {
                     None => dist,
                 }
             }
-            Node::NumSplit { attr, threshold, left, right, .. } => {
+            Node::NumSplit {
+                attr,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
                 if data.num(*attr, row) <= *threshold {
                     left.classify_dist(data, row)
                 } else {
@@ -163,8 +171,17 @@ fn render_node(node: &Node, schema: &pnr_data::Schema, indent: usize, out: &mut 
                 render_node(child, schema, indent + 1, out);
             }
         }
-        Node::NumSplit { attr, threshold, left, right, .. } => {
-            out.push_str(&format!("{pad}{} <= {threshold}\n", schema.attr(*attr).name));
+        Node::NumSplit {
+            attr,
+            threshold,
+            left,
+            right,
+            ..
+        } => {
+            out.push_str(&format!(
+                "{pad}{} <= {threshold}\n",
+                schema.attr(*attr).name
+            ));
             render_node(left, schema, indent + 1, out);
             out.push_str(&format!("{pad}{} > {threshold}\n", schema.attr(*attr).name));
             render_node(right, schema, indent + 1, out);
@@ -176,7 +193,10 @@ fn render_node(node: &Node, schema: &pnr_data::Schema, indent: usize, out: &mut 
 pub fn build_tree(data: &Dataset, params: &C45Params) -> Tree {
     let rows: Vec<u32> = (0..data.n_rows() as u32).collect();
     let root = build_node(data, &rows, params, 1);
-    Tree { root, n_classes: data.n_classes() }
+    Tree {
+        root,
+        n_classes: data.n_classes(),
+    }
 }
 
 fn build_node(data: &Dataset, rows: &[u32], params: &C45Params, depth: usize) -> Node {
@@ -207,11 +227,16 @@ fn build_node(data: &Dataset, rows: &[u32], params: &C45Params, depth: usize) ->
                     }
                 })
                 .collect();
-            Node::CatSplit { attr: split.attr, children, dist }
+            Node::CatSplit {
+                attr: split.attr,
+                children,
+                dist,
+            }
         }
         SplitKind::Numeric { threshold } => {
-            let (left_rows, right_rows): (Vec<u32>, Vec<u32>) =
-                rows.iter().partition(|&&r| data.num(split.attr, r as usize) <= threshold);
+            let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = rows
+                .iter()
+                .partition(|&&r| data.num(split.attr, r as usize) <= threshold);
             let left = build_node(data, &left_rows, params, depth + 1);
             let right = build_node(data, &right_rows, params, depth + 1);
             Node::NumSplit {
@@ -239,7 +264,8 @@ mod tests {
             let x = (i % 10) as f64;
             let k = if (i / 10) % 2 == 0 { "p" } else { "q" };
             let class = if x < 5.0 && k == "p" { "a" } else { "b" };
-            b.push_row(&[Value::num(x), Value::cat(k)], class, 1.0).unwrap();
+            b.push_row(&[Value::num(x), Value::cat(k)], class, 1.0)
+                .unwrap();
         }
         b.finish()
     }
@@ -248,10 +274,15 @@ mod tests {
     fn tree_fits_training_data() {
         let d = xor_like();
         let t = build_tree(&d, &C45Params::default());
-        let correct =
-            (0..d.n_rows()).filter(|&r| t.classify(&d, r) == d.label(r)).count();
+        let correct = (0..d.n_rows())
+            .filter(|&r| t.classify(&d, r) == d.label(r))
+            .count();
         assert_eq!(correct, d.n_rows(), "unpruned tree must fit separable data");
-        assert!(t.n_leaves() >= 3, "needs both attributes: {} leaves", t.n_leaves());
+        assert!(
+            t.n_leaves() >= 3,
+            "needs both attributes: {} leaves",
+            t.n_leaves()
+        );
     }
 
     #[test]
@@ -270,7 +301,13 @@ mod tests {
     #[test]
     fn depth_cap_limits_growth() {
         let d = xor_like();
-        let t = build_tree(&d, &C45Params { max_depth: 1, ..Default::default() });
+        let t = build_tree(
+            &d,
+            &C45Params {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(t.root.depth(), 1);
     }
 

@@ -12,9 +12,7 @@
 //!   `R` would push retained recall of the original target class below the
 //!   user's lower limit `rn` (the [`RecallGuard`]).
 
-use pnr_rules::{
-    find_best_condition, CovStats, EvalMetric, Rule, SearchOptions, TaskView,
-};
+use pnr_rules::{find_best_condition, CovStats, EvalMetric, Rule, SearchOptions, TaskView};
 
 /// The N-phase's recall guard (section 2.2): forces further refinement of a
 /// rule whose acceptance as-is would cost too much recall.
@@ -104,6 +102,7 @@ pub fn grow_rule(view: &TaskView<'_>, opts: &GrowOptions) -> Option<GrownRule> {
         use_ranges: opts.use_ranges,
         min_support_weight: opts.min_support_weight,
         context: Some(ctx),
+        ..Default::default()
     };
 
     let mut rule = Rule::empty();
@@ -183,8 +182,12 @@ mod tests {
             let x = (i % 10) as f64;
             let k = if (i / 10) % 2 == 0 { "a" } else { "b" };
             let target = (3.0..=4.0).contains(&x) && k == "a";
-            b.push_row(&[Value::num(x), Value::cat(k)], if target { "pos" } else { "neg" }, 1.0)
-                .unwrap();
+            b.push_row(
+                &[Value::num(x), Value::cat(k)],
+                if target { "pos" } else { "neg" },
+                1.0,
+            )
+            .unwrap();
         }
         let d = b.finish();
         let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
@@ -224,7 +227,11 @@ mod tests {
         // at a coarser rule.
         let opts = GrowOptions::p_phase(EvalMetric::ZNumber, 25.0, true);
         if let Some(g) = grow_rule(&v, &opts) {
-            assert!(g.stats.total >= 25.0, "support {} under floor", g.stats.total);
+            assert!(
+                g.stats.total >= 25.0,
+                "support {} under floor",
+                g.stats.total
+            );
         }
     }
 
@@ -235,7 +242,12 @@ mod tests {
         b.add_class("pos");
         b.add_class("neg");
         for i in 0..10 {
-            b.push_row(&[Value::num(1.0)], if i % 2 == 0 { "pos" } else { "neg" }, 1.0).unwrap();
+            b.push_row(
+                &[Value::num(1.0)],
+                if i % 2 == 0 { "pos" } else { "neg" },
+                1.0,
+            )
+            .unwrap();
         }
         let d = b.finish();
         let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
@@ -258,7 +270,8 @@ mod tests {
             // false positives live at x<=4; but among x<=4, y==1 rows are
             // true positives that a coarse rule would sacrifice.
             let class = if x <= 4.0 && y == 0.0 { "fp" } else { "tp" };
-            b.push_row(&[Value::num(x), Value::num(y)], class, 1.0).unwrap();
+            b.push_row(&[Value::num(x), Value::num(y)], class, 1.0)
+                .unwrap();
         }
         let d = b.finish();
         let is_fp: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
@@ -295,12 +308,20 @@ mod tests {
 
     #[test]
     fn recall_guard_math() {
-        let g = RecallGuard { retained_pos: 80.0, orig_pos_total: 100.0, min_recall: 0.7 };
+        let g = RecallGuard {
+            retained_pos: 80.0,
+            orig_pos_total: 100.0,
+            min_recall: 0.7,
+        };
         assert_eq!(g.recall_after(10.0), 0.7);
         assert!(!g.violated_by(10.0));
         assert!(g.violated_by(10.1));
         assert_eq!(g.recall_after(1000.0), 0.0);
-        let degenerate = RecallGuard { retained_pos: 0.0, orig_pos_total: 0.0, min_recall: 0.9 };
+        let degenerate = RecallGuard {
+            retained_pos: 0.0,
+            orig_pos_total: 0.0,
+            min_recall: 0.9,
+        };
         assert_eq!(degenerate.recall_after(5.0), 1.0);
     }
 }

@@ -24,8 +24,10 @@ pub struct FitReport {
     pub n_rule_stats: Vec<CovStats>,
     /// Retained recall after the N-phase.
     pub retained_recall: f64,
-    /// Why the N-phase stopped.
+    /// Why the N-phase's covering loop stopped.
     pub n_stop_reason: StopReason,
+    /// Number of accepted N-rules the MDL truncation dropped afterwards.
+    pub n_mdl_truncated: usize,
     /// Description length after each accepted N-rule (element 0 = empty
     /// N-theory).
     pub n_dl_trace: Vec<f64>,
@@ -54,7 +56,9 @@ impl PnruleLearner {
     /// Record weights are honoured throughout, so stratified training is
     /// just a reweighted dataset.
     pub fn fit(&self, data: &Dataset, target: u32) -> PnruleModel {
-        let is_pos: Vec<bool> = (0..data.n_rows()).map(|r| data.label(r) == target).collect();
+        let is_pos: Vec<bool> = (0..data.n_rows())
+            .map(|r| data.label(r) == target)
+            .collect();
         self.fit_flags(data, target, &is_pos)
     }
 
@@ -66,7 +70,9 @@ impl PnruleLearner {
 
     /// Like [`Self::fit`], also returning phase diagnostics.
     pub fn fit_with_report(&self, data: &Dataset, target: u32) -> (PnruleModel, FitReport) {
-        let is_pos: Vec<bool> = (0..data.n_rows()).map(|r| data.label(r) == target).collect();
+        let is_pos: Vec<bool> = (0..data.n_rows())
+            .map(|r| data.label(r) == target)
+            .collect();
         self.fit_flags_with_report(data, target, &is_pos)
     }
 
@@ -84,12 +90,12 @@ impl PnruleLearner {
 
         // --- P-phase: presence rules, high support first. ---
         let p_result = learn_p_rules(&view, &self.params);
-        let p_rules =
-            RuleSet::from_rules(p_result.rules.iter().map(|p| p.rule.clone()).collect());
+        let p_rules = RuleSet::from_rules(p_result.rules.iter().map(|p| p.rule.clone()).collect());
 
         // --- Pool every record the P-union covers. ---
-        let pooled_rows: RowSet =
-            (0..data.n_rows() as u32).filter(|&r| p_rules.any_match(data, r as usize)).collect();
+        let pooled_rows: RowSet = (0..data.n_rows() as u32)
+            .filter(|&r| p_rules.any_match(data, r as usize))
+            .collect();
         let covered_pos: f64 = pooled_rows
             .iter()
             .filter(|&r| is_pos[r as usize])
@@ -99,7 +105,7 @@ impl PnruleLearner {
         let pool_total: f64 = pooled_rows.total_weight(weights);
 
         // --- N-phase: absence rules on the pooled false positives. ---
-        let (n_rules, n_rule_stats, retained_recall, n_stop_reason, n_dl_trace) =
+        let (n_rules, n_rule_stats, retained_recall, n_stop_reason, n_mdl_truncated, n_dl_trace) =
             if self.params.enable_n_phase && !p_rules.is_empty() {
                 let flipped: Vec<bool> = is_pos.iter().map(|&p| !p).collect();
                 let pooled = TaskView::over(data, pooled_rows, &flipped, weights);
@@ -110,17 +116,33 @@ impl PnruleLearner {
                     stats,
                     n_result.retained_recall,
                     n_result.stop_reason,
+                    n_result.mdl_truncated,
                     n_result.dl_trace,
                 )
             } else {
-                let achieved =
-                    if orig_pos_total > 0.0 { covered_pos / orig_pos_total } else { 0.0 };
-                (RuleSet::new(), Vec::new(), achieved, StopReason::Exhausted, Vec::new())
+                let achieved = if orig_pos_total > 0.0 {
+                    covered_pos / orig_pos_total
+                } else {
+                    0.0
+                };
+                (
+                    RuleSet::new(),
+                    Vec::new(),
+                    achieved,
+                    StopReason::Exhausted,
+                    0,
+                    Vec::new(),
+                )
             };
 
         // --- Scoring: judge every P×N combination on the training data. ---
-        let score_matrix =
-            ScoreMatrix::build(data, is_pos, &p_rules, &n_rules, self.params.scoring_z_threshold);
+        let score_matrix = ScoreMatrix::build(
+            data,
+            is_pos,
+            &p_rules,
+            &n_rules,
+            self.params.scoring_z_threshold,
+        );
 
         let report = FitReport {
             p_covered_recall: p_result.covered_recall,
@@ -130,6 +152,7 @@ impl PnruleLearner {
             n_rule_stats,
             retained_recall,
             n_stop_reason,
+            n_mdl_truncated,
             n_dl_trace,
         };
         let model = PnruleModel {
@@ -169,8 +192,12 @@ mod tests {
             };
             let in_band = (20.0..24.0).contains(&x);
             let target = in_band && k != "dos";
-            b.push_row(&[Value::num(x), Value::cat(k)], if target { "r2l" } else { "rest" }, 1.0)
-                .unwrap();
+            b.push_row(
+                &[Value::num(x), Value::cat(k)],
+                if target { "r2l" } else { "rest" },
+                1.0,
+            )
+            .unwrap();
         }
         b.finish()
     }
@@ -185,7 +212,10 @@ mod tests {
         let target = data.class_code("r2l").unwrap();
         let model = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
         assert!(!model.p_rules.is_empty(), "needs at least one P-rule");
-        assert!(!model.n_rules.is_empty(), "the dos exclusion needs an N-rule");
+        assert!(
+            !model.n_rules.is_empty(),
+            "the dos exclusion needs an N-rule"
+        );
         let cm = eval(&model, &data);
         assert!(cm.recall() > 0.9, "recall {}", cm.recall());
         assert!(cm.precision() > 0.9, "precision {}", cm.precision());
@@ -249,9 +279,16 @@ mod tests {
             PnruleLearner::new(PnruleParams::default()).fit_with_report(&data, target);
         assert_eq!(report.p_rule_stats.len(), model.p_rules.len());
         assert_eq!(report.n_rule_stats.len(), model.n_rules.len());
-        assert!(report.p_covered_recall > 0.9, "P recall {}", report.p_covered_recall);
+        assert!(
+            report.p_covered_recall > 0.9,
+            "P recall {}",
+            report.p_covered_recall
+        );
         assert!(report.pool_size > 0);
-        assert!(report.pool_fp_weight > 0.0, "the dos overlap plants FPs in the pool");
+        assert!(
+            report.pool_fp_weight > 0.0,
+            "the dos overlap plants FPs in the pool"
+        );
         assert!(report.retained_recall <= report.p_covered_recall + 1e-9);
     }
 
@@ -274,6 +311,9 @@ mod tests {
         let correct = (0..data.n_rows())
             .filter(|&r| model.predict(&data, r) == flags[r])
             .count();
-        assert!(correct as f64 > 0.95 * data.n_rows() as f64, "correct={correct}");
+        assert!(
+            correct as f64 > 0.95 * data.n_rows() as f64,
+            "correct={correct}"
+        );
     }
 }

@@ -41,10 +41,16 @@ impl PnruleModel {
     /// The rules that fire for `row`.
     pub fn trace(&self, data: &Dataset, row: usize) -> RuleTrace {
         match self.p_rules.first_match(data, row) {
-            None => RuleTrace { p_rule: None, n_rule: None },
+            None => RuleTrace {
+                p_rule: None,
+                n_rule: None,
+            },
             Some(pi) => {
                 let nj = self.n_rules.first_match(data, row);
-                RuleTrace { p_rule: Some(pi), n_rule: nj }
+                RuleTrace {
+                    p_rule: Some(pi),
+                    n_rule: nj,
+                }
             }
         }
     }
@@ -99,17 +105,31 @@ mod tests {
             let x = (i % 10) as f64;
             let y = (i % 2) as f64;
             let target = x <= 5.0 && y == 0.0;
-            b.push_row(&[Value::num(x), Value::num(y)], if target { "pos" } else { "neg" }, 1.0)
-                .unwrap();
+            b.push_row(
+                &[Value::num(x), Value::num(y)],
+                if target { "pos" } else { "neg" },
+                1.0,
+            )
+            .unwrap();
         }
         let d = b.finish();
         let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
-        let p_rules =
-            RuleSet::from_rules(vec![Rule::new(vec![Condition::NumLe { attr: 0, value: 5.0 }])]);
-        let n_rules =
-            RuleSet::from_rules(vec![Rule::new(vec![Condition::NumGt { attr: 1, value: 0.0 }])]);
+        let p_rules = RuleSet::from_rules(vec![Rule::new(vec![Condition::NumLe {
+            attr: 0,
+            value: 5.0,
+        }])]);
+        let n_rules = RuleSet::from_rules(vec![Rule::new(vec![Condition::NumGt {
+            attr: 1,
+            value: 0.0,
+        }])]);
         let sm = ScoreMatrix::build(&d, &is_pos, &p_rules, &n_rules, 1.0);
-        let model = PnruleModel { target: 0, threshold: 0.5, p_rules, n_rules, score_matrix: sm };
+        let model = PnruleModel {
+            target: 0,
+            threshold: 0.5,
+            p_rules,
+            n_rules,
+            score_matrix: sm,
+        };
         (model, d)
     }
 
@@ -128,7 +148,13 @@ mod tests {
         // find a row with x > 5
         let row = (0..d.n_rows()).find(|&r| d.num(0, r) > 5.0).unwrap();
         assert_eq!(model.score(&d, row), 0.0);
-        assert_eq!(model.trace(&d, row), RuleTrace { p_rule: None, n_rule: None });
+        assert_eq!(
+            model.trace(&d, row),
+            RuleTrace {
+                p_rule: None,
+                n_rule: None
+            }
+        );
     }
 
     #[test]
@@ -138,8 +164,9 @@ mod tests {
         let t = model.trace(&d, pos_row);
         assert_eq!(t.p_rule, Some(0));
         assert_eq!(t.n_rule, None, "targets have y=0, the N-rule must not fire");
-        let fp_row =
-            (0..d.n_rows()).find(|&r| d.num(0, r) <= 5.0 && d.num(1, r) > 0.0).unwrap();
+        let fp_row = (0..d.n_rows())
+            .find(|&r| d.num(0, r) <= 5.0 && d.num(1, r) > 0.0)
+            .unwrap();
         let t = model.trace(&d, fp_row);
         assert_eq!(t.n_rule, Some(0));
     }

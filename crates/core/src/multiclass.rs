@@ -40,7 +40,9 @@ impl MultiClassPnrule {
         assert_eq!(costs.len(), data.n_classes(), "one cost per class");
         assert!(costs.iter().all(|&c| c > 0.0), "costs must be positive");
         let learner = PnruleLearner::new(params.clone());
-        let models = (0..data.n_classes() as u32).map(|c| learner.fit(data, c)).collect();
+        let models = (0..data.n_classes() as u32)
+            .map(|c| learner.fit(data, c))
+            .collect();
         let class_weights = data.class_weights();
         let default_class = class_weights
             .iter()
@@ -48,7 +50,11 @@ impl MultiClassPnrule {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
             .map(|(i, _)| i as u32)
             .unwrap_or(0);
-        MultiClassPnrule { models, costs: costs.to_vec(), default_class }
+        MultiClassPnrule {
+            models,
+            costs: costs.to_vec(),
+            default_class,
+        }
     }
 
     /// The per-class binary models, indexed by class code.
@@ -105,7 +111,8 @@ mod tests {
             } else {
                 "high"
             };
-            b.push_row(&[Value::num(x), Value::cat(k)], class, 1.0).unwrap();
+            b.push_row(&[Value::num(x), Value::cat(k)], class, 1.0)
+                .unwrap();
         }
         b.finish()
     }
@@ -138,7 +145,9 @@ mod tests {
         costs[special] = 50.0;
         let biased = MultiClassPnrule::fit_with_costs(&d, &PnruleParams::default(), &costs);
         let count = |mc: &MultiClassPnrule| {
-            (0..d.n_rows()).filter(|&r| mc.classify(&d, r) == special as u32).count()
+            (0..d.n_rows())
+                .filter(|&r| mc.classify(&d, r) == special as u32)
+                .count()
         };
         assert!(
             count(&biased) >= count(&uniform),
@@ -166,7 +175,8 @@ mod tests {
         b.add_class("low");
         b.add_class("high");
         b.add_class("special");
-        b.push_row(&[Value::num(1e6), Value::cat("t")], "low", 1.0).unwrap();
+        b.push_row(&[Value::num(1e6), Value::cat("t")], "low", 1.0)
+            .unwrap();
         let q = b.finish();
         let c = mc.classify(&q, 0);
         assert!((c as usize) < 3);

@@ -58,8 +58,16 @@ pub struct NPhaseResult {
     /// Retained recall of the original target class (w.r.t. the whole
     /// training set) after all N-rules are applied.
     pub retained_recall: f64,
-    /// Why the phase stopped.
+    /// Why the covering loop stopped adding rules. MDL truncation can
+    /// *additionally* drop accepted rules afterwards — see
+    /// [`mdl_truncated`](Self::mdl_truncated); the reason only reads
+    /// [`MdlStop`](StopReason::MdlStop) when the loop itself ran to
+    /// exhaustion, so a `RuleCap`/`LowAccuracy`/`RecallFloor` stop is not
+    /// silently rewritten.
     pub stop_reason: StopReason,
+    /// Number of accepted rules the MDL truncation dropped again (0 = the
+    /// whole discovered list survived).
+    pub mdl_truncated: usize,
     /// Description length after each accepted rule (diagnostics; element 0
     /// is the DL of the empty N-theory).
     pub dl_trace: Vec<f64>,
@@ -84,25 +92,28 @@ pub fn learn_n_rules(
     let mut result = NPhaseResult::default();
     let mut retained_pos = covered_pos;
     if pooled.is_empty() || pooled.pos_weight() <= 0.0 {
-        result.retained_recall =
-            if orig_pos_total > 0.0 { retained_pos / orig_pos_total } else { 0.0 };
+        result.retained_recall = if orig_pos_total > 0.0 {
+            retained_pos / orig_pos_total
+        } else {
+            0.0
+        };
         return result;
     }
 
     let n_possible = count_possible_conditions(pooled.data);
     let n_view_total = pooled.total_weight();
     let fp_total = pooled.pos_weight();
-    // The DL prices the *final classifier* (P-rules minus N-rules) over the
-    // whole training set: its predicted-positive set is the pool minus the
-    // N-union, false positives are the pool FPs not yet removed, false
-    // negatives are the targets outside the pool plus those N-rules
-    // sacrifice.
-    let full_total: f64 = pooled.weights.iter().sum();
-    let missed_pos = (orig_pos_total - covered_pos).max(0.0);
-
+    // The DL prices the N-rule set over *its own learning task* — the pool
+    // (the same convention RIPPER applies to its task): the N-union covers
+    // `covered` weight of which `covered_orig` is original targets (the
+    // theory's false positives), and leaves the not-yet-removed pool FPs
+    // uncovered (its false negatives). Pricing over the whole training set
+    // instead would code each sacrificed target at the global
+    // false-negative frequency (10+ bits against ~1 bit per removed FP on
+    // a majority-FP pool), making the DL rise through every good N-rule
+    // and the truncation below erase the phase's work.
     let mut lens: Vec<usize> = Vec::new();
-    let mut dl =
-        total_dl(n_possible, &lens, n_view_total, full_total - n_view_total, fp_total, missed_pos);
+    let mut dl = total_dl(n_possible, &lens, 0.0, n_view_total, 0.0, fp_total);
     let mut min_dl = dl;
     result.dl_trace.push(dl);
 
@@ -112,8 +123,11 @@ pub fn learn_n_rules(
     let mut covered_orig = 0.0; // original-target weight they sacrifice
     let mut removed_fp = 0.0; // false-positive weight they remove
 
-    result.stop_reason =
-        if params.max_n_rules == 0 { StopReason::RuleCap } else { StopReason::Exhausted };
+    result.stop_reason = if params.max_n_rules == 0 {
+        StopReason::RuleCap
+    } else {
+        StopReason::Exhausted
+    };
     while remaining.pos_weight() > 0.0 {
         if result.rules.len() >= params.max_n_rules {
             result.stop_reason = StopReason::RuleCap;
@@ -123,8 +137,11 @@ pub fn learn_n_rules(
         // P-phase never achieved: when coverage already sits below `rn`,
         // the effective floor is the achieved recall (only zero-sacrifice
         // rules may enter).
-        let achieved =
-            if orig_pos_total > 0.0 { covered_pos / orig_pos_total } else { 1.0 };
+        let achieved = if orig_pos_total > 0.0 {
+            covered_pos / orig_pos_total
+        } else {
+            1.0
+        };
         let guard = RecallGuard {
             retained_pos,
             orig_pos_total,
@@ -142,25 +159,35 @@ pub fn learn_n_rules(
             result.stop_reason = StopReason::NoRuleGrown;
             break;
         };
-        if guard.violated_by(grown.stats.neg()) {
-            // The metric favoured a broad rule that would sacrifice too
-            // much recall and refinement could not rescue it. Retry with
-            // precision-first growth (Laplace accuracy, no improvement
-            // tolerance): it grows the narrow pure rules the recall floor
-            // demands. Without this fallback a single irredeemably broad
-            // candidate would end the phase with false positives left on
-            // the table.
+        if grown.stats.neg() > 0.0 {
+            // The metric's rule spends recall budget. Also grow a
+            // precision-first candidate (Laplace accuracy, no improvement
+            // tolerance — it refines towards the narrow pure rules the
+            // recall floor favours) and keep whichever removes more false
+            // positives per sacrificed target: the floor caps the phase's
+            // *total* sacrifice, so budget efficiency — not the per-rule
+            // metric — decides how many false positives the phase can
+            // remove before the floor ends it. Without this a single
+            // irredeemably broad candidate would end the phase with false
+            // positives left on the table.
             let fallback = GrowOptions {
                 metric: pnr_rules::EvalMetric::Laplace,
                 min_improvement: 0.0,
                 ..opts
             };
-            match grow_rule(&remaining, &fallback) {
-                Some(g) if !guard.violated_by(g.stats.neg()) => grown = g,
-                _ => {
-                    result.stop_reason = StopReason::RecallFloor;
-                    break;
+            if let Some(alt) = grow_rule(&remaining, &fallback) {
+                // FPs removed per unit of recall budget, with a +1 prior so
+                // a tiny pure rule does not dominate a broad near-pure one.
+                let efficiency = |g: &crate::grow::GrownRule| g.stats.pos / (g.stats.neg() + 1.0);
+                let alt_ok = !guard.violated_by(alt.stats.neg());
+                let grown_ok = !guard.violated_by(grown.stats.neg());
+                if alt_ok && (!grown_ok || efficiency(&alt) > efficiency(&grown)) {
+                    grown = alt;
                 }
+            }
+            if guard.violated_by(grown.stats.neg()) {
+                result.stop_reason = StopReason::RecallFloor;
+                break;
             }
         }
         if grown.stats.pos <= 0.0 || grown.stats.accuracy() <= remaining.prior() {
@@ -175,20 +202,24 @@ pub fn learn_n_rules(
         covered += grown.stats.total;
         covered_orig += grown.stats.neg();
         removed_fp += grown.stats.pos;
-        let predicted_pos = n_view_total - covered;
+        // The exception masses are differences of float weight sums and can
+        // land a few ulps below zero for pure rules; clamp before coding.
         dl = total_dl(
             n_possible,
             &lens,
-            predicted_pos,
-            full_total - predicted_pos,
-            fp_total - removed_fp,    // surviving false positives
-            missed_pos + covered_orig, // missed + sacrificed targets
+            covered,
+            (n_view_total - covered).max(0.0),
+            covered_orig.max(0.0), // sacrificed targets the N-union covers
+            (fp_total - removed_fp).max(0.0), // surviving false positives
         );
         result.dl_trace.push(dl);
         min_dl = min_dl.min(dl);
         retained_pos -= grown.stats.neg();
         let covered_rows = remaining.rows_matching_rule(&grown.rule);
-        result.rules.push(NRule { rule: grown.rule, stats: grown.stats });
+        result.rules.push(NRule {
+            rule: grown.rule,
+            stats: grown.stats,
+        });
         remaining = remaining.without(&covered_rows);
     }
 
@@ -204,6 +235,7 @@ pub fn learn_n_rules(
         .map(|(i, _)| i)
         .unwrap_or(0);
     if keep < result.rules.len() {
+        result.mdl_truncated = result.rules.len() - keep;
         for dropped in &result.rules[keep..] {
             retained_pos += dropped.stats.neg();
         }
@@ -214,8 +246,11 @@ pub fn learn_n_rules(
         }
     }
 
-    result.retained_recall =
-        if orig_pos_total > 0.0 { retained_pos / orig_pos_total } else { 0.0 };
+    result.retained_recall = if orig_pos_total > 0.0 {
+        retained_pos / orig_pos_total
+    } else {
+        0.0
+    };
     result
 }
 
@@ -258,7 +293,11 @@ mod tests {
         let res = learn_n_rules(&v, orig_pos_total, orig_pos_total, &PnruleParams::default());
         assert!(!res.rules.is_empty(), "should find the FP signature");
         // the signature is pure: recall must be fully retained
-        assert!((res.retained_recall - 1.0).abs() < 1e-9, "recall {}", res.retained_recall);
+        assert!(
+            (res.retained_recall - 1.0).abs() < 1e-9,
+            "recall {}",
+            res.retained_recall
+        );
         let removed: f64 = res.rules.iter().map(|r| r.stats.pos).sum();
         assert_eq!(removed, 40.0, "all FPs removed");
     }
@@ -300,7 +339,10 @@ mod tests {
         let is_fp: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
         let v = TaskView::full(&d, &is_fp, d.weights());
         let orig = v.total_weight() - v.pos_weight();
-        let strict = PnruleParams { rn: 0.99, ..Default::default() };
+        let strict = PnruleParams {
+            rn: 0.99,
+            ..Default::default()
+        };
         let res = learn_n_rules(&v, orig, orig, &strict);
         assert!(
             res.retained_recall >= 0.99 - 1e-9,
@@ -324,8 +366,14 @@ mod tests {
         let is_fp: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
         let v = TaskView::full(&d, &is_fp, d.weights());
         let orig = v.total_weight() - v.pos_weight();
-        let lax = PnruleParams { rn: 0.5, ..Default::default() };
-        let strict = PnruleParams { rn: 0.999, ..Default::default() };
+        let lax = PnruleParams {
+            rn: 0.5,
+            ..Default::default()
+        };
+        let strict = PnruleParams {
+            rn: 0.999,
+            ..Default::default()
+        };
         let res_lax = learn_n_rules(&v, orig, orig, &lax);
         let res_strict = learn_n_rules(&v, orig, orig, &strict);
         let removed = |r: &NPhaseResult| r.rules.iter().map(|n| n.stats.pos).sum::<f64>();
@@ -334,6 +382,61 @@ mod tests {
             "lax {} vs strict {}",
             removed(&res_lax),
             removed(&res_strict)
+        );
+    }
+
+    #[test]
+    fn rule_cap_stop_survives_mdl_truncation() {
+        // One broad pure FP block (worth its description length) followed by
+        // two near-weightless stragglers whose removal saves almost no data
+        // bits: with zero slack the MDL truncation drops the straggler rule,
+        // while the rule cap — not exhaustion — ends the loop. The reported
+        // stop reason must keep saying RuleCap, with the truncation counted
+        // separately in `mdl_truncated`.
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("y", AttrType::Numeric);
+        b.add_class("fp");
+        b.add_class("tp");
+        for _ in 0..40 {
+            b.push_row(&[Value::num(0.0)], "fp", 1.0).unwrap();
+        }
+        for i in 0..400 {
+            b.push_row(&[Value::num(1.0 + (i % 8) as f64)], "tp", 1.0)
+                .unwrap();
+        }
+        // Stragglers isolated from each other by targets at y = 10.
+        b.push_row(&[Value::num(9.0)], "fp", 0.01).unwrap();
+        for _ in 0..10 {
+            b.push_row(&[Value::num(10.0)], "tp", 1.0).unwrap();
+        }
+        b.push_row(&[Value::num(11.0)], "fp", 0.01).unwrap();
+        let d = b.finish();
+        let is_fp: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        let v = TaskView::full(&d, &is_fp, d.weights());
+        let orig = v.total_weight() - v.pos_weight();
+        let params = PnruleParams {
+            max_n_rules: 2,
+            mdl_slack_bits: 0.0,
+            ..Default::default()
+        };
+        let res = learn_n_rules(&v, orig, orig, &params);
+        assert_eq!(
+            res.stop_reason,
+            StopReason::RuleCap,
+            "the loop reason must not be rewritten by truncation"
+        );
+        assert!(
+            res.mdl_truncated >= 1,
+            "the straggler rule should be truncated"
+        );
+        assert_eq!(
+            res.rules.len() + res.mdl_truncated,
+            2,
+            "cap accepted two rules before truncation"
+        );
+        assert!(
+            res.rules.iter().map(|r| r.stats.pos).sum::<f64>() >= 40.0,
+            "the broad block rule survives"
         );
     }
 

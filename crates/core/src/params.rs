@@ -92,27 +92,57 @@ impl PnruleParams {
     /// Convenience constructor for the paper's section-4 parameter grids:
     /// set `rp` and `rn`, keep everything else at the defaults.
     pub fn with_recall_limits(rp: f64, rn: f64) -> Self {
-        PnruleParams { rp, rn, ..Default::default() }
+        PnruleParams {
+            rp,
+            rn,
+            ..Default::default()
+        }
     }
 
     /// Panics with a descriptive message if any parameter is out of range.
     pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.rp), "rp must be in [0,1], got {}", self.rp);
-        assert!((0.0..=1.0).contains(&self.rn), "rn must be in [0,1], got {}", self.rn);
+        assert!(
+            (0.0..=1.0).contains(&self.rp),
+            "rp must be in [0,1], got {}",
+            self.rp
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.rn),
+            "rn must be in [0,1], got {}",
+            self.rn
+        );
         assert!(
             (0.0..=1.0).contains(&self.min_support_frac),
             "min_support_frac must be in [0,1]"
         );
-        assert!((0.0..=1.0).contains(&self.min_accuracy), "min_accuracy must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.min_accuracy),
+            "min_accuracy must be in [0,1]"
+        );
         assert!(
             (0.0..1.0).contains(&self.decision_threshold),
             "decision_threshold must be in [0,1)"
         );
-        assert!(self.mdl_slack_bits >= 0.0, "mdl_slack_bits must be non-negative");
-        assert!(self.min_improvement >= 0.0, "min_improvement must be non-negative");
-        assert!(self.scoring_z_threshold >= 0.0, "scoring_z_threshold must be non-negative");
-        assert!(self.max_p_rule_len != Some(0), "max_p_rule_len of 0 would forbid any rule");
-        assert!(self.max_n_rule_len != Some(0), "max_n_rule_len of 0 would forbid any rule");
+        assert!(
+            self.mdl_slack_bits >= 0.0,
+            "mdl_slack_bits must be non-negative"
+        );
+        assert!(
+            self.min_improvement >= 0.0,
+            "min_improvement must be non-negative"
+        );
+        assert!(
+            self.scoring_z_threshold >= 0.0,
+            "scoring_z_threshold must be non-negative"
+        );
+        assert!(
+            self.max_p_rule_len != Some(0),
+            "max_p_rule_len of 0 would forbid any rule"
+        );
+        assert!(
+            self.max_n_rule_len != Some(0),
+            "max_n_rule_len of 0 would forbid any rule"
+        );
     }
 }
 
@@ -136,13 +166,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "rp")]
     fn invalid_rp_rejected() {
-        PnruleParams { rp: 1.5, ..Default::default() }.validate();
+        PnruleParams {
+            rp: 1.5,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "max_p_rule_len")]
     fn zero_rule_length_rejected() {
-        PnruleParams { max_p_rule_len: Some(0), ..Default::default() }.validate();
+        PnruleParams {
+            max_p_rule_len: Some(0),
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub fn learn_p_rules(view: &TaskView<'_>, params: &PnruleParams) -> PPhaseResult
         }
         let covered_rows = remaining.rows_matching_rule(&grown.rule);
         covered_pos += grown.stats.pos;
-        result.rules.push(PRule { rule: grown.rule, stats: grown.stats });
+        result.rules.push(PRule {
+            rule: grown.rule,
+            stats: grown.stats,
+        });
         remaining = remaining.without(&covered_rows);
     }
 
@@ -93,7 +96,8 @@ mod tests {
         for i in 0..1000 {
             let x = (i % 100) as f64;
             let target = (10.0..12.0).contains(&x) || (50.0..52.0).contains(&x);
-            b.push_row(&[Value::num(x)], if target { "pos" } else { "neg" }, 1.0).unwrap();
+            b.push_row(&[Value::num(x)], if target { "pos" } else { "neg" }, 1.0)
+                .unwrap();
         }
         let d = b.finish();
         let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
@@ -104,7 +108,10 @@ mod tests {
     fn covers_both_disjoint_signatures() {
         let (d, is_pos) = two_peak_data();
         let v = TaskView::full(&d, &is_pos, d.weights());
-        let params = PnruleParams { min_support_frac: 0.0, ..Default::default() };
+        let params = PnruleParams {
+            min_support_frac: 0.0,
+            ..Default::default()
+        };
         let res = learn_p_rules(&v, &params);
         assert!(res.covered_recall >= 0.95, "recall {}", res.covered_recall);
         assert!(res.rules.len() >= 2, "two peaks need at least two rules");
@@ -131,8 +138,11 @@ mod tests {
     fn max_p_rules_caps_rule_count() {
         let (d, is_pos) = two_peak_data();
         let v = TaskView::full(&d, &is_pos, d.weights());
-        let params =
-            PnruleParams { max_p_rules: 1, min_support_frac: 0.0, ..Default::default() };
+        let params = PnruleParams {
+            max_p_rules: 1,
+            min_support_frac: 0.0,
+            ..Default::default()
+        };
         let res = learn_p_rules(&v, &params);
         assert_eq!(res.rules.len(), 1);
     }
@@ -163,15 +173,28 @@ mod tests {
         let v = TaskView::full(&d, &is_pos, d.weights());
         let loose = learn_p_rules(
             &v,
-            &PnruleParams { min_support_frac: 0.05, ..Default::default() },
+            &PnruleParams {
+                min_support_frac: 0.05,
+                ..Default::default()
+            },
         );
         let tight = learn_p_rules(
             &v,
-            &PnruleParams { min_support_frac: 0.6, ..Default::default() },
+            &PnruleParams {
+                min_support_frac: 0.6,
+                ..Default::default()
+            },
         );
-        assert!(loose.rules.iter().any(|p| p.stats.total < 24.0), "loose finds pure peaks");
+        assert!(
+            loose.rules.iter().any(|p| p.stats.total < 24.0),
+            "loose finds pure peaks"
+        );
         for p in &tight.rules {
-            assert!(p.stats.total >= 24.0 - 1e-9, "support {} under floor", p.stats.total);
+            assert!(
+                p.stats.total >= 24.0 - 1e-9,
+                "support {} under floor",
+                p.stats.total
+            );
         }
     }
 
@@ -181,7 +204,10 @@ mod tests {
         let v = TaskView::full(&d, &is_pos, d.weights());
         let res = learn_p_rules(
             &v,
-            &PnruleParams { min_support_frac: 0.0, ..Default::default() },
+            &PnruleParams {
+                min_support_frac: 0.0,
+                ..Default::default()
+            },
         );
         // Later rules are discovered on smaller remainders, so their
         // discovery-time positive coverage must not increase.

@@ -64,7 +64,11 @@ impl ScoreMatrix {
         for pi in 0..n_p {
             let row_pos: f64 = (0..width).map(|j| cell_pos[pi * width + j]).sum();
             let row_tot: f64 = (0..width).map(|j| cell_tot[pi * width + j]).sum();
-            let row_acc = if row_tot > 0.0 { row_pos / row_tot } else { 0.5 };
+            let row_acc = if row_tot > 0.0 {
+                row_pos / row_tot
+            } else {
+                0.5
+            };
             let row_score = (row_pos + 1.0) / (row_tot + 2.0);
             for j in 0..width {
                 let tot = cell_tot[pi * width + j];
@@ -78,10 +82,17 @@ impl ScoreMatrix {
                     false
                 } else {
                     // One-sample z-test of the cell accuracy against the
-                    // P-rule row accuracy.
+                    // P-rule row accuracy. Accuracies are quotients of
+                    // weight sums accumulated in different orders, so a
+                    // mathematically identical cell can differ from the row
+                    // by a few ulps — compare against a small epsilon,
+                    // never exactly.
+                    const EPS: f64 = 1e-9;
                     let sigma = (row_acc * (1.0 - row_acc) / tot).sqrt();
-                    if sigma == 0.0 {
-                        (pos / tot - row_acc).abs() > 0.0
+                    if sigma < EPS {
+                        // Pure row (accuracy 0 or 1): any genuine deviation
+                        // in the cell is significant by itself.
+                        (pos / tot - row_acc).abs() > EPS
                     } else {
                         ((pos / tot - row_acc) / sigma).abs() >= z_threshold
                     }
@@ -129,16 +140,25 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         b.add_attribute("y", AttrType::Numeric);
         for &(x, y, _) in rows {
-            b.push_row(&[Value::num(x), Value::num(y)], "c", 1.0).unwrap();
+            b.push_row(&[Value::num(x), Value::num(y)], "c", 1.0)
+                .unwrap();
         }
         let d = b.finish();
         let is_pos: Vec<bool> = rows.iter().map(|&(_, _, p)| p).collect();
         let p_rules = RuleSet::from_rules(vec![
-            Rule::new(vec![Condition::NumLe { attr: 0, value: 0.0 }]),
-            Rule::new(vec![Condition::NumGt { attr: 0, value: 0.0 }]),
+            Rule::new(vec![Condition::NumLe {
+                attr: 0,
+                value: 0.0,
+            }]),
+            Rule::new(vec![Condition::NumGt {
+                attr: 0,
+                value: 0.0,
+            }]),
         ]);
-        let n_rules =
-            RuleSet::from_rules(vec![Rule::new(vec![Condition::NumGt { attr: 1, value: 0.0 }])]);
+        let n_rules = RuleSet::from_rules(vec![Rule::new(vec![Condition::NumGt {
+            attr: 1,
+            value: 0.0,
+        }])]);
         ScoreMatrix::build(&d, &is_pos, &p_rules, &n_rules, z)
     }
 
@@ -208,6 +228,80 @@ mod tests {
         let m = build_case(&rows, 1.0);
         let s = m.score(0, None);
         assert!(s > 0.5 && s < 1.0, "smoothed score {s}");
+    }
+
+    /// Like [`build_case`] but with fractional row weights, so accuracies
+    /// are quotients of rounded weight sums.
+    fn build_weighted_case(rows: &[(f64, f64, bool)], w: f64, z: f64) -> ScoreMatrix {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("y", AttrType::Numeric);
+        for &(x, y, _) in rows {
+            b.push_row(&[Value::num(x), Value::num(y)], "c", w).unwrap();
+        }
+        let d = b.finish();
+        let is_pos: Vec<bool> = rows.iter().map(|&(_, _, p)| p).collect();
+        let p_rules = RuleSet::from_rules(vec![
+            Rule::new(vec![Condition::NumLe {
+                attr: 0,
+                value: 0.0,
+            }]),
+            Rule::new(vec![Condition::NumGt {
+                attr: 0,
+                value: 0.0,
+            }]),
+        ]);
+        let n_rules = RuleSet::from_rules(vec![Rule::new(vec![Condition::NumGt {
+            attr: 1,
+            value: 0.0,
+        }])]);
+        ScoreMatrix::build(&d, &is_pos, &p_rules, &n_rules, z)
+    }
+
+    #[test]
+    fn pure_row_cell_matching_row_accuracy_falls_back() {
+        // P-rule 0's coverage is entirely positive (row accuracy exactly 1,
+        // sigma 0). Its N-cell is also pure, so the cell accuracy equals
+        // the row accuracy and the N-rule must be judged insignificant for
+        // this P-rule: the cell reverts to the row estimate. Fractional
+        // weights make the accuracies quotients of accumulated sums — the
+        // regime where an exact float comparison can spuriously flag the
+        // cell as significant.
+        let mut rows: Vec<(f64, f64, bool)> = Vec::new();
+        for _ in 0..20 {
+            rows.push((0.0, 0.0, true)); // P0, default column
+            rows.push((0.0, 1.0, true)); // P0, N0 — still positive
+        }
+        let m = build_weighted_case(&rows, 0.1, 1.0);
+        let row_score = (40.0 * 0.1 + 1.0) / (40.0 * 0.1 + 2.0);
+        assert!(
+            (m.score(0, Some(0)) - row_score).abs() < 1e-12,
+            "pure cell should fall back to the row estimate: {} vs {row_score}",
+            m.score(0, Some(0))
+        );
+    }
+
+    #[test]
+    fn pure_negative_row_keeps_sigma_zero_well_defined() {
+        // A pure-negative P-rule row (accuracy exactly 0, sigma 0). The
+        // empty N-cell falls back to the row estimate and the default cell
+        // keeps its own low estimate — no NaN or division blow-up from the
+        // zero-sigma path.
+        let mut rows: Vec<(f64, f64, bool)> = Vec::new();
+        for _ in 0..20 {
+            rows.push((0.0, 0.0, false)); // P0, default column, all negative
+        }
+        let m = build_weighted_case(&rows, 0.1, 1.0);
+        let row_score = (0.0 + 1.0) / (20.0 * 0.1 + 2.0);
+        assert!(
+            (m.score(0, Some(0)) - row_score).abs() < 1e-12,
+            "empty cell falls back: {}",
+            m.score(0, Some(0))
+        );
+        assert!(
+            m.score(0, None) < 0.5,
+            "pure-negative default cell stays low"
+        );
     }
 
     #[test]

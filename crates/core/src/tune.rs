@@ -59,19 +59,30 @@ fn validation_f(params: &PnruleParams, train: &Dataset, valid: &Dataset, target:
 /// Every `(rp, rn[, P1])` combination is trained on the sub-train part and
 /// scored on the held-out part by F-measure; the winner is refit on the
 /// full training data. Returns the model and the chosen parameters.
-pub fn fit_auto(data: &Dataset, target: u32, opts: &AutoTuneOptions) -> (PnruleModel, PnruleParams) {
+pub fn fit_auto(
+    data: &Dataset,
+    target: u32,
+    opts: &AutoTuneOptions,
+) -> (PnruleModel, PnruleParams) {
     assert!(
         opts.validation_frac > 0.0 && opts.validation_frac < 1.0,
         "validation_frac must be in (0,1)"
     );
-    assert!(!opts.rp_grid.is_empty() && !opts.rn_grid.is_empty(), "grids must be non-empty");
+    assert!(
+        !opts.rp_grid.is_empty() && !opts.rn_grid.is_empty(),
+        "grids must be non-empty"
+    );
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let (sub_train, valid) = stratified_split(data, 1.0 - opts.validation_frac, &mut rng);
 
     let mut best: Option<(f64, PnruleParams)> = None;
     for &rp in &opts.rp_grid {
         for &rn in &opts.rn_grid {
-            let mut variants = vec![PnruleParams { rp, rn, ..opts.base.clone() }];
+            let mut variants = vec![PnruleParams {
+                rp,
+                rn,
+                ..opts.base.clone()
+            }];
             if opts.try_p1 {
                 variants.push(PnruleParams {
                     rp,
@@ -105,8 +116,9 @@ pub fn prune_n_rules(
     valid: &Dataset,
     z_threshold: f64,
 ) -> PnruleModel {
-    let is_pos: Vec<bool> =
-        (0..train.n_rows()).map(|r| train.label(r) == model.target).collect();
+    let is_pos: Vec<bool> = (0..train.n_rows())
+        .map(|r| train.label(r) == model.target)
+        .collect();
     let rebuild = |n_rules: &RuleSet| -> PnruleModel {
         let sm = ScoreMatrix::build(train, &is_pos, &model.p_rules, n_rules, z_threshold);
         PnruleModel {
@@ -165,8 +177,12 @@ mod tests {
             let x = ((i as u64 * 7 + seed_shift) % 100) as f64;
             let y = ((i as u64 * 13 + seed_shift) % 10) as f64;
             let target = (40.0..48.0).contains(&x) && y < 7.0;
-            b.push_row(&[Value::num(x), Value::num(y)], if target { "pos" } else { "neg" }, 1.0)
-                .unwrap();
+            b.push_row(
+                &[Value::num(x), Value::num(y)],
+                if target { "pos" } else { "neg" },
+                1.0,
+            )
+            .unwrap();
         }
         b.finish()
     }
@@ -197,7 +213,10 @@ mod tests {
     #[should_panic(expected = "grids must be non-empty")]
     fn empty_grid_rejected() {
         let data = band_data(200, 0);
-        let opts = AutoTuneOptions { rp_grid: vec![], ..Default::default() };
+        let opts = AutoTuneOptions {
+            rp_grid: vec![],
+            ..Default::default()
+        };
         fit_auto(&data, 0, &opts);
     }
 
@@ -207,7 +226,10 @@ mod tests {
         let valid = band_data(1_000, 17);
         let target = train.class_code("pos").unwrap();
         // deliberately overfit the N-stage with a very high rn
-        let params = PnruleParams { rn: 0.999, ..Default::default() };
+        let params = PnruleParams {
+            rn: 0.999,
+            ..Default::default()
+        };
         let model = PnruleLearner::new(params).fit(&train, target);
         let before = evaluate_classifier(&model, &valid, target).f_measure();
         let pruned = prune_n_rules(&model, &train, &valid, 1.0);

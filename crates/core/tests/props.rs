@@ -12,7 +12,12 @@ fn dataset(rows: &[(f64, f64, bool)]) -> (Dataset, Vec<bool>) {
     b.add_class("pos");
     b.add_class("neg");
     for &(x, y, p) in rows {
-        b.push_row(&[Value::num(x), Value::num(y)], if p { "pos" } else { "neg" }, 1.0).unwrap();
+        b.push_row(
+            &[Value::num(x), Value::num(y)],
+            if p { "pos" } else { "neg" },
+            1.0,
+        )
+        .unwrap();
     }
     let d = b.finish();
     let flags: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();

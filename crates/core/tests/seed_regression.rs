@@ -1,0 +1,160 @@
+//! Deterministic replay of the shrunk failing case recorded in
+//! `props.proptest-regressions` (seed cc 63ca56e1...). The stand-in
+//! proptest cannot replay the original RNG stream bit-for-bit, so the
+//! 70-row dataset from the seed's shrink comment is pinned here verbatim
+//! and every property from `props.rs` is asserted against it directly.
+
+use pnr_core::{PnruleLearner, PnruleParams};
+use pnr_data::{AttrType, DatasetBuilder, Value};
+use pnr_rules::BinaryClassifier;
+
+const SEED_ROWS: [(f64, f64, bool); 70] = [
+    (-3.982965203036405, -6.025326630264052, true),
+    (-16.37142653312865, 6.284143518919578, true),
+    (-10.07275503715653, 19.856674714026106, true),
+    (7.051551045126962, -8.11058365042731, true),
+    (-10.300132264311099, 13.271062907226602, true),
+    (5.872898791384961, -11.448802249263121, true),
+    (12.805481784096004, 14.977829442667701, true),
+    (14.56095745849148, -1.570103442552538, true),
+    (-9.311619459871077, 5.5943339878658325, true),
+    (-14.539751448379388, 6.943713483950351, true),
+    (-0.8437219730841363, -1.9275803228570314, true),
+    (2.5403654084565277, 14.085755652479847, true),
+    (1.5407869331148105, -12.967832672297696, true),
+    (-1.8385308369119258, 6.102600500833477, true),
+    (18.5398078096994, 2.919313760464685, false),
+    (19.320124462445364, -11.496245565502473, true),
+    (19.167353504698838, -10.840392460325146, false),
+    (-11.974951182208619, -5.459662370060701, true),
+    (4.146779248651525, 10.611628376979258, false),
+    (0.6677750336472313, 5.55009193753504, true),
+    (-17.63327351923678, 15.398786303307945, true),
+    (9.641563344513603, -13.460606977815491, true),
+    (-10.846490708629778, 15.279098332692302, true),
+    (-18.74569964139874, -7.961040619722894, false),
+    (-4.443978939646141, -2.4266262345376846, true),
+    (2.784526797495965, -13.880341295323769, true),
+    (12.057820112570715, 12.56833966409059, false),
+    (-9.801394531051509, 11.452967186229126, true),
+    (-9.186032055193097, -18.974195727606308, true),
+    (16.38262616936565, 4.966555139451217, true),
+    (-9.456306354689984, 0.5945891046347153, true),
+    (-4.636677790895876, 6.852554610365929, true),
+    (14.508196067046388, 3.363350267599323, true),
+    (-19.189489600957508, 10.751002539347093, true),
+    (10.66284081862948, 2.6833282609794162, true),
+    (-12.987601744077372, 4.10913279636163, true),
+    (-5.1026391127085455, 2.6952373431472023, true),
+    (5.691538622146074, -10.137358859500894, true),
+    (0.25821953192653463, -3.3927463248012746, true),
+    (-12.952019413436005, 17.82080422535272, true),
+    (0.06956555692727555, 5.852227958811742, true),
+    (5.6986890819282205, 19.213028222007896, false),
+    (8.993014046171098, 3.8048772711502217, true),
+    (8.428197360916787, 12.201496986094599, false),
+    (5.717029961606021, 14.525178604141516, true),
+    (4.2404251353186, -15.45124095088502, true),
+    (14.391657844500601, 12.420281176260694, true),
+    (4.179349681517046, 5.663969780337724, true),
+    (4.645342567326465, -0.2972330505374257, true),
+    (15.664170813963393, -7.4544724821439665, true),
+    (14.240948502221912, 13.597230949569768, true),
+    (-10.477866188118593, -2.1954320541244696, false),
+    (-14.468607058734795, -10.336296469348007, true),
+    (2.97260919192398, 6.755217170167889, true),
+    (-3.825566561958424, 6.13465805534483, true),
+    (7.492996155264046, -14.286676889213354, false),
+    (18.70187842572229, 3.569996021886039, false),
+    (-4.437007365565604, -0.8602493390910927, false),
+    (14.764723743505282, -1.3894231367575292, false),
+    (9.206578350596013, -19.80291547582195, false),
+    (3.693412027205769, -7.036861527773982, false),
+    (-2.0137599233769365, 8.382122910637744, true),
+    (12.290785669876623, 18.935322089577244, true),
+    (-9.982538595759673, 9.521893524490261, true),
+    (6.900782524096028, 4.229547793511421, false),
+    (-7.468435027897635, 17.88566919050087, false),
+    (6.422388861124606, 17.860537413634024, true),
+    (-18.040316667274247, -11.927827431962513, false),
+    (-16.709509842059337, -9.878280115704264, false),
+    (-12.62094950304896, -5.1099706119857204, false),
+];
+
+#[test]
+fn replay_all_props() {
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("x", AttrType::Numeric);
+    b.add_attribute("y", AttrType::Numeric);
+    b.add_class("pos");
+    b.add_class("neg");
+    for &(x, y, p) in &SEED_ROWS {
+        b.push_row(
+            &[Value::num(x), Value::num(y)],
+            if p { "pos" } else { "neg" },
+            1.0,
+        )
+        .unwrap();
+    }
+    let d = b.finish();
+
+    // scores_are_probabilities
+    let model = PnruleLearner::new(PnruleParams::default()).fit(&d, 0);
+    for row in 0..d.n_rows() {
+        let s = model.score(&d, row);
+        assert!((0.0..=1.0).contains(&s), "row {row} score {s}");
+    }
+    // p_rules_bound_positive_predictions
+    for row in 0..d.n_rows() {
+        if model.predict(&d, row) {
+            assert!(
+                model.p_rules.any_match(&d, row),
+                "row {row}: positive prediction without a P-rule"
+            );
+        }
+    }
+    // trace_is_consistent_with_score
+    for row in 0..d.n_rows() {
+        let t = model.trace(&d, row);
+        match t.p_rule {
+            None => assert_eq!(model.score(&d, row), 0.0),
+            Some(p) => assert_eq!(
+                model.score(&d, row),
+                model.score_matrix.score(p, t.n_rule),
+                "row {row}"
+            ),
+        }
+    }
+    // disabled_n_phase_scores_by_p_rule_row_estimate
+    let model2 = PnruleLearner::new(PnruleParams {
+        enable_n_phase: false,
+        ..Default::default()
+    })
+    .fit(&d, 0);
+    assert!(model2.n_rules.is_empty());
+    for row in 0..d.n_rows() {
+        match model2.p_rules.first_match(&d, row) {
+            None => assert_eq!(model2.score(&d, row), 0.0),
+            Some(p) => assert_eq!(
+                model2.score(&d, row),
+                model2.score_matrix.score(p, None),
+                "row {row}"
+            ),
+        }
+    }
+    // max_p_rule_len_is_respected
+    for cap in 1usize..4 {
+        let m = PnruleLearner::new(PnruleParams {
+            max_p_rule_len: Some(cap),
+            ..Default::default()
+        })
+        .fit(&d, 0);
+        for rule in m.p_rules.rules() {
+            assert!(
+                rule.len() <= cap,
+                "rule length {} over cap {cap}",
+                rule.len()
+            );
+        }
+    }
+}

@@ -48,7 +48,10 @@ impl DatasetBuilder {
     /// # Panics
     /// Panics if rows have already been pushed.
     pub fn add_attribute(&mut self, name: impl Into<String>, ty: AttrType) -> usize {
-        assert!(self.labels.is_empty(), "attributes must be declared before rows");
+        assert!(
+            self.labels.is_empty(),
+            "attributes must be declared before rows"
+        );
         self.schema.attributes.push(Attribute::new(name, ty));
         self.columns.push(match ty {
             AttrType::Numeric => Column::Num(Vec::new()),
@@ -115,10 +118,16 @@ impl DatasetBuilder {
                 }
                 (Column::Cat(_), Value::Cat(_)) => {}
                 (Column::Num(_), Value::Cat(_)) => {
-                    return Err(DataError::TypeMismatch { attr, expected: "numeric" })
+                    return Err(DataError::TypeMismatch {
+                        attr,
+                        expected: "numeric",
+                    })
                 }
                 (Column::Cat(_), Value::Num(_)) => {
-                    return Err(DataError::TypeMismatch { attr, expected: "categorical" })
+                    return Err(DataError::TypeMismatch {
+                        attr,
+                        expected: "categorical",
+                    })
                 }
             }
         }
@@ -157,8 +166,10 @@ mod tests {
         let mut b = DatasetBuilder::new();
         b.add_attribute("x", AttrType::Numeric);
         b.add_attribute("k", AttrType::Categorical);
-        b.push_row(&[Value::num(1.0), Value::cat("a")], "c0", 1.0).unwrap();
-        b.push_row(&[Value::num(2.0), Value::cat("b")], "c1", 1.0).unwrap();
+        b.push_row(&[Value::num(1.0), Value::cat("a")], "c0", 1.0)
+            .unwrap();
+        b.push_row(&[Value::num(2.0), Value::cat("b")], "c1", 1.0)
+            .unwrap();
         assert_eq!(b.n_rows(), 2);
         let d = b.finish();
         assert_eq!(d.cat_name(1, 1), "b");
@@ -171,7 +182,13 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         b.add_attribute("y", AttrType::Numeric);
         let err = b.push_row(&[Value::num(1.0)], "c", 1.0).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
         assert_eq!(b.n_rows(), 0);
     }
 
@@ -181,7 +198,9 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         b.add_attribute("k", AttrType::Categorical);
         // first value valid, second invalid: nothing must be written
-        let err = b.push_row(&[Value::num(1.0), Value::num(2.0)], "c", 1.0).unwrap_err();
+        let err = b
+            .push_row(&[Value::num(1.0), Value::num(2.0)], "c", 1.0)
+            .unwrap_err();
         assert!(matches!(err, DataError::TypeMismatch { attr: 1, .. }));
         assert_eq!(b.n_rows(), 0);
         let d = b.finish();
@@ -220,7 +239,10 @@ mod tests {
         };
         let d1 = build("a", "b");
         let d2 = build("b", "a"); // reversed appearance order
-        assert_eq!(d1.schema().attr(0).dict.code("b"), d2.schema().attr(0).dict.code("b"));
+        assert_eq!(
+            d1.schema().attr(0).dict.code("b"),
+            d2.schema().attr(0).dict.code("b")
+        );
     }
 
     #[test]

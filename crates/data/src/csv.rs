@@ -26,7 +26,10 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions { separator: ',', types: None }
+        CsvOptions {
+            separator: ',',
+            types: None,
+        }
     }
 }
 
@@ -42,10 +45,14 @@ pub fn read_csv(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Dataset, Da
 /// rows get weight 1.0.
 pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Dataset, DataError> {
     let sep = opts.separator;
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| DataError::Csv { line: 1, message: "missing header".into() })?;
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or_else(|| DataError::Csv {
+        line: 1,
+        message: "missing header".into(),
+    })?;
     let names: Vec<&str> = header.split(sep).map(str::trim).collect();
     if names.len() < 2 {
         return Err(DataError::Csv {
@@ -112,10 +119,11 @@ pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Dataset, DataError>
                 AttrType::Categorical => row_vals.push(Value::Cat(field)),
             }
         }
-        b.push_row(&row_vals, fields[n_attrs], 1.0).map_err(|e| DataError::Csv {
-            line: *lineno,
-            message: e.to_string(),
-        })?;
+        b.push_row(&row_vals, fields[n_attrs], 1.0)
+            .map_err(|e| DataError::Csv {
+                line: *lineno,
+                message: e.to_string(),
+            })?;
     }
     Ok(b.finish())
 }
@@ -172,7 +180,10 @@ mod tests {
     #[test]
     fn numeric_looking_column_can_be_forced_categorical() {
         let text = "code,class\n1,a\n2,b\n";
-        let opts = CsvOptions { types: Some(vec![AttrType::Categorical]), ..Default::default() };
+        let opts = CsvOptions {
+            types: Some(vec![AttrType::Categorical]),
+            ..Default::default()
+        };
         let d = read_csv_str(text, &opts).unwrap();
         assert_eq!(d.schema().attr(0).ty, AttrType::Categorical);
         assert_eq!(d.cat_name(0, 1), "2");
@@ -207,7 +218,10 @@ mod tests {
 
     #[test]
     fn wrong_type_count_is_error() {
-        let opts = CsvOptions { types: Some(vec![]), ..Default::default() };
+        let opts = CsvOptions {
+            types: Some(vec![]),
+            ..Default::default()
+        };
         let err = read_csv_str("x,class\n1,a\n", &opts).unwrap_err();
         assert!(err.to_string().contains("types"));
     }
@@ -215,7 +229,10 @@ mod tests {
     #[test]
     fn alternative_separator() {
         let text = "x;class\n4;a\n";
-        let opts = CsvOptions { separator: ';', ..Default::default() };
+        let opts = CsvOptions {
+            separator: ';',
+            ..Default::default()
+        };
         let d = read_csv_str(text, &opts).unwrap();
         assert_eq!(d.num(0, 0), 4.0);
     }

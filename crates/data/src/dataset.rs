@@ -59,7 +59,13 @@ impl Dataset {
         debug_assert!(columns.iter().all(|c| c.len() == labels.len()));
         debug_assert_eq!(weights.len(), labels.len());
         let sort_indexes = (0..n_attrs).map(|_| OnceLock::new()).collect();
-        Dataset { schema, columns, labels, weights, sort_indexes }
+        Dataset {
+            schema,
+            columns,
+            labels,
+            weights,
+            sort_indexes,
+        }
     }
 
     /// The dataset's schema.
@@ -161,7 +167,9 @@ impl Dataset {
             "sort_index requires a numeric attribute"
         );
         self.sort_indexes[attr].get_or_init(|| {
-            let Column::Num(vals) = &self.columns[attr] else { unreachable!() };
+            let Column::Num(vals) = &self.columns[attr] else {
+                unreachable!()
+            };
             let mut idx: Vec<u32> = (0..vals.len() as u32).collect();
             idx.sort_by(|&a, &b| {
                 vals[a as usize]
@@ -170,6 +178,56 @@ impl Dataset {
             });
             idx
         })
+    }
+
+    /// The subset `rows` (sorted unique global row ids) ordered ascending by
+    /// the numeric attribute `attr`, ties in row order — the restriction of
+    /// [`Self::sort_index`] to the subset, without materialising a mask over
+    /// the whole dataset when the subset is small.
+    ///
+    /// Cost is `O(min(n_rows, m·log m))` for a subset of size `m`: a small
+    /// subset is sorted directly, a large one filtered out of the cached
+    /// global sort index. Both paths produce the identical ordering.
+    ///
+    /// # Panics
+    /// Panics if `attr` is categorical.
+    pub fn sorted_projection(&self, attr: usize, rows: &[u32]) -> Vec<u32> {
+        assert_eq!(
+            self.schema.attr(attr).ty,
+            AttrType::Numeric,
+            "sorted_projection requires a numeric attribute"
+        );
+        let n = self.n_rows();
+        let m = rows.len();
+        if m == n {
+            return self.sort_index(attr).to_vec();
+        }
+        // Direct sort wins while m·log₂m stays under the full-scan cost.
+        let direct = m == 0 || m * (usize::BITS - m.leading_zeros()) as usize <= n;
+        let Column::Num(vals) = &self.columns[attr] else {
+            unreachable!()
+        };
+        if direct {
+            let mut idx = rows.to_vec();
+            // Stable sort: ties keep the caller's (ascending row id) order,
+            // matching the filtered global index below.
+            idx.sort_by(|&a, &b| {
+                vals[a as usize]
+                    .partial_cmp(&vals[b as usize])
+                    .expect("dataset values are finite")
+            });
+            idx
+        } else {
+            let mut mask = vec![false; n];
+            for &r in rows {
+                mask[r as usize] = true;
+            }
+            self.sort_index(attr)
+                .iter()
+                .copied()
+                .filter(|&r| mask[r as usize])
+                .collect()
+        }
     }
 
     /// Weighted count of rows per class.
@@ -196,7 +254,12 @@ impl Dataset {
     /// Panics if `weights.len() != n_rows()`.
     pub fn with_weights(&self, weights: Vec<f64>) -> Dataset {
         assert_eq!(weights.len(), self.n_rows());
-        Dataset::from_parts(self.schema.clone(), self.columns.clone(), self.labels.clone(), weights)
+        Dataset::from_parts(
+            self.schema.clone(),
+            self.columns.clone(),
+            self.labels.clone(),
+            weights,
+        )
     }
 
     /// Builds a new dataset containing only `rows` (in the given order),
@@ -219,7 +282,9 @@ impl Dataset {
     /// and the sort-index cache slots).
     pub fn rebuild_after_deserialize(&mut self) {
         self.schema.rebuild_indexes();
-        self.sort_indexes = (0..self.schema.n_attrs()).map(|_| OnceLock::new()).collect();
+        self.sort_indexes = (0..self.schema.n_attrs())
+            .map(|_| OnceLock::new())
+            .collect();
     }
 }
 
@@ -232,9 +297,12 @@ mod tests {
         let mut b = DatasetBuilder::new();
         b.add_attribute("x", AttrType::Numeric);
         b.add_attribute("c", AttrType::Categorical);
-        b.push_row(&[Value::num(3.0), Value::cat("p")], "neg", 1.0).unwrap();
-        b.push_row(&[Value::num(1.0), Value::cat("q")], "pos", 2.0).unwrap();
-        b.push_row(&[Value::num(2.0), Value::cat("p")], "neg", 1.5).unwrap();
+        b.push_row(&[Value::num(3.0), Value::cat("p")], "neg", 1.0)
+            .unwrap();
+        b.push_row(&[Value::num(1.0), Value::cat("q")], "pos", 2.0)
+            .unwrap();
+        b.push_row(&[Value::num(2.0), Value::cat("p")], "neg", 1.5)
+            .unwrap();
         b.finish()
     }
 
@@ -276,6 +344,51 @@ mod tests {
     fn sort_index_on_categorical_panics() {
         let d = small();
         d.sort_index(1);
+    }
+
+    #[test]
+    fn sorted_projection_restricts_sort_index() {
+        let d = small();
+        assert_eq!(d.sorted_projection(0, &[0, 1, 2]), vec![1, 2, 0]);
+        assert_eq!(d.sorted_projection(0, &[0, 2]), vec![2, 0]);
+        assert_eq!(d.sorted_projection(0, &[1]), vec![1]);
+        assert!(d.sorted_projection(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn sorted_projection_paths_agree_with_ties() {
+        // Duplicate values: the direct-sort and filtered-index paths must
+        // impose the identical (row-id) tie order.
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        for i in 0..64 {
+            b.push_row(&[Value::num((i % 4) as f64)], "c", 1.0).unwrap();
+        }
+        let d = b.finish();
+        let subset: Vec<u32> = (0..64).filter(|i| i % 3 != 1).collect();
+        let filtered: Vec<u32> = d
+            .sort_index(0)
+            .iter()
+            .copied()
+            .filter(|r| subset.contains(r))
+            .collect();
+        assert_eq!(d.sorted_projection(0, &subset), filtered);
+        // tiny subset takes the direct path
+        let tiny = [5u32, 9, 13, 21];
+        let filtered_tiny: Vec<u32> = d
+            .sort_index(0)
+            .iter()
+            .copied()
+            .filter(|r| tiny.contains(r))
+            .collect();
+        assert_eq!(d.sorted_projection(0, &tiny), filtered_tiny);
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric attribute")]
+    fn sorted_projection_on_categorical_panics() {
+        let d = small();
+        d.sorted_projection(1, &[0]);
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl Dictionary {
 
     /// Iterates over `(code, value)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str()))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_str()))
     }
 
     /// Rebuilds the lookup index from the value list. Needed after

@@ -41,7 +41,10 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::ArityMismatch { expected, got } => {
-                write!(f, "row has {got} values but schema has {expected} attributes")
+                write!(
+                    f,
+                    "row has {got} values but schema has {expected} attributes"
+                )
             }
             DataError::TypeMismatch { attr, expected } => {
                 write!(f, "attribute {attr} expects a {expected} value")
@@ -76,13 +79,25 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DataError::ArityMismatch { expected: 3, got: 2 };
-        assert_eq!(e.to_string(), "row has 2 values but schema has 3 attributes");
-        let e = DataError::TypeMismatch { attr: 1, expected: "numeric" };
+        let e = DataError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "row has 2 values but schema has 3 attributes"
+        );
+        let e = DataError::TypeMismatch {
+            attr: 1,
+            expected: "numeric",
+        };
         assert!(e.to_string().contains("attribute 1"));
         let e = DataError::NonFiniteValue { attr: 0 };
         assert!(e.to_string().contains("non-finite"));
-        let e = DataError::Csv { line: 7, message: "bad field".into() };
+        let e = DataError::Csv {
+            line: 7,
+            message: "bad field".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

@@ -13,7 +13,9 @@ pub struct RowSet {
 impl RowSet {
     /// The full row set `0..n`.
     pub fn all(n: usize) -> Self {
-        RowSet { rows: (0..n as u32).collect() }
+        RowSet {
+            rows: (0..n as u32).collect(),
+        }
     }
 
     /// An empty row set.
@@ -55,7 +57,9 @@ impl RowSet {
 
     /// Rows of `self` for which `keep` returns true.
     pub fn filter(&self, mut keep: impl FnMut(u32) -> bool) -> RowSet {
-        RowSet { rows: self.rows.iter().copied().filter(|&r| keep(r)).collect() }
+        RowSet {
+            rows: self.rows.iter().copied().filter(|&r| keep(r)).collect(),
+        }
     }
 
     /// Set difference `self \ other`; both operands are sorted, so this is a

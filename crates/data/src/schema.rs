@@ -26,7 +26,11 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an attribute with an empty dictionary.
     pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
-        Attribute { name: name.into(), ty, dict: Dictionary::new() }
+        Attribute {
+            name: name.into(),
+            ty,
+            dict: Dictionary::new(),
+        }
     }
 
     /// True for numeric attributes.
@@ -95,7 +99,8 @@ mod tests {
     fn attr_index_finds_by_name() {
         let mut s = Schema::new();
         s.attributes.push(Attribute::new("a", AttrType::Numeric));
-        s.attributes.push(Attribute::new("b", AttrType::Categorical));
+        s.attributes
+            .push(Attribute::new("b", AttrType::Categorical));
         assert_eq!(s.attr_index("b"), Some(1));
         assert_eq!(s.attr_index("c"), None);
         assert_eq!(s.n_attrs(), 2);

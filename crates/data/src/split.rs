@@ -10,8 +10,15 @@ use rand::Rng;
 /// The split is a uniform shuffle; use [`stratified_split`] when class
 /// proportions must be preserved exactly (important for rare classes, where a
 /// uniform split can starve one side of positives).
-pub fn train_test_split<R: Rng>(data: &Dataset, train_frac: f64, rng: &mut R) -> (Dataset, Dataset) {
-    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+pub fn train_test_split<R: Rng>(
+    data: &Dataset,
+    train_frac: f64,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..=1.0).contains(&train_frac),
+        "train_frac must be in [0,1]"
+    );
     let mut rows: Vec<u32> = (0..data.n_rows() as u32).collect();
     rows.shuffle(rng);
     let n_train = ((data.n_rows() as f64) * train_frac).round() as usize;
@@ -29,8 +36,15 @@ pub fn train_test_split<R: Rng>(data: &Dataset, train_frac: f64, rng: &mut R) ->
 ///
 /// Each class's rows are shuffled independently and `train_frac` of them go
 /// to the training side (rounded per class).
-pub fn stratified_split<R: Rng>(data: &Dataset, train_frac: f64, rng: &mut R) -> (Dataset, Dataset) {
-    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+pub fn stratified_split<R: Rng>(
+    data: &Dataset,
+    train_frac: f64,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..=1.0).contains(&train_frac),
+        "train_frac must be in [0,1]"
+    );
     let mut per_class: Vec<Vec<u32>> = vec![Vec::new(); data.n_classes()];
     for row in 0..data.n_rows() {
         per_class[data.label(row) as usize].push(row as u32);
@@ -91,7 +105,8 @@ mod tests {
             b.push_row(&[Value::num(i as f64)], "pos", 1.0).unwrap();
         }
         for i in 0..n_neg {
-            b.push_row(&[Value::num(i as f64 + 1000.0)], "neg", 1.0).unwrap();
+            b.push_row(&[Value::num(i as f64 + 1000.0)], "neg", 1.0)
+                .unwrap();
         }
         b.finish()
     }

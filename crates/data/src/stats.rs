@@ -88,7 +88,11 @@ pub fn summarize(data: &Dataset) -> Vec<AttrSummary> {
                         name,
                         vocab,
                         mode: (
-                            data.schema().attr(a).dict.name(mode_code as u32).to_string(),
+                            data.schema()
+                                .attr(a)
+                                .dict
+                                .name(mode_code as u32)
+                                .to_string(),
                             mode_count,
                         ),
                     })
@@ -102,7 +106,13 @@ pub fn summarize(data: &Dataset) -> Vec<AttrSummary> {
 /// report.
 pub fn describe(data: &Dataset) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{} records, {} attributes, {} classes", data.n_rows(), data.n_attrs(), data.n_classes());
+    let _ = writeln!(
+        out,
+        "{} records, {} attributes, {} classes",
+        data.n_rows(),
+        data.n_attrs(),
+        data.n_classes()
+    );
     let counts = data.class_counts();
     for (code, count) in counts.iter().enumerate() {
         let _ = writeln!(
@@ -144,7 +154,12 @@ mod tests {
         let mut b = DatasetBuilder::new();
         b.add_attribute("x", AttrType::Numeric);
         b.add_attribute("k", AttrType::Categorical);
-        for (x, k, c) in [(1.0, "a", "p"), (2.0, "b", "q"), (3.0, "a", "q"), (2.0, "a", "q")] {
+        for (x, k, c) in [
+            (1.0, "a", "p"),
+            (2.0, "b", "q"),
+            (3.0, "a", "q"),
+            (2.0, "a", "q"),
+        ] {
             b.push_row(&[Value::num(x), Value::cat(k)], c, 1.0).unwrap();
         }
         b.finish()
@@ -154,7 +169,9 @@ mod tests {
     fn numeric_summary_is_correct() {
         let d = data();
         let s = summarize(&d);
-        let AttrSummary::Numeric(n) = &s[0] else { panic!("expected numeric") };
+        let AttrSummary::Numeric(n) = &s[0] else {
+            panic!("expected numeric")
+        };
         assert_eq!(n.min, 1.0);
         assert_eq!(n.max, 3.0);
         assert_eq!(n.mean, 2.0);
@@ -166,7 +183,9 @@ mod tests {
     fn categorical_summary_is_correct() {
         let d = data();
         let s = summarize(&d);
-        let AttrSummary::Categorical(c) = &s[1] else { panic!("expected categorical") };
+        let AttrSummary::Categorical(c) = &s[1] else {
+            panic!("expected categorical")
+        };
         assert_eq!(c.vocab, 2);
         assert_eq!(c.mode, ("a".to_string(), 3));
     }

@@ -29,12 +29,20 @@ pub fn weight_of_class(data: &Dataset, class: u32) -> f64 {
 /// # Panics
 /// Panics if the dataset contains no record of `target`.
 pub fn stratify_weights(data: &Dataset, target: u32) -> Vec<f64> {
-    let n_target = (0..data.n_rows()).filter(|&r| data.label(r) == target).count();
+    let n_target = (0..data.n_rows())
+        .filter(|&r| data.label(r) == target)
+        .count();
     assert!(n_target > 0, "target class has no records");
     let n_other = data.n_rows() - n_target;
     let target_weight = n_other as f64 / n_target as f64;
     (0..data.n_rows())
-        .map(|r| if data.label(r) == target { target_weight } else { 1.0 })
+        .map(|r| {
+            if data.label(r) == target {
+                target_weight
+            } else {
+                1.0
+            }
+        })
         .collect()
 }
 

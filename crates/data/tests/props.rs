@@ -1,8 +1,8 @@
 //! Property-based tests for the dataset substrate.
 
 use pnr_data::{
-    read_csv_str, stratify_weights, write_csv_string, AttrType, CsvOptions, DatasetBuilder,
-    RowSet, Value,
+    read_csv_str, stratify_weights, write_csv_string, AttrType, CsvOptions, DatasetBuilder, RowSet,
+    Value,
 };
 use proptest::prelude::*;
 

@@ -17,7 +17,12 @@ use pnr_rules::evaluate_classifier;
 use pnr_synth::numeric::NumericModelConfig;
 use pnr_synth::SynthScale;
 
-fn run(params: PnruleParams, train: &Dataset, test: &Dataset, target: u32) -> pnr_metrics::PrfReport {
+fn run(
+    params: PnruleParams,
+    train: &Dataset,
+    test: &Dataset,
+    target: u32,
+) -> pnr_metrics::PrfReport {
     let model = PnruleLearner::new(params).fit(train, target);
     evaluate_classifier(&model, test, target).report()
 }
@@ -40,11 +45,13 @@ fn main() {
         );
         let target = train.class_code(pnr_synth::TARGET_CLASS).unwrap();
 
-        let kdd_train =
-            pnr_kddsim::generate_train((494_021.0 * opts.scale) as usize, opts.seed);
+        let kdd_train = pnr_kddsim::generate_train((494_021.0 * opts.scale) as usize, opts.seed);
         let kdd_test = pnr_kddsim::generate_test((311_029.0 * opts.scale) as usize, opts.seed + 1);
         let probe = kdd_train.class_code("probe").unwrap();
-        vec![("nsyn3", train, test, target), ("kdd-probe", kdd_train, kdd_test, probe)]
+        vec![
+            ("nsyn3", train, test, target),
+            ("kdd-probe", kdd_train, kdd_test, probe),
+        ]
     };
 
     for (name, train, test, target) in &tasks {
@@ -57,7 +64,15 @@ fn main() {
         exp.push("ranges on", run(base.clone(), train, test, *target));
         exp.push(
             "ranges off",
-            run(PnruleParams { use_ranges: false, ..base.clone() }, train, test, *target),
+            run(
+                PnruleParams {
+                    use_ranges: false,
+                    ..base.clone()
+                },
+                train,
+                test,
+                *target,
+            ),
         );
         print_experiment(&exp);
         results.push(exp);
@@ -69,7 +84,15 @@ fn main() {
         exp.push("N-phase on", run(base.clone(), train, test, *target));
         exp.push(
             "N-phase off",
-            run(PnruleParams { enable_n_phase: false, ..base.clone() }, train, test, *target),
+            run(
+                PnruleParams {
+                    enable_n_phase: false,
+                    ..base.clone()
+                },
+                train,
+                test,
+                *target,
+            ),
         );
         print_experiment(&exp);
         results.push(exp);
@@ -79,11 +102,18 @@ fn main() {
             "ScoreMatrix significance threshold (0 = raw cells, huge = crisp P-and-not-N per row)"
                 .to_string(),
         );
-        for (label, z) in [("z=0 (raw cells)", 0.0), ("z=1 (default)", 1.0), ("z=3", 3.0)] {
+        for (label, z) in [
+            ("z=0 (raw cells)", 0.0),
+            ("z=1 (default)", 1.0),
+            ("z=3", 3.0),
+        ] {
             exp.push(
                 label,
                 run(
-                    PnruleParams { scoring_z_threshold: z, ..base.clone() },
+                    PnruleParams {
+                        scoring_z_threshold: z,
+                        ..base.clone()
+                    },
                     train,
                     test,
                     *target,

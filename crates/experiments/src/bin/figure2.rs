@@ -35,7 +35,10 @@ fn main() {
     }
     // verify with a sample, as the figure's example does
     let cfg = CategoricalModelConfig::coa(1);
-    let scale = SynthScale { n_records: (5_000.0 * opts.scale.max(0.2)) as usize, target_frac: 0.01 };
+    let scale = SynthScale {
+        n_records: (5_000.0 * opts.scale.max(0.2)) as usize,
+        target_frac: 0.01,
+    };
     let d = pnr_synth::categorical::generate(&cfg, &scale, opts.seed);
     let c = d.class_code(pnr_synth::TARGET_CLASS).expect("target class");
     println!();

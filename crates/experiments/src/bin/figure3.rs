@@ -12,25 +12,44 @@ fn main() {
     let (c1a, c1b) = cfg.c1_peaks();
     println!("C1 (conjunctive): (n0, n1) peak pairs:");
     for (p, q) in c1a.iter().zip(&c1b) {
-        println!("  n0 in [{:.2}, {:.2}) AND n1 in [{:.2}, {:.2})", p.lo, p.hi(), q.lo, q.hi());
+        println!(
+            "  n0 in [{:.2}, {:.2}) AND n1 in [{:.2}, {:.2})",
+            p.lo,
+            p.hi(),
+            q.lo,
+            q.hi()
+        );
     }
     let (nc1a, nc1b) = cfg.nc1_peaks();
     println!("NC1 (conjunctive, same attributes):");
     for (p, q) in nc1a.iter().zip(&nc1b) {
-        println!("  n0 in [{:.2}, {:.2}) AND n1 in [{:.2}, {:.2})", p.lo, p.hi(), q.lo, q.hi());
+        println!(
+            "  n0 in [{:.2}, {:.2}) AND n1 in [{:.2}, {:.2})",
+            p.lo,
+            p.hi(),
+            q.lo,
+            q.hi()
+        );
     }
     let (c2a, c2b) = cfg.c2_peaks();
-    println!("C2 (disjunctive): n2 peaks {:?} OR n3 peaks {:?}",
+    println!(
+        "C2 (disjunctive): n2 peaks {:?} OR n3 peaks {:?}",
         c2a.iter().map(|p| (p.lo, p.hi())).collect::<Vec<_>>(),
-        c2b.iter().map(|p| (p.lo, p.hi())).collect::<Vec<_>>());
+        c2b.iter().map(|p| (p.lo, p.hi())).collect::<Vec<_>>()
+    );
     let (nc2a, nc2b) = cfg.nc2_peaks();
-    println!("NC2 (disjunctive): n2 peaks {:?} OR n3 peaks {:?}",
+    println!(
+        "NC2 (disjunctive): n2 peaks {:?} OR n3 peaks {:?}",
         nc2a.iter().map(|p| (p.lo, p.hi())).collect::<Vec<_>>(),
-        nc2b.iter().map(|p| (p.lo, p.hi())).collect::<Vec<_>>());
+        nc2b.iter().map(|p| (p.lo, p.hi())).collect::<Vec<_>>()
+    );
     println!("C3 (categorical): na=1, nspa=2, nwps=2 word pairs on (c0, c1)");
     println!("NC3 (categorical): na=1, nspa=4, nwps=2 word pairs on (c2, c3)");
 
-    let scale = SynthScale { n_records: (6_000.0 * opts.scale.max(0.2)) as usize, target_frac: 0.01 };
+    let scale = SynthScale {
+        n_records: (6_000.0 * opts.scale.max(0.2)) as usize,
+        target_frac: 0.01,
+    };
     let d = pnr_synth::general::generate(&cfg, &scale, opts.seed);
     let c = d.class_code(pnr_synth::TARGET_CLASS).expect("target class");
     println!();

@@ -72,7 +72,10 @@ fn load(name: &str, scale: f64, seed: u64) -> (Dataset, Dataset, u32) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    assert!(!args.is_empty(), "usage: inspect <dataset> [--rp f] [--rn f] [--scale f] [--seed n]");
+    assert!(
+        !args.is_empty(),
+        "usage: inspect <dataset> [--rp f] [--rn f] [--scale f] [--seed n]"
+    );
     let name = args.remove(0);
     let mut rp = 0.95;
     let mut rn = 0.9;
@@ -104,8 +107,12 @@ fn main() {
         let cm_test = evaluate_classifier(&model, &test, target);
         println!(
             "train: R {:.4} P {:.4} F {:.4}\ntest:  R {:.4} P {:.4} F {:.4}",
-            cm_train.recall(), cm_train.precision(), cm_train.f_measure(),
-            cm_test.recall(), cm_test.precision(), cm_test.f_measure()
+            cm_train.recall(),
+            cm_train.precision(),
+            cm_train.f_measure(),
+            cm_test.recall(),
+            cm_test.precision(),
+            cm_test.f_measure()
         );
         return;
     }
@@ -117,8 +124,12 @@ fn main() {
         let cm_test = evaluate_classifier(&bv, &test, target);
         println!(
             "train: R {:.4} P {:.4} F {:.4}\ntest:  R {:.4} P {:.4} F {:.4}",
-            cm_train.recall(), cm_train.precision(), cm_train.f_measure(),
-            cm_test.recall(), cm_test.precision(), cm_test.f_measure()
+            cm_train.recall(),
+            cm_train.precision(),
+            cm_train.f_measure(),
+            cm_test.recall(),
+            cm_test.precision(),
+            cm_test.f_measure()
         );
         return;
     }
@@ -128,12 +139,19 @@ fn main() {
     println!("\n{}", model.describe(train.schema()));
 
     // per-rule coverage on the training set
-    let is_pos: Vec<bool> = (0..train.n_rows()).map(|r| train.label(r) == target).collect();
+    let is_pos: Vec<bool> = (0..train.n_rows())
+        .map(|r| train.label(r) == target)
+        .collect();
     let view = TaskView::full(&train, &is_pos, train.weights());
     println!("P-rule coverage on train (full-set, not sequential):");
     for (i, rule) in model.p_rules.rules().iter().enumerate() {
         let c = view.coverage(rule);
-        println!("  [{i}] pos={:.0} total={:.0} acc={:.3}", c.pos, c.total, c.accuracy());
+        println!(
+            "  [{i}] pos={:.0} total={:.0} acc={:.3}",
+            c.pos,
+            c.total,
+            c.accuracy()
+        );
     }
     println!("N-rule coverage on train:");
     for (i, rule) in model.n_rules.rules().iter().enumerate() {
@@ -151,8 +169,21 @@ fn main() {
         report.retained_recall,
         report.n_stop_reason
     );
-    println!("DL trace: {:?}", report.n_dl_trace.iter().map(|d| d.round()).collect::<Vec<_>>());
-    for (i, (rule, st)) in model.n_rules.rules().iter().zip(&report.n_rule_stats).enumerate() {
+    println!(
+        "DL trace: {:?}",
+        report
+            .n_dl_trace
+            .iter()
+            .map(|d| d.round())
+            .collect::<Vec<_>>()
+    );
+    for (i, (rule, st)) in model
+        .n_rules
+        .rules()
+        .iter()
+        .zip(&report.n_rule_stats)
+        .enumerate()
+    {
         println!(
             "  n[{i}] len={} fp_removed={:.0} targets_lost={:.0} | {}",
             rule.len(),

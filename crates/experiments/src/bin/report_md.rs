@@ -45,7 +45,10 @@ fn main() {
         let _ = writeln!(out, "### {title}\n");
         for exp in &experiments {
             let _ = writeln!(out, "**{}** — {}\n", exp.id, exp.description);
-            let _ = writeln!(out, "| model | recall % | precision % | F (ours) | F (paper) |");
+            let _ = writeln!(
+                out,
+                "| model | recall % | precision % | F (ours) | F (paper) |"
+            );
             let _ = writeln!(out, "|---|---|---|---|---|");
             for row in &exp.rows {
                 let paper = paper_f(&exp.id, &row.label)

@@ -30,9 +30,9 @@ fn main() {
     }
 
     let mut checks: Vec<Check> = Vec::new();
-    for file in
-        ["table1", "figure1", "table2", "table3", "table4", "table5", "table6"]
-    {
+    for file in [
+        "table1", "figure1", "table2", "table3", "table4", "table5", "table6",
+    ] {
         let path = format!("{dir}/{file}.json");
         let Ok(text) = std::fs::read_to_string(&path) else {
             eprintln!("skipping {path}");
@@ -69,8 +69,11 @@ fn main() {
                 .fold(f64::NEG_INFINITY, f64::max);
             if let Some(pp) = pnr_paper {
                 if pp > best_other_paper + 0.05 {
-                    let pn_ours =
-                        ours.iter().find(|(l, _)| l == "PNrule").map(|(_, f)| *f).unwrap_or(0.0);
+                    let pn_ours = ours
+                        .iter()
+                        .find(|(l, _)| l == "PNrule")
+                        .map(|(_, f)| *f)
+                        .unwrap_or(0.0);
                     let best_other_ours = ours
                         .iter()
                         .filter(|(l, _)| l != "PNrule")

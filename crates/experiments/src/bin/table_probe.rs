@@ -3,7 +3,8 @@ use pnr_experiments::{experiments, print_experiment, write_json, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
-    let results = experiments::rp_rn_grid(&opts, "probe", &[0.95, 0.995], &[0.8, 0.95, 0.995], false);
+    let results =
+        experiments::rp_rn_grid(&opts, "probe", &[0.95, 0.995], &[0.8, 0.95, 0.995], false);
     for exp in &results {
         print_experiment(exp);
     }

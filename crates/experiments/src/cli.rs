@@ -22,7 +22,9 @@ impl Default for CliOptions {
             scale: 0.2,
             seed: 20_010_521,
             out_dir: "results".to_string(),
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 }
@@ -37,7 +39,8 @@ impl CliOptions {
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             let mut value = |name: &str| {
-                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
             };
             match arg.as_str() {
                 "--scale" => {
@@ -49,7 +52,9 @@ impl CliOptions {
                 }
                 "--out" => opts.out_dir = value("--out"),
                 "--threads" => {
-                    opts.threads = value("--threads").parse().expect("--threads takes an integer");
+                    opts.threads = value("--threads")
+                        .parse()
+                        .expect("--threads takes an integer");
                     assert!(opts.threads > 0, "--threads must be positive");
                 }
                 other => panic!(
@@ -83,7 +88,16 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let o = parse(&["--scale", "1.0", "--seed", "42", "--out", "r2", "--threads", "3"]);
+        let o = parse(&[
+            "--scale",
+            "1.0",
+            "--seed",
+            "42",
+            "--out",
+            "r2",
+            "--threads",
+            "3",
+        ]);
         assert_eq!(o.scale, 1.0);
         assert_eq!(o.seed, 42);
         assert_eq!(o.out_dir, "r2");

@@ -23,8 +23,7 @@ pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
 pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, threads: usize) -> Vec<T> {
     let n = jobs.len();
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let queue: Mutex<Vec<(usize, Job<'_, T>)>> =
-        Mutex::new(jobs.into_iter().enumerate().collect());
+    let queue: Mutex<Vec<(usize, Job<'_, T>)>> = Mutex::new(jobs.into_iter().enumerate().collect());
     std::thread::scope(|s| {
         for _ in 0..threads.max(1).min(n.max(1)) {
             s.spawn(|| loop {
@@ -57,14 +56,16 @@ fn test_scale(opts: &CliOptions) -> SynthScale {
 
 /// The standard five-method comparison on one (train, test) pair: `C`,
 /// `Cte`, `R`, `Re`, and best-of-grid PNrule.
-fn compare_all(
-    train: &Dataset,
-    test: &Dataset,
-    threads: usize,
-) -> Vec<(&'static str, PrfReport)> {
-    let target = train.class_code(pnr_synth::TARGET_CLASS).expect("target class");
-    let methods =
-        [Method::C45Rules, Method::C45TreeWe, Method::Ripper, Method::RipperWe];
+fn compare_all(train: &Dataset, test: &Dataset, threads: usize) -> Vec<(&'static str, PrfReport)> {
+    let target = train
+        .class_code(pnr_synth::TARGET_CLASS)
+        .expect("target class");
+    let methods = [
+        Method::C45Rules,
+        Method::C45TreeWe,
+        Method::Ripper,
+        Method::RipperWe,
+    ];
     let mut jobs: Vec<Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>> = methods
         .iter()
         .map(|m| {
@@ -74,16 +75,15 @@ fn compare_all(
         })
         .collect();
     jobs.push(Box::new(move || {
-        ("PNrule", run_pnrule_best(train, test, target, &pnrule_variant_grid()).0)
+        (
+            "PNrule",
+            run_pnrule_best(train, test, target, &pnrule_variant_grid()).0,
+        )
     }));
     run_jobs(jobs, threads)
 }
 
-fn subset(
-    rows: Vec<(&'static str, PrfReport)>,
-    keep: &[&str],
-    exp: &mut ExperimentResult,
-) {
+fn subset(rows: Vec<(&'static str, PrfReport)>, keep: &[&str], exp: &mut ExperimentResult) {
     for (label, rep) in rows {
         if keep.is_empty() || keep.contains(&label) {
             exp.push(label, rep);
@@ -97,14 +97,19 @@ pub fn table1(opts: &CliOptions) -> Vec<ExperimentResult> {
         .map(|i| {
             let cfg = NumericModelConfig::nsyn(i);
             let train = pnr_synth::numeric::generate(&cfg, &train_scale(opts), opts.seed);
-            let test =
-                pnr_synth::numeric::generate(&cfg, &test_scale(opts), opts.seed + 1);
+            let test = pnr_synth::numeric::generate(&cfg, &test_scale(opts), opts.seed + 1);
             let mut exp = ExperimentResult::new(
                 format!("table1/nsyn{i}"),
                 format!(
                     "nsptc={} ntc={} nspntc={} tr={} nr={} | train {} test {} (scale {})",
-                    cfg.nsptc, cfg.ntc, cfg.nspntc, cfg.tr, cfg.nr,
-                    train.n_rows(), test.n_rows(), opts.scale
+                    cfg.nsptc,
+                    cfg.ntc,
+                    cfg.nspntc,
+                    cfg.tr,
+                    cfg.nr,
+                    train.n_rows(),
+                    test.n_rows(),
+                    opts.scale
                 ),
             );
             subset(compare_all(&train, &test, opts.threads), &[], &mut exp);
@@ -120,11 +125,15 @@ pub fn figure1(opts: &CliOptions) -> Vec<ExperimentResult> {
         for nr in [0.2, 2.0, 4.0] {
             let cfg = NumericModelConfig::nsyn(3).with_widths(tr, nr);
             let train = pnr_synth::numeric::generate(&cfg, &train_scale(opts), opts.seed);
-            let test =
-                pnr_synth::numeric::generate(&cfg, &test_scale(opts), opts.seed + 1);
+            let test = pnr_synth::numeric::generate(&cfg, &test_scale(opts), opts.seed + 1);
             let mut exp = ExperimentResult::new(
                 format!("figure1/nsyn3 tr={tr} nr={nr}"),
-                format!("train {} test {} (scale {})", train.n_rows(), test.n_rows(), opts.scale),
+                format!(
+                    "train {} test {} (scale {})",
+                    train.n_rows(),
+                    test.n_rows(),
+                    opts.scale
+                ),
             );
             subset(compare_all(&train, &test, opts.threads), &[], &mut exp);
             out.push(exp);
@@ -140,11 +149,15 @@ pub fn table2(opts: &CliOptions) -> Vec<ExperimentResult> {
         for nr in [0.2, 4.0] {
             let cfg = NumericModelConfig::nsyn(5).with_widths(tr, nr);
             let train = pnr_synth::numeric::generate(&cfg, &train_scale(opts), opts.seed);
-            let test =
-                pnr_synth::numeric::generate(&cfg, &test_scale(opts), opts.seed + 1);
+            let test = pnr_synth::numeric::generate(&cfg, &test_scale(opts), opts.seed + 1);
             let mut exp = ExperimentResult::new(
                 format!("table2/nsyn5 tr={tr} nr={nr}"),
-                format!("train {} test {} (scale {})", train.n_rows(), test.n_rows(), opts.scale),
+                format!(
+                    "train {} test {} (scale {})",
+                    train.n_rows(),
+                    test.n_rows(),
+                    opts.scale
+                ),
             );
             subset(
                 compare_all(&train, &test, opts.threads),
@@ -183,25 +196,35 @@ pub fn table3(opts: &CliOptions) -> Vec<ExperimentResult> {
         .map(|name| {
             let cfg = categorical_config(&name);
             let train = pnr_synth::categorical::generate(&cfg, &train_scale(opts), opts.seed);
-            let test =
-                pnr_synth::categorical::generate(&cfg, &test_scale(opts), opts.seed + 1);
+            let test = pnr_synth::categorical::generate(&cfg, &test_scale(opts), opts.seed + 1);
             let target = train.class_code(pnr_synth::TARGET_CLASS).expect("target");
             let mut exp = ExperimentResult::new(
                 format!("table3/{name}"),
                 format!(
                     "t(na={},nspa={},V={}) nt(na={},nspa={},V={}) | train {} test {}",
-                    cfg.target.na, cfg.target.nspa, cfg.target.vocab,
-                    cfg.non_target.na, cfg.non_target.nspa, cfg.non_target.vocab,
-                    train.n_rows(), test.n_rows()
+                    cfg.target.na,
+                    cfg.target.nspa,
+                    cfg.target.vocab,
+                    cfg.non_target.na,
+                    cfg.non_target.nspa,
+                    cfg.non_target.vocab,
+                    train.n_rows(),
+                    test.n_rows()
                 ),
             );
             let jobs: Vec<Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>> = vec![
                 Box::new(|| {
-                    ("C4.5rules", run_method(&Method::C45Rules, &train, &test, target))
+                    (
+                        "C4.5rules",
+                        run_method(&Method::C45Rules, &train, &test, target),
+                    )
                 }),
                 Box::new(|| ("RIPPER", run_method(&Method::Ripper, &train, &test, target))),
                 Box::new(|| {
-                    ("PNrule", run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0)
+                    (
+                        "PNrule",
+                        run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0,
+                    )
                 }),
             ];
             for (label, rep) in run_jobs(jobs, opts.threads) {
@@ -222,7 +245,12 @@ pub fn table4(opts: &CliOptions) -> Vec<ExperimentResult> {
             let test = pnr_synth::general::generate(&cfg, &test_scale(opts), opts.seed + 1);
             let mut exp = ExperimentResult::new(
                 format!("table4/syngen tr={tr} nr={nr}"),
-                format!("train {} test {} (scale {})", train.n_rows(), test.n_rows(), opts.scale),
+                format!(
+                    "train {} test {} (scale {})",
+                    train.n_rows(),
+                    test.n_rows(),
+                    opts.scale
+                ),
             );
             subset(
                 compare_all(&train, &test, opts.threads),
@@ -247,26 +275,36 @@ pub fn table5(opts: &CliOptions) -> Vec<ExperimentResult> {
         let cfg = GeneralModelConfig::default().with_widths(tr, nr);
         let full_train = pnr_synth::general::generate(&cfg, &train_scale(opts), opts.seed);
         let full_test = pnr_synth::general::generate(&cfg, &test_scale(opts), opts.seed + 1);
-        let target = full_train.class_code(pnr_synth::TARGET_CLASS).expect("target");
-        let non_target = full_train.class_code(pnr_synth::NON_TARGET_CLASS).expect("nc");
+        let target = full_train
+            .class_code(pnr_synth::TARGET_CLASS)
+            .expect("target");
+        let non_target = full_train
+            .class_code(pnr_synth::NON_TARGET_CLASS)
+            .expect("nc");
         for frac in fracs {
             let frac: f64 = frac;
             let mut rng = StdRng::seed_from_u64(opts.seed ^ frac.to_bits());
             let train = subsample_class(&full_train, non_target, frac, &mut rng);
             let test = subsample_class(&full_test, non_target, frac, &mut rng);
-            let tc_pct = 100.0 * train.class_counts()[target as usize] as f64
-                / train.n_rows() as f64;
+            let tc_pct =
+                100.0 * train.class_counts()[target as usize] as f64 / train.n_rows() as f64;
             let mut exp = ExperimentResult::new(
                 format!("table5/syngen tr={tr} nr={nr} ntc-frac={frac}"),
                 format!("target proportion {tc_pct:.1}% | train {}", train.n_rows()),
             );
             let jobs: Vec<Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>> = vec![
                 Box::new(|| {
-                    ("C4.5rules", run_method(&Method::C45Rules, &train, &test, target))
+                    (
+                        "C4.5rules",
+                        run_method(&Method::C45Rules, &train, &test, target),
+                    )
                 }),
                 Box::new(|| ("RIPPER", run_method(&Method::Ripper, &train, &test, target))),
                 Box::new(|| {
-                    ("PNrule", run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0)
+                    (
+                        "PNrule",
+                        run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0,
+                    )
                 }),
             ];
             for (label, rep) in run_jobs(jobs, opts.threads) {
@@ -300,7 +338,10 @@ pub fn table6(opts: &CliOptions) -> Vec<ExperimentResult> {
             let target = train.class_code(class).expect("class exists");
             let mut exp = ExperimentResult::new(
                 format!("table6/{class}"),
-                format!("KDD sim | train {n_train} test {n_test} (scale {})", opts.scale),
+                format!(
+                    "KDD sim | train {n_train} test {n_test} (scale {})",
+                    opts.scale
+                ),
             );
             type Job<'a> = Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + 'a>;
             let best = |a: PrfReport, b: PrfReport| if a.f >= b.f { a } else { b };
@@ -318,7 +359,10 @@ pub fn table6(opts: &CliOptions) -> Vec<ExperimentResult> {
                 }),
                 Box::new(move || {
                     let params = PnruleParams::default();
-                    ("PNrule", run_method(&Method::Pnrule(params), train, test, target))
+                    (
+                        "PNrule",
+                        run_method(&Method::Pnrule(params), train, test, target),
+                    )
                 }),
             ];
             for (label, rep) in run_jobs(jobs, opts.threads) {
@@ -380,7 +424,11 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> CliOptions {
-        CliOptions { scale: 0.004, threads: 4, ..Default::default() }
+        CliOptions {
+            scale: 0.004,
+            threads: 4,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -413,7 +461,10 @@ mod tests {
 
     #[test]
     fn kdd_sizes_scale() {
-        let opts = CliOptions { scale: 0.1, ..Default::default() };
+        let opts = CliOptions {
+            scale: 0.1,
+            ..Default::default()
+        };
         let (tr, te) = kdd_sizes(&opts);
         assert_eq!(tr, 49_402);
         assert_eq!(te, 31_103);

@@ -110,8 +110,14 @@ mod tests {
 
     fn tiny_pair() -> (Dataset, Dataset) {
         let cfg = NumericModelConfig::nsyn(1);
-        let scale = SynthScale { n_records: 4_000, target_frac: 0.01 };
-        (pnr_synth::numeric::generate(&cfg, &scale, 1), pnr_synth::numeric::generate(&cfg, &scale, 2))
+        let scale = SynthScale {
+            n_records: 4_000,
+            target_frac: 0.01,
+        };
+        (
+            pnr_synth::numeric::generate(&cfg, &scale, 1),
+            pnr_synth::numeric::generate(&cfg, &scale, 2),
+        )
     }
 
     #[test]

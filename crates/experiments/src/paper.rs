@@ -74,8 +74,10 @@ pub fn paper_f(id: &str, label: &str) -> Option<f64> {
         ("tr=4 nr=4 ntc-frac=0.01", [0.7681, 0.7935, 0.8328]),
     ];
     // Table 6 (KDD'99), rows: C4.5rules, RIPPER, PNrule (old version).
-    let table6: &[(&str, [f64; 3])] =
-        &[("probe", [0.7915, 0.7951, 0.8542]), ("r2l", [0.0993, 0.1512, 0.2252])];
+    let table6: &[(&str, [f64; 3])] = &[
+        ("probe", [0.7915, 0.7951, 0.8542]),
+        ("r2l", [0.0993, 0.1512, 0.2252]),
+    ];
 
     // Section 4 grids: best cells the paper highlights.
     // r2l (unrestricted): best .1531 at rp=0.995 rn=0.995.
@@ -170,7 +172,10 @@ mod tests {
     #[test]
     fn table3_to_6_lookup() {
         assert_eq!(paper_f("table3/coad2", "C4.5rules"), Some(0.0060));
-        assert_eq!(paper_f("table4/syngen tr=0.2 nr=0.2", "PNrule"), Some(0.8988));
+        assert_eq!(
+            paper_f("table4/syngen tr=0.2 nr=0.2", "PNrule"),
+            Some(0.8988)
+        );
         assert_eq!(
             paper_f("table5/syngen tr=0.2 nr=0.2 ntc-frac=0.01", "RIPPER"),
             Some(0.9644)

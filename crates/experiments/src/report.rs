@@ -20,13 +20,22 @@ pub struct ResultRow {
 impl ResultRow {
     /// Builds a row from a report.
     pub fn new(label: impl Into<String>, rep: PrfReport) -> Self {
-        ResultRow { label: label.into(), recall: rep.recall, precision: rep.precision, f: rep.f }
+        ResultRow {
+            label: label.into(),
+            recall: rep.recall,
+            precision: rep.precision,
+            f: rep.f,
+        }
     }
 
     fn to_prf_row(&self) -> PrfRow {
         PrfRow::new(
             self.label.clone(),
-            PrfReport { recall: self.recall, precision: self.precision, f: self.f },
+            PrfReport {
+                recall: self.recall,
+                precision: self.precision,
+                f: self.f,
+            },
         )
     }
 }
@@ -45,7 +54,11 @@ pub struct ExperimentResult {
 impl ExperimentResult {
     /// Creates an empty experiment record.
     pub fn new(id: impl Into<String>, description: impl Into<String>) -> Self {
-        ExperimentResult { id: id.into(), description: description.into(), rows: Vec::new() }
+        ExperimentResult {
+            id: id.into(),
+            description: description.into(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row.
@@ -82,7 +95,11 @@ mod tests {
     use super::*;
 
     fn rep(f: f64) -> PrfReport {
-        PrfReport { recall: f, precision: f, f }
+        PrfReport {
+            recall: f,
+            precision: f,
+            f,
+        }
     }
 
     #[test]

@@ -73,8 +73,10 @@ pub fn generate_with_mix(n: usize, seed: u64, mix: &[(Subclass, f64)]) -> Datase
 
     // Largest-remainder apportionment gives every subclass its exact share
     // (stochastic rounding would lose rare subclasses entirely at small n).
-    let mut counts: Vec<usize> =
-        mix.iter().map(|(_, w)| ((w / total) * n as f64).floor() as usize).collect();
+    let mut counts: Vec<usize> = mix
+        .iter()
+        .map(|(_, w)| ((w / total) * n as f64).floor() as usize)
+        .collect();
     let assigned: usize = counts.iter().sum();
     let mut remainders: Vec<(usize, f64)> = mix
         .iter()
@@ -105,7 +107,11 @@ mod tests {
         let frac = |name: &str| {
             d.class_counts()[d.class_code(name).unwrap() as usize] as f64 / d.n_rows() as f64
         };
-        assert!((frac("probe") - 0.0083).abs() < 0.002, "probe {}", frac("probe"));
+        assert!(
+            (frac("probe") - 0.0083).abs() < 0.002,
+            "probe {}",
+            frac("probe")
+        );
         assert!((frac("r2l") - 0.0023).abs() < 0.001, "r2l {}", frac("r2l"));
         assert!(frac("dos") > 0.7, "dos {}", frac("dos"));
         assert!(frac("normal") > 0.15, "normal {}", frac("normal"));
@@ -117,7 +123,11 @@ mod tests {
         let frac = |name: &str| {
             d.class_counts()[d.class_code(name).unwrap() as usize] as f64 / d.n_rows() as f64
         };
-        assert!((frac("probe") - 0.0134).abs() < 0.003, "probe {}", frac("probe"));
+        assert!(
+            (frac("probe") - 0.0134).abs() < 0.003,
+            "probe {}",
+            frac("probe")
+        );
         assert!((frac("r2l") - 0.052).abs() < 0.01, "r2l {}", frac("r2l"));
     }
 
@@ -128,7 +138,10 @@ mod tests {
         assert_eq!(tr.n_attrs(), te.n_attrs());
         for a in 0..tr.n_attrs() {
             assert_eq!(tr.schema().attr(a).name, te.schema().attr(a).name);
-            assert_eq!(tr.schema().attr(a).dict.len(), te.schema().attr(a).dict.len());
+            assert_eq!(
+                tr.schema().attr(a).dict.len(),
+                te.schema().attr(a).dict.len()
+            );
         }
         for c in CLASSES {
             assert_eq!(tr.class_code(c), te.class_code(c));
@@ -141,7 +154,10 @@ mod tests {
         let d2 = generate_train(1_000, 5);
         assert_eq!(d1.labels(), d2.labels());
         for row in (0..d1.n_rows()).step_by(53) {
-            assert_eq!(d1.num(attr_index("src_bytes"), row), d2.num(attr_index("src_bytes"), row));
+            assert_eq!(
+                d1.num(attr_index("src_bytes"), row),
+                d2.num(attr_index("src_bytes"), row)
+            );
         }
     }
 

@@ -9,8 +9,8 @@ pub const PROTOCOLS: &[&str] = &["tcp", "udp", "icmp"];
 
 /// Service vocabulary (a representative subset of KDD'99's 70 services).
 pub const SERVICES: &[&str] = &[
-    "http", "smtp", "ftp", "ftp_data", "telnet", "pop_3", "domain_u", "ecr_i", "eco_i",
-    "private", "finger", "snmp", "other",
+    "http", "smtp", "ftp", "ftp_data", "telnet", "pop_3", "domain_u", "ecr_i", "eco_i", "private",
+    "finger", "snmp", "other",
 ];
 
 /// TCP status-flag vocabulary.
@@ -47,7 +47,10 @@ pub const N_ATTRS: usize = 16;
 /// # Panics
 /// Panics on an unknown name.
 pub fn attr_index(name: &str) -> usize {
-    ATTR_NAMES.iter().position(|&n| n == name).unwrap_or_else(|| panic!("unknown attribute {name}"))
+    ATTR_NAMES
+        .iter()
+        .position(|&n| n == name)
+        .unwrap_or_else(|| panic!("unknown attribute {name}"))
 }
 
 /// A builder with the full schema, every categorical vocabulary and every
@@ -55,7 +58,11 @@ pub fn attr_index(name: &str) -> usize {
 pub fn build_schema_builder() -> DatasetBuilder {
     let mut b = DatasetBuilder::new();
     for (i, name) in ATTR_NAMES.iter().enumerate() {
-        let ty = if i < 3 { AttrType::Categorical } else { AttrType::Numeric };
+        let ty = if i < 3 {
+            AttrType::Categorical
+        } else {
+            AttrType::Numeric
+        };
         b.add_attribute(*name, ty);
     }
     for p in PROTOCOLS {

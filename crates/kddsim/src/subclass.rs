@@ -642,12 +642,16 @@ mod tests {
         // dos flooding. Verify the simulator plants that overlap.
         let warez = Subclass::R2lWarezClient.spec();
         let flood = Subclass::DosFtpFlood.spec();
-        let services = |spec: &SubclassSpec| -> Vec<&str> {
-            spec.service.iter().map(|(s, _)| *s).collect()
-        };
-        let shared: Vec<&str> =
-            services(&warez).into_iter().filter(|s| services(&flood).contains(s)).collect();
-        assert!(!shared.is_empty(), "warez and ftp_flood must share services");
+        let services =
+            |spec: &SubclassSpec| -> Vec<&str> { spec.service.iter().map(|(s, _)| *s).collect() };
+        let shared: Vec<&str> = services(&warez)
+            .into_iter()
+            .filter(|s| services(&flood).contains(s))
+            .collect();
+        assert!(
+            !shared.is_empty(),
+            "warez and ftp_flood must share services"
+        );
     }
 
     #[test]
@@ -660,7 +664,10 @@ mod tests {
         let d = b.finish();
         let nfl = attr_index("num_failed_logins");
         for row in 0..d.n_rows() {
-            assert!(d.num(nfl, row) >= 1.0, "guess_passwd row without failed logins");
+            assert!(
+                d.num(nfl, row) >= 1.0,
+                "guess_passwd row without failed logins"
+            );
         }
     }
 

@@ -108,7 +108,11 @@ impl BinaryConfusion {
 
     /// A compact recall/precision/F snapshot.
     pub fn report(&self) -> PrfReport {
-        PrfReport { recall: self.recall(), precision: self.precision(), f: self.f_measure() }
+        PrfReport {
+            recall: self.recall(),
+            precision: self.precision(),
+            f: self.f_measure(),
+        }
     }
 }
 
@@ -180,7 +184,7 @@ mod tests {
         let cm = BinaryConfusion::from_counts(8.0, 2.0, 8.0, 100.0);
         let r = cm.recall(); // 0.5
         let p = cm.precision(); // 0.8
-        // large beta → recall-dominated, small beta → precision-dominated
+                                // large beta → recall-dominated, small beta → precision-dominated
         assert!((cm.f_beta(100.0) - r).abs() < 1e-2);
         assert!((cm.f_beta(0.01) - p).abs() < 1e-2);
         assert!((cm.f_beta(1.0) - cm.f_measure()).abs() < 1e-15);

@@ -38,7 +38,11 @@ impl PrCurve {
             scored.iter().all(|(s, _, w)| s.is_finite() && *w >= 0.0),
             "scores must be finite and weights non-negative"
         );
-        let pos_total: f64 = scored.iter().filter(|(_, p, _)| *p).map(|(_, _, w)| w).sum();
+        let pos_total: f64 = scored
+            .iter()
+            .filter(|(_, p, _)| *p)
+            .map(|(_, _, w)| w)
+            .sum();
         if pos_total == 0.0 || scored.is_empty() {
             return PrCurve::default();
         }
@@ -67,7 +71,12 @@ impl PrCurve {
             } else {
                 2.0 * recall * precision / (recall + precision)
             };
-            points.push(CurvePoint { threshold: s, recall, precision, f });
+            points.push(CurvePoint {
+                threshold: s,
+                recall,
+                precision,
+                f,
+            });
         }
         PrCurve { points }
     }
@@ -109,7 +118,11 @@ impl PrCurve {
         self.points
             .iter()
             .rfind(|p| p.threshold > threshold)
-            .map(|p| PrfReport { recall: p.recall, precision: p.precision, f: p.f })
+            .map(|p| PrfReport {
+                recall: p.recall,
+                precision: p.precision,
+                f: p.f,
+            })
     }
 }
 
@@ -118,7 +131,12 @@ mod tests {
     use super::*;
 
     fn perfect() -> Vec<(f64, bool, f64)> {
-        vec![(0.9, true, 1.0), (0.8, true, 1.0), (0.2, false, 1.0), (0.1, false, 1.0)]
+        vec![
+            (0.9, true, 1.0),
+            (0.8, true, 1.0),
+            (0.2, false, 1.0),
+            (0.1, false, 1.0),
+        ]
     }
 
     #[test]
@@ -155,16 +173,15 @@ mod tests {
             assert!(w[0].threshold > w[1].threshold);
         }
         let last = c.points().last().unwrap();
-        assert!((last.recall - 1.0).abs() < 1e-12, "curve must end at full recall");
+        assert!(
+            (last.recall - 1.0).abs() < 1e-12,
+            "curve must end at full recall"
+        );
     }
 
     #[test]
     fn ties_are_absorbed_into_one_point() {
-        let c = PrCurve::from_scored(vec![
-            (0.5, true, 1.0),
-            (0.5, false, 1.0),
-            (0.5, true, 1.0),
-        ]);
+        let c = PrCurve::from_scored(vec![(0.5, true, 1.0), (0.5, false, 1.0), (0.5, true, 1.0)]);
         assert_eq!(c.points().len(), 1);
         let p = c.points()[0];
         assert_eq!(p.recall, 1.0);
@@ -173,7 +190,11 @@ mod tests {
 
     #[test]
     fn weights_scale_contributions() {
-        let c = PrCurve::from_scored(vec![(0.9, true, 10.0), (0.8, false, 10.0), (0.7, true, 30.0)]);
+        let c = PrCurve::from_scored(vec![
+            (0.9, true, 10.0),
+            (0.8, false, 10.0),
+            (0.7, true, 30.0),
+        ]);
         // after the first point: tp=10 of 40 → recall 0.25
         assert!((c.points()[0].recall - 0.25).abs() < 1e-12);
     }
@@ -190,11 +211,7 @@ mod tests {
     fn best_f_beats_default_threshold_sometimes() {
         // all scores below 0.5: the default threshold predicts nothing, but
         // the curve still finds the ranking's best operating point
-        let c = PrCurve::from_scored(vec![
-            (0.4, true, 1.0),
-            (0.3, true, 1.0),
-            (0.1, false, 5.0),
-        ]);
+        let c = PrCurve::from_scored(vec![(0.4, true, 1.0), (0.3, true, 1.0), (0.1, false, 5.0)]);
         let best = c.best_f_point().unwrap();
         assert_eq!(best.f, 1.0);
         assert!(best.threshold < 0.5);

@@ -18,7 +18,10 @@ impl MulticlassConfusion {
     /// An empty matrix over `n_classes` classes.
     pub fn new(n_classes: usize) -> Self {
         assert!(n_classes > 0, "need at least one class");
-        MulticlassConfusion { n_classes, cells: vec![0.0; n_classes * n_classes] }
+        MulticlassConfusion {
+            n_classes,
+            cells: vec![0.0; n_classes * n_classes],
+        }
     }
 
     /// Number of classes.
@@ -71,7 +74,9 @@ impl MulticlassConfusion {
 
     /// Unweighted macro-averaged F-measure over all classes.
     pub fn macro_f(&self) -> f64 {
-        let sum: f64 = (0..self.n_classes).map(|c| self.binary_for(c).f_measure()).sum();
+        let sum: f64 = (0..self.n_classes)
+            .map(|c| self.binary_for(c).f_measure())
+            .sum();
         sum / self.n_classes as f64
     }
 }

@@ -14,7 +14,10 @@ pub struct PrfRow {
 impl PrfRow {
     /// Builds a row.
     pub fn new(label: impl Into<String>, report: PrfReport) -> Self {
-        PrfRow { label: label.into(), report }
+        PrfRow {
+            label: label.into(),
+            report,
+        }
     }
 }
 
@@ -48,8 +51,14 @@ pub fn format_prf_table(title: &str, rows: &[PrfRow]) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    out.push_str(&format!("{:<12} {:>6} {:>6}  {:>6}\n", "model", "Rec", "Prec", "F"));
-    let best = rows.iter().map(|r| r.report.f).fold(f64::NEG_INFINITY, f64::max);
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>6}  {:>6}\n",
+        "model", "Rec", "Prec", "F"
+    ));
+    let best = rows
+        .iter()
+        .map(|r| r.report.f)
+        .fold(f64::NEG_INFINITY, f64::max);
     for row in rows {
         out.push_str(&format_prf_row(row));
         if rows.len() > 1 && (row.report.f - best).abs() < 1e-12 {
@@ -65,8 +74,16 @@ mod tests {
     use super::*;
 
     fn rep(r: f64, p: f64) -> PrfReport {
-        let f = if r + p == 0.0 { 0.0 } else { 2.0 * r * p / (r + p) };
-        PrfReport { recall: r, precision: p, f }
+        let f = if r + p == 0.0 {
+            0.0
+        } else {
+            2.0 * r * p / (r + p)
+        };
+        PrfReport {
+            recall: r,
+            precision: p,
+            f,
+        }
     }
 
     #[test]
@@ -87,8 +104,10 @@ mod tests {
 
     #[test]
     fn table_marks_best_f() {
-        let rows =
-            vec![PrfRow::new("A", rep(0.5, 0.5)), PrfRow::new("B", rep(0.9, 0.9))];
+        let rows = vec![
+            PrfRow::new("A", rep(0.5, 0.5)),
+            PrfRow::new("B", rep(0.9, 0.9)),
+        ];
         let t = format_prf_table("demo", &rows);
         let lines: Vec<&str> = t.lines().collect();
         assert!(lines[2].starts_with("A"));

@@ -6,9 +6,7 @@ use crate::params::RipperParams;
 use crate::prune::prune_rule;
 use pnr_data::RowSet;
 use pnr_rules::mdl::{count_possible_conditions, total_dl};
-use pnr_rules::{
-    find_best_condition, EvalMetric, Rule, RuleSet, SearchOptions, TaskView,
-};
+use pnr_rules::{find_best_condition, EvalMetric, Rule, RuleSet, SearchOptions, TaskView};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -17,7 +15,10 @@ use rand::Rng;
 /// has no explicit range conditions). Stops at purity, at zero gain, or at
 /// `max_len`.
 pub fn grow_rule_foil(grow_view: &TaskView<'_>, max_len: usize) -> Option<Rule> {
-    let opts = SearchOptions { use_ranges: false, ..Default::default() };
+    let opts = SearchOptions {
+        use_ranges: false,
+        ..Default::default()
+    };
     let mut rule = Rule::empty();
     let mut current = grow_view.clone();
     while rule.len() < max_len {
@@ -103,7 +104,14 @@ impl DlContext {
         let fp = covered - covered_pos;
         let fn_ = self.pos_total - covered_pos;
         let lens: Vec<usize> = rules.iter().map(|r| r.len()).collect();
-        total_dl(self.n_possible, &lens, covered, self.n_total - covered, fp, fn_)
+        total_dl(
+            self.n_possible,
+            &lens,
+            covered,
+            self.n_total - covered,
+            fp,
+            fn_,
+        )
     }
 }
 
@@ -217,8 +225,12 @@ mod tests {
             let x = (i % 20) as f64;
             let k = if (i / 20) % 3 == 0 { "a" } else { "b" };
             let target = x < 4.0 && k == "a";
-            b.push_row(&[Value::num(x), Value::cat(k)], if target { "pos" } else { "neg" }, 1.0)
-                .unwrap();
+            b.push_row(
+                &[Value::num(x), Value::cat(k)],
+                if target { "pos" } else { "neg" },
+                1.0,
+            )
+            .unwrap();
         }
         let d = b.finish();
         let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
@@ -264,7 +276,10 @@ mod tests {
         let dl_ctx = DlContext::new(&v);
         let good = grow_rule_foil(&v, 32).unwrap();
         // a junk rule covering mostly negatives
-        let junk = Rule::new(vec![pnr_rules::Condition::NumGt { attr: 0, value: 10.0 }]);
+        let junk = Rule::new(vec![pnr_rules::Condition::NumGt {
+            attr: 0,
+            value: 10.0,
+        }]);
         let kept = delete_rules_by_dl(&v, &dl_ctx, vec![good.clone(), junk]);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0], good);

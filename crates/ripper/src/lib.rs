@@ -72,7 +72,9 @@ impl RipperLearner {
 
     /// Fits a binary rule set for `target` against the rest.
     pub fn fit(&self, data: &Dataset, target: u32) -> RipperModel {
-        let is_pos: Vec<bool> = (0..data.n_rows()).map(|r| data.label(r) == target).collect();
+        let is_pos: Vec<bool> = (0..data.n_rows())
+            .map(|r| data.label(r) == target)
+            .collect();
         let weights = data.weights();
         let view = TaskView::full(data, &is_pos, weights);
         let mut rng = StdRng::seed_from_u64(self.params.seed);

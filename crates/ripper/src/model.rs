@@ -34,9 +34,16 @@ impl RipperModel {
                 }
             }
         }
-        let rule_scores =
-            pos.iter().zip(&tot).map(|(p, t)| (p + 1.0) / (t + 2.0)).collect();
-        RipperModel { target, rules, rule_scores }
+        let rule_scores = pos
+            .iter()
+            .zip(&tot)
+            .map(|(p, t)| (p + 1.0) / (t + 2.0))
+            .collect();
+        RipperModel {
+            target,
+            rules,
+            rule_scores,
+        }
     }
 
     /// The learned rules in order.
@@ -56,7 +63,11 @@ impl RipperModel {
 
     /// Human-readable rendering.
     pub fn describe(&self, schema: &Schema) -> String {
-        format!("RIPPER model: {} rules\n{}", self.rules.len(), self.rules.display_lines(schema))
+        format!(
+            "RIPPER model: {} rules\n{}",
+            self.rules.len(),
+            self.rules.display_lines(schema)
+        )
     }
 }
 
@@ -91,8 +102,12 @@ mod tests {
             let x = (i % 20) as f64;
             let k = if (i / 20) % 3 == 0 { "a" } else { "b" };
             let target = x < 4.0 && k == "a";
-            b.push_row(&[Value::num(x), Value::cat(k)], if target { "pos" } else { "neg" }, 1.0)
-                .unwrap();
+            b.push_row(
+                &[Value::num(x), Value::cat(k)],
+                if target { "pos" } else { "neg" },
+                1.0,
+            )
+            .unwrap();
         }
         b.finish()
     }
@@ -124,7 +139,11 @@ mod tests {
         let w = stratify_weights(&d, target);
         let model = RipperLearner::default().fit(&d.with_weights(w), target);
         let cm = evaluate_classifier(&model, &d, target);
-        assert!(cm.recall() > 0.9, "stratification should push recall, got {}", cm.recall());
+        assert!(
+            cm.recall() > 0.9,
+            "stratification should push recall, got {}",
+            cm.recall()
+        );
     }
 
     #[test]

@@ -14,12 +14,7 @@ use rand::Rng;
 
 /// Error (fp + fn weight) of a rule set on `view` when `candidate` stands at
 /// position `idx` (a `None` candidate means the rule is deleted).
-fn ruleset_error(
-    view: &TaskView<'_>,
-    rules: &[Rule],
-    idx: usize,
-    candidate: Option<&Rule>,
-) -> f64 {
+fn ruleset_error(view: &TaskView<'_>, rules: &[Rule], idx: usize, candidate: Option<&Rule>) -> f64 {
     let mut fp = 0.0;
     let mut fn_ = 0.0;
     for r in view.rows.iter() {
@@ -51,12 +46,7 @@ fn ruleset_error(
 
 /// Prunes `rule` (final-sequence) to minimise whole-set error on the prune
 /// view with the rule standing at position `idx`.
-fn prune_for_set(
-    prune_view: &TaskView<'_>,
-    rules: &[Rule],
-    idx: usize,
-    rule: &Rule,
-) -> Rule {
+fn prune_for_set(prune_view: &TaskView<'_>, rules: &[Rule], idx: usize, rule: &Rule) -> Rule {
     if rule.is_empty() {
         return rule.clone();
     }
@@ -150,7 +140,8 @@ mod tests {
         b.add_class("neg");
         for i in 0..300 {
             let x = (i % 20) as f64;
-            b.push_row(&[Value::num(x)], if x < 5.0 { "pos" } else { "neg" }, 1.0).unwrap();
+            b.push_row(&[Value::num(x)], if x < 5.0 { "pos" } else { "neg" }, 1.0)
+                .unwrap();
         }
         let d = b.finish();
         let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
@@ -162,10 +153,13 @@ mod tests {
         let (d, is_pos) = data();
         let v = TaskView::full(&d, &is_pos, d.weights());
         // rule covering everything: fp = all negatives
-        let all = Rule::new(vec![Condition::NumLe { attr: 0, value: 100.0 }]);
+        let all = Rule::new(vec![Condition::NumLe {
+            attr: 0,
+            value: 100.0,
+        }]);
         let err = ruleset_error(&v, std::slice::from_ref(&all), 0, Some(&all));
         assert_eq!(err, 225.0); // 15/20 of 300 are negative
-        // deleting the rule: fn = all positives
+                                // deleting the rule: fn = all positives
         let err = ruleset_error(&v, std::slice::from_ref(&all), 0, None);
         assert_eq!(err, 75.0);
     }
@@ -176,16 +170,32 @@ mod tests {
         let v = TaskView::full(&d, &is_pos, d.weights());
         let dl_ctx = DlContext::new(&v);
         // deliberately sloppy rule: covers ~half the negatives too
-        let sloppy = Rule::new(vec![Condition::NumLe { attr: 0, value: 12.0 }]);
+        let sloppy = Rule::new(vec![Condition::NumLe {
+            attr: 0,
+            value: 12.0,
+        }]);
         let before_dl = dl_ctx.ruleset_dl(&v, std::slice::from_ref(&sloppy));
         let mut rng = StdRng::seed_from_u64(42);
-        let optimized =
-            optimize_ruleset(&v, &RipperParams::default(), &dl_ctx, vec![sloppy], &mut rng);
+        let optimized = optimize_ruleset(
+            &v,
+            &RipperParams::default(),
+            &dl_ctx,
+            vec![sloppy],
+            &mut rng,
+        );
         let after_dl = dl_ctx.ruleset_dl(&v, &optimized);
-        assert!(after_dl <= before_dl, "DL must not increase: {after_dl} vs {before_dl}");
+        assert!(
+            after_dl <= before_dl,
+            "DL must not increase: {after_dl} vs {before_dl}"
+        );
         // the optimised rule should be the clean band
         let c = v.coverage(&optimized[0]);
-        assert_eq!(c.neg(), 0.0, "optimised rule should be pure, got {:?}", optimized[0]);
+        assert_eq!(
+            c.neg(),
+            0.0,
+            "optimised rule should be pure, got {:?}",
+            optimized[0]
+        );
     }
 
     #[test]
@@ -193,10 +203,12 @@ mod tests {
         let (d, is_pos) = data();
         let v = TaskView::full(&d, &is_pos, d.weights());
         let dl_ctx = DlContext::new(&v);
-        let r1 = Rule::new(vec![Condition::NumLe { attr: 0, value: 4.0 }]);
+        let r1 = Rule::new(vec![Condition::NumLe {
+            attr: 0,
+            value: 4.0,
+        }]);
         let mut rng = StdRng::seed_from_u64(7);
-        let optimized =
-            optimize_ruleset(&v, &RipperParams::default(), &dl_ctx, vec![r1], &mut rng);
+        let optimized = optimize_ruleset(&v, &RipperParams::default(), &dl_ctx, vec![r1], &mut rng);
         assert_eq!(optimized.len(), 1);
     }
 }

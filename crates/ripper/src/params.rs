@@ -44,7 +44,10 @@ impl RipperParams {
             "prune_frac must be in (0,1), got {}",
             self.prune_frac
         );
-        assert!(self.mdl_slack_bits >= 0.0, "mdl_slack_bits must be non-negative");
+        assert!(
+            self.mdl_slack_bits >= 0.0,
+            "mdl_slack_bits must be non-negative"
+        );
         assert!(self.max_rules > 0, "max_rules must be positive");
         assert!(self.max_rule_len > 0, "max_rule_len must be positive");
     }
@@ -62,12 +65,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "prune_frac")]
     fn bad_prune_frac_panics() {
-        RipperParams { prune_frac: 1.0, ..Default::default() }.validate();
+        RipperParams {
+            prune_frac: 1.0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     fn serde_round_trip() {
-        let p = RipperParams { k_optimizations: 4, ..Default::default() };
+        let p = RipperParams {
+            k_optimizations: 4,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&p).unwrap();
         assert_eq!(serde_json::from_str::<RipperParams>(&json).unwrap(), p);
     }

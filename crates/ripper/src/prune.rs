@@ -80,8 +80,14 @@ mod tests {
         // the second condition on `noise` is an overfit: it costs positives
         // without removing negatives
         let rule = Rule::new(vec![
-            Condition::NumLe { attr: 0, value: 2.0 },
-            Condition::NumLe { attr: 1, value: 3.0 },
+            Condition::NumLe {
+                attr: 0,
+                value: 2.0,
+            },
+            Condition::NumLe {
+                attr: 1,
+                value: 3.0,
+            },
         ]);
         let (pruned, v_star) = prune_rule(&rule, &v);
         assert_eq!(pruned.len(), 1, "noise condition must be pruned");
@@ -92,7 +98,10 @@ mod tests {
     fn keeps_necessary_conditions() {
         let (d, is_pos) = data();
         let v = TaskView::full(&d, &is_pos, d.weights());
-        let rule = Rule::new(vec![Condition::NumLe { attr: 0, value: 2.0 }]);
+        let rule = Rule::new(vec![Condition::NumLe {
+            attr: 0,
+            value: 2.0,
+        }]);
         let (pruned, _) = prune_rule(&rule, &v);
         assert_eq!(pruned.len(), 1);
     }
@@ -103,8 +112,14 @@ mod tests {
         let v = TaskView::full(&d, &is_pos, d.weights());
         // duplicate condition: same coverage at both lengths → prune to 1
         let rule = Rule::new(vec![
-            Condition::NumLe { attr: 0, value: 2.0 },
-            Condition::NumLe { attr: 0, value: 2.0 },
+            Condition::NumLe {
+                attr: 0,
+                value: 2.0,
+            },
+            Condition::NumLe {
+                attr: 0,
+                value: 2.0,
+            },
         ]);
         let (pruned, _) = prune_rule(&rule, &v);
         assert_eq!(pruned.len(), 1);

@@ -11,7 +11,8 @@ fn dataset(rows: &[(f64, bool)]) -> (Dataset, Vec<bool>) {
     b.add_class("pos");
     b.add_class("neg");
     for &(x, p) in rows {
-        b.push_row(&[Value::num(x)], if p { "pos" } else { "neg" }, 1.0).unwrap();
+        b.push_row(&[Value::num(x)], if p { "pos" } else { "neg" }, 1.0)
+            .unwrap();
     }
     let d = b.finish();
     let flags: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();

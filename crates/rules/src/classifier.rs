@@ -45,7 +45,11 @@ pub fn evaluate_classifier<C: BinaryClassifier + ?Sized>(
 ) -> BinaryConfusion {
     let mut cm = BinaryConfusion::new();
     for row in 0..data.n_rows() {
-        cm.record(data.label(row) == target, clf.predict(data, row), data.weight(row));
+        cm.record(
+            data.label(row) == target,
+            clf.predict(data, row),
+            data.weight(row),
+        );
     }
     cm
 }
@@ -53,13 +57,15 @@ pub fn evaluate_classifier<C: BinaryClassifier + ?Sized>(
 /// Builds the precision-recall curve of `clf`'s scores over `data` for the
 /// `target` class — the threshold-free view of a scored rare-class
 /// classifier.
-pub fn score_curve<C: BinaryClassifier + ?Sized>(
-    clf: &C,
-    data: &Dataset,
-    target: u32,
-) -> PrCurve {
+pub fn score_curve<C: BinaryClassifier + ?Sized>(clf: &C, data: &Dataset, target: u32) -> PrCurve {
     let scored: Vec<(f64, bool, f64)> = (0..data.n_rows())
-        .map(|row| (clf.score(data, row), data.label(row) == target, data.weight(row)))
+        .map(|row| {
+            (
+                clf.score(data, row),
+                data.label(row) == target,
+                data.weight(row),
+            )
+        })
         .collect();
     PrCurve::from_scored(scored)
 }
@@ -75,7 +81,12 @@ mod tests {
         b.add_class("pos");
         b.add_class("neg");
         for i in 0..10 {
-            b.push_row(&[Value::num(i as f64)], if i < 3 { "pos" } else { "neg" }, 1.0).unwrap();
+            b.push_row(
+                &[Value::num(i as f64)],
+                if i < 3 { "pos" } else { "neg" },
+                1.0,
+            )
+            .unwrap();
         }
         b.finish()
     }

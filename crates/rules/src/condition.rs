@@ -88,7 +88,12 @@ impl fmt::Display for DisplayCondition<'_> {
         let name = |attr: usize| &self.schema.attr(attr).name;
         match *self.cond {
             Condition::CatEq { attr, value } => {
-                write!(f, "{} = {}", name(attr), self.schema.attr(attr).dict.name(value))
+                write!(
+                    f,
+                    "{} = {}",
+                    name(attr),
+                    self.schema.attr(attr).dict.name(value)
+                )
             }
             Condition::NumLe { attr, value } => write!(f, "{} <= {}", name(attr), value),
             Condition::NumGt { attr, value } => write!(f, "{} > {}", name(attr), value),
@@ -108,9 +113,12 @@ mod tests {
         let mut b = DatasetBuilder::new();
         b.add_attribute("x", AttrType::Numeric);
         b.add_attribute("k", AttrType::Categorical);
-        b.push_row(&[Value::num(1.0), Value::cat("a")], "c", 1.0).unwrap();
-        b.push_row(&[Value::num(2.0), Value::cat("b")], "c", 1.0).unwrap();
-        b.push_row(&[Value::num(3.0), Value::cat("a")], "c", 1.0).unwrap();
+        b.push_row(&[Value::num(1.0), Value::cat("a")], "c", 1.0)
+            .unwrap();
+        b.push_row(&[Value::num(2.0), Value::cat("b")], "c", 1.0)
+            .unwrap();
+        b.push_row(&[Value::num(3.0), Value::cat("a")], "c", 1.0)
+            .unwrap();
         b.finish()
     }
 
@@ -127,16 +135,26 @@ mod tests {
     #[test]
     fn numeric_thresholds_are_inclusive_exclusive() {
         let d = data();
-        let le = Condition::NumLe { attr: 0, value: 2.0 };
+        let le = Condition::NumLe {
+            attr: 0,
+            value: 2.0,
+        };
         assert!(le.matches(&d, 0) && le.matches(&d, 1) && !le.matches(&d, 2));
-        let gt = Condition::NumGt { attr: 0, value: 2.0 };
+        let gt = Condition::NumGt {
+            attr: 0,
+            value: 2.0,
+        };
         assert!(!gt.matches(&d, 0) && !gt.matches(&d, 1) && gt.matches(&d, 2));
     }
 
     #[test]
     fn range_is_half_open() {
         let d = data();
-        let r = Condition::NumRange { attr: 0, lo: 1.0, hi: 2.0 };
+        let r = Condition::NumRange {
+            attr: 0,
+            lo: 1.0,
+            hi: 2.0,
+        };
         assert!(!r.matches(&d, 0), "lo is exclusive");
         assert!(r.matches(&d, 1), "hi is inclusive");
         assert!(!r.matches(&d, 2));
@@ -145,11 +163,24 @@ mod tests {
     #[test]
     fn range_equals_conjunction_of_sides() {
         let d = data();
-        let r = Condition::NumRange { attr: 0, lo: 1.0, hi: 3.0 };
-        let gt = Condition::NumGt { attr: 0, value: 1.0 };
-        let le = Condition::NumLe { attr: 0, value: 3.0 };
+        let r = Condition::NumRange {
+            attr: 0,
+            lo: 1.0,
+            hi: 3.0,
+        };
+        let gt = Condition::NumGt {
+            attr: 0,
+            value: 1.0,
+        };
+        let le = Condition::NumLe {
+            attr: 0,
+            value: 3.0,
+        };
         for row in 0..d.n_rows() {
-            assert_eq!(r.matches(&d, row), gt.matches(&d, row) && le.matches(&d, row));
+            assert_eq!(
+                r.matches(&d, row),
+                gt.matches(&d, row) && le.matches(&d, row)
+            );
         }
     }
 
@@ -158,26 +189,51 @@ mod tests {
         let d = data();
         let a = d.schema().attr(1).dict.code("a").unwrap();
         assert_eq!(
-            Condition::CatEq { attr: 1, value: a }.display(d.schema()).to_string(),
+            Condition::CatEq { attr: 1, value: a }
+                .display(d.schema())
+                .to_string(),
             "k = a"
         );
         assert_eq!(
-            Condition::NumRange { attr: 0, lo: 0.5, hi: 1.5 }.display(d.schema()).to_string(),
+            Condition::NumRange {
+                attr: 0,
+                lo: 0.5,
+                hi: 1.5
+            }
+            .display(d.schema())
+            .to_string(),
             "x in (0.5, 1.5]"
         );
         assert_eq!(
-            Condition::NumLe { attr: 0, value: 2.0 }.display(d.schema()).to_string(),
+            Condition::NumLe {
+                attr: 0,
+                value: 2.0
+            }
+            .display(d.schema())
+            .to_string(),
             "x <= 2"
         );
         assert_eq!(
-            Condition::NumGt { attr: 0, value: 2.0 }.display(d.schema()).to_string(),
+            Condition::NumGt {
+                attr: 0,
+                value: 2.0
+            }
+            .display(d.schema())
+            .to_string(),
             "x > 2"
         );
     }
 
     #[test]
     fn attr_accessor() {
-        assert_eq!(Condition::NumLe { attr: 3, value: 0.0 }.attr(), 3);
+        assert_eq!(
+            Condition::NumLe {
+                attr: 3,
+                value: 0.0
+            }
+            .attr(),
+            3
+        );
         assert_eq!(Condition::CatEq { attr: 1, value: 0 }.attr(), 1);
     }
 }

@@ -13,7 +13,9 @@
 //! * [`TaskView`] — a learner's working view of a dataset (current rows,
 //!   per-row binary target flags, weights);
 //! * the greedy best-condition [`search`], including the two-scan range
-//!   finder described in section 2.2 of the paper;
+//!   finder described in section 2.2 of the paper — view-proportional via
+//!   per-view sorted projections ([`ViewIndex`]) and parallel across
+//!   attributes with a deterministic, bit-identical merge;
 //! * the [`BinaryClassifier`] trait every learner's model implements.
 //!
 //! # Example: find the best single condition on a toy task
@@ -46,6 +48,7 @@ pub mod ruleset;
 pub mod search;
 pub mod stats;
 pub mod task;
+pub mod view_index;
 
 pub use classifier::{evaluate_classifier, score_curve, BinaryClassifier, ConstantClassifier};
 pub use condition::Condition;
@@ -54,3 +57,4 @@ pub use ruleset::RuleSet;
 pub use search::{find_best_condition, CandidateCondition, SearchOptions};
 pub use stats::{CovStats, EvalMetric};
 pub use task::TaskView;
+pub use view_index::ViewIndex;

@@ -114,7 +114,10 @@ pub fn total_dl(
     fp: f64,
     fn_: f64,
 ) -> f64 {
-    let theory: f64 = rule_lens.iter().map(|&k| rule_theory_dl(n_possible, k as f64)).sum();
+    let theory: f64 = rule_lens
+        .iter()
+        .map(|&k| rule_theory_dl(n_possible, k as f64))
+        .sum();
     theory + data_dl(cover, uncover, fp, fn_)
 }
 
@@ -129,7 +132,8 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         b.add_attribute("k", AttrType::Categorical);
         for (x, k) in [(1.0, "a"), (2.0, "b"), (2.0, "c"), (3.0, "a")] {
-            b.push_row(&[Value::num(x), Value::cat(k)], "c", 1.0).unwrap();
+            b.push_row(&[Value::num(x), Value::cat(k)], "c", 1.0)
+                .unwrap();
         }
         let d = b.finish();
         // numeric: 3 distinct values × 2 sides; categorical: 3 values

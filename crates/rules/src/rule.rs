@@ -62,7 +62,9 @@ impl Rule {
     /// Returns a copy truncated to its first `len` conditions (used by
     /// RIPPER's final-sequence pruning).
     pub fn truncated(&self, len: usize) -> Rule {
-        Rule { conditions: self.conditions[..len.min(self.conditions.len())].to_vec() }
+        Rule {
+            conditions: self.conditions[..len.min(self.conditions.len())].to_vec(),
+        }
     }
 
     /// Whether `row` of `data` satisfies every condition.
@@ -108,7 +110,8 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         b.add_attribute("y", AttrType::Numeric);
         for (x, y) in [(1.0, 1.0), (1.0, 5.0), (4.0, 1.0), (4.0, 5.0)] {
-            b.push_row(&[Value::num(x), Value::num(y)], "c", 1.0).unwrap();
+            b.push_row(&[Value::num(x), Value::num(y)], "c", 1.0)
+                .unwrap();
         }
         b.finish()
     }
@@ -127,8 +130,14 @@ mod tests {
     fn conjunction_requires_all_conditions() {
         let d = data();
         let r = Rule::new(vec![
-            Condition::NumLe { attr: 0, value: 2.0 },
-            Condition::NumGt { attr: 1, value: 2.0 },
+            Condition::NumLe {
+                attr: 0,
+                value: 2.0,
+            },
+            Condition::NumGt {
+                attr: 1,
+                value: 2.0,
+            },
         ]);
         let matched: Vec<usize> = (0..d.n_rows()).filter(|&row| r.matches(&d, row)).collect();
         assert_eq!(matched, vec![1]);
@@ -137,7 +146,10 @@ mod tests {
     #[test]
     fn refined_with_appends_without_mutating_original() {
         let r = Rule::empty();
-        let r1 = r.refined_with(Condition::NumLe { attr: 0, value: 2.0 });
+        let r1 = r.refined_with(Condition::NumLe {
+            attr: 0,
+            value: 2.0,
+        });
         assert_eq!(r.len(), 0);
         assert_eq!(r1.len(), 1);
     }
@@ -145,8 +157,14 @@ mod tests {
     #[test]
     fn without_condition_removes_by_index() {
         let r = Rule::new(vec![
-            Condition::NumLe { attr: 0, value: 2.0 },
-            Condition::NumGt { attr: 1, value: 2.0 },
+            Condition::NumLe {
+                attr: 0,
+                value: 2.0,
+            },
+            Condition::NumGt {
+                attr: 1,
+                value: 2.0,
+            },
         ]);
         let g = r.without_condition(0);
         assert_eq!(g.len(), 1);
@@ -156,8 +174,14 @@ mod tests {
     #[test]
     fn truncated_keeps_prefix() {
         let r = Rule::new(vec![
-            Condition::NumLe { attr: 0, value: 2.0 },
-            Condition::NumGt { attr: 1, value: 2.0 },
+            Condition::NumLe {
+                attr: 0,
+                value: 2.0,
+            },
+            Condition::NumGt {
+                attr: 1,
+                value: 2.0,
+            },
         ]);
         assert_eq!(r.truncated(1).len(), 1);
         assert_eq!(r.truncated(9).len(), 2);
@@ -168,8 +192,14 @@ mod tests {
     fn display_joins_with_and() {
         let d = data();
         let r = Rule::new(vec![
-            Condition::NumLe { attr: 0, value: 2.0 },
-            Condition::NumGt { attr: 1, value: 2.0 },
+            Condition::NumLe {
+                attr: 0,
+                value: 2.0,
+            },
+            Condition::NumGt {
+                attr: 1,
+                value: 2.0,
+            },
         ]);
         assert_eq!(r.display(d.schema()).to_string(), "x <= 2 AND y > 2");
         assert_eq!(Rule::empty().display(d.schema()).to_string(), "TRUE");

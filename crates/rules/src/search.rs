@@ -3,11 +3,19 @@
 //! For categorical attributes every `attr = value` test is scored from a
 //! single counting pass. For numeric attributes the two one-sided tests
 //! `A ≤ v` and `A > v` are scored for every distinct-value boundary in one
-//! scan of the dataset's global sort index (section 2.2 of the paper), and a
-//! **range-based** condition `lo < A ≤ hi` is then sought with one extra
+//! scan of the view's **sorted projection** (section 2.2 of the paper), and
+//! a **range-based** condition `lo < A ≤ hi` is then sought with one extra
 //! scan: the better one-sided bound is fixed and the opposite bound swept —
 //! "If condition A ≤ vᵣ has higher value than condition A > vₗ, then we fix
 //! vᵣ and scan for the best value of vₗ to the left of vᵣ", and vice versa.
+//!
+//! The scan is **view-proportional**: the per-attribute sorted row lists
+//! come from the view's [`ViewIndex`](crate::view_index::ViewIndex), so a
+//! view that has shrunk to a handful of rows is not scanned through a
+//! dataset-sized mask. Attributes are independent, so large searches
+//! evaluate them **in parallel** and merge the per-attribute winners in
+//! attribute order — bit-identical to the sequential scan, including the
+//! "first best wins, lowest attribute index" tie-break.
 
 use crate::condition::Condition;
 use crate::stats::{CovStats, EvalMetric};
@@ -31,13 +39,36 @@ pub struct SearchOptions {
     /// supported by earlier rules" — i.e. against the rule's starting view,
     /// not the shrinking refinement view.
     pub context: Option<(f64, f64)>,
+    /// Evaluate attributes on worker threads when the search is large
+    /// enough to amortise the spawn cost (see
+    /// [`Self::parallel_min_cells`]). The result is bit-identical to the
+    /// sequential scan either way; disable to force single-threaded
+    /// execution.
+    pub parallel: bool,
+    /// Minimum `view rows × attributes` product before the parallel path
+    /// engages; defaults to [`PARALLEL_MIN_CELLS`]. Tests and benchmarks
+    /// lower it to engage worker threads on small inputs; `0` always takes
+    /// the threaded path (at least two workers, even on a single core), so
+    /// the thread/merge machinery can be exercised anywhere.
+    pub parallel_min_cells: usize,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        SearchOptions { use_ranges: true, min_support_weight: 0.0, context: None }
+        SearchOptions {
+            use_ranges: true,
+            min_support_weight: 0.0,
+            context: None,
+            parallel: true,
+            parallel_min_cells: PARALLEL_MIN_CELLS,
+        }
     }
 }
+
+/// Minimum `view rows × attributes` product before a parallel search pays
+/// for its thread spawns. Below this the sequential scan is used even with
+/// [`SearchOptions::parallel`] set.
+pub const PARALLEL_MIN_CELLS: usize = 16 * 1024;
 
 /// A scored candidate condition.
 #[derive(Debug, Clone)]
@@ -63,13 +94,21 @@ impl Best {
             return;
         }
         if self.cand.as_ref().is_none_or(|c| score > c.score) {
-            self.cand = Some(CandidateCondition { condition, stats, score });
+            self.cand = Some(CandidateCondition {
+                condition,
+                stats,
+                score,
+            });
         }
     }
 }
 
 /// Finds the highest-scoring single condition over the view, or `None` when
 /// no candidate has positive support under the constraints.
+///
+/// Large searches evaluate attributes on worker threads (unless
+/// [`SearchOptions::parallel`] is off); the merged result is always
+/// bit-identical to [`find_best_condition_sequential`].
 pub fn find_best_condition(
     view: &TaskView<'_>,
     metric: EvalMetric,
@@ -78,20 +117,91 @@ pub fn find_best_condition(
     if view.is_empty() {
         return None;
     }
-    let (pos_total, n_total) =
-        opts.context.unwrap_or_else(|| (view.pos_weight(), view.total_weight()));
-    let mut best = Best::default();
-    let mask = view.rows.mask(view.data.n_rows());
+    let n_attrs = view.data.n_attrs();
+    let workers =
+        if opts.parallel && n_attrs > 1 && view.n_rows() * n_attrs >= opts.parallel_min_cells {
+            let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+            // An explicit 0 threshold forces the threaded path even where the
+            // runtime reports a single core.
+            let forced_floor = if opts.parallel_min_cells == 0 { 2 } else { 1 };
+            available.max(forced_floor).min(n_attrs)
+        } else {
+            1
+        };
+    if workers <= 1 {
+        return find_best_condition_sequential(view, metric, opts);
+    }
 
-    for attr in 0..view.data.n_attrs() {
-        match view.data.column(attr) {
-            Column::Cat(_) => {
-                search_categorical(view, attr, metric, opts, pos_total, n_total, &mut best)
-            }
-            Column::Num(_) => {
-                search_numeric(view, attr, &mask, metric, opts, pos_total, n_total, &mut best)
-            }
+    let (pos_total, n_total) = opts
+        .context
+        .unwrap_or_else(|| (view.pos_weight(), view.total_weight()));
+    // Per-attribute result slots; each slot is written by exactly one worker
+    // (workers claim attributes off a shared counter).
+    let slots: Vec<std::sync::Mutex<Option<CandidateCondition>>> =
+        (0..n_attrs).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let attr = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if attr >= n_attrs {
+                    break;
+                }
+                let cand = search_attribute(view, attr, metric, opts, pos_total, n_total);
+                *slots[attr].lock().expect("search worker poisoned a slot") = cand;
+            });
         }
+    });
+    // Deterministic merge in attribute order: strictly-greater comparison
+    // keeps "first best wins", so ties go to the lowest attribute index
+    // exactly as in the sequential scan.
+    let mut best = Best::default();
+    for slot in slots {
+        if let Some(c) = slot.into_inner().expect("search worker poisoned a slot") {
+            best.offer(c.condition, c.stats, c.score);
+        }
+    }
+    best.cand
+}
+
+/// The single-threaded reference scan; [`find_best_condition`] must always
+/// agree with it bit-for-bit.
+pub fn find_best_condition_sequential(
+    view: &TaskView<'_>,
+    metric: EvalMetric,
+    opts: &SearchOptions,
+) -> Option<CandidateCondition> {
+    if view.is_empty() {
+        return None;
+    }
+    let (pos_total, n_total) = opts
+        .context
+        .unwrap_or_else(|| (view.pos_weight(), view.total_weight()));
+    let mut best = Best::default();
+    for attr in 0..view.data.n_attrs() {
+        if let Some(c) = search_attribute(view, attr, metric, opts, pos_total, n_total) {
+            best.offer(c.condition, c.stats, c.score);
+        }
+    }
+    best.cand
+}
+
+/// Best candidate on one attribute (both condition kinds), or `None` when
+/// the attribute offers nothing under the constraints.
+fn search_attribute(
+    view: &TaskView<'_>,
+    attr: usize,
+    metric: EvalMetric,
+    opts: &SearchOptions,
+    pos_total: f64,
+    n_total: f64,
+) -> Option<CandidateCondition> {
+    let mut best = Best::default();
+    match view.data.column(attr) {
+        Column::Cat(_) => {
+            search_categorical(view, attr, metric, opts, pos_total, n_total, &mut best)
+        }
+        Column::Num(_) => search_numeric(view, attr, metric, opts, pos_total, n_total, &mut best),
     }
     best.cand
 }
@@ -125,7 +235,14 @@ fn search_categorical(
         }
         let stats = CovStats::new(pos[code], tot[code]);
         let score = metric.score(stats, pos_total, n_total);
-        best.offer(Condition::CatEq { attr, value: code as u32 }, stats, score);
+        best.offer(
+            Condition::CatEq {
+                attr,
+                value: code as u32,
+            },
+            stats,
+            score,
+        );
     }
 }
 
@@ -171,15 +288,20 @@ impl Boundaries {
     }
 }
 
-fn build_boundaries(view: &TaskView<'_>, attr: usize, mask: &[bool]) -> Boundaries {
-    let sorted = view.data.sort_index(attr);
-    let mut b = Boundaries { values: Vec::new(), cum_pos: Vec::new(), cum_tot: Vec::new() };
+fn build_boundaries(view: &TaskView<'_>, attr: usize) -> Boundaries {
+    // The view's own sorted projection: one pass over exactly the view's
+    // rows, no dataset-sized mask. Row order (ascending value, ties by row
+    // id) matches a mask-filtered scan of the global sort index, so the
+    // float accumulation below is bit-identical to one.
+    let sorted = view.projection(attr);
+    let mut b = Boundaries {
+        values: Vec::new(),
+        cum_pos: Vec::new(),
+        cum_tot: Vec::new(),
+    };
     let mut cum_pos = 0.0;
     let mut cum_tot = 0.0;
-    for &r in sorted {
-        if !mask[r as usize] {
-            continue;
-        }
+    for &r in sorted.iter() {
         let v = view.data.num(attr, r as usize);
         let w = view.weights[r as usize];
         if b.values.last() == Some(&v) {
@@ -206,19 +328,21 @@ fn build_boundaries(view: &TaskView<'_>, attr: usize, mask: &[bool]) -> Boundari
 fn search_numeric(
     view: &TaskView<'_>,
     attr: usize,
-    mask: &[bool],
     metric: EvalMetric,
     opts: &SearchOptions,
     pos_total: f64,
     n_total: f64,
     best: &mut Best,
 ) {
-    let b = build_boundaries(view, attr, mask);
+    let b = build_boundaries(view, attr);
     if b.len() < 2 {
         // A constant attribute offers no split.
         return;
     }
-    let all = CovStats::new(*b.cum_pos.last().expect("non-empty"), *b.cum_tot.last().expect("non-empty"));
+    let all = CovStats::new(
+        *b.cum_pos.last().expect("non-empty"),
+        *b.cum_tot.last().expect("non-empty"),
+    );
 
     // One-sided scan. The last boundary is excluded for `≤` (covers all) and
     // for `>` (covers nothing).
@@ -241,12 +365,26 @@ fn search_numeric(
         }
     }
     if let Some((i, s)) = best_le {
-        best.offer(Condition::NumLe { attr, value: b.threshold(i) }, b.interval(None, i), s);
+        best.offer(
+            Condition::NumLe {
+                attr,
+                value: b.threshold(i),
+            },
+            b.interval(None, i),
+            s,
+        );
     }
     if let Some((i, s)) = best_gt {
         let le = b.interval(None, i);
         let stats = CovStats::new(all.pos - le.pos, all.total - le.total);
-        best.offer(Condition::NumGt { attr, value: b.threshold(i) }, stats, s);
+        best.offer(
+            Condition::NumGt {
+                attr,
+                value: b.threshold(i),
+            },
+            stats,
+            s,
+        );
     }
 
     if !opts.use_ranges {
@@ -313,7 +451,8 @@ mod tests {
         b.add_class("pos");
         b.add_class("neg");
         for &(x, p) in values {
-            b.push_row(&[Value::num(x)], if p { "pos" } else { "neg" }, 1.0).unwrap();
+            b.push_row(&[Value::num(x)], if p { "pos" } else { "neg" }, 1.0)
+                .unwrap();
         }
         let d = b.finish();
         let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
@@ -322,8 +461,7 @@ mod tests {
 
     #[test]
     fn one_sided_threshold_found_on_separable_data() {
-        let (d, is_pos) =
-            numeric_data(&[(1.0, true), (2.0, true), (3.0, false), (4.0, false)]);
+        let (d, is_pos) = numeric_data(&[(1.0, true), (2.0, true), (3.0, false), (4.0, false)]);
         let v = TaskView::full(&d, &is_pos, d.weights());
         let best =
             find_best_condition(&v, EvalMetric::EntropyGain, &SearchOptions::default()).unwrap();
@@ -340,8 +478,7 @@ mod tests {
     #[test]
     fn range_condition_isolates_interior_peak() {
         // positives form an interior band: only a range isolates them in one step
-        let rows: Vec<(f64, bool)> =
-            (0..20).map(|i| (i as f64, (8..12).contains(&i))).collect();
+        let rows: Vec<(f64, bool)> = (0..20).map(|i| (i as f64, (8..12).contains(&i))).collect();
         let (d, is_pos) = numeric_data(&rows);
         let v = TaskView::full(&d, &is_pos, d.weights());
         let best = find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default()).unwrap();
@@ -359,14 +496,19 @@ mod tests {
 
     #[test]
     fn disabling_ranges_falls_back_to_one_sided() {
-        let rows: Vec<(f64, bool)> =
-            (0..20).map(|i| (i as f64, (8..12).contains(&i))).collect();
+        let rows: Vec<(f64, bool)> = (0..20).map(|i| (i as f64, (8..12).contains(&i))).collect();
         let (d, is_pos) = numeric_data(&rows);
         let v = TaskView::full(&d, &is_pos, d.weights());
-        let opts = SearchOptions { use_ranges: false, ..Default::default() };
+        let opts = SearchOptions {
+            use_ranges: false,
+            ..Default::default()
+        };
         let best = find_best_condition(&v, EvalMetric::ZNumber, &opts).unwrap();
         assert!(
-            matches!(best.condition, Condition::NumLe { .. } | Condition::NumGt { .. }),
+            matches!(
+                best.condition,
+                Condition::NumLe { .. } | Condition::NumGt { .. }
+            ),
             "got {:?}",
             best.condition
         );
@@ -388,7 +530,10 @@ mod tests {
             let without = find_best_condition(
                 &v,
                 EvalMetric::ZNumber,
-                &SearchOptions { use_ranges: false, ..Default::default() },
+                &SearchOptions {
+                    use_ranges: false,
+                    ..Default::default()
+                },
             );
             match (with, without) {
                 (Some(w), Some(wo)) => assert!(w.score >= wo.score - 1e-12),
@@ -404,7 +549,13 @@ mod tests {
         b.add_attribute("k", AttrType::Categorical);
         b.add_class("pos");
         b.add_class("neg");
-        for (k, c) in [("a", "pos"), ("a", "pos"), ("b", "neg"), ("c", "neg"), ("a", "neg")] {
+        for (k, c) in [
+            ("a", "pos"),
+            ("a", "pos"),
+            ("b", "neg"),
+            ("c", "neg"),
+            ("a", "neg"),
+        ] {
             b.push_row(&[Value::cat(k)], c, 1.0).unwrap();
         }
         let d = b.finish();
@@ -432,10 +583,17 @@ mod tests {
             (4.0, false),
         ]);
         let v = TaskView::full(&d, &is_pos, d.weights());
-        let opts = SearchOptions { min_support_weight: 3.0, ..Default::default() };
+        let opts = SearchOptions {
+            min_support_weight: 3.0,
+            ..Default::default()
+        };
         let best = find_best_condition(&v, EvalMetric::ZNumber, &opts);
         if let Some(c) = best {
-            assert!(c.stats.total >= 3.0, "support {} below floor", c.stats.total);
+            assert!(
+                c.stats.total >= 3.0,
+                "support {} below floor",
+                c.stats.total
+            );
         }
     }
 
@@ -479,14 +637,23 @@ mod tests {
         let rows: Vec<(f64, bool)> = (0..15).map(|i| ((i % 5) as f64, i % 4 == 0)).collect();
         let (d, is_pos) = numeric_data(&rows);
         let v = TaskView::full(&d, &is_pos, d.weights());
-        let opts = SearchOptions { use_ranges: false, ..Default::default() };
+        let opts = SearchOptions {
+            use_ranges: false,
+            ..Default::default()
+        };
         let got = find_best_condition(&v, EvalMetric::EntropyGain, &opts).unwrap();
 
         let mut want = f64::NEG_INFINITY;
         for t in 0..5 {
             for cond in [
-                Condition::NumLe { attr: 0, value: t as f64 },
-                Condition::NumGt { attr: 0, value: t as f64 },
+                Condition::NumLe {
+                    attr: 0,
+                    value: t as f64,
+                },
+                Condition::NumGt {
+                    attr: 0,
+                    value: t as f64,
+                },
             ] {
                 let stats = v.coverage(&crate::rule::Rule::new(vec![cond]));
                 if stats.total > 0.0 && stats.total < v.total_weight() {
@@ -495,6 +662,112 @@ mod tests {
                 }
             }
         }
-        assert!((got.score - want).abs() < 1e-12, "scan {} vs brute {}", got.score, want);
+        assert!(
+            (got.score - want).abs() < 1e-12,
+            "scan {} vs brute {}",
+            got.score,
+            want
+        );
+    }
+
+    #[test]
+    fn brute_force_agreement_with_ranges_on_restricted_view() {
+        // The range scan on a *derived* view (its boundaries come from the
+        // chained sorted projection, not a full-dataset scan): the winner's
+        // stats must equal its re-computed coverage, its score must beat
+        // every one-sided condition, and it can never exceed the global
+        // optimum over all (lo, hi] ranges.
+        let rows: Vec<(f64, bool)> = (0..40)
+            .map(|i| ((i % 8) as f64, (3..6).contains(&(i % 8))))
+            .collect();
+        let (d, is_pos) = numeric_data(&rows);
+        let full = TaskView::full(&d, &is_pos, d.weights());
+        let v = full.restricted_to(full.rows.filter(|r| r % 3 != 1));
+        let metric = EvalMetric::ZNumber;
+        let got = find_best_condition(&v, metric, &SearchOptions::default()).unwrap();
+
+        let re_cov = v.coverage(&crate::rule::Rule::new(vec![got.condition.clone()]));
+        assert_eq!(
+            got.stats, re_cov,
+            "stats must match coverage on the restricted view"
+        );
+        assert!((got.score - metric.score(re_cov, v.pos_weight(), v.total_weight())).abs() < 1e-12);
+
+        let mut one_sided = f64::NEG_INFINITY;
+        let mut all_ranges = f64::NEG_INFINITY;
+        let values: Vec<f64> = (0..8).map(|t| t as f64).collect();
+        for (i, &t) in values.iter().enumerate() {
+            for cond in [
+                Condition::NumLe { attr: 0, value: t },
+                Condition::NumGt { attr: 0, value: t },
+            ] {
+                let c = v.coverage(&crate::rule::Rule::new(vec![cond]));
+                if c.total > 0.0 && c.total < v.total_weight() {
+                    one_sided = one_sided.max(metric.score(c, v.pos_weight(), v.total_weight()));
+                }
+            }
+            for &hi in &values[i + 1..] {
+                let c = v.coverage(&crate::rule::Rule::new(vec![Condition::NumRange {
+                    attr: 0,
+                    lo: t,
+                    hi,
+                }]));
+                if c.total > 0.0 {
+                    all_ranges = all_ranges.max(metric.score(c, v.pos_weight(), v.total_weight()));
+                }
+            }
+        }
+        assert!(
+            got.score >= one_sided - 1e-12,
+            "range scan lost to a one-sided cut"
+        );
+        assert!(
+            got.score <= all_ranges + 1e-12,
+            "scored above the global range optimum"
+        );
+    }
+
+    #[test]
+    fn forced_parallel_matches_sequential_search() {
+        let rows: Vec<(f64, bool)> = (0..60)
+            .map(|i| (((i * 7) % 13) as f64, i % 4 == 0))
+            .collect();
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("y", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        b.add_class("pos");
+        b.add_class("neg");
+        for (i, &(x, p)) in rows.iter().enumerate() {
+            let k = ["a", "b", "c"][i % 3];
+            b.push_row(
+                &[Value::num(x), Value::num((i % 5) as f64), Value::cat(k)],
+                if p { "pos" } else { "neg" },
+                1.0 + (i % 3) as f64 * 0.25,
+            )
+            .unwrap();
+        }
+        let d = b.finish();
+        let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        for metric in [
+            EvalMetric::ZNumber,
+            EvalMetric::FoilGain,
+            EvalMetric::Laplace,
+        ] {
+            let par = SearchOptions {
+                parallel_min_cells: 0,
+                ..Default::default()
+            };
+            let seq = SearchOptions {
+                parallel: false,
+                ..Default::default()
+            };
+            let g = find_best_condition(&v, metric, &par).unwrap();
+            let s = find_best_condition_sequential(&v, metric, &seq).unwrap();
+            assert_eq!(g.condition, s.condition, "{metric:?}");
+            assert_eq!(g.score.to_bits(), s.score.to_bits(), "{metric:?}");
+            assert_eq!(g.stats, s.stats, "{metric:?}");
+        }
     }
 }

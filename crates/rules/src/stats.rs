@@ -20,7 +20,10 @@ pub struct CovStats {
 impl CovStats {
     /// Builds from the two weights.
     pub fn new(pos: f64, total: f64) -> Self {
-        debug_assert!(pos >= -1e-9 && total + 1e-9 >= pos, "pos={pos} total={total}");
+        debug_assert!(
+            pos >= -1e-9 && total + 1e-9 >= pos,
+            "pos={pos} total={total}"
+        );
         CovStats { pos, total }
     }
 
@@ -133,7 +136,11 @@ pub fn entropy_gain(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
     let w_out = 1.0 - w_in;
     let pos_out = pos_total - c.pos;
     let total_out = n_total - c.total;
-    let h_out = if total_out <= 0.0 { 0.0 } else { entropy(pos_out / total_out) };
+    let h_out = if total_out <= 0.0 {
+        0.0
+    } else {
+        entropy(pos_out / total_out)
+    };
     entropy(p0) - w_in * entropy(c.accuracy()) - w_out * h_out
 }
 
@@ -162,7 +169,11 @@ pub fn gini_gain(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
     let w_out = 1.0 - w_in;
     let pos_out = pos_total - c.pos;
     let total_out = n_total - c.total;
-    let g_out = if total_out <= 0.0 { 0.0 } else { gini(pos_out / total_out) };
+    let g_out = if total_out <= 0.0 {
+        0.0
+    } else {
+        gini(pos_out / total_out)
+    };
     gini(p0) - w_in * gini(c.accuracy()) - w_out * g_out
 }
 
@@ -175,9 +186,9 @@ pub fn chi_squared(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
     }
     let p0 = pos_total / n_total;
     let observed = [
-        c.pos,                               // covered, target
-        c.neg(),                             // covered, non-target
-        pos_total - c.pos,                   // uncovered, target
+        c.pos,                                     // covered, target
+        c.neg(),                                   // covered, non-target
+        pos_total - c.pos,                         // uncovered, target
         (n_total - c.total) - (pos_total - c.pos), // uncovered, non-target
     ];
     let expected = [
@@ -251,7 +262,10 @@ mod tests {
     fn foil_gain_positive_when_accuracy_improves() {
         let c = CovStats::new(10.0, 20.0);
         assert!(foil_gain(c, POS0, N0) > 0.0);
-        assert_eq!(foil_gain(CovStats::new(0.0, 50.0), POS0, N0), f64::NEG_INFINITY);
+        assert_eq!(
+            foil_gain(CovStats::new(0.0, 50.0), POS0, N0),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]
@@ -325,7 +339,10 @@ mod tests {
             EvalMetric::ChiSquared,
             EvalMetric::Laplace,
         ] {
-            assert_eq!(m.score(CovStats::new(0.0, 0.0), POS0, N0), f64::NEG_INFINITY);
+            assert_eq!(
+                m.score(CovStats::new(0.0, 0.0), POS0, N0),
+                f64::NEG_INFINITY
+            );
         }
     }
 }

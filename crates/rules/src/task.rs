@@ -3,7 +3,9 @@
 use crate::condition::Condition;
 use crate::rule::Rule;
 use crate::stats::CovStats;
+use crate::view_index::ViewIndex;
 use pnr_data::{Dataset, RowSet};
+use std::sync::Arc;
 
 /// The state a sequential-covering learner threads through induction: the
 /// dataset, the *current* row set (shrinking as rules cover records), a
@@ -11,6 +13,11 @@ use pnr_data::{Dataset, RowSet};
 ///
 /// `is_pos` and `weights` are indexed by **global** row id (they never
 /// shrink), so restricting a view is just a row-set operation.
+///
+/// Each view also carries a lazily-built [`ViewIndex`] of per-attribute
+/// sorted row projections; derived views ([`Self::restricted_to`],
+/// [`Self::without`]) chain their index to the parent's so the condition
+/// search stays proportional to the view, not the dataset.
 #[derive(Debug, Clone)]
 pub struct TaskView<'a> {
     /// The underlying dataset.
@@ -21,6 +28,7 @@ pub struct TaskView<'a> {
     pub is_pos: &'a [bool],
     /// `weights[row]` — the record's training weight.
     pub weights: &'a [f64],
+    index: Arc<ViewIndex>,
     pos_weight: f64,
     total_weight: f64,
 }
@@ -35,6 +43,17 @@ impl<'a> TaskView<'a> {
     pub fn over(data: &'a Dataset, rows: RowSet, is_pos: &'a [bool], weights: &'a [f64]) -> Self {
         assert_eq!(is_pos.len(), data.n_rows());
         assert_eq!(weights.len(), data.n_rows());
+        let index = ViewIndex::root(rows.clone(), data.n_attrs());
+        Self::assemble(data, rows, is_pos, weights, index)
+    }
+
+    fn assemble(
+        data: &'a Dataset,
+        rows: RowSet,
+        is_pos: &'a [bool],
+        weights: &'a [f64],
+        index: Arc<ViewIndex>,
+    ) -> Self {
         let mut pos_weight = 0.0;
         let mut total_weight = 0.0;
         for r in rows.iter() {
@@ -44,7 +63,25 @@ impl<'a> TaskView<'a> {
                 pos_weight += w;
             }
         }
-        TaskView { data, rows, is_pos, weights, pos_weight, total_weight }
+        TaskView {
+            data,
+            rows,
+            is_pos,
+            weights,
+            index,
+            pos_weight,
+            total_weight,
+        }
+    }
+
+    /// The view's rows sorted ascending by numeric attribute `attr`, built
+    /// on first use from the nearest ancestor view's projection (or the
+    /// dataset's global sort index for a root view) and cached.
+    ///
+    /// # Panics
+    /// Panics if `attr` is categorical.
+    pub fn projection(&self, attr: usize) -> Arc<Vec<u32>> {
+        self.index.projection(self.data, attr)
     }
 
     /// Total weight of target rows in the view.
@@ -116,15 +153,20 @@ impl<'a> TaskView<'a> {
         CovStats::new(pos, total)
     }
 
-    /// A new view restricted to `rows`.
+    /// A new view restricted to `rows` (assumed ⊆ view rows); its sorted
+    /// projections derive from this view's.
     pub fn restricted_to(&self, rows: RowSet) -> TaskView<'a> {
-        TaskView::over(self.data, rows, self.is_pos, self.weights)
+        let index = self.index.derive(rows.clone());
+        TaskView::assemble(self.data, rows, self.is_pos, self.weights, index)
     }
 
     /// A new view with `rows` removed (sequential covering's "remove the
-    /// examples supported by the rule").
+    /// examples supported by the rule"); its sorted projections derive from
+    /// this view's.
     pub fn without(&self, rows: &RowSet) -> TaskView<'a> {
-        TaskView::over(self.data, self.rows.difference(rows), self.is_pos, self.weights)
+        let remaining = self.rows.difference(rows);
+        let index = self.index.derive(remaining.clone());
+        TaskView::assemble(self.data, remaining, self.is_pos, self.weights, index)
     }
 }
 
@@ -138,7 +180,8 @@ mod tests {
         b.add_attribute("x", AttrType::Numeric);
         for i in 0..6 {
             let class = if i < 2 { "pos" } else { "neg" };
-            b.push_row(&[Value::num(i as f64)], class, 1.0 + i as f64).unwrap();
+            b.push_row(&[Value::num(i as f64)], class, 1.0 + i as f64)
+                .unwrap();
         }
         let d = b.finish();
         let pos = d.class_code("pos").unwrap();
@@ -160,7 +203,10 @@ mod tests {
     fn coverage_counts_matching_rows_only() {
         let (d, is_pos, w) = setup();
         let v = TaskView::full(&d, &is_pos, &w);
-        let rule = Rule::new(vec![Condition::NumLe { attr: 0, value: 2.0 }]);
+        let rule = Rule::new(vec![Condition::NumLe {
+            attr: 0,
+            value: 2.0,
+        }]);
         let c = v.coverage(&rule);
         assert_eq!(c.pos, 3.0); // rows 0,1
         assert_eq!(c.total, 6.0); // rows 0,1,2
@@ -170,7 +216,10 @@ mod tests {
     fn without_removes_rows_and_recomputes_sums() {
         let (d, is_pos, w) = setup();
         let v = TaskView::full(&d, &is_pos, &w);
-        let covered = v.rows_matching(&Condition::NumLe { attr: 0, value: 0.0 });
+        let covered = v.rows_matching(&Condition::NumLe {
+            attr: 0,
+            value: 0.0,
+        });
         let v2 = v.without(&covered);
         assert_eq!(v2.n_rows(), 5);
         assert_eq!(v2.pos_weight(), 2.0);
@@ -199,7 +248,10 @@ mod tests {
     fn rows_matching_rule_agrees_with_condition() {
         let (d, is_pos, w) = setup();
         let v = TaskView::full(&d, &is_pos, &w);
-        let cond = Condition::NumGt { attr: 0, value: 3.0 };
+        let cond = Condition::NumGt {
+            attr: 0,
+            value: 3.0,
+        };
         let rule = Rule::new(vec![cond.clone()]);
         assert_eq!(v.rows_matching(&cond), v.rows_matching_rule(&rule));
     }

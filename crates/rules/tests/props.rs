@@ -2,10 +2,170 @@
 //! metric invariants.
 
 use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+use pnr_rules::search::find_best_condition_sequential;
 use pnr_rules::{
-    find_best_condition, CovStats, Condition, EvalMetric, Rule, SearchOptions, TaskView,
+    find_best_condition, CandidateCondition, Condition, CovStats, EvalMetric, Rule, SearchOptions,
+    TaskView,
 };
 use proptest::prelude::*;
+
+const ALL_METRICS: [EvalMetric; 7] = [
+    EvalMetric::ZNumber,
+    EvalMetric::FoilGain,
+    EvalMetric::EntropyGain,
+    EvalMetric::GainRatio,
+    EvalMetric::GiniGain,
+    EvalMetric::ChiSquared,
+    EvalMetric::Laplace,
+];
+
+/// Re-creates the search's candidate ordering by brute force: every
+/// condition's coverage is computed row-by-row with [`TaskView::coverage`],
+/// candidates are offered in the scan's order (attributes ascending;
+/// categorical codes ascending; `≤` cuts left-to-right, then `>` cuts, then
+/// the fixed-side range sweep) and ties resolve to the first best — so on
+/// unit-weight data the result must be *identical* to the scan's, condition
+/// and all.
+fn brute_force_best(
+    view: &TaskView<'_>,
+    metric: EvalMetric,
+    opts: &SearchOptions,
+) -> Option<CandidateCondition> {
+    let (pos_total, n_total) = opts
+        .context
+        .unwrap_or_else(|| (view.pos_weight(), view.total_weight()));
+    let mut best: Option<CandidateCondition> = None;
+    let mut offer = |condition: Condition, stats: CovStats, score: f64| {
+        if score.is_finite() && best.as_ref().is_none_or(|b| score > b.score) {
+            best = Some(CandidateCondition {
+                condition,
+                stats,
+                score,
+            });
+        }
+    };
+    for attr in 0..view.data.n_attrs() {
+        match view.data.schema().attr(attr).ty {
+            AttrType::Categorical => {
+                for code in 0..view.data.schema().attr(attr).dict.len() as u32 {
+                    let cond = Condition::CatEq { attr, value: code };
+                    let stats = view.coverage(&Rule::new(vec![cond.clone()]));
+                    if stats.total == 0.0 || stats.total < opts.min_support_weight {
+                        continue;
+                    }
+                    offer(cond, stats, metric.score(stats, pos_total, n_total));
+                }
+            }
+            AttrType::Numeric => {
+                // Distinct values present in the view, ascending.
+                let mut values: Vec<f64> = view
+                    .rows
+                    .iter()
+                    .map(|r| view.data.num(attr, r as usize))
+                    .collect();
+                values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                values.dedup();
+                if values.len() < 2 {
+                    continue;
+                }
+                let threshold = |i: usize| {
+                    if i + 1 < values.len() {
+                        (values[i] + values[i + 1]) / 2.0
+                    } else {
+                        values[i]
+                    }
+                };
+                let eval = |cond: &Condition| {
+                    let stats = view.coverage(&Rule::new(vec![cond.clone()]));
+                    let score = if stats.total >= opts.min_support_weight {
+                        metric.score(stats, pos_total, n_total)
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                    (stats, score)
+                };
+                // One-sided cuts, each side scanned left to right with
+                // first-best-wins, as in the scan.
+                let mut best_le: Option<(usize, f64)> = None;
+                let mut best_gt: Option<(usize, f64)> = None;
+                for i in 0..values.len() - 1 {
+                    let (_, s) = eval(&Condition::NumLe {
+                        attr,
+                        value: threshold(i),
+                    });
+                    if s.is_finite() && best_le.is_none_or(|(_, bs)| s > bs) {
+                        best_le = Some((i, s));
+                    }
+                    let (_, s) = eval(&Condition::NumGt {
+                        attr,
+                        value: threshold(i),
+                    });
+                    if s.is_finite() && best_gt.is_none_or(|(_, bs)| s > bs) {
+                        best_gt = Some((i, s));
+                    }
+                }
+                if let Some((i, s)) = best_le {
+                    let cond = Condition::NumLe {
+                        attr,
+                        value: threshold(i),
+                    };
+                    let (stats, _) = eval(&cond);
+                    offer(cond, stats, s);
+                }
+                if let Some((i, s)) = best_gt {
+                    let cond = Condition::NumGt {
+                        attr,
+                        value: threshold(i),
+                    };
+                    let (stats, _) = eval(&cond);
+                    offer(cond, stats, s);
+                }
+                if !opts.use_ranges {
+                    continue;
+                }
+                // The paper's range heuristic: fix the better one-sided
+                // bound, sweep the other side.
+                let (le_s, gt_s) = (
+                    best_le.map_or(f64::NEG_INFINITY, |(_, s)| s),
+                    best_gt.map_or(f64::NEG_INFINITY, |(_, s)| s),
+                );
+                if le_s == f64::NEG_INFINITY && gt_s == f64::NEG_INFINITY {
+                    continue;
+                }
+                if gt_s >= le_s {
+                    let (lo_idx, _) = best_gt.expect("finite gt implies candidate");
+                    for hi_idx in lo_idx + 1..values.len() - 1 {
+                        let cond = Condition::NumRange {
+                            attr,
+                            lo: threshold(lo_idx),
+                            hi: threshold(hi_idx),
+                        };
+                        let (stats, s) = eval(&cond);
+                        if stats.total < opts.min_support_weight {
+                            continue;
+                        }
+                        offer(cond, stats, s);
+                    }
+                } else {
+                    let (hi_idx, _) = best_le.expect("finite le implies candidate");
+                    for lo_idx in 0..hi_idx {
+                        let cond = Condition::NumRange {
+                            attr,
+                            lo: threshold(lo_idx),
+                            hi: threshold(hi_idx),
+                        };
+                        let (stats, s) = eval(&cond);
+                        if stats.total < opts.min_support_weight {
+                            continue;
+                        }
+                        offer(cond, stats, s);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
 
 /// A small mixed dataset from generated rows.
 fn build(rows: &[(f64, usize, bool)]) -> (Dataset, Vec<bool>) {
@@ -16,8 +176,12 @@ fn build(rows: &[(f64, usize, bool)]) -> (Dataset, Vec<bool>) {
     b.add_class("pos");
     b.add_class("neg");
     for &(x, k, pos) in rows {
-        b.push_row(&[Value::num(x), Value::cat(cats[k])], if pos { "pos" } else { "neg" }, 1.0)
-            .unwrap();
+        b.push_row(
+            &[Value::num(x), Value::cat(cats[k])],
+            if pos { "pos" } else { "neg" },
+            1.0,
+        )
+        .unwrap();
     }
     let d = b.finish();
     let flags: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
@@ -149,6 +313,85 @@ proptest! {
         if n_total > 0.0 && c.total > 0.0 {
             let g = pnr_rules::stats::entropy_gain(c, pos_total, n_total);
             prop_assert!(g >= -1e-9, "gain {g}");
+        }
+    }
+
+    #[test]
+    fn search_equals_brute_force_on_restricted_views(
+        rows in rows_strategy(),
+        midx in 0usize..ALL_METRICS.len(),
+        mask_seed in proptest::prelude::any::<u64>(),
+        use_ranges in proptest::bool::ANY,
+    ) {
+        let (d, flags) = build(&rows);
+        let metric = ALL_METRICS[midx];
+        let opts = SearchOptions { use_ranges, ..Default::default() };
+        let full = TaskView::full(&d, &flags, d.weights());
+        // A pseudo-random restriction plus a second-level restriction, so
+        // the view's sorted projections exercise the parent-chain path.
+        let keep = |salt: u64, r: u32| {
+            (mask_seed ^ salt)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(u64::from(r).wrapping_mul(1442695040888963407))
+                .count_ones()
+                % 2
+                == 0
+        };
+        let once = full.restricted_to(full.rows.filter(|r| keep(1, r)));
+        let twice = once.restricted_to(once.rows.filter(|r| keep(2, r)));
+        for view in [&full, &once, &twice] {
+            let got = find_best_condition_sequential(view, metric, &opts);
+            let want = brute_force_best(view, metric, &opts);
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    prop_assert_eq!(&g.condition, &w.condition,
+                        "metric {:?} view {} rows", metric, view.n_rows());
+                    prop_assert_eq!(g.stats, w.stats);
+                    prop_assert_eq!(g.score.to_bits(), w.score.to_bits(),
+                        "scores {} vs {}", g.score, w.score);
+                }
+                (g, w) => prop_assert!(false, "scan {g:?} vs brute {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_sequential(
+        rows in rows_strategy(),
+        weights in prop::collection::vec(0.1f64..10.0, 80),
+        midx in 0usize..ALL_METRICS.len(),
+        mask_seed in proptest::prelude::any::<u64>(),
+    ) {
+        let (d, flags) = build(&rows);
+        let w: Vec<f64> = (0..d.n_rows()).map(|r| weights[r % weights.len()]).collect();
+        let metric = ALL_METRICS[midx];
+        // parallel_min_cells 0 forces worker threads even on tiny views
+        let par = SearchOptions { parallel: true, parallel_min_cells: 0, ..Default::default() };
+        let seq = SearchOptions { parallel: false, ..Default::default() };
+        let full = TaskView::full(&d, &flags, &w);
+        let keep = |r: u32| {
+            mask_seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(u64::from(r).wrapping_mul(1442695040888963407))
+                .count_ones()
+                % 2
+                == 0
+        };
+        let sub = full.restricted_to(full.rows.filter(keep));
+        for view in [&full, &sub] {
+            let got = find_best_condition(view, metric, &par);
+            let want = find_best_condition(view, metric, &seq);
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some(s)) => {
+                    prop_assert_eq!(&g.condition, &s.condition);
+                    prop_assert_eq!(g.stats.pos.to_bits(), s.stats.pos.to_bits());
+                    prop_assert_eq!(g.stats.total.to_bits(), s.stats.total.to_bits());
+                    prop_assert_eq!(g.score.to_bits(), s.score.to_bits());
+                }
+                (g, s) => prop_assert!(false, "parallel {g:?} vs sequential {s:?}"),
+            }
         }
     }
 

@@ -80,8 +80,18 @@ impl CategoricalModelConfig {
             _ => panic!("coa index must be 1..=6, got {index}"),
         };
         CategoricalModelConfig {
-            target: CatClassSpec { na: 1, nspa: t_nspa, combos_per_sig: 2, vocab: 20 },
-            non_target: CatClassSpec { na: nt_na, nspa: nt_nspa, combos_per_sig: 2, vocab: 10 },
+            target: CatClassSpec {
+                na: 1,
+                nspa: t_nspa,
+                combos_per_sig: 2,
+                vocab: 20,
+            },
+            non_target: CatClassSpec {
+                na: nt_na,
+                nspa: nt_nspa,
+                combos_per_sig: 2,
+                vocab: 10,
+            },
         }
     }
 
@@ -99,8 +109,18 @@ impl CategoricalModelConfig {
             _ => panic!("coad index must be 1..=4, got {index}"),
         };
         CategoricalModelConfig {
-            target: CatClassSpec { na: 2, nspa: 4, combos_per_sig: 2, vocab: t_vocab },
-            non_target: CatClassSpec { na: 4, nspa: 4, combos_per_sig: 2, vocab: nt_vocab },
+            target: CatClassSpec {
+                na: 2,
+                nspa: 4,
+                combos_per_sig: 2,
+                vocab: t_vocab,
+            },
+            non_target: CatClassSpec {
+                na: 4,
+                nspa: 4,
+                combos_per_sig: 2,
+                vocab: nt_vocab,
+            },
         }
     }
 
@@ -186,20 +206,36 @@ pub fn generate(cfg: &CategoricalModelConfig, scale: &SynthScale, seed: u64) -> 
                 rng.gen_range(0..cfg.vocab_of(a))
             };
         }
-        let row: Vec<Value<'_>> =
-            word_idx.iter().map(|&wi| Value::Cat(&word_names[wi])).collect();
+        let row: Vec<Value<'_>> = word_idx
+            .iter()
+            .map(|&wi| Value::Cat(&word_names[wi]))
+            .collect();
         b.push_row(&row, class, 1.0).expect("schema fixed");
     };
 
     for i in 0..n_target {
         let s = i % cfg.target.na;
         let sig = (i / cfg.target.na) % cfg.target.nspa;
-        emit(&mut b, &mut rng, TARGET_CLASS, cfg.target_pair(s), &cfg.target, sig);
+        emit(
+            &mut b,
+            &mut rng,
+            TARGET_CLASS,
+            cfg.target_pair(s),
+            &cfg.target,
+            sig,
+        );
     }
     for i in 0..n_non_target {
         let j = i % cfg.non_target.na;
         let sig = (i / cfg.non_target.na) % cfg.non_target.nspa;
-        emit(&mut b, &mut rng, NON_TARGET_CLASS, cfg.non_target_pair(j), &cfg.non_target, sig);
+        emit(
+            &mut b,
+            &mut rng,
+            NON_TARGET_CLASS,
+            cfg.non_target_pair(j),
+            &cfg.non_target,
+            sig,
+        );
     }
     b.finish()
 }
@@ -209,7 +245,10 @@ mod tests {
     use super::*;
 
     fn small() -> SynthScale {
-        SynthScale { n_records: 5_000, target_frac: 0.01 }
+        SynthScale {
+            n_records: 5_000,
+            target_frac: 0.01,
+        }
     }
 
     #[test]
@@ -231,7 +270,12 @@ mod tests {
 
     #[test]
     fn nwps_is_the_combination_count() {
-        let spec = CatClassSpec { na: 1, nspa: 2, combos_per_sig: 2, vocab: 20 };
+        let spec = CatClassSpec {
+            na: 1,
+            nspa: 2,
+            combos_per_sig: 2,
+            vocab: 20,
+        };
         assert_eq!(spec.nwps(), 2);
     }
 
@@ -253,12 +297,26 @@ mod tests {
         for row in 0..d.n_rows() {
             if d.label(row) == c {
                 // signature words live at the front of the vocabulary
-                let w0: usize =
-                    d.cat_name(a0, row).strip_prefix('w').unwrap().parse().unwrap();
-                let w1: usize =
-                    d.cat_name(a1, row).strip_prefix('w').unwrap().parse().unwrap();
-                assert!(w0 < max_sig_word, "row {row} word {w0} not a signature word");
-                assert_eq!(w0, w1, "diagonal combination: both attributes carry the same word");
+                let w0: usize = d
+                    .cat_name(a0, row)
+                    .strip_prefix('w')
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                let w1: usize = d
+                    .cat_name(a1, row)
+                    .strip_prefix('w')
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                assert!(
+                    w0 < max_sig_word,
+                    "row {row} word {w0} not a signature word"
+                );
+                assert_eq!(
+                    w0, w1,
+                    "diagonal combination: both attributes carry the same word"
+                );
             }
         }
     }
@@ -288,8 +346,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "too small")]
     fn vocabulary_must_fit_signatures() {
-        let bad = CatClassSpec { na: 1, nspa: 100, combos_per_sig: 2, vocab: 100 };
-        let cfg = CategoricalModelConfig { target: bad, non_target: bad };
+        let bad = CatClassSpec {
+            na: 1,
+            nspa: 100,
+            combos_per_sig: 2,
+            vocab: 100,
+        };
+        let cfg = CategoricalModelConfig {
+            target: bad,
+            non_target: bad,
+        };
         generate(&cfg, &small(), 0);
     }
 

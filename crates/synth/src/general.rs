@@ -67,30 +67,45 @@ impl GeneralModelConfig {
         let width = total_width / centers.len() as f64;
         centers
             .iter()
-            .map(|&c| Peak { lo: c * self.domain - width / 2.0, width })
+            .map(|&c| Peak {
+                lo: c * self.domain - width / 2.0,
+                width,
+            })
             .collect()
     }
 
     /// C1's two conjunction signatures: `(n0 peaks, n1 peaks)` indexed by
     /// signature.
     pub fn c1_peaks(&self) -> (Vec<Peak>, Vec<Peak>) {
-        (self.peaks_at(&[0.35, 0.85], self.tr), self.peaks_at(&[0.35, 0.85], self.tr))
+        (
+            self.peaks_at(&[0.35, 0.85], self.tr),
+            self.peaks_at(&[0.35, 0.85], self.tr),
+        )
     }
 
     /// NC1's two conjunction signatures on the same attributes, at
     /// different locations.
     pub fn nc1_peaks(&self) -> (Vec<Peak>, Vec<Peak>) {
-        (self.peaks_at(&[0.15, 0.6], self.nr), self.peaks_at(&[0.15, 0.6], self.nr))
+        (
+            self.peaks_at(&[0.15, 0.6], self.nr),
+            self.peaks_at(&[0.15, 0.6], self.nr),
+        )
     }
 
     /// C2's disjunctive peaks: two on `n2`, two on `n3`.
     pub fn c2_peaks(&self) -> (Vec<Peak>, Vec<Peak>) {
-        (self.peaks_at(&[0.3, 0.8], self.tr), self.peaks_at(&[0.3, 0.8], self.tr))
+        (
+            self.peaks_at(&[0.3, 0.8], self.tr),
+            self.peaks_at(&[0.3, 0.8], self.tr),
+        )
     }
 
     /// NC2's disjunctive peaks.
     pub fn nc2_peaks(&self) -> (Vec<Peak>, Vec<Peak>) {
-        (self.peaks_at(&[0.1, 0.55], self.nr), self.peaks_at(&[0.1, 0.55], self.nr))
+        (
+            self.peaks_at(&[0.1, 0.55], self.nr),
+            self.peaks_at(&[0.1, 0.55], self.nr),
+        )
     }
 }
 
@@ -102,7 +117,10 @@ pub const N_ATTRS: usize = 8;
 
 /// Generates a `syngen` dataset. Deterministic in `seed`.
 pub fn generate(cfg: &GeneralModelConfig, scale: &SynthScale, seed: u64) -> Dataset {
-    assert!(cfg.vocab >= NC3_NSPA * WORDS_PER_SIG, "vocabulary too small");
+    assert!(
+        cfg.vocab >= NC3_NSPA * WORDS_PER_SIG,
+        "vocabulary too small"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n_target = scale.n_target();
     let n_non_target = scale.n_records - n_target;
@@ -132,53 +150,50 @@ pub fn generate(cfg: &GeneralModelConfig, scale: &SynthScale, seed: u64) -> Data
     let mut nums = [0.0f64; N_NUMERIC];
     let mut cats = [0usize; N_ATTRS - N_NUMERIC];
 
-    let mut emit = |b: &mut DatasetBuilder,
-                    rng: &mut StdRng,
-                    class: &str,
-                    subclass: usize,
-                    sig: usize| {
-        // start uniform everywhere, then overwrite the owned attributes
-        for v in nums.iter_mut() {
-            *v = rng.gen::<f64>() * cfg.domain;
-        }
-        for c in cats.iter_mut() {
-            *c = rng.gen_range(0..cfg.vocab);
-        }
-        let is_target = class == TARGET_CLASS;
-        match subclass {
-            0 => {
-                // conjunctive signature on (n0, n1)
-                let (p0, p1) = if is_target { &c1 } else { &nc1 };
-                let s = sig % 2;
-                nums[0] = p0[s].sample(cfg.shape, rng);
-                nums[1] = p1[s].sample(cfg.shape, rng);
+    let mut emit =
+        |b: &mut DatasetBuilder, rng: &mut StdRng, class: &str, subclass: usize, sig: usize| {
+            // start uniform everywhere, then overwrite the owned attributes
+            for v in nums.iter_mut() {
+                *v = rng.gen::<f64>() * cfg.domain;
             }
-            1 => {
-                // disjunctive signature: one peak on n2 OR n3
-                let (p2, p3) = if is_target { &c2 } else { &nc2 };
-                let s = sig % 4;
-                if s < 2 {
-                    nums[2] = p2[s].sample(cfg.shape, rng);
-                } else {
-                    nums[3] = p3[s - 2].sample(cfg.shape, rng);
+            for c in cats.iter_mut() {
+                *c = rng.gen_range(0..cfg.vocab);
+            }
+            let is_target = class == TARGET_CLASS;
+            match subclass {
+                0 => {
+                    // conjunctive signature on (n0, n1)
+                    let (p0, p1) = if is_target { &c1 } else { &nc1 };
+                    let s = sig % 2;
+                    nums[0] = p0[s].sample(cfg.shape, rng);
+                    nums[1] = p1[s].sample(cfg.shape, rng);
+                }
+                1 => {
+                    // disjunctive signature: one peak on n2 OR n3
+                    let (p2, p3) = if is_target { &c2 } else { &nc2 };
+                    let s = sig % 4;
+                    if s < 2 {
+                        nums[2] = p2[s].sample(cfg.shape, rng);
+                    } else {
+                        nums[3] = p3[s - 2].sample(cfg.shape, rng);
+                    }
+                }
+                _ => {
+                    // categorical word pair; nwps = 2 diagonal combinations
+                    let nspa = if is_target { C3_NSPA } else { NC3_NSPA };
+                    let pair = if is_target { (0, 1) } else { (2, 3) };
+                    let s = sig % nspa;
+                    let t = rng.gen_range(0..WORDS_PER_SIG);
+                    let word = s * WORDS_PER_SIG + t;
+                    cats[pair.0] = word;
+                    cats[pair.1] = word;
                 }
             }
-            _ => {
-                // categorical word pair; nwps = 2 diagonal combinations
-                let nspa = if is_target { C3_NSPA } else { NC3_NSPA };
-                let pair = if is_target { (0, 1) } else { (2, 3) };
-                let s = sig % nspa;
-                let t = rng.gen_range(0..WORDS_PER_SIG);
-                let word = s * WORDS_PER_SIG + t;
-                cats[pair.0] = word;
-                cats[pair.1] = word;
-            }
-        }
-        let mut row: Vec<Value<'_>> = Vec::with_capacity(N_ATTRS);
-        row.extend(nums.iter().map(|&v| Value::Num(v)));
-        row.extend(cats.iter().map(|&c| Value::Cat(word_names[c].as_str())));
-        b.push_row(&row, class, 1.0).expect("schema fixed");
-    };
+            let mut row: Vec<Value<'_>> = Vec::with_capacity(N_ATTRS);
+            row.extend(nums.iter().map(|&v| Value::Num(v)));
+            row.extend(cats.iter().map(|&c| Value::Cat(word_names[c].as_str())));
+            b.push_row(&row, class, 1.0).expect("schema fixed");
+        };
 
     for i in 0..n_target {
         emit(&mut b, &mut rng, TARGET_CLASS, i % 3, i / 3);
@@ -194,7 +209,10 @@ mod tests {
     use super::*;
 
     fn small() -> SynthScale {
-        SynthScale { n_records: 6_000, target_frac: 0.01 }
+        SynthScale {
+            n_records: 6_000,
+            target_frac: 0.01,
+        }
     }
 
     #[test]
@@ -270,8 +288,12 @@ mod tests {
                         d.cat_name(5, row),
                         "row {row}: diagonal word pair broken"
                     );
-                    let w: usize =
-                        d.cat_name(4, row).strip_prefix('w').unwrap().parse().unwrap();
+                    let w: usize = d
+                        .cat_name(4, row)
+                        .strip_prefix('w')
+                        .unwrap()
+                        .parse()
+                        .unwrap();
                     assert!(w < C3_NSPA * WORDS_PER_SIG);
                 }
                 target_idx += 1;

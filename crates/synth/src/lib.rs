@@ -59,12 +59,18 @@ impl SynthScale {
     /// The paper's training scale: 500 000 records, 0.3% target (1 500
     /// target examples).
     pub fn paper_train() -> Self {
-        SynthScale { n_records: 500_000, target_frac: 0.003 }
+        SynthScale {
+            n_records: 500_000,
+            target_frac: 0.003,
+        }
     }
 
     /// The paper's test scale: 250 000 records, 750 of them targets.
     pub fn paper_test() -> Self {
-        SynthScale { n_records: 250_000, target_frac: 0.003 }
+        SynthScale {
+            n_records: 250_000,
+            target_frac: 0.003,
+        }
     }
 
     /// A proportionally shrunk scale (for quick runs); `factor` 1.0 is the

@@ -109,8 +109,7 @@ pub fn generate(cfg: &NumericModelConfig, scale: &SynthScale, seed: u64) -> Data
     b.reserve(scale.n_records);
 
     let target_peaks: Vec<Vec<Peak>> = (0..cfg.tc).map(|s| cfg.target_peaks(s)).collect();
-    let non_target_peaks: Vec<Vec<Peak>> =
-        (0..cfg.ntc).map(|j| cfg.non_target_peaks(j)).collect();
+    let non_target_peaks: Vec<Vec<Peak>> = (0..cfg.ntc).map(|j| cfg.non_target_peaks(j)).collect();
 
     let mut values = vec![0.0f64; cfg.n_attrs()];
     let mut row_buf: Vec<Value<'_>> = Vec::with_capacity(cfg.n_attrs());
@@ -127,7 +126,8 @@ pub fn generate(cfg: &NumericModelConfig, scale: &SynthScale, seed: u64) -> Data
         }
         row_buf.clear();
         row_buf.extend(values.iter().map(|&v| Value::Num(v)));
-        b.push_row(&row_buf, TARGET_CLASS, 1.0).expect("schema fixed");
+        b.push_row(&row_buf, TARGET_CLASS, 1.0)
+            .expect("schema fixed");
     }
     for i in 0..n_non_target {
         let j = i % cfg.ntc;
@@ -142,7 +142,8 @@ pub fn generate(cfg: &NumericModelConfig, scale: &SynthScale, seed: u64) -> Data
         }
         row_buf.clear();
         row_buf.extend(values.iter().map(|&v| Value::Num(v)));
-        b.push_row(&row_buf, NON_TARGET_CLASS, 1.0).expect("schema fixed");
+        b.push_row(&row_buf, NON_TARGET_CLASS, 1.0)
+            .expect("schema fixed");
     }
     b.finish()
 }
@@ -152,7 +153,10 @@ mod tests {
     use super::*;
 
     fn small_scale() -> SynthScale {
-        SynthScale { n_records: 10_000, target_frac: 0.01 }
+        SynthScale {
+            n_records: 10_000,
+            target_frac: 0.01,
+        }
     }
 
     #[test]
@@ -218,7 +222,14 @@ mod tests {
     #[test]
     fn non_distinguishing_attributes_are_roughly_uniform() {
         let cfg = NumericModelConfig::nsyn(1);
-        let d = generate(&cfg, &SynthScale { n_records: 20_000, target_frac: 0.5 }, 4);
+        let d = generate(
+            &cfg,
+            &SynthScale {
+                n_records: 20_000,
+                target_frac: 0.5,
+            },
+            4,
+        );
         let c = d.class_code(TARGET_CLASS).unwrap();
         // attribute 1 distinguishes NC1; target rows should be uniform there
         let mut counts = [0usize; 5];
@@ -239,7 +250,10 @@ mod tests {
     #[test]
     fn generation_is_seed_deterministic() {
         let cfg = NumericModelConfig::nsyn(2);
-        let s = SynthScale { n_records: 1_000, target_frac: 0.01 };
+        let s = SynthScale {
+            n_records: 1_000,
+            target_frac: 0.01,
+        };
         let d1 = generate(&cfg, &s, 7);
         let d2 = generate(&cfg, &s, 7);
         for row in 0..d1.n_rows() {

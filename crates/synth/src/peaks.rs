@@ -73,7 +73,10 @@ impl Peak {
 /// signature geometry. Peak `k` is centred at `domain·(2k+1)/(2n)`.
 pub fn layout_peaks(n_peaks: usize, total_width: f64, domain: f64) -> Vec<Peak> {
     assert!(n_peaks > 0, "need at least one peak");
-    assert!(total_width > 0.0 && total_width < domain, "peaks must fit the domain");
+    assert!(
+        total_width > 0.0 && total_width < domain,
+        "peaks must fit the domain"
+    );
     let width = total_width / n_peaks as f64;
     assert!(
         width <= domain / n_peaks as f64,
@@ -83,7 +86,10 @@ pub fn layout_peaks(n_peaks: usize, total_width: f64, domain: f64) -> Vec<Peak> 
     (0..n_peaks)
         .map(|k| {
             let center = domain * (2 * k + 1) as f64 / (2 * n_peaks) as f64;
-            Peak { lo: center - width / 2.0, width }
+            Peak {
+                lo: center - width / 2.0,
+                width,
+            }
         })
         .collect()
 }
@@ -121,9 +127,16 @@ mod tests {
 
     #[test]
     fn samples_stay_inside_peak_for_all_shapes() {
-        let peak = Peak { lo: 10.0, width: 2.0 };
+        let peak = Peak {
+            lo: 10.0,
+            width: 2.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
-        for shape in [PeakShape::Rectangular, PeakShape::Triangular, PeakShape::Gaussian] {
+        for shape in [
+            PeakShape::Rectangular,
+            PeakShape::Triangular,
+            PeakShape::Gaussian,
+        ] {
             for _ in 0..500 {
                 let x = peak.sample(shape, &mut rng);
                 assert!(peak.contains(x), "{x} outside peak for {shape:?}");
@@ -133,7 +146,10 @@ mod tests {
 
     #[test]
     fn triangular_mass_concentrates_at_centre() {
-        let peak = Peak { lo: 0.0, width: 1.0 };
+        let peak = Peak {
+            lo: 0.0,
+            width: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let n = 10_000;
         let central = (0..n)
@@ -147,7 +163,10 @@ mod tests {
 
     #[test]
     fn rectangular_mass_is_flat() {
-        let peak = Peak { lo: 0.0, width: 1.0 };
+        let peak = Peak {
+            lo: 0.0,
+            width: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let n = 10_000;
         let central = (0..n)
@@ -160,7 +179,10 @@ mod tests {
 
     #[test]
     fn contains_is_half_open() {
-        let p = Peak { lo: 1.0, width: 1.0 };
+        let p = Peak {
+            lo: 1.0,
+            width: 1.0,
+        };
         assert!(p.contains(1.0));
         assert!(!p.contains(2.0));
     }

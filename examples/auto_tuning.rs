@@ -14,12 +14,18 @@ fn main() {
     let cfg = NumericModelConfig::nsyn(3);
     let train = pnrule::synth::numeric::generate(
         &cfg,
-        &SynthScale { n_records: 60_000, target_frac: 0.003 },
+        &SynthScale {
+            n_records: 60_000,
+            target_frac: 0.003,
+        },
         1,
     );
     let test = pnrule::synth::numeric::generate(
         &cfg,
-        &SynthScale { n_records: 30_000, target_frac: 0.003 },
+        &SynthScale {
+            n_records: 30_000,
+            target_frac: 0.003,
+        },
         2,
     );
     let target = train.class_code("C").unwrap();
@@ -46,18 +52,27 @@ fn main() {
     let wide = NumericModelConfig::nsyn(3).with_widths(2.0, 2.0);
     let wide_train = pnrule::synth::numeric::generate(
         &wide,
-        &SynthScale { n_records: 60_000, target_frac: 0.003 },
+        &SynthScale {
+            n_records: 60_000,
+            target_frac: 0.003,
+        },
         4,
     );
     let wide_test = pnrule::synth::numeric::generate(
         &wide,
-        &SynthScale { n_records: 30_000, target_frac: 0.003 },
+        &SynthScale {
+            n_records: 30_000,
+            target_frac: 0.003,
+        },
         5,
     );
     let mut rng = StdRng::seed_from_u64(3);
     let (sub_train, valid) = stratified_split(&wide_train, 0.7, &mut rng);
-    let overfit = PnruleLearner::new(PnruleParams { rn: 0.999, ..Default::default() })
-        .fit(&sub_train, target);
+    let overfit = PnruleLearner::new(PnruleParams {
+        rn: 0.999,
+        ..Default::default()
+    })
+    .fit(&sub_train, target);
     let pruned = prune_n_rules(&overfit, &sub_train, &valid, 1.0);
     println!(
         "\nN-stage pruning (nsyn3 tr=nr=2): {} -> {} N-rules, test F {:.4} -> {:.4}",
@@ -83,7 +98,11 @@ fn main() {
     let mc = MultiClassPnrule::fit(&kdd, &PnruleParams::default());
     let mut confusion = pnrule::metrics::MulticlassConfusion::new(kdd.n_classes());
     for row in 0..kdd.n_rows() {
-        confusion.record(kdd.label(row) as usize, mc.classify(&kdd, row) as usize, 1.0);
+        confusion.record(
+            kdd.label(row) as usize,
+            mc.classify(&kdd, row) as usize,
+            1.0,
+        );
     }
     println!(
         "\nmulti-class KDD (5 classes): accuracy {:.4}, per-class F:",

@@ -40,7 +40,10 @@ fn main() {
     evaluate("RIPPER", &evaluate_classifier(&rip, &test, target));
 
     let c45 = C45Learner::new(C45Params::default()).fit_rules(&train);
-    evaluate("C4.5rules", &evaluate_classifier(&c45.binary_view(target), &test, target));
+    evaluate(
+        "C4.5rules",
+        &evaluate_classifier(&c45.binary_view(target), &test, target),
+    );
 
     // --- section 4: make P-rules very general (length 1) and sweep rn ---
     println!("\nP-rule length 1 (very general presence rules), rp=0.995:");

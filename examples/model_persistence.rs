@@ -15,8 +15,13 @@ fn main() {
     for i in 0..600 {
         let bytes = (i % 50) as f64 * 10.0;
         let proto = if i % 3 == 0 { "udp" } else { "tcp" };
-        let label = if bytes < 60.0 && proto == "udp" { "anomaly" } else { "normal" };
-        b.push_row(&[Value::num(bytes), Value::cat(proto)], label, 1.0).unwrap();
+        let label = if bytes < 60.0 && proto == "udp" {
+            "anomaly"
+        } else {
+            "normal"
+        };
+        b.push_row(&[Value::num(bytes), Value::cat(proto)], label, 1.0)
+            .unwrap();
     }
     let data = b.finish();
     let csv = write_csv_string(&data, ',');
@@ -48,5 +53,8 @@ fn main() {
         assert_eq!(rip.predict(&data, row), rip2.predict(&data, row));
         assert_eq!(c45.classify(&data, row), c45_2.classify(&data, row));
     }
-    println!("all reloaded models agree with the originals on {} records", data.n_rows());
+    println!(
+        "all reloaded models agree with the originals on {} records",
+        data.n_rows()
+    );
 }

@@ -31,8 +31,13 @@ fn main() {
         } else {
             rng.gen_range(0.0..20.0)
         };
-        let label = if service == "ftp" && !flood { "r2l" } else { "other" };
-        b.push_row(&[Value::cat(service), Value::num(conn_count)], label, 1.0).unwrap();
+        let label = if service == "ftp" && !flood {
+            "r2l"
+        } else {
+            "other"
+        };
+        b.push_row(&[Value::cat(service), Value::num(conn_count)], label, 1.0)
+            .unwrap();
     }
     let data = b.finish();
     let target = data.class_code("r2l").unwrap();
@@ -49,7 +54,10 @@ fn main() {
     // the false positives in second phase"). The P-phase grabs the
     // high-support ftp signature; the N-phase removes the flood false
     // positives it inevitably captures.
-    let params = PnruleParams { max_p_rule_len: Some(1), ..Default::default() };
+    let params = PnruleParams {
+        max_p_rule_len: Some(1),
+        ..Default::default()
+    };
     let model = PnruleLearner::new(params).fit(&data, target);
     println!("\n{}", model.describe(data.schema()));
 
@@ -63,15 +71,24 @@ fn main() {
     );
 
     // Explain an individual decision.
-    let row = (0..data.n_rows()).find(|&r| data.label(r) == target).unwrap();
+    let row = (0..data.n_rows())
+        .find(|&r| data.label(r) == target)
+        .unwrap();
     let trace = model.trace(&data, row);
     println!(
         "\nrecord {row}: P-rule {:?}, N-rule {:?}, score {:.3} -> {}",
         trace.p_rule,
         trace.n_rule,
         pnr_rules::BinaryClassifier::score(&model, &data, row),
-        if model.predict(&data, row) { "r2l" } else { "other" }
+        if model.predict(&data, row) {
+            "r2l"
+        } else {
+            "other"
+        }
     );
 
-    assert!(cm.f_measure() > 0.95, "the toy task should be learned nearly perfectly");
+    assert!(
+        cm.f_measure() > 0.95,
+        "the toy task should be learned nearly perfectly"
+    );
 }

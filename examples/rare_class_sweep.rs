@@ -13,23 +13,31 @@ use rand::SeedableRng;
 
 fn main() {
     let cfg = GeneralModelConfig::default();
-    let scale = SynthScale { n_records: 60_000, target_frac: 0.003 };
+    let scale = SynthScale {
+        n_records: 60_000,
+        target_frac: 0.003,
+    };
     let full_train = pnrule::synth::general::generate(&cfg, &scale, 11);
     let full_test = pnrule::synth::general::generate(
         &cfg,
-        &SynthScale { n_records: 30_000, target_frac: 0.003 },
+        &SynthScale {
+            n_records: 30_000,
+            target_frac: 0.003,
+        },
         12,
     );
     let target = full_train.class_code("C").unwrap();
     let non_target = full_train.class_code("NC").unwrap();
 
-    println!("{:>9} {:>7} {:>10} {:>10}", "ntc-frac", "tc %", "RIPPER F", "PNrule F");
+    println!(
+        "{:>9} {:>7} {:>10} {:>10}",
+        "ntc-frac", "tc %", "RIPPER F", "PNrule F"
+    );
     for frac in [1.0, 0.1, 0.02, 0.003] {
         let mut rng = StdRng::seed_from_u64(99);
         let train = pnrule::data::subsample_class(&full_train, non_target, frac, &mut rng);
         let test = pnrule::data::subsample_class(&full_test, non_target, frac, &mut rng);
-        let tc_pct =
-            100.0 * train.class_counts()[target as usize] as f64 / train.n_rows() as f64;
+        let tc_pct = 100.0 * train.class_counts()[target as usize] as f64 / train.n_rows() as f64;
 
         let rip = RipperLearner::new(RipperParams::default()).fit(&train, target);
         let rip_f = evaluate_classifier(&rip, &test, target).f_measure();

@@ -58,8 +58,8 @@ pub mod prelude {
         PnruleParams,
     };
     pub use pnr_data::{
-        stratified_split, stratify_weights, train_test_split, AttrType, Dataset,
-        DatasetBuilder, RowSet, Value,
+        stratified_split, stratify_weights, train_test_split, AttrType, Dataset, DatasetBuilder,
+        RowSet, Value,
     };
     pub use pnr_metrics::{BinaryConfusion, PrCurve, PrfReport};
     pub use pnr_ripper::{RipperLearner, RipperParams};

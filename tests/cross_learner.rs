@@ -11,12 +11,18 @@ fn fixture() -> (Dataset, Dataset, u32) {
     let cfg = NumericModelConfig::nsyn(3);
     let train = pnrule::synth::numeric::generate(
         &cfg,
-        &SynthScale { n_records: 50_000, target_frac: 0.003 },
+        &SynthScale {
+            n_records: 50_000,
+            target_frac: 0.003,
+        },
         1,
     );
     let test = pnrule::synth::numeric::generate(
         &cfg,
-        &SynthScale { n_records: 25_000, target_frac: 0.003 },
+        &SynthScale {
+            n_records: 25_000,
+            target_frac: 0.003,
+        },
         2,
     );
     let target = train.class_code("C").unwrap();
@@ -43,7 +49,13 @@ fn all_models(train: &Dataset, target: u32) -> Vec<(&'static str, Box<dyn Binary
     vec![
         ("pnrule", Box::new(pn)),
         ("ripper", Box::new(rip)),
-        ("c45tree", Box::new(OwnedTreeView { model: tree, target })),
+        (
+            "c45tree",
+            Box::new(OwnedTreeView {
+                model: tree,
+                target,
+            }),
+        ),
     ]
 }
 
@@ -72,7 +84,10 @@ fn pnrule_wins_on_the_rare_class_fixture() {
     let (train, test, target) = fixture();
     let mut scores = std::collections::HashMap::new();
     for (name, model) in all_models(&train, target) {
-        scores.insert(name, evaluate_classifier(model.as_ref(), &test, target).f_measure());
+        scores.insert(
+            name,
+            evaluate_classifier(model.as_ref(), &test, target).f_measure(),
+        );
     }
     let pn = scores["pnrule"];
     assert!(
@@ -98,10 +113,16 @@ fn learners_are_deterministic() {
 #[test]
 fn rp_controls_recall_ceiling() {
     let (train, test, target) = fixture();
-    let low = PnruleLearner::new(PnruleParams { rp: 0.5, ..Default::default() })
-        .fit(&train, target);
-    let high = PnruleLearner::new(PnruleParams { rp: 0.99, ..Default::default() })
-        .fit(&train, target);
+    let low = PnruleLearner::new(PnruleParams {
+        rp: 0.5,
+        ..Default::default()
+    })
+    .fit(&train, target);
+    let high = PnruleLearner::new(PnruleParams {
+        rp: 0.99,
+        ..Default::default()
+    })
+    .fit(&train, target);
     let cm_low = evaluate_classifier(&low, &test, target);
     let cm_high = evaluate_classifier(&high, &test, target);
     assert!(
@@ -129,8 +150,11 @@ fn range_ablation_hurts_or_ties_on_peak_data() {
     // worse than one-sided-only search.
     let (train, test, target) = fixture();
     let with = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
-    let without = PnruleLearner::new(PnruleParams { use_ranges: false, ..Default::default() })
-        .fit(&train, target);
+    let without = PnruleLearner::new(PnruleParams {
+        use_ranges: false,
+        ..Default::default()
+    })
+    .fit(&train, target);
     let f_with = evaluate_classifier(&with, &test, target).f_measure();
     let f_without = evaluate_classifier(&without, &test, target).f_measure();
     assert!(

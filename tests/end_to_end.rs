@@ -8,11 +8,17 @@ use pnrule::synth::SynthScale;
 
 fn nsyn_pair(index: usize, n: usize, frac: f64) -> (Dataset, Dataset, u32) {
     let cfg = NumericModelConfig::nsyn(index);
-    let scale = SynthScale { n_records: n, target_frac: frac };
+    let scale = SynthScale {
+        n_records: n,
+        target_frac: frac,
+    };
     let train = pnrule::synth::numeric::generate(&cfg, &scale, 100 + index as u64);
     let test = pnrule::synth::numeric::generate(
         &cfg,
-        &SynthScale { n_records: n / 2, target_frac: frac },
+        &SynthScale {
+            n_records: n / 2,
+            target_frac: frac,
+        },
         200 + index as u64,
     );
     let target = train.class_code("C").unwrap();
@@ -33,7 +39,11 @@ fn ripper_learns_nsyn1_structure() {
     let (train, test, target) = nsyn_pair(1, 30_000, 0.01);
     let model = RipperLearner::new(RipperParams::default()).fit(&train, target);
     let cm = evaluate_classifier(&model, &test, target);
-    assert!(cm.f_measure() > 0.5, "nsyn1 RIPPER test F {}", cm.f_measure());
+    assert!(
+        cm.f_measure() > 0.5,
+        "nsyn1 RIPPER test F {}",
+        cm.f_measure()
+    );
 }
 
 #[test]
@@ -41,13 +51,20 @@ fn c45_learns_nsyn1_structure() {
     let (train, test, target) = nsyn_pair(1, 30_000, 0.01);
     let model = C45Learner::new(C45Params::default()).fit_rules(&train);
     let cm = evaluate_classifier(&model.binary_view(target), &test, target);
-    assert!(cm.f_measure() > 0.5, "nsyn1 C4.5rules test F {}", cm.f_measure());
+    assert!(
+        cm.f_measure() > 0.5,
+        "nsyn1 C4.5rules test F {}",
+        cm.f_measure()
+    );
 }
 
 #[test]
 fn pnrule_beats_na_baseline_on_categorical_model() {
     let cfg = CategoricalModelConfig::coa(1);
-    let scale = SynthScale { n_records: 20_000, target_frac: 0.01 };
+    let scale = SynthScale {
+        n_records: 20_000,
+        target_frac: 0.01,
+    };
     let train = pnrule::synth::categorical::generate(&cfg, &scale, 31);
     let test = pnrule::synth::categorical::generate(&cfg, &scale, 32);
     let target = train.class_code("C").unwrap();
@@ -86,8 +103,10 @@ fn two_phase_structure_appears_on_overlapping_signatures() {
 fn stratified_weighting_trades_precision_for_recall() {
     let (train, test, target) = nsyn_pair(3, 40_000, 0.003);
     let unit = RipperLearner::default().fit(&train, target);
-    let strat =
-        RipperLearner::default().fit(&train.with_weights(stratify_weights(&train, target)), target);
+    let strat = RipperLearner::default().fit(
+        &train.with_weights(stratify_weights(&train, target)),
+        target,
+    );
     let cm_unit = evaluate_classifier(&unit, &test, target);
     let cm_strat = evaluate_classifier(&strat, &test, target);
     assert!(
@@ -105,7 +124,10 @@ fn splits_and_training_compose() {
     let cfg = NumericModelConfig::nsyn(1);
     let all = pnrule::synth::numeric::generate(
         &cfg,
-        &SynthScale { n_records: 20_000, target_frac: 0.02 },
+        &SynthScale {
+            n_records: 20_000,
+            target_frac: 0.02,
+        },
         7,
     );
     let mut rng = StdRng::seed_from_u64(9);

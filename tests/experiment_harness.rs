@@ -5,7 +5,12 @@ use pnr_experiments::experiments;
 use pnr_experiments::CliOptions;
 
 fn tiny() -> CliOptions {
-    CliOptions { scale: 0.003, threads: 4, out_dir: "/tmp/pnr_harness_test".into(), ..Default::default() }
+    CliOptions {
+        scale: 0.003,
+        threads: 4,
+        out_dir: "/tmp/pnr_harness_test".into(),
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -47,7 +52,10 @@ fn table4_and_5_smoke() {
     // the sweep must actually raise the target proportion
     let first = &t5[0].description;
     let last = &t5[6].description;
-    assert!(first.contains("0.3%") || first.contains("0.2%") || first.contains("0.4%"), "{first}");
+    assert!(
+        first.contains("0.3%") || first.contains("0.2%") || first.contains("0.4%"),
+        "{first}"
+    );
     assert!(last.contains("5") || last.contains("4"), "{last}");
 }
 

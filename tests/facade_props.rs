@@ -10,7 +10,8 @@ fn tiny_dataset(rows: &[(f64, bool)]) -> (Dataset, u32) {
     b.add_class("pos");
     b.add_class("neg");
     for &(x, p) in rows {
-        b.push_row(&[Value::num(x)], if p { "pos" } else { "neg" }, 1.0).unwrap();
+        b.push_row(&[Value::num(x)], if p { "pos" } else { "neg" }, 1.0)
+            .unwrap();
     }
     (b.finish(), 0)
 }

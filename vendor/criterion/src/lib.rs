@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each benchmark for a fixed number of timed iterations after a
+//! short warm-up and prints mean / min wall-clock time per iteration.
+//! No statistics, plots, or saved baselines — just enough to execute
+//! `cargo bench` benchmarks and compare runs by eye. The iteration count
+//! can be tuned with `CRITERION_STANDIN_ITERS` (default 20).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn measured_iters() -> u64 {
+    std::env::var("CRITERION_STANDIN_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20)
+}
+
+/// Benchmark identifier: a function name plus a parameter, rendered as
+/// `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            samples: Vec::with_capacity(iters as usize),
+        }
+    }
+
+    /// Times `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: populate caches / lazy statics outside the timing.
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            black_box(out);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is not
+    /// counted.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.samples.push(start.elapsed());
+            black_box(out);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{id:<50} mean {mean:>12?}   min {min:>12?}   ({} iters)",
+            self.samples.len()
+        );
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, iters: u64, mut f: F) {
+    let mut bencher = Bencher::new(iters);
+    f(&mut bencher);
+    bencher.report(id);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Runs a benchmark named `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.iters, f);
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.iters, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. (No summary output in the stand-in.)
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            iters: measured_iters(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let iters = self.iters;
+        BenchmarkGroup {
+            name: name.into(),
+            iters,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.iters, f);
+        self
+    }
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion { iters: 3 };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter_with_setup(|| n, |x| x * x)
+        });
+        group.finish();
+    }
+}

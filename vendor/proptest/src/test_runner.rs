@@ -1,0 +1,295 @@
+//! Deterministic case runner with regression-seed persistence.
+
+use rand::{RngCore, SeedableRng};
+use std::any::Any;
+use std::path::{Path, PathBuf};
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed (assertion or panic).
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG handed to strategies: xoshiro256** via the vendored `rand`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Builds a generator for one case.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)` over the i128 domain (covers every
+    /// primitive integer width).
+    pub fn i128_in(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty integer range strategy");
+        let span = (hi - lo) as u128;
+        if span == 0 {
+            // Span of exactly 2^128 cannot happen for primitive widths.
+            return lo;
+        }
+        let bound = if span > u64::MAX as u128 {
+            u64::MAX
+        } else {
+            span as u64
+        };
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone || zone == 0 {
+                return lo + (v % bound) as i128;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.i128_in(lo as i128, hi as i128) as usize
+    }
+}
+
+/// FNV-1a hash used to derive deterministic seeds from identifiers.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Converts a panic payload into a printable message.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Folds the outcome of one case body (possibly panicked) into a
+/// `Result`, attaching the generated-input description to failures.
+/// Called from the `proptest!` expansion; not public API.
+pub fn settle(
+    outcome: Result<Result<(), TestCaseError>, Box<dyn Any + Send>>,
+    desc: &str,
+) -> Result<(), TestCaseError> {
+    match outcome {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(TestCaseError::Fail(msg))) => {
+            Err(TestCaseError::Fail(format!("{msg}\n  inputs: {desc}")))
+        }
+        Ok(Err(reject)) => Err(reject),
+        Err(payload) => Err(TestCaseError::Fail(format!(
+            "panic: {}\n  inputs: {desc}",
+            panic_message(payload)
+        ))),
+    }
+}
+
+/// Locates the `*.proptest-regressions` file for a test source file.
+///
+/// `file!()` paths are relative to the workspace root while tests run
+/// with the package as cwd, so the path is resolved against the manifest
+/// directory's ancestors.
+fn regression_path(manifest_dir: &str, source_file: &str) -> Option<PathBuf> {
+    let rel = Path::new(source_file).with_extension("proptest-regressions");
+    if rel.exists() {
+        return Some(rel);
+    }
+    let mut dir = Some(Path::new(manifest_dir));
+    while let Some(d) = dir {
+        let cand = d.join(&rel);
+        if cand.exists() {
+            return Some(cand);
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Where to create a fresh regressions file when a test first fails.
+fn regression_create_path(manifest_dir: &str, source_file: &str) -> Option<PathBuf> {
+    let rel = Path::new(source_file).with_extension("proptest-regressions");
+    let mut dir = Some(Path::new(manifest_dir));
+    while let Some(d) = dir {
+        let cand = d.join(&rel);
+        if cand.parent().is_some_and(Path::exists) {
+            return Some(cand);
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Parses saved seeds: `cc <hex> ...` lines. Seeds written by this
+/// stand-in are 16 hex digits and replay exactly; longer (real-proptest)
+/// seeds are re-hashed into a deterministic substitute.
+fn load_saved_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            if token.len() <= 16 {
+                u64::from_str_radix(token, 16).ok()
+            } else {
+                Some(fnv1a(token.as_bytes()))
+            }
+        })
+        .collect()
+}
+
+fn save_seed(manifest_dir: &str, source_file: &str, seed: u64, desc: &str) {
+    let path = match regression_path(manifest_dir, source_file)
+        .or_else(|| regression_create_path(manifest_dir, source_file))
+    {
+        Some(p) => p,
+        None => return,
+    };
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let line = format!("cc {seed:016x}");
+    if existing.lines().any(|l| l.trim_start().starts_with(&line)) {
+        return;
+    }
+    let mut out = existing;
+    if out.is_empty() {
+        out.push_str(
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n",
+        );
+    }
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(&format!("{line} # shrinks to {desc}\n"));
+    let _ = std::fs::write(&path, out);
+}
+
+/// Runs one property test: saved regression seeds first, then
+/// `config.cases` fresh deterministic cases.
+pub fn run<F>(config: &ProptestConfig, manifest_dir: &str, file: &str, test_name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base_seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+        Err(_) => fnv1a(format!("{file}::{test_name}").as_bytes()),
+    };
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+
+    let mut run_case = |seed: u64, saved: bool| {
+        let mut rng = TestRng::from_seed(seed);
+        match f(&mut rng) {
+            Ok(()) => true,
+            Err(TestCaseError::Reject(_)) if saved => true, // stale assumption
+            Err(TestCaseError::Reject(_)) => false,
+            Err(TestCaseError::Fail(msg)) => {
+                if !saved {
+                    // Persist before reporting so the case is pinned even
+                    // if the panic message is lost.
+                    let first_line = msg.lines().last().unwrap_or("").to_string();
+                    save_seed(manifest_dir, file, seed, &first_line);
+                }
+                panic!(
+                    "proptest stand-in: property `{test_name}` failed \
+                     (seed {seed:#018x}, {})\n{msg}",
+                    if saved {
+                        "saved regression"
+                    } else {
+                        "fresh case"
+                    },
+                );
+            }
+        }
+    };
+
+    if let Some(path) = regression_path(manifest_dir, file) {
+        for seed in load_saved_seeds(&path) {
+            run_case(seed, true);
+        }
+    }
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut i = 0u64;
+    while passed < cases {
+        let seed = base_seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left(17);
+        if run_case(seed, false) {
+            passed += 1;
+        } else {
+            rejected += 1;
+            assert!(
+                rejected <= config.max_global_rejects,
+                "proptest stand-in: too many rejected cases ({rejected}) in `{test_name}`"
+            );
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,463 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The offline build has no `syn`/`quote`, so the item is parsed directly
+//! from the `proc_macro::TokenStream`. Supported shapes cover everything
+//! the workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`: omitted on
+//!   serialize, `Default::default()` on deserialize);
+//! * unit structs and tuple structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   serde's default JSON representation).
+//!
+//! Generics are not supported — none of the workspace's serialized types
+//! use them — and the macro panics with a clear message if it meets any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => gen_struct_serialize(name, shape),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => gen_struct_deserialize(name, shape),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// True if the attribute group tokens are `serde ( ... skip ... )`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut iter = group.stream().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // attributes
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                skip = skip || attr_is_serde_skip(g);
+            }
+            i += 2;
+        }
+        // visibility
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, skip });
+        // consume trailing comma if present
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances `i` past one type, stopping at a top-level `,` (angle-bracket
+/// depth tracked manually because generics are not token groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // attributes / visibility before the type
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // variant attributes (doc comments)
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn named_fields_to_map(fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from("::serde::Content::Map(::std::vec![");
+    for f in fields.iter().filter(|f| !f.skip) {
+        code.push_str(&format!(
+            "(::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize(&{p}{n})),",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    code.push_str("])");
+    code
+}
+
+fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Content::Null".to_string(),
+        Shape::Tuple(n) => {
+            let mut code = String::from("::serde::Content::Seq(::std::vec![");
+            for idx in 0..*n {
+                code.push_str(&format!("::serde::Serialize::serialize(&self.{idx}),"));
+            }
+            code.push_str("])");
+            code
+        }
+        Shape::Named(fields) => named_fields_to_map(fields, "self."),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_from_map(type_path: &str, fields: &[Field], source: &str) -> String {
+    let mut code = format!("::std::result::Result::Ok({type_path} {{");
+    for f in fields {
+        if f.skip {
+            code.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+        } else {
+            code.push_str(&format!(
+                "{n}: ::serde::Deserialize::deserialize({src}.get(\"{n}\")\
+                 .ok_or_else(|| ::serde::DeError::new(\"missing field `{n}`\"))?)?,",
+                n = f.name,
+                src = source,
+            ));
+        }
+    }
+    code.push_str("})");
+    code
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Tuple(n) => {
+            let mut code = format!(
+                "let __seq = __content.as_seq().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected sequence for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name}("
+            );
+            for idx in 0..*n {
+                code.push_str(&format!(
+                    "::serde::Deserialize::deserialize(__seq.get({idx})\
+                     .ok_or_else(|| ::serde::DeError::new(\"sequence too short\"))?)?,"
+                ));
+            }
+            code.push_str("))");
+            code
+        }
+        Shape::Named(fields) => named_fields_from_map(name, fields, "__content"),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+            )),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let value = if *n == 1 {
+                    "::serde::Serialize::serialize(__f0)".to_string()
+                } else {
+                    let mut s = String::from("::serde::Content::Seq(::std::vec![");
+                    for b in &binds {
+                        s.push_str(&format!("::serde::Serialize::serialize({b}),"));
+                    }
+                    s.push_str("])");
+                    s
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => ::serde::Content::Map(::std::vec![\
+                     (::std::string::String::from(\"{vn}\"), {value})]),",
+                    binds = binds.join(","),
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let value = named_fields_to_map(fields, "*");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                     (::std::string::String::from(\"{vn}\"), {value})]),",
+                    binds = binds.join(","),
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ match self {{ {arms} }} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+            )),
+            Shape::Tuple(n) => {
+                let body = if *n == 1 {
+                    format!(
+                        "::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize(__value)?))"
+                    )
+                } else {
+                    let mut s = format!(
+                        "let __seq = __value.as_seq().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected sequence for `{name}::{vn}`\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn}("
+                    );
+                    for idx in 0..*n {
+                        s.push_str(&format!(
+                            "::serde::Deserialize::deserialize(__seq.get({idx})\
+                             .ok_or_else(|| ::serde::DeError::new(\"sequence too short\"))?)?,"
+                        ));
+                    }
+                    s.push_str("))");
+                    s
+                };
+                keyed_arms.push_str(&format!("\"{vn}\" => {{ {body} }},"));
+            }
+            Shape::Named(fields) => {
+                let body = named_fields_from_map(&format!("{name}::{vn}"), fields, "__value");
+                keyed_arms.push_str(&format!("\"{vn}\" => {{ {body} }},"));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __content {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown unit variant `{{__other}}` for `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__key, __value) = &__entries[0];\n\
+                         match __key.as_str() {{\n\
+                             {keyed_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"invalid content for enum `{name}`: {{__other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
