@@ -42,7 +42,7 @@ fn walk(node: &Node, path: &mut Vec<Condition>, out: &mut Vec<ClassRule>) {
             for (code, child) in children.iter().enumerate() {
                 path.push(Condition::CatEq {
                     attr: *attr,
-                    value: code as u32,
+                    value: pnr_data::index::to_u32(code, "dictionary code"),
                 });
                 walk(child, path, out);
                 path.pop();
@@ -220,7 +220,7 @@ pub fn rules_from_tree(tree: &Tree, data: &Dataset, params: &C45Params) -> C45Ru
     // Per-class subset selection.
     let n_classes = data.n_classes();
     let mut groups: Vec<ClassRuleGroup> = Vec::new();
-    for class in 0..n_classes as u32 {
+    for class in 0..pnr_data::index::to_u32(n_classes, "class count") {
         let class_rules: Vec<Rule> = deduped
             .iter()
             .filter(|cr| cr.class == class)

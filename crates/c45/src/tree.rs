@@ -115,7 +115,7 @@ pub fn majority_of(dist: &[f64]) -> u32 {
             best = i;
         }
     }
-    best as u32
+    pnr_data::index::to_u32(best, "class code")
 }
 
 /// A complete decision tree.
@@ -166,7 +166,10 @@ fn render_node(node: &Node, schema: &pnr_data::Schema, indent: usize, out: &mut 
                 out.push_str(&format!(
                     "{pad}{} = {}\n",
                     schema.attr(*attr).name,
-                    schema.attr(*attr).dict.name(code as u32)
+                    schema
+                        .attr(*attr)
+                        .dict
+                        .name(pnr_data::index::to_u32(code, "dictionary code"))
                 ));
                 render_node(child, schema, indent + 1, out);
             }
@@ -191,7 +194,7 @@ fn render_node(node: &Node, schema: &pnr_data::Schema, indent: usize, out: &mut 
 
 /// Builds an unpruned tree over every row of `data`.
 pub fn build_tree(data: &Dataset, params: &C45Params) -> Tree {
-    let rows: Vec<u32> = (0..data.n_rows() as u32).collect();
+    let rows: Vec<u32> = (0..pnr_data::index::to_u32(data.n_rows(), "row count")).collect();
     let root = build_node(data, &rows, params, 1);
     Tree {
         root,
@@ -202,7 +205,7 @@ pub fn build_tree(data: &Dataset, params: &C45Params) -> Tree {
 fn build_node(data: &Dataset, rows: &[u32], params: &C45Params, depth: usize) -> Node {
     let dist = class_weights(data, rows);
     let total: f64 = dist.iter().sum();
-    let pure = dist.contains(&total) || total == 0.0;
+    let pure = dist.contains(&total) || pnr_data::weights::approx::is_zero(total);
     if pure || total < 2.0 * params.min_objects || depth >= params.max_depth {
         return Node::Leaf { dist };
     }

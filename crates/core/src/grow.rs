@@ -151,7 +151,7 @@ pub fn grow_rule(view: &TaskView<'_>, opts: &GrowOptions) -> Option<GrownRule> {
         stats = cand.stats;
         score = cand.score;
         current = current.restricted_to(matched);
-        if stats.neg() == 0.0 {
+        if pnr_data::weights::approx::is_zero(stats.neg()) {
             // Pure rule: nothing left to refine for.
             break;
         }
@@ -269,7 +269,11 @@ mod tests {
             let y = (i / 10 % 2) as f64;
             // false positives live at x<=4; but among x<=4, y==1 rows are
             // true positives that a coarse rule would sacrifice.
-            let class = if x <= 4.0 && y == 0.0 { "fp" } else { "tp" };
+            let class = if x <= 4.0 && i / 10 % 2 == 0 {
+                "fp"
+            } else {
+                "tp"
+            };
             b.push_row(&[Value::num(x), Value::num(y)], class, 1.0)
                 .unwrap();
         }

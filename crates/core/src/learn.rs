@@ -93,7 +93,7 @@ impl PnruleLearner {
         let p_rules = RuleSet::from_rules(p_result.rules.iter().map(|p| p.rule.clone()).collect());
 
         // --- Pool every record the P-union covers. ---
-        let pooled_rows: RowSet = (0..data.n_rows() as u32)
+        let pooled_rows: RowSet = (0..pnr_data::index::to_u32(data.n_rows(), "row count"))
             .filter(|&r| p_rules.any_match(data, r as usize))
             .collect();
         let covered_pos: f64 = pooled_rows

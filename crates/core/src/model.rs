@@ -104,7 +104,7 @@ mod tests {
         for i in 0..40 {
             let x = (i % 10) as f64;
             let y = (i % 2) as f64;
-            let target = x <= 5.0 && y == 0.0;
+            let target = x <= 5.0 && i % 2 == 0;
             b.push_row(
                 &[Value::num(x), Value::num(y)],
                 if target { "pos" } else { "neg" },

@@ -40,15 +40,17 @@ impl MultiClassPnrule {
         assert_eq!(costs.len(), data.n_classes(), "one cost per class");
         assert!(costs.iter().all(|&c| c > 0.0), "costs must be positive");
         let learner = PnruleLearner::new(params.clone());
-        let models = (0..data.n_classes() as u32)
+        let models = (0..pnr_data::index::to_u32(data.n_classes(), "class count"))
             .map(|c| learner.fit(data, c))
             .collect();
         let class_weights = data.class_weights();
+        // total_cmp: class weights are finite sums of builder-validated
+        // weights, so the ordering matches partial_cmp without a panic arm.
         let default_class = class_weights
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
-            .map(|(i, _)| i as u32)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| pnr_data::index::to_u32(i, "class code"))
             .unwrap_or(0);
         MultiClassPnrule {
             models,
@@ -75,15 +77,16 @@ impl MultiClassPnrule {
     /// when no model fires at all.
     pub fn classify(&self, data: &Dataset, row: usize) -> u32 {
         let scores = self.class_scores(data, row);
-        let (best, &best_score) = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-            .expect("at least one class");
+        // total_cmp: scores are products of ScoreMatrix probabilities and
+        // positive costs, always finite.
+        let Some((best, &best_score)) = scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))
+        else {
+            return self.default_class;
+        };
         if best_score <= 0.0 {
             self.default_class
         } else {
-            best as u32
+            pnr_data::index::to_u32(best, "class code")
         }
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::grow::{grow_rule, GrowOptions, RecallGuard};
 use crate::params::PnruleParams;
+use pnr_data::weights::approx;
 use pnr_rules::mdl::{count_possible_conditions, total_dl};
 use pnr_rules::{CovStats, Rule, TaskView};
 
@@ -208,9 +209,9 @@ pub fn learn_n_rules(
             n_possible,
             &lens,
             covered,
-            (n_view_total - covered).max(0.0),
-            covered_orig.max(0.0), // sacrificed targets the N-union covers
-            (fp_total - removed_fp).max(0.0), // surviving false positives
+            approx::clamp_mass(n_view_total - covered),
+            approx::clamp_mass(covered_orig), // sacrificed targets the N-union covers
+            approx::clamp_mass(fp_total - removed_fp), // surviving false positives
         );
         result.dl_trace.push(dl);
         min_dl = min_dl.min(dl);
@@ -244,6 +245,17 @@ pub fn learn_n_rules(
         if result.stop_reason == StopReason::Exhausted {
             result.stop_reason = StopReason::MdlStop;
         }
+    }
+    // DL non-increase: the kept prefix must price within the slack of the
+    // final (untruncated) theory — `dl` still holds the last traced value.
+    #[cfg(feature = "audit")]
+    if let Some(&dl_kept) = result.dl_trace.last() {
+        pnr_data::audit::check_dl_truncation(
+            "N-phase MDL truncation",
+            dl,
+            dl_kept,
+            params.mdl_slack_bits,
+        );
     }
 
     result.retained_recall = if orig_pos_total > 0.0 {
@@ -332,7 +344,7 @@ mod tests {
         for i in 0..100 {
             let y = (i % 4) as f64;
             // y==0: 60% fp, 40% tp — impure signature
-            let class = if y == 0.0 && i % 5 < 3 { "fp" } else { "tp" };
+            let class = if i % 4 == 0 && i % 5 < 3 { "fp" } else { "tp" };
             b.push_row(&[Value::num(y)], class, 1.0).unwrap();
         }
         let d = b.finish();
@@ -359,7 +371,7 @@ mod tests {
         b.add_class("tp");
         for i in 0..100 {
             let y = (i % 4) as f64;
-            let class = if y == 0.0 && i % 5 < 3 { "fp" } else { "tp" };
+            let class = if i % 4 == 0 && i % 5 < 3 { "fp" } else { "tp" };
             b.push_row(&[Value::num(y)], class, 1.0).unwrap();
         }
         let d = b.finish();

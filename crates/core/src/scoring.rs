@@ -15,6 +15,7 @@
 //! belongs to the target class, given that a particular P-rule, N-rule
 //! combination applied to it".
 
+use pnr_data::weights::approx;
 use pnr_data::Dataset;
 use pnr_rules::RuleSet;
 use serde::{Deserialize, Serialize};
@@ -78,27 +79,32 @@ impl ScoreMatrix {
                     // The default column is the P-rule's own evidence when
                     // no N-rule fires; always use it.
                     true
-                } else if tot == 0.0 {
+                } else if approx::is_zero(tot) {
                     false
                 } else {
                     // One-sample z-test of the cell accuracy against the
                     // P-rule row accuracy. Accuracies are quotients of
                     // weight sums accumulated in different orders, so a
                     // mathematically identical cell can differ from the row
-                    // by a few ulps — compare against a small epsilon,
+                    // by a few ulps — compare against the workspace epsilon,
                     // never exactly.
-                    const EPS: f64 = 1e-9;
                     let sigma = (row_acc * (1.0 - row_acc) / tot).sqrt();
-                    if sigma < EPS {
+                    if sigma < approx::WEIGHT_EPS {
                         // Pure row (accuracy 0 or 1): any genuine deviation
                         // in the cell is significant by itself.
-                        (pos / tot - row_acc).abs() > EPS
+                        (pos / tot - row_acc).abs() > approx::WEIGHT_EPS
                     } else {
                         ((pos / tot - row_acc) / sigma).abs() >= z_threshold
                     }
                 };
                 scores[pi * width + j] = if use_raw { raw } else { row_score };
             }
+        }
+        // Every cell is a Laplace-smoothed fraction or the 0.5 prior; a
+        // value outside [0,1] means the estimate arithmetic regressed.
+        #[cfg(feature = "audit")]
+        for &s in &scores {
+            pnr_data::audit::check_probability("ScoreMatrix cell", s);
         }
         ScoreMatrix { n_p, n_n, scores }
     }

@@ -99,7 +99,9 @@ pub fn fit_auto(
             }
         }
     }
-    let (_, winner) = best.expect("non-empty grid");
+    let Some((_, winner)) = best else {
+        unreachable!("non-empty grids (asserted above) always produce a candidate")
+    };
     (PnruleLearner::new(winner.clone()).fit(data, target), winner)
 }
 

@@ -1,0 +1,51 @@
+//! Full-pipeline run with every `audit` invariant checker compiled in.
+//!
+//! A complete `fit` exercises all five checkers on honest data: subset and
+//! conservation checks on every view restriction in both phases, sorted-
+//! projection consistency on every condition search, probability bounds on
+//! every ScoreMatrix cell, and DL non-increase at the N-phase MDL
+//! truncation. The run completing without a panic is the assertion; the
+//! negative (corruption) cases live in `pnr_data::audit` unit tests and
+//! `pnr-rules/tests/audit_corruption.rs`.
+
+#![cfg(feature = "audit")]
+
+use pnr_core::{PnruleLearner, PnruleParams};
+use pnr_data::{AttrType, DatasetBuilder, Value};
+use pnr_rules::evaluate_classifier;
+
+#[test]
+fn full_fit_passes_every_audit_checker() {
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("x", AttrType::Numeric);
+    b.add_attribute("k", AttrType::Categorical);
+    b.add_class("rare");
+    b.add_class("rest");
+    for i in 0..2000 {
+        let x = (i % 50) as f64;
+        let k = match (i / 50) % 5 {
+            0 => "dos",
+            1 => "web",
+            _ => "ok",
+        };
+        let target = (20.0..24.0).contains(&x) && k != "dos";
+        b.push_row(
+            &[Value::num(x), Value::cat(k)],
+            if target { "rare" } else { "rest" },
+            1.0 + (i % 3) as f64,
+        )
+        .unwrap();
+    }
+    let data = b.finish();
+    let target = data.class_code("rare").unwrap();
+    let (model, report) =
+        PnruleLearner::new(PnruleParams::default()).fit_with_report(&data, target);
+    assert!(!model.p_rules.is_empty());
+    assert!(!report.n_dl_trace.is_empty() || model.n_rules.is_empty());
+    let cm = evaluate_classifier(&model, &data, target);
+    assert!(
+        cm.f_measure() > 0.9,
+        "audited fit degraded: F {}",
+        cm.f_measure()
+    );
+}

@@ -107,6 +107,9 @@ impl DatasetBuilder {
                 got: values.len(),
             });
         }
+        if !(weight.is_finite() && weight >= 0.0) {
+            return Err(DataError::InvalidWeight { weight });
+        }
         // Validate the whole row before mutating any column so a failed push
         // leaves the builder unchanged.
         for (attr, value) in values.iter().enumerate() {
@@ -215,6 +218,19 @@ mod tests {
             let err = b.push_row(&[Value::num(bad)], "c", 1.0).unwrap_err();
             assert!(matches!(err, DataError::NonFiniteValue { attr: 0 }));
         }
+    }
+
+    #[test]
+    fn invalid_weight_is_rejected_without_partial_write() {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+            let err = b.push_row(&[Value::num(1.0)], "c", bad).unwrap_err();
+            assert!(matches!(err, DataError::InvalidWeight { .. }), "{bad}");
+        }
+        assert_eq!(b.n_rows(), 0);
+        let d = b.finish();
+        assert!(d.column(0).is_empty());
     }
 
     #[test]

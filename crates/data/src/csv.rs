@@ -60,6 +60,13 @@ pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Dataset, DataError>
             message: "header needs at least one attribute and a class column".into(),
         });
     }
+    for (i, name) in names.iter().enumerate() {
+        if names[..i].contains(name) {
+            return Err(DataError::DuplicateAttribute {
+                name: (*name).to_string(),
+            });
+        }
+    }
     let n_attrs = names.len() - 1;
 
     // Collect raw fields first; type inference needs a full pass.
@@ -208,6 +215,13 @@ mod tests {
         let text = "x,class\n1,a\n2\n";
         let err = read_csv_str(text, &CsvOptions::default()).unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_column_name_is_error() {
+        let text = "x,x,class\n1,2,a\n";
+        let err = read_csv_str(text, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::DuplicateAttribute { .. }), "{err}");
     }
 
     #[test]

@@ -170,12 +170,10 @@ impl Dataset {
             let Column::Num(vals) = &self.columns[attr] else {
                 unreachable!()
             };
-            let mut idx: Vec<u32> = (0..vals.len() as u32).collect();
-            idx.sort_by(|&a, &b| {
-                vals[a as usize]
-                    .partial_cmp(&vals[b as usize])
-                    .expect("dataset values are finite")
-            });
+            let mut idx: Vec<u32> = (0..crate::index::to_u32(vals.len(), "row count")).collect();
+            // total_cmp: builder-validated values are finite, so this orders
+            // identically to partial_cmp without an unwrap on the NaN arm.
+            idx.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize]));
             idx
         })
     }
@@ -211,11 +209,7 @@ impl Dataset {
             let mut idx = rows.to_vec();
             // Stable sort: ties keep the caller's (ascending row id) order,
             // matching the filtered global index below.
-            idx.sort_by(|&a, &b| {
-                vals[a as usize]
-                    .partial_cmp(&vals[b as usize])
-                    .expect("dataset values are finite")
-            });
+            idx.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize]));
             idx
         } else {
             let mut mask = vec![false; n];

@@ -1,6 +1,8 @@
 //! String interning for categorical attribute values and class labels.
 
+use crate::index::to_u32;
 use serde::{Deserialize, Serialize};
+// lint:allow(nondet-iter) — lookup table only; iteration always walks `values` in code order
 use std::collections::HashMap;
 
 /// An append-only string dictionary mapping strings to dense `u32` codes.
@@ -12,6 +14,7 @@ use std::collections::HashMap;
 pub struct Dictionary {
     values: Vec<String>,
     #[serde(skip)]
+    // lint:allow(nondet-iter) — lookup table only; iteration always walks `values` in code order
     index: HashMap<String, u32>,
 }
 
@@ -26,7 +29,7 @@ impl Dictionary {
         if let Some(&code) = self.index.get(s) {
             return code;
         }
-        let code = self.values.len() as u32;
+        let code = to_u32(self.values.len(), "dictionary code");
         self.values.push(s.to_owned());
         self.index.insert(s.to_owned(), code);
         code
@@ -60,7 +63,7 @@ impl Dictionary {
         self.values
             .iter()
             .enumerate()
-            .map(|(i, v)| (i as u32, v.as_str()))
+            .map(|(i, v)| (to_u32(i, "dictionary code"), v.as_str()))
     }
 
     /// Rebuilds the lookup index from the value list. Needed after
@@ -70,7 +73,7 @@ impl Dictionary {
             .values
             .iter()
             .enumerate()
-            .map(|(i, v)| (v.clone(), i as u32))
+            .map(|(i, v)| (v.clone(), to_u32(i, "dictionary code")))
             .collect();
     }
 }

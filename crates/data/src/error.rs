@@ -26,6 +26,18 @@ pub enum DataError {
         /// Attribute index of the offending value.
         attr: usize,
     },
+    /// A row was pushed with a NaN, infinite or negative weight; weighted
+    /// coverage bookkeeping assumes finite non-negative masses.
+    InvalidWeight {
+        /// The offending weight value.
+        weight: f64,
+    },
+    /// Two columns share a name; learned rules reference attributes by
+    /// position, so ambiguous names would make models unreadable.
+    DuplicateAttribute {
+        /// The repeated column name.
+        name: String,
+    },
     /// CSV parsing failed.
     Csv {
         /// 1-based line number of the offending record.
@@ -51,6 +63,12 @@ impl fmt::Display for DataError {
             }
             DataError::NonFiniteValue { attr } => {
                 write!(f, "attribute {attr} received a non-finite numeric value")
+            }
+            DataError::InvalidWeight { weight } => {
+                write!(f, "record weight {weight} is not finite and non-negative")
+            }
+            DataError::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute name {name:?}")
             }
             DataError::Csv { line, message } => write!(f, "csv line {line}: {message}"),
             DataError::Io(e) => write!(f, "io error: {e}"),
@@ -94,6 +112,10 @@ mod tests {
         assert!(e.to_string().contains("attribute 1"));
         let e = DataError::NonFiniteValue { attr: 0 };
         assert!(e.to_string().contains("non-finite"));
+        let e = DataError::InvalidWeight { weight: -1.0 };
+        assert!(e.to_string().contains("weight -1"));
+        let e = DataError::DuplicateAttribute { name: "x".into() };
+        assert!(e.to_string().contains("duplicate"));
         let e = DataError::Csv {
             line: 7,
             message: "bad field".into(),

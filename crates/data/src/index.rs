@@ -1,0 +1,43 @@
+//! Checked narrowing for row ids and dictionary codes.
+//!
+//! Rows and interned codes are stored as `u32` throughout the workspace to
+//! halve index-memory traffic, but the conversion sites receive `usize`
+//! counts. A bare `as u32` silently truncates past 2³² and the resulting
+//! row aliasing corrupts every weighted statistic downstream, so the
+//! `lossy-cast` lint (`cargo xtask lint`) forbids the bare cast in index
+//! arithmetic; these helpers make the narrowing explicit and checked.
+
+/// Narrows `n` to `u32`, panicking with a diagnosable message on overflow.
+/// `what` names the quantity (e.g. `"row index"`) for the panic message.
+#[inline]
+pub fn to_u32(n: usize, what: &str) -> u32 {
+    match u32::try_from(n) {
+        Ok(v) => v,
+        Err(_) => panic!("{what} {n} exceeds u32::MAX"),
+    }
+}
+
+/// Checked narrowing of a row index.
+#[inline]
+pub fn row_id(row: usize) -> u32 {
+    to_u32(row, "row index")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrows_in_range_values() {
+        assert_eq!(row_id(0), 0);
+        assert_eq!(row_id(u32::MAX as usize), u32::MAX);
+        assert_eq!(to_u32(42, "code"), 42);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "row index 4294967296 exceeds u32::MAX")]
+    fn overflow_panics_with_context() {
+        let _ = row_id(u32::MAX as usize + 1);
+    }
+}

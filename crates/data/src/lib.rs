@@ -27,16 +27,19 @@
 //! assert_eq!(data.class_name(data.label(1)), "attack");
 //! ```
 
+#[cfg(feature = "audit")]
+pub mod audit;
 mod builder;
 mod csv;
 mod dataset;
 mod dict;
 mod error;
+pub mod index;
 mod rowset;
 mod schema;
 mod split;
 mod stats;
-mod weights;
+pub mod weights;
 
 pub use builder::{DatasetBuilder, Value};
 pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string, CsvOptions};

@@ -14,7 +14,7 @@ impl RowSet {
     /// The full row set `0..n`.
     pub fn all(n: usize) -> Self {
         RowSet {
-            rows: (0..n as u32).collect(),
+            rows: (0..crate::index::to_u32(n, "row count")).collect(),
         }
     }
 

@@ -1,6 +1,7 @@
 //! Train/test splitting and class subsampling.
 
 use crate::dataset::Dataset;
+use crate::index::{row_id, to_u32};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -19,7 +20,7 @@ pub fn train_test_split<R: Rng>(
         (0.0..=1.0).contains(&train_frac),
         "train_frac must be in [0,1]"
     );
-    let mut rows: Vec<u32> = (0..data.n_rows() as u32).collect();
+    let mut rows: Vec<u32> = (0..to_u32(data.n_rows(), "row count")).collect();
     rows.shuffle(rng);
     let n_train = ((data.n_rows() as f64) * train_frac).round() as usize;
     let (train_rows, test_rows) = rows.split_at(n_train.min(rows.len()));
@@ -47,7 +48,7 @@ pub fn stratified_split<R: Rng>(
     );
     let mut per_class: Vec<Vec<u32>> = vec![Vec::new(); data.n_classes()];
     for row in 0..data.n_rows() {
-        per_class[data.label(row) as usize].push(row as u32);
+        per_class[data.label(row) as usize].push(row_id(row));
     }
     let mut train_rows = Vec::new();
     let mut test_rows = Vec::new();
@@ -74,9 +75,9 @@ pub fn subsample_class<R: Rng>(data: &Dataset, class: u32, frac: f64, rng: &mut 
     let mut other_rows = Vec::new();
     for row in 0..data.n_rows() {
         if data.label(row) == class {
-            class_rows.push(row as u32);
+            class_rows.push(row_id(row));
         } else {
-            other_rows.push(row as u32);
+            other_rows.push(row_id(row));
         }
     }
     class_rows.shuffle(rng);

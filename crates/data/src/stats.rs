@@ -79,11 +79,11 @@ pub fn summarize(data: &Dataset) -> Vec<AttrSummary> {
                     for &c in codes {
                         counts[c as usize] += 1;
                     }
-                    let (mode_code, &mode_count) = counts
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, &c)| c)
-                        .expect("non-empty vocabulary");
+                    let (mode_code, &mode_count) =
+                        match counts.iter().enumerate().max_by_key(|(_, &c)| c) {
+                            Some(m) => m,
+                            None => unreachable!("non-empty dataset implies non-empty vocabulary"),
+                        };
                     AttrSummary::Categorical(CategoricalSummary {
                         name,
                         vocab,
@@ -91,7 +91,7 @@ pub fn summarize(data: &Dataset) -> Vec<AttrSummary> {
                             data.schema()
                                 .attr(a)
                                 .dict
-                                .name(mode_code as u32)
+                                .name(crate::index::to_u32(mode_code, "dictionary code"))
                                 .to_string(),
                             mode_count,
                         ),
@@ -118,7 +118,7 @@ pub fn describe(data: &Dataset) -> String {
         let _ = writeln!(
             out,
             "  class {:<12} {:>8} ({:.3}%)",
-            data.class_name(code as u32),
+            data.class_name(crate::index::to_u32(code, "class code")),
             count,
             100.0 * *count as f64 / data.n_rows() as f64
         );

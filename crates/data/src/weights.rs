@@ -2,6 +2,58 @@
 
 use crate::dataset::Dataset;
 
+pub mod approx {
+    //! Canonical epsilon policy for floating-point weight arithmetic.
+    //!
+    //! Weighted coverage statistics are sums of `f64` record weights, and
+    //! derived masses (e.g. "negatives = total − positives", pooled
+    //! false-positive residue after removal) are *differences* of such sums.
+    //! Cancellation leaves residues on the order of a few ulps, so exact
+    //! comparisons against `0.0` misclassify empty masses — both seed bugs
+    //! fixed in PR 1 were instances of this defect class. Every weight-mass
+    //! comparison in the workspace goes through these helpers; the `float-eq`
+    //! lint (`cargo xtask lint`) forbids raw `==`/`!=` against float
+    //! literals elsewhere.
+
+    /// Absolute/relative tolerance for weight-mass comparisons. Matches the
+    /// z-test epsilon introduced in `ScoreMatrix::build` by PR 1: unit-ish
+    /// record weights summed over ≤ millions of rows keep cancellation
+    /// residue far below `1e-9 · max(1, mass)`.
+    pub const WEIGHT_EPS: f64 = 1e-9;
+
+    /// True when a weight mass is empty up to cancellation residue.
+    #[inline]
+    pub fn is_zero(w: f64) -> bool {
+        // lint:allow(float-eq) — this *is* the approved comparison helper
+        w.abs() <= WEIGHT_EPS
+    }
+
+    /// True when two weight masses agree up to absolute *and* relative
+    /// tolerance (`|a − b| ≤ WEIGHT_EPS · max(1, |a|, |b|)`).
+    #[inline]
+    pub fn approx_eq(a: f64, b: f64) -> bool {
+        // lint:allow(float-eq) — this *is* the approved comparison helper
+        (a - b).abs() <= WEIGHT_EPS * a.abs().max(b.abs()).max(1.0)
+    }
+
+    /// Clamps cancellation residue on a derived weight mass to zero. A mass
+    /// computed as a difference of sums (e.g. exception mass of a pure rule)
+    /// may come out a few ulps negative; a *materially* negative mass is a
+    /// bookkeeping bug, so debug builds assert it stays within tolerance.
+    #[inline]
+    pub fn clamp_mass(w: f64) -> f64 {
+        debug_assert!(
+            w >= -WEIGHT_EPS * w.abs().max(1.0),
+            "weight mass {w} is materially negative, not cancellation residue"
+        );
+        if w < 0.0 {
+            0.0
+        } else {
+            w
+        }
+    }
+}
+
 /// Sum of all record weights.
 pub fn total_weight(data: &Dataset) -> f64 {
     data.weights().iter().sum()

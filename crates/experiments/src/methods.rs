@@ -140,6 +140,7 @@ mod tests {
     fn pnrule_grid_has_four_combos() {
         let grid = pnrule_variant_grid();
         assert_eq!(grid.len(), 4);
+        // lint:allow(float-eq) — grid constants round-trip verbatim
         assert!(grid.iter().any(|p| p.rp == 0.99 && p.rn == 0.7));
     }
 

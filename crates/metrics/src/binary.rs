@@ -1,5 +1,6 @@
 //! Weighted binary confusion matrix and derived rates.
 
+use pnr_data::weights::approx;
 use serde::{Deserialize, Serialize};
 
 /// A weighted 2×2 confusion matrix for a binary (target vs rest) task.
@@ -88,7 +89,7 @@ impl BinaryConfusion {
         let p = self.precision();
         let b2 = beta * beta;
         let denom = b2 * p + r;
-        if denom == 0.0 {
+        if approx::is_zero(denom) {
             0.0
         } else {
             (1.0 + b2) * p * r / denom
@@ -118,7 +119,7 @@ impl BinaryConfusion {
 
 #[inline]
 fn ratio(num: f64, den: f64) -> f64 {
-    if den == 0.0 {
+    if approx::is_zero(den) {
         0.0
     } else {
         num / den

@@ -9,6 +9,7 @@
 //! the huge negative class).
 
 use crate::binary::PrfReport;
+use pnr_data::weights::approx;
 
 /// One operating point of a scored classifier.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,11 +44,11 @@ impl PrCurve {
             .filter(|(_, p, _)| *p)
             .map(|(_, _, w)| w)
             .sum();
-        if pos_total == 0.0 || scored.is_empty() {
+        if approx::is_zero(pos_total) || scored.is_empty() {
             return PrCurve::default();
         }
-        // descending by score
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        // descending by score (total_cmp: scores were asserted finite above)
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut points = Vec::new();
         let mut tp = 0.0;
         let mut fp = 0.0;
@@ -65,8 +66,12 @@ impl PrCurve {
                 i += 1;
             }
             let recall = tp / pos_total;
-            let precision = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
-            let f = if recall + precision == 0.0 {
+            let precision = if approx::is_zero(tp + fp) {
+                0.0
+            } else {
+                tp / (tp + fp)
+            };
+            let f = if approx::is_zero(recall + precision) {
                 0.0
             } else {
                 2.0 * recall * precision / (recall + precision)

@@ -1,6 +1,7 @@
 //! Weighted multiclass confusion matrix.
 
 use crate::binary::BinaryConfusion;
+use pnr_data::weights::approx;
 use serde::{Deserialize, Serialize};
 
 /// A weighted `k × k` confusion matrix. `cell(actual, predicted)` holds the
@@ -52,7 +53,7 @@ impl MulticlassConfusion {
     pub fn accuracy(&self) -> f64 {
         let correct: f64 = (0..self.n_classes).map(|c| self.cell(c, c)).sum();
         let total = self.total();
-        if total == 0.0 {
+        if approx::is_zero(total) {
             0.0
         } else {
             correct / total

@@ -74,7 +74,7 @@ mod tests {
     use super::*;
 
     fn rep(r: f64, p: f64) -> PrfReport {
-        let f = if r + p == 0.0 {
+        let f = if pnr_data::weights::approx::is_zero(r + p) {
             0.0
         } else {
             2.0 * r * p / (r + p)

@@ -1,12 +1,13 @@
 //! IREP* rule pruning.
 
+use pnr_data::weights::approx;
 use pnr_rules::{Rule, TaskView};
 
 /// IREP*'s pruning value `v* = (p − n) / (p + n)` of a rule on the prune
 /// split, where `p`/`n` are the covered positive/negative weights. Empty
 /// coverage scores 0 (equivalent to a coin flip).
 pub fn prune_value(p: f64, n: f64) -> f64 {
-    if p + n == 0.0 {
+    if approx::is_zero(p + n) {
         0.0
     } else {
         (p - n) / (p + n)

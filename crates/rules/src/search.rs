@@ -20,6 +20,7 @@
 use crate::condition::Condition;
 use crate::stats::{CovStats, EvalMetric};
 use crate::task::TaskView;
+use pnr_data::weights::approx;
 use pnr_data::Column;
 
 /// Options controlling condition search.
@@ -148,7 +149,11 @@ pub fn find_best_condition(
                     break;
                 }
                 let cand = search_attribute(view, attr, metric, opts, pos_total, n_total);
-                *slots[attr].lock().expect("search worker poisoned a slot") = cand;
+                // Poison recovery is sound: each slot is written by exactly
+                // one worker, and a panicked worker re-panics at scope join.
+                *slots[attr]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = cand;
             });
         }
     });
@@ -157,7 +162,10 @@ pub fn find_best_condition(
     // exactly as in the sequential scan.
     let mut best = Best::default();
     for slot in slots {
-        if let Some(c) = slot.into_inner().expect("search worker poisoned a slot") {
+        if let Some(c) = slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             best.offer(c.condition, c.stats, c.score);
         }
     }
@@ -230,7 +238,7 @@ fn search_categorical(
         }
     }
     for code in 0..n_values {
-        if tot[code] == 0.0 || tot[code] < opts.min_support_weight {
+        if approx::is_zero(tot[code]) || tot[code] < opts.min_support_weight {
             continue;
         }
         let stats = CovStats::new(pos[code], tot[code]);
@@ -238,7 +246,7 @@ fn search_categorical(
         best.offer(
             Condition::CatEq {
                 attr,
-                value: code as u32,
+                value: pnr_data::index::to_u32(code, "dictionary code"),
             },
             stats,
             score,
@@ -304,18 +312,15 @@ fn build_boundaries(view: &TaskView<'_>, attr: usize) -> Boundaries {
     for &r in sorted.iter() {
         let v = view.data.num(attr, r as usize);
         let w = view.weights[r as usize];
+        cum_tot += w;
+        if view.is_pos[r as usize] {
+            cum_pos += w;
+        }
         if b.values.last() == Some(&v) {
-            cum_tot += w;
-            if view.is_pos[r as usize] {
-                cum_pos += w;
-            }
-            *b.cum_pos.last_mut().expect("non-empty") = cum_pos;
-            *b.cum_tot.last_mut().expect("non-empty") = cum_tot;
+            let last = b.values.len() - 1;
+            b.cum_pos[last] = cum_pos;
+            b.cum_tot[last] = cum_tot;
         } else {
-            cum_tot += w;
-            if view.is_pos[r as usize] {
-                cum_pos += w;
-            }
             b.values.push(v);
             b.cum_pos.push(cum_pos);
             b.cum_tot.push(cum_tot);
@@ -339,10 +344,8 @@ fn search_numeric(
         // A constant attribute offers no split.
         return;
     }
-    let all = CovStats::new(
-        *b.cum_pos.last().expect("non-empty"),
-        *b.cum_tot.last().expect("non-empty"),
-    );
+    // b.len() >= 2 was checked above, so the last boundary exists.
+    let all = CovStats::new(b.cum_pos[b.len() - 1], b.cum_tot[b.len() - 1]);
 
     // One-sided scan. The last boundary is excluded for `≤` (covers all) and
     // for `>` (covers nothing).
@@ -400,8 +403,9 @@ fn search_numeric(
         return;
     }
     if gt_score >= le_score {
-        // Best one-sided is `A > v_lo`: fix lo, scan hi to the right.
-        let (lo_idx, _) = best_gt.expect("gt_score finite implies candidate");
+        // Best one-sided is `A > v_lo` (a finite gt_score implies the
+        // candidate exists): fix lo, scan hi to the right.
+        let Some((lo_idx, _)) = best_gt else { return };
         for hi_idx in lo_idx + 1..b.len() - 1 {
             let stats = b.interval(Some(lo_idx), hi_idx);
             if stats.total < opts.min_support_weight {
@@ -419,8 +423,9 @@ fn search_numeric(
             );
         }
     } else {
-        // Best one-sided is `A ≤ v_hi`: fix hi, scan lo to the left.
-        let (hi_idx, _) = best_le.expect("le_score finite implies candidate");
+        // Best one-sided is `A ≤ v_hi` (a finite le_score implies the
+        // candidate exists): fix hi, scan lo to the left.
+        let Some((hi_idx, _)) = best_le else { return };
         for lo_idx in 0..hi_idx {
             let stats = b.interval(Some(lo_idx), hi_idx);
             if stats.total < opts.min_support_weight {

@@ -6,6 +6,7 @@
 //! a rule covers, positive as well as negative"), and the same two numbers
 //! for the data the rule is being evaluated against (`pos_total`, `n_total`).
 
+use pnr_data::weights::approx;
 use serde::{Deserialize, Serialize};
 
 /// Weighted coverage of a candidate rule or condition.
@@ -34,7 +35,7 @@ impl CovStats {
 
     /// The rule's accuracy `pos / total` (0 on empty coverage).
     pub fn accuracy(&self) -> f64 {
-        if self.total == 0.0 {
+        if approx::is_zero(self.total) {
             0.0
         } else {
             self.pos / self.total
@@ -97,7 +98,7 @@ pub fn z_number(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
     }
     let p0 = pos_total / n_total;
     let sigma0 = (p0 * (1.0 - p0)).sqrt();
-    if sigma0 == 0.0 {
+    if approx::is_zero(sigma0) {
         // Degenerate prior (all-positive or all-negative data): no
         // candidate can beat or trail it; every rule is equally scored.
         return 0.0;
@@ -108,7 +109,7 @@ pub fn z_number(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
 /// FOIL gain: `pos · (log₂(pos/total) − log₂(pos₀/total₀))` with the usual
 /// +1 smoothing on the accuracy terms to tolerate empty coverage.
 pub fn foil_gain(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
-    if c.pos == 0.0 {
+    if approx::is_zero(c.pos) {
         // No positives covered: the gain is defined as 0 at best, and we
         // want such candidates ranked below any that covers a positive.
         return f64::NEG_INFINITY;
@@ -152,7 +153,7 @@ pub fn gain_ratio(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
     }
     let w_in = c.total / n_total;
     let split_info = entropy(w_in);
-    if split_info == 0.0 {
+    if approx::is_zero(split_info) {
         return 0.0;
     }
     entropy_gain(c, pos_total, n_total) / split_info

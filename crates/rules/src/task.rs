@@ -106,7 +106,7 @@ impl<'a> TaskView<'a> {
 
     /// Fraction of view weight that is target weight (the prior `p₀`).
     pub fn prior(&self) -> f64 {
-        if self.total_weight == 0.0 {
+        if pnr_data::weights::approx::is_zero(self.total_weight) {
             0.0
         } else {
             self.pos_weight / self.total_weight
@@ -156,6 +156,12 @@ impl<'a> TaskView<'a> {
     /// A new view restricted to `rows` (assumed ⊆ view rows); its sorted
     /// projections derive from this view's.
     pub fn restricted_to(&self, rows: RowSet) -> TaskView<'a> {
+        #[cfg(feature = "audit")]
+        pnr_data::audit::check_subset(
+            "TaskView::restricted_to",
+            rows.as_slice(),
+            self.rows.as_slice(),
+        );
         let index = self.index.derive(rows.clone());
         TaskView::assemble(self.data, rows, self.is_pos, self.weights, index)
     }
@@ -166,7 +172,21 @@ impl<'a> TaskView<'a> {
     pub fn without(&self, rows: &RowSet) -> TaskView<'a> {
         let remaining = self.rows.difference(rows);
         let index = self.index.derive(remaining.clone());
-        TaskView::assemble(self.data, remaining, self.is_pos, self.weights, index)
+        let child = TaskView::assemble(self.data, remaining, self.is_pos, self.weights, index);
+        // Weight conservation: the child's masses plus the removed rows'
+        // masses must reproduce this view's. Fires when `rows` was not a
+        // subset of the view, or when a bookkeeping change breaks the sums.
+        #[cfg(feature = "audit")]
+        {
+            let removed = self.coverage_of_rows(rows);
+            pnr_data::audit::check_split_conservation(
+                "TaskView::without",
+                (self.pos_weight, self.total_weight),
+                (child.pos_weight, child.total_weight),
+                (removed.pos, removed.total),
+            );
+        }
+        child
     }
 }
 

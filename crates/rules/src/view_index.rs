@@ -77,14 +77,26 @@ impl ViewIndex {
                         },
                     }
                 };
-                Arc::new(match source {
+                let proj = match source {
                     Some(p) => p
                         .iter()
                         .copied()
                         .filter(|&r| self.rows.contains(r))
                         .collect::<Vec<u32>>(),
                     None => data.sorted_projection(attr, self.rows.as_slice()),
-                })
+                };
+                // Fires when a derived view's rows are not a subset of its
+                // ancestor's (the filter then silently drops rows) or a
+                // build path breaks the value-then-row ordering.
+                #[cfg(feature = "audit")]
+                pnr_data::audit::check_sorted_projection(
+                    "ViewIndex::projection",
+                    data,
+                    attr,
+                    self.rows.as_slice(),
+                    &proj,
+                );
+                Arc::new(proj)
             })
             .clone()
     }

@@ -1,0 +1,77 @@
+//! Proof that the `audit` invariant checkers fire end-to-end.
+//!
+//! Each corruption test violates a documented precondition of a view
+//! operation and asserts the compiled-in checker panics with its context
+//! string. A companion test runs the same operations *correctly* to show
+//! the checkers stay silent on honest call sequences. The checkers
+//! themselves have direct unit tests in `pnr_data::audit`.
+
+#![cfg(feature = "audit")]
+
+use pnr_data::{AttrType, Dataset, DatasetBuilder, RowSet, Value};
+use pnr_rules::{TaskView, ViewIndex};
+
+fn dataset(n: usize) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("x", AttrType::Numeric);
+    b.add_class("pos");
+    b.add_class("neg");
+    for i in 0..n {
+        let class = if i % 3 == 0 { "pos" } else { "neg" };
+        b.push_row(&[Value::num((i % 7) as f64)], class, 1.0 + (i % 4) as f64)
+            .unwrap();
+    }
+    b.finish()
+}
+
+fn flags_and_weights(d: &Dataset) -> (Vec<bool>, Vec<f64>) {
+    let pos = d.class_code("pos").unwrap();
+    let is_pos = (0..d.n_rows()).map(|r| d.label(r) == pos).collect();
+    (is_pos, d.weights().to_vec())
+}
+
+#[test]
+#[should_panic(expected = "audit: TaskView::restricted_to")]
+fn restricting_to_foreign_rows_is_caught() {
+    let d = dataset(20);
+    let (is_pos, w) = flags_and_weights(&d);
+    let v = TaskView::over(&d, RowSet::from_vec(vec![0, 2, 4, 6]), &is_pos, &w);
+    // row 5 is not in the view: the subset checker must refuse
+    let _ = v.restricted_to(RowSet::from_vec(vec![0, 5]));
+}
+
+#[test]
+#[should_panic(expected = "audit: TaskView::without")]
+fn removing_foreign_rows_breaks_conservation() {
+    let d = dataset(20);
+    let (is_pos, w) = flags_and_weights(&d);
+    let v = TaskView::over(&d, RowSet::from_vec(vec![0, 2, 4, 6]), &is_pos, &w);
+    // rows 1 and 3 carry weight but are not in the view, so
+    // parent ≠ kept + removed and the conservation checker fires
+    let _ = v.without(&RowSet::from_vec(vec![0, 1, 3]));
+}
+
+#[test]
+#[should_panic(expected = "audit: ViewIndex::projection")]
+fn deriving_with_foreign_rows_corrupts_the_projection() {
+    let d = dataset(20);
+    let parent = ViewIndex::root(RowSet::from_vec(vec![0, 2, 4, 6, 8]), d.n_attrs());
+    let _ = parent.projection(&d, 0); // materialise the ancestor source
+                                      // rows 1 and 3 are not in the parent: the filtered projection silently
+                                      // drops them, and the consistency checker catches the length mismatch
+    let child = parent.derive(RowSet::from_vec(vec![0, 1, 3, 4]));
+    let _ = child.projection(&d, 0);
+}
+
+#[test]
+fn honest_view_operations_stay_silent_under_audit() {
+    let d = dataset(60);
+    let (is_pos, w) = flags_and_weights(&d);
+    let v = TaskView::full(&d, &is_pos, &w);
+    let _ = v.projection(0);
+    let sub = v.restricted_to(RowSet::from_vec((0..60).filter(|r| r % 2 == 0).collect()));
+    let _ = sub.projection(0);
+    let smaller = sub.without(&RowSet::from_vec(vec![0, 4, 8]));
+    let _ = smaller.projection(0);
+    assert_eq!(smaller.n_rows(), 27);
+}

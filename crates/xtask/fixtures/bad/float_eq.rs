@@ -1,0 +1,33 @@
+//! Every line marked BAD must produce exactly one `float-eq` finding.
+
+pub fn zero_check(w: f64) -> bool {
+    w == 0.0 // BAD
+}
+
+pub fn not_one(w: f64) -> bool {
+    w != 1.0 // BAD
+}
+
+pub fn exp_form(w: f64) -> bool {
+    w == 1e-9 // BAD
+}
+
+pub fn literal_left(w: f64) -> bool {
+    0.5 == w // BAD
+}
+
+pub fn negative_literal(w: f64) -> bool {
+    w == -1.0 // BAD
+}
+
+pub fn suffixed(w: f64) -> bool {
+    w != 2.5f64 // BAD
+}
+
+#[cfg(test)]
+mod tests {
+    // float-eq applies in test scope too
+    pub fn asserted(w: f64) {
+        assert!(w == 0.25); // BAD
+    }
+}

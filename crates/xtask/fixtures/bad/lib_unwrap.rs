@@ -1,0 +1,18 @@
+//! Every line marked BAD must produce exactly one `lib-unwrap` finding.
+
+pub fn direct(x: Option<u32>) -> u32 {
+    x.unwrap() // BAD
+}
+
+pub fn with_message(x: Option<u32>) -> u32 {
+    x.expect("present") // BAD
+}
+
+pub fn chained(x: Option<Option<u32>>) -> u32 {
+    x.unwrap().unwrap() // BAD  (two findings)
+}
+
+#[cfg(not(test))]
+pub fn not_test_is_library(x: Option<u32>) -> u32 {
+    x.unwrap() // BAD
+}

@@ -1,0 +1,21 @@
+//! Every line marked BAD must produce exactly one `lossy-cast` finding.
+
+pub fn row_id(row: usize) -> u32 {
+    row as u32 // BAD
+}
+
+pub fn tiny(row: usize) -> u8 {
+    row as u8 // BAD
+}
+
+pub fn signed(delta: i64) -> i32 {
+    delta as i32 // BAD
+}
+
+pub fn in_range_loop(n: usize) -> u32 {
+    (0..n as u32).sum() // BAD
+}
+
+pub fn short(code: u64) -> u16 {
+    code as u16 // BAD
+}

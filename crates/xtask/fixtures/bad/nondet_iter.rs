@@ -1,0 +1,13 @@
+//! Every line marked BAD must produce `nondet-iter` findings (one per
+//! HashMap/HashSet token).
+
+use std::collections::HashMap; // BAD
+use std::collections::HashSet; // BAD
+
+pub fn build() -> HashMap<u32, f64> { // BAD
+    HashMap::new() // BAD
+}
+
+pub fn dedupe(rows: &[u32]) -> HashSet<u32> { // BAD
+    rows.iter().copied().collect::<HashSet<u32>>() // BAD
+}

@@ -1,0 +1,34 @@
+//! Nothing here may produce a `float-eq` finding.
+
+pub fn int_compare(n: u32) -> bool {
+    n == 0
+}
+
+pub fn var_compare(a: f64, b: f64) -> bool {
+    a == b // not flagged: no literal operand (approx_eq is still preferred)
+}
+
+pub fn named_constant(s: f64) -> bool {
+    s == f64::NEG_INFINITY
+}
+
+pub fn ordering(w: f64) -> bool {
+    w >= 0.0 && w < 1.0
+}
+
+pub fn range_not_float(n: usize) -> usize {
+    (0..n).sum()
+}
+
+pub fn allowed(w: f64) -> bool {
+    w == 0.0 // lint:allow(float-eq) — fixture-approved exact comparison
+}
+
+pub fn in_string() -> &'static str {
+    "w == 0.0"
+}
+
+// a comment mentioning w == 1.0 is not code
+pub fn in_comment(w: f64) -> f64 {
+    w
+}

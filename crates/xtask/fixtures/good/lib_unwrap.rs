@@ -1,0 +1,41 @@
+//! Nothing here may produce a `lib-unwrap` finding.
+
+pub fn fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+pub fn lazy_fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 0)
+}
+
+pub fn defaulted(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+pub fn matched(x: Option<u32>) -> u32 {
+    match x {
+        Some(v) => v,
+        None => 0,
+    }
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(lib-unwrap) — fixture-approved panic
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn tests_may_panic(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+
+    #[test]
+    fn a_test() {
+        assert_eq!(Some(3).expect("three"), 3);
+    }
+}
+
+#[test]
+fn bare_test_attribute() {
+    Some(1).unwrap();
+}

@@ -1,0 +1,26 @@
+//! Nothing here may produce a `lossy-cast` finding.
+
+pub fn widen(row: u32) -> usize {
+    row as usize
+}
+
+pub fn to_float(row: u32) -> f64 {
+    row as f64
+}
+
+pub fn checked(row: usize) -> u32 {
+    u32::try_from(row).unwrap_or(u32::MAX)
+}
+
+pub use std::collections::BTreeMap as Map;
+
+pub fn allowed(row: usize) -> u32 {
+    row as u32 // lint:allow(lossy-cast) — fixture-approved narrowing
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn tests_may_cast(row: usize) -> u32 {
+        row as u32
+    }
+}

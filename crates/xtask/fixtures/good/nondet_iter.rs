@@ -1,0 +1,35 @@
+//! Nothing here may produce a `nondet-iter` finding.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn build() -> BTreeMap<u32, f64> {
+    BTreeMap::new()
+}
+
+pub fn dedupe(rows: &[u32]) -> BTreeSet<u32> {
+    rows.iter().copied().collect()
+}
+
+pub fn sorted_vec(mut rows: Vec<u32>) -> Vec<u32> {
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+use std::collections::HashMap; // lint:allow(nondet-iter) — lookup table only
+
+pub struct Interner {
+    // lint:allow(nondet-iter) — iteration always walks `values` in order
+    index: HashMap<String, u32>,
+    values: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    pub fn tests_may_hash(rows: &[u32]) -> HashSet<u32> {
+        rows.iter().copied().collect()
+    }
+}

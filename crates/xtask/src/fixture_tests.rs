@@ -1,0 +1,96 @@
+//! Fixture-driven lint tests.
+//!
+//! Each `fixtures/bad/<rule>.rs` file marks every offending line with a
+//! `// BAD` comment; the test asserts the rule fires on exactly that line
+//! set (and nowhere else). Each `fixtures/good/<rule>.rs` file must be
+//! silent under *all* rules.
+
+use crate::lints::{lint_file, ALL_RULES};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn fixture(kind: &str, rule_file: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(kind)
+        .join(rule_file);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn marked_lines(source: &str) -> BTreeSet<usize> {
+    source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("// BAD"))
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+/// Asserts `rule` fires on exactly the `// BAD` lines of its bad fixture,
+/// with `expected_total` findings overall (lines may fire more than once).
+fn assert_bad_fixture(rule: &'static str, file: &str, expected_total: usize) {
+    let source = fixture("bad", file);
+    let marked = marked_lines(&source);
+    assert!(!marked.is_empty(), "fixture {file} has no BAD markers");
+    let findings = lint_file(file, &source, &[rule]);
+    let fired: BTreeSet<usize> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(
+        fired, marked,
+        "{rule}: fired lines != BAD-marked lines in {file}"
+    );
+    assert!(findings.iter().all(|f| f.rule == rule));
+    assert_eq!(findings.len(), expected_total, "{rule}: finding count");
+}
+
+#[test]
+fn float_eq_bad_fixture_fires_on_every_marked_line() {
+    assert_bad_fixture("float-eq", "float_eq.rs", 7);
+}
+
+#[test]
+fn lib_unwrap_bad_fixture_fires_on_every_marked_line() {
+    // the chained line carries two findings
+    assert_bad_fixture("lib-unwrap", "lib_unwrap.rs", 5);
+}
+
+#[test]
+fn nondet_iter_bad_fixture_fires_on_every_marked_line() {
+    assert_bad_fixture("nondet-iter", "nondet_iter.rs", 6);
+}
+
+#[test]
+fn lossy_cast_bad_fixture_fires_on_every_marked_line() {
+    assert_bad_fixture("lossy-cast", "lossy_cast.rs", 5);
+}
+
+#[test]
+fn good_fixtures_are_silent_under_every_rule() {
+    for file in [
+        "float_eq.rs",
+        "lib_unwrap.rs",
+        "nondet_iter.rs",
+        "lossy_cast.rs",
+    ] {
+        let source = fixture("good", file);
+        let findings = lint_file(file, &source, &ALL_RULES);
+        assert!(
+            findings.is_empty(),
+            "good fixture {file} produced findings:\n{}",
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_are_silent_for_unrelated_rules() {
+    // e.g. the lossy-cast fixture contains no float comparisons
+    let source = fixture("bad", "lossy_cast.rs");
+    assert!(lint_file("lossy_cast.rs", &source, &["float-eq"]).is_empty());
+    let source = fixture("bad", "float_eq.rs");
+    assert!(lint_file("float_eq.rs", &source, &["lossy-cast"]).is_empty());
+}

@@ -1,0 +1,406 @@
+//! A minimal Rust lexer: just enough token structure for the repo lints.
+//!
+//! `syn` is the usual tool for this job, but the workspace builds fully
+//! offline against vendored stand-ins, so the lexer is hand-rolled. It
+//! understands comments (nested block comments included), string/char
+//! literals (raw strings with hash fences too), numeric literals with the
+//! float/int distinction the `float-eq` lint depends on, identifiers and
+//! multi-character operators. Everything it does not care about becomes a
+//! one-character punctuation token.
+
+/// What a token is, as far as the lints care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`foo`, `as`, `unwrap`).
+    Ident,
+    /// Floating-point literal (`1.0`, `1e9`, `3.14f64`, `1.`).
+    Float,
+    /// Integer literal (`42`, `0x1e9`, `1_000u32`).
+    Int,
+    /// Operator or punctuation (`==`, `!=`, `.`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// The token's kind.
+    pub kind: Kind,
+    /// The token text (operators keep their full spelling).
+    pub text: String,
+}
+
+/// The lex of one file: the token stream plus every `lint:allow(rule)`
+/// directive found in comments, as `(line, rule)` pairs.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `// lint:allow(<rule>)` directives by comment line.
+    pub allows: Vec<(usize, String)>,
+}
+
+/// Multi-character operators, longest first so matching is greedy.
+const OPS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+]; // lint:allow(nondet-iter) — const array, not a hash container
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Extracts every `lint:allow(<rule>)` occurrence in a comment body.
+fn scan_allows(comment: &str, line: usize, out: &mut Vec<(usize, String)>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        let tail = &rest[pos + "lint:allow(".len()..];
+        if let Some(end) = tail.find(')') {
+            out.push((line, tail[..end].trim().to_string()));
+            rest = &tail[end..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// Lexes `source` into tokens and allow-directives. Unterminated constructs
+/// (string, block comment) consume to end of input rather than erroring:
+/// the lints prefer a partial token stream over refusing the file.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // comments
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            let at_line = line;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let body: String = chars[start..i].iter().collect();
+            scan_allows(&body, at_line, &mut out.allows);
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let at_line = line;
+            let mut depth = 1;
+            bump!();
+            bump!();
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                } else {
+                    bump!();
+                }
+            }
+            let body: String = chars[start..i.min(n)].iter().collect();
+            scan_allows(&body, at_line, &mut out.allows);
+            continue;
+        }
+        // raw strings: r"..."  r#"..."#  br##"..."##  — identifiers that
+        // merely start with r/b (rows, break) fall through to ident lexing
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            let mut hashes = 0;
+            if j < n && chars[j] == 'r' {
+                j += 1;
+                while j + hashes < n && chars[j + hashes] == '#' {
+                    hashes += 1;
+                }
+            } else {
+                j = n + 1; // not a raw string
+            }
+            if j + hashes < n && chars[j + hashes] == '"' {
+                while i < j + hashes {
+                    bump!();
+                }
+                bump!(); // opening quote
+                while i < n {
+                    if chars[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            bump!();
+                            for _ in 0..hashes {
+                                bump!();
+                            }
+                            break;
+                        }
+                    }
+                    bump!();
+                }
+                continue;
+            }
+        }
+        // ordinary / byte strings
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            if c == 'b' {
+                bump!();
+            }
+            bump!(); // opening quote
+            while i < n && chars[i] != '"' {
+                if chars[i] == '\\' && i + 1 < n {
+                    bump!();
+                }
+                bump!();
+            }
+            if i < n {
+                bump!(); // closing quote
+            }
+            continue;
+        }
+        // char literal vs lifetime
+        if c == '\'' {
+            let is_lifetime =
+                i + 1 < n && is_ident_start(chars[i + 1]) && !(i + 2 < n && chars[i + 2] == '\'');
+            bump!();
+            if is_lifetime {
+                while i < n && is_ident_continue(chars[i]) {
+                    bump!();
+                }
+            } else {
+                while i < n && chars[i] != '\'' {
+                    if chars[i] == '\\' && i + 1 < n {
+                        bump!();
+                    }
+                    bump!();
+                }
+                if i < n {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // numbers
+        if c.is_ascii_digit() {
+            let at_line = line;
+            let start = i;
+            let mut kind = Kind::Int;
+            if c == '0' && i + 1 < n && matches!(chars[i + 1], 'x' | 'o' | 'b') {
+                i += 2;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+                // fractional part: `.` makes a float unless it starts a
+                // range (`0..n`) or a method call (`1.max(x)`)
+                if i < n && chars[i] == '.' {
+                    let next = chars.get(i + 1).copied();
+                    let is_range = next == Some('.');
+                    let is_method = next.map(is_ident_start).unwrap_or(false);
+                    if !is_range && !is_method {
+                        kind = Kind::Float;
+                        i += 1;
+                        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // exponent: `1e9`, `1.5e-3`
+                if i < n && matches!(chars[i], 'e' | 'E') {
+                    let mut j = i + 1;
+                    if j < n && matches!(chars[j], '+' | '-') {
+                        j += 1;
+                    }
+                    if j < n && chars[j].is_ascii_digit() {
+                        kind = Kind::Float;
+                        i = j;
+                        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // type suffix: `1.0f64`, `42u32`
+                let suffix_start = i;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let suffix: String = chars[suffix_start..i].iter().collect();
+                if suffix.starts_with("f32") || suffix.starts_with("f64") {
+                    kind = Kind::Float;
+                }
+            }
+            out.tokens.push(Token {
+                line: at_line,
+                kind,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // identifiers and keywords
+        if is_ident_start(c) {
+            let at_line = line;
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                line: at_line,
+                kind: Kind::Ident,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // multi-character operators, greedily
+        let mut matched = false;
+        for op in OPS {
+            let len = op.len();
+            if i + len <= n && chars[i..i + len].iter().collect::<String>() == *op {
+                out.tokens.push(Token {
+                    line,
+                    kind: Kind::Punct,
+                    text: op.to_string(),
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Token {
+            line,
+            kind: Kind::Punct,
+            text: c.to_string(),
+        });
+        bump!();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let toks = kinds("1.0 1e9 1.5e-3 3.14f64 1. 42 0x1e9 1_000 2f32 0..n 1.max(x)");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.0", "1e9", "1.5e-3", "3.14f64", "1.", "2f32"]);
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, ["42", "0x1e9", "1_000", "0", "1"]);
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Punct && t == ".."));
+        assert!(toks.iter().all(|(k, _)| *k != Kind::Float));
+    }
+
+    #[test]
+    fn comments_and_strings_are_skipped() {
+        let toks = kinds("a /* 1.0 == 2.0 */ b // x == 1.0\n\"c == 1.0\" 'x' d");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["a", "b", "d"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["a", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds("a r#\"1.0 == \"2.0\"\"# b r\"x\" c");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|(_, t)| t == "str"));
+        assert!(toks.iter().any(|(_, t)| t == "char"));
+    }
+
+    #[test]
+    fn operators_lex_greedily() {
+        let toks = kinds("a == b != c => d");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "=>"]);
+    }
+
+    #[test]
+    fn allow_directives_are_collected() {
+        let lexed = lex("let x = 1.0; // lint:allow(float-eq) — approved helper\nlet y = 2;\n// lint:allow(nondet-iter)\n");
+        assert_eq!(
+            lexed.allows,
+            vec![(1, "float-eq".to_string()), (3, "nondet-iter".to_string())]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let lexed = lex("a\n/* two\nlines */\nb\n\"str\nacross\"\nc");
+        let by_text: Vec<(usize, &str)> = lexed
+            .tokens
+            .iter()
+            .map(|t| (t.line, t.text.as_str()))
+            .collect();
+        assert_eq!(by_text, [(1, "a"), (4, "b"), (7, "c")]);
+    }
+}

@@ -1,0 +1,348 @@
+//! The four repo-specific lints, run over the token stream of one file.
+//!
+//! | rule          | fires on                                              |
+//! |---------------|-------------------------------------------------------|
+//! | `float-eq`    | `==` / `!=` with a float-literal operand              |
+//! | `lib-unwrap`  | `.unwrap()` / `.expect(` in library (non-test) code   |
+//! | `nondet-iter` | `HashMap` / `HashSet` in learner code paths           |
+//! | `lossy-cast`  | bare `as` narrowing to u8/u16/u32/i8/i16/i32          |
+//!
+//! Test scope — any item under a `#[test]` or `#[cfg(test)]` attribute —
+//! is exempt from `lib-unwrap`, `nondet-iter` and `lossy-cast` (tests may
+//! panic and may cast freely); `float-eq` applies everywhere because exact
+//! float assertions in tests are how PR 1's seed bugs slipped in. A finding
+//! is suppressed by a `// lint:allow(<rule>)` comment on the same line or
+//! the line directly above.
+
+use crate::lexer::{lex, Kind, Token};
+
+/// Names of every lint rule, in report order.
+pub const ALL_RULES: [&str; 4] = ["float-eq", "lib-unwrap", "nondet-iter", "lossy-cast"];
+
+/// One diagnostic: a rule firing at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path (or fixture label) of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Integer types an `as` cast may silently truncate row/code arithmetic to.
+const NARROW_INT_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Marks every token inside a `#[test]`- or `#[cfg(test)]`-attributed item.
+///
+/// The attribute's following item ends at the first `;` seen before any
+/// block opens, otherwise at the matching `}` of the first `{` — which
+/// covers `use`/`const` declarations, functions and whole `mod tests`
+/// blocks. `#[cfg(not(test))]` does *not* mark test scope.
+fn test_scope_mask(tokens: &[Token]) -> Vec<bool> {
+    let n = tokens.len();
+    let mut mask = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        if tokens[i].text != "#" || i + 1 >= n || tokens[i + 1].text != "[" {
+            i += 1;
+            continue;
+        }
+        // collect the attribute body up to its matching `]`
+        let attr_start = i;
+        let mut j = i + 1;
+        let mut bracket_depth = 0;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < n {
+            match tokens[j].text.as_str() {
+                "[" => bracket_depth += 1,
+                "]" => {
+                    bracket_depth -= 1;
+                    if bracket_depth == 0 {
+                        break;
+                    }
+                }
+                "test" if tokens[j].kind == Kind::Ident => has_test = true,
+                "not" if tokens[j].kind == Kind::Ident => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j + 1;
+            continue;
+        }
+        // skip any further attributes, then span the item itself
+        let mut k = j + 1;
+        while k + 1 < n && tokens[k].text == "#" && tokens[k + 1].text == "[" {
+            let mut depth = 0;
+            k += 1;
+            while k < n {
+                match tokens[k].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut brace_depth = 0;
+        let mut end = k;
+        while end < n {
+            match tokens[end].text.as_str() {
+                ";" if brace_depth == 0 => break,
+                "{" => brace_depth += 1,
+                "}" => {
+                    brace_depth -= 1;
+                    if brace_depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        for m in mask.iter_mut().take((end + 1).min(n)).skip(attr_start) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Lints `source` (labelled `file` in diagnostics) with the given subset of
+/// [`ALL_RULES`]. Directives and test-scope exemptions are applied here, so
+/// callers get only reportable findings.
+pub fn lint_file(file: &str, source: &str, rules: &[&str]) -> Vec<Finding> {
+    let lexed = lex(source);
+    let tokens = &lexed.tokens;
+    let n = tokens.len();
+    let in_test = test_scope_mask(tokens);
+    let want = |r: &str| rules.contains(&r);
+    let mut findings = Vec::new();
+    let mut push = |line: usize, rule: &'static str, msg: String| {
+        let allowed = lexed
+            .allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line));
+        if !allowed {
+            findings.push(Finding {
+                file: file.to_string(),
+                line,
+                rule,
+                msg,
+            });
+        }
+    };
+
+    for i in 0..n {
+        let t = &tokens[i];
+        match t.kind {
+            Kind::Punct if want("float-eq") && (t.text == "==" || t.text == "!=") => {
+                let left_float = i > 0 && tokens[i - 1].kind == Kind::Float;
+                let mut j = i + 1;
+                if j < n && tokens[j].text == "-" {
+                    j += 1; // unary minus: `== -1.0`
+                }
+                let right_float = j < n && tokens[j].kind == Kind::Float;
+                if left_float || right_float {
+                    push(
+                        t.line,
+                        "float-eq",
+                        format!(
+                            "exact float comparison `{}` against a float literal; \
+                             use pnr_data::weights::approx (is_zero / approx_eq)",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            Kind::Ident
+                if want("lib-unwrap")
+                    && !in_test[i]
+                    && (t.text == "unwrap" || t.text == "expect")
+                    && i > 0
+                    && tokens[i - 1].text == "."
+                    && i + 1 < n
+                    && tokens[i + 1].text == "(" =>
+            {
+                push(
+                    t.line,
+                    "lib-unwrap",
+                    format!(
+                        "`.{}()` in library code; return a typed error or use a \
+                         non-panicking pattern (`let … else`, `match`, `total_cmp`)",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+        if t.kind == Kind::Ident
+            && want("nondet-iter")
+            && !in_test[i]
+            && (t.text == "HashMap" || t.text == "HashSet")
+        {
+            push(
+                t.line,
+                "nondet-iter",
+                format!(
+                    "`{}` iteration order is nondeterministic and can leak into rule \
+                     ordering; use a Vec/BTreeMap or annotate lookup-only use",
+                    t.text
+                ),
+            );
+        }
+        if t.kind == Kind::Ident
+            && want("lossy-cast")
+            && !in_test[i]
+            && t.text == "as"
+            && i + 1 < n
+            && tokens[i + 1].kind == Kind::Ident
+            && NARROW_INT_TYPES.contains(&tokens[i + 1].text.as_str())
+        {
+            push(
+                t.line,
+                "lossy-cast",
+                format!(
+                    "bare `as {}` narrowing can silently truncate; use \
+                     pnr_data::index::to_u32 or TryFrom",
+                    tokens[i + 1].text
+                ),
+            );
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(src: &str, rules: &[&str]) -> Vec<(&'static str, usize)> {
+        lint_file("t.rs", src, rules)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn float_eq_fires_on_literal_comparisons() {
+        assert_eq!(
+            rules_fired("fn f(x: f64) -> bool { x == 0.0 }", &ALL_RULES),
+            [("float-eq", 1)]
+        );
+        assert_eq!(
+            rules_fired("fn f(x: f64) -> bool { 1e-9 != x }", &ALL_RULES),
+            [("float-eq", 1)]
+        );
+        assert_eq!(
+            rules_fired("fn f(x: f64) -> bool { x == -1.0 }", &ALL_RULES),
+            [("float-eq", 1)]
+        );
+    }
+
+    #[test]
+    fn float_eq_ignores_int_and_var_comparisons() {
+        assert!(rules_fired("fn f(x: u32) -> bool { x == 0 }", &ALL_RULES).is_empty());
+        assert!(rules_fired("fn f(a: f64, b: f64) -> bool { a == b }", &ALL_RULES).is_empty());
+        assert!(rules_fired(
+            "fn f(x: f64) -> bool { x == f64::NEG_INFINITY }",
+            &ALL_RULES
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn float_eq_applies_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(x: f64) { assert!(x == 1.0); }\n}";
+        assert_eq!(rules_fired(src, &ALL_RULES), [("float-eq", 3)]);
+    }
+
+    #[test]
+    fn lib_unwrap_fires_outside_tests_only() {
+        let lib = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(rules_fired(lib, &["lib-unwrap"]), [("lib-unwrap", 1)]);
+        let test = "#[cfg(test)]\nmod tests {\n fn t(x: Option<u32>) -> u32 { x.unwrap() }\n}";
+        assert!(rules_fired(test, &["lib-unwrap"]).is_empty());
+        let test_fn = "#[test]\nfn t() { Some(1).expect(\"x\"); }";
+        assert!(rules_fired(test_fn, &["lib-unwrap"]).is_empty());
+    }
+
+    #[test]
+    fn lib_unwrap_ignores_unwrap_or_family() {
+        assert!(
+            rules_fired("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }", &ALL_RULES).is_empty()
+        );
+        assert!(rules_fired(
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }",
+            &ALL_RULES
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_scope() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(rules_fired(src, &["lib-unwrap"]), [("lib-unwrap", 2)]);
+    }
+
+    #[test]
+    fn nondet_iter_fires_on_hash_containers() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let fired = rules_fired(src, &["nondet-iter"]);
+        assert_eq!(fired.len(), 3);
+        assert!(fired.iter().all(|(r, _)| *r == "nondet-iter"));
+    }
+
+    #[test]
+    fn lossy_cast_fires_on_narrowing_only() {
+        assert_eq!(
+            rules_fired("fn f(x: usize) -> u32 { x as u32 }", &["lossy-cast"]),
+            [("lossy-cast", 1)]
+        );
+        assert!(rules_fired("fn f(x: u32) -> usize { x as usize }", &["lossy-cast"]).is_empty());
+        assert!(rules_fired("fn f(x: u32) -> f64 { x as f64 }", &["lossy-cast"]).is_empty());
+        assert!(rules_fired("use foo as bar;", &["lossy-cast"]).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let same = "fn f(x: f64) -> bool { x == 0.0 } // lint:allow(float-eq)";
+        assert!(rules_fired(same, &ALL_RULES).is_empty());
+        let above = "// lint:allow(float-eq)\nfn f(x: f64) -> bool { x == 0.0 }";
+        assert!(rules_fired(above, &ALL_RULES).is_empty());
+        let wrong_rule = "// lint:allow(lib-unwrap)\nfn f(x: f64) -> bool { x == 0.0 }";
+        assert_eq!(rules_fired(wrong_rule, &ALL_RULES), [("float-eq", 2)]);
+        let too_far = "// lint:allow(float-eq)\n\nfn f(x: f64) -> bool { x == 0.0 }";
+        assert_eq!(rules_fired(too_far, &ALL_RULES), [("float-eq", 3)]);
+    }
+
+    #[test]
+    fn rule_selection_is_respected() {
+        let src = "fn f(x: Option<f64>) -> bool { x.unwrap() == 0.0 }";
+        assert_eq!(rules_fired(src, &["float-eq"]), [("float-eq", 1)]);
+        assert_eq!(rules_fired(src, &["lib-unwrap"]), [("lib-unwrap", 1)]);
+        assert_eq!(rules_fired(src, &ALL_RULES).len(), 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! `cargo xtask lint` — the repo-specific lint driver.
+//!
+//! Walks every workspace crate's `src/` tree (plus the facade's root
+//! `src/`), runs the token-level lints from [`lints`] with per-crate rule
+//! scopes, and prints one `path:line: [rule] message` diagnostic per
+//! finding. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+//!
+//! Rule scopes (see DESIGN.md "Static analysis & invariants"):
+//! - `float-eq`    — every crate except `xtask` itself
+//! - `lib-unwrap`  — pnr-data, pnr-rules, pnr-core (the library core)
+//! - `nondet-iter` — the learner path: data, rules, core, ripper, c45
+//! - `lossy-cast`  — row/code arithmetic: data, metrics, rules, core,
+//!   ripper, c45
+//!
+//! `tests/`, `benches/`, `examples/`, `fixtures/`, `vendor/` and `target/`
+//! are never walked; `#[cfg(test)]` items inside `src/` are exempted per
+//! rule by the lint layer.
+
+mod lexer;
+mod lints;
+
+#[cfg(test)]
+mod fixture_tests;
+
+use lints::Finding;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose non-test code must not panic via `.unwrap()`/`.expect()`.
+const LIB_UNWRAP_CRATES: [&str; 3] = ["data", "rules", "core"];
+/// Crates on the learner path where iteration order feeds rule ordering.
+const NONDET_ITER_CRATES: [&str; 5] = ["data", "rules", "core", "ripper", "c45"];
+/// Crates doing row-index/code arithmetic.
+const LOSSY_CAST_CRATES: [&str; 6] = ["data", "metrics", "rules", "core", "ripper", "c45"];
+
+/// The rules that apply to one repo-relative `.rs` path; empty = skip file.
+fn rules_for(rel: &str) -> Vec<&'static str> {
+    let rel = rel.replace('\\', "/");
+    if !rel.ends_with(".rs") {
+        return Vec::new();
+    }
+    // the facade crate's src/ at the repo root
+    if let Some(rest) = rel.strip_prefix("src/") {
+        if !rest.contains('/') || rest.starts_with("bin/") {
+            return vec!["float-eq"];
+        }
+    }
+    let Some(rest) = rel.strip_prefix("crates/") else {
+        return Vec::new();
+    };
+    let Some((krate, tail)) = rest.split_once('/') else {
+        return Vec::new();
+    };
+    if !tail.starts_with("src/") {
+        return Vec::new(); // tests/, benches/, fixtures/, examples/
+    }
+    let mut rules = Vec::new();
+    if krate != "xtask" {
+        rules.push("float-eq");
+    }
+    if LIB_UNWRAP_CRATES.contains(&krate) {
+        rules.push("lib-unwrap");
+    }
+    if NONDET_ITER_CRATES.contains(&krate) {
+        rules.push("nondet-iter");
+    }
+    if LOSSY_CAST_CRATES.contains(&krate) {
+        rules.push("lossy-cast");
+    }
+    rules
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping directories the
+/// lints never apply to.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    const SKIP_DIRS: [&str; 6] = [
+        "target", "vendor", "fixtures", "tests", "benches", "examples",
+    ];
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`; returns all findings.
+fn run_lints(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        let rules = rules_for(&rel);
+        if rules.is_empty() {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(lints::lint_file(&rel, &source, &rules));
+    }
+    Ok(findings)
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = match args.get(1) {
+                Some(p) => PathBuf::from(p),
+                None => workspace_root(),
+            };
+            match run_lints(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    eprintln!("xtask lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    eprintln!("xtask lint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: IO error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [workspace-root]");
+            eprintln!("rules: {}", lints::ALL_RULES.join(", "));
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_mapping_per_crate() {
+        assert_eq!(
+            rules_for("crates/data/src/weights.rs"),
+            ["float-eq", "lib-unwrap", "nondet-iter", "lossy-cast"]
+        );
+        assert_eq!(
+            rules_for("crates/metrics/src/binary.rs"),
+            ["float-eq", "lossy-cast"]
+        );
+        assert_eq!(
+            rules_for("crates/ripper/src/prune.rs"),
+            ["float-eq", "nondet-iter", "lossy-cast"]
+        );
+        assert_eq!(rules_for("crates/synth/src/peaks.rs"), ["float-eq"]);
+        assert_eq!(rules_for("src/lib.rs"), ["float-eq"]);
+    }
+
+    #[test]
+    fn out_of_scope_paths_get_no_rules() {
+        assert!(rules_for("crates/xtask/src/main.rs").is_empty());
+        assert!(rules_for("crates/xtask/fixtures/bad/float_eq.rs").is_empty());
+        assert!(rules_for("crates/rules/tests/audit_corruption.rs").is_empty());
+        assert!(rules_for("crates/bench/benches/search.rs").is_empty());
+        assert!(rules_for("vendor/rand/src/lib.rs").is_empty());
+        assert!(rules_for("crates/data/src/notes.md").is_empty());
+    }
+
+    #[test]
+    fn workspace_lint_is_clean() {
+        let findings = run_lints(&workspace_root()).expect("workspace walk");
+        assert!(
+            findings.is_empty(),
+            "workspace has lint findings:\n{}",
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

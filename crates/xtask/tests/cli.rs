@@ -1,0 +1,81 @@
+//! End-to-end exit-code contract of the `xtask` binary:
+//! 0 = clean tree, 1 = findings, 2 = usage error.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn xtask() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+}
+
+/// Builds a throwaway workspace-shaped tree under `CARGO_TARGET_TMPDIR`.
+fn scratch_tree(name: &str, source: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src = root.join("crates/data/src");
+    std::fs::create_dir_all(&src).expect("mkdir scratch tree");
+    std::fs::write(src.join("lib.rs"), source).expect("write scratch lib.rs");
+    root
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = scratch_tree("xtask-clean", "pub fn ok(w: f64) -> bool { w > 0.0 }\n");
+    let status = xtask()
+        .args(["lint", root.to_str().unwrap()])
+        .status()
+        .expect("run xtask");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn findings_exit_one_and_print_diagnostics() {
+    let root = scratch_tree(
+        "xtask-dirty",
+        "pub fn bad(w: f64) -> bool { w == 0.0 }\npub fn also(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let out = xtask()
+        .args(["lint", root.to_str().unwrap()])
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/data/src/lib.rs:1: [float-eq]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/data/src/lib.rs:2: [lib-unwrap]"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn unknown_command_exits_two() {
+    let status = xtask().arg("frobnicate").status().expect("run xtask");
+    assert_eq!(status.code(), Some(2));
+}
+
+#[test]
+fn missing_command_exits_two() {
+    let status = xtask().status().expect("run xtask");
+    assert_eq!(status.code(), Some(2));
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // CARGO_MANIFEST_DIR = crates/xtask → repo root is two levels up
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = xtask()
+        .args(["lint", root.to_str().unwrap()])
+        .output()
+        .expect("run xtask");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace lint not clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
