@@ -12,7 +12,10 @@
 //!   `R` would push retained recall of the original target class below the
 //!   user's lower limit `rn` (the [`RecallGuard`]).
 
-use pnr_rules::{find_best_condition, CovStats, EvalMetric, Rule, SearchOptions, TaskView};
+use pnr_rules::{
+    find_best_condition, BudgetTracker, CovStats, EvalMetric, Rule, SearchOptions, TaskView,
+};
+use std::sync::Arc;
 
 /// The N-phase's recall guard (section 2.2): forces further refinement of a
 /// rule whose acceptance as-is would cost too much recall.
@@ -66,6 +69,10 @@ pub struct GrowOptions {
     /// the original target class is its **negative** coverage
     /// (`stats.neg()`).
     pub recall_guard: Option<RecallGuard>,
+    /// Optional training-budget tracker: the grow loop stops (keeping the
+    /// conditions accepted so far) when the budget's deadline passes or
+    /// its candidate limit fires inside the condition search.
+    pub budget: Option<Arc<BudgetTracker>>,
 }
 
 impl GrowOptions {
@@ -78,6 +85,7 @@ impl GrowOptions {
             use_ranges,
             min_improvement: 0.02,
             recall_guard: None,
+            budget: None,
         }
     }
 }
@@ -102,6 +110,7 @@ pub fn grow_rule(view: &TaskView<'_>, opts: &GrowOptions) -> Option<GrownRule> {
         use_ranges: opts.use_ranges,
         min_support_weight: opts.min_support_weight,
         context: Some(ctx),
+        budget: opts.budget.clone(),
         ..Default::default()
     };
 
@@ -115,6 +124,11 @@ pub fn grow_rule(view: &TaskView<'_>, opts: &GrowOptions) -> Option<GrownRule> {
     const ABSOLUTE_MAX_LEN: usize = 64;
     loop {
         if rule.len() >= opts.max_len.unwrap_or(ABSOLUTE_MAX_LEN) {
+            break;
+        }
+        if opts.budget.as_ref().is_some_and(|b| !b.check_deadline()) {
+            // Budget exhausted mid-growth: the conditions accepted so far
+            // still form a valid (coarser) rule, so keep them.
             break;
         }
         let Some(cand) = find_best_condition(&current, opts.metric, &search) else {

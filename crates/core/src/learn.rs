@@ -1,12 +1,13 @@
 //! The end-to-end PNrule learner.
 
 use crate::model::PnruleModel;
-use crate::nphase::{learn_n_rules, StopReason};
+use crate::nphase::{learn_n_rules_with_budget, StopReason};
 use crate::params::PnruleParams;
-use crate::pphase::learn_p_rules;
+use crate::pphase::learn_p_rules_with_budget;
 use crate::scoring::ScoreMatrix;
 use pnr_data::{Dataset, RowSet};
 use pnr_rules::{CovStats, RuleSet, TaskView};
+use std::sync::Arc;
 
 /// Diagnostics of one `fit`: what each phase did and why it stopped.
 #[derive(Debug, Clone)]
@@ -24,6 +25,8 @@ pub struct FitReport {
     pub n_rule_stats: Vec<CovStats>,
     /// Retained recall after the N-phase.
     pub retained_recall: f64,
+    /// Why the P-phase's covering loop stopped.
+    pub p_stop_reason: StopReason,
     /// Why the N-phase's covering loop stopped.
     pub n_stop_reason: StopReason,
     /// Number of accepted N-rules the MDL truncation dropped afterwards.
@@ -31,6 +34,15 @@ pub struct FitReport {
     /// Description length after each accepted N-rule (element 0 = empty
     /// N-theory).
     pub n_dl_trace: Vec<f64>,
+}
+
+impl FitReport {
+    /// True when either phase stopped because the training budget ran
+    /// out; the returned model is a valid, scoreable truncation.
+    pub fn budget_exhausted(&self) -> bool {
+        self.p_stop_reason == StopReason::BudgetExhausted
+            || self.n_stop_reason == StopReason::BudgetExhausted
+    }
 }
 
 /// Learns a [`PnruleModel`] for one target class: P-phase, pooling, N-phase
@@ -88,8 +100,12 @@ impl PnruleLearner {
         let view = TaskView::full(data, is_pos, weights);
         let orig_pos_total = view.pos_weight();
 
+        // One budget tracker spans the whole fit: P-phase rules and
+        // candidates spend from the same pool the N-phase draws on.
+        let budget = self.params.budget.start().map(Arc::new);
+
         // --- P-phase: presence rules, high support first. ---
-        let p_result = learn_p_rules(&view, &self.params);
+        let p_result = learn_p_rules_with_budget(&view, &self.params, budget.as_ref());
         let p_rules = RuleSet::from_rules(p_result.rules.iter().map(|p| p.rule.clone()).collect());
 
         // --- Pool every record the P-union covers. ---
@@ -109,7 +125,13 @@ impl PnruleLearner {
             if self.params.enable_n_phase && !p_rules.is_empty() {
                 let flipped: Vec<bool> = is_pos.iter().map(|&p| !p).collect();
                 let pooled = TaskView::over(data, pooled_rows, &flipped, weights);
-                let n_result = learn_n_rules(&pooled, orig_pos_total, covered_pos, &self.params);
+                let n_result = learn_n_rules_with_budget(
+                    &pooled,
+                    orig_pos_total,
+                    covered_pos,
+                    &self.params,
+                    budget.as_ref(),
+                );
                 let stats = n_result.rules.iter().map(|n| n.stats).collect();
                 (
                     RuleSet::from_rules(n_result.rules.into_iter().map(|n| n.rule).collect()),
@@ -151,6 +173,7 @@ impl PnruleLearner {
             pool_fp_weight: pool_total - covered_pos,
             n_rule_stats,
             retained_recall,
+            p_stop_reason: p_result.stop_reason,
             n_stop_reason,
             n_mdl_truncated,
             n_dl_trace,
@@ -300,6 +323,91 @@ mod tests {
         let model = PnruleLearner::new(PnruleParams::default()).fit(&train, target);
         let cm = eval(&model, &test);
         assert!(cm.f_measure() > 0.9, "test F {}", cm.f_measure());
+    }
+
+    #[test]
+    fn budgeted_fit_returns_scoreable_truncated_model() {
+        use pnr_rules::FitBudget;
+        let data = intrusion_like(2000);
+        let target = data.class_code("r2l").unwrap();
+        // A candidate budget far below what a full fit needs: the learner
+        // must truncate gracefully, not hang or panic.
+        let params = PnruleParams {
+            budget: FitBudget {
+                max_candidates: Some(50),
+                ..FitBudget::default()
+            },
+            ..Default::default()
+        };
+        let (model, report) = PnruleLearner::new(params).fit_with_report(&data, target);
+        assert!(
+            report.budget_exhausted(),
+            "p={:?} n={:?}",
+            report.p_stop_reason,
+            report.n_stop_reason
+        );
+        // The truncated model is still scoreable end to end.
+        for row in 0..data.n_rows() {
+            let _ = model.predict(&data, row);
+        }
+    }
+
+    #[test]
+    fn rule_budget_caps_total_rule_count() {
+        use pnr_rules::FitBudget;
+        let data = intrusion_like(2000);
+        let target = data.class_code("r2l").unwrap();
+        let params = PnruleParams {
+            budget: FitBudget {
+                max_rules: Some(1),
+                ..FitBudget::default()
+            },
+            ..Default::default()
+        };
+        let (model, report) = PnruleLearner::new(params).fit_with_report(&data, target);
+        assert!(model.p_rules.len() + model.n_rules.len() <= 1);
+        assert!(report.budget_exhausted());
+    }
+
+    #[test]
+    fn zero_wall_clock_stops_immediately_and_gracefully() {
+        use pnr_rules::FitBudget;
+        let data = intrusion_like(500);
+        let target = data.class_code("r2l").unwrap();
+        let params = PnruleParams {
+            budget: FitBudget {
+                wall_clock_secs: Some(0.0),
+                ..FitBudget::default()
+            },
+            ..Default::default()
+        };
+        let (model, report) = PnruleLearner::new(params).fit_with_report(&data, target);
+        assert_eq!(report.p_stop_reason, StopReason::BudgetExhausted);
+        assert!(model.p_rules.is_empty());
+        // An empty model predicts (rejects) without panicking.
+        assert!(!model.predict(&data, 0));
+    }
+
+    #[test]
+    fn unlimited_budget_matches_default_fit() {
+        use pnr_rules::FitBudget;
+        let data = intrusion_like(1000);
+        let target = data.class_code("r2l").unwrap();
+        let free = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+        let generous = PnruleLearner::new(PnruleParams {
+            budget: FitBudget {
+                max_rules: Some(10_000),
+                max_candidates: Some(1_000_000_000),
+                wall_clock_secs: None,
+            },
+            ..Default::default()
+        })
+        .fit(&data, target);
+        assert_eq!(free.p_rules.len(), generous.p_rules.len());
+        assert_eq!(free.n_rules.len(), generous.n_rules.len());
+        for row in 0..data.n_rows() {
+            assert_eq!(free.predict(&data, row), generous.predict(&data, row));
+        }
     }
 
     #[test]

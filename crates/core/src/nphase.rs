@@ -20,7 +20,8 @@ use crate::grow::{grow_rule, GrowOptions, RecallGuard};
 use crate::params::PnruleParams;
 use pnr_data::weights::approx;
 use pnr_rules::mdl::{count_possible_conditions, total_dl};
-use pnr_rules::{CovStats, Rule, TaskView};
+use pnr_rules::{BudgetTracker, CovStats, Rule, TaskView};
+use std::sync::Arc;
 
 /// One accepted N-rule with its discovery-time statistics over the N-view
 /// (`stats.pos` = false-positive weight removed, `stats.neg()` =
@@ -49,6 +50,13 @@ pub enum StopReason {
     MdlStop,
     /// The hard rule-count cap was reached.
     RuleCap,
+    /// The desired coverage (`rp`) was reached and the next rule fell
+    /// short of the accuracy gate (P-phase only).
+    CoverageReached,
+    /// The training budget ran out (rule, candidate, or wall-clock limit
+    /// of [`FitBudget`](pnr_rules::FitBudget)); the rules accepted before
+    /// the stop form a valid truncated model.
+    BudgetExhausted,
 }
 
 /// Outcome of the N-phase.
@@ -88,6 +96,21 @@ pub fn learn_n_rules(
     orig_pos_total: f64,
     covered_pos: f64,
     params: &PnruleParams,
+) -> NPhaseResult {
+    let tracker = params.budget.start().map(Arc::new);
+    learn_n_rules_with_budget(pooled, orig_pos_total, covered_pos, params, tracker.as_ref())
+}
+
+/// [`learn_n_rules`] charging against an externally owned budget tracker
+/// (`None` = unlimited), so a full fit can share one budget across both
+/// phases. When the budget runs out mid-phase the rules accepted so far
+/// are returned with [`StopReason::BudgetExhausted`].
+pub fn learn_n_rules_with_budget(
+    pooled: &TaskView<'_>,
+    orig_pos_total: f64,
+    covered_pos: f64,
+    params: &PnruleParams,
+    budget: Option<&Arc<BudgetTracker>>,
 ) -> NPhaseResult {
     params.validate();
     let mut result = NPhaseResult::default();
@@ -134,6 +157,12 @@ pub fn learn_n_rules(
             result.stop_reason = StopReason::RuleCap;
             break;
         }
+        if budget.is_some_and(|b| b.is_exhausted() || !b.check_deadline()) {
+            // Covers a budget already spent by the P-phase as well as one
+            // that runs out between N-rules.
+            result.stop_reason = StopReason::BudgetExhausted;
+            break;
+        }
         // The floor binds the N-phase's *sacrifice*, not the recall the
         // P-phase never achieved: when coverage already sits below `rn`,
         // the effective floor is the achieved recall (only zero-sacrifice
@@ -155,9 +184,14 @@ pub fn learn_n_rules(
             use_ranges: params.use_ranges,
             min_improvement: params.min_improvement,
             recall_guard: Some(guard),
+            budget: budget.cloned(),
         };
         let Some(mut grown) = grow_rule(&remaining, &opts) else {
-            result.stop_reason = StopReason::NoRuleGrown;
+            result.stop_reason = if budget.is_some_and(|b| b.is_exhausted()) {
+                StopReason::BudgetExhausted
+            } else {
+                StopReason::NoRuleGrown
+            };
             break;
         };
         if grown.stats.neg() > 0.0 {
@@ -222,6 +256,11 @@ pub fn learn_n_rules(
             stats: grown.stats,
         });
         remaining = remaining.without(&covered_rows);
+        if budget.is_some_and(|b| !b.charge_rule()) {
+            // The crossing rule is valid and kept; stop growing more.
+            result.stop_reason = StopReason::BudgetExhausted;
+            break;
+        }
     }
 
     // MDL truncation: keep the longest prefix whose final DL is within the

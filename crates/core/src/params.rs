@@ -1,6 +1,6 @@
 //! Tunable parameters of the PNrule learner.
 
-use pnr_rules::EvalMetric;
+use pnr_rules::{EvalMetric, FitBudget};
 use serde::{Deserialize, Serialize};
 
 /// Control parameters of the two-phase learner.
@@ -64,6 +64,13 @@ pub struct PnruleParams {
     pub max_p_rules: usize,
     /// Hard cap on the number of N-rules.
     pub max_n_rules: usize,
+    /// Training budget (rules, candidate evaluations, wall clock). When a
+    /// limit is exhausted the fit stops growing and returns the valid
+    /// model learned so far, recording
+    /// [`StopReason::BudgetExhausted`](crate::nphase::StopReason) in the
+    /// [`FitReport`](crate::learn::FitReport). Unlimited by default.
+    #[serde(default)]
+    pub budget: FitBudget,
 }
 
 impl Default for PnruleParams {
@@ -84,6 +91,7 @@ impl Default for PnruleParams {
             decision_threshold: 0.5,
             max_p_rules: 200,
             max_n_rules: 200,
+            budget: FitBudget::unlimited(),
         }
     }
 }
@@ -143,6 +151,9 @@ impl PnruleParams {
             self.max_n_rule_len != Some(0),
             "max_n_rule_len of 0 would forbid any rule"
         );
+        if let Some(problem) = self.budget.validation_error() {
+            panic!("{problem}");
+        }
     }
 }
 
@@ -189,5 +200,30 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: PnruleParams = serde_json::from_str(&json).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn params_without_budget_field_deserialize_as_unlimited() {
+        // JSON written before the budget field existed must still load.
+        let p = PnruleParams::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let legacy = json.replacen(",\"budget\":{\"max_rules\":null,\"max_candidates\":null,\"wall_clock_secs\":null}", "", 1);
+        assert_ne!(legacy, json, "budget field not found in serialized form");
+        let back: PnruleParams = serde_json::from_str(&legacy).unwrap();
+        assert!(back.budget.is_unlimited());
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_rules")]
+    fn zero_budget_rule_cap_rejected() {
+        PnruleParams {
+            budget: FitBudget {
+                max_rules: Some(0),
+                ..FitBudget::default()
+            },
+            ..Default::default()
+        }
+        .validate();
     }
 }

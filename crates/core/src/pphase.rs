@@ -9,8 +9,10 @@
 //! threshold to enter the model.
 
 use crate::grow::{grow_rule, GrowOptions};
+use crate::nphase::StopReason;
 use crate::params::PnruleParams;
-use pnr_rules::{CovStats, Rule, TaskView};
+use pnr_rules::{BudgetTracker, CovStats, Rule, TaskView};
+use std::sync::Arc;
 
 /// One accepted P-rule with its discovery-time statistics.
 #[derive(Debug, Clone)]
@@ -28,10 +30,31 @@ pub struct PPhaseResult {
     pub rules: Vec<PRule>,
     /// Fraction of the original target weight covered by the union.
     pub covered_recall: f64,
+    /// Why the covering loop stopped adding rules.
+    pub stop_reason: StopReason,
 }
 
 /// Runs the P-phase over `view` (normally the full training set).
+///
+/// Starts a fresh tracker for the params' own [`budget`]
+/// (`PnruleParams::budget`); the full learner shares one tracker across
+/// both phases via [`learn_p_rules_with_budget`].
+///
+/// [`budget`]: crate::params::PnruleParams::budget
 pub fn learn_p_rules(view: &TaskView<'_>, params: &PnruleParams) -> PPhaseResult {
+    let tracker = params.budget.start().map(Arc::new);
+    learn_p_rules_with_budget(view, params, tracker.as_ref())
+}
+
+/// [`learn_p_rules`] charging against an externally owned budget tracker
+/// (`None` = unlimited). When the budget runs out mid-phase the rules
+/// accepted so far are returned with
+/// [`StopReason::BudgetExhausted`].
+pub fn learn_p_rules_with_budget(
+    view: &TaskView<'_>,
+    params: &PnruleParams,
+    budget: Option<&Arc<BudgetTracker>>,
+) -> PPhaseResult {
     params.validate();
     let target_total = view.pos_weight();
     if target_total <= 0.0 {
@@ -43,7 +66,19 @@ pub fn learn_p_rules(view: &TaskView<'_>, params: &PnruleParams) -> PPhaseResult
     let mut remaining = view.clone();
     let mut covered_pos = 0.0;
 
-    while result.rules.len() < params.max_p_rules && remaining.pos_weight() > 0.0 {
+    loop {
+        if result.rules.len() >= params.max_p_rules {
+            result.stop_reason = StopReason::RuleCap;
+            break;
+        }
+        if remaining.pos_weight() <= 0.0 {
+            result.stop_reason = StopReason::Exhausted;
+            break;
+        }
+        if budget.is_some_and(|b| b.is_exhausted() || !b.check_deadline()) {
+            result.stop_reason = StopReason::BudgetExhausted;
+            break;
+        }
         let opts = GrowOptions {
             metric: params.metric,
             max_len: params.max_p_rule_len,
@@ -51,22 +86,33 @@ pub fn learn_p_rules(view: &TaskView<'_>, params: &PnruleParams) -> PPhaseResult
             use_ranges: params.use_ranges,
             min_improvement: params.min_improvement,
             recall_guard: None,
+            budget: budget.cloned(),
         };
         let Some(grown) = grow_rule(&remaining, &opts) else {
+            // The candidate budget may have fired inside the search, in
+            // which case "no rule" means "no budget", not "no signal".
+            result.stop_reason = if budget.is_some_and(|b| b.is_exhausted()) {
+                StopReason::BudgetExhausted
+            } else {
+                StopReason::NoRuleGrown
+            };
             break;
         };
         if grown.stats.pos <= 0.0 {
             // A rule that covers no remaining target weight adds nothing.
+            result.stop_reason = StopReason::NoRuleGrown;
             break;
         }
         // A useful P-rule must beat the remaining prior — otherwise the
         // phase has run out of signal and would start adding noise.
         if grown.stats.accuracy() <= remaining.prior() {
+            result.stop_reason = StopReason::LowAccuracy;
             break;
         }
         let recall_so_far = covered_pos / target_total;
         if recall_so_far >= params.rp && grown.stats.accuracy() < params.min_accuracy {
             // Desired coverage reached; only high-accuracy rules may enter.
+            result.stop_reason = StopReason::CoverageReached;
             break;
         }
         let covered_rows = remaining.rows_matching_rule(&grown.rule);
@@ -76,6 +122,12 @@ pub fn learn_p_rules(view: &TaskView<'_>, params: &PnruleParams) -> PPhaseResult
             stats: grown.stats,
         });
         remaining = remaining.without(&covered_rows);
+        if budget.is_some_and(|b| !b.charge_rule()) {
+            // The rule that crossed the limit is valid and kept; the
+            // phase just must not start another.
+            result.stop_reason = StopReason::BudgetExhausted;
+            break;
+        }
     }
 
     result.covered_recall = covered_pos / target_total;

@@ -14,6 +14,36 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+/// What to do with a malformed data row (wrong field count, unparsable
+/// numeric field, or a row the dataset builder rejects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowPolicy {
+    /// Any malformed row aborts the load with an error (the default).
+    Fail,
+    /// Quarantine malformed rows instead of failing, up to `max` of them;
+    /// one more malformed row past the cap aborts the load. Skipped rows
+    /// are listed in the [`LoadReport`].
+    Skip {
+        /// Maximum number of rows that may be quarantined.
+        max: usize,
+    },
+}
+
+/// What a [`RowPolicy::Skip`] load quarantined.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// `(1-based line number, why)` for each quarantined row, in file
+    /// order. Empty when every row loaded.
+    pub skipped: Vec<(usize, String)>,
+}
+
+impl LoadReport {
+    /// Number of quarantined rows.
+    pub fn n_skipped(&self) -> usize {
+        self.skipped.len()
+    }
+}
+
 /// Options controlling CSV parsing.
 #[derive(Debug, Clone)]
 pub struct CsvOptions {
@@ -22,6 +52,8 @@ pub struct CsvOptions {
     /// Explicit attribute types; when `None`, types are inferred from the
     /// data (numeric iff every field parses as a finite `f64`).
     pub types: Option<Vec<AttrType>>,
+    /// Malformed-row handling (default [`RowPolicy::Fail`]).
+    pub on_error: RowPolicy,
 }
 
 impl Default for CsvOptions {
@@ -29,21 +61,71 @@ impl Default for CsvOptions {
         CsvOptions {
             separator: ',',
             types: None,
+            on_error: RowPolicy::Fail,
+        }
+    }
+}
+
+/// Records one malformed row: under [`RowPolicy::Fail`] (or past the skip
+/// cap) this is the load's error; otherwise the row is quarantined into
+/// the report and parsing goes on.
+fn quarantine(
+    policy: &RowPolicy,
+    report: &mut LoadReport,
+    line: usize,
+    message: String,
+) -> Result<(), DataError> {
+    match policy {
+        RowPolicy::Fail => Err(DataError::Csv { line, message }),
+        RowPolicy::Skip { max } => {
+            if report.skipped.len() >= *max {
+                Err(DataError::Csv {
+                    line,
+                    message: format!("{message} (skip limit of {max} malformed rows exceeded)"),
+                })
+            } else {
+                report.skipped.push((line, message));
+                Ok(())
+            }
         }
     }
 }
 
 /// Reads a dataset from a CSV file. See [`read_csv_str`].
 pub fn read_csv(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Dataset, DataError> {
+    read_csv_with_report(path, opts).map(|(d, _)| d)
+}
+
+/// Reads a dataset plus its [`LoadReport`] from a CSV file. See
+/// [`read_csv_str_with_report`].
+pub fn read_csv_with_report(
+    path: impl AsRef<Path>,
+    opts: &CsvOptions,
+) -> Result<(Dataset, LoadReport), DataError> {
     let mut reader = BufReader::new(File::open(path)?);
     let mut text = String::new();
     reader.read_to_string(&mut text)?;
-    read_csv_str(&text, opts)
+    read_csv_str_with_report(&text, opts)
 }
 
 /// Parses a dataset from CSV text. The last column is the class label; all
-/// rows get weight 1.0.
+/// rows get weight 1.0. Convenience wrapper over
+/// [`read_csv_str_with_report`] that drops the report.
 pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Dataset, DataError> {
+    read_csv_str_with_report(text, opts).map(|(d, _)| d)
+}
+
+/// Parses a dataset from CSV text, returning the dataset together with a
+/// [`LoadReport`] of quarantined rows. Header problems (missing header,
+/// duplicate or too-few columns, wrong type count) are always hard errors;
+/// [`CsvOptions::on_error`] only governs malformed *data* rows. With
+/// inferred types, a non-numeric field makes its column categorical rather
+/// than its row malformed — numeric parse quarantine applies to explicitly
+/// typed columns.
+pub fn read_csv_str_with_report(
+    text: &str,
+    opts: &CsvOptions,
+) -> Result<(Dataset, LoadReport), DataError> {
     let sep = opts.separator;
     let mut lines = text
         .lines()
@@ -68,16 +150,20 @@ pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Dataset, DataError>
         }
     }
     let n_attrs = names.len() - 1;
+    let mut report = LoadReport::default();
 
     // Collect raw fields first; type inference needs a full pass.
     let mut records: Vec<(usize, Vec<&str>)> = Vec::new();
     for (lineno, line) in lines {
         let fields: Vec<&str> = line.split(sep).map(str::trim).collect();
         if fields.len() != names.len() {
-            return Err(DataError::Csv {
-                line: lineno + 1,
-                message: format!("expected {} fields, got {}", names.len(), fields.len()),
-            });
+            quarantine(
+                &opts.on_error,
+                &mut report,
+                lineno + 1,
+                format!("expected {} fields, got {}", names.len(), fields.len()),
+            )?;
+            continue;
         }
         records.push((lineno + 1, fields));
     }
@@ -112,27 +198,30 @@ pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<Dataset, DataError>
     }
     b.reserve(records.len());
     let mut row_vals: Vec<Value<'_>> = Vec::with_capacity(n_attrs);
-    for (lineno, fields) in &records {
+    'rows: for (lineno, fields) in &records {
         row_vals.clear();
         for (a, field) in fields[..n_attrs].iter().enumerate() {
             match types[a] {
-                AttrType::Numeric => {
-                    let x: f64 = field.parse().map_err(|_| DataError::Csv {
-                        line: *lineno,
-                        message: format!("field {a} ({field:?}) is not numeric"),
-                    })?;
-                    row_vals.push(Value::Num(x));
-                }
+                AttrType::Numeric => match field.parse::<f64>() {
+                    Ok(x) => row_vals.push(Value::Num(x)),
+                    Err(_) => {
+                        quarantine(
+                            &opts.on_error,
+                            &mut report,
+                            *lineno,
+                            format!("field {a} ({field:?}) is not numeric"),
+                        )?;
+                        continue 'rows;
+                    }
+                },
                 AttrType::Categorical => row_vals.push(Value::Cat(field)),
             }
         }
-        b.push_row(&row_vals, fields[n_attrs], 1.0)
-            .map_err(|e| DataError::Csv {
-                line: *lineno,
-                message: e.to_string(),
-            })?;
+        if let Err(e) = b.push_row(&row_vals, fields[n_attrs], 1.0) {
+            quarantine(&opts.on_error, &mut report, *lineno, e.to_string())?;
+        }
     }
-    Ok(b.finish())
+    Ok((b.finish(), report))
 }
 
 /// Writes a dataset to a CSV file. See [`write_csv_string`].
@@ -256,6 +345,62 @@ mod tests {
         let text = "x,class\n\n1,a\n\n2,b\n";
         let d = read_csv_str(text, &CsvOptions::default()).unwrap();
         assert_eq!(d.n_rows(), 2);
+    }
+
+    #[test]
+    fn skip_policy_quarantines_bad_rows_and_reports_lines() {
+        // line 3 has a missing field, line 5 a non-numeric value in an
+        // explicitly numeric column
+        let text = "x,class\n1,a\n2\n3,b\nfour,c\n5,a\n";
+        let opts = CsvOptions {
+            types: Some(vec![AttrType::Numeric]),
+            on_error: RowPolicy::Skip { max: 10 },
+            ..Default::default()
+        };
+        let (d, report) = read_csv_str_with_report(text, &opts).unwrap();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(report.n_skipped(), 2);
+        assert_eq!(report.skipped[0].0, 3);
+        assert_eq!(report.skipped[1].0, 5);
+        assert!(report.skipped[1].1.contains("not numeric"), "{report:?}");
+    }
+
+    #[test]
+    fn skip_cap_is_enforced() {
+        let text = "x,class\n1\n2\n3,a\n";
+        let opts = CsvOptions {
+            on_error: RowPolicy::Skip { max: 1 },
+            ..Default::default()
+        };
+        let err = read_csv_str_with_report(text, &opts).unwrap_err();
+        assert!(err.to_string().contains("skip limit"), "{err}");
+        // with a big enough cap the same text loads
+        let opts = CsvOptions {
+            on_error: RowPolicy::Skip { max: 2 },
+            ..Default::default()
+        };
+        let (d, report) = read_csv_str_with_report(text, &opts).unwrap();
+        assert_eq!(d.n_rows(), 1);
+        assert_eq!(report.n_skipped(), 2);
+    }
+
+    #[test]
+    fn fail_policy_stays_default_and_reports_first_error() {
+        assert_eq!(CsvOptions::default().on_error, RowPolicy::Fail);
+        let text = "x,class\n1,a\n2\n";
+        let err = read_csv_str(text, &CsvOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn clean_load_has_empty_report() {
+        let opts = CsvOptions {
+            on_error: RowPolicy::Skip { max: 5 },
+            ..Default::default()
+        };
+        let (d, report) = read_csv_str_with_report("x,class\n1,a\n2,b\n", &opts).unwrap();
+        assert_eq!(d.n_rows(), 2);
+        assert!(report.skipped.is_empty());
     }
 
     #[test]

@@ -42,7 +42,10 @@ mod stats;
 pub mod weights;
 
 pub use builder::{DatasetBuilder, Value};
-pub use csv::{read_csv, read_csv_str, write_csv, write_csv_string, CsvOptions};
+pub use csv::{
+    read_csv, read_csv_str, read_csv_str_with_report, read_csv_with_report, write_csv,
+    write_csv_string, CsvOptions, LoadReport, RowPolicy,
+};
 pub use dataset::{Column, Dataset};
 pub use dict::Dictionary;
 pub use error::DataError;

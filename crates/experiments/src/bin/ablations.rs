@@ -12,7 +12,7 @@
 
 use pnr_core::{PnruleLearner, PnruleParams};
 use pnr_data::Dataset;
-use pnr_experiments::{print_experiment, write_json, CliOptions, ExperimentResult};
+use pnr_experiments::{print_experiment, run_status, write_json, CliOptions, ExperimentResult};
 use pnr_rules::evaluate_classifier;
 use pnr_synth::numeric::NumericModelConfig;
 use pnr_synth::SynthScale;
@@ -126,4 +126,5 @@ fn main() {
 
     let path = write_json(&opts.out_dir, "ablations", &results).expect("write results");
     eprintln!("results written to {}", path.display());
+    std::process::exit(run_status(&results));
 }

@@ -70,12 +70,26 @@ fn load(name: &str, scale: f64, seed: u64) -> (Dataset, Dataset, u32) {
     (train, test, target)
 }
 
+fn bail(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("usage: inspect <dataset> [--method m] [--rp f] [--rn f] [--scale f] [--seed n]");
+    std::process::exit(2);
+}
+
+fn flag_value<T: std::str::FromStr>(name: &str, raw: Option<String>) -> T {
+    match raw {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| bail(&format!("{name} got a malformed value"))),
+        None => bail(&format!("{name} requires a value")),
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    assert!(
-        !args.is_empty(),
-        "usage: inspect <dataset> [--rp f] [--rn f] [--scale f] [--seed n]"
-    );
+    if args.is_empty() {
+        bail("missing dataset name");
+    }
     let name = args.remove(0);
     let mut rp = 0.95;
     let mut rn = 0.9;
@@ -84,13 +98,13 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--rp" => rp = it.next().expect("--rp value").parse().expect("float"),
-            "--rn" => rn = it.next().expect("--rn value").parse().expect("float"),
-            "--method" => method = it.next().expect("--method value"),
+            "--rp" => rp = flag_value("--rp", it.next()),
+            "--rn" => rn = flag_value("--rn", it.next()),
+            "--method" => method = flag_value("--method", it.next()),
             other => rest.push(other.to_string()),
         }
     }
-    let opts = CliOptions::parse(rest.into_iter());
+    let opts = CliOptions::parse(rest.into_iter()).unwrap_or_else(|problem| bail(&problem));
 
     let (train, test, target) = load(&name, opts.scale, opts.seed);
     println!(

@@ -24,8 +24,17 @@ fn main() {
     let mut dir = "results".to_string();
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--out" => dir = args.next().expect("--out requires a value"),
-            other => panic!("unknown argument {other}"),
+            "--out" => match args.next() {
+                Some(v) => dir = v,
+                None => {
+                    eprintln!("error: --out requires a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other}; expected --out <dir>");
+                std::process::exit(2);
+            }
         }
     }
 

@@ -1,5 +1,5 @@
-//! Regenerates Table 6 (KDD'99 simulation, probe & r2l) of the paper. Usage: `--scale <f> --seed <n> --out <dir> --threads <n>`.
-use pnr_experiments::{experiments, print_experiment, write_json, CliOptions};
+//! Regenerates Table 6 (KDD'99 simulation, probe & r2l) of the paper. Usage: `--scale <f> --seed <n> --out <dir> --threads <n> --no-resume`.
+use pnr_experiments::{experiments, print_experiment, run_status, write_json, CliOptions};
 
 fn main() {
     let opts = CliOptions::from_env();
@@ -9,4 +9,5 @@ fn main() {
     }
     let path = write_json(&opts.out_dir, "table6", &results).expect("write results");
     eprintln!("results written to {}", path.display());
+    std::process::exit(run_status(&results));
 }

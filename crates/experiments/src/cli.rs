@@ -3,7 +3,9 @@
 /// Options every experiment binary accepts:
 /// `--scale <f>` (default 0.2), `--seed <n>` (default 20010521 — the
 /// paper's conference date), `--out <dir>` (default `results`),
-/// `--threads <n>` (default: available parallelism).
+/// `--threads <n>` (default: available parallelism), and
+/// `--resume` / `--no-resume` (default: resume) controlling whether
+/// completed cells are loaded from `<out>/checkpoints/`.
 #[derive(Debug, Clone)]
 pub struct CliOptions {
     /// Dataset scale factor relative to the paper's 500k/250k records.
@@ -14,7 +16,13 @@ pub struct CliOptions {
     pub out_dir: String,
     /// Worker threads for independent (dataset, method) runs.
     pub threads: usize,
+    /// Load completed cells from checkpoints and persist new ones.
+    pub resume: bool,
 }
+
+/// Usage text printed when argument parsing fails.
+pub const USAGE: &str = "usage: <binary> [--scale <f>] [--seed <n>] [--out <dir>] \
+[--threads <n>] [--resume | --no-resume]";
 
 impl Default for CliOptions {
     fn default() -> Self {
@@ -25,49 +33,74 @@ impl Default for CliOptions {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            resume: true,
         }
     }
 }
 
 impl CliOptions {
-    /// Parses `std::env::args`-style arguments.
-    ///
-    /// # Panics
-    /// Panics with a usage message on malformed input.
-    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+    /// Parses `std::env::args`-style arguments. Malformed input is an
+    /// `Err` with a one-line explanation, never a panic.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut opts = CliOptions::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             let mut value = |name: &str| {
                 args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .ok_or_else(|| format!("{name} requires a value"))
             };
             match arg.as_str() {
                 "--scale" => {
-                    opts.scale = value("--scale").parse().expect("--scale takes a float");
-                    assert!(opts.scale > 0.0, "--scale must be positive");
+                    let raw = value("--scale")?;
+                    opts.scale = raw
+                        .parse()
+                        .map_err(|_| format!("--scale takes a float, got {raw:?}"))?;
+                    if !(opts.scale > 0.0) {
+                        return Err("--scale must be positive".to_string());
+                    }
                 }
                 "--seed" => {
-                    opts.seed = value("--seed").parse().expect("--seed takes an integer");
-                }
-                "--out" => opts.out_dir = value("--out"),
-                "--threads" => {
-                    opts.threads = value("--threads")
+                    let raw = value("--seed")?;
+                    opts.seed = raw
                         .parse()
-                        .expect("--threads takes an integer");
-                    assert!(opts.threads > 0, "--threads must be positive");
+                        .map_err(|_| format!("--seed takes an integer, got {raw:?}"))?;
                 }
-                other => panic!(
-                    "unknown argument {other}; expected --scale / --seed / --out / --threads"
-                ),
+                "--out" => opts.out_dir = value("--out")?,
+                "--threads" => {
+                    let raw = value("--threads")?;
+                    opts.threads = raw
+                        .parse()
+                        .map_err(|_| format!("--threads takes an integer, got {raw:?}"))?;
+                    if opts.threads == 0 {
+                        return Err("--threads must be positive".to_string());
+                    }
+                }
+                "--resume" => opts.resume = true,
+                "--no-resume" => opts.resume = false,
+                other => {
+                    return Err(format!(
+                        "unknown argument {other}; expected --scale / --seed / --out / \
+                         --threads / --resume / --no-resume"
+                    ))
+                }
             }
         }
-        opts
+        Ok(opts)
     }
 
-    /// Parses the process arguments (skipping the binary name).
+    /// Parses the process arguments (skipping the binary name). On
+    /// malformed input, prints the error and usage to stderr and exits
+    /// with status 2 — the conventional "bad invocation" code, distinct
+    /// from 1 which reports failed experiment cells.
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(problem) => {
+                eprintln!("error: {problem}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 }
 
@@ -75,15 +108,16 @@ impl CliOptions {
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> CliOptions {
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
         CliOptions::parse(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults_when_empty() {
-        let o = parse(&[]);
+        let o = parse(&[]).unwrap();
         assert_eq!(o.scale, 0.2);
         assert_eq!(o.out_dir, "results");
+        assert!(o.resume, "resume defaults on");
     }
 
     #[test]
@@ -97,22 +131,37 @@ mod tests {
             "r2",
             "--threads",
             "3",
-        ]);
+            "--no-resume",
+        ])
+        .unwrap();
         assert_eq!(o.scale, 1.0);
         assert_eq!(o.seed, 42);
         assert_eq!(o.out_dir, "r2");
         assert_eq!(o.threads, 3);
+        assert!(!o.resume);
+        let o = parse(&["--no-resume", "--resume"]).unwrap();
+        assert!(o.resume, "last flag wins");
     }
 
     #[test]
-    #[should_panic(expected = "unknown argument")]
     fn rejects_unknown_flag() {
-        parse(&["--nope"]);
+        let err = parse(&["--nope"]).unwrap_err();
+        assert!(err.contains("unknown argument --nope"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "--scale must be positive")]
     fn rejects_nonpositive_scale() {
-        parse(&["--scale", "0"]);
+        let err = parse(&["--scale", "0"]).unwrap_err();
+        assert!(err.contains("--scale must be positive"), "{err}");
+        let err = parse(&["--scale", "NaN"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_values_without_panicking() {
+        assert!(parse(&["--scale", "wide"]).is_err());
+        assert!(parse(&["--seed", "-1"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads"]).unwrap_err().contains("requires a value"));
     }
 }

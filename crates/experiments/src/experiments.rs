@@ -1,8 +1,16 @@
 //! Definitions of every table/figure experiment.
+//!
+//! Jobs — one (method, dataset) cell each — run on a small worker pool
+//! with **panic isolation**: a cell whose fit panics becomes a
+//! [`JobOutcome::Failed`] carrying the panic message, and every sibling
+//! cell still completes. Completed cells are persisted through the
+//! [`Checkpoint`](crate::checkpoint::Checkpoint) store as they finish, so
+//! an interrupted table run resumes from where it died.
 
+use crate::checkpoint::{CellKey, Checkpoint};
 use crate::cli::CliOptions;
 use crate::methods::{pnrule_variant_grid, run_method, run_pnrule_best, Method};
-use crate::report::ExperimentResult;
+use crate::report::{ExperimentResult, ResultRow};
 use pnr_core::PnruleParams;
 use pnr_data::{subsample_class, Dataset};
 use pnr_metrics::PrfReport;
@@ -13,25 +21,127 @@ use pnr_synth::numeric::NumericModelConfig;
 use pnr_synth::SynthScale;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+/// Captures panic messages from worker jobs without letting the global
+/// panic hook spam stderr for isolated (expected-to-be-caught) panics.
+mod panic_capture {
+    use std::cell::{Cell, RefCell};
+    use std::panic::{AssertUnwindSafe, PanicHookInfo};
+    use std::sync::OnceLock;
+
+    thread_local! {
+        /// True while the current thread runs a job under [`run_caught`].
+        static ACTIVE: Cell<bool> = const { Cell::new(false) };
+        /// The formatted message of the most recent captured panic.
+        static CAPTURED: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+
+    /// The hook that was installed before ours; panics on threads that are
+    /// not running an isolated job are forwarded to it unchanged.
+    static PREV_HOOK: OnceLock<Box<dyn Fn(&PanicHookInfo<'_>) + Send + Sync>> = OnceLock::new();
+
+    fn install_hook() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let _ = PREV_HOOK.set(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|info| {
+                if ACTIVE.with(Cell::get) {
+                    let msg = payload_str(info.payload());
+                    let full = match info.location() {
+                        Some(loc) => format!("{msg} at {}:{}", loc.file(), loc.line()),
+                        None => msg,
+                    };
+                    CAPTURED.with(|c| *c.borrow_mut() = Some(full));
+                } else if let Some(prev) = PREV_HOOK.get() {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    fn payload_str(payload: &dyn std::any::Any) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// Runs `f`, converting a panic into `Err(message)`. The message comes
+    /// from the panic hook (which sees the original payload and location)
+    /// rather than from stderr scraping; nothing is printed for the
+    /// captured panic.
+    pub fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+        install_hook();
+        ACTIVE.with(|a| a.set(true));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+        ACTIVE.with(|a| a.set(false));
+        result.map_err(|payload| {
+            CAPTURED
+                .with(|c| c.borrow_mut().take())
+                .unwrap_or_else(|| payload_str(payload.as_ref()))
+        })
+    }
+}
 
 /// A boxed unit of work returning `T`.
 pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
 
-/// Runs the closures on `threads` workers, returning results in input
-/// order. Each closure is independent (one method on one dataset).
-pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, threads: usize) -> Vec<T> {
+/// What happened to one labelled job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The job completed and returned its value.
+    Done {
+        /// The label the job was submitted under.
+        label: String,
+        /// The job's return value.
+        value: T,
+    },
+    /// The job panicked; the run continues and reports the cell as failed.
+    Failed {
+        /// The label the job was submitted under.
+        label: String,
+        /// The captured panic message (with source location when known).
+        reason: String,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// The label the job was submitted under.
+    pub fn label(&self) -> &str {
+        match self {
+            JobOutcome::Done { label, .. } | JobOutcome::Failed { label, .. } => label,
+        }
+    }
+}
+
+/// Runs the labelled closures on `threads` workers, returning outcomes in
+/// input order. Each closure is independent (one method on one dataset)
+/// and runs under `catch_unwind`: a panicking job yields
+/// [`JobOutcome::Failed`] with the panic message while every other job
+/// still runs to completion.
+pub fn run_jobs<T: Send>(jobs: Vec<(String, Job<'_, T>)>, threads: usize) -> Vec<JobOutcome<T>> {
     let n = jobs.len();
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let queue: Mutex<Vec<(usize, Job<'_, T>)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let slots: Mutex<Vec<Option<JobOutcome<T>>>> = Mutex::new((0..n).map(|_| None).collect());
+    let queue: Mutex<Vec<(usize, (String, Job<'_, T>))>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
     std::thread::scope(|s| {
         for _ in 0..threads.max(1).min(n.max(1)) {
             s.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop();
+                let job = queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pop();
                 match job {
-                    Some((i, f)) => {
-                        let out = f();
-                        slots.lock().expect("slot lock")[i] = Some(out);
+                    Some((i, (label, f))) => {
+                        let outcome = match panic_capture::run_caught(f) {
+                            Ok(value) => JobOutcome::Done { label, value },
+                            Err(reason) => JobOutcome::Failed { label, reason },
+                        };
+                        slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
                     }
                     None => break,
                 }
@@ -40,9 +150,65 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, threads: usize) -> Vec<T> {
     });
     slots
         .into_inner()
-        .expect("threads joined")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
-        .map(|o| o.expect("every job ran"))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| JobOutcome::Failed {
+                label: format!("job#{i}"),
+                reason: "worker exited before storing a result".to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Runs one experiment's cells with checkpoint/resume: cells already
+/// completed under the same (experiment, method, scale, seed) are loaded
+/// from `<out_dir>/checkpoints/` instead of re-run (when `opts.resume`),
+/// and freshly completed cells are persisted *inside the worker* the
+/// moment they finish — a killed run loses at most the in-flight cells.
+/// Panicking cells become failed rows; failures are never checkpointed.
+pub fn run_cells(
+    exp_id: &str,
+    opts: &CliOptions,
+    jobs: Vec<(String, Job<'_, PrfReport>)>,
+) -> Vec<ResultRow> {
+    let ckpt = Checkpoint::new(&opts.out_dir, opts.resume);
+    let mut rows: Vec<Option<ResultRow>> = (0..jobs.len()).map(|_| None).collect();
+    let mut indices = Vec::new();
+    let mut pending: Vec<(String, Job<'_, ResultRow>)> = Vec::new();
+    for (i, (label, job)) in jobs.into_iter().enumerate() {
+        let key = CellKey {
+            experiment: exp_id.to_string(),
+            method: label.clone(),
+            scale: opts.scale,
+            seed: opts.seed,
+        };
+        if let Some(row) = ckpt.load(&key) {
+            rows[i] = Some(row);
+            continue;
+        }
+        indices.push(i);
+        let store = ckpt.clone();
+        let row_label = label.clone();
+        pending.push((
+            label,
+            Box::new(move || {
+                let row = ResultRow::new(row_label, job());
+                store.store(&key, &row);
+                row
+            }),
+        ));
+    }
+    for (slot, outcome) in indices.into_iter().zip(run_jobs(pending, opts.threads)) {
+        rows[slot] = Some(match outcome {
+            JobOutcome::Done { value, .. } => value,
+            JobOutcome::Failed { label, reason } => ResultRow::failed(label, reason),
+        });
+    }
+    rows.into_iter()
+        .enumerate()
+        .map(|(i, row)| row.unwrap_or_else(|| ResultRow::failed(format!("cell#{i}"), "missing result")))
         .collect()
 }
 
@@ -56,7 +222,12 @@ fn test_scale(opts: &CliOptions) -> SynthScale {
 
 /// The standard five-method comparison on one (train, test) pair: `C`,
 /// `Cte`, `R`, `Re`, and best-of-grid PNrule.
-fn compare_all(train: &Dataset, test: &Dataset, threads: usize) -> Vec<(&'static str, PrfReport)> {
+fn compare_all(
+    exp_id: &str,
+    opts: &CliOptions,
+    train: &Dataset,
+    test: &Dataset,
+) -> Vec<ResultRow> {
     let target = train
         .class_code(pnr_synth::TARGET_CLASS)
         .expect("target class");
@@ -66,27 +237,27 @@ fn compare_all(train: &Dataset, test: &Dataset, threads: usize) -> Vec<(&'static
         Method::Ripper,
         Method::RipperWe,
     ];
-    let mut jobs: Vec<Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>> = methods
+    let mut jobs: Vec<(String, Job<'_, PrfReport>)> = methods
         .iter()
         .map(|m| {
             let m = m.clone();
-            Box::new(move || (m.label(), run_method(&m, train, test, target)))
-                as Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>
+            (
+                m.label().to_string(),
+                Box::new(move || run_method(&m, train, test, target)) as Job<'_, PrfReport>,
+            )
         })
         .collect();
-    jobs.push(Box::new(move || {
-        (
-            "PNrule",
-            run_pnrule_best(train, test, target, &pnrule_variant_grid()).0,
-        )
-    }));
-    run_jobs(jobs, threads)
+    jobs.push((
+        "PNrule".to_string(),
+        Box::new(move || run_pnrule_best(train, test, target, &pnrule_variant_grid()).0),
+    ));
+    run_cells(exp_id, opts, jobs)
 }
 
-fn subset(rows: Vec<(&'static str, PrfReport)>, keep: &[&str], exp: &mut ExperimentResult) {
-    for (label, rep) in rows {
-        if keep.is_empty() || keep.contains(&label) {
-            exp.push(label, rep);
+fn subset(rows: Vec<ResultRow>, keep: &[&str], exp: &mut ExperimentResult) {
+    for row in rows {
+        if keep.is_empty() || keep.contains(&row.label.as_str()) {
+            exp.push_row(row);
         }
     }
 }
@@ -112,7 +283,8 @@ pub fn table1(opts: &CliOptions) -> Vec<ExperimentResult> {
                     opts.scale
                 ),
             );
-            subset(compare_all(&train, &test, opts.threads), &[], &mut exp);
+            let rows = compare_all(&exp.id, opts, &train, &test);
+            subset(rows, &[], &mut exp);
             exp
         })
         .collect()
@@ -135,7 +307,8 @@ pub fn figure1(opts: &CliOptions) -> Vec<ExperimentResult> {
                     opts.scale
                 ),
             );
-            subset(compare_all(&train, &test, opts.threads), &[], &mut exp);
+            let rows = compare_all(&exp.id, opts, &train, &test);
+            subset(rows, &[], &mut exp);
             out.push(exp);
         }
     }
@@ -159,11 +332,8 @@ pub fn table2(opts: &CliOptions) -> Vec<ExperimentResult> {
                     opts.scale
                 ),
             );
-            subset(
-                compare_all(&train, &test, opts.threads),
-                &["C4.5-we", "RIPPER-we", "PNrule"],
-                &mut exp,
-            );
+            let rows = compare_all(&exp.id, opts, &train, &test);
+            subset(rows, &["C4.5-we", "RIPPER-we", "PNrule"], &mut exp);
             out.push(exp);
         }
     }
@@ -212,23 +382,23 @@ pub fn table3(opts: &CliOptions) -> Vec<ExperimentResult> {
                     test.n_rows()
                 ),
             );
-            let jobs: Vec<Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>> = vec![
-                Box::new(|| {
-                    (
-                        "C4.5rules",
-                        run_method(&Method::C45Rules, &train, &test, target),
-                    )
-                }),
-                Box::new(|| ("RIPPER", run_method(&Method::Ripper, &train, &test, target))),
-                Box::new(|| {
-                    (
-                        "PNrule",
-                        run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0,
-                    )
-                }),
+            let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+                (
+                    "C4.5rules".to_string(),
+                    Box::new(|| run_method(&Method::C45Rules, &train, &test, target)),
+                ),
+                (
+                    "RIPPER".to_string(),
+                    Box::new(|| run_method(&Method::Ripper, &train, &test, target)),
+                ),
+                (
+                    "PNrule".to_string(),
+                    Box::new(|| run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0),
+                ),
             ];
-            for (label, rep) in run_jobs(jobs, opts.threads) {
-                exp.push(label, rep);
+            let rows = run_cells(&exp.id, opts, jobs);
+            for row in rows {
+                exp.push_row(row);
             }
             exp
         })
@@ -252,11 +422,8 @@ pub fn table4(opts: &CliOptions) -> Vec<ExperimentResult> {
                     opts.scale
                 ),
             );
-            subset(
-                compare_all(&train, &test, opts.threads),
-                &["C4.5rules", "RIPPER-we", "PNrule"],
-                &mut exp,
-            );
+            let rows = compare_all(&exp.id, opts, &train, &test);
+            subset(rows, &["C4.5rules", "RIPPER-we", "PNrule"], &mut exp);
             out.push(exp);
         }
     }
@@ -292,23 +459,23 @@ pub fn table5(opts: &CliOptions) -> Vec<ExperimentResult> {
                 format!("table5/syngen tr={tr} nr={nr} ntc-frac={frac}"),
                 format!("target proportion {tc_pct:.1}% | train {}", train.n_rows()),
             );
-            let jobs: Vec<Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + '_>> = vec![
-                Box::new(|| {
-                    (
-                        "C4.5rules",
-                        run_method(&Method::C45Rules, &train, &test, target),
-                    )
-                }),
-                Box::new(|| ("RIPPER", run_method(&Method::Ripper, &train, &test, target))),
-                Box::new(|| {
-                    (
-                        "PNrule",
-                        run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0,
-                    )
-                }),
+            let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+                (
+                    "C4.5rules".to_string(),
+                    Box::new(|| run_method(&Method::C45Rules, &train, &test, target)),
+                ),
+                (
+                    "RIPPER".to_string(),
+                    Box::new(|| run_method(&Method::Ripper, &train, &test, target)),
+                ),
+                (
+                    "PNrule".to_string(),
+                    Box::new(|| run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0),
+                ),
             ];
-            for (label, rep) in run_jobs(jobs, opts.threads) {
-                exp.push(label, rep);
+            let rows = run_cells(&exp.id, opts, jobs);
+            for row in rows {
+                exp.push_row(row);
             }
             out.push(exp);
         }
@@ -343,30 +510,36 @@ pub fn table6(opts: &CliOptions) -> Vec<ExperimentResult> {
                     opts.scale
                 ),
             );
-            type Job<'a> = Box<dyn FnOnce() -> (&'static str, PrfReport) + Send + 'a>;
             let best = |a: PrfReport, b: PrfReport| if a.f >= b.f { a } else { b };
             let (train, test) = (&train, &test);
-            let jobs: Vec<Job<'_>> = vec![
-                Box::new(move || {
-                    let unit = run_method(&Method::C45Rules, train, test, target);
-                    let strat = run_method(&Method::C45TreeWe, train, test, target);
-                    ("C4.5rules", best(unit, strat))
-                }),
-                Box::new(move || {
-                    let unit = run_method(&Method::Ripper, train, test, target);
-                    let strat = run_method(&Method::RipperWe, train, test, target);
-                    ("RIPPER", best(unit, strat))
-                }),
-                Box::new(move || {
-                    let params = PnruleParams::default();
-                    (
-                        "PNrule",
-                        run_method(&Method::Pnrule(params), train, test, target),
-                    )
-                }),
+            let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+                (
+                    "C4.5rules".to_string(),
+                    Box::new(move || {
+                        let unit = run_method(&Method::C45Rules, train, test, target);
+                        let strat = run_method(&Method::C45TreeWe, train, test, target);
+                        best(unit, strat)
+                    }),
+                ),
+                (
+                    "RIPPER".to_string(),
+                    Box::new(move || {
+                        let unit = run_method(&Method::Ripper, train, test, target);
+                        let strat = run_method(&Method::RipperWe, train, test, target);
+                        best(unit, strat)
+                    }),
+                ),
+                (
+                    "PNrule".to_string(),
+                    Box::new(move || {
+                        let params = PnruleParams::default();
+                        run_method(&Method::Pnrule(params), train, test, target)
+                    }),
+                ),
             ];
-            for (label, rep) in run_jobs(jobs, opts.threads) {
-                exp.push(label, rep);
+            let rows = run_cells(&exp.id, opts, jobs);
+            for row in rows {
+                exp.push_row(row);
             }
             exp
         })
@@ -393,26 +566,27 @@ pub fn rp_rn_grid(
             format!("section4/{class}{suffix} rp={rp}"),
             format!("KDD sim | train {n_train} test {n_test}"),
         );
-        let jobs: Vec<Box<dyn FnOnce() -> (String, PrfReport) + Send + '_>> = rns
+        let jobs: Vec<(String, Job<'_, PrfReport>)> = rns
             .iter()
             .map(|&rn| {
                 let train = &train;
                 let test = &test;
-                Box::new(move || {
-                    let params = PnruleParams {
-                        metric: EvalMetric::FoilGain,
-                        max_p_rule_len: if p1 { Some(1) } else { None },
-                        ..PnruleParams::with_recall_limits(rp, rn)
-                    };
-                    (
-                        format!("rn={rn}"),
-                        run_method(&Method::Pnrule(params), train, test, target),
-                    )
-                }) as Box<dyn FnOnce() -> (String, PrfReport) + Send + '_>
+                (
+                    format!("rn={rn}"),
+                    Box::new(move || {
+                        let params = PnruleParams {
+                            metric: EvalMetric::FoilGain,
+                            max_p_rule_len: if p1 { Some(1) } else { None },
+                            ..PnruleParams::with_recall_limits(rp, rn)
+                        };
+                        run_method(&Method::Pnrule(params), train, test, target)
+                    }) as Job<'_, PrfReport>,
+                )
             })
             .collect();
-        for (label, rep) in run_jobs(jobs, opts.threads) {
-            exp.push(label, rep);
+        let rows = run_cells(&exp.id, opts, jobs);
+        for row in rows {
+            exp.push_row(row);
         }
         out.push(exp);
     }
@@ -427,25 +601,164 @@ mod tests {
         CliOptions {
             scale: 0.004,
             threads: 4,
+            resume: false,
             ..Default::default()
         }
     }
 
+    fn labelled<T: Send + 'static>(
+        items: Vec<(&str, Box<dyn FnOnce() -> T + Send>)>,
+    ) -> Vec<(String, Job<'static, T>)> {
+        items.into_iter().map(|(l, f)| (l.to_string(), f)).collect()
+    }
+
     #[test]
     fn run_jobs_preserves_order() {
-        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
-            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+        let jobs: Vec<(String, Job<'_, usize>)> = (0..20usize)
+            .map(|i| {
+                (
+                    format!("j{i}"),
+                    Box::new(move || i * i) as Job<'_, usize>,
+                )
+            })
             .collect();
         let out = run_jobs(jobs, 3);
-        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        for (i, outcome) in out.iter().enumerate() {
+            assert_eq!(outcome.label(), format!("j{i}"));
+            match outcome {
+                JobOutcome::Done { value, .. } => assert_eq!(*value, i * i),
+                JobOutcome::Failed { reason, .. } => panic!("job {i} failed: {reason}"),
+            }
+        }
     }
 
     #[test]
     fn run_jobs_single_thread_and_empty() {
-        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![Box::new(|| 7)];
-        assert_eq!(run_jobs(jobs, 1), vec![7]);
-        let none: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![];
+        let out = run_jobs(labelled(vec![("only", Box::new(|| 7u8))]), 1);
+        assert_eq!(
+            out,
+            vec![JobOutcome::Done {
+                label: "only".to_string(),
+                value: 7
+            }]
+        );
+        let none: Vec<(String, Job<'_, u8>)> = vec![];
         assert!(run_jobs(none, 4).is_empty());
+    }
+
+    #[test]
+    fn panicking_job_fails_alone_and_siblings_complete() {
+        let jobs = labelled::<u32>(vec![
+            ("ok-a", Box::new(|| 1)),
+            ("boom", Box::new(|| panic!("synthetic failure {}", 41 + 1))),
+            ("ok-b", Box::new(|| 3)),
+        ]);
+        let out = run_jobs(jobs, 2);
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out[0],
+            JobOutcome::Done {
+                label: "ok-a".to_string(),
+                value: 1
+            }
+        );
+        match &out[1] {
+            JobOutcome::Failed { label, reason } => {
+                assert_eq!(label, "boom");
+                assert!(reason.contains("synthetic failure 42"), "{reason}");
+                assert!(reason.contains("experiments.rs"), "location in {reason}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert_eq!(
+            out[2],
+            JobOutcome::Done {
+                label: "ok-b".to_string(),
+                value: 3
+            }
+        );
+    }
+
+    #[test]
+    fn run_cells_turns_panics_into_failed_rows() {
+        let opts = CliOptions {
+            threads: 2,
+            resume: false,
+            ..Default::default()
+        };
+        let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+            (
+                "good".to_string(),
+                Box::new(|| PrfReport {
+                    recall: 1.0,
+                    precision: 1.0,
+                    f: 1.0,
+                }),
+            ),
+            (
+                "bad".to_string(),
+                Box::new(|| -> PrfReport { panic!("cell exploded") }),
+            ),
+        ];
+        let rows = run_cells("unit/panic", &opts, jobs);
+        assert_eq!(rows.len(), 2);
+        assert!(!rows[0].is_failed());
+        assert!(rows[1].is_failed());
+        assert!(
+            rows[1].error.as_deref().unwrap_or("").contains("cell exploded"),
+            "{:?}",
+            rows[1].error
+        );
+    }
+
+    #[test]
+    fn run_cells_resumes_from_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("pnr_cells_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = CliOptions {
+            out_dir: dir.to_string_lossy().to_string(),
+            threads: 2,
+            resume: true,
+            ..Default::default()
+        };
+        let report = PrfReport {
+            recall: 0.5,
+            precision: 0.5,
+            f: 0.5,
+        };
+        let first = run_cells(
+            "unit/resume",
+            &opts,
+            vec![("m".to_string(), Box::new(move || report) as Job<'_, _>)],
+        );
+        assert!(!first[0].is_failed());
+        // Second invocation must come from the checkpoint: a job that
+        // would panic is never executed.
+        let second = run_cells(
+            "unit/resume",
+            &opts,
+            vec![(
+                "m".to_string(),
+                Box::new(|| -> PrfReport { panic!("must not re-run") }) as Job<'_, PrfReport>,
+            )],
+        );
+        assert!(!second[0].is_failed(), "{:?}", second[0].error);
+        assert_eq!(second[0].f, 0.5);
+        // With resume off the panicking job does run, and fails.
+        let no_resume = CliOptions {
+            resume: false,
+            ..opts.clone()
+        };
+        let third = run_cells(
+            "unit/resume",
+            &no_resume,
+            vec![(
+                "m".to_string(),
+                Box::new(|| -> PrfReport { panic!("must re-run") }) as Job<'_, PrfReport>,
+            )],
+        );
+        assert!(third[0].is_failed());
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]
@@ -476,6 +789,7 @@ mod tests {
         assert_eq!(out.len(), 2);
         for exp in &out {
             assert_eq!(exp.rows.len(), 3);
+            assert!(!exp.any_failed(), "{:?}", exp.rows);
         }
     }
 

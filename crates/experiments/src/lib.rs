@@ -12,12 +12,17 @@
 //! The qualitative shape — who wins, where methods collapse — is stable
 //! across scales; absolute numbers move a little.
 
+pub mod checkpoint;
 pub mod cli;
 pub mod experiments;
 pub mod methods;
 pub mod paper;
 pub mod report;
 
+pub use checkpoint::{CellKey, Checkpoint};
 pub use cli::CliOptions;
+pub use experiments::{run_cells, run_jobs, Job, JobOutcome};
 pub use methods::{run_method, run_pnrule_best, Method};
-pub use report::{print_experiment, write_json, ExperimentResult, ResultRow};
+pub use report::{
+    format_experiment, print_experiment, run_status, write_json, ExperimentResult, ResultRow,
+};

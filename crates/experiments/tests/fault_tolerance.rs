@@ -1,0 +1,207 @@
+//! End-to-end fault-tolerance checks on the experiment pipeline:
+//! a panicking cell leaves its siblings intact, an interrupted run
+//! resumed from checkpoints matches an uninterrupted run exactly, and
+//! resume re-runs precisely the cells whose checkpoints are missing.
+
+use pnr_experiments::experiments::{run_cells, Job};
+use pnr_experiments::{format_experiment, run_status, CliOptions, ExperimentResult, ResultRow};
+use pnr_metrics::PrfReport;
+use std::sync::Mutex;
+
+fn opts_in(dir: &std::path::Path, resume: bool) -> CliOptions {
+    CliOptions {
+        out_dir: dir.to_string_lossy().to_string(),
+        threads: 2,
+        resume,
+        ..Default::default()
+    }
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pnr_ft_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn report_for(label: &str) -> PrfReport {
+    // distinct, deterministic metrics per label
+    let f = 0.5 + (label.len() as f64) / 100.0;
+    PrfReport {
+        recall: f,
+        precision: f - 0.1,
+        f,
+    }
+}
+
+const LABELS: [&str; 4] = ["C4.5rules", "RIPPER", "PNrule", "PNrule-tuned"];
+
+fn good_jobs() -> Vec<(String, Job<'static, PrfReport>)> {
+    LABELS
+        .iter()
+        .map(|&l| {
+            (
+                l.to_string(),
+                Box::new(move || report_for(l)) as Job<'static, PrfReport>,
+            )
+        })
+        .collect()
+}
+
+fn assert_rows_equal(a: &[ResultRow], b: &[ResultRow]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.recall.to_bits(), y.recall.to_bits());
+        assert_eq!(x.precision.to_bits(), y.precision.to_bits());
+        assert_eq!(x.f.to_bits(), y.f.to_bits());
+        assert_eq!(x.error, y.error);
+    }
+}
+
+#[test]
+fn panicking_cell_completes_the_table_with_failed_sibling() {
+    let dir = temp_dir("panic_table");
+    let opts = opts_in(&dir, false);
+    let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+        (
+            "C4.5rules".to_string(),
+            Box::new(|| report_for("C4.5rules")),
+        ),
+        (
+            "RIPPER".to_string(),
+            Box::new(|| -> PrfReport { panic!("index out of bounds: injected") }),
+        ),
+        ("PNrule".to_string(), Box::new(|| report_for("PNrule"))),
+    ];
+    let rows = run_cells("ft/table", &opts, jobs);
+
+    let mut exp = ExperimentResult::new("ft/table", "fault-tolerance demo");
+    for row in rows {
+        exp.push_row(row);
+    }
+    assert_eq!(exp.rows.len(), 3, "every cell reported");
+    assert!(!exp.rows[0].is_failed());
+    assert!(exp.rows[1].is_failed());
+    assert!(!exp.rows[2].is_failed());
+    assert!(
+        exp.rows[1]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("injected"),
+        "{:?}",
+        exp.rows[1].error
+    );
+    // siblings keep their real metrics
+    assert_eq!(exp.rows[2].f.to_bits(), report_for("PNrule").f.to_bits());
+
+    let rendered = format_experiment(&exp);
+    assert!(rendered.contains("FAILED("), "{rendered}");
+    assert!(rendered.contains("C4.5rules"), "{rendered}");
+
+    // the run reports failure only after completing every cell
+    assert_eq!(run_status(&[exp]), 1);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn interrupted_run_resumes_to_identical_results() {
+    // Reference: one uninterrupted run.
+    let ref_dir = temp_dir("resume_ref");
+    let reference = run_cells("ft/resume", &opts_in(&ref_dir, true), good_jobs());
+    assert!(reference.iter().all(|r| !r.is_failed()));
+
+    // Interrupted run: the last two cells die before checkpointing —
+    // the same observable state a kill -9 leaves behind (completed
+    // cells persisted, in-flight cells lost).
+    let dir = temp_dir("resume_kill");
+    let opts = opts_in(&dir, true);
+    let first_pass: Vec<(String, Job<'_, PrfReport>)> = LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            let job: Job<'_, PrfReport> = if i < 2 {
+                Box::new(move || report_for(l))
+            } else {
+                Box::new(|| -> PrfReport { panic!("simulated kill") })
+            };
+            (l.to_string(), job)
+        })
+        .collect();
+    let partial = run_cells("ft/resume", &opts, first_pass);
+    assert_eq!(partial.iter().filter(|r| r.is_failed()).count(), 2);
+
+    // Re-invocation: completed cells must come from checkpoints (their
+    // jobs are sentinels that panic if executed), lost cells re-run.
+    let executed: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let second_pass: Vec<(String, Job<'_, PrfReport>)> = LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            let executed = &executed;
+            let job: Job<'_, PrfReport> = if i < 2 {
+                Box::new(|| -> PrfReport { panic!("checkpointed cell must not re-run") })
+            } else {
+                Box::new(move || {
+                    executed
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(l.to_string());
+                    report_for(l)
+                })
+            };
+            (l.to_string(), job)
+        })
+        .collect();
+    let resumed = run_cells("ft/resume", &opts, second_pass);
+    assert_rows_equal(&reference, &resumed);
+    let mut ran = executed
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    ran.sort();
+    assert_eq!(ran, vec!["PNrule".to_string(), "PNrule-tuned".to_string()]);
+
+    std::fs::remove_dir_all(ref_dir).ok();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn deleting_one_checkpoint_reruns_only_that_cell() {
+    let dir = temp_dir("partial");
+    let opts = opts_in(&dir, true);
+    let full = run_cells("ft/partial", &opts, good_jobs());
+    assert!(full.iter().all(|r| !r.is_failed()));
+    let ckpt_dir = dir.join("checkpoints");
+    let mut files: Vec<_> = std::fs::read_dir(&ckpt_dir)
+        .expect("checkpoint dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), LABELS.len());
+    std::fs::remove_file(&files[0]).expect("delete one checkpoint");
+
+    let executed: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let jobs: Vec<(String, Job<'_, PrfReport>)> = LABELS
+        .iter()
+        .map(|&l| {
+            let executed = &executed;
+            (
+                l.to_string(),
+                Box::new(move || {
+                    executed
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(l.to_string());
+                    report_for(l)
+                }) as Job<'_, PrfReport>,
+            )
+        })
+        .collect();
+    let again = run_cells("ft/partial", &opts, jobs);
+    assert_rows_equal(&full, &again);
+    let ran = executed
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert_eq!(ran.len(), 1, "exactly the deleted cell re-ran: {ran:?}");
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,306 @@
+//! Training budget guards: bounded candidate evaluation and wall-clock
+//! deadlines for the grow loops.
+//!
+//! A [`FitBudget`] is a declarative limit set on the learner's parameters
+//! (`max_rules`, `max_candidates`, `wall_clock_secs`); a [`BudgetTracker`]
+//! is the shared runtime counter the grow loops and the condition search
+//! charge against. When any limit is crossed the tracker latches
+//! **exhausted** and every later budget check fails fast, so the learner
+//! stops growing and returns the valid model it has so far — graceful
+//! truncation, never a hang or a panic.
+//!
+//! # Determinism
+//!
+//! `max_rules` and `max_candidates` are deterministic: candidates are
+//! charged per attribute inside the condition search, and when a charge
+//! crosses the limit the *whole* search call reports exhaustion and
+//! returns no candidate — partial scans are discarded, so the outcome
+//! does not depend on how parallel workers interleaved their charges.
+//! `wall_clock_secs` is inherently nondeterministic (it races the host
+//! clock) and is therefore opt-in for reproducible runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Declarative training budget; the all-`None` default is unlimited.
+///
+/// Carried by learner parameter structs and serialized with them, so a
+/// checkpointed experiment cell records the budget it ran under.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FitBudget {
+    /// Maximum number of rules grown across all phases (P-rules plus
+    /// N-rules for PNrule). `None` = unlimited.
+    #[serde(default)]
+    pub max_rules: Option<u64>,
+    /// Maximum number of candidate conditions scored across the whole
+    /// fit. `None` = unlimited.
+    #[serde(default)]
+    pub max_candidates: Option<u64>,
+    /// Wall-clock limit in seconds for the whole fit. `None` =
+    /// unlimited. Nondeterministic: the same run may truncate at a
+    /// different rule on a slower machine.
+    #[serde(default)]
+    pub wall_clock_secs: Option<f64>,
+}
+
+impl FitBudget {
+    /// An unlimited budget (all limits off).
+    pub fn unlimited() -> Self {
+        FitBudget::default()
+    }
+
+    /// True when no limit is set, so callers can skip tracker plumbing.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_rules.is_none() && self.max_candidates.is_none() && self.wall_clock_secs.is_none()
+    }
+
+    /// Validates the budget; returns a description of the first problem.
+    /// Limits must be positive and the wall clock finite.
+    pub fn validation_error(&self) -> Option<String> {
+        if self.max_rules == Some(0) {
+            return Some("budget.max_rules must be positive when set".to_owned());
+        }
+        if self.max_candidates == Some(0) {
+            return Some("budget.max_candidates must be positive when set".to_owned());
+        }
+        if let Some(secs) = self.wall_clock_secs {
+            if !secs.is_finite() || secs < 0.0 {
+                return Some(format!(
+                    "budget.wall_clock_secs must be finite and non-negative, got {secs}"
+                ));
+            }
+        }
+        None
+    }
+
+    /// Starts a runtime tracker for this budget, anchoring the wall-clock
+    /// deadline at "now". Returns `None` for an unlimited budget so the
+    /// hot paths can skip every check.
+    pub fn start(&self) -> Option<BudgetTracker> {
+        if self.is_unlimited() {
+            return None;
+        }
+        let deadline = self.wall_clock_secs.map(|secs| {
+            // Clamp rather than panic on pathological inputs; validation
+            // reports them, the tracker just degrades to "already due".
+            let secs = if secs.is_finite() && secs >= 0.0 {
+                secs
+            } else {
+                0.0
+            };
+            Instant::now() + Duration::from_secs_f64(secs.min(1e9))
+        });
+        Some(BudgetTracker {
+            max_rules: self.max_rules,
+            max_candidates: self.max_candidates,
+            deadline,
+            rules: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            exhausted: AtomicBool::new(false),
+        })
+    }
+}
+
+/// Shared runtime counters for one fit. Cheap to query; once any limit is
+/// crossed [`BudgetTracker::is_exhausted`] stays `true` (the flag
+/// latches), so every later check fails fast.
+#[derive(Debug)]
+pub struct BudgetTracker {
+    max_rules: Option<u64>,
+    max_candidates: Option<u64>,
+    deadline: Option<Instant>,
+    rules: AtomicU64,
+    candidates: AtomicU64,
+    exhausted: AtomicBool,
+}
+
+impl BudgetTracker {
+    /// True once any limit has been crossed.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Latches the exhausted flag (used by the search when a charge
+    /// crosses the candidate limit).
+    fn exhaust(&self) {
+        self.exhausted.store(true, Ordering::Relaxed);
+    }
+
+    /// Checks the wall-clock deadline, latching exhaustion when past due.
+    /// Returns `true` when the budget still has time left.
+    pub fn check_deadline(&self) -> bool {
+        if self.is_exhausted() {
+            return false;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.exhaust();
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Charges `n` scored candidate conditions against the budget.
+    /// Returns `false` — latching exhaustion — when the charge crosses
+    /// the candidate limit or the budget was already exhausted. The
+    /// caller must then discard its partial scan (see the module-level
+    /// determinism note).
+    pub fn charge_candidates(&self, n: u64) -> bool {
+        if self.is_exhausted() {
+            return false;
+        }
+        let before = self.candidates.fetch_add(n, Ordering::Relaxed);
+        if let Some(max) = self.max_candidates {
+            if before.saturating_add(n) > max {
+                self.exhaust();
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Charges one grown rule. Returns `false` — latching exhaustion —
+    /// when the rule limit is reached or the budget was already
+    /// exhausted; the rule that triggered the charge is still valid and
+    /// kept, but the grow loop must not start another.
+    pub fn charge_rule(&self) -> bool {
+        if self.is_exhausted() {
+            return false;
+        }
+        let before = self.rules.fetch_add(1, Ordering::Relaxed);
+        if let Some(max) = self.max_rules {
+            if before + 1 >= max {
+                self.exhaust();
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Candidates charged so far (diagnostics).
+    pub fn candidates_charged(&self) -> u64 {
+        self.candidates.load(Ordering::Relaxed)
+    }
+
+    /// Rules charged so far (diagnostics).
+    pub fn rules_charged(&self) -> u64 {
+        self.rules.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_has_no_tracker() {
+        assert!(FitBudget::unlimited().is_unlimited());
+        assert!(FitBudget::default().start().is_none());
+    }
+
+    #[test]
+    fn candidate_limit_latches() {
+        let budget = FitBudget {
+            max_candidates: Some(10),
+            ..FitBudget::default()
+        };
+        let t = budget.start().expect("limited budget");
+        assert!(t.charge_candidates(6));
+        assert!(!t.is_exhausted());
+        // 6 + 5 = 11 > 10: crossing charge fails and latches.
+        assert!(!t.charge_candidates(5));
+        assert!(t.is_exhausted());
+        assert!(!t.charge_candidates(1));
+        assert!(!t.check_deadline());
+    }
+
+    #[test]
+    fn exact_candidate_limit_is_allowed() {
+        let budget = FitBudget {
+            max_candidates: Some(10),
+            ..FitBudget::default()
+        };
+        let t = budget.start().expect("limited budget");
+        assert!(t.charge_candidates(10));
+        assert!(!t.is_exhausted());
+        assert!(!t.charge_candidates(1));
+    }
+
+    #[test]
+    fn rule_limit_keeps_the_crossing_rule() {
+        let budget = FitBudget {
+            max_rules: Some(2),
+            ..FitBudget::default()
+        };
+        let t = budget.start().expect("limited budget");
+        assert!(t.charge_rule()); // rule 1: under the limit
+        assert!(!t.charge_rule()); // rule 2: reaches the limit, kept, latches
+        assert!(t.is_exhausted());
+        assert_eq!(t.rules_charged(), 2);
+    }
+
+    #[test]
+    fn zero_deadline_is_immediately_due() {
+        let budget = FitBudget {
+            wall_clock_secs: Some(0.0),
+            ..FitBudget::default()
+        };
+        let t = budget.start().expect("limited budget");
+        assert!(!t.check_deadline());
+        assert!(t.is_exhausted());
+    }
+
+    #[test]
+    fn generous_deadline_is_not_due() {
+        let budget = FitBudget {
+            wall_clock_secs: Some(3600.0),
+            ..FitBudget::default()
+        };
+        let t = budget.start().expect("limited budget");
+        assert!(t.check_deadline());
+        assert!(!t.is_exhausted());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_limits() {
+        let zero_rules = FitBudget {
+            max_rules: Some(0),
+            ..FitBudget::default()
+        };
+        assert!(zero_rules.validation_error().is_some());
+        let zero_cands = FitBudget {
+            max_candidates: Some(0),
+            ..FitBudget::default()
+        };
+        assert!(zero_cands.validation_error().is_some());
+        let bad_clock = FitBudget {
+            wall_clock_secs: Some(f64::NAN),
+            ..FitBudget::default()
+        };
+        assert!(bad_clock.validation_error().is_some());
+        assert!(FitBudget::default().validation_error().is_none());
+    }
+
+    #[test]
+    fn budget_round_trips_through_json() {
+        let budget = FitBudget {
+            max_rules: Some(7),
+            max_candidates: None,
+            wall_clock_secs: Some(1.5),
+        };
+        let json = serde_json::to_string(&budget).expect("serialize");
+        let back: FitBudget = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, budget);
+    }
+
+    #[test]
+    fn missing_budget_fields_default_to_unlimited() {
+        // Older serialized params carry no budget fields at all; the
+        // `#[serde(default)]` markers must fill them in as unlimited.
+        let back: FitBudget = serde_json::from_str("{}").expect("deserialize empty map");
+        assert_eq!(back, FitBudget::unlimited());
+    }
+}

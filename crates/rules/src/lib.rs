@@ -40,6 +40,7 @@
 //! assert_eq!(best.stats.total, 2.0);
 //! ```
 
+pub mod budget;
 pub mod classifier;
 pub mod condition;
 pub mod mdl;
@@ -50,6 +51,7 @@ pub mod stats;
 pub mod task;
 pub mod view_index;
 
+pub use budget::{BudgetTracker, FitBudget};
 pub use classifier::{evaluate_classifier, score_curve, BinaryClassifier, ConstantClassifier};
 pub use condition::Condition;
 pub use rule::Rule;

@@ -17,11 +17,13 @@
 //! attribute order — bit-identical to the sequential scan, including the
 //! "first best wins, lowest attribute index" tie-break.
 
+use crate::budget::BudgetTracker;
 use crate::condition::Condition;
 use crate::stats::{CovStats, EvalMetric};
 use crate::task::TaskView;
 use pnr_data::weights::approx;
 use pnr_data::Column;
+use std::sync::Arc;
 
 /// Options controlling condition search.
 #[derive(Debug, Clone)]
@@ -52,6 +54,13 @@ pub struct SearchOptions {
     /// the threaded path (at least two workers, even on a single core), so
     /// the thread/merge machinery can be exercised anywhere.
     pub parallel_min_cells: usize,
+    /// Optional training-budget tracker candidates are charged against.
+    /// When a charge crosses the budget's candidate limit (or its
+    /// wall-clock deadline has passed) the whole search call returns
+    /// `None` and the tracker latches exhausted — partial scans are
+    /// discarded so the outcome is deterministic under parallelism (see
+    /// [`crate::budget`]).
+    pub budget: Option<Arc<BudgetTracker>>,
 }
 
 impl Default for SearchOptions {
@@ -62,7 +71,26 @@ impl Default for SearchOptions {
             context: None,
             parallel: true,
             parallel_min_cells: PARALLEL_MIN_CELLS,
+            budget: None,
         }
+    }
+}
+
+/// Charges `n` scored candidates against the options' budget tracker;
+/// always `true` when no budget is attached.
+fn charge_candidates(opts: &SearchOptions, n: usize) -> bool {
+    match &opts.budget {
+        Some(tracker) => tracker.charge_candidates(n as u64),
+        None => true,
+    }
+}
+
+/// True when the attached budget can no longer fund this search call:
+/// already latched exhausted, or past its wall-clock deadline.
+fn budget_depleted(opts: &SearchOptions) -> bool {
+    match &opts.budget {
+        Some(tracker) => tracker.is_exhausted() || !tracker.check_deadline(),
+        None => false,
     }
 }
 
@@ -115,7 +143,7 @@ pub fn find_best_condition(
     metric: EvalMetric,
     opts: &SearchOptions,
 ) -> Option<CandidateCondition> {
-    if view.is_empty() {
+    if view.is_empty() || budget_depleted(opts) {
         return None;
     }
     let n_attrs = view.data.n_attrs();
@@ -169,6 +197,11 @@ pub fn find_best_condition(
             best.offer(c.condition, c.stats, c.score);
         }
     }
+    if budget_depleted(opts) {
+        // The budget fired somewhere in this call: discard the partial
+        // scan so the result does not depend on worker interleaving.
+        return None;
+    }
     best.cand
 }
 
@@ -179,7 +212,7 @@ pub fn find_best_condition_sequential(
     metric: EvalMetric,
     opts: &SearchOptions,
 ) -> Option<CandidateCondition> {
-    if view.is_empty() {
+    if view.is_empty() || budget_depleted(opts) {
         return None;
     }
     let (pos_total, n_total) = opts
@@ -190,6 +223,11 @@ pub fn find_best_condition_sequential(
         if let Some(c) = search_attribute(view, attr, metric, opts, pos_total, n_total) {
             best.offer(c.condition, c.stats, c.score);
         }
+    }
+    if budget_depleted(opts) {
+        // Mirror of the parallel path: a budget that fired mid-call
+        // invalidates the whole scan.
+        return None;
     }
     best.cand
 }
@@ -225,6 +263,10 @@ fn search_categorical(
 ) {
     let n_values = view.data.schema().attr(attr).dict.len();
     if n_values == 0 {
+        return;
+    }
+    // One scored candidate per dictionary value.
+    if !charge_candidates(opts, n_values) {
         return;
     }
     let mut pos = vec![0.0f64; n_values];
@@ -344,6 +386,10 @@ fn search_numeric(
         // A constant attribute offers no split.
         return;
     }
+    // Two one-sided candidates per interior boundary.
+    if !charge_candidates(opts, (b.len() - 1) * 2) {
+        return;
+    }
     // b.len() >= 2 was checked above, so the last boundary exists.
     let all = CovStats::new(b.cum_pos[b.len() - 1], b.cum_tot[b.len() - 1]);
 
@@ -406,6 +452,9 @@ fn search_numeric(
         // Best one-sided is `A > v_lo` (a finite gt_score implies the
         // candidate exists): fix lo, scan hi to the right.
         let Some((lo_idx, _)) = best_gt else { return };
+        if !charge_candidates(opts, (b.len() - 1).saturating_sub(lo_idx + 1)) {
+            return;
+        }
         for hi_idx in lo_idx + 1..b.len() - 1 {
             let stats = b.interval(Some(lo_idx), hi_idx);
             if stats.total < opts.min_support_weight {
@@ -426,6 +475,9 @@ fn search_numeric(
         // Best one-sided is `A ≤ v_hi` (a finite le_score implies the
         // candidate exists): fix hi, scan lo to the left.
         let Some((hi_idx, _)) = best_le else { return };
+        if !charge_candidates(opts, hi_idx) {
+            return;
+        }
         for lo_idx in 0..hi_idx {
             let stats = b.interval(Some(lo_idx), hi_idx);
             if stats.total < opts.min_support_weight {
@@ -730,6 +782,73 @@ mod tests {
             got.score <= all_ranges + 1e-12,
             "scored above the global range optimum"
         );
+    }
+
+    #[test]
+    fn tiny_candidate_budget_aborts_the_search() {
+        let rows: Vec<(f64, bool)> = (0..20).map(|i| (i as f64, (8..12).contains(&i))).collect();
+        let (d, is_pos) = numeric_data(&rows);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let tracker = crate::budget::FitBudget {
+            max_candidates: Some(1),
+            ..Default::default()
+        }
+        .start()
+        .map(std::sync::Arc::new);
+        let opts = SearchOptions {
+            budget: tracker.clone(),
+            ..Default::default()
+        };
+        assert!(find_best_condition(&v, EvalMetric::ZNumber, &opts).is_none());
+        assert!(tracker.unwrap().is_exhausted());
+        // A later call against the latched tracker also returns None.
+        assert!(find_best_condition(&v, EvalMetric::ZNumber, &opts).is_none());
+    }
+
+    #[test]
+    fn ample_candidate_budget_matches_unbudgeted_search() {
+        let rows: Vec<(f64, bool)> = (0..20).map(|i| (i as f64, (8..12).contains(&i))).collect();
+        let (d, is_pos) = numeric_data(&rows);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let tracker = crate::budget::FitBudget {
+            max_candidates: Some(1_000_000),
+            ..Default::default()
+        }
+        .start()
+        .map(std::sync::Arc::new);
+        let opts = SearchOptions {
+            budget: tracker.clone(),
+            ..Default::default()
+        };
+        let budgeted = find_best_condition(&v, EvalMetric::ZNumber, &opts).unwrap();
+        let free =
+            find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default()).unwrap();
+        assert_eq!(budgeted.condition, free.condition);
+        assert_eq!(budgeted.score.to_bits(), free.score.to_bits());
+        let tracker = tracker.unwrap();
+        assert!(!tracker.is_exhausted());
+        assert!(tracker.candidates_charged() > 0);
+    }
+
+    #[test]
+    fn expired_deadline_returns_none_without_scanning() {
+        let rows: Vec<(f64, bool)> = (0..20).map(|i| (i as f64, i % 2 == 0)).collect();
+        let (d, is_pos) = numeric_data(&rows);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let tracker = crate::budget::FitBudget {
+            wall_clock_secs: Some(0.0),
+            ..Default::default()
+        }
+        .start()
+        .map(std::sync::Arc::new);
+        let opts = SearchOptions {
+            budget: tracker.clone(),
+            ..Default::default()
+        };
+        assert!(find_best_condition(&v, EvalMetric::ZNumber, &opts).is_none());
+        let tracker = tracker.unwrap();
+        assert!(tracker.is_exhausted());
+        assert_eq!(tracker.candidates_charged(), 0);
     }
 
     #[test]

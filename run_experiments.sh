@@ -1,21 +1,65 @@
 #!/bin/bash
 # Regenerates every table/figure of the paper into results/.
 # Usage: ./run_experiments.sh [scale]
-set -u
+#
+# Completed (method, dataset) cells are checkpointed under
+# results/checkpoints/; re-running after an interruption resumes from
+# there (set RESUME_FLAGS=--no-resume to force a clean run). Each binary
+# exits 0 only when every cell completed; the script runs everything
+# regardless of individual failures and prints a pass/fail summary at
+# the end, exiting non-zero when anything failed.
+set -uo pipefail
 SCALE="${1:-0.5}"
 OUT=results
+RESUME_FLAGS="${RESUME_FLAGS:-}"
 mkdir -p "$OUT"
 BIN=./target/release
+
+declare -a NAMES=()
+declare -a CODES=()
+
+run_one() {
+  local name="$1"
+  shift
+  local start code
+  echo "=== $name ==="
+  start=$(date +%s)
+  "$@" > "$OUT/$name.txt" 2>&1
+  code=$?
+  echo "$name took $(( $(date +%s) - start ))s (exit $code)" | tee "$OUT/$name.time"
+  NAMES+=("$name")
+  CODES+=("$code")
+}
+
 for exp in table1 figure1 table2 table3 table4 table5 table6 \
            table_r2l table_r2l_p1 table_probe table_probe_p1; do
-  echo "=== $exp (scale $SCALE) ==="
-  start=$(date +%s)
-  "$BIN/$exp" --scale "$SCALE" --out "$OUT" > "$OUT/$exp.txt" 2>&1 || echo "$exp FAILED"
-  echo "$exp took $(( $(date +%s) - start ))s" | tee "$OUT/$exp.time"
+  # shellcheck disable=SC2086
+  run_one "$exp" "$BIN/$exp" --scale "$SCALE" --out "$OUT" $RESUME_FLAGS
 done
-"$BIN/figure2" > "$OUT/figure2.txt" 2>&1
-"$BIN/figure3" > "$OUT/figure3.txt" 2>&1
-echo "=== ablations ==="
-"$BIN/ablations" --scale 0.3 --out "$OUT" > "$OUT/ablations.txt" 2>&1 || echo "ablations FAILED"
-"$BIN/report_md" --out "$OUT" > EXPERIMENTS_RESULTS.md 2>/dev/null || true
+run_one figure2 "$BIN/figure2"
+run_one figure3 "$BIN/figure3"
+# shellcheck disable=SC2086
+run_one ablations "$BIN/ablations" --scale 0.3 --out "$OUT" $RESUME_FLAGS
+
+"$BIN/report_md" --out "$OUT" > EXPERIMENTS_RESULTS.md
+REPORT_CODE=$?
+NAMES+=(report_md)
+CODES+=("$REPORT_CODE")
+
+echo
+echo "=== summary (scale $SCALE) ==="
+printf '%-16s %s\n' "experiment" "status"
+FAILED=0
+for i in "${!NAMES[@]}"; do
+  if [ "${CODES[$i]}" -eq 0 ]; then
+    printf '%-16s PASS\n' "${NAMES[$i]}"
+  else
+    printf '%-16s FAIL (exit %s)\n' "${NAMES[$i]}" "${CODES[$i]}"
+    FAILED=$((FAILED + 1))
+  fi
+done
+if [ "$FAILED" -gt 0 ]; then
+  echo "$FAILED experiment(s) failed"
+  exit 1
+fi
 echo ALL_DONE

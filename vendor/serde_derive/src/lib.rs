@@ -18,6 +18,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 enum Shape {
@@ -128,20 +129,34 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// True if the attribute group tokens are `serde ( ... skip ... )`.
-fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+/// Field-level serde flags recognised by the stand-in derive.
+#[derive(Default)]
+struct SerdeFlags {
+    skip: bool,
+    default: bool,
+}
+
+/// Parses `serde ( ... )` attribute group tokens into flags; a non-serde
+/// attribute contributes nothing.
+fn attr_serde_flags(group: &proc_macro::Group) -> SerdeFlags {
+    let mut flags = SerdeFlags::default();
     let mut iter = group.stream().into_iter();
     match iter.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return flags,
     }
-    match iter.next() {
-        Some(TokenTree::Group(inner)) => inner
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+    if let Some(TokenTree::Group(inner)) = iter.next() {
+        for t in inner.stream() {
+            if let TokenTree::Ident(id) = &t {
+                match id.to_string().as_str() {
+                    "skip" => flags.skip = true,
+                    "default" => flags.default = true,
+                    _ => {}
+                }
+            }
+        }
     }
+    flags
 }
 
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
@@ -150,10 +165,13 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut i = 0;
     while i < tokens.len() {
         let mut skip = false;
+        let mut default = false;
         // attributes
         while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                skip = skip || attr_is_serde_skip(g);
+                let flags = attr_serde_flags(g);
+                skip = skip || flags.skip;
+                default = default || flags.default;
             }
             i += 2;
         }
@@ -177,7 +195,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         );
         i += 1;
         skip_type(&tokens, &mut i);
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
         // consume trailing comma if present
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
@@ -307,6 +329,19 @@ fn named_fields_from_map(type_path: &str, fields: &[Field], source: &str) -> Str
     for f in fields {
         if f.skip {
             code.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+        } else if f.default {
+            // `#[serde(default)]`: a missing field deserializes to its
+            // Default instead of erroring, so newer readers accept older
+            // JSON files that predate the field.
+            code.push_str(&format!(
+                "{n}: match {src}.get(\"{n}\") {{\
+                 ::std::option::Option::Some(__v) => \
+                 ::serde::Deserialize::deserialize(__v)?,\
+                 ::std::option::Option::None => ::std::default::Default::default(),\
+                 }},",
+                n = f.name,
+                src = source,
+            ));
         } else {
             code.push_str(&format!(
                 "{n}: ::serde::Deserialize::deserialize({src}.get(\"{n}\")\
