@@ -52,18 +52,42 @@ pub use rules::ClassRule;
 pub use tree::{Node, Tree};
 
 use pnr_data::Dataset;
+use pnr_telemetry::{Span, SpanKind, TelemetrySink};
+use std::sync::Arc;
 
 /// The C4.5 learner: builds pruned trees and rule models.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct C45Learner {
     params: C45Params,
+    sink: Arc<dyn TelemetrySink>,
+}
+
+impl Default for C45Learner {
+    fn default() -> Self {
+        C45Learner {
+            params: C45Params::default(),
+            sink: pnr_telemetry::noop(),
+        }
+    }
 }
 
 impl C45Learner {
     /// A learner with the given parameters.
     pub fn new(params: C45Params) -> Self {
         params.validate();
-        C45Learner { params }
+        C45Learner {
+            params,
+            sink: pnr_telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry sink; each fit is wrapped in one coarse
+    /// baseline-fit span. Write-only: the model is identical whatever sink
+    /// is attached.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// The learner's parameters.
@@ -73,6 +97,7 @@ impl C45Learner {
 
     /// Builds and pessimistically prunes a decision tree.
     pub fn fit_tree(&self, data: &Dataset) -> C45TreeModel {
+        let _fit_span = Span::enter(self.sink.as_ref(), SpanKind::BaselineFit, "c45_tree");
         let mut t = tree::build_tree(data, &self.params);
         prune::prune_tree(&mut t, data, &self.params);
         C45TreeModel::new(t)
@@ -81,6 +106,7 @@ impl C45Learner {
     /// Runs the full C4.5rules pipeline (tree → rules → generalisation →
     /// subset selection → ranking → default class).
     pub fn fit_rules(&self, data: &Dataset) -> C45RulesModel {
+        let _fit_span = Span::enter(self.sink.as_ref(), SpanKind::BaselineFit, "c45_rules");
         let tree_model = self.fit_tree(data);
         rules::rules_from_tree(tree_model.tree(), data, &self.params)
     }

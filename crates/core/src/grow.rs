@@ -15,6 +15,7 @@
 use pnr_rules::{
     find_best_condition, BudgetTracker, CovStats, EvalMetric, Rule, SearchOptions, TaskView,
 };
+use pnr_telemetry::TelemetrySink;
 use std::sync::Arc;
 
 /// The N-phase's recall guard (section 2.2): forces further refinement of a
@@ -73,6 +74,9 @@ pub struct GrowOptions {
     /// conditions accepted so far) when the budget's deadline passes or
     /// its candidate limit fires inside the condition search.
     pub budget: Option<Arc<BudgetTracker>>,
+    /// Telemetry sink the condition search reports counters to. Write-only:
+    /// nothing recorded here ever feeds back into growth decisions.
+    pub sink: Arc<dyn TelemetrySink>,
 }
 
 impl GrowOptions {
@@ -86,6 +90,7 @@ impl GrowOptions {
             min_improvement: 0.02,
             recall_guard: None,
             budget: None,
+            sink: pnr_telemetry::noop(),
         }
     }
 }
@@ -111,6 +116,7 @@ pub fn grow_rule(view: &TaskView<'_>, opts: &GrowOptions) -> Option<GrownRule> {
         min_support_weight: opts.min_support_weight,
         context: Some(ctx),
         budget: opts.budget.clone(),
+        sink: opts.sink.clone(),
         ..Default::default()
     };
 

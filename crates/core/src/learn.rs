@@ -1,12 +1,13 @@
 //! The end-to-end PNrule learner.
 
 use crate::model::PnruleModel;
-use crate::nphase::{learn_n_rules_with_budget, StopReason};
+use crate::nphase::{learn_n_rules_with_sink, StopReason};
 use crate::params::PnruleParams;
-use crate::pphase::learn_p_rules_with_budget;
+use crate::pphase::learn_p_rules_with_sink;
 use crate::scoring::ScoreMatrix;
 use pnr_data::{Dataset, RowSet};
 use pnr_rules::{CovStats, RuleSet, TaskView};
+use pnr_telemetry::{Span, SpanKind, TelemetrySink};
 use std::sync::Arc;
 
 /// Diagnostics of one `fit`: what each phase did and why it stopped.
@@ -34,6 +35,11 @@ pub struct FitReport {
     /// Description length after each accepted N-rule (element 0 = empty
     /// N-theory).
     pub n_dl_trace: Vec<f64>,
+    /// Candidate conditions charged against the fit's
+    /// [`BudgetTracker`](pnr_rules::BudgetTracker) (`None` = the fit ran
+    /// without a budget). While the budget never latches, this equals the
+    /// `candidate_charges` telemetry counter exactly.
+    pub candidates_charged: Option<u64>,
 }
 
 impl FitReport {
@@ -47,16 +53,38 @@ impl FitReport {
 
 /// Learns a [`PnruleModel`] for one target class: P-phase, pooling, N-phase
 /// and the scoring step, in that order (section 2.1).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PnruleLearner {
     params: PnruleParams,
+    sink: Arc<dyn TelemetrySink>,
+}
+
+impl Default for PnruleLearner {
+    fn default() -> Self {
+        PnruleLearner {
+            params: PnruleParams::default(),
+            sink: pnr_telemetry::noop(),
+        }
+    }
 }
 
 impl PnruleLearner {
     /// A learner with the given parameters.
     pub fn new(params: PnruleParams) -> Self {
         params.validate();
-        PnruleLearner { params }
+        PnruleLearner {
+            params,
+            sink: pnr_telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry sink every fit reports spans and counters to.
+    /// Write-only: the learned model is bit-identical whatever sink is
+    /// attached.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// The learner's parameters.
@@ -96,6 +124,7 @@ impl PnruleLearner {
         is_pos: &[bool],
     ) -> (PnruleModel, FitReport) {
         assert_eq!(is_pos.len(), data.n_rows());
+        let _fit_span = Span::enter(self.sink.as_ref(), SpanKind::Fit, "fit");
         let weights = data.weights();
         let view = TaskView::full(data, is_pos, weights);
         let orig_pos_total = view.pos_weight();
@@ -105,7 +134,7 @@ impl PnruleLearner {
         let budget = self.params.budget.start().map(Arc::new);
 
         // --- P-phase: presence rules, high support first. ---
-        let p_result = learn_p_rules_with_budget(&view, &self.params, budget.as_ref());
+        let p_result = learn_p_rules_with_sink(&view, &self.params, budget.as_ref(), &self.sink);
         let p_rules = RuleSet::from_rules(p_result.rules.iter().map(|p| p.rule.clone()).collect());
 
         // --- Pool every record the P-union covers. ---
@@ -125,12 +154,13 @@ impl PnruleLearner {
             if self.params.enable_n_phase && !p_rules.is_empty() {
                 let flipped: Vec<bool> = is_pos.iter().map(|&p| !p).collect();
                 let pooled = TaskView::over(data, pooled_rows, &flipped, weights);
-                let n_result = learn_n_rules_with_budget(
+                let n_result = learn_n_rules_with_sink(
                     &pooled,
                     orig_pos_total,
                     covered_pos,
                     &self.params,
                     budget.as_ref(),
+                    &self.sink,
                 );
                 let stats = n_result.rules.iter().map(|n| n.stats).collect();
                 (
@@ -158,12 +188,13 @@ impl PnruleLearner {
             };
 
         // --- Scoring: judge every P×N combination on the training data. ---
-        let score_matrix = ScoreMatrix::build(
+        let score_matrix = ScoreMatrix::build_with_sink(
             data,
             is_pos,
             &p_rules,
             &n_rules,
             self.params.scoring_z_threshold,
+            &self.sink,
         );
 
         let report = FitReport {
@@ -177,6 +208,7 @@ impl PnruleLearner {
             n_stop_reason,
             n_mdl_truncated,
             n_dl_trace,
+            candidates_charged: budget.as_ref().map(|t| t.candidates_charged()),
         };
         let model = PnruleModel {
             target,

@@ -58,9 +58,14 @@ pub use grow::{grow_rule, GrowOptions, GrownRule, RecallGuard};
 pub use learn::{FitReport, PnruleLearner};
 pub use model::{PnruleModel, RuleTrace};
 pub use multiclass::MultiClassPnrule;
-pub use nphase::{learn_n_rules, learn_n_rules_with_budget, NPhaseResult, NRule, StopReason};
+pub use nphase::{
+    learn_n_rules, learn_n_rules_with_budget, learn_n_rules_with_sink, NPhaseResult, NRule,
+    StopReason,
+};
 pub use params::PnruleParams;
 pub use pnr_rules::{BudgetTracker, FitBudget};
-pub use pphase::{learn_p_rules, learn_p_rules_with_budget, PPhaseResult, PRule};
+pub use pphase::{
+    learn_p_rules, learn_p_rules_with_budget, learn_p_rules_with_sink, PPhaseResult, PRule,
+};
 pub use scoring::ScoreMatrix;
 pub use tune::{fit_auto, prune_n_rules, AutoTuneOptions};

@@ -38,21 +38,36 @@ pub struct RuleTrace {
 }
 
 impl PnruleModel {
-    /// The rules that fire for `row`.
-    pub fn trace(&self, data: &Dataset, row: usize) -> RuleTrace {
+    /// Score *and* explanation of `row` from a single first-match sweep of
+    /// the rule lists. Callers that need both the decision and the firing
+    /// rules (error analysis, tracing UIs) use this instead of calling
+    /// [`score`](BinaryClassifier::score) and [`Self::trace`] separately —
+    /// those would each walk the P- and N-rule lists again.
+    pub fn score_with_trace(&self, data: &Dataset, row: usize) -> (f64, RuleTrace) {
         match self.p_rules.first_match(data, row) {
-            None => RuleTrace {
-                p_rule: None,
-                n_rule: None,
-            },
+            None => (
+                0.0,
+                RuleTrace {
+                    p_rule: None,
+                    n_rule: None,
+                },
+            ),
             Some(pi) => {
                 let nj = self.n_rules.first_match(data, row);
-                RuleTrace {
-                    p_rule: Some(pi),
-                    n_rule: nj,
-                }
+                (
+                    self.score_matrix.score(pi, nj),
+                    RuleTrace {
+                        p_rule: Some(pi),
+                        n_rule: nj,
+                    },
+                )
             }
         }
+    }
+
+    /// The rules that fire for `row`.
+    pub fn trace(&self, data: &Dataset, row: usize) -> RuleTrace {
+        self.score_with_trace(data, row).1
     }
 
     /// Multi-line human-readable rendering of the model.
@@ -74,13 +89,7 @@ impl PnruleModel {
 
 impl BinaryClassifier for PnruleModel {
     fn score(&self, data: &Dataset, row: usize) -> f64 {
-        match self.p_rules.first_match(data, row) {
-            None => 0.0,
-            Some(pi) => {
-                let nj = self.n_rules.first_match(data, row);
-                self.score_matrix.score(pi, nj)
-            }
-        }
+        self.score_with_trace(data, row).0
     }
 
     fn predict(&self, data: &Dataset, row: usize) -> bool {
@@ -178,6 +187,20 @@ mod tests {
         assert!(s.contains("1 P-rules"));
         assert!(s.contains("x <= 5"));
         assert!(s.contains("y > 0"));
+    }
+
+    #[test]
+    fn score_with_trace_agrees_with_score_and_trace() {
+        // Regression: score and trace used to run separate first_match
+        // sweeps; the single-pass path must report exactly what the two
+        // individual calls report, on every row (matched by P only, by
+        // P and N, and by neither).
+        let (model, d) = model_and_data();
+        for row in 0..d.n_rows() {
+            let (s, t) = model.score_with_trace(&d, row);
+            assert_eq!(s, model.score(&d, row), "row {row}");
+            assert_eq!(t, model.trace(&d, row), "row {row}");
+        }
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! footnote 3 notes the framework's applicability "to the multi-class
 //! problem with different costs of misclassification"). Per-class
 //! misclassification costs scale the scores before the argmax.
+//!
+//! # Tie-breaking
+//!
+//! When two classes end up with exactly equal cost-scaled scores, the class
+//! with the **higher misclassification cost** wins (misclassifying it is
+//! dearer, so the tie resolves toward caution); if the costs tie too, the
+//! **lower class code** wins. The rule is deliberate and pinned by tests —
+//! a bare `Iterator::max_by` would silently favour the highest class code,
+//! an accident of enumeration order.
 
 use crate::learn::PnruleLearner;
 use crate::model::PnruleModel;
@@ -75,15 +84,35 @@ impl MultiClassPnrule {
 
     /// Predicted class: the highest-scoring model, or the default class
     /// when no model fires at all.
+    ///
+    /// Exact score ties break toward the class with the higher
+    /// misclassification cost, then toward the lower class code (see the
+    /// [module docs](self#tie-breaking)).
     pub fn classify(&self, data: &Dataset, row: usize) -> u32 {
+        use std::cmp::Ordering;
         let scores = self.class_scores(data, row);
+        let mut best: Option<usize> = None;
         // total_cmp: scores are products of ScoreMatrix probabilities and
-        // positive costs, always finite.
-        let Some((best, &best_score)) = scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))
-        else {
+        // positive costs, always finite. Iterating in ascending class code
+        // and keeping the incumbent on full ties makes the lower class code
+        // the final tie-breaker.
+        for (i, s) in scores.iter().enumerate() {
+            let challenger_wins = match best {
+                None => true,
+                Some(b) => match s.total_cmp(&scores[b]) {
+                    Ordering::Greater => true,
+                    Ordering::Less => false,
+                    Ordering::Equal => self.costs[i].total_cmp(&self.costs[b]) == Ordering::Greater,
+                },
+            };
+            if challenger_wins {
+                best = Some(i);
+            }
+        }
+        let Some(best) = best else {
             return self.default_class;
         };
-        if best_score <= 0.0 {
+        if scores[best] <= 0.0 {
             self.default_class
         } else {
             pnr_data::index::to_u32(best, "class code")
@@ -156,6 +185,63 @@ mod tests {
             count(&biased) >= count(&uniform),
             "raising a class's cost must not shrink its predictions"
         );
+    }
+
+    /// A model whose single catch-all P-rule gives every record the given
+    /// score (ScoreMatrix fields are private; serde is the construction
+    /// seam for synthetic matrices).
+    fn flat_model(score: f64) -> crate::model::PnruleModel {
+        use pnr_rules::{Condition, Rule, RuleSet};
+        let sm: crate::scoring::ScoreMatrix =
+            serde_json::from_str(&format!(r#"{{"n_p":1,"n_n":0,"scores":[{score}]}}"#)).unwrap();
+        crate::model::PnruleModel {
+            target: 0,
+            threshold: 0.5,
+            p_rules: RuleSet::from_rules(vec![Rule::new(vec![Condition::NumGt {
+                attr: 0,
+                value: -1.0,
+            }])]),
+            n_rules: RuleSet::new(),
+            score_matrix: sm,
+        }
+    }
+
+    fn one_row_data() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_class("a");
+        b.add_class("b");
+        b.push_row(&[Value::num(0.0)], "a", 1.0).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn exact_score_tie_breaks_to_lower_class_code() {
+        // Two identical models, identical costs: every class scores the
+        // same. A bare max_by would return the *last* maximum (class 1);
+        // the documented tie-break demands the lower class code. The
+        // default class is set to 1 so a fallback can't mask the bug.
+        let d = one_row_data();
+        let mc = MultiClassPnrule {
+            models: vec![flat_model(0.8), flat_model(0.8)],
+            costs: vec![1.0, 1.0],
+            default_class: 1,
+        };
+        assert_eq!(mc.classify(&d, 0), 0);
+    }
+
+    #[test]
+    fn exact_score_tie_breaks_to_higher_cost_first() {
+        // Raw scores 0.5 and 1.0 scaled by costs 2.0 and 1.0 tie at 1.0;
+        // the costlier class (0) must win over the lower-code-last
+        // accident a bare max_by produces.
+        let d = one_row_data();
+        let mc = MultiClassPnrule {
+            models: vec![flat_model(0.5), flat_model(1.0)],
+            costs: vec![2.0, 1.0],
+            default_class: 1,
+        };
+        assert_eq!(mc.classify(&d, 0), 0);
     }
 
     #[test]

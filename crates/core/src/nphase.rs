@@ -21,6 +21,7 @@ use crate::params::PnruleParams;
 use pnr_data::weights::approx;
 use pnr_rules::mdl::{count_possible_conditions, total_dl};
 use pnr_rules::{BudgetTracker, CovStats, Rule, TaskView};
+use pnr_telemetry::{Counter, Span, SpanKind, TelemetrySink};
 use std::sync::Arc;
 
 /// One accepted N-rule with its discovery-time statistics over the N-view
@@ -98,7 +99,13 @@ pub fn learn_n_rules(
     params: &PnruleParams,
 ) -> NPhaseResult {
     let tracker = params.budget.start().map(Arc::new);
-    learn_n_rules_with_budget(pooled, orig_pos_total, covered_pos, params, tracker.as_ref())
+    learn_n_rules_with_budget(
+        pooled,
+        orig_pos_total,
+        covered_pos,
+        params,
+        tracker.as_ref(),
+    )
 }
 
 /// [`learn_n_rules`] charging against an externally owned budget tracker
@@ -112,6 +119,28 @@ pub fn learn_n_rules_with_budget(
     params: &PnruleParams,
     budget: Option<&Arc<BudgetTracker>>,
 ) -> NPhaseResult {
+    learn_n_rules_with_sink(
+        pooled,
+        orig_pos_total,
+        covered_pos,
+        params,
+        budget,
+        &pnr_telemetry::noop(),
+    )
+}
+
+/// [`learn_n_rules_with_budget`] reporting phase/rule spans, search
+/// counters and MDL prunes to `sink`. Telemetry is write-only: the learned
+/// rules are identical whatever sink is attached.
+pub fn learn_n_rules_with_sink(
+    pooled: &TaskView<'_>,
+    orig_pos_total: f64,
+    covered_pos: f64,
+    params: &PnruleParams,
+    budget: Option<&Arc<BudgetTracker>>,
+    sink: &Arc<dyn TelemetrySink>,
+) -> NPhaseResult {
+    let _phase_span = Span::enter(sink.as_ref(), SpanKind::NPhase, "n_phase");
     params.validate();
     let mut result = NPhaseResult::default();
     let mut retained_pos = covered_pos;
@@ -185,8 +214,20 @@ pub fn learn_n_rules_with_budget(
             min_improvement: params.min_improvement,
             recall_guard: Some(guard),
             budget: budget.cloned(),
+            sink: sink.clone(),
         };
-        let Some(mut grown) = grow_rule(&remaining, &opts) else {
+        // Label formatting is gated so the disabled path allocates nothing
+        // per rule.
+        let label = if sink.enabled() {
+            format!("n{}", result.rules.len())
+        } else {
+            String::new()
+        };
+        let grown = {
+            let _grow_span = Span::enter(sink.as_ref(), SpanKind::NRuleGrow, &label);
+            grow_rule(&remaining, &opts)
+        };
+        let Some(mut grown) = grown else {
             result.stop_reason = if budget.is_some_and(|b| b.is_exhausted()) {
                 StopReason::BudgetExhausted
             } else {
@@ -210,7 +251,16 @@ pub fn learn_n_rules_with_budget(
                 min_improvement: 0.0,
                 ..opts
             };
-            if let Some(alt) = grow_rule(&remaining, &fallback) {
+            let alt = {
+                let fallback_label = if sink.enabled() {
+                    format!("{label}.fallback")
+                } else {
+                    String::new()
+                };
+                let _grow_span = Span::enter(sink.as_ref(), SpanKind::NRuleGrow, &fallback_label);
+                grow_rule(&remaining, &fallback)
+            };
+            if let Some(alt) = alt {
                 // FPs removed per unit of recall budget, with a +1 prior so
                 // a tiny pure rule does not dominate a broad near-pure one.
                 let efficiency = |g: &crate::grow::GrownRule| g.stats.pos / (g.stats.neg() + 1.0);
@@ -283,6 +333,9 @@ pub fn learn_n_rules_with_budget(
         result.dl_trace.truncate(keep + 1);
         if result.stop_reason == StopReason::Exhausted {
             result.stop_reason = StopReason::MdlStop;
+        }
+        if sink.enabled() {
+            sink.add(Counter::MdlPrunes, result.mdl_truncated as u64);
         }
     }
     // DL non-increase: the kept prefix must price within the slack of the

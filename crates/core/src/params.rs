@@ -207,7 +207,11 @@ mod tests {
         // JSON written before the budget field existed must still load.
         let p = PnruleParams::default();
         let json = serde_json::to_string(&p).unwrap();
-        let legacy = json.replacen(",\"budget\":{\"max_rules\":null,\"max_candidates\":null,\"wall_clock_secs\":null}", "", 1);
+        let legacy = json.replacen(
+            ",\"budget\":{\"max_rules\":null,\"max_candidates\":null,\"wall_clock_secs\":null}",
+            "",
+            1,
+        );
         assert_ne!(legacy, json, "budget field not found in serialized form");
         let back: PnruleParams = serde_json::from_str(&legacy).unwrap();
         assert!(back.budget.is_unlimited());

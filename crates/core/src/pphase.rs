@@ -12,6 +12,7 @@ use crate::grow::{grow_rule, GrowOptions};
 use crate::nphase::StopReason;
 use crate::params::PnruleParams;
 use pnr_rules::{BudgetTracker, CovStats, Rule, TaskView};
+use pnr_telemetry::{Span, SpanKind, TelemetrySink};
 use std::sync::Arc;
 
 /// One accepted P-rule with its discovery-time statistics.
@@ -55,6 +56,19 @@ pub fn learn_p_rules_with_budget(
     params: &PnruleParams,
     budget: Option<&Arc<BudgetTracker>>,
 ) -> PPhaseResult {
+    learn_p_rules_with_sink(view, params, budget, &pnr_telemetry::noop())
+}
+
+/// [`learn_p_rules_with_budget`] reporting phase/rule spans and search
+/// counters to `sink`. Telemetry is write-only: the learned rules are
+/// identical whatever sink is attached.
+pub fn learn_p_rules_with_sink(
+    view: &TaskView<'_>,
+    params: &PnruleParams,
+    budget: Option<&Arc<BudgetTracker>>,
+    sink: &Arc<dyn TelemetrySink>,
+) -> PPhaseResult {
+    let _phase_span = Span::enter(sink.as_ref(), SpanKind::PPhase, "p_phase");
     params.validate();
     let target_total = view.pos_weight();
     if target_total <= 0.0 {
@@ -87,8 +101,20 @@ pub fn learn_p_rules_with_budget(
             min_improvement: params.min_improvement,
             recall_guard: None,
             budget: budget.cloned(),
+            sink: sink.clone(),
         };
-        let Some(grown) = grow_rule(&remaining, &opts) else {
+        let grown = {
+            // Label formatting is gated so the disabled path allocates
+            // nothing per rule.
+            let label = if sink.enabled() {
+                format!("p{}", result.rules.len())
+            } else {
+                String::new()
+            };
+            let _grow_span = Span::enter(sink.as_ref(), SpanKind::PRuleGrow, &label);
+            grow_rule(&remaining, &opts)
+        };
+        let Some(grown) = grown else {
             // The candidate budget may have fired inside the search, in
             // which case "no rule" means "no budget", not "no signal".
             result.stop_reason = if budget.is_some_and(|b| b.is_exhausted()) {

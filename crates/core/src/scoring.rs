@@ -18,7 +18,9 @@
 use pnr_data::weights::approx;
 use pnr_data::Dataset;
 use pnr_rules::RuleSet;
+use pnr_telemetry::{Counter, Span, SpanKind, TelemetrySink};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Per-(P-rule, N-rule) probability estimates. Column `n_n` (one past the
 /// last N-rule) is the **default N-rule** — "we always have a default last
@@ -43,6 +45,32 @@ impl ScoreMatrix {
         n_rules: &RuleSet,
         z_threshold: f64,
     ) -> ScoreMatrix {
+        Self::build_with_sink(
+            data,
+            is_pos,
+            p_rules,
+            n_rules,
+            z_threshold,
+            &pnr_telemetry::noop(),
+        )
+    }
+
+    /// [`Self::build`] reporting a build span and the rows swept by the
+    /// `first_match` pass to `sink`. Telemetry is write-only: the matrix is
+    /// identical whatever sink is attached.
+    pub fn build_with_sink(
+        data: &Dataset,
+        is_pos: &[bool],
+        p_rules: &RuleSet,
+        n_rules: &RuleSet,
+        z_threshold: f64,
+        sink: &Arc<dyn TelemetrySink>,
+    ) -> ScoreMatrix {
+        let _build_span = Span::enter(sink.as_ref(), SpanKind::ScoreMatrix, "score_matrix");
+        if sink.enabled() {
+            // One P→N routing sweep over every training row.
+            sink.add(Counter::FirstMatchRows, is_pos.len() as u64);
+        }
         let n_p = p_rules.len();
         let n_n = n_rules.len();
         let width = n_n + 1;

@@ -15,8 +15,10 @@ use crate::scoring::ScoreMatrix;
 use pnr_data::{stratified_split, Dataset};
 use pnr_metrics::BinaryConfusion;
 use pnr_rules::{evaluate_classifier, RuleSet};
+use pnr_telemetry::{Span, SpanKind, TelemetrySink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Configuration of [`fit_auto`].
 #[derive(Debug, Clone)]
@@ -34,6 +36,10 @@ pub struct AutoTuneOptions {
     pub seed: u64,
     /// Base parameters every candidate inherits.
     pub base: PnruleParams,
+    /// Telemetry sink grid-cell spans and nested fits report to.
+    /// Write-only: the chosen parameters and final model are identical
+    /// whatever sink is attached.
+    pub sink: Arc<dyn TelemetrySink>,
 }
 
 impl Default for AutoTuneOptions {
@@ -45,12 +51,21 @@ impl Default for AutoTuneOptions {
             validation_frac: 0.33,
             seed: 0x7E57,
             base: PnruleParams::default(),
+            sink: pnr_telemetry::noop(),
         }
     }
 }
 
-fn validation_f(params: &PnruleParams, train: &Dataset, valid: &Dataset, target: u32) -> f64 {
-    let model = PnruleLearner::new(params.clone()).fit(train, target);
+fn validation_f(
+    params: &PnruleParams,
+    train: &Dataset,
+    valid: &Dataset,
+    target: u32,
+    sink: &Arc<dyn TelemetrySink>,
+) -> f64 {
+    let model = PnruleLearner::new(params.clone())
+        .with_sink(sink.clone())
+        .fit(train, target);
     evaluate_classifier(&model, valid, target).f_measure()
 }
 
@@ -92,7 +107,22 @@ pub fn fit_auto(
                 });
             }
             for params in variants {
-                let f = validation_f(&params, &sub_train, &valid, target);
+                let f = {
+                    // Label formatting is gated so the disabled path
+                    // allocates nothing per cell.
+                    let label = if opts.sink.enabled() {
+                        let p1 = if params.max_p_rule_len == Some(1) {
+                            "_p1"
+                        } else {
+                            ""
+                        };
+                        format!("rp{rp}_rn{rn}{p1}")
+                    } else {
+                        String::new()
+                    };
+                    let _cell_span = Span::enter(opts.sink.as_ref(), SpanKind::TuneCell, &label);
+                    validation_f(&params, &sub_train, &valid, target, &opts.sink)
+                };
                 if best.as_ref().is_none_or(|(bf, _)| f > *bf) {
                     best = Some((f, params));
                 }
@@ -102,7 +132,10 @@ pub fn fit_auto(
     let Some((_, winner)) = best else {
         unreachable!("non-empty grids (asserted above) always produce a candidate")
     };
-    (PnruleLearner::new(winner.clone()).fit(data, target), winner)
+    let model = PnruleLearner::new(winner.clone())
+        .with_sink(opts.sink.clone())
+        .fit(data, target);
+    (model, winner)
 }
 
 /// N-stage pruning: greedily deletes N-rules whose removal does not hurt

@@ -1,0 +1,194 @@
+//! Telemetry must observe a fit without perturbing it.
+//!
+//! Two invariants: (1) the learned model is bit-identical whether a
+//! [`NoopSink`] or a [`RecordingSink`] is attached, and counters repeat
+//! exactly across runs; (2) recorded spans are well-formed — every open
+//! span closes at the right depth, and the P-phase and N-phase never
+//! interleave.
+
+use pnr_core::{FitBudget, PnruleLearner, PnruleParams};
+use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
+use pnr_telemetry::{Counter, RecordingSink, SpanKind, TelemetrySink};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The paper's motivating structure in miniature: an impure presence band
+/// plus a categorical absence signature, so both phases do real work.
+fn intrusion_like(n: usize) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("x", AttrType::Numeric);
+    b.add_attribute("k", AttrType::Categorical);
+    b.add_class("r2l");
+    b.add_class("rest");
+    for i in 0..n {
+        let x = (i % 50) as f64;
+        let k = match (i / 50) % 5 {
+            0 => "dos",
+            1 => "web",
+            _ => "ok",
+        };
+        let target = (20.0..24.0).contains(&x) && k != "dos";
+        b.push_row(
+            &[Value::num(x), Value::cat(k)],
+            if target { "r2l" } else { "rest" },
+            1.0,
+        )
+        .unwrap();
+    }
+    b.finish()
+}
+
+#[test]
+fn recording_sink_changes_no_model_bit() {
+    let data = intrusion_like(2_000);
+    let target = data.class_code("r2l").unwrap();
+    let silent = PnruleLearner::new(PnruleParams::default()).fit(&data, target);
+    let sink = Arc::new(RecordingSink::new());
+    let observed = PnruleLearner::new(PnruleParams::default())
+        .with_sink(sink.clone())
+        .fit(&data, target);
+    assert_eq!(
+        serde_json::to_string(&silent).unwrap(),
+        serde_json::to_string(&observed).unwrap(),
+        "attaching a recording sink must not change the learned model"
+    );
+    // The sink actually saw the fit.
+    assert!(sink.value(Counter::ConditionsEvaluated) > 0);
+    assert!(sink.value(Counter::FirstMatchRows) >= data.n_rows() as u64);
+}
+
+#[test]
+fn counters_are_deterministic_across_runs() {
+    let data = intrusion_like(1_500);
+    let target = data.class_code("r2l").unwrap();
+    let run = || {
+        let sink = Arc::new(RecordingSink::new());
+        let _ = PnruleLearner::new(PnruleParams::default())
+            .with_sink(sink.clone())
+            .fit(&data, target);
+        sink.counter_values()
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "identical fits must report identical counters"
+    );
+}
+
+#[test]
+fn candidate_charges_match_budget_tracker_exactly() {
+    // A budget generous enough never to latch: every candidate the search
+    // charges is mirrored to the sink, so the tracker's tally, the
+    // report's tally and the telemetry counter must agree to the unit.
+    let data = intrusion_like(2_000);
+    let target = data.class_code("r2l").unwrap();
+    let params = PnruleParams {
+        budget: FitBudget {
+            max_candidates: Some(1_000_000_000),
+            ..FitBudget::default()
+        },
+        ..Default::default()
+    };
+    let sink = Arc::new(RecordingSink::new());
+    let (_, report) = PnruleLearner::new(params)
+        .with_sink(sink.clone())
+        .fit_with_report(&data, target);
+    let charged = report
+        .candidates_charged
+        .expect("budgeted fit reports its charge tally");
+    assert!(charged > 0, "the fit must have searched something");
+    assert_eq!(
+        charged,
+        sink.value(Counter::CandidateCharges),
+        "telemetry must mirror BudgetTracker charges exactly"
+    );
+}
+
+#[test]
+fn fit_spans_cover_both_phases_and_scoring() {
+    let data = intrusion_like(2_000);
+    let target = data.class_code("r2l").unwrap();
+    let sink = Arc::new(RecordingSink::new());
+    let _ = PnruleLearner::new(PnruleParams::default())
+        .with_sink(sink.clone())
+        .fit(&data, target);
+    assert_eq!(sink.nesting_error(), None);
+    let spans = sink.completed_spans();
+    for kind in [
+        SpanKind::Fit,
+        SpanKind::PPhase,
+        SpanKind::PRuleGrow,
+        SpanKind::NPhase,
+        SpanKind::ScoreMatrix,
+    ] {
+        assert!(
+            spans.iter().any(|s| s.kind == kind),
+            "missing {} span",
+            kind.name()
+        );
+    }
+    // Phase spans nest strictly inside the fit span.
+    let fit_depth = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Fit)
+        .map(|s| s.depth)
+        .unwrap();
+    assert_eq!(fit_depth, 0);
+    for s in &spans {
+        if matches!(s.kind, SpanKind::PPhase | SpanKind::NPhase) {
+            assert_eq!(
+                s.depth,
+                1,
+                "{} should sit directly under fit",
+                s.kind.name()
+            );
+        }
+    }
+}
+
+fn rows() -> impl Strategy<Value = Vec<(f64, f64, bool)>> {
+    prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0, prop::bool::ANY), 6..100)
+}
+
+fn dataset(rows: &[(f64, f64, bool)]) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    b.add_attribute("x", AttrType::Numeric);
+    b.add_attribute("y", AttrType::Numeric);
+    b.add_class("pos");
+    b.add_class("neg");
+    for &(x, y, p) in rows {
+        b.push_row(
+            &[Value::num(x), Value::num(y)],
+            if p { "pos" } else { "neg" },
+            1.0,
+        )
+        .unwrap();
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn span_nesting_is_well_formed(data_rows in rows()) {
+        // On arbitrary data — empty targets, degenerate phases, MDL
+        // truncations — every span that opens must close in stack order
+        // and the exclusive phases must never overlap.
+        let d = dataset(&data_rows);
+        let sink = Arc::new(RecordingSink::new());
+        let _ = PnruleLearner::new(PnruleParams::default())
+            .with_sink(sink.clone())
+            .fit(&d, 0);
+        prop_assert_eq!(sink.nesting_error(), None);
+        // Ignoring telemetry entirely must also yield the identical model.
+        let silent = PnruleLearner::new(PnruleParams::default()).fit(&d, 0);
+        let observed = PnruleLearner::new(PnruleParams::default())
+            .with_sink(Arc::new(RecordingSink::new()) as Arc<dyn TelemetrySink>)
+            .fit(&d, 0);
+        prop_assert_eq!(
+            serde_json::to_string(&silent).unwrap(),
+            serde_json::to_string(&observed).unwrap()
+        );
+    }
+}

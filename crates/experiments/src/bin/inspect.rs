@@ -1,16 +1,20 @@
 //! Trains PNrule on one of the paper's datasets and prints the learned
 //! model with per-rule coverage — the debugging/teaching view.
 //!
-//! Usage: `inspect <dataset>[:tr=<f>][:nr=<f>] [--scale f] [--seed n]`
-//! where `<dataset>` is `nsyn1..6`, `coa1..6`, `coad1..4`, `syngen`, or
-//! `kdd:<class>`; optional `:tr=`/`:nr=` suffixes override peak widths on
-//! the numeric and general models.
+//! Usage: `inspect <dataset>[:tr=<f>][:nr=<f>] [--trace] [--scale f]
+//! [--seed n]` where `<dataset>` is `nsyn1..6`, `coa1..6`, `coad1..4`,
+//! `syngen`, or `kdd:<class>`; optional `:tr=`/`:nr=` suffixes override
+//! peak widths on the numeric and general models. `--trace` (PNrule only)
+//! fits against a recording telemetry sink and appends a per-phase
+//! timing/counter table plus a single-pass error analysis.
 
-use pnr_core::{PnruleLearner, PnruleParams};
+use pnr_core::{FitBudget, FitReport, PnruleLearner, PnruleParams};
 use pnr_data::Dataset;
 use pnr_experiments::CliOptions;
 use pnr_rules::{evaluate_classifier, TaskView};
 use pnr_synth::SynthScale;
+use pnr_telemetry::{Counter, RecordingSink, SpanKind, TelemetrySink};
+use std::sync::Arc;
 
 fn load(name: &str, scale: f64, seed: u64) -> (Dataset, Dataset, u32) {
     let train_scale = SynthScale::paper_train().scaled_by(scale);
@@ -72,8 +76,59 @@ fn load(name: &str, scale: f64, seed: u64) -> (Dataset, Dataset, u32) {
 
 fn bail(problem: &str) -> ! {
     eprintln!("error: {problem}");
-    eprintln!("usage: inspect <dataset> [--method m] [--rp f] [--rn f] [--scale f] [--seed n]");
+    eprintln!(
+        "usage: inspect <dataset> [--method m] [--rp f] [--rn f] [--trace] [--scale f] [--seed n]"
+    );
     std::process::exit(2);
+}
+
+/// Renders the recorded fit telemetry: per-phase span timings, every
+/// counter, and the budget-tracker cross-check (the `candidate_charges`
+/// counter must mirror the tracker's own tally to the unit).
+fn render_trace(sink: &RecordingSink, report: &FitReport) {
+    let spans = sink.completed_spans();
+    println!("\nfit telemetry (--trace):");
+    println!("  {:<14} {:>6} {:>12}", "span", "count", "total ms");
+    for kind in [
+        SpanKind::Fit,
+        SpanKind::PPhase,
+        SpanKind::PRuleGrow,
+        SpanKind::NPhase,
+        SpanKind::NRuleGrow,
+        SpanKind::ScoreMatrix,
+    ] {
+        let (count, total_ns) = spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .fold((0usize, 0u64), |(c, t), s| (c + 1, t + s.wall_ns));
+        if count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<14} {:>6} {:>12.3}",
+            kind.name(),
+            count,
+            total_ns as f64 / 1e6
+        );
+    }
+    println!("  counters:");
+    for (counter, value) in sink.counter_values() {
+        println!("    {:<22} {value}", counter.name());
+    }
+    match report.candidates_charged {
+        Some(charged) => {
+            let counted = sink.value(Counter::CandidateCharges);
+            assert_eq!(
+                charged, counted,
+                "telemetry counter must mirror BudgetTracker charges exactly"
+            );
+            println!("  budget tracker charges: {charged} (telemetry counter matches exactly)");
+        }
+        None => println!("  budget tracker charges: n/a (fit ran without a budget)"),
+    }
+    if let Some(problem) = sink.nesting_error() {
+        println!("  WARNING: span nesting violation: {problem}");
+    }
 }
 
 fn flag_value<T: std::str::FromStr>(name: &str, raw: Option<String>) -> T {
@@ -94,6 +149,7 @@ fn main() {
     let mut rp = 0.95;
     let mut rn = 0.9;
     let mut method = "pnrule".to_string();
+    let mut trace = false;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -101,6 +157,7 @@ fn main() {
             "--rp" => rp = flag_value("--rp", it.next()),
             "--rn" => rn = flag_value("--rn", it.next()),
             "--method" => method = flag_value("--method", it.next()),
+            "--trace" => trace = true,
             other => rest.push(other.to_string()),
         }
     }
@@ -147,9 +204,24 @@ fn main() {
         );
         return;
     }
-    let params = PnruleParams::with_recall_limits(rp, rn);
+    let mut params = PnruleParams::with_recall_limits(rp, rn);
+    if trace {
+        // A candidate budget far beyond what any fit needs: it never
+        // constrains learning (the model is identical to an unbudgeted
+        // fit) but attaches the BudgetTracker whose tally the telemetry
+        // counter is cross-checked against below.
+        params.budget = FitBudget {
+            max_candidates: Some(1_000_000_000),
+            ..FitBudget::default()
+        };
+    }
     println!("params: rp={rp} rn={rn}");
-    let (model, report) = PnruleLearner::new(params).fit_with_report(&train, target);
+    let sink = Arc::new(RecordingSink::new());
+    let mut learner = PnruleLearner::new(params);
+    if trace {
+        learner = learner.with_sink(sink.clone() as Arc<dyn TelemetrySink>);
+    }
+    let (model, report) = learner.fit_with_report(&train, target);
     println!("\n{}", model.describe(train.schema()));
 
     // per-rule coverage on the training set
@@ -218,4 +290,37 @@ fn main() {
         cm_test.precision(),
         cm_test.f_measure()
     );
+
+    if trace {
+        render_trace(&sink, &report);
+        // Error analysis on the test set: `score_with_trace` yields the
+        // decision and the firing rules from one first-match sweep.
+        let (mut false_pos, mut false_neg) = (0usize, 0usize);
+        let mut examples: Vec<String> = Vec::new();
+        for row in 0..test.n_rows() {
+            let (score, rules) = model.score_with_trace(&test, row);
+            let predicted = score > model.threshold;
+            let actual = test.label(row) == target;
+            if predicted == actual {
+                continue;
+            }
+            if predicted {
+                false_pos += 1;
+            } else {
+                false_neg += 1;
+            }
+            if examples.len() < 6 {
+                examples.push(format!(
+                    "    row {row}: {} score {score:.3} p={:?} n={:?}",
+                    if predicted { "FP" } else { "FN" },
+                    rules.p_rule,
+                    rules.n_rule
+                ));
+            }
+        }
+        println!("\ntest errors: {false_pos} false positives, {false_neg} false negatives");
+        for line in &examples {
+            println!("{line}");
+        }
+    }
 }

@@ -1,12 +1,97 @@
 //! Assembles `EXPERIMENTS.md` from the JSON result files in `results/`:
 //! one markdown table per experiment with the paper's published F next to
-//! the measured F.
+//! the measured F. When `<out>/telemetry/` holds per-cell NDJSON traces
+//! (runs made with `--telemetry`), a timing appendix summarising each
+//! cell's fit wall-clock and search effort is appended.
 //!
 //! Usage: `report_md [--out results] > EXPERIMENTS.md`
 
 use pnr_experiments::paper::paper_f;
 use pnr_experiments::ExperimentResult;
+use serde_json::Value;
 use std::fmt::Write as _;
+
+/// One summarised telemetry cell: (experiment, method, fit-span count,
+/// total fit wall ms, conditions evaluated).
+type TimingRow = (String, String, usize, f64, f64);
+
+/// Summarises one cell's NDJSON trace, or `None` when the file has no
+/// meta line (not a telemetry export).
+fn summarise_cell(text: &str) -> Option<TimingRow> {
+    let mut experiment = None;
+    let mut method = String::new();
+    let mut fit_spans = 0usize;
+    let mut fit_ms = 0.0f64;
+    let mut conditions = 0.0f64;
+    for line in text.lines() {
+        let Ok(v) = serde_json::parse(line) else {
+            continue;
+        };
+        match v.get("record") {
+            Some(Value::Str(r)) if r == "cell" => {
+                if let Some(Value::Str(e)) = v.get("experiment") {
+                    experiment = Some(e.clone());
+                }
+                if let Some(Value::Str(m)) = v.get("method") {
+                    method = m.clone();
+                }
+            }
+            Some(Value::Str(r)) if r == "counter" => {
+                if matches!(v.get("name"), Some(Value::Str(n)) if n == "conditions_evaluated") {
+                    conditions += v.get("value").and_then(Value::as_f64).unwrap_or(0.0);
+                }
+            }
+            Some(Value::Str(r)) if r == "span" => {
+                // whole-fit spans only: PNrule's `fit` and the coarse
+                // baseline span; interior phase spans would double-count
+                if matches!(v.get("kind"), Some(Value::Str(k)) if k == "fit" || k == "baseline_fit")
+                {
+                    fit_spans += 1;
+                    fit_ms += v.get("wall_ns").and_then(Value::as_f64).unwrap_or(0.0) / 1e6;
+                }
+            }
+            _ => {}
+        }
+    }
+    experiment.map(|e| (e, method, fit_spans, fit_ms, conditions))
+}
+
+/// Renders the timing appendix from `<dir>/telemetry/*.ndjson`, or
+/// `None` when no traces exist.
+fn timing_appendix(dir: &str) -> Option<String> {
+    let tel_dir = std::path::Path::new(dir).join("telemetry");
+    let mut paths: Vec<_> = std::fs::read_dir(tel_dir)
+        .ok()?
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "ndjson"))
+        .collect();
+    paths.sort();
+    let mut rows: Vec<TimingRow> = paths
+        .iter()
+        .filter_map(|p| std::fs::read_to_string(p).ok())
+        .filter_map(|text| summarise_cell(&text))
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+    rows.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    let mut out = String::new();
+    let _ = writeln!(out, "### Timing appendix — per-cell fit telemetry\n");
+    let _ = writeln!(
+        out,
+        "| experiment | method | fit spans | fit wall ms | conditions evaluated |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for (experiment, method, fit_spans, fit_ms, conditions) in &rows {
+        let _ = writeln!(
+            out,
+            "| {experiment} | {method} | {fit_spans} | {fit_ms:.1} | {conditions:.0} |"
+        );
+    }
+    let _ = writeln!(out);
+    Some(out)
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -75,6 +160,9 @@ fn main() {
             }
             let _ = writeln!(out);
         }
+    }
+    if let Some(appendix) = timing_appendix(&dir) {
+        out.push_str(&appendix);
     }
     print!("{out}");
 }

@@ -43,8 +43,11 @@ impl CellKey {
         )
     }
 
-    /// FNV-1a 64-bit fingerprint of the canonical key.
-    fn fingerprint(&self) -> u64 {
+    /// FNV-1a 64-bit fingerprint of the canonical key. Both the
+    /// checkpoint store and the per-cell telemetry export
+    /// ([`crate::telemetry_out`]) name their files by this value, so a
+    /// cell's result and its trace sit side by side under the same key.
+    pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut hash = FNV_OFFSET;

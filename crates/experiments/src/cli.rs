@@ -3,9 +3,12 @@
 /// Options every experiment binary accepts:
 /// `--scale <f>` (default 0.2), `--seed <n>` (default 20010521 — the
 /// paper's conference date), `--out <dir>` (default `results`),
-/// `--threads <n>` (default: available parallelism), and
+/// `--threads <n>` (default: available parallelism),
 /// `--resume` / `--no-resume` (default: resume) controlling whether
-/// completed cells are loaded from `<out>/checkpoints/`.
+/// completed cells are loaded from `<out>/checkpoints/`, and
+/// `--telemetry` / `--no-telemetry` (default: off) controlling whether
+/// each freshly run cell writes an NDJSON fit trace under
+/// `<out>/telemetry/`.
 #[derive(Debug, Clone)]
 pub struct CliOptions {
     /// Dataset scale factor relative to the paper's 500k/250k records.
@@ -18,11 +21,14 @@ pub struct CliOptions {
     pub threads: usize,
     /// Load completed cells from checkpoints and persist new ones.
     pub resume: bool,
+    /// Record per-cell fit telemetry (spans + counters) and export it as
+    /// NDJSON next to the checkpoints, keyed by the same fingerprint.
+    pub telemetry: bool,
 }
 
 /// Usage text printed when argument parsing fails.
 pub const USAGE: &str = "usage: <binary> [--scale <f>] [--seed <n>] [--out <dir>] \
-[--threads <n>] [--resume | --no-resume]";
+[--threads <n>] [--resume | --no-resume] [--telemetry | --no-telemetry]";
 
 impl Default for CliOptions {
     fn default() -> Self {
@@ -34,6 +40,7 @@ impl Default for CliOptions {
                 .map(|n| n.get())
                 .unwrap_or(4),
             resume: true,
+            telemetry: false,
         }
     }
 }
@@ -77,10 +84,12 @@ impl CliOptions {
                 }
                 "--resume" => opts.resume = true,
                 "--no-resume" => opts.resume = false,
+                "--telemetry" => opts.telemetry = true,
+                "--no-telemetry" => opts.telemetry = false,
                 other => {
                     return Err(format!(
                         "unknown argument {other}; expected --scale / --seed / --out / \
-                         --threads / --resume / --no-resume"
+                         --threads / --resume / --no-resume / --telemetry / --no-telemetry"
                     ))
                 }
             }
@@ -118,6 +127,7 @@ mod tests {
         assert_eq!(o.scale, 0.2);
         assert_eq!(o.out_dir, "results");
         assert!(o.resume, "resume defaults on");
+        assert!(!o.telemetry, "telemetry defaults off");
     }
 
     #[test]
@@ -132,6 +142,7 @@ mod tests {
             "--threads",
             "3",
             "--no-resume",
+            "--telemetry",
         ])
         .unwrap();
         assert_eq!(o.scale, 1.0);
@@ -139,8 +150,11 @@ mod tests {
         assert_eq!(o.out_dir, "r2");
         assert_eq!(o.threads, 3);
         assert!(!o.resume);
+        assert!(o.telemetry);
         let o = parse(&["--no-resume", "--resume"]).unwrap();
         assert!(o.resume, "last flag wins");
+        let o = parse(&["--telemetry", "--no-telemetry"]).unwrap();
+        assert!(!o.telemetry, "last flag wins");
     }
 
     #[test]
@@ -162,6 +176,8 @@ mod tests {
         assert!(parse(&["--scale", "wide"]).is_err());
         assert!(parse(&["--seed", "-1"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
-        assert!(parse(&["--threads"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["--threads"])
+            .unwrap_err()
+            .contains("requires a value"));
     }
 }

@@ -9,7 +9,9 @@
 
 use crate::checkpoint::{CellKey, Checkpoint};
 use crate::cli::CliOptions;
-use crate::methods::{pnrule_variant_grid, run_method, run_pnrule_best, Method};
+use crate::methods::{
+    pnrule_variant_grid, run_method_with_sink, run_pnrule_best_with_sink, Method,
+};
 use crate::report::{ExperimentResult, ResultRow};
 use pnr_core::PnruleParams;
 use pnr_data::{subsample_class, Dataset};
@@ -19,9 +21,10 @@ use pnr_synth::categorical::CategoricalModelConfig;
 use pnr_synth::general::GeneralModelConfig;
 use pnr_synth::numeric::NumericModelConfig;
 use pnr_synth::SynthScale;
+use pnr_telemetry::{RecordingSink, TelemetrySink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Captures panic messages from worker jobs without letting the global
 /// panic hook spam stderr for isolated (expected-to-be-caught) panics.
@@ -90,6 +93,12 @@ mod panic_capture {
 /// A boxed unit of work returning `T`.
 pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
 
+/// A boxed experiment cell: receives the cell's telemetry sink (a fresh
+/// [`RecordingSink`] under `--telemetry`, the shared no-op otherwise) and
+/// returns its report. The sink is write-only observation — a cell must
+/// produce the identical report whatever sink it is handed.
+pub type CellJob<'a> = Box<dyn FnOnce(&Arc<dyn TelemetrySink>) -> PrfReport + Send + 'a>;
+
 /// What happened to one labelled job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutcome<T> {
@@ -131,10 +140,7 @@ pub fn run_jobs<T: Send>(jobs: Vec<(String, Job<'_, T>)>, threads: usize) -> Vec
     std::thread::scope(|s| {
         for _ in 0..threads.max(1).min(n.max(1)) {
             s.spawn(|| loop {
-                let job = queue
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .pop();
+                let job = queue.lock().unwrap_or_else(PoisonError::into_inner).pop();
                 match job {
                     Some((i, (label, f))) => {
                         let outcome = match panic_capture::run_caught(f) {
@@ -168,10 +174,16 @@ pub fn run_jobs<T: Send>(jobs: Vec<(String, Job<'_, T>)>, threads: usize) -> Vec
 /// and freshly completed cells are persisted *inside the worker* the
 /// moment they finish — a killed run loses at most the in-flight cells.
 /// Panicking cells become failed rows; failures are never checkpointed.
+///
+/// With `opts.telemetry`, each freshly run cell fits against its own
+/// [`RecordingSink`] and, once its row is checkpointed, exports the
+/// recording as NDJSON under `<out_dir>/telemetry/` keyed by the same
+/// cell fingerprint (see [`crate::telemetry_out`]). Cells served from
+/// checkpoints never re-run and therefore write no telemetry.
 pub fn run_cells(
     exp_id: &str,
     opts: &CliOptions,
-    jobs: Vec<(String, Job<'_, PrfReport>)>,
+    jobs: Vec<(String, CellJob<'_>)>,
 ) -> Vec<ResultRow> {
     let ckpt = Checkpoint::new(&opts.out_dir, opts.resume);
     let mut rows: Vec<Option<ResultRow>> = (0..jobs.len()).map(|_| None).collect();
@@ -191,11 +203,25 @@ pub fn run_cells(
         indices.push(i);
         let store = ckpt.clone();
         let row_label = label.clone();
+        let telemetry = opts.telemetry;
+        let out_dir = opts.out_dir.clone();
         pending.push((
             label,
             Box::new(move || {
-                let row = ResultRow::new(row_label, job());
+                let recorder = if telemetry {
+                    Some(Arc::new(RecordingSink::new()))
+                } else {
+                    None
+                };
+                let sink: Arc<dyn TelemetrySink> = match &recorder {
+                    Some(r) => r.clone(),
+                    None => pnr_telemetry::noop(),
+                };
+                let row = ResultRow::new(row_label, job(&sink));
                 store.store(&key, &row);
+                if let Some(recorder) = recorder {
+                    crate::telemetry_out::write_cell(&out_dir, &key, &recorder);
+                }
                 row
             }),
         ));
@@ -208,7 +234,9 @@ pub fn run_cells(
     }
     rows.into_iter()
         .enumerate()
-        .map(|(i, row)| row.unwrap_or_else(|| ResultRow::failed(format!("cell#{i}"), "missing result")))
+        .map(|(i, row)| {
+            row.unwrap_or_else(|| ResultRow::failed(format!("cell#{i}"), "missing result"))
+        })
         .collect()
 }
 
@@ -222,12 +250,7 @@ fn test_scale(opts: &CliOptions) -> SynthScale {
 
 /// The standard five-method comparison on one (train, test) pair: `C`,
 /// `Cte`, `R`, `Re`, and best-of-grid PNrule.
-fn compare_all(
-    exp_id: &str,
-    opts: &CliOptions,
-    train: &Dataset,
-    test: &Dataset,
-) -> Vec<ResultRow> {
+fn compare_all(exp_id: &str, opts: &CliOptions, train: &Dataset, test: &Dataset) -> Vec<ResultRow> {
     let target = train
         .class_code(pnr_synth::TARGET_CLASS)
         .expect("target class");
@@ -237,19 +260,23 @@ fn compare_all(
         Method::Ripper,
         Method::RipperWe,
     ];
-    let mut jobs: Vec<(String, Job<'_, PrfReport>)> = methods
+    let mut jobs: Vec<(String, CellJob<'_>)> = methods
         .iter()
         .map(|m| {
             let m = m.clone();
             (
                 m.label().to_string(),
-                Box::new(move || run_method(&m, train, test, target)) as Job<'_, PrfReport>,
+                Box::new(move |sink: &Arc<dyn TelemetrySink>| {
+                    run_method_with_sink(&m, train, test, target, sink)
+                }) as CellJob<'_>,
             )
         })
         .collect();
     jobs.push((
         "PNrule".to_string(),
-        Box::new(move || run_pnrule_best(train, test, target, &pnrule_variant_grid()).0),
+        Box::new(move |sink: &Arc<dyn TelemetrySink>| {
+            run_pnrule_best_with_sink(train, test, target, &pnrule_variant_grid(), sink).0
+        }),
     ));
     run_cells(exp_id, opts, jobs)
 }
@@ -382,18 +409,31 @@ pub fn table3(opts: &CliOptions) -> Vec<ExperimentResult> {
                     test.n_rows()
                 ),
             );
-            let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+            let jobs: Vec<(String, CellJob<'_>)> = vec![
                 (
                     "C4.5rules".to_string(),
-                    Box::new(|| run_method(&Method::C45Rules, &train, &test, target)),
+                    Box::new(|sink: &Arc<dyn TelemetrySink>| {
+                        run_method_with_sink(&Method::C45Rules, &train, &test, target, sink)
+                    }),
                 ),
                 (
                     "RIPPER".to_string(),
-                    Box::new(|| run_method(&Method::Ripper, &train, &test, target)),
+                    Box::new(|sink: &Arc<dyn TelemetrySink>| {
+                        run_method_with_sink(&Method::Ripper, &train, &test, target, sink)
+                    }),
                 ),
                 (
                     "PNrule".to_string(),
-                    Box::new(|| run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0),
+                    Box::new(|sink: &Arc<dyn TelemetrySink>| {
+                        run_pnrule_best_with_sink(
+                            &train,
+                            &test,
+                            target,
+                            &pnrule_variant_grid(),
+                            sink,
+                        )
+                        .0
+                    }),
                 ),
             ];
             let rows = run_cells(&exp.id, opts, jobs);
@@ -459,18 +499,31 @@ pub fn table5(opts: &CliOptions) -> Vec<ExperimentResult> {
                 format!("table5/syngen tr={tr} nr={nr} ntc-frac={frac}"),
                 format!("target proportion {tc_pct:.1}% | train {}", train.n_rows()),
             );
-            let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+            let jobs: Vec<(String, CellJob<'_>)> = vec![
                 (
                     "C4.5rules".to_string(),
-                    Box::new(|| run_method(&Method::C45Rules, &train, &test, target)),
+                    Box::new(|sink: &Arc<dyn TelemetrySink>| {
+                        run_method_with_sink(&Method::C45Rules, &train, &test, target, sink)
+                    }),
                 ),
                 (
                     "RIPPER".to_string(),
-                    Box::new(|| run_method(&Method::Ripper, &train, &test, target)),
+                    Box::new(|sink: &Arc<dyn TelemetrySink>| {
+                        run_method_with_sink(&Method::Ripper, &train, &test, target, sink)
+                    }),
                 ),
                 (
                     "PNrule".to_string(),
-                    Box::new(|| run_pnrule_best(&train, &test, target, &pnrule_variant_grid()).0),
+                    Box::new(|sink: &Arc<dyn TelemetrySink>| {
+                        run_pnrule_best_with_sink(
+                            &train,
+                            &test,
+                            target,
+                            &pnrule_variant_grid(),
+                            sink,
+                        )
+                        .0
+                    }),
                 ),
             ];
             let rows = run_cells(&exp.id, opts, jobs);
@@ -512,28 +565,31 @@ pub fn table6(opts: &CliOptions) -> Vec<ExperimentResult> {
             );
             let best = |a: PrfReport, b: PrfReport| if a.f >= b.f { a } else { b };
             let (train, test) = (&train, &test);
-            let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+            let jobs: Vec<(String, CellJob<'_>)> = vec![
                 (
                     "C4.5rules".to_string(),
-                    Box::new(move || {
-                        let unit = run_method(&Method::C45Rules, train, test, target);
-                        let strat = run_method(&Method::C45TreeWe, train, test, target);
+                    Box::new(move |sink: &Arc<dyn TelemetrySink>| {
+                        let unit =
+                            run_method_with_sink(&Method::C45Rules, train, test, target, sink);
+                        let strat =
+                            run_method_with_sink(&Method::C45TreeWe, train, test, target, sink);
                         best(unit, strat)
                     }),
                 ),
                 (
                     "RIPPER".to_string(),
-                    Box::new(move || {
-                        let unit = run_method(&Method::Ripper, train, test, target);
-                        let strat = run_method(&Method::RipperWe, train, test, target);
+                    Box::new(move |sink: &Arc<dyn TelemetrySink>| {
+                        let unit = run_method_with_sink(&Method::Ripper, train, test, target, sink);
+                        let strat =
+                            run_method_with_sink(&Method::RipperWe, train, test, target, sink);
                         best(unit, strat)
                     }),
                 ),
                 (
                     "PNrule".to_string(),
-                    Box::new(move || {
+                    Box::new(move |sink: &Arc<dyn TelemetrySink>| {
                         let params = PnruleParams::default();
-                        run_method(&Method::Pnrule(params), train, test, target)
+                        run_method_with_sink(&Method::Pnrule(params), train, test, target, sink)
                     }),
                 ),
             ];
@@ -566,21 +622,21 @@ pub fn rp_rn_grid(
             format!("section4/{class}{suffix} rp={rp}"),
             format!("KDD sim | train {n_train} test {n_test}"),
         );
-        let jobs: Vec<(String, Job<'_, PrfReport>)> = rns
+        let jobs: Vec<(String, CellJob<'_>)> = rns
             .iter()
             .map(|&rn| {
                 let train = &train;
                 let test = &test;
                 (
                     format!("rn={rn}"),
-                    Box::new(move || {
+                    Box::new(move |sink: &Arc<dyn TelemetrySink>| {
                         let params = PnruleParams {
                             metric: EvalMetric::FoilGain,
                             max_p_rule_len: if p1 { Some(1) } else { None },
                             ..PnruleParams::with_recall_limits(rp, rn)
                         };
-                        run_method(&Method::Pnrule(params), train, test, target)
-                    }) as Job<'_, PrfReport>,
+                        run_method_with_sink(&Method::Pnrule(params), train, test, target, sink)
+                    }) as CellJob<'_>,
                 )
             })
             .collect();
@@ -615,12 +671,7 @@ mod tests {
     #[test]
     fn run_jobs_preserves_order() {
         let jobs: Vec<(String, Job<'_, usize>)> = (0..20usize)
-            .map(|i| {
-                (
-                    format!("j{i}"),
-                    Box::new(move || i * i) as Job<'_, usize>,
-                )
-            })
+            .map(|i| (format!("j{i}"), Box::new(move || i * i) as Job<'_, usize>))
             .collect();
         let out = run_jobs(jobs, 3);
         for (i, outcome) in out.iter().enumerate() {
@@ -686,10 +737,10 @@ mod tests {
             resume: false,
             ..Default::default()
         };
-        let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+        let jobs: Vec<(String, CellJob<'_>)> = vec![
             (
                 "good".to_string(),
-                Box::new(|| PrfReport {
+                Box::new(|_sink: &Arc<dyn TelemetrySink>| PrfReport {
                     recall: 1.0,
                     precision: 1.0,
                     f: 1.0,
@@ -697,7 +748,7 @@ mod tests {
             ),
             (
                 "bad".to_string(),
-                Box::new(|| -> PrfReport { panic!("cell exploded") }),
+                Box::new(|_sink: &Arc<dyn TelemetrySink>| -> PrfReport { panic!("cell exploded") }),
             ),
         ];
         let rows = run_cells("unit/panic", &opts, jobs);
@@ -705,7 +756,11 @@ mod tests {
         assert!(!rows[0].is_failed());
         assert!(rows[1].is_failed());
         assert!(
-            rows[1].error.as_deref().unwrap_or("").contains("cell exploded"),
+            rows[1]
+                .error
+                .as_deref()
+                .unwrap_or("")
+                .contains("cell exploded"),
             "{:?}",
             rows[1].error
         );
@@ -729,7 +784,10 @@ mod tests {
         let first = run_cells(
             "unit/resume",
             &opts,
-            vec![("m".to_string(), Box::new(move || report) as Job<'_, _>)],
+            vec![(
+                "m".to_string(),
+                Box::new(move |_sink: &Arc<dyn TelemetrySink>| report) as CellJob<'_>,
+            )],
         );
         assert!(!first[0].is_failed());
         // Second invocation must come from the checkpoint: a job that
@@ -739,7 +797,9 @@ mod tests {
             &opts,
             vec![(
                 "m".to_string(),
-                Box::new(|| -> PrfReport { panic!("must not re-run") }) as Job<'_, PrfReport>,
+                Box::new(|_sink: &Arc<dyn TelemetrySink>| -> PrfReport {
+                    panic!("must not re-run")
+                }) as CellJob<'_>,
             )],
         );
         assert!(!second[0].is_failed(), "{:?}", second[0].error);
@@ -754,10 +814,68 @@ mod tests {
             &no_resume,
             vec![(
                 "m".to_string(),
-                Box::new(|| -> PrfReport { panic!("must re-run") }) as Job<'_, PrfReport>,
+                Box::new(|_sink: &Arc<dyn TelemetrySink>| -> PrfReport { panic!("must re-run") })
+                    as CellJob<'_>,
             )],
         );
         assert!(third[0].is_failed());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn run_cells_exports_telemetry_keyed_by_fingerprint() {
+        use pnr_telemetry::Counter;
+        let dir = std::env::temp_dir().join(format!("pnr_cells_tel_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = CliOptions {
+            out_dir: dir.to_string_lossy().to_string(),
+            threads: 2,
+            resume: true,
+            telemetry: true,
+            ..Default::default()
+        };
+        let rows = run_cells(
+            "unit/telemetry",
+            &opts,
+            vec![(
+                "m".to_string(),
+                Box::new(|sink: &Arc<dyn TelemetrySink>| {
+                    // cells see an enabled sink under --telemetry
+                    assert!(sink.enabled());
+                    sink.add(Counter::ConditionsEvaluated, 9);
+                    PrfReport {
+                        recall: 1.0,
+                        precision: 1.0,
+                        f: 1.0,
+                    }
+                }) as CellJob<'_>,
+            )],
+        );
+        assert!(!rows[0].is_failed());
+        let key = CellKey {
+            experiment: "unit/telemetry".to_string(),
+            method: "m".to_string(),
+            scale: opts.scale,
+            seed: opts.seed,
+        };
+        let path = crate::telemetry_out::telemetry_path(&opts.out_dir, &key);
+        let text = std::fs::read_to_string(&path).expect("telemetry file written");
+        assert!(text.lines().next().unwrap_or("").contains("unit/telemetry"));
+        assert!(text.contains("conditions_evaluated"));
+        // a resumed run serves the checkpoint and leaves the file alone
+        std::fs::remove_file(&path).expect("delete telemetry");
+        let resumed = run_cells(
+            "unit/telemetry",
+            &opts,
+            vec![(
+                "m".to_string(),
+                Box::new(|_sink: &Arc<dyn TelemetrySink>| -> PrfReport {
+                    panic!("must come from checkpoint")
+                }) as CellJob<'_>,
+            )],
+        );
+        assert!(!resumed[0].is_failed());
+        assert!(!path.exists(), "checkpointed cell must not re-export");
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -18,11 +18,14 @@ pub mod experiments;
 pub mod methods;
 pub mod paper;
 pub mod report;
+pub mod telemetry_out;
 
 pub use checkpoint::{CellKey, Checkpoint};
 pub use cli::CliOptions;
-pub use experiments::{run_cells, run_jobs, Job, JobOutcome};
-pub use methods::{run_method, run_pnrule_best, Method};
+pub use experiments::{run_cells, run_jobs, CellJob, Job, JobOutcome};
+pub use methods::{
+    run_method, run_method_with_sink, run_pnrule_best, run_pnrule_best_with_sink, Method,
+};
 pub use report::{
     format_experiment, print_experiment, run_status, write_json, ExperimentResult, ResultRow,
 };

@@ -6,6 +6,8 @@ use pnr_data::{stratify_weights, Dataset};
 use pnr_metrics::PrfReport;
 use pnr_ripper::{RipperLearner, RipperParams};
 use pnr_rules::evaluate_classifier;
+use pnr_telemetry::TelemetrySink;
+use std::sync::Arc;
 
 /// A classifier variant, in the paper's notation:
 ///
@@ -45,27 +47,50 @@ impl Method {
 /// Trains the variant on `train` and evaluates recall/precision/F for
 /// `target` on `test`.
 pub fn run_method(method: &Method, train: &Dataset, test: &Dataset, target: u32) -> PrfReport {
+    run_method_with_sink(method, train, test, target, &pnr_telemetry::noop())
+}
+
+/// [`run_method`] with an explicit telemetry sink attached to the
+/// learner. The sink is write-only observation: the report is identical
+/// whatever sink is passed.
+pub fn run_method_with_sink(
+    method: &Method,
+    train: &Dataset,
+    test: &Dataset,
+    target: u32,
+    sink: &Arc<dyn TelemetrySink>,
+) -> PrfReport {
     match method {
         Method::C45Rules => {
-            let model = C45Learner::new(C45Params::default()).fit_rules(train);
+            let model = C45Learner::new(C45Params::default())
+                .with_sink(sink.clone())
+                .fit_rules(train);
             evaluate_classifier(&model.binary_view(target), test, target).report()
         }
         Method::C45TreeWe => {
             let weighted = train.with_weights(stratify_weights(train, target));
-            let model = C45Learner::new(C45Params::default()).fit_tree(&weighted);
+            let model = C45Learner::new(C45Params::default())
+                .with_sink(sink.clone())
+                .fit_tree(&weighted);
             evaluate_classifier(&model.binary_view(target), test, target).report()
         }
         Method::Ripper => {
-            let model = RipperLearner::new(RipperParams::default()).fit(train, target);
+            let model = RipperLearner::new(RipperParams::default())
+                .with_sink(sink.clone())
+                .fit(train, target);
             evaluate_classifier(&model, test, target).report()
         }
         Method::RipperWe => {
             let weighted = train.with_weights(stratify_weights(train, target));
-            let model = RipperLearner::new(RipperParams::default()).fit(&weighted, target);
+            let model = RipperLearner::new(RipperParams::default())
+                .with_sink(sink.clone())
+                .fit(&weighted, target);
             evaluate_classifier(&model, test, target).report()
         }
         Method::Pnrule(params) => {
-            let model = PnruleLearner::new(params.clone()).fit(train, target);
+            let model = PnruleLearner::new(params.clone())
+                .with_sink(sink.clone())
+                .fit(train, target);
             evaluate_classifier(&model, test, target).report()
         }
     }
@@ -92,10 +117,22 @@ pub fn run_pnrule_best(
     target: u32,
     grid: &[PnruleParams],
 ) -> (PrfReport, PnruleParams) {
+    run_pnrule_best_with_sink(train, test, target, grid, &pnr_telemetry::noop())
+}
+
+/// [`run_pnrule_best`] with an explicit telemetry sink: each grid
+/// member's fit reports into the same sink (one `fit` span per variant).
+pub fn run_pnrule_best_with_sink(
+    train: &Dataset,
+    test: &Dataset,
+    target: u32,
+    grid: &[PnruleParams],
+    sink: &Arc<dyn TelemetrySink>,
+) -> (PrfReport, PnruleParams) {
     assert!(!grid.is_empty(), "need at least one variant");
     let mut best: Option<(PrfReport, PnruleParams)> = None;
     for params in grid {
-        let rep = run_method(&Method::Pnrule(params.clone()), train, test, target);
+        let rep = run_method_with_sink(&Method::Pnrule(params.clone()), train, test, target, sink);
         if best.as_ref().is_none_or(|(b, _)| rep.f > b.f) {
             best = Some((rep, params.clone()));
         }

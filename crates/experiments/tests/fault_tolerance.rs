@@ -3,10 +3,11 @@
 //! resumed from checkpoints matches an uninterrupted run exactly, and
 //! resume re-runs precisely the cells whose checkpoints are missing.
 
-use pnr_experiments::experiments::{run_cells, Job};
+use pnr_experiments::experiments::{run_cells, CellJob};
 use pnr_experiments::{format_experiment, run_status, CliOptions, ExperimentResult, ResultRow};
 use pnr_metrics::PrfReport;
-use std::sync::Mutex;
+use pnr_telemetry::TelemetrySink;
+use std::sync::{Arc, Mutex};
 
 fn opts_in(dir: &std::path::Path, resume: bool) -> CliOptions {
     CliOptions {
@@ -35,13 +36,13 @@ fn report_for(label: &str) -> PrfReport {
 
 const LABELS: [&str; 4] = ["C4.5rules", "RIPPER", "PNrule", "PNrule-tuned"];
 
-fn good_jobs() -> Vec<(String, Job<'static, PrfReport>)> {
+fn good_jobs() -> Vec<(String, CellJob<'static>)> {
     LABELS
         .iter()
         .map(|&l| {
             (
                 l.to_string(),
-                Box::new(move || report_for(l)) as Job<'static, PrfReport>,
+                Box::new(move |_: &Arc<dyn TelemetrySink>| report_for(l)) as CellJob<'static>,
             )
         })
         .collect()
@@ -62,16 +63,21 @@ fn assert_rows_equal(a: &[ResultRow], b: &[ResultRow]) {
 fn panicking_cell_completes_the_table_with_failed_sibling() {
     let dir = temp_dir("panic_table");
     let opts = opts_in(&dir, false);
-    let jobs: Vec<(String, Job<'_, PrfReport>)> = vec![
+    let jobs: Vec<(String, CellJob<'_>)> = vec![
         (
             "C4.5rules".to_string(),
-            Box::new(|| report_for("C4.5rules")),
+            Box::new(|_: &Arc<dyn TelemetrySink>| report_for("C4.5rules")),
         ),
         (
             "RIPPER".to_string(),
-            Box::new(|| -> PrfReport { panic!("index out of bounds: injected") }),
+            Box::new(|_: &Arc<dyn TelemetrySink>| -> PrfReport {
+                panic!("index out of bounds: injected")
+            }),
         ),
-        ("PNrule".to_string(), Box::new(|| report_for("PNrule"))),
+        (
+            "PNrule".to_string(),
+            Box::new(|_: &Arc<dyn TelemetrySink>| report_for("PNrule")),
+        ),
     ];
     let rows = run_cells("ft/table", &opts, jobs);
 
@@ -116,14 +122,14 @@ fn interrupted_run_resumes_to_identical_results() {
     // cells persisted, in-flight cells lost).
     let dir = temp_dir("resume_kill");
     let opts = opts_in(&dir, true);
-    let first_pass: Vec<(String, Job<'_, PrfReport>)> = LABELS
+    let first_pass: Vec<(String, CellJob<'_>)> = LABELS
         .iter()
         .enumerate()
         .map(|(i, &l)| {
-            let job: Job<'_, PrfReport> = if i < 2 {
-                Box::new(move || report_for(l))
+            let job: CellJob<'_> = if i < 2 {
+                Box::new(move |_: &Arc<dyn TelemetrySink>| report_for(l))
             } else {
-                Box::new(|| -> PrfReport { panic!("simulated kill") })
+                Box::new(|_: &Arc<dyn TelemetrySink>| -> PrfReport { panic!("simulated kill") })
             };
             (l.to_string(), job)
         })
@@ -134,15 +140,17 @@ fn interrupted_run_resumes_to_identical_results() {
     // Re-invocation: completed cells must come from checkpoints (their
     // jobs are sentinels that panic if executed), lost cells re-run.
     let executed: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    let second_pass: Vec<(String, Job<'_, PrfReport>)> = LABELS
+    let second_pass: Vec<(String, CellJob<'_>)> = LABELS
         .iter()
         .enumerate()
         .map(|(i, &l)| {
             let executed = &executed;
-            let job: Job<'_, PrfReport> = if i < 2 {
-                Box::new(|| -> PrfReport { panic!("checkpointed cell must not re-run") })
+            let job: CellJob<'_> = if i < 2 {
+                Box::new(|_: &Arc<dyn TelemetrySink>| -> PrfReport {
+                    panic!("checkpointed cell must not re-run")
+                })
             } else {
-                Box::new(move || {
+                Box::new(move |_: &Arc<dyn TelemetrySink>| {
                     executed
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -181,19 +189,19 @@ fn deleting_one_checkpoint_reruns_only_that_cell() {
     std::fs::remove_file(&files[0]).expect("delete one checkpoint");
 
     let executed: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    let jobs: Vec<(String, Job<'_, PrfReport>)> = LABELS
+    let jobs: Vec<(String, CellJob<'_>)> = LABELS
         .iter()
         .map(|&l| {
             let executed = &executed;
             (
                 l.to_string(),
-                Box::new(move || {
+                Box::new(move |_: &Arc<dyn TelemetrySink>| {
                     executed
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .push(l.to_string());
                     report_for(l)
-                }) as Job<'_, PrfReport>,
+                }) as CellJob<'_>,
             )
         })
         .collect();

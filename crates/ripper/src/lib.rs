@@ -49,20 +49,44 @@ pub use prune::prune_rule;
 
 use pnr_data::Dataset;
 use pnr_rules::TaskView;
+use pnr_telemetry::{Span, SpanKind, TelemetrySink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The RIPPER learner.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RipperLearner {
     params: RipperParams,
+    sink: Arc<dyn TelemetrySink>,
+}
+
+impl Default for RipperLearner {
+    fn default() -> Self {
+        RipperLearner {
+            params: RipperParams::default(),
+            sink: pnr_telemetry::noop(),
+        }
+    }
 }
 
 impl RipperLearner {
     /// A learner with the given parameters.
     pub fn new(params: RipperParams) -> Self {
         params.validate();
-        RipperLearner { params }
+        RipperLearner {
+            params,
+            sink: pnr_telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry sink; each fit is wrapped in one coarse
+    /// baseline-fit span. Write-only: the model is identical whatever sink
+    /// is attached.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// The learner's parameters.
@@ -72,6 +96,7 @@ impl RipperLearner {
 
     /// Fits a binary rule set for `target` against the rest.
     pub fn fit(&self, data: &Dataset, target: u32) -> RipperModel {
+        let _fit_span = Span::enter(self.sink.as_ref(), SpanKind::BaselineFit, "ripper");
         let is_pos: Vec<bool> = (0..data.n_rows())
             .map(|r| data.label(r) == target)
             .collect();

@@ -23,6 +23,7 @@ use crate::stats::{CovStats, EvalMetric};
 use crate::task::TaskView;
 use pnr_data::weights::approx;
 use pnr_data::Column;
+use pnr_telemetry::{Counter, TelemetrySink};
 use std::sync::Arc;
 
 /// Options controlling condition search.
@@ -61,6 +62,11 @@ pub struct SearchOptions {
     /// discarded so the outcome is deterministic under parallelism (see
     /// [`crate::budget`]).
     pub budget: Option<Arc<BudgetTracker>>,
+    /// Telemetry receiver. The search reports candidate-evaluation
+    /// counters and `ViewIndex` warm/cold projection hits through it;
+    /// the default no-op sink makes every report a no-op branch.
+    /// Telemetry is write-only — it never influences the search result.
+    pub sink: Arc<dyn TelemetrySink>,
 }
 
 impl Default for SearchOptions {
@@ -72,15 +78,30 @@ impl Default for SearchOptions {
             parallel: true,
             parallel_min_cells: PARALLEL_MIN_CELLS,
             budget: None,
+            sink: pnr_telemetry::noop(),
         }
     }
 }
 
 /// Charges `n` scored candidates against the options' budget tracker;
-/// always `true` when no budget is attached.
+/// always `true` when no budget is attached. Mirrors every evaluation
+/// into the telemetry sink: `ConditionsEvaluated` unconditionally, and
+/// `CandidateCharges` for exactly the charges a live (un-exhausted)
+/// tracker accepts, so sink and tracker totals agree while the budget
+/// holds.
 fn charge_candidates(opts: &SearchOptions, n: usize) -> bool {
+    if opts.sink.enabled() {
+        opts.sink.add(Counter::ConditionsEvaluated, n as u64);
+    }
     match &opts.budget {
-        Some(tracker) => tracker.charge_candidates(n as u64),
+        Some(tracker) => {
+            let was_live = !tracker.is_exhausted();
+            let ok = tracker.charge_candidates(n as u64);
+            if was_live && opts.sink.enabled() {
+                opts.sink.add(Counter::CandidateCharges, n as u64);
+            }
+            ok
+        }
         None => true,
     }
 }
@@ -381,6 +402,15 @@ fn search_numeric(
     n_total: f64,
     best: &mut Best,
 ) {
+    if opts.sink.enabled() {
+        // Classified before the projection call below materialises it.
+        let counter = if view.projection_is_warm(attr) {
+            Counter::ViewWarmHits
+        } else {
+            Counter::ViewColdBuilds
+        };
+        opts.sink.add(counter, 1);
+    }
     let b = build_boundaries(view, attr);
     if b.len() < 2 {
         // A constant attribute offers no split.
@@ -821,8 +851,7 @@ mod tests {
             ..Default::default()
         };
         let budgeted = find_best_condition(&v, EvalMetric::ZNumber, &opts).unwrap();
-        let free =
-            find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default()).unwrap();
+        let free = find_best_condition(&v, EvalMetric::ZNumber, &SearchOptions::default()).unwrap();
         assert_eq!(budgeted.condition, free.condition);
         assert_eq!(budgeted.score.to_bits(), free.score.to_bits());
         let tracker = tracker.unwrap();

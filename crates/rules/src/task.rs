@@ -84,6 +84,14 @@ impl<'a> TaskView<'a> {
         self.index.projection(self.data, attr)
     }
 
+    /// True when this view's sorted projection for `attr` is already
+    /// materialised, so the next [`projection`](Self::projection) call is
+    /// a warm cache hit rather than a cold build. Telemetry-only: the
+    /// answer never changes what the search computes.
+    pub fn projection_is_warm(&self, attr: usize) -> bool {
+        self.index.is_materialised(attr)
+    }
+
     /// Total weight of target rows in the view.
     pub fn pos_weight(&self) -> f64 {
         self.pos_weight

@@ -54,6 +54,14 @@ impl ViewIndex {
         })
     }
 
+    /// True when this view's projection for `attr` is already
+    /// materialised (a subsequent [`projection`](Self::projection) call
+    /// is a cache hit). Telemetry uses this to classify warm hits vs
+    /// cold builds without forcing a build.
+    pub fn is_materialised(&self, attr: usize) -> bool {
+        self.per_attr[attr].get().is_some()
+    }
+
     /// The view's rows sorted ascending by numeric attribute `attr` (ties in
     /// row order). Built on first use and cached; safe to call from several
     /// threads at once.

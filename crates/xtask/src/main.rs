@@ -7,8 +7,10 @@
 //!
 //! Rule scopes (see DESIGN.md "Static analysis & invariants"):
 //! - `float-eq`    — every crate except `xtask` itself
-//! - `lib-unwrap`  — pnr-data, pnr-rules, pnr-core (the library core)
-//! - `nondet-iter` — the learner path: data, rules, core, ripper, c45
+//! - `lib-unwrap`  — pnr-data, pnr-rules, pnr-core, pnr-telemetry (the
+//!   library core plus the always-on observation layer)
+//! - `nondet-iter` — the learner path: data, rules, core, ripper, c45,
+//!   plus telemetry (deterministic export order)
 //! - `lossy-cast`  — row/code arithmetic: data, metrics, rules, core,
 //!   ripper, c45
 //!
@@ -27,9 +29,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose non-test code must not panic via `.unwrap()`/`.expect()`.
-const LIB_UNWRAP_CRATES: [&str; 3] = ["data", "rules", "core"];
-/// Crates on the learner path where iteration order feeds rule ordering.
-const NONDET_ITER_CRATES: [&str; 5] = ["data", "rules", "core", "ripper", "c45"];
+const LIB_UNWRAP_CRATES: [&str; 4] = ["data", "rules", "core", "telemetry"];
+/// Crates on the learner path where iteration order feeds rule ordering,
+/// plus telemetry, whose export order must be deterministic.
+const NONDET_ITER_CRATES: [&str; 6] = ["data", "rules", "core", "ripper", "c45", "telemetry"];
 /// Crates doing row-index/code arithmetic.
 const LOSSY_CAST_CRATES: [&str; 6] = ["data", "metrics", "rules", "core", "ripper", "c45"];
 
@@ -183,6 +186,10 @@ mod tests {
         assert_eq!(
             rules_for("crates/ripper/src/prune.rs"),
             ["float-eq", "nondet-iter", "lossy-cast"]
+        );
+        assert_eq!(
+            rules_for("crates/telemetry/src/lib.rs"),
+            ["float-eq", "lib-unwrap", "nondet-iter"]
         );
         assert_eq!(rules_for("crates/synth/src/peaks.rs"), ["float-eq"]);
         assert_eq!(rules_for("src/lib.rs"), ["float-eq"]);

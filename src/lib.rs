@@ -19,6 +19,7 @@
 //! | [`c45`] | `pnr-c45` | the C4.5 / C4.5rules baseline |
 //! | [`synth`] | `pnr-synth` | the paper's synthetic dataset models |
 //! | [`kddsim`] | `pnr-kddsim` | the KDD-CUP'99 simulator |
+//! | [`telemetry`] | `pnr-telemetry` | fit spans, counters, NDJSON export |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use pnr_metrics as metrics;
 pub use pnr_ripper as ripper;
 pub use pnr_rules as rules;
 pub use pnr_synth as synth;
+pub use pnr_telemetry as telemetry;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
@@ -66,4 +68,5 @@ pub mod prelude {
     pub use pnr_rules::{
         evaluate_classifier, score_curve, BinaryClassifier, Condition, EvalMetric, Rule, RuleSet,
     };
+    pub use pnr_telemetry::{Counter, NoopSink, RecordingSink, SpanKind, TelemetrySink};
 }
