@@ -8,10 +8,11 @@ use crate::scoring::ScoreMatrix;
 use pnr_data::{Dataset, RowSet};
 use pnr_rules::{CovStats, RuleSet, TaskView};
 use pnr_telemetry::{Span, SpanKind, TelemetrySink};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Diagnostics of one `fit`: what each phase did and why it stopped.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FitReport {
     /// Recall the P-phase union achieved on the training data.
     pub p_covered_recall: f64,

@@ -44,6 +44,7 @@
 //! assert!(correct as f64 / data.n_rows() as f64 > 0.95);
 //! ```
 
+pub mod artifact;
 pub mod grow;
 pub mod learn;
 pub mod model;
@@ -52,8 +53,10 @@ pub mod nphase;
 pub mod params;
 pub mod pphase;
 pub mod scoring;
+pub mod serving;
 pub mod tune;
 
+pub use artifact::{ArtifactError, ModelArtifact, FORMAT_VERSION};
 pub use grow::{grow_rule, GrowOptions, GrownRule, RecallGuard};
 pub use learn::{FitReport, PnruleLearner};
 pub use model::{PnruleModel, RuleTrace};
@@ -68,4 +71,8 @@ pub use pphase::{
     learn_p_rules, learn_p_rules_with_budget, learn_p_rules_with_sink, PPhaseResult, PRule,
 };
 pub use scoring::ScoreMatrix;
+pub use serving::{
+    ColumnMap, DatasetMap, MissingColumnPolicy, RecordError, ScoredRecord, ServingModel,
+    ServingValue, UnknownKind, UnknownPolicy,
+};
 pub use tune::{fit_auto, prune_n_rules, AutoTuneOptions};

@@ -22,6 +22,7 @@ use pnr_data::weights::approx;
 use pnr_rules::mdl::{count_possible_conditions, total_dl};
 use pnr_rules::{BudgetTracker, CovStats, Rule, TaskView};
 use pnr_telemetry::{Counter, Span, SpanKind, TelemetrySink};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One accepted N-rule with its discovery-time statistics over the N-view
@@ -36,7 +37,7 @@ pub struct NRule {
 }
 
 /// Why a covering phase stopped adding rules (diagnostics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum StopReason {
     /// No positive weight left to cover.
     #[default]

@@ -1,0 +1,108 @@
+//! FNV-1a content fingerprinting.
+//!
+//! One hashing primitive shared by everything in the workspace that needs
+//! a stable content digest: the experiment checkpoint store keys cells by
+//! it, and the model-artifact layer uses it both for the on-disk integrity
+//! checksum and for the schema fingerprint that serving-time
+//! reconciliation reports. FNV-1a is not cryptographic — it detects
+//! accidental corruption (any single-byte change alters the digest, since
+//! every per-byte step is a bijection of the running state), not
+//! adversarial tampering.
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a { hash: FNV_OFFSET }
+    }
+}
+
+impl Fnv1a {
+    /// A hasher in the initial (offset-basis) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash ^= u64::from(byte);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a string's UTF-8 bytes followed by a unit separator, so
+    /// adjacent fields never alias (`("a", "bc")` vs `("ab", "c")`).
+    pub fn write_field(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0x1f]);
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// FNV-1a 64-bit digest of a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn field_separator_prevents_aliasing() {
+        let mut ab_c = Fnv1a::new();
+        ab_c.write_field("ab");
+        ab_c.write_field("c");
+        let mut a_bc = Fnv1a::new();
+        a_bc.write_field("a");
+        a_bc.write_field("bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+
+    #[test]
+    fn single_byte_flips_always_change_the_digest() {
+        let base = b"pnrule-artifact v1\n{\"model\":42}".to_vec();
+        let original = fnv1a_64(&base);
+        for i in 0..base.len() {
+            for mask in [0x01u8, 0x80, 0xff] {
+                let mut corrupt = base.clone();
+                corrupt[i] ^= mask;
+                assert_ne!(
+                    fnv1a_64(&corrupt),
+                    original,
+                    "flip at byte {i} mask {mask:#x} went undetected"
+                );
+            }
+        }
+    }
+}

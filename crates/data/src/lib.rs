@@ -34,6 +34,7 @@ mod csv;
 mod dataset;
 mod dict;
 mod error;
+pub mod fingerprint;
 pub mod index;
 mod rowset;
 mod schema;

@@ -82,6 +82,32 @@ impl Schema {
         &self.attributes[index]
     }
 
+    /// FNV-1a fingerprint of the full schema content: attribute names,
+    /// types, every categorical dictionary in code order, and the class
+    /// dictionary. Two schemas fingerprint equal iff a model trained
+    /// against one scores bit-identically against data built with the
+    /// other, so the serving layer uses this to report drift cheaply.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv1a::new();
+        for a in &self.attributes {
+            h.write_field(&a.name);
+            h.write_field(match a.ty {
+                AttrType::Numeric => "num",
+                AttrType::Categorical => "cat",
+            });
+            for (_, value) in a.dict.iter() {
+                h.write_field(value);
+            }
+            // record separator between attributes
+            h.write(&[0x1e]);
+        }
+        h.write(&[0x1e]);
+        for (_, class) in self.classes.iter() {
+            h.write_field(class);
+        }
+        h.finish()
+    }
+
     /// Rebuilds all dictionary lookup indexes after deserialisation.
     pub fn rebuild_indexes(&mut self) {
         for a in &mut self.attributes {
@@ -112,6 +138,39 @@ mod tests {
         assert!(a.is_numeric() && !a.is_categorical());
         let b = Attribute::new("y", AttrType::Categorical);
         assert!(b.is_categorical() && !b.is_numeric());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_schema_component() {
+        let mut s = Schema::new();
+        let mut a = Attribute::new("proto", AttrType::Categorical);
+        a.dict.intern("tcp");
+        a.dict.intern("udp");
+        s.attributes.push(a);
+        s.attributes.push(Attribute::new("x", AttrType::Numeric));
+        s.classes.intern("normal");
+        let base = s.fingerprint();
+        assert_eq!(s.clone().fingerprint(), base, "fingerprint is a pure fn");
+
+        let mut renamed = s.clone();
+        renamed.attributes[1].name = "y".to_string();
+        assert_ne!(renamed.fingerprint(), base);
+
+        let mut retyped = s.clone();
+        retyped.attributes[1].ty = AttrType::Categorical;
+        assert_ne!(retyped.fingerprint(), base);
+
+        let mut grown_dict = s.clone();
+        grown_dict.attributes[0].dict.intern("icmp");
+        assert_ne!(grown_dict.fingerprint(), base);
+
+        let mut new_class = s.clone();
+        new_class.classes.intern("attack");
+        assert_ne!(new_class.fingerprint(), base);
+
+        let mut reordered = s.clone();
+        reordered.attributes.swap(0, 1);
+        assert_ne!(reordered.fingerprint(), base);
     }
 
     #[test]

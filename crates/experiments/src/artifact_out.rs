@@ -1,0 +1,76 @@
+//! Saving experiment-winning models as loadable artifacts.
+//!
+//! Under `--save-model <dir>`, each experiment's best PNrule cell leaves
+//! a [`ModelArtifact`] at `<dir>/<sanitized exp id>-PNrule.artifact`.
+//! Saving follows the checkpoint-store convention: failures are reported
+//! to stderr and never fail the cell — a full experiment run is worth
+//! more than a persisted model. Cells served from checkpoints do not
+//! re-run and therefore write no artifact.
+
+use pnr_core::{FitReport, ModelArtifact, PnruleModel, PnruleParams};
+use pnr_data::Schema;
+use std::path::{Path, PathBuf};
+
+/// Where the artifact for `exp_id`'s best PNrule cell lives under `dir`.
+/// The experiment id is sanitized into a single path component (anything
+/// outside `[A-Za-z0-9._-]` becomes `-`), so ids like
+/// `table3/coa1` map to `table3-coa1-PNrule.artifact`.
+pub fn artifact_path(dir: &str, exp_id: &str) -> PathBuf {
+    let sanitized: String = exp_id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    Path::new(dir).join(format!("{sanitized}-PNrule.artifact"))
+}
+
+/// Persists the winning PNrule model of `exp_id` under `dir`. Errors are
+/// printed to stderr, not returned: artifact persistence must never fail
+/// an experiment cell.
+pub fn save_pnrule_artifact(
+    dir: &str,
+    exp_id: &str,
+    model: PnruleModel,
+    params: PnruleParams,
+    report: FitReport,
+    schema: Schema,
+) {
+    let path = artifact_path(dir, exp_id);
+    match ModelArtifact::new(model, params, report, schema) {
+        Ok(artifact) => {
+            if let Err(e) = artifact.save(&path) {
+                eprintln!(
+                    "warning: failed to save model artifact {}: {e}",
+                    path.display()
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("warning: model for {exp_id} failed artifact validation, not saved: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_path_sanitizes_experiment_ids() {
+        let p = artifact_path("out/models", "table3/coa1");
+        assert_eq!(
+            p,
+            Path::new("out/models").join("table3-coa1-PNrule.artifact")
+        );
+        let p = artifact_path("m", "figure1/nsyn3 tr=0.2 nr=4");
+        assert_eq!(
+            p,
+            Path::new("m").join("figure1-nsyn3-tr-0.2-nr-4-PNrule.artifact")
+        );
+    }
+}

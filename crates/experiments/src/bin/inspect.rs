@@ -16,26 +16,44 @@ use pnr_synth::SynthScale;
 use pnr_telemetry::{Counter, RecordingSink, SpanKind, TelemetrySink};
 use std::sync::Arc;
 
+/// The dataset spellings `load` accepts, listed whenever a name fails to
+/// resolve so the user never faces a bare error.
+const VALID_DATASETS: &str = "nsyn1..nsyn6, coa1..coa6, coad1..coad4, syngen, \
+kdd:<normal|dos|probe|r2l|u2r> (numeric/general names take optional \
+:tr=<f>/:nr=<f> suffixes)";
+
 fn load(name: &str, scale: f64, seed: u64) -> (Dataset, Dataset, u32) {
     let train_scale = SynthScale::paper_train().scaled_by(scale);
     let test_scale = SynthScale::paper_test().scaled_by(scale);
     if let Some(class) = name.strip_prefix("kdd:") {
         let train = pnr_kddsim::generate_train((494_021.0 * scale) as usize, seed);
         let test = pnr_kddsim::generate_test((311_029.0 * scale) as usize, seed + 1);
-        let target = train.class_code(class).expect("kdd class");
+        let target = train.class_code(class).unwrap_or_else(|| {
+            bail(&format!(
+                "unknown kdd class {class:?}; valid datasets: {VALID_DATASETS}"
+            ))
+        });
         return (train, test, target);
     }
     // optional :tr=<f>/:nr=<f> suffixes
     let mut parts = name.split(':');
-    let base = parts.next().expect("dataset name");
+    let base = parts.next().unwrap_or(name);
     let (mut tr_over, mut nr_over) = (None, None);
     for p in parts {
         if let Some(v) = p.strip_prefix("tr=") {
-            tr_over = Some(v.parse::<f64>().expect("tr value"));
+            tr_over = Some(
+                v.parse::<f64>()
+                    .unwrap_or_else(|_| bail(&format!("suffix tr= takes a float, got {v:?}"))),
+            );
         } else if let Some(v) = p.strip_prefix("nr=") {
-            nr_over = Some(v.parse::<f64>().expect("nr value"));
+            nr_over = Some(
+                v.parse::<f64>()
+                    .unwrap_or_else(|_| bail(&format!("suffix nr= takes a float, got {v:?}"))),
+            );
         } else {
-            panic!("unknown dataset suffix {p}");
+            bail(&format!(
+                "unknown dataset suffix {p:?}; valid datasets: {VALID_DATASETS}"
+            ));
         }
     }
     let name = base;
@@ -48,27 +66,31 @@ fn load(name: &str, scale: f64, seed: u64) -> (Dataset, Dataset, u32) {
             pnr_synth::general::generate(&cfg, &test_scale, seed + 1),
         )
     } else if let Some(i) = name.strip_prefix("nsyn") {
-        let mut cfg = pnr_synth::numeric::NumericModelConfig::nsyn(i.parse().expect("index"));
+        let i = i
+            .parse()
+            .ok()
+            .filter(|i| (1..=6).contains(i))
+            .unwrap_or_else(|| {
+                bail(&format!(
+                    "unknown dataset {name:?}; valid datasets: {VALID_DATASETS}"
+                ))
+            });
+        let mut cfg = pnr_synth::numeric::NumericModelConfig::nsyn(i);
         cfg.tr = tr_over.unwrap_or(cfg.tr);
         cfg.nr = nr_over.unwrap_or(cfg.nr);
         (
             pnr_synth::numeric::generate(&cfg, &train_scale, seed),
             pnr_synth::numeric::generate(&cfg, &test_scale, seed + 1),
         )
-    } else if let Some(i) = name.strip_prefix("coad") {
-        let cfg = pnr_synth::categorical::CategoricalModelConfig::coad(i.parse().expect("index"));
-        (
-            pnr_synth::categorical::generate(&cfg, &train_scale, seed),
-            pnr_synth::categorical::generate(&cfg, &test_scale, seed + 1),
-        )
-    } else if let Some(i) = name.strip_prefix("coa") {
-        let cfg = pnr_synth::categorical::CategoricalModelConfig::coa(i.parse().expect("index"));
+    } else if let Some(cfg) = pnr_experiments::categorical_config(name) {
         (
             pnr_synth::categorical::generate(&cfg, &train_scale, seed),
             pnr_synth::categorical::generate(&cfg, &test_scale, seed + 1),
         )
     } else {
-        panic!("unknown dataset {name}");
+        bail(&format!(
+            "unknown dataset {name:?}; valid datasets: {VALID_DATASETS}"
+        ));
     };
     let target = train.class_code(pnr_synth::TARGET_CLASS).expect("target");
     (train, test, target)

@@ -1,0 +1,144 @@
+//! Emits simulated KDD'99 connection records as CSV — the companion
+//! generator for the `predict` serving walkthrough and the CI drift
+//! suite.
+//!
+//! ```text
+//! kdd_csv [--rows <n>] [--seed <n>] [--test] [--out <file.csv>]
+//!         [--columns <name,name,...>]
+//! ```
+//!
+//! `--columns` selects and *orders* the emitted columns by attribute
+//! name (plus the literal `class`), which is how the drift tests build
+//! reordered/dropped-column inputs; an unknown name is a usage error
+//! (exit 2) listing the valid names. Default: every attribute in schema
+//! order, then `class`.
+
+use std::io::Write;
+
+const USAGE: &str = "usage: kdd_csv [--rows <n>] [--seed <n>] [--test] \
+[--out <file.csv>] [--columns <name,name,...>]";
+
+fn bail(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// A column to emit: a schema attribute or the class label.
+enum Col {
+    Attr(usize),
+    Class,
+}
+
+fn main() {
+    let mut rows = 1_000usize;
+    let mut seed = 7u64;
+    let mut test_mix = false;
+    let mut out = None;
+    let mut columns: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| bail(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--rows" => {
+                let raw = value("--rows");
+                rows = raw
+                    .parse()
+                    .unwrap_or_else(|_| bail(&format!("--rows takes an integer, got {raw:?}")));
+            }
+            "--seed" => {
+                let raw = value("--seed");
+                seed = raw
+                    .parse()
+                    .unwrap_or_else(|_| bail(&format!("--seed takes an integer, got {raw:?}")));
+            }
+            "--test" => test_mix = true,
+            "--out" => out = Some(value("--out")),
+            "--columns" => columns = Some(value("--columns")),
+            other => bail(&format!("unknown argument {other}")),
+        }
+    }
+
+    let cols: Vec<Col> = match &columns {
+        None => (0..pnr_kddsim::N_ATTRS)
+            .map(Col::Attr)
+            .chain(std::iter::once(Col::Class))
+            .collect(),
+        Some(spec) => spec
+            .split(',')
+            .map(str::trim)
+            .filter(|name| !name.is_empty())
+            .map(|name| {
+                if name == "class" {
+                    Col::Class
+                } else {
+                    match pnr_kddsim::try_attr_index(name) {
+                        Some(i) => Col::Attr(i),
+                        None => bail(&format!(
+                            "unknown column {name:?}; valid columns: {}, class",
+                            pnr_kddsim::ATTR_NAMES.join(", ")
+                        )),
+                    }
+                }
+            })
+            .collect(),
+    };
+    if cols.is_empty() {
+        bail("--columns selected no columns");
+    }
+
+    let data = if test_mix {
+        pnr_kddsim::generate_test(rows, seed)
+    } else {
+        pnr_kddsim::generate_train(rows, seed)
+    };
+
+    let mut text = String::new();
+    let header: Vec<&str> = cols
+        .iter()
+        .map(|c| match c {
+            Col::Attr(i) => data.schema().attr(*i).name.as_str(),
+            Col::Class => "class",
+        })
+        .collect();
+    text.push_str(&header.join(","));
+    text.push('\n');
+    for row in 0..data.n_rows() {
+        for (k, c) in cols.iter().enumerate() {
+            if k > 0 {
+                text.push(',');
+            }
+            match c {
+                Col::Attr(i) => {
+                    let a = data.schema().attr(*i);
+                    if a.is_numeric() {
+                        text.push_str(&data.num(*i, row).to_string());
+                    } else {
+                        text.push_str(a.dict.name(data.cat(*i, row)));
+                    }
+                }
+                Col::Class => text.push_str(data.class_name(data.label(row))),
+            }
+        }
+        text.push('\n');
+    }
+
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            let stdout = std::io::stdout();
+            if let Err(e) = stdout.lock().write_all(text.as_bytes()) {
+                eprintln!("error: cannot write output: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -24,11 +24,15 @@ pub struct CliOptions {
     /// Record per-cell fit telemetry (spans + counters) and export it as
     /// NDJSON next to the checkpoints, keyed by the same fingerprint.
     pub telemetry: bool,
+    /// Directory to save the best PNrule cell of each experiment as a
+    /// loadable model artifact (`--save-model <dir>`; off by default).
+    pub save_model: Option<String>,
 }
 
 /// Usage text printed when argument parsing fails.
 pub const USAGE: &str = "usage: <binary> [--scale <f>] [--seed <n>] [--out <dir>] \
-[--threads <n>] [--resume | --no-resume] [--telemetry | --no-telemetry]";
+[--threads <n>] [--resume | --no-resume] [--telemetry | --no-telemetry] \
+[--save-model <dir>]";
 
 impl Default for CliOptions {
     fn default() -> Self {
@@ -41,6 +45,7 @@ impl Default for CliOptions {
                 .unwrap_or(4),
             resume: true,
             telemetry: false,
+            save_model: None,
         }
     }
 }
@@ -86,10 +91,12 @@ impl CliOptions {
                 "--no-resume" => opts.resume = false,
                 "--telemetry" => opts.telemetry = true,
                 "--no-telemetry" => opts.telemetry = false,
+                "--save-model" => opts.save_model = Some(value("--save-model")?),
                 other => {
                     return Err(format!(
                         "unknown argument {other}; expected --scale / --seed / --out / \
-                         --threads / --resume / --no-resume / --telemetry / --no-telemetry"
+                         --threads / --resume / --no-resume / --telemetry / --no-telemetry / \
+                         --save-model"
                     ))
                 }
             }
@@ -128,6 +135,7 @@ mod tests {
         assert_eq!(o.out_dir, "results");
         assert!(o.resume, "resume defaults on");
         assert!(!o.telemetry, "telemetry defaults off");
+        assert!(o.save_model.is_none(), "model saving defaults off");
     }
 
     #[test]
@@ -143,6 +151,8 @@ mod tests {
             "3",
             "--no-resume",
             "--telemetry",
+            "--save-model",
+            "r2/models",
         ])
         .unwrap();
         assert_eq!(o.scale, 1.0);
@@ -151,6 +161,7 @@ mod tests {
         assert_eq!(o.threads, 3);
         assert!(!o.resume);
         assert!(o.telemetry);
+        assert_eq!(o.save_model.as_deref(), Some("r2/models"));
         let o = parse(&["--no-resume", "--resume"]).unwrap();
         assert!(o.resume, "last flag wins");
         let o = parse(&["--telemetry", "--no-telemetry"]).unwrap();
@@ -177,6 +188,9 @@ mod tests {
         assert!(parse(&["--seed", "-1"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&["--save-model"])
             .unwrap_err()
             .contains("requires a value"));
     }

@@ -10,7 +10,7 @@
 use crate::checkpoint::{CellKey, Checkpoint};
 use crate::cli::CliOptions;
 use crate::methods::{
-    pnrule_variant_grid, run_method_with_sink, run_pnrule_best_with_sink, Method,
+    pnrule_variant_grid, run_method_with_sink, run_pnrule_best_model_with_sink, Method,
 };
 use crate::report::{ExperimentResult, ResultRow};
 use pnr_core::PnruleParams;
@@ -274,11 +274,38 @@ fn compare_all(exp_id: &str, opts: &CliOptions, train: &Dataset, test: &Dataset)
         .collect();
     jobs.push((
         "PNrule".to_string(),
-        Box::new(move |sink: &Arc<dyn TelemetrySink>| {
-            run_pnrule_best_with_sink(train, test, target, &pnrule_variant_grid(), sink).0
-        }),
+        pnrule_grid_cell(exp_id, opts, train, test, target),
     ));
     run_cells(exp_id, opts, jobs)
+}
+
+/// The best-of-grid PNrule cell shared by the table experiments: runs
+/// the standard variant grid and, under `--save-model`, persists the
+/// winning model as a loadable artifact keyed by the experiment id.
+fn pnrule_grid_cell<'a>(
+    exp_id: &str,
+    opts: &CliOptions,
+    train: &'a Dataset,
+    test: &'a Dataset,
+    target: u32,
+) -> CellJob<'a> {
+    let save_dir = opts.save_model.clone();
+    let exp_id = exp_id.to_string();
+    Box::new(move |sink: &Arc<dyn TelemetrySink>| {
+        let best =
+            run_pnrule_best_model_with_sink(train, test, target, &pnrule_variant_grid(), sink);
+        if let Some(dir) = &save_dir {
+            crate::artifact_out::save_pnrule_artifact(
+                dir,
+                &exp_id,
+                best.model,
+                best.params,
+                best.fit_report,
+                train.schema().clone(),
+            );
+        }
+        best.report
+    })
 }
 
 fn subset(rows: Vec<ResultRow>, keep: &[&str], exp: &mut ExperimentResult) {
@@ -375,13 +402,18 @@ pub fn categorical_dataset_names() -> Vec<String> {
         .collect()
 }
 
-fn categorical_config(name: &str) -> CategoricalModelConfig {
+/// Resolves a Table-3 categorical dataset name (`coa1..coa6`,
+/// `coad1..coad4`) to its generator config, or `None` for an unknown
+/// name — callers surface the error instead of panicking.
+pub fn categorical_config(name: &str) -> Option<CategoricalModelConfig> {
     if let Some(i) = name.strip_prefix("coad") {
-        CategoricalModelConfig::coad(i.parse().expect("coad index"))
+        let i: usize = i.parse().ok().filter(|i| (1..=4).contains(i))?;
+        Some(CategoricalModelConfig::coad(i))
     } else if let Some(i) = name.strip_prefix("coa") {
-        CategoricalModelConfig::coa(i.parse().expect("coa index"))
+        let i: usize = i.parse().ok().filter(|i| (1..=6).contains(i))?;
+        Some(CategoricalModelConfig::coa(i))
     } else {
-        panic!("unknown categorical dataset {name}")
+        None
     }
 }
 
@@ -390,8 +422,8 @@ fn categorical_config(name: &str) -> CategoricalModelConfig {
 pub fn table3(opts: &CliOptions) -> Vec<ExperimentResult> {
     categorical_dataset_names()
         .into_iter()
-        .map(|name| {
-            let cfg = categorical_config(&name);
+        .filter_map(|name| {
+            let cfg = categorical_config(&name)?;
             let train = pnr_synth::categorical::generate(&cfg, &train_scale(opts), opts.seed);
             let test = pnr_synth::categorical::generate(&cfg, &test_scale(opts), opts.seed + 1);
             let target = train.class_code(pnr_synth::TARGET_CLASS).expect("target");
@@ -424,23 +456,14 @@ pub fn table3(opts: &CliOptions) -> Vec<ExperimentResult> {
                 ),
                 (
                     "PNrule".to_string(),
-                    Box::new(|sink: &Arc<dyn TelemetrySink>| {
-                        run_pnrule_best_with_sink(
-                            &train,
-                            &test,
-                            target,
-                            &pnrule_variant_grid(),
-                            sink,
-                        )
-                        .0
-                    }),
+                    pnrule_grid_cell(&exp.id, opts, &train, &test, target),
                 ),
             ];
             let rows = run_cells(&exp.id, opts, jobs);
             for row in rows {
                 exp.push_row(row);
             }
-            exp
+            Some(exp)
         })
         .collect()
 }
@@ -514,16 +537,7 @@ pub fn table5(opts: &CliOptions) -> Vec<ExperimentResult> {
                 ),
                 (
                     "PNrule".to_string(),
-                    Box::new(|sink: &Arc<dyn TelemetrySink>| {
-                        run_pnrule_best_with_sink(
-                            &train,
-                            &test,
-                            target,
-                            &pnrule_variant_grid(),
-                            sink,
-                        )
-                        .0
-                    }),
+                    pnrule_grid_cell(&exp.id, opts, &train, &test, target),
                 ),
             ];
             let rows = run_cells(&exp.id, opts, jobs);
@@ -534,6 +548,41 @@ pub fn table5(opts: &CliOptions) -> Vec<ExperimentResult> {
         }
     }
     out
+}
+
+/// A single-parameter PNrule cell (no grid): fits once and, under
+/// `--save-model`, persists the model as an artifact keyed by the
+/// experiment id.
+fn pnrule_params_cell<'a>(
+    exp_id: &str,
+    opts: &CliOptions,
+    train: &'a Dataset,
+    test: &'a Dataset,
+    target: u32,
+    params: PnruleParams,
+) -> CellJob<'a> {
+    let save_dir = opts.save_model.clone();
+    let exp_id = exp_id.to_string();
+    Box::new(move |sink: &Arc<dyn TelemetrySink>| {
+        let best = run_pnrule_best_model_with_sink(
+            train,
+            test,
+            target,
+            std::slice::from_ref(&params),
+            sink,
+        );
+        if let Some(dir) = &save_dir {
+            crate::artifact_out::save_pnrule_artifact(
+                dir,
+                &exp_id,
+                best.model,
+                best.params,
+                best.fit_report,
+                train.schema().clone(),
+            );
+        }
+        best.report
+    })
 }
 
 /// KDD simulation sizes: the contest's 10% training sample (~494k) and the
@@ -587,10 +636,7 @@ pub fn table6(opts: &CliOptions) -> Vec<ExperimentResult> {
                 ),
                 (
                     "PNrule".to_string(),
-                    Box::new(move |sink: &Arc<dyn TelemetrySink>| {
-                        let params = PnruleParams::default();
-                        run_method_with_sink(&Method::Pnrule(params), train, test, target, sink)
-                    }),
+                    pnrule_params_cell(&exp.id, opts, train, test, target, PnruleParams::default()),
                 ),
             ];
             let rows = run_cells(&exp.id, opts, jobs);
@@ -886,7 +932,14 @@ mod tests {
         assert_eq!(names[0], "coa1");
         assert_eq!(names[9], "coad4");
         for n in &names {
-            let _ = categorical_config(n); // must not panic
+            assert!(categorical_config(n).is_some(), "{n} must resolve");
+        }
+    }
+
+    #[test]
+    fn categorical_config_rejects_unknown_names_without_panicking() {
+        for bad in ["nope", "coa0", "coa7", "coad5", "coadx", "coa", "kdd"] {
+            assert!(categorical_config(bad).is_none(), "{bad} must not resolve");
         }
     }
 

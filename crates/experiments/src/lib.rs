@@ -12,6 +12,7 @@
 //! The qualitative shape — who wins, where methods collapse — is stable
 //! across scales; absolute numbers move a little.
 
+pub mod artifact_out;
 pub mod checkpoint;
 pub mod cli;
 pub mod experiments;
@@ -20,11 +21,13 @@ pub mod paper;
 pub mod report;
 pub mod telemetry_out;
 
+pub use artifact_out::{artifact_path, save_pnrule_artifact};
 pub use checkpoint::{CellKey, Checkpoint};
 pub use cli::CliOptions;
-pub use experiments::{run_cells, run_jobs, CellJob, Job, JobOutcome};
+pub use experiments::{categorical_config, run_cells, run_jobs, CellJob, Job, JobOutcome};
 pub use methods::{
-    run_method, run_method_with_sink, run_pnrule_best, run_pnrule_best_with_sink, Method,
+    run_method, run_method_with_sink, run_pnrule_best, run_pnrule_best_model_with_sink,
+    run_pnrule_best_with_sink, BestPnrule, Method,
 };
 pub use report::{
     format_experiment, print_experiment, run_status, write_json, ExperimentResult, ResultRow,

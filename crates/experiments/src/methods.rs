@@ -1,7 +1,7 @@
 //! The classifier variants compared in the paper, behind one interface.
 
 use pnr_c45::{C45Learner, C45Params};
-use pnr_core::{PnruleLearner, PnruleParams};
+use pnr_core::{FitReport, PnruleLearner, PnruleModel, PnruleParams};
 use pnr_data::{stratify_weights, Dataset};
 use pnr_metrics::PrfReport;
 use pnr_ripper::{RipperLearner, RipperParams};
@@ -129,12 +129,49 @@ pub fn run_pnrule_best_with_sink(
     grid: &[PnruleParams],
     sink: &Arc<dyn TelemetrySink>,
 ) -> (PrfReport, PnruleParams) {
+    let best = run_pnrule_best_model_with_sink(train, test, target, grid, sink);
+    (best.report, best.params)
+}
+
+/// The winning cell of a PNrule parameter-grid sweep, with everything an
+/// artifact needs: the trained model and its fit diagnostics, not just
+/// the evaluation numbers.
+#[derive(Debug, Clone)]
+pub struct BestPnrule {
+    /// Test-set recall/precision/F of the winner.
+    pub report: PrfReport,
+    /// The winning parameters.
+    pub params: PnruleParams,
+    /// The winning trained model.
+    pub model: PnruleModel,
+    /// Diagnostics of the winning fit.
+    pub fit_report: FitReport,
+}
+
+/// [`run_pnrule_best_with_sink`] keeping the winning *model* (first best
+/// F wins ties, identical to the report-only path) so callers can
+/// persist it as a [`pnr_core::ModelArtifact`].
+pub fn run_pnrule_best_model_with_sink(
+    train: &Dataset,
+    test: &Dataset,
+    target: u32,
+    grid: &[PnruleParams],
+    sink: &Arc<dyn TelemetrySink>,
+) -> BestPnrule {
     assert!(!grid.is_empty(), "need at least one variant");
-    let mut best: Option<(PrfReport, PnruleParams)> = None;
+    let mut best: Option<BestPnrule> = None;
     for params in grid {
-        let rep = run_method_with_sink(&Method::Pnrule(params.clone()), train, test, target, sink);
-        if best.as_ref().is_none_or(|(b, _)| rep.f > b.f) {
-            best = Some((rep, params.clone()));
+        let (model, fit_report) = PnruleLearner::new(params.clone())
+            .with_sink(sink.clone())
+            .fit_with_report(train, target);
+        let report = evaluate_classifier(&model, test, target).report();
+        if best.as_ref().is_none_or(|b| report.f > b.report.f) {
+            best = Some(BestPnrule {
+                report,
+                params: params.clone(),
+                model,
+                fit_report,
+            });
         }
     }
     best.expect("non-empty grid")

@@ -42,7 +42,10 @@
 mod schema;
 mod subclass;
 
-pub use schema::{attr_index, build_schema_builder, CLASSES, FLAGS, N_ATTRS, PROTOCOLS, SERVICES};
+pub use schema::{
+    attr_index, build_schema_builder, try_attr_index, ATTR_NAMES, CLASSES, FLAGS, N_ATTRS,
+    PROTOCOLS, SERVICES,
+};
 pub use subclass::{test_mix, train_mix, Subclass, SubclassSpec};
 
 use pnr_data::Dataset;

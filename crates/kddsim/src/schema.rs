@@ -42,15 +42,20 @@ pub const ATTR_NAMES: &[&str] = &[
 /// Number of attributes.
 pub const N_ATTRS: usize = 16;
 
+/// Index of an attribute by name, or `None` for an unknown name. The
+/// fallible form for serving-path callers that must not panic on
+/// user-supplied names.
+pub fn try_attr_index(name: &str) -> Option<usize> {
+    ATTR_NAMES.iter().position(|&n| n == name)
+}
+
 /// Index of an attribute by name.
 ///
 /// # Panics
-/// Panics on an unknown name.
+/// Panics on an unknown name; generator-internal callers pass literal
+/// names. User-facing paths use [`try_attr_index`].
 pub fn attr_index(name: &str) -> usize {
-    ATTR_NAMES
-        .iter()
-        .position(|&n| n == name)
-        .unwrap_or_else(|| panic!("unknown attribute {name}"))
+    try_attr_index(name).unwrap_or_else(|| panic!("unknown attribute {name}"))
 }
 
 /// A builder with the full schema, every categorical vocabulary and every
@@ -99,7 +104,13 @@ mod tests {
     fn attr_index_finds_all_names() {
         for (i, name) in ATTR_NAMES.iter().enumerate() {
             assert_eq!(attr_index(name), i);
+            assert_eq!(try_attr_index(name), Some(i));
         }
+    }
+
+    #[test]
+    fn try_attr_index_returns_none_for_unknown() {
+        assert_eq!(try_attr_index("nope"), None);
     }
 
     #[test]

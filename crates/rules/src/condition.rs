@@ -70,6 +70,25 @@ impl Condition {
         }
     }
 
+    /// Whether the condition holds for a record whose values are fetched
+    /// through lookups that may fail. A `None` from either lookup means
+    /// the value is *unknown* (unseen category, non-finite numeric,
+    /// defaulted missing column) and the condition does **not** match —
+    /// the paper-consistent serving semantics where rule conditions only
+    /// ever fire on values the training data vouched for.
+    pub fn matches_lookup<N, C>(&self, num: N, cat: C) -> bool
+    where
+        N: Fn(usize) -> Option<f64>,
+        C: Fn(usize) -> Option<u32>,
+    {
+        match *self {
+            Condition::CatEq { attr, value } => cat(attr) == Some(value),
+            Condition::NumLe { attr, value } => num(attr).is_some_and(|x| x <= value),
+            Condition::NumGt { attr, value } => num(attr).is_some_and(|x| x > value),
+            Condition::NumRange { attr, lo, hi } => num(attr).is_some_and(|x| lo < x && x <= hi),
+        }
+    }
+
     /// A displayable form that resolves attribute and value names through
     /// `schema`.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayCondition<'a> {
@@ -222,6 +241,57 @@ mod tests {
             .to_string(),
             "x > 2"
         );
+    }
+
+    #[test]
+    fn matches_lookup_mirrors_matches_on_known_values() {
+        let d = data();
+        let conds = [
+            Condition::CatEq { attr: 1, value: 0 },
+            Condition::NumLe {
+                attr: 0,
+                value: 2.0,
+            },
+            Condition::NumGt {
+                attr: 0,
+                value: 2.0,
+            },
+            Condition::NumRange {
+                attr: 0,
+                lo: 1.0,
+                hi: 2.5,
+            },
+        ];
+        for cond in &conds {
+            for row in 0..d.n_rows() {
+                let via_lookup =
+                    cond.matches_lookup(|a| Some(d.num(a, row)), |a| Some(d.cat(a, row)));
+                assert_eq!(via_lookup, cond.matches(&d, row), "{cond:?} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_lookup_never_fires_on_unknown_values() {
+        let none_num = |_: usize| None;
+        let none_cat = |_: usize| None;
+        assert!(!Condition::CatEq { attr: 0, value: 0 }.matches_lookup(none_num, none_cat));
+        assert!(!Condition::NumLe {
+            attr: 0,
+            value: f64::INFINITY
+        }
+        .matches_lookup(none_num, none_cat));
+        assert!(!Condition::NumGt {
+            attr: 0,
+            value: f64::NEG_INFINITY
+        }
+        .matches_lookup(none_num, none_cat));
+        assert!(!Condition::NumRange {
+            attr: 0,
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY
+        }
+        .matches_lookup(none_num, none_cat));
     }
 
     #[test]

@@ -73,6 +73,17 @@ impl Rule {
         self.conditions.iter().all(|c| c.matches(data, row))
     }
 
+    /// Whether every condition holds against fallible value lookups; an
+    /// unknown (`None`) value fails its condition. See
+    /// [`Condition::matches_lookup`].
+    pub fn matches_lookup<N, C>(&self, num: N, cat: C) -> bool
+    where
+        N: Fn(usize) -> Option<f64>,
+        C: Fn(usize) -> Option<u32>,
+    {
+        self.conditions.iter().all(|c| c.matches_lookup(&num, &cat))
+    }
+
     /// A displayable form resolving names through `schema`.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> DisplayRule<'a> {
         DisplayRule { rule: self, schema }

@@ -53,6 +53,17 @@ impl RuleSet {
         self.first_match(data, row).is_some()
     }
 
+    /// Index of the first rule whose conditions all hold against fallible
+    /// value lookups, or `None`. Unknown values (a `None` lookup) never
+    /// satisfy a condition — the serving path's drift-tolerant first-match.
+    pub fn first_match_lookup<N, C>(&self, num: N, cat: C) -> Option<usize>
+    where
+        N: Fn(usize) -> Option<f64>,
+        C: Fn(usize) -> Option<u32>,
+    {
+        self.rules.iter().position(|r| r.matches_lookup(&num, &cat))
+    }
+
     /// Removes the rule at `index` and returns it.
     pub fn remove(&mut self, index: usize) -> Rule {
         self.rules.remove(index)
@@ -108,6 +119,21 @@ mod tests {
         assert_eq!(rs.first_match(&d, 2), None);
         assert!(!rs.any_match(&d, 2));
         assert!(rs.any_match(&d, 0));
+    }
+
+    #[test]
+    fn first_match_lookup_mirrors_first_match_and_skips_unknowns() {
+        let d = data();
+        let rs = RuleSet::from_rules(vec![le(1.5), le(6.0)]);
+        for row in 0..d.n_rows() {
+            assert_eq!(
+                rs.first_match_lookup(|a| Some(d.num(a, row)), |a| Some(d.cat(a, row))),
+                rs.first_match(&d, row),
+                "row {row}"
+            );
+        }
+        // an unknown numeric value satisfies no rule at all
+        assert_eq!(rs.first_match_lookup(|_| None, |_| None), None);
     }
 
     #[test]

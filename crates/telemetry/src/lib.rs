@@ -11,8 +11,9 @@
 //! - **Monotonic counters** ([`Counter`]) — totals that only ever grow:
 //!   candidate conditions evaluated, candidate charges mirrored against
 //!   the rules crate's `BudgetTracker`, `ViewIndex` warm projection hits
-//!   vs cold builds, MDL-pruned N-rules, and rows swept by the
-//!   ScoreMatrix `first_match` pass.
+//!   vs cold builds, MDL-pruned N-rules, rows swept by the ScoreMatrix
+//!   `first_match` pass, and the serving layer's row accounting (rows
+//!   scored vs quarantined, unseen-category and non-finite-numeric hits).
 //!
 //! Two sinks are provided. [`NoopSink`] is the default everywhere: it
 //! reports `enabled() == false`, so instrumented code skips label
@@ -37,7 +38,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct [`Counter`]s (size of the recording array).
-pub const N_COUNTERS: usize = 6;
+pub const N_COUNTERS: usize = 10;
 
 /// Monotonic counter identities. Stored in a fixed array indexed by the
 /// enum discriminant — deliberately not a hash map, so iteration order
@@ -62,6 +63,17 @@ pub enum Counter {
     MdlPrunes,
     /// Rows swept by a `ScoreMatrix::build` `first_match` pass.
     FirstMatchRows,
+    /// Records the serving layer scored successfully, abstentions
+    /// included.
+    RowsScored,
+    /// Records the serving layer refused to score: structurally malformed
+    /// rows quarantined by the CSV stream plus records rejected under
+    /// `UnknownPolicy::Reject`.
+    RowsQuarantined,
+    /// Serve-time categorical values absent from the training dictionary.
+    UnseenCategoryHits,
+    /// Serve-time numeric values that were NaN or infinite.
+    NanNumericHits,
 }
 
 impl Counter {
@@ -73,6 +85,10 @@ impl Counter {
         Counter::ViewColdBuilds,
         Counter::MdlPrunes,
         Counter::FirstMatchRows,
+        Counter::RowsScored,
+        Counter::RowsQuarantined,
+        Counter::UnseenCategoryHits,
+        Counter::NanNumericHits,
     ];
 
     /// Stable snake_case name used in NDJSON lines and rendered tables.
@@ -84,6 +100,10 @@ impl Counter {
             Counter::ViewColdBuilds => "view_cold_builds",
             Counter::MdlPrunes => "mdl_prunes",
             Counter::FirstMatchRows => "first_match_rows",
+            Counter::RowsScored => "rows_scored",
+            Counter::RowsQuarantined => "rows_quarantined",
+            Counter::UnseenCategoryHits => "unseen_category_hits",
+            Counter::NanNumericHits => "nan_numeric_hits",
         }
     }
 

@@ -8,9 +8,11 @@
 //! Rule scopes (see DESIGN.md "Static analysis & invariants"):
 //! - `float-eq`    — every crate except `xtask` itself
 //! - `lib-unwrap`  — pnr-data, pnr-rules, pnr-core, pnr-telemetry (the
-//!   library core plus the always-on observation layer)
+//!   library core plus the always-on observation layer), plus the
+//!   serving-path modules outside those crates (see `SERVING_PATH_FILES`)
 //! - `nondet-iter` — the learner path: data, rules, core, ripper, c45,
-//!   plus telemetry (deterministic export order)
+//!   plus telemetry (deterministic export order) and the serving-path
+//!   modules (deterministic record order)
 //! - `lossy-cast`  — row/code arithmetic: data, metrics, rules, core,
 //!   ripper, c45
 //!
@@ -35,6 +37,16 @@ const LIB_UNWRAP_CRATES: [&str; 4] = ["data", "rules", "core", "telemetry"];
 const NONDET_ITER_CRATES: [&str; 6] = ["data", "rules", "core", "ripper", "c45", "telemetry"];
 /// Crates doing row-index/code arithmetic.
 const LOSSY_CAST_CRATES: [&str; 6] = ["data", "metrics", "rules", "core", "ripper", "c45"];
+/// Serving-path modules outside the library crates. They sit between a
+/// saved artifact and a caller's data stream, so they carry the core's
+/// no-panic and deterministic-iteration discipline even though their
+/// host crates (experiments, kddsim) do not as a whole.
+const SERVING_PATH_FILES: [&str; 4] = [
+    "crates/experiments/src/artifact_out.rs",
+    "crates/experiments/src/bin/kdd_csv.rs",
+    "crates/experiments/src/bin/predict.rs",
+    "crates/kddsim/src/schema.rs",
+];
 
 /// The rules that apply to one repo-relative `.rs` path; empty = skip file.
 fn rules_for(rel: &str) -> Vec<&'static str> {
@@ -69,6 +81,10 @@ fn rules_for(rel: &str) -> Vec<&'static str> {
     }
     if LOSSY_CAST_CRATES.contains(&krate) {
         rules.push("lossy-cast");
+    }
+    if SERVING_PATH_FILES.contains(&rel.as_str()) {
+        rules.push("lib-unwrap");
+        rules.push("nondet-iter");
     }
     rules
 }
@@ -193,6 +209,20 @@ mod tests {
         );
         assert_eq!(rules_for("crates/synth/src/peaks.rs"), ["float-eq"]);
         assert_eq!(rules_for("src/lib.rs"), ["float-eq"]);
+    }
+
+    #[test]
+    fn serving_path_files_get_the_core_discipline() {
+        for rel in SERVING_PATH_FILES {
+            assert_eq!(
+                rules_for(rel),
+                ["float-eq", "lib-unwrap", "nondet-iter"],
+                "{rel}"
+            );
+        }
+        // the rest of their host crates keeps its lighter scope
+        assert_eq!(rules_for("crates/experiments/src/methods.rs"), ["float-eq"]);
+        assert_eq!(rules_for("crates/kddsim/src/subclass.rs"), ["float-eq"]);
     }
 
     #[test]

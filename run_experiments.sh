@@ -34,7 +34,8 @@ run_one() {
 for exp in table1 figure1 table2 table3 table4 table5 table6 \
            table_r2l table_r2l_p1 table_probe table_probe_p1; do
   # shellcheck disable=SC2086
-  run_one "$exp" "$BIN/$exp" --scale "$SCALE" --out "$OUT" $RESUME_FLAGS
+  run_one "$exp" "$BIN/$exp" --scale "$SCALE" --out "$OUT" \
+    --save-model "$OUT/models" $RESUME_FLAGS
 done
 run_one figure2 "$BIN/figure2"
 run_one figure3 "$BIN/figure3"
@@ -45,6 +46,24 @@ run_one ablations "$BIN/ablations" --scale 0.3 --out "$OUT" $RESUME_FLAGS
 REPORT_CODE=$?
 NAMES+=(report_md)
 CODES+=("$REPORT_CODE")
+
+# Every saved model artifact must load and pass its integrity check.
+# (Cells resumed from checkpoints are not re-run and save no artifact,
+# so a resumed run may verify fewer files than a clean one.)
+VERIFY_CODE=0
+N_MODELS=0
+for artifact in "$OUT"/models/*.artifact; do
+  [ -e "$artifact" ] || continue
+  N_MODELS=$((N_MODELS + 1))
+  if ! "$BIN/predict" --model "$artifact" --verify-only \
+      >> "$OUT/verify-models.txt" 2>&1; then
+    echo "FAILED to verify $artifact" >> "$OUT/verify-models.txt"
+    VERIFY_CODE=1
+  fi
+done
+echo "verified $N_MODELS model artifact(s)" | tee -a "$OUT/verify-models.txt"
+NAMES+=(verify-models)
+CODES+=("$VERIFY_CODE")
 
 echo
 echo "=== summary (scale $SCALE) ==="
