@@ -65,6 +65,16 @@ pub enum ArtifactError {
         /// What exactly is wrong.
         detail: String,
     },
+    /// The model holds a non-finite numeric threshold (NaN or ±∞). JSON
+    /// has no representation for these — serde renders them as `null` —
+    /// so a saved artifact would silently fail to reload (or worse,
+    /// change meaning); saving is refused instead.
+    NonFiniteThreshold {
+        /// Which rule list, `"P"` or `"N"`.
+        list: &'static str,
+        /// Rank of the offending rule.
+        rule: usize,
+    },
     /// The file could not be read or written.
     Io(io::Error),
 }
@@ -86,6 +96,11 @@ impl fmt::Display for ArtifactError {
                 write!(f, "SchemaMismatch: {detail}")
             }
             ArtifactError::Malformed { detail } => write!(f, "Malformed: {detail}"),
+            ArtifactError::NonFiniteThreshold { list, rule } => write!(
+                f,
+                "NonFiniteThreshold: {list}-rule {rule} holds a NaN or infinite \
+                 numeric threshold, which a JSON artifact cannot represent"
+            ),
             ArtifactError::Io(e) => write!(f, "Io: {e}"),
         }
     }
@@ -170,8 +185,9 @@ impl ModelArtifact {
 
     /// Checks internal consistency: every rule condition must reference
     /// an in-range attribute of the right type (with an in-dictionary
-    /// code for categorical equalities), the score matrix must be sized
-    /// for the rule lists, and the target class must exist.
+    /// code for categorical equalities) and carry only finite numeric
+    /// thresholds, the score matrix must be sized for the rule lists,
+    /// and the target class must exist.
     fn validate(&self) -> Result<(), ArtifactError> {
         let malformed = |detail: String| ArtifactError::Malformed { detail };
         let target = usize::try_from(self.model.target)
@@ -218,15 +234,28 @@ impl ModelArtifact {
                                 )));
                             }
                         }
-                        Condition::NumLe { .. }
-                        | Condition::NumGt { .. }
-                        | Condition::NumRange { .. } => {
+                        Condition::NumLe { value, .. } | Condition::NumGt { value, .. } => {
                             if a.ty != AttrType::Numeric {
                                 return Err(malformed(format!(
                                     "{list}-rule {ri} tests a numeric threshold on \
                                      categorical attribute `{}`",
                                     a.name
                                 )));
+                            }
+                            if !value.is_finite() {
+                                return Err(ArtifactError::NonFiniteThreshold { list, rule: ri });
+                            }
+                        }
+                        Condition::NumRange { lo, hi, .. } => {
+                            if a.ty != AttrType::Numeric {
+                                return Err(malformed(format!(
+                                    "{list}-rule {ri} tests a numeric threshold on \
+                                     categorical attribute `{}`",
+                                    a.name
+                                )));
+                            }
+                            if !(lo.is_finite() && hi.is_finite()) {
+                                return Err(ArtifactError::NonFiniteThreshold { list, rule: ri });
                             }
                         }
                     }
@@ -248,7 +277,14 @@ impl ModelArtifact {
 
     /// Renders the artifact to its on-disk text form: checksum line,
     /// magic/version line, compact JSON body.
+    ///
+    /// Validates first — the fields are public, so an artifact assembled
+    /// without [`Self::new`] could otherwise write a file that fails to
+    /// load. In particular a non-finite numeric threshold is refused here
+    /// ([`ArtifactError::NonFiniteThreshold`]) because JSON would render
+    /// it as `null` and the round-trip would fail only at load time.
     pub fn to_file_string(&self) -> Result<String, ArtifactError> {
+        self.validate()?;
         let body = ArtifactBody {
             params: self.params.clone(),
             report: self.report.clone(),

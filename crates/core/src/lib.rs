@@ -45,6 +45,7 @@
 //! ```
 
 pub mod artifact;
+pub mod compiled;
 pub mod grow;
 pub mod learn;
 pub mod model;
@@ -57,6 +58,7 @@ pub mod serving;
 pub mod tune;
 
 pub use artifact::{ArtifactError, ModelArtifact, FORMAT_VERSION};
+pub use compiled::{CompiledModel, CompiledScorer, ScoringEngine};
 pub use grow::{grow_rule, GrowOptions, GrownRule, RecallGuard};
 pub use learn::{FitReport, PnruleLearner};
 pub use model::{PnruleModel, RuleTrace};

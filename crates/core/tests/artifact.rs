@@ -219,6 +219,76 @@ fn current_format_version_is_one() {
 }
 
 #[test]
+fn non_finite_thresholds_cannot_reach_disk() {
+    // Regression: serde renders NaN/±inf as `null`, so an artifact holding
+    // a non-finite threshold used to save fine and then fail (or change
+    // meaning) on reload. Save must refuse with the typed error instead.
+    use pnr_rules::{Condition, Rule, RuleSet};
+    let (artifact, _) = trained_artifact();
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        for (mutate_p, make_cond) in [
+            (
+                true,
+                Condition::NumLe {
+                    attr: 0,
+                    value: bad,
+                },
+            ),
+            (
+                false,
+                Condition::NumGt {
+                    attr: 0,
+                    value: bad,
+                },
+            ),
+            (
+                true,
+                Condition::NumRange {
+                    attr: 0,
+                    lo: 0.0,
+                    hi: bad,
+                },
+            ),
+        ] {
+            // assemble via the public fields, bypassing `new`'s validation
+            let mut tampered = artifact.clone();
+            let inject = |rules: &RuleSet| {
+                let mut list: Vec<Rule> = rules.rules().to_vec();
+                list.push(Rule::new(vec![make_cond.clone()]));
+                RuleSet::from_rules(list)
+            };
+            let (list, bad_rank) = if mutate_p {
+                tampered.model.p_rules = inject(&tampered.model.p_rules);
+                ("P", tampered.model.p_rules.len() - 1)
+            } else {
+                tampered.model.n_rules = inject(&tampered.model.n_rules);
+                ("N", tampered.model.n_rules.len() - 1)
+            };
+            match tampered.to_file_string() {
+                Err(ArtifactError::NonFiniteThreshold { list: l, rule }) => {
+                    assert_eq!((l, rule), (list, bad_rank), "wrong locus for {bad}");
+                }
+                other => panic!("threshold {bad}: expected NonFiniteThreshold, got {other:?}"),
+            }
+            let dir = std::env::temp_dir().join(format!("pnr_nonfinite_{}", std::process::id()));
+            let path = dir.join("model.artifact");
+            assert!(
+                matches!(
+                    tampered.save(&path),
+                    Err(ArtifactError::NonFiniteThreshold { .. })
+                ),
+                "save must refuse a non-finite threshold"
+            );
+            assert!(!path.exists(), "no file may be written for {bad}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    // a clean artifact still round-trips
+    let back = ModelArtifact::from_file_str(&artifact.to_file_string().unwrap()).unwrap();
+    assert_eq!(back.model.p_rules, artifact.model.p_rules);
+}
+
+#[test]
 fn error_displays_lead_with_the_variant_name() {
     assert!(ArtifactError::ChecksumMismatch
         .to_string()

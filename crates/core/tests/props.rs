@@ -1,6 +1,9 @@
 //! Property-based tests for the PNrule learner's invariants.
 
-use pnr_core::{PnruleLearner, PnruleParams, ScoreMatrix};
+use pnr_core::{
+    CompiledModel, ModelArtifact, PnruleLearner, PnruleParams, ScoreMatrix, ScoringEngine,
+    ServingModel, ServingValue, UnknownKind, UnknownPolicy,
+};
 use pnr_data::{AttrType, Dataset, DatasetBuilder, Value};
 use pnr_rules::{BinaryClassifier, Condition, Rule, RuleSet};
 use proptest::prelude::*;
@@ -123,6 +126,78 @@ proptest! {
                 Some(p) => {
                     let expected = model.score_matrix.score(p, t.n_rule);
                     prop_assert_eq!(model.score(&d, row), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_model_scores_bit_identically(data_rows in rows()) {
+        // The compiled engine's contract: for every trained model and
+        // every record, score and trace are *bit-identical* to the
+        // interpreter's — not approximately equal.
+        let (d, _) = dataset(&data_rows);
+        let model = PnruleLearner::new(PnruleParams::default()).fit(&d, 0);
+        let compiled = CompiledModel::compile(&model).expect("trained models always compile");
+        for row in 0..d.n_rows() {
+            let (si, ti) = model.score_with_trace(&d, row);
+            let (sc, tc) = compiled.score_with_trace(&d, row);
+            prop_assert_eq!(sc.to_bits(), si.to_bits(), "row {}: {} != {}", row, sc, si);
+            prop_assert_eq!(tc, ti, "row {}", row);
+            prop_assert_eq!(compiled.predict(&d, row), model.predict(&d, row));
+        }
+    }
+
+    #[test]
+    fn serving_engines_agree_under_every_unknown_policy(
+        data_rows in rows(),
+        masks in prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 24),
+    ) {
+        // ServingModel with engine=Compiled vs engine=Interpreter must be
+        // observationally identical — score bits, decision, abstention,
+        // unknown-value count, trace — under each unknown-value policy,
+        // including records carrying unknowns in either or both columns.
+        let (d, _) = dataset(&data_rows);
+        let params = PnruleParams::default();
+        let (model, report) = PnruleLearner::new(params.clone()).fit_with_report(&d, 0);
+        let artifact = ModelArtifact::new(model, params, report, d.schema().clone()).unwrap();
+        for policy in [
+            UnknownPolicy::ConditionFalse,
+            UnknownPolicy::Abstain,
+            UnknownPolicy::Reject,
+        ] {
+            let fast = ServingModel::new(artifact.clone())
+                .with_unknown_policy(policy)
+                .with_engine(ScoringEngine::Compiled);
+            let slow = ServingModel::new(artifact.clone())
+                .with_unknown_policy(policy)
+                .with_engine(ScoringEngine::Interpreter);
+            prop_assert_eq!(fast.active_engine(), "compiled");
+            prop_assert_eq!(slow.active_engine(), "interpreter");
+            for (i, &(hide_x, hide_y)) in masks.iter().enumerate() {
+                let row = i % d.n_rows();
+                let x = if hide_x {
+                    ServingValue::Unknown(UnknownKind::NonFinite)
+                } else {
+                    ServingValue::Num(d.num(0, row))
+                };
+                let y = if hide_y {
+                    ServingValue::Unknown(UnknownKind::UnseenCategory)
+                } else {
+                    ServingValue::Num(d.num(1, row))
+                };
+                let values = [x, y];
+                match (fast.score_values(&values), slow.score_values(&values)) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a.score.to_bits(), b.score.to_bits(),
+                            "policy {:?} values {:?}: {} != {}", policy, &values, a.score, b.score);
+                        prop_assert_eq!(a.decision, b.decision);
+                        prop_assert_eq!(a.abstained, b.abstained);
+                        prop_assert_eq!(a.unknown_values, b.unknown_values);
+                        prop_assert_eq!(a.trace, b.trace);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (a, b) => prop_assert!(false, "engines disagree on outcome: {:?} vs {:?}", a, b),
                 }
             }
         }

@@ -10,8 +10,47 @@
 //! `#[cfg(feature = "audit")]` so release binaries pay nothing; CI runs the
 //! full suite once with `--features audit`.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Column, Dataset};
 use crate::weights::approx;
+
+/// Asserts the dataset-wide finite-data invariant: every numeric cell
+/// holds a finite `f64`. Rule evaluation reads numeric cells unguarded
+/// (`Condition::matches`, the compiled dispatch tables), so a NaN would
+/// not crash — it would silently fail every numeric condition and skew
+/// scores. `DatasetBuilder::push_row` rejects NaN/±∞ up front, but a
+/// dataset rebuilt from serialized form bypasses the builder: JSON has no
+/// literal for non-finite numbers, yet a textual `1e999` parses to `inf`,
+/// so `Dataset::rebuild_after_deserialize` re-checks under `audit`.
+///
+/// # Panics
+/// Panics naming the first non-finite numeric cell.
+pub fn check_finite_columns(context: &str, data: &Dataset) {
+    for attr in 0..data.n_attrs() {
+        if let Column::Num(values) = data.column(attr) {
+            for (row, &x) in values.iter().enumerate() {
+                assert!(
+                    x.is_finite(),
+                    "audit: {context}: numeric cell (attr {attr}, row {row}) \
+                     is non-finite ({x})",
+                );
+            }
+        }
+    }
+}
+
+/// Asserts that one numeric cell is finite — the per-row companion of
+/// [`check_finite_columns`], cheap enough to run on every
+/// `DatasetBuilder::push_row` as defense in depth behind the builder's
+/// own `Result`-based validation.
+///
+/// # Panics
+/// Panics when `x` is NaN or infinite.
+pub fn check_finite_value(context: &str, attr: usize, x: f64) {
+    assert!(
+        x.is_finite(),
+        "audit: {context}: numeric value for attr {attr} is non-finite ({x})",
+    );
+}
 
 /// Asserts weight conservation across a view split: the parent's positive
 /// and total masses must equal kept + removed up to cancellation tolerance.
@@ -132,6 +171,22 @@ mod tests {
             b.push_row(&[Value::num((5 - i) as f64)], "c", 1.0).unwrap();
         }
         b.finish()
+    }
+
+    #[test]
+    fn finite_columns_pass() {
+        check_finite_columns("t", &data());
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric cell (attr 0, row 1) is non-finite (inf)")]
+    fn non_finite_cell_fires() {
+        // Forge the builder bypass: deserialization is the one path that
+        // can plant a non-finite value in a dense column.
+        let json = serde_json::to_string(&data()).unwrap();
+        let json = json.replacen("4.0", "1e999", 1);
+        let d: Dataset = serde_json::from_str(&json).unwrap();
+        check_finite_columns("t", &d);
     }
 
     #[test]

@@ -135,6 +135,10 @@ impl DatasetBuilder {
             }
         }
         for (attr, value) in values.iter().enumerate() {
+            #[cfg(feature = "audit")]
+            if let Value::Num(x) = value {
+                crate::audit::check_finite_value("DatasetBuilder::push_row", attr, *x);
+            }
             match (&mut self.columns[attr], value) {
                 (Column::Num(col), Value::Num(x)) => col.push(*x),
                 (Column::Cat(col), Value::Cat(s)) => {

@@ -274,11 +274,18 @@ impl Dataset {
 
     /// Restores invariants after deserialisation (dictionary lookup tables
     /// and the sort-index cache slots).
+    ///
+    /// Deserialisation is the one path that can plant a non-finite value in
+    /// a dense numeric column — the builder rejects them, but JSON's
+    /// `1e999` parses to `inf` — so under the `audit` feature this also
+    /// re-checks the finite-data invariant over every column.
     pub fn rebuild_after_deserialize(&mut self) {
         self.schema.rebuild_indexes();
         self.sort_indexes = (0..self.schema.n_attrs())
             .map(|_| OnceLock::new())
             .collect();
+        #[cfg(feature = "audit")]
+        crate::audit::check_finite_columns("Dataset::rebuild_after_deserialize", self);
     }
 }
 
@@ -427,5 +434,18 @@ mod tests {
         assert_eq!(back.num(0, 2), 2.0);
         assert_eq!(back.class_code("pos"), Some(1));
         assert_eq!(back.sort_index(0), &[1, 2, 0]);
+    }
+
+    /// Fault injection: JSON cannot represent `inf`, but a textual `1e999`
+    /// parses to it, smuggling a non-finite value past the builder's
+    /// validation. The `audit` rebuild hook must catch exactly this.
+    #[cfg(feature = "audit")]
+    #[test]
+    #[should_panic(expected = "audit: Dataset::rebuild_after_deserialize")]
+    fn non_finite_smuggled_through_serde_fails_audit() {
+        let json = serde_json::to_string(&small()).unwrap();
+        let json = json.replacen("2.0", "1e999", 1);
+        let mut back: Dataset = serde_json::from_str(&json).unwrap();
+        back.rebuild_after_deserialize();
     }
 }

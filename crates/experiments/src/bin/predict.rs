@@ -4,6 +4,7 @@
 //! predict --model <file.artifact> --input <file.csv>
 //!         [--unknown condition-false|abstain|reject]
 //!         [--missing reject|default]
+//!         [--engine auto|compiled|interpreter]
 //!         [--out <file.ndjson>] [--describe] [--verify-only]
 //! ```
 //!
@@ -21,7 +22,7 @@
 //! (corruption surfaces here as a `ChecksumMismatch: …` line on
 //! stderr), 2 bad invocation.
 
-use pnr_core::{MissingColumnPolicy, RecordError, ServingModel, UnknownPolicy};
+use pnr_core::{MissingColumnPolicy, RecordError, ScoringEngine, ServingModel, UnknownPolicy};
 use pnr_telemetry::{Counter, RecordingSink, TelemetrySink};
 use std::io::Write;
 use std::path::Path;
@@ -29,7 +30,7 @@ use std::sync::Arc;
 
 const USAGE: &str = "usage: predict --model <file.artifact> --input <file.csv> \
 [--unknown condition-false|abstain|reject] [--missing reject|default] \
-[--out <file.ndjson>] [--describe] [--verify-only]";
+[--engine auto|compiled|interpreter] [--out <file.ndjson>] [--describe] [--verify-only]";
 
 fn bail(problem: &str) -> ! {
     eprintln!("error: {problem}");
@@ -49,6 +50,7 @@ struct Options {
     input: Option<String>,
     unknown: UnknownPolicy,
     missing: MissingColumnPolicy,
+    engine: ScoringEngine,
     out: Option<String>,
     describe: bool,
     verify_only: bool,
@@ -59,6 +61,7 @@ fn parse_args() -> Options {
     let mut input = None;
     let mut unknown = UnknownPolicy::default();
     let mut missing = MissingColumnPolicy::default();
+    let mut engine = ScoringEngine::default();
     let mut out = None;
     let mut describe = false;
     let mut verify_only = false;
@@ -85,6 +88,14 @@ fn parse_args() -> Options {
                     bail(&format!("--missing takes reject or default; got {raw:?}"))
                 });
             }
+            "--engine" => {
+                let raw = value("--engine");
+                engine = ScoringEngine::parse(&raw).unwrap_or_else(|| {
+                    bail(&format!(
+                        "--engine takes auto, compiled or interpreter; got {raw:?}"
+                    ))
+                });
+            }
             "--out" => out = Some(value("--out")),
             "--describe" => describe = true,
             "--verify-only" => verify_only = true,
@@ -100,6 +111,7 @@ fn parse_args() -> Options {
         input,
         unknown,
         missing,
+        engine,
         out,
         describe,
         verify_only,
@@ -137,6 +149,7 @@ fn main() {
     let serving = ServingModel::new(artifact)
         .with_unknown_policy(opts.unknown)
         .with_missing_policy(opts.missing)
+        .with_engine(opts.engine)
         .with_sink(recorder.clone() as Arc<dyn TelemetrySink>);
 
     let mut lines = text.lines();
@@ -150,12 +163,13 @@ fn main() {
     };
     eprintln!(
         "reconciled header: {} columns ({} missing, {} extra), \
-         unknown-policy {}, missing-policy {}",
+         unknown-policy {}, missing-policy {}, engine {}",
         header.len(),
         map.n_missing(),
         map.n_extra(),
         opts.unknown.name(),
-        opts.missing.name()
+        opts.missing.name(),
+        serving.active_engine()
     );
 
     let mut sink: Box<dyn Write> = match &opts.out {
@@ -218,11 +232,12 @@ fn main() {
     }
     eprintln!(
         "serving report: {n_records} record(s): rows_scored={} rows_quarantined={} \
-         unseen_category_hits={} nan_numeric_hits={} | {n_positive} positive, \
-         {n_abstained} abstained, {n_errors} not scored",
+         unseen_category_hits={} nan_numeric_hits={} compiled_dispatch_hits={} \
+         | {n_positive} positive, {n_abstained} abstained, {n_errors} not scored",
         recorder.value(Counter::RowsScored),
         recorder.value(Counter::RowsQuarantined),
         recorder.value(Counter::UnseenCategoryHits),
         recorder.value(Counter::NanNumericHits),
+        recorder.value(Counter::CompiledDispatchHits),
     );
 }

@@ -1,0 +1,941 @@
+//! Compiled, attribute-indexed evaluation of ordered rule sets.
+//!
+//! [`RuleSet::first_match`] is a per-rule linear scan: every rule's every
+//! condition is re-evaluated against the row, so scoring cost grows with
+//! the *product* of rule count and rule length. [`CompiledRuleSet`] lowers
+//! a rule set into an attribute-indexed predicate program once, and then
+//! answers first-match queries by table dispatch:
+//!
+//! * **Categorical attributes** — every `CatEq` condition is grouped per
+//!   attribute into a code → rule-bitset dispatch table. A rule whose
+//!   equalities on the attribute pin two different codes is contradictory
+//!   and is removed from the live set at compile time.
+//! * **Numeric attributes** — each rule's `NumLe`/`NumGt`/`NumRange`
+//!   conditions on one attribute fuse into a single half-open interval
+//!   `(lo, hi]` (the workspace's closed-on-the-right convention, so the
+//!   fusion is exact: `NumRange` *is* `NumGt(lo) ∧ NumLe(hi)`). All finite
+//!   interval endpoints become a sorted breakpoint array partitioning the
+//!   number line into segments `(b[i-1], b[i]]`; because every endpoint is
+//!   a breakpoint, interval membership is constant within a segment, and a
+//!   per-segment rule bitset answers "which rules' numeric constraints on
+//!   this attribute does `x` satisfy" with one binary search.
+//! * **First-match recovery** — bit `r` of every mask is rule `r` in rank
+//!   order. Evaluation ANDs, per attribute, `base ∪ dispatch(value)`
+//!   (`base` = rules with no condition on the attribute) into a live-rule
+//!   mask; per-rule condition-count saturation is implicit in the AND — a
+//!   rule's bit survives exactly when every attribute it tests passed it.
+//!   The lowest surviving bit is the ranked first match. The AND steps
+//!   commute, so programs run most-selective-first: an empty mask
+//!   short-circuits the remaining attributes, and a program none of whose
+//!   constrained rules are still live is skipped outright (no dispatch,
+//!   no binary search).
+//!
+//! The unknown-value serving semantics ([`Condition::matches_lookup`]'s
+//! "`None` never fires") compile to: an unknown value masks the
+//! attribute's **entire dispatch table**, leaving only `base` — rules
+//! without conditions on that attribute.
+//!
+//! # Value domain
+//!
+//! Dispatch assumes the dataset invariant that numeric cells are finite
+//! (`DatasetBuilder` rejects NaN/±∞ and the `audit` feature re-checks
+//! datasets that bypass the builder). Non-finite *thresholds* inside rules
+//! are handled exactly: a NaN threshold makes its rule unsatisfiable (as
+//! in the interpreter, where every comparison against NaN is false) and
+//! infinite thresholds clamp the fused interval. Equivalence with the
+//! interpreter is property-tested over random rule sets, datasets and
+//! unknown-value patterns in `tests/compiled_props.rs`.
+
+use crate::condition::Condition;
+use crate::ruleset::RuleSet;
+use pnr_data::{Column, Dataset};
+
+/// Widest live mask (in 64-bit words) evaluated on the stack; rule sets
+/// beyond `64 × STACK_WORDS` rules fall back to a heap buffer per call.
+const STACK_WORDS: usize = 8;
+
+/// Why a rule set could not be lowered into a predicate program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// One attribute is tested both by categorical equalities and by
+    /// numeric thresholds across the rule set. No dataset column can
+    /// satisfy both, so the rule set is malformed (the interpreter would
+    /// panic on whichever condition mismatches the column's type).
+    MixedConditionKinds {
+        /// The attribute with conflicting condition kinds.
+        attr: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::MixedConditionKinds { attr } => write!(
+                f,
+                "MixedConditionKinds: attribute {attr} is tested both by \
+                 categorical equalities and by numeric thresholds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A value fed to the predicate program for one attribute.
+#[derive(Debug, Clone, Copy)]
+enum AttrValue {
+    /// Finite numeric value.
+    Num(f64),
+    /// Categorical dictionary code.
+    Code(u32),
+    /// Unknown: masks the attribute's entire dispatch table.
+    Unknown,
+}
+
+/// Per-attribute dispatch: which rules' conditions on this attribute does
+/// a value satisfy. Masks are flattened entry-major, `stride` words each.
+#[derive(Debug, Clone)]
+enum DispatchTable {
+    /// Code-indexed table over `n_codes` entries.
+    Cat {
+        /// `n_codes × stride` words; entry `c` = rules pinned to code `c`.
+        masks: Vec<u64>,
+        /// Number of dispatchable codes (codes beyond satisfy no rule).
+        n_codes: usize,
+    },
+    /// Sorted finite breakpoints partitioning the line into
+    /// `breakpoints.len() + 1` segments `(b[i-1], b[i]]`.
+    Num {
+        /// Ascending, distinct, finite interval endpoints.
+        breakpoints: Vec<f64>,
+        /// `(breakpoints.len() + 1) × stride` words; entry `s` = rules
+        /// whose fused interval covers segment `s`.
+        masks: Vec<u64>,
+    },
+}
+
+/// One attribute's slice of the predicate program.
+#[derive(Debug, Clone)]
+struct AttrProgram {
+    /// The attribute this program tests.
+    attr: usize,
+    /// Rules with *no* condition on this attribute (`stride` words):
+    /// they pass regardless of the value.
+    base: Vec<u64>,
+    /// Complement of `base` within the rule width: rules *with* a
+    /// condition on this attribute. When the live mask carries none of
+    /// them, the program's AND is a no-op and evaluation skips it — in
+    /// particular skipping the numeric binary search.
+    constrained: Vec<u64>,
+    /// The value-indexed part.
+    table: DispatchTable,
+}
+
+impl AttrProgram {
+    /// Index of the dispatch entry `value` selects, or `None` when the
+    /// value reaches no entry (unknown, or a code beyond the table).
+    #[inline]
+    fn entry(&self, value: AttrValue) -> Option<usize> {
+        match (&self.table, value) {
+            (DispatchTable::Cat { n_codes, .. }, AttrValue::Code(c)) => {
+                let c = c as usize;
+                (c < *n_codes).then_some(c)
+            }
+            (DispatchTable::Num { breakpoints, .. }, AttrValue::Num(x)) => {
+                Some(breakpoints.partition_point(|b| *b < x))
+            }
+            _ => None,
+        }
+    }
+
+    /// The mask words of dispatch entry `e`.
+    #[inline]
+    fn entry_words(&self, e: usize, stride: usize) -> &[u64] {
+        let masks = match &self.table {
+            DispatchTable::Cat { masks, .. } => masks,
+            DispatchTable::Num { masks, .. } => masks,
+        };
+        &masks[e * stride..(e + 1) * stride]
+    }
+}
+
+/// A [`RuleSet`] lowered into an attribute-indexed predicate program.
+/// Compile once per model, evaluate per row; see the module docs for the
+/// scheme. Evaluation is bit-identical to the interpreter's
+/// [`RuleSet::first_match`] / [`RuleSet::first_match_lookup`].
+#[derive(Debug, Clone)]
+pub struct CompiledRuleSet {
+    /// Number of rules in the source rule set (bit width of the masks).
+    n_rules: usize,
+    /// Words per mask: `ceil(n_rules / 64)`, minimum 1.
+    stride: usize,
+    /// Rules that can match at all (contradictory conjunctions cleared).
+    alive: Vec<u64>,
+    /// Per-attribute programs, most selective first (fewest `base` bits,
+    /// ties on attribute index); attributes no rule tests are absent.
+    programs: Vec<AttrProgram>,
+}
+
+/// Per-rule requirements on one attribute, folded from its conditions.
+#[derive(Debug, Clone, Copy)]
+enum Requirement {
+    /// No condition on this attribute yet.
+    Free,
+    /// Categorical equalities pin this code.
+    Pinned(u32),
+    /// Fused numeric interval `(lo, hi]`.
+    Interval(f64, f64),
+    /// The conjunction on this attribute is unsatisfiable.
+    Contradiction,
+}
+
+/// Attribute kind as witnessed by conditions across the whole rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttrKind {
+    Cat,
+    Num,
+}
+
+impl CompiledRuleSet {
+    /// Lowers `rules` into a predicate program. Fails only when the rule
+    /// set itself is malformed (one attribute tested as both categorical
+    /// and numeric); contradictory individual rules compile fine and
+    /// simply never match, exactly as under the interpreter.
+    pub fn compile(rules: &RuleSet) -> Result<CompiledRuleSet, CompileError> {
+        let n_rules = rules.len();
+        let stride = n_rules.div_ceil(64).max(1);
+
+        // Pass 1: attribute kinds (and the attribute range in play).
+        let mut kinds: Vec<Option<AttrKind>> = Vec::new();
+        for rule in rules.rules() {
+            for cond in rule.conditions() {
+                let attr = cond.attr();
+                if attr >= kinds.len() {
+                    kinds.resize(attr + 1, None);
+                }
+                let kind = match cond {
+                    Condition::CatEq { .. } => AttrKind::Cat,
+                    Condition::NumLe { .. }
+                    | Condition::NumGt { .. }
+                    | Condition::NumRange { .. } => AttrKind::Num,
+                };
+                match kinds[attr] {
+                    None => kinds[attr] = Some(kind),
+                    Some(k) if k == kind => {}
+                    Some(_) => return Err(CompileError::MixedConditionKinds { attr }),
+                }
+            }
+        }
+
+        // Pass 2: fold every rule's conditions into one requirement per
+        // attribute, and collect them per attribute.
+        let n_attrs = kinds.len();
+        let mut pins: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n_attrs];
+        let mut intervals: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new(); n_attrs];
+        let mut constrained: Vec<Vec<usize>> = vec![Vec::new(); n_attrs];
+        let mut alive = ones(n_rules, stride);
+        let mut reqs: Vec<Requirement> = vec![Requirement::Free; n_attrs];
+        for (r, rule) in rules.rules().iter().enumerate() {
+            let mut touched: Vec<usize> = Vec::new();
+            for cond in rule.conditions() {
+                let attr = cond.attr();
+                if matches!(reqs[attr], Requirement::Free) {
+                    touched.push(attr);
+                }
+                reqs[attr] = fold(reqs[attr], cond);
+            }
+            let mut dead = false;
+            for &attr in &touched {
+                match reqs[attr] {
+                    Requirement::Free => {}
+                    Requirement::Pinned(code) => {
+                        pins[attr].push((r, code));
+                        constrained[attr].push(r);
+                    }
+                    Requirement::Interval(lo, hi) => {
+                        intervals[attr].push((r, lo, hi));
+                        constrained[attr].push(r);
+                    }
+                    Requirement::Contradiction => {
+                        constrained[attr].push(r);
+                        dead = true;
+                    }
+                }
+                reqs[attr] = Requirement::Free;
+            }
+            if dead {
+                clear_bit(&mut alive, r);
+            }
+        }
+
+        // Pass 3: build one program per constrained attribute.
+        let mut programs = Vec::new();
+        for attr in 0..n_attrs {
+            if constrained[attr].is_empty() {
+                continue;
+            }
+            let mut base = ones(n_rules, stride);
+            let mut cmask = vec![0u64; stride];
+            for &r in &constrained[attr] {
+                clear_bit(&mut base, r);
+                set_bit(&mut cmask, r);
+            }
+            let table = match kinds[attr] {
+                Some(AttrKind::Cat) => {
+                    let n_codes = pins[attr]
+                        .iter()
+                        .map(|&(_, code)| code as usize + 1)
+                        .max()
+                        .unwrap_or(0);
+                    let mut masks = vec![0u64; n_codes * stride];
+                    for &(r, code) in &pins[attr] {
+                        set_bit(&mut masks[code as usize * stride..], r);
+                    }
+                    DispatchTable::Cat { masks, n_codes }
+                }
+                Some(AttrKind::Num) => {
+                    let mut breakpoints: Vec<f64> = Vec::new();
+                    for &(_, lo, hi) in &intervals[attr] {
+                        if lo.is_finite() {
+                            breakpoints.push(lo);
+                        }
+                        if hi.is_finite() {
+                            breakpoints.push(hi);
+                        }
+                    }
+                    breakpoints.sort_by(f64::total_cmp);
+                    breakpoints.dedup();
+                    let n_segments = breakpoints.len() + 1;
+                    let mut masks = vec![0u64; n_segments * stride];
+                    for &(r, lo, hi) in &intervals[attr] {
+                        if lo.is_nan() || hi.is_nan() || lo >= hi {
+                            // Empty interval (includes NaN endpoints):
+                            // the rule can never match.
+                            clear_bit(&mut alive, r);
+                            continue;
+                        }
+                        // Segments whose left edge is ≥ lo …
+                        let first = if lo.is_finite() {
+                            breakpoints.partition_point(|b| *b < lo) + 1
+                        } else {
+                            0
+                        };
+                        // … and whose right edge is ≤ hi.
+                        let last = if hi.is_finite() {
+                            breakpoints.partition_point(|b| *b <= hi)
+                        } else {
+                            n_segments
+                        };
+                        for s in first..last.max(first) {
+                            set_bit(&mut masks[s * stride..], r);
+                        }
+                    }
+                    DispatchTable::Num { breakpoints, masks }
+                }
+                // Unreachable: `constrained[attr]` is non-empty only when
+                // a condition fixed the kind in pass 1.
+                None => continue,
+            };
+            programs.push(AttrProgram {
+                attr,
+                base,
+                constrained: cmask,
+                table,
+            });
+        }
+
+        // Most-selective programs first (fewest rules passing regardless
+        // of value), so the live mask empties — and evaluation
+        // short-circuits — as early as possible. The AND steps commute,
+        // so ordering cannot change the result; ties break on attribute
+        // index for determinism.
+        programs.sort_by_key(|p| {
+            (
+                p.base
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum::<usize>(),
+                p.attr,
+            )
+        });
+
+        Ok(CompiledRuleSet {
+            n_rules,
+            stride,
+            alive,
+            programs,
+        })
+    }
+
+    /// Number of rules in the compiled set.
+    pub fn n_rules(&self) -> usize {
+        self.n_rules
+    }
+
+    /// Number of attribute programs (attributes any rule tests).
+    pub fn n_programs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Core evaluation: AND per-attribute masks into the live set and
+    /// return the lowest surviving bit.
+    #[inline]
+    fn eval(&self, value_of: impl Fn(&AttrProgram) -> AttrValue) -> Option<usize> {
+        if self.stride == 1 {
+            let mut mask = self.alive[0];
+            for prog in &self.programs {
+                if mask == 0 {
+                    return None;
+                }
+                if mask & prog.constrained[0] == 0 {
+                    continue;
+                }
+                let entry = match prog.entry(value_of(prog)) {
+                    Some(e) => prog.entry_words(e, 1)[0],
+                    None => 0,
+                };
+                mask &= prog.base[0] | entry;
+            }
+            if mask == 0 {
+                None
+            } else {
+                Some(mask.trailing_zeros() as usize)
+            }
+        } else if self.stride <= STACK_WORDS {
+            // Rule sets up to 64 × STACK_WORDS rules evaluate without
+            // touching the heap.
+            let mut buf = [0u64; STACK_WORDS];
+            buf[..self.stride].copy_from_slice(&self.alive);
+            self.eval_wide(value_of, &mut buf[..self.stride])
+        } else {
+            let mut buf = self.alive.clone();
+            self.eval_wide(value_of, &mut buf)
+        }
+    }
+
+    /// Multi-word evaluation over a caller-provided live mask.
+    fn eval_wide(
+        &self,
+        value_of: impl Fn(&AttrProgram) -> AttrValue,
+        mask: &mut [u64],
+    ) -> Option<usize> {
+        for prog in &self.programs {
+            let touched = mask
+                .iter()
+                .zip(&prog.constrained)
+                .fold(0u64, |t, (m, c)| t | (m & c));
+            if touched == 0 {
+                continue;
+            }
+            let entry = prog.entry(value_of(prog));
+            let mut any = 0u64;
+            for (w, m) in mask.iter_mut().enumerate() {
+                let e = match entry {
+                    Some(e) => prog.entry_words(e, self.stride)[w],
+                    None => 0,
+                };
+                *m &= prog.base[w] | e;
+                any |= *m;
+            }
+            if any == 0 {
+                return None;
+            }
+        }
+        first_bit(mask)
+    }
+
+    /// Rank of the first rule matching `row` of `data`, or `None`.
+    /// Bit-identical to [`RuleSet::first_match`].
+    ///
+    /// # Panics
+    /// Panics (like the interpreter) when a tested attribute's column
+    /// type contradicts its conditions or indexes are out of range.
+    #[inline]
+    pub fn first_match(&self, data: &Dataset, row: usize) -> Option<usize> {
+        self.eval(|prog| match &prog.table {
+            DispatchTable::Cat { .. } => AttrValue::Code(data.cat(prog.attr, row)),
+            DispatchTable::Num { .. } => AttrValue::Num(data.num(prog.attr, row)),
+        })
+    }
+
+    /// Rank of the first rule whose conditions all hold against fallible
+    /// value lookups, or `None`. Unknown (`None`) values mask the
+    /// attribute's whole dispatch table, so no condition on that
+    /// attribute can fire — bit-identical to
+    /// [`RuleSet::first_match_lookup`]. Each attribute is looked up at
+    /// most once per call (the interpreter may look up more often; the
+    /// lookups are expected to be pure).
+    pub fn first_match_lookup<N, C>(&self, num: N, cat: C) -> Option<usize>
+    where
+        N: Fn(usize) -> Option<f64>,
+        C: Fn(usize) -> Option<u32>,
+    {
+        self.eval(|prog| match &prog.table {
+            DispatchTable::Cat { .. } => match cat(prog.attr) {
+                Some(c) => AttrValue::Code(c),
+                None => AttrValue::Unknown,
+            },
+            DispatchTable::Num { .. } => match num(prog.attr) {
+                Some(x) => AttrValue::Num(x),
+                None => AttrValue::Unknown,
+            },
+        })
+    }
+
+    /// A batch matcher over `data` with the per-attribute columns and
+    /// dispatch tables resolved once, for tight scoring loops. Binding
+    /// pays one pass over each numeric program's column (to precompute
+    /// per-row dispatch segments), so it amortizes over a batch — for a
+    /// single row use [`CompiledRuleSet::first_match`] directly.
+    ///
+    /// # Panics
+    /// Panics (like the interpreter's first data access would) when a
+    /// tested attribute's column type contradicts its conditions.
+    pub fn matcher<'a>(&'a self, data: &'a Dataset) -> CompiledMatcher<'a> {
+        let programs = self
+            .programs
+            .iter()
+            .map(|prog| {
+                let table = match (&prog.table, data.column(prog.attr)) {
+                    (DispatchTable::Num { breakpoints, masks }, Column::Num(v)) => {
+                        // Rows visited in ascending value order share a
+                        // monotone segment cursor: O(rows + breakpoints)
+                        // for the whole column, no per-row search.
+                        let mut segments = vec![0u32; v.len()];
+                        let mut seg: u32 = 0;
+                        for &r in data.sort_index(prog.attr) {
+                            let x = v[r as usize];
+                            while (seg as usize) < breakpoints.len()
+                                && breakpoints[seg as usize] < x
+                            {
+                                seg += 1;
+                            }
+                            segments[r as usize] = seg;
+                        }
+                        BoundTable::Num { segments, masks }
+                    }
+                    (DispatchTable::Cat { masks, n_codes }, Column::Cat(v)) => BoundTable::Cat {
+                        codes: v,
+                        masks,
+                        n_codes: *n_codes,
+                    },
+                    (DispatchTable::Num { .. }, Column::Cat(_)) => {
+                        panic!("attribute {} is categorical, not numeric", prog.attr)
+                    }
+                    (DispatchTable::Cat { .. }, Column::Num(_)) => {
+                        panic!("attribute {} is numeric, not categorical", prog.attr)
+                    }
+                };
+                BoundProgram {
+                    base: &prog.base,
+                    constrained: &prog.constrained,
+                    table,
+                }
+            })
+            .collect();
+        CompiledMatcher {
+            n_rules: self.n_rules,
+            stride: self.stride,
+            alive: &self.alive,
+            programs,
+        }
+    }
+}
+
+/// A dispatch table bound to its dataset column (see
+/// [`CompiledRuleSet::matcher`]).
+#[derive(Debug, Clone)]
+enum BoundTable<'a> {
+    Num {
+        /// Per-row dispatch-segment codes, precomputed at bind time by
+        /// one merge-walk over the column's sort index — numeric dispatch
+        /// in the batch path is a single load, like categorical, instead
+        /// of a per-row binary search.
+        segments: Vec<u32>,
+        masks: &'a [u64],
+    },
+    Cat {
+        codes: &'a [u32],
+        masks: &'a [u64],
+        n_codes: usize,
+    },
+}
+
+/// One attribute program bound to its column.
+#[derive(Debug, Clone)]
+struct BoundProgram<'a> {
+    base: &'a [u64],
+    constrained: &'a [u64],
+    table: BoundTable<'a>,
+}
+
+impl BoundProgram<'_> {
+    /// Index of the dispatch entry `row` selects, or `None` for a code
+    /// beyond the table.
+    #[inline]
+    fn entry(&self, row: usize) -> Option<usize> {
+        match &self.table {
+            BoundTable::Num { segments, .. } => Some(segments[row] as usize),
+            BoundTable::Cat { codes, n_codes, .. } => {
+                let c = codes[row] as usize;
+                (c < *n_codes).then_some(c)
+            }
+        }
+    }
+
+    /// The flattened mask words of this program's table.
+    #[inline]
+    fn masks(&self) -> &[u64] {
+        match &self.table {
+            BoundTable::Num { masks, .. } => masks,
+            BoundTable::Cat { masks, .. } => masks,
+        }
+    }
+}
+
+/// A [`CompiledRuleSet`] bound to one dataset's columns: the per-row hot
+/// path pays no column-type dispatch and no bounds re-derivation.
+#[derive(Debug, Clone)]
+pub struct CompiledMatcher<'a> {
+    n_rules: usize,
+    stride: usize,
+    alive: &'a [u64],
+    /// One bound program per attribute program, in program order.
+    programs: Vec<BoundProgram<'a>>,
+}
+
+impl CompiledMatcher<'_> {
+    /// Number of rules in the underlying compiled set.
+    pub fn n_rules(&self) -> usize {
+        self.n_rules
+    }
+
+    /// Rank of the first rule matching `row`, or `None`. Identical to
+    /// [`CompiledRuleSet::first_match`] minus the per-call column lookup.
+    #[inline]
+    pub fn first_match(&self, row: usize) -> Option<usize> {
+        if self.stride == 1 {
+            let mut mask = self.alive[0];
+            for prog in &self.programs {
+                if mask == 0 {
+                    return None;
+                }
+                if mask & prog.constrained[0] == 0 {
+                    continue;
+                }
+                let entry = match prog.entry(row) {
+                    Some(e) => prog.masks()[e],
+                    None => 0,
+                };
+                mask &= prog.base[0] | entry;
+            }
+            if mask == 0 {
+                None
+            } else {
+                Some(mask.trailing_zeros() as usize)
+            }
+        } else if self.stride <= STACK_WORDS {
+            let mut buf = [0u64; STACK_WORDS];
+            buf[..self.stride].copy_from_slice(self.alive);
+            self.first_match_wide(row, &mut buf[..self.stride])
+        } else {
+            let mut buf = self.alive.to_vec();
+            self.first_match_wide(row, &mut buf)
+        }
+    }
+
+    /// Multi-word evaluation over a caller-provided live mask.
+    fn first_match_wide(&self, row: usize, mask: &mut [u64]) -> Option<usize> {
+        for prog in &self.programs {
+            let touched = mask
+                .iter()
+                .zip(prog.constrained)
+                .fold(0u64, |t, (m, c)| t | (m & c));
+            if touched == 0 {
+                continue;
+            }
+            let entry = prog.entry(row);
+            let mut any = 0u64;
+            for (w, m) in mask.iter_mut().enumerate() {
+                let e = match entry {
+                    Some(e) => prog.masks()[e * self.stride + w],
+                    None => 0,
+                };
+                *m &= prog.base[w] | e;
+                any |= *m;
+            }
+            if any == 0 {
+                return None;
+            }
+        }
+        first_bit(mask)
+    }
+}
+
+/// A mask with the low `n` bits set, `stride` words wide.
+fn ones(n: usize, stride: usize) -> Vec<u64> {
+    let mut words = vec![0u64; stride];
+    for (w, word) in words.iter_mut().enumerate() {
+        let low = w * 64;
+        if n >= low + 64 {
+            *word = u64::MAX;
+        } else if n > low {
+            *word = (1u64 << (n - low)) - 1;
+        }
+    }
+    words
+}
+
+/// Sets bit `r` of a mask.
+#[inline]
+fn set_bit(words: &mut [u64], r: usize) {
+    words[r / 64] |= 1u64 << (r % 64);
+}
+
+/// Clears bit `r` of a mask.
+#[inline]
+fn clear_bit(words: &mut [u64], r: usize) {
+    words[r / 64] &= !(1u64 << (r % 64));
+}
+
+/// Index of the lowest set bit, or `None` for an all-zero mask.
+#[inline]
+fn first_bit(words: &[u64]) -> Option<usize> {
+    for (w, &word) in words.iter().enumerate() {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Folds one more condition into an attribute requirement.
+fn fold(req: Requirement, cond: &Condition) -> Requirement {
+    let (lo, hi) = match *cond {
+        Condition::CatEq { value, .. } => {
+            return match req {
+                Requirement::Free => Requirement::Pinned(value),
+                Requirement::Pinned(prev) if prev == value => Requirement::Pinned(prev),
+                _ => Requirement::Contradiction,
+            };
+        }
+        Condition::NumLe { value, .. } => (f64::NEG_INFINITY, value),
+        Condition::NumGt { value, .. } => (value, f64::INFINITY),
+        Condition::NumRange { lo, hi, .. } => (lo, hi),
+    };
+    if lo.is_nan() || hi.is_nan() {
+        return Requirement::Contradiction;
+    }
+    match req {
+        Requirement::Free => Requirement::Interval(lo, hi),
+        Requirement::Interval(plo, phi) => Requirement::Interval(plo.max(lo), phi.min(hi)),
+        _ => Requirement::Contradiction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use pnr_data::{AttrType, DatasetBuilder, Value};
+
+    fn data() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_attribute("x", AttrType::Numeric);
+        b.add_attribute("k", AttrType::Categorical);
+        b.add_cat_value(1, "a");
+        b.add_cat_value(1, "b");
+        b.add_cat_value(1, "c");
+        for (x, k) in [
+            (1.0, "a"),
+            (2.0, "b"),
+            (3.0, "a"),
+            (4.0, "c"),
+            (2.0, "c"),
+            (5.0, "b"),
+        ] {
+            b.push_row(&[Value::num(x), Value::cat(k)], "c", 1.0)
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn le(v: f64) -> Condition {
+        Condition::NumLe { attr: 0, value: v }
+    }
+
+    fn gt(v: f64) -> Condition {
+        Condition::NumGt { attr: 0, value: v }
+    }
+
+    fn range(lo: f64, hi: f64) -> Condition {
+        Condition::NumRange { attr: 0, lo, hi }
+    }
+
+    fn cat(code: u32) -> Condition {
+        Condition::CatEq {
+            attr: 1,
+            value: code,
+        }
+    }
+
+    fn assert_identical(rules: &RuleSet, data: &Dataset) {
+        let compiled = CompiledRuleSet::compile(rules).expect("compiles");
+        let matcher = compiled.matcher(data);
+        for row in 0..data.n_rows() {
+            let want = rules.first_match(data, row);
+            assert_eq!(compiled.first_match(data, row), want, "row {row}");
+            assert_eq!(matcher.first_match(row), want, "matcher row {row}");
+            let via_lookup =
+                compiled.first_match_lookup(|a| Some(data.num(a, row)), |a| Some(data.cat(a, row)));
+            assert_eq!(via_lookup, want, "lookup row {row}");
+        }
+    }
+
+    #[test]
+    fn mixed_rules_dispatch_identically() {
+        let d = data();
+        let rules = RuleSet::from_rules(vec![
+            Rule::new(vec![le(2.0), cat(2)]),
+            Rule::new(vec![range(1.0, 3.0)]),
+            Rule::new(vec![gt(3.0)]),
+            Rule::empty(),
+        ]);
+        assert_identical(&rules, &d);
+    }
+
+    #[test]
+    fn empty_ruleset_matches_nothing() {
+        let d = data();
+        let compiled = CompiledRuleSet::compile(&RuleSet::new()).expect("compiles");
+        for row in 0..d.n_rows() {
+            assert_eq!(compiled.first_match(&d, row), None);
+        }
+    }
+
+    #[test]
+    fn empty_rule_matches_everything_first() {
+        let d = data();
+        let rules = RuleSet::from_rules(vec![Rule::empty(), Rule::new(vec![le(10.0)])]);
+        let compiled = CompiledRuleSet::compile(&rules).expect("compiles");
+        for row in 0..d.n_rows() {
+            assert_eq!(compiled.first_match(&d, row), Some(0));
+        }
+    }
+
+    #[test]
+    fn contradictory_conjunctions_never_match() {
+        let d = data();
+        // two different codes on one attribute; an empty numeric interval;
+        // a NaN threshold — all satisfiable by no row, exactly as under
+        // the interpreter.
+        let rules = RuleSet::from_rules(vec![
+            Rule::new(vec![cat(0), cat(1)]),
+            Rule::new(vec![gt(3.0), le(2.0)]),
+            Rule::new(vec![le(f64::NAN)]),
+            Rule::new(vec![range(2.0, 2.0)]),
+            Rule::new(vec![le(3.0)]),
+        ]);
+        assert_identical(&rules, &d);
+        let compiled = CompiledRuleSet::compile(&rules).expect("compiles");
+        for row in 0..d.n_rows() {
+            assert!(!matches!(
+                compiled.first_match(&d, row),
+                Some(0) | Some(1) | Some(2) | Some(3)
+            ));
+        }
+    }
+
+    #[test]
+    fn fused_intervals_equal_condition_conjunctions() {
+        let d = data();
+        let rules = RuleSet::from_rules(vec![
+            Rule::new(vec![gt(1.0), le(4.0), range(1.5, 5.0)]),
+            Rule::new(vec![le(f64::INFINITY)]),
+            Rule::new(vec![gt(f64::NEG_INFINITY)]),
+            Rule::new(vec![le(f64::NEG_INFINITY)]),
+            Rule::new(vec![gt(f64::INFINITY)]),
+        ]);
+        assert_identical(&rules, &d);
+    }
+
+    #[test]
+    fn threshold_boundaries_are_closed_on_the_right() {
+        let d = data();
+        // thresholds sitting exactly on data values: x ≤ 2 must include
+        // x = 2, x > 2 must exclude it.
+        let rules = RuleSet::from_rules(vec![Rule::new(vec![le(2.0)]), Rule::new(vec![gt(2.0)])]);
+        assert_identical(&rules, &d);
+    }
+
+    #[test]
+    fn unknown_masks_the_whole_dispatch_table() {
+        // rank 0 tests both attributes, rank 1 only the numeric one,
+        // rank 2 is unconditional.
+        let rules = RuleSet::from_rules(vec![
+            Rule::new(vec![le(10.0), cat(0)]),
+            Rule::new(vec![le(10.0)]),
+            Rule::empty(),
+        ]);
+        let compiled = CompiledRuleSet::compile(&rules).expect("compiles");
+        // categorical unknown: rule 0 cannot fire, rule 1 can
+        assert_eq!(
+            compiled.first_match_lookup(|_| Some(1.0), |_| None),
+            Some(1)
+        );
+        // numeric unknown too: only the unconditional rule fires
+        assert_eq!(compiled.first_match_lookup(|_| None, |_| None), Some(2));
+        // interpreter agrees
+        assert_eq!(rules.first_match_lookup(|_| Some(1.0), |_| None), Some(1));
+        assert_eq!(rules.first_match_lookup(|_| None, |_| None), Some(2));
+    }
+
+    #[test]
+    fn codes_beyond_the_dispatch_table_satisfy_no_equality() {
+        let rules = RuleSet::from_rules(vec![Rule::new(vec![cat(0)]), Rule::empty()]);
+        let compiled = CompiledRuleSet::compile(&rules).expect("compiles");
+        assert_eq!(compiled.first_match_lookup(|_| None, |_| Some(7)), Some(1));
+        assert_eq!(rules.first_match_lookup(|_| None, |_| Some(7)), Some(1));
+    }
+
+    #[test]
+    fn mixed_kinds_on_one_attribute_refuse_to_compile() {
+        let rules = RuleSet::from_rules(vec![
+            Rule::new(vec![Condition::CatEq { attr: 0, value: 0 }]),
+            Rule::new(vec![le(1.0)]),
+        ]);
+        assert_eq!(
+            CompiledRuleSet::compile(&rules).err(),
+            Some(CompileError::MixedConditionKinds { attr: 0 })
+        );
+    }
+
+    #[test]
+    fn wide_rulesets_use_multi_word_masks() {
+        let d = data();
+        // 70 rules: first 69 test successively larger thresholds on a
+        // value no row reaches, the last is a catch-all — exercises the
+        // multi-word path and cross-word first-bit recovery.
+        let mut rules: Vec<Rule> = (0..69)
+            .map(|i| Rule::new(vec![le(-100.0 + i as f64)]))
+            .collect();
+        rules.push(Rule::empty());
+        let rules = RuleSet::from_rules(rules);
+        let compiled = CompiledRuleSet::compile(&rules).expect("compiles");
+        assert_eq!(compiled.stride, 2);
+        assert_identical(&rules, &d);
+        for row in 0..d.n_rows() {
+            assert_eq!(compiled.first_match(&d, row), Some(69));
+        }
+    }
+
+    #[test]
+    fn ones_mask_widths() {
+        assert_eq!(ones(0, 1), vec![0]);
+        assert_eq!(ones(3, 1), vec![0b111]);
+        assert_eq!(ones(64, 1), vec![u64::MAX]);
+        assert_eq!(ones(65, 2), vec![u64::MAX, 1]);
+        assert_eq!(first_bit(&[0, 4]), Some(66));
+        assert_eq!(first_bit(&[0, 0]), None);
+    }
+}

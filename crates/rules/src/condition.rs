@@ -57,6 +57,19 @@ impl Condition {
     }
 
     /// Whether `row` of `data` satisfies the condition.
+    ///
+    /// # Finite-data invariant
+    ///
+    /// Numeric cells are read unguarded, so this relies on the dataset
+    /// invariant that every numeric value is finite. `DatasetBuilder`
+    /// rejects NaN/±∞ at `push_row`; a dataset that bypasses the builder
+    /// (serde deserialization can turn a JSON `1e999` into `inf`) must be
+    /// re-checked — the `audit` feature's
+    /// `pnr_data::audit::check_finite_columns` does exactly that. A NaN
+    /// cell would not panic here: it silently fails every numeric
+    /// condition (all comparisons against NaN are false), *unlike* the
+    /// serving path, which routes non-finite values through the explicit
+    /// unknown-value policy.
     #[inline]
     pub fn matches(&self, data: &Dataset, row: usize) -> bool {
         match *self {
@@ -114,10 +127,14 @@ impl fmt::Display for DisplayCondition<'_> {
                     self.schema.attr(attr).dict.name(value)
                 )
             }
-            Condition::NumLe { attr, value } => write!(f, "{} <= {}", name(attr), value),
-            Condition::NumGt { attr, value } => write!(f, "{} > {}", name(attr), value),
+            // {:?} is Rust's shortest *round-trippable* float form: it
+            // keeps the ".0" on integral thresholds ("2.0", not "2") and
+            // never abbreviates, so two distinct rules can never render
+            // identically in `inspect` output.
+            Condition::NumLe { attr, value } => write!(f, "{} <= {:?}", name(attr), value),
+            Condition::NumGt { attr, value } => write!(f, "{} > {:?}", name(attr), value),
             Condition::NumRange { attr, lo, hi } => {
-                write!(f, "{} in ({}, {}]", name(attr), lo, hi)
+                write!(f, "{} in ({:?}, {:?}]", name(attr), lo, hi)
             }
         }
     }
@@ -230,7 +247,7 @@ mod tests {
             }
             .display(d.schema())
             .to_string(),
-            "x <= 2"
+            "x <= 2.0"
         );
         assert_eq!(
             Condition::NumGt {
@@ -239,8 +256,45 @@ mod tests {
             }
             .display(d.schema())
             .to_string(),
-            "x > 2"
+            "x > 2.0"
         );
+    }
+
+    #[test]
+    fn displayed_thresholds_round_trip_exactly() {
+        // Regression: `{}` on f64 printed "2" for 2.0, so `inspect` output
+        // could render distinct rules identically and a reader could not
+        // recover the exact threshold. The displayed number must parse
+        // back to the very same bits.
+        let d = data();
+        for value in [
+            2.0,
+            0.1,
+            1.0 + f64::EPSILON,
+            -0.0,
+            1e-300,
+            123456789.12345679,
+            std::f64::consts::PI,
+        ] {
+            let text = Condition::NumLe { attr: 0, value }
+                .display(d.schema())
+                .to_string();
+            let rendered = text.strip_prefix("x <= ").expect("display shape");
+            let back: f64 = rendered.parse().expect("rendered threshold parses");
+            assert_eq!(
+                back.to_bits(),
+                value.to_bits(),
+                "{value} rendered as {rendered}"
+            );
+        }
+        // the old ambiguity: integral thresholds keep their ".0"
+        let shown = Condition::NumGt {
+            attr: 0,
+            value: 2.0,
+        }
+        .display(d.schema())
+        .to_string();
+        assert_eq!(shown, "x > 2.0", "integral thresholds must keep .0");
     }
 
     #[test]

@@ -212,7 +212,7 @@ mod tests {
                 value: 2.0,
             },
         ]);
-        assert_eq!(r.display(d.schema()).to_string(), "x <= 2 AND y > 2");
+        assert_eq!(r.display(d.schema()).to_string(), "x <= 2.0 AND y > 2.0");
         assert_eq!(Rule::empty().display(d.schema()).to_string(), "TRUE");
     }
 }

@@ -154,7 +154,7 @@ mod tests {
         let d = data();
         let rs = RuleSet::from_rules(vec![le(2.0), le(6.0)]);
         let s = rs.display_lines(d.schema());
-        assert!(s.contains("[0] x <= 2"));
-        assert!(s.contains("[1] x <= 6"));
+        assert!(s.contains("[0] x <= 2.0"));
+        assert!(s.contains("[1] x <= 6.0"));
     }
 }

@@ -38,7 +38,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct [`Counter`]s (size of the recording array).
-pub const N_COUNTERS: usize = 10;
+pub const N_COUNTERS: usize = 11;
 
 /// Monotonic counter identities. Stored in a fixed array indexed by the
 /// enum discriminant — deliberately not a hash map, so iteration order
@@ -74,6 +74,10 @@ pub enum Counter {
     UnseenCategoryHits,
     /// Serve-time numeric values that were NaN or infinite.
     NanNumericHits,
+    /// Records routed through the compiled rule-evaluation engine (one per
+    /// record whose P/N routing ran on dispatch tables instead of the
+    /// per-rule interpreter).
+    CompiledDispatchHits,
 }
 
 impl Counter {
@@ -89,6 +93,7 @@ impl Counter {
         Counter::RowsQuarantined,
         Counter::UnseenCategoryHits,
         Counter::NanNumericHits,
+        Counter::CompiledDispatchHits,
     ];
 
     /// Stable snake_case name used in NDJSON lines and rendered tables.
@@ -104,6 +109,7 @@ impl Counter {
             Counter::RowsQuarantined => "rows_quarantined",
             Counter::UnseenCategoryHits => "unseen_category_hits",
             Counter::NanNumericHits => "nan_numeric_hits",
+            Counter::CompiledDispatchHits => "compiled_dispatch_hits",
         }
     }
 

@@ -209,6 +209,18 @@ mod tests {
         );
         assert_eq!(rules_for("crates/synth/src/peaks.rs"), ["float-eq"]);
         assert_eq!(rules_for("src/lib.rs"), ["float-eq"]);
+        // The compiled rule-evaluation engine sits on the scoring hot
+        // path: bitset/segment arithmetic (lossy-cast), rank-order
+        // determinism (nondet-iter) and the core no-panic rule all
+        // apply in full.
+        assert_eq!(
+            rules_for("crates/rules/src/compiled.rs"),
+            ["float-eq", "lib-unwrap", "nondet-iter", "lossy-cast"]
+        );
+        assert_eq!(
+            rules_for("crates/core/src/compiled.rs"),
+            ["float-eq", "lib-unwrap", "nondet-iter", "lossy-cast"]
+        );
     }
 
     #[test]
