@@ -32,7 +32,7 @@ impl C45TreeModel {
     /// Class-probability estimate from the leaf distribution.
     pub fn class_prob(&self, data: &Dataset, row: usize, class: u32) -> f64 {
         let dist = self.tree.root.classify_dist(data, row);
-        let total: f64 = dist.iter().sum();
+        let total = pnr_data::ordered_sum(dist.iter().copied());
         if total <= 0.0 {
             0.0
         } else {
@@ -89,9 +89,9 @@ impl ClassRuleGroup {
                 for row in 0..data.n_rows() {
                     if r.matches(data, row) {
                         let w = data.weight(row);
-                        n += w;
+                        n += w; // lint:allow(unordered-float-sum) — single pass in row order
                         if data.label(row) == class {
-                            pos += w;
+                            pos += w; // lint:allow(unordered-float-sum) — same ordered pass
                         }
                     }
                 }
@@ -137,7 +137,7 @@ impl C45RulesModel {
 
     /// Total number of rules across groups.
     pub fn n_rules(&self) -> usize {
-        self.groups.iter().map(|g| g.rules.len()).sum()
+        self.groups.iter().map(|g| g.rules.len()).sum::<usize>()
     }
 
     /// Predicted class of `row`.

@@ -82,7 +82,7 @@ pub fn added_errors(n: f64, e: f64, cf: f64) -> f64 {
 
 /// Upper-bound error of treating `dist` as a single leaf.
 pub fn leaf_upper_error(dist: &[f64], cf: f64) -> f64 {
-    let n: f64 = dist.iter().sum();
+    let n = pnr_data::ordered_sum(dist.iter().copied());
     let e = n - dist.iter().fold(0.0f64, |a, &b| a.max(b));
     e + added_errors(n, e, cf)
 }
@@ -91,7 +91,7 @@ fn subtree_upper_error(node: &Node, cf: f64) -> f64 {
     match node {
         Node::Leaf { dist } => leaf_upper_error(dist, cf),
         Node::CatSplit { children, .. } => {
-            children.iter().map(|c| subtree_upper_error(c, cf)).sum()
+            pnr_data::ordered_sum(children.iter().map(|c| subtree_upper_error(c, cf)))
         }
         Node::NumSplit { left, right, .. } => {
             subtree_upper_error(left, cf) + subtree_upper_error(right, cf)

@@ -30,7 +30,7 @@ pub fn extract_rules(tree: &Tree) -> Vec<ClassRule> {
 fn walk(node: &Node, path: &mut Vec<Condition>, out: &mut Vec<ClassRule>) {
     match node {
         Node::Leaf { dist } => {
-            let total: f64 = dist.iter().sum();
+            let total = pnr_data::ordered_sum(dist.iter().copied());
             if total > 0.0 {
                 out.push(ClassRule {
                     rule: Rule::new(path.clone()),
@@ -80,9 +80,9 @@ pub fn pessimistic_error(rule: &Rule, class: u32, data: &Dataset, cf: f64) -> f6
     for row in 0..data.n_rows() {
         if rule.matches(data, row) {
             let w = data.weight(row);
-            n += w;
+            n += w; // lint:allow(unordered-float-sum) — single pass in row order
             if data.label(row) != class {
-                e += w;
+                e += w; // lint:allow(unordered-float-sum) — same ordered pass
             }
         }
     }
@@ -153,11 +153,12 @@ pub fn select_subset(
 ) -> Vec<Rule> {
     rules.truncate(params.max_rules_per_class);
     let n_possible = count_possible_conditions(data);
-    let pos_total: f64 = (0..data.n_rows())
-        .filter(|&r| data.label(r) == class)
-        .map(|r| data.weight(r))
-        .sum();
-    let n_total: f64 = data.weights().iter().sum();
+    let pos_total = pnr_data::ordered_sum(
+        (0..data.n_rows())
+            .filter(|&r| data.label(r) == class)
+            .map(|r| data.weight(r)),
+    );
+    let n_total = pnr_data::ordered_sum(data.weights().iter().copied());
 
     let dl_of = |rules: &[Rule]| -> f64 {
         let mut covered = 0.0;
@@ -165,9 +166,9 @@ pub fn select_subset(
         for row in 0..data.n_rows() {
             if rules.iter().any(|r| r.matches(data, row)) {
                 let w = data.weight(row);
-                covered += w;
+                covered += w; // lint:allow(unordered-float-sum) — single pass in row order
                 if data.label(row) == class {
-                    covered_pos += w;
+                    covered_pos += w; // lint:allow(unordered-float-sum) — same ordered pass
                 }
             }
         }
@@ -241,12 +242,13 @@ pub fn rules_from_tree(tree: &Tree, data: &Dataset, params: &C45Params) -> C45Ru
         .iter()
         .enumerate()
         .map(|(i, g)| {
-            let fp: f64 = (0..data.n_rows())
-                .filter(|&row| {
-                    data.label(row) != g.class && g.rules.iter().any(|r| r.matches(data, row))
-                })
-                .map(|row| data.weight(row))
-                .sum();
+            let fp = pnr_data::ordered_sum(
+                (0..data.n_rows())
+                    .filter(|&row| {
+                        data.label(row) != g.class && g.rules.iter().any(|r| r.matches(data, row))
+                    })
+                    .map(|row| data.weight(row)),
+            );
             (i, fp)
         })
         .collect();

@@ -40,7 +40,7 @@ pub fn class_weights(data: &Dataset, rows: &[u32]) -> Vec<f64> {
 
 /// Entropy (bits) of a weighted class distribution.
 pub fn entropy_of(dist: &[f64]) -> f64 {
-    let total: f64 = dist.iter().sum();
+    let total = pnr_data::ordered_sum(dist.iter().copied());
     if total <= 0.0 {
         return 0.0;
     }
@@ -64,7 +64,7 @@ fn split_info(weights: &[f64]) -> f64 {
 pub fn find_best_split(data: &Dataset, rows: &[u32], params: &C45Params) -> Option<SplitCandidate> {
     let dist = class_weights(data, rows);
     let base_entropy = entropy_of(&dist);
-    let total: f64 = dist.iter().sum();
+    let total = pnr_data::ordered_sum(dist.iter().copied());
     if total <= 0.0 {
         return None;
     }
@@ -82,7 +82,8 @@ pub fn find_best_split(data: &Dataset, rows: &[u32], params: &C45Params) -> Opti
     if candidates.is_empty() {
         return None;
     }
-    let avg_gain: f64 = candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+    let avg_gain =
+        pnr_data::ordered_sum(candidates.iter().map(|c| c.gain)) / candidates.len() as f64;
     candidates
         .into_iter()
         .filter(|c| c.gain + 1e-12 >= avg_gain)
@@ -123,6 +124,7 @@ fn eval_categorical(
     let mut cond_entropy = 0.0;
     for v in 0..n_values {
         if value_w[v] > 0.0 {
+            // lint:allow(unordered-float-sum) — fixed dictionary-code order
             cond_entropy +=
                 value_w[v] / total * entropy_of(&dists[v * n_classes..(v + 1) * n_classes]);
         }
@@ -170,7 +172,7 @@ fn eval_numeric(
         let row = order[i] as usize;
         let w = data.weight(row);
         cum[data.label(row) as usize] += w;
-        cum_w += w;
+        cum_w += w; // lint:allow(unordered-float-sum) — prefix sum in sorted-projection order
         if i + 1 < order.len() {
             let v = data.num(attr, row);
             let v_next = data.num(attr, order[i + 1] as usize);
@@ -199,11 +201,11 @@ fn eval_numeric(
         return None;
     }
     // split info of the two-way partition at the chosen threshold
-    let left_w: f64 = rows
-        .iter()
-        .filter(|&&r| data.num(attr, r as usize) <= threshold)
-        .map(|&r| data.weight(r as usize))
-        .sum();
+    let left_w = pnr_data::ordered_sum(
+        rows.iter()
+            .filter(|&&r| data.num(attr, r as usize) <= threshold)
+            .map(|&r| data.weight(r as usize)),
+    );
     let si = split_info(&[left_w, total - left_w]);
     if si <= 0.0 {
         return None;

@@ -58,7 +58,7 @@ impl Node {
     pub fn n_leaves(&self) -> usize {
         match self {
             Node::Leaf { .. } => 1,
-            Node::CatSplit { children, .. } => children.iter().map(Node::n_leaves).sum(),
+            Node::CatSplit { children, .. } => children.iter().map(Node::n_leaves).sum::<usize>(),
             Node::NumSplit { left, right, .. } => left.n_leaves() + right.n_leaves(),
         }
     }
@@ -153,7 +153,7 @@ fn render_node(node: &Node, schema: &pnr_data::Schema, indent: usize, out: &mut 
     let pad = "  ".repeat(indent);
     match node {
         Node::Leaf { dist } => {
-            let total: f64 = dist.iter().sum();
+            let total = pnr_data::ordered_sum(dist.iter().copied());
             out.push_str(&format!(
                 "{pad}-> {} ({:.0}/{:.0})\n",
                 schema.classes.name(majority_of(dist)),
@@ -204,7 +204,7 @@ pub fn build_tree(data: &Dataset, params: &C45Params) -> Tree {
 
 fn build_node(data: &Dataset, rows: &[u32], params: &C45Params, depth: usize) -> Node {
     let dist = class_weights(data, rows);
-    let total: f64 = dist.iter().sum();
+    let total = pnr_data::ordered_sum(dist.iter().copied());
     let pure = dist.contains(&total) || pnr_data::weights::approx::is_zero(total);
     if pure || total < 2.0 * params.min_objects || depth >= params.max_depth {
         return Node::Leaf { dist };

@@ -77,6 +77,11 @@ pub struct GrowOptions {
     /// Telemetry sink the condition search reports counters to. Write-only:
     /// nothing recorded here ever feeds back into growth decisions.
     pub sink: Arc<dyn TelemetrySink>,
+    /// Worker-thread cap forwarded to the condition search (see
+    /// [`SearchOptions::max_workers`]): `None` = size-based heuristic,
+    /// `Some(1)` = sequential, `Some(k)` = forced threaded path with at
+    /// most `k` workers. The learned rule is bit-identical either way.
+    pub search_workers: Option<usize>,
 }
 
 impl GrowOptions {
@@ -91,6 +96,7 @@ impl GrowOptions {
             recall_guard: None,
             budget: None,
             sink: pnr_telemetry::noop(),
+            search_workers: None,
         }
     }
 }
@@ -117,6 +123,7 @@ pub fn grow_rule(view: &TaskView<'_>, opts: &GrowOptions) -> Option<GrownRule> {
         context: Some(ctx),
         budget: opts.budget.clone(),
         sink: opts.sink.clone(),
+        max_workers: opts.search_workers,
         ..Default::default()
     };
 

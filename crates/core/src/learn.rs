@@ -142,11 +142,12 @@ impl PnruleLearner {
         let pooled_rows: RowSet = (0..pnr_data::index::to_u32(data.n_rows(), "row count"))
             .filter(|&r| p_rules.any_match(data, r as usize))
             .collect();
-        let covered_pos: f64 = pooled_rows
-            .iter()
-            .filter(|&r| is_pos[r as usize])
-            .map(|r| weights[r as usize])
-            .sum();
+        let covered_pos = pnr_data::ordered_sum(
+            pooled_rows
+                .iter()
+                .filter(|&r| is_pos[r as usize])
+                .map(|r| weights[r as usize]),
+        );
         let pool_size = pooled_rows.len();
         let pool_total: f64 = pooled_rows.total_weight(weights);
 

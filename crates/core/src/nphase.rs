@@ -216,6 +216,7 @@ pub fn learn_n_rules_with_sink(
             recall_guard: Some(guard),
             budget: budget.cloned(),
             sink: sink.clone(),
+            search_workers: params.search_workers,
         };
         // Label formatting is gated so the disabled path allocates nothing
         // per rule.
@@ -285,11 +286,11 @@ pub fn learn_n_rules_with_sink(
         // it while good rules remain — and the rule list is truncated to
         // the DL-optimal prefix (within the slack) afterwards.
         lens.push(grown.rule.len());
-        covered += grown.stats.total;
-        covered_orig += grown.stats.neg();
-        removed_fp += grown.stats.pos;
-        // The exception masses are differences of float weight sums and can
-        // land a few ulps below zero for pure rules; clamp before coding.
+        covered += grown.stats.total; // lint:allow(unordered-float-sum) — sequential rule-order accumulation
+        covered_orig += grown.stats.neg(); // lint:allow(unordered-float-sum) — sequential rule-order accumulation
+        removed_fp += grown.stats.pos; // lint:allow(unordered-float-sum) — sequential rule-order accumulation
+                                       // The exception masses are differences of float weight sums and can
+                                       // land a few ulps below zero for pure rules; clamp before coding.
         dl = total_dl(
             n_possible,
             &lens,

@@ -71,6 +71,15 @@ pub struct PnruleParams {
     /// [`FitReport`](crate::learn::FitReport). Unlimited by default.
     #[serde(default)]
     pub budget: FitBudget,
+    /// Worker-thread cap for the condition search in both phases:
+    /// `None` (default) lets the size-based heuristic decide, `Some(1)`
+    /// forces the sequential reference scan, `Some(k)` forces the
+    /// threaded path with at most `k` workers even on small fits. The
+    /// learned model is bit-identical for every setting (the `cargo
+    /// xtask determinism` harness sweeps {1, 2, max} to prove it), so
+    /// this is a performance/verification knob, never a model knob.
+    #[serde(default)]
+    pub search_workers: Option<usize>,
 }
 
 impl Default for PnruleParams {
@@ -92,6 +101,7 @@ impl Default for PnruleParams {
             max_p_rules: 200,
             max_n_rules: 200,
             budget: FitBudget::unlimited(),
+            search_workers: None,
         }
     }
 }
@@ -150,6 +160,11 @@ impl PnruleParams {
         assert!(
             self.max_n_rule_len != Some(0),
             "max_n_rule_len of 0 would forbid any rule"
+        );
+        assert!(
+            self.search_workers != Some(0),
+            "search_workers of 0 would leave no worker to scan; use Some(1) \
+             for the sequential path or None for the heuristic"
         );
         if let Some(problem) = self.budget.validation_error() {
             panic!("{problem}");

@@ -102,6 +102,7 @@ pub fn learn_p_rules_with_sink(
             recall_guard: None,
             budget: budget.cloned(),
             sink: sink.clone(),
+            search_workers: params.search_workers,
         };
         let grown = {
             // Label formatting is gated so the disabled path allocates
@@ -142,7 +143,7 @@ pub fn learn_p_rules_with_sink(
             break;
         }
         let covered_rows = remaining.rows_matching_rule(&grown.rule);
-        covered_pos += grown.stats.pos;
+        covered_pos += grown.stats.pos; // lint:allow(unordered-float-sum) — sequential rule-order accumulation
         result.rules.push(PRule {
             rule: grown.rule,
             stats: grown.stats,

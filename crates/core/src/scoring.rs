@@ -91,8 +91,8 @@ impl ScoreMatrix {
 
         let mut scores = vec![0.5f64; n_p * width];
         for pi in 0..n_p {
-            let row_pos: f64 = (0..width).map(|j| cell_pos[pi * width + j]).sum();
-            let row_tot: f64 = (0..width).map(|j| cell_tot[pi * width + j]).sum();
+            let row_pos = pnr_data::ordered_sum((0..width).map(|j| cell_pos[pi * width + j]));
+            let row_tot = pnr_data::ordered_sum((0..width).map(|j| cell_tot[pi * width + j]));
             let row_acc = if row_tot > 0.0 {
                 row_pos / row_tot
             } else {

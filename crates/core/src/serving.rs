@@ -394,12 +394,22 @@ impl ServingModel {
         Ok(DatasetMap { attrs, code_maps })
     }
 
+    /// Bumps `c` by one when telemetry is recording. Every serving-path
+    /// counter goes through here: the `enabled()` gate keeps the default
+    /// no-op sink free of dispatch so an un-instrumented scorer pays
+    /// nothing per record.
+    fn count(&self, c: Counter) {
+        if self.sink.enabled() {
+            self.sink.add(c, 1);
+        }
+    }
+
     /// Scores one record whose values are already reconciled into stored
     /// attribute order. The core serving primitive; the `score_fields` /
     /// `score_dataset_row` fronts feed it.
     pub fn score_values(&self, values: &[ServingValue]) -> Result<ScoredRecord, RecordError> {
         if values.len() != self.artifact.schema.n_attrs() {
-            self.sink.add(Counter::RowsQuarantined, 1);
+            self.count(Counter::RowsQuarantined);
             return Err(RecordError::Structural {
                 detail: format!(
                     "expected {} reconciled values, got {}",
@@ -420,10 +430,10 @@ impl ServingModel {
                 unknown_values += 1;
                 match kind {
                     UnknownKind::UnseenCategory => {
-                        self.sink.add(Counter::UnseenCategoryHits, 1);
+                        self.count(Counter::UnseenCategoryHits);
                     }
                     UnknownKind::NonFinite => {
-                        self.sink.add(Counter::NanNumericHits, 1);
+                        self.count(Counter::NanNumericHits);
                     }
                     UnknownKind::MissingColumn => {}
                 }
@@ -432,11 +442,11 @@ impl ServingModel {
         if unknown_values > 0 {
             match self.unknown_policy {
                 UnknownPolicy::Reject => {
-                    self.sink.add(Counter::RowsQuarantined, 1);
+                    self.count(Counter::RowsQuarantined);
                     return Err(RecordError::UnknownRejected { unknown_values });
                 }
                 UnknownPolicy::Abstain => {
-                    self.sink.add(Counter::RowsScored, 1);
+                    self.count(Counter::RowsScored);
                     return Ok(ScoredRecord {
                         score: 0.0,
                         decision: false,
@@ -462,7 +472,7 @@ impl ServingModel {
         let model = &self.artifact.model;
         let (score, trace) = match self.active_compiled() {
             Some(compiled) => {
-                self.sink.add(Counter::CompiledDispatchHits, 1);
+                self.count(Counter::CompiledDispatchHits);
                 compiled.score_with_trace_lookup(num, cat)
             }
             None => match model.p_rules.first_match_lookup(num, cat) {
@@ -485,7 +495,7 @@ impl ServingModel {
                 }
             },
         };
-        self.sink.add(Counter::RowsScored, 1);
+        self.count(Counter::RowsScored);
         Ok(ScoredRecord {
             score,
             decision: score > model.threshold,
@@ -506,7 +516,7 @@ impl ServingModel {
         map: &ColumnMap,
     ) -> Result<ScoredRecord, RecordError> {
         if fields.len() != map.incoming_width {
-            self.sink.add(Counter::RowsQuarantined, 1);
+            self.count(Counter::RowsQuarantined);
             return Err(RecordError::Structural {
                 detail: format!(
                     "expected {} field(s) per the header, got {}",
@@ -525,7 +535,7 @@ impl ServingModel {
                     match a.ty {
                         AttrType::Numeric => match raw.parse::<f64>() {
                             Err(_) => {
-                                self.sink.add(Counter::RowsQuarantined, 1);
+                                self.count(Counter::RowsQuarantined);
                                 return Err(RecordError::Structural {
                                     detail: format!(
                                         "field `{raw}` of numeric attribute `{}` is \
@@ -594,7 +604,7 @@ impl ServingModel {
     /// before scoring (e.g. the CSV stream's own row quarantine), so the
     /// `rows_quarantined` counter covers the whole stream.
     pub fn record_structural_quarantine(&self) {
-        self.sink.add(Counter::RowsQuarantined, 1);
+        self.count(Counter::RowsQuarantined);
     }
 }
 

@@ -54,4 +54,4 @@ pub use rowset::RowSet;
 pub use schema::{AttrType, Attribute, Schema};
 pub use split::{stratified_split, subsample_class, train_test_split};
 pub use stats::{describe, summarize, AttrSummary, CategoricalSummary, NumericSummary};
-pub use weights::{stratify_weights, total_weight, weight_of_class};
+pub use weights::{ordered_sum, stratify_weights, total_weight, weight_of_class};

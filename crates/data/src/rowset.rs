@@ -134,9 +134,9 @@ impl RowSet {
         m
     }
 
-    /// Sum of `weights[row]` over the set.
+    /// Sum of `weights[row]` over the set, in row-set order.
     pub fn total_weight(&self, weights: &[f64]) -> f64 {
-        self.rows.iter().map(|&r| weights[r as usize]).sum()
+        crate::weights::ordered_sum(self.rows.iter().map(|&r| weights[r as usize]))
     }
 }
 

@@ -52,8 +52,10 @@ pub fn summarize(data: &Dataset) -> Vec<AttrSummary> {
             match data.column(a) {
                 Column::Num(values) => {
                     let n = values.len() as f64;
-                    let mean = values.iter().sum::<f64>() / n;
-                    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                    let mean = crate::weights::ordered_sum(values.iter().copied()) / n;
+                    let var =
+                        crate::weights::ordered_sum(values.iter().map(|v| (v - mean) * (v - mean)))
+                            / n;
                     let sorted = data.sort_index(a);
                     let mut distinct = 0;
                     let mut last = f64::NAN;

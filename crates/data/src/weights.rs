@@ -54,17 +54,40 @@ pub mod approx {
     }
 }
 
+/// Sums float terms strictly in the order the iterator yields them.
+///
+/// Float addition is not associative: regrouping a reduction (chunked,
+/// parallel, tree-shaped) perturbs the result by ulps, and the learner's
+/// Z-number / gain / gini statistics are built from such sums — an
+/// ulp-shifted statistic can flip a condition tie and change the learned
+/// model. This helper is the sanctioned route for float reductions on
+/// learner paths: it pins the iteration order (index order for slices
+/// and row sets), so a sum's value is a pure function of its operand
+/// sequence. The `unordered-float-sum` lint (`cargo xtask lint`) flags
+/// bare float `.sum()` / scalar `+=` accumulation outside this helper;
+/// `cargo xtask determinism` verifies the resulting end-to-end
+/// bit-identity across row permutations and thread counts.
+pub fn ordered_sum<I: IntoIterator<Item = f64>>(terms: I) -> f64 {
+    let mut acc = 0.0;
+    for t in terms {
+        // lint:allow(unordered-float-sum) — this *is* the ordered helper
+        acc += t;
+    }
+    acc
+}
+
 /// Sum of all record weights.
 pub fn total_weight(data: &Dataset) -> f64 {
-    data.weights().iter().sum()
+    ordered_sum(data.weights().iter().copied())
 }
 
 /// Total weight of records labelled `class`.
 pub fn weight_of_class(data: &Dataset, class: u32) -> f64 {
-    (0..data.n_rows())
-        .filter(|&r| data.label(r) == class)
-        .map(|r| data.weight(r))
-        .sum()
+    ordered_sum(
+        (0..data.n_rows())
+            .filter(|&r| data.label(r) == class)
+            .map(|r| data.weight(r)),
+    )
 }
 
 /// Returns a weight vector implementing the paper's **stratified training

@@ -67,7 +67,7 @@ impl CliOptions {
                     opts.scale = raw
                         .parse()
                         .map_err(|_| format!("--scale takes a float, got {raw:?}"))?;
-                    if !(opts.scale > 0.0) {
+                    if opts.scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                         return Err("--scale must be positive".to_string());
                     }
                 }

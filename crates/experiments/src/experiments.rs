@@ -42,7 +42,8 @@ mod panic_capture {
 
     /// The hook that was installed before ours; panics on threads that are
     /// not running an isolated job are forwarded to it unchanged.
-    static PREV_HOOK: OnceLock<Box<dyn Fn(&PanicHookInfo<'_>) + Send + Sync>> = OnceLock::new();
+    type PanicHook = Box<dyn for<'a> Fn(&PanicHookInfo<'a>) + Send + Sync>;
+    static PREV_HOOK: OnceLock<PanicHook> = OnceLock::new();
 
     fn install_hook() {
         static ONCE: std::sync::Once = std::sync::Once::new();
@@ -133,10 +134,10 @@ impl<T> JobOutcome<T> {
 /// [`JobOutcome::Failed`] with the panic message while every other job
 /// still runs to completion.
 pub fn run_jobs<T: Send>(jobs: Vec<(String, Job<'_, T>)>, threads: usize) -> Vec<JobOutcome<T>> {
+    type QueuedJob<'a, T> = (usize, (String, Job<'a, T>));
     let n = jobs.len();
     let slots: Mutex<Vec<Option<JobOutcome<T>>>> = Mutex::new((0..n).map(|_| None).collect());
-    let queue: Mutex<Vec<(usize, (String, Job<'_, T>))>> =
-        Mutex::new(jobs.into_iter().enumerate().collect());
+    let queue: Mutex<Vec<QueuedJob<'_, T>>> = Mutex::new(jobs.into_iter().enumerate().collect());
     std::thread::scope(|s| {
         for _ in 0..threads.max(1).min(n.max(1)) {
             s.spawn(|| loop {
@@ -709,7 +710,7 @@ mod tests {
     }
 
     fn labelled<T: Send + 'static>(
-        items: Vec<(&str, Box<dyn FnOnce() -> T + Send>)>,
+        items: Vec<(&str, Job<'static, T>)>,
     ) -> Vec<(String, Job<'static, T>)> {
         items.into_iter().map(|(l, f)| (l.to_string(), f)).collect()
     }

@@ -95,9 +95,9 @@ impl DlContext {
             let row = r as usize;
             if rules.iter().any(|rule| rule.matches(view.data, row)) {
                 let w = view.weights[row];
-                covered += w;
+                covered += w; // lint:allow(unordered-float-sum) — single pass in row-set order
                 if view.is_pos[row] {
-                    covered_pos += w;
+                    covered_pos += w; // lint:allow(unordered-float-sum) — same ordered pass
                 }
             }
         }

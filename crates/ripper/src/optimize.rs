@@ -36,9 +36,9 @@ fn ruleset_error(view: &TaskView<'_>, rules: &[Rule], idx: usize, candidate: Opt
         }
         let w = view.weights[row];
         if covered && !view.is_pos[row] {
-            fp += w;
+            fp += w; // lint:allow(unordered-float-sum) — single pass in row-set order
         } else if !covered && view.is_pos[row] {
-            fn_ += w;
+            fn_ += w; // lint:allow(unordered-float-sum) — same ordered pass
         }
     }
     fp + fn_

@@ -20,6 +20,7 @@ pub fn count_possible_conditions(data: &Dataset) -> f64 {
     let mut n = 0.0;
     for attr in 0..data.n_attrs() {
         match data.column(attr) {
+            // lint:allow(unordered-float-sum) — integer-valued counts, exact in f64
             Column::Cat(_) => n += data.schema().attr(attr).dict.len() as f64,
             Column::Num(_) => {
                 let sorted = data.sort_index(attr);
@@ -32,6 +33,7 @@ pub fn count_possible_conditions(data: &Dataset) -> f64 {
                         last = v;
                     }
                 }
+                // lint:allow(unordered-float-sum) — integer-valued counts, exact in f64
                 n += 2.0 * distinct as f64;
             }
         }
@@ -93,9 +95,11 @@ pub fn rule_theory_dl(n_possible: f64, k: f64) -> f64 {
 pub fn data_dl(cover: f64, uncover: f64, fp: f64, fn_: f64) -> f64 {
     let mut bits = 0.0;
     if cover > 0.0 {
+        // lint:allow(unordered-float-sum) — two terms in fixed textual order
         bits += (cover + 1.0).log2() + subset_dl(cover, fp, (fp / cover).clamp(0.0, 1.0));
     }
     if uncover > 0.0 {
+        // lint:allow(unordered-float-sum) — two terms in fixed textual order
         bits += (uncover + 1.0).log2() + subset_dl(uncover, fn_, (fn_ / uncover).clamp(0.0, 1.0));
     }
     bits
@@ -114,10 +118,11 @@ pub fn total_dl(
     fp: f64,
     fn_: f64,
 ) -> f64 {
-    let theory: f64 = rule_lens
-        .iter()
-        .map(|&k| rule_theory_dl(n_possible, k as f64))
-        .sum();
+    let theory = pnr_data::ordered_sum(
+        rule_lens
+            .iter()
+            .map(|&k| rule_theory_dl(n_possible, k as f64)),
+    );
     theory + data_dl(cover, uncover, fp, fn_)
 }
 

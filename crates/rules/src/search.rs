@@ -67,6 +67,13 @@ pub struct SearchOptions {
     /// the default no-op sink makes every report a no-op branch.
     /// Telemetry is write-only — it never influences the search result.
     pub sink: Arc<dyn TelemetrySink>,
+    /// Explicit worker-thread cap. `None` (default) leaves the
+    /// size-based heuristic in charge; `Some(1)` forces the sequential
+    /// scan; `Some(k)` with `k > 1` forces the threaded path with at
+    /// most `k` workers even below [`Self::parallel_min_cells`] — the
+    /// determinism harness uses this to prove bit-identity across
+    /// thread counts on small fits.
+    pub max_workers: Option<usize>,
 }
 
 impl Default for SearchOptions {
@@ -79,6 +86,7 @@ impl Default for SearchOptions {
             parallel_min_cells: PARALLEL_MIN_CELLS,
             budget: None,
             sink: pnr_telemetry::noop(),
+            max_workers: None,
         }
     }
 }
@@ -168,16 +176,29 @@ pub fn find_best_condition(
         return None;
     }
     let n_attrs = view.data.n_attrs();
-    let workers =
-        if opts.parallel && n_attrs > 1 && view.n_rows() * n_attrs >= opts.parallel_min_cells {
+    let workers = match opts.max_workers {
+        // An explicit cap of one (or a parallel-off/degenerate search)
+        // means the sequential reference scan.
+        Some(cap) if cap <= 1 || !opts.parallel || n_attrs <= 1 => 1,
+        // An explicit cap above one forces the threaded path even below
+        // the cell threshold, so thread-count sweeps can exercise the
+        // worker merge on small fits.
+        Some(cap) => {
+            let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+            available.max(2).min(cap).min(n_attrs)
+        }
+        None if opts.parallel
+            && n_attrs > 1
+            && view.n_rows() * n_attrs >= opts.parallel_min_cells =>
+        {
             let available = std::thread::available_parallelism().map_or(1, |p| p.get());
             // An explicit 0 threshold forces the threaded path even where the
             // runtime reports a single core.
             let forced_floor = if opts.parallel_min_cells == 0 { 2 } else { 1 };
             available.max(forced_floor).min(n_attrs)
-        } else {
-            1
-        };
+        }
+        None => 1,
+    };
     if workers <= 1 {
         return find_best_condition_sequential(view, metric, opts);
     }
@@ -190,6 +211,9 @@ pub fn find_best_condition(
     let slots: Vec<std::sync::Mutex<Option<CandidateCondition>>> =
         (0..n_attrs).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
+    // Workers race only over *which* slot they fill; the merge below reads
+    // slots in ascending attribute index, so the winner is bit-identical
+    // to the sequential scan's. det:merge(lowest-attr-first)
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -375,9 +399,9 @@ fn build_boundaries(view: &TaskView<'_>, attr: usize) -> Boundaries {
     for &r in sorted.iter() {
         let v = view.data.num(attr, r as usize);
         let w = view.weights[r as usize];
-        cum_tot += w;
+        cum_tot += w; // lint:allow(unordered-float-sum) — prefix sum in sorted-projection order
         if view.is_pos[r as usize] {
-            cum_pos += w;
+            cum_pos += w; // lint:allow(unordered-float-sum) — same ordered prefix pass
         }
         if b.values.last() == Some(&v) {
             let last = b.values.len() - 1;

@@ -201,6 +201,7 @@ pub fn chi_squared(c: CovStats, pos_total: f64, n_total: f64) -> f64 {
     let mut chi2 = 0.0;
     for (o, e) in observed.iter().zip(&expected) {
         if *e > 0.0 {
+            // lint:allow(unordered-float-sum) — four cells in fixed array order
             chi2 += (o - e) * (o - e) / e;
         }
     }

@@ -58,9 +58,9 @@ impl<'a> TaskView<'a> {
         let mut total_weight = 0.0;
         for r in rows.iter() {
             let w = weights[r as usize];
-            total_weight += w;
+            total_weight += w; // lint:allow(unordered-float-sum) — single pass in row-set order
             if is_pos[r as usize] {
-                pos_weight += w;
+                pos_weight += w; // lint:allow(unordered-float-sum) — same ordered pass
             }
         }
         TaskView {
@@ -138,9 +138,9 @@ impl<'a> TaskView<'a> {
         for r in self.rows.iter() {
             if rule.matches(self.data, r as usize) {
                 let w = self.weights[r as usize];
-                total += w;
+                total += w; // lint:allow(unordered-float-sum) — single pass in row-set order
                 if self.is_pos[r as usize] {
-                    pos += w;
+                    pos += w; // lint:allow(unordered-float-sum) — same ordered pass
                 }
             }
         }
@@ -153,9 +153,9 @@ impl<'a> TaskView<'a> {
         let mut total = 0.0;
         for r in rows.iter() {
             let w = self.weights[r as usize];
-            total += w;
+            total += w; // lint:allow(unordered-float-sum) — single pass in row-set order
             if self.is_pos[r as usize] {
-                pos += w;
+                pos += w; // lint:allow(unordered-float-sum) — same ordered pass
             }
         }
         CovStats::new(pos, total)

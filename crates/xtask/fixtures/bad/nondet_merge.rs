@@ -1,0 +1,28 @@
+//! Every line marked BAD must produce exactly one `nondet-merge` finding.
+
+pub fn unannotated_scope(xs: &[f64]) -> f64 {
+    let best = f64::NEG_INFINITY;
+    std::thread::scope(|s| { // BAD
+        for chunk in xs.chunks(2) {
+            s.spawn(move || chunk.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        }
+    });
+    best
+}
+
+pub fn standalone_spawn() -> i32 {
+    let h = std::thread::spawn(|| 1 + 1); // BAD
+    match h.join() {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+// det:merge(stale-directive-too-far-away)
+//
+//
+pub fn directive_out_of_range() {
+    std::thread::scope(|s| { // BAD
+        s.spawn(|| ());
+    });
+}

@@ -1,0 +1,16 @@
+//! Every line marked BAD must produce exactly one `telemetry-ungated`
+//! finding. No `enabled()` call may appear within ten lines above a BAD
+//! line — that proximity is exactly what the lint accepts as a gate.
+
+pub fn ungated_counter(sink: &dyn Sink) {
+    sink.add(Counter::CacheHits, 1); // BAD
+}
+
+pub fn ungated_span(telemetry: &Telemetry) -> SpanGuard {
+    telemetry.span_open(Phase::Grow) // BAD
+}
+
+pub fn ungated_pair(sink: &dyn Sink) {
+    sink.add(Counter::RulesEmitted, 1); // BAD
+    sink.span_open(Phase::Prune); // BAD
+}

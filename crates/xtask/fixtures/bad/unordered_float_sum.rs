@@ -1,0 +1,32 @@
+//! Every line marked BAD must produce exactly one `unordered-float-sum`
+//! finding.
+
+pub fn bare_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum() // BAD
+}
+
+pub fn float_turbofish(xs: &[f64]) -> f64 {
+    xs.iter().copied().sum::<f64>() // BAD
+}
+
+pub fn opaque_integer_sum(ns: &[usize]) -> usize {
+    // a bare sum is flagged even over integers: the lexer cannot see the
+    // element type, so integer sums must say so with a turbofish
+    ns.iter().sum() // BAD
+}
+
+pub fn untyped_accumulator(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x; // BAD
+    }
+    acc
+}
+
+pub fn ascribed_accumulator(xs: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    for &x in xs {
+        total += x; // BAD
+    }
+    total
+}

@@ -17,7 +17,7 @@ pub fn ordering(w: f64) -> bool {
 }
 
 pub fn range_not_float(n: usize) -> usize {
-    (0..n).sum()
+    (0..n).sum::<usize>()
 }
 
 pub fn allowed(w: f64) -> bool {

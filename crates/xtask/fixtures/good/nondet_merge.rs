@@ -1,0 +1,41 @@
+//! Nothing here may produce a `nondet-merge` finding.
+
+pub fn annotated_scope(xs: &[f64]) -> Vec<usize> {
+    let mut out = Vec::new();
+    // workers push results keyed by chunk index, merged ascending:
+    // det:merge(chunk-index-order)
+    std::thread::scope(|s| {
+        let handles: Vec<_> = xs.chunks(2).map(|c| s.spawn(move || c.len())).collect();
+        for h in handles {
+            if let Ok(v) = h.join() {
+                out.push(v);
+            }
+        }
+    });
+    out
+}
+
+pub fn annotated_spawn() -> std::thread::JoinHandle<u64> {
+    // det:merge(single-producer)
+    std::thread::spawn(|| 7)
+}
+
+pub fn allowed_scope() {
+    // lint:allow(nondet-merge) — fixture-approved side-effect-free scope
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+}
+
+pub fn scope_is_just_a_word() -> usize {
+    let scope = 3;
+    scope
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn spawn_in_tests_is_exempt() {
+        let h = std::thread::spawn(|| ());
+        let _ = h.join();
+    }
+}

@@ -1,0 +1,30 @@
+//! Nothing here may produce a `telemetry-ungated` finding.
+
+pub fn allowed_one_shot(sink: &dyn Sink) {
+    sink.add(Counter::Startup, 1); // lint:allow(telemetry-ungated) — one-shot init counter
+}
+
+pub fn other_receiver_named_add(set: &mut IndexSet) {
+    // `add` on a non-sink receiver is not a telemetry call
+    set.add(3);
+}
+
+pub fn gated_counter(sink: &dyn Sink) {
+    if sink.enabled() {
+        sink.add(Counter::CacheHits, 1);
+    }
+}
+
+pub fn gated_span(telemetry: &Telemetry) {
+    if telemetry.enabled() {
+        let _g = telemetry.span_open(Phase::Grow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_scope_is_exempt(sink: &dyn Sink) {
+        sink.add(Counter::CacheHits, 1);
+        sink.span_open(Phase::Grow);
+    }
+}

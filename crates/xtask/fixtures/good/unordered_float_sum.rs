@@ -1,0 +1,32 @@
+//! Nothing here may produce an `unordered-float-sum` finding.
+
+pub fn integer_turbofish(ns: &[usize]) -> usize {
+    ns.iter().sum::<usize>()
+}
+
+pub fn routed_through_ordered_sum(xs: &[f64]) -> f64 {
+    pnr_data::weights::ordered_sum(xs.iter().copied())
+}
+
+pub fn integer_accumulator(ns: &[usize]) -> usize {
+    let mut count = 0;
+    for &x in ns {
+        count += x;
+    }
+    count
+}
+
+pub fn allowed_accumulator(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x; // lint:allow(unordered-float-sum) — fixture-approved fixed slice order
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_scope_is_exempt(xs: &[f64]) -> f64 {
+        xs.iter().sum()
+    }
+}

@@ -65,12 +65,30 @@ fn lossy_cast_bad_fixture_fires_on_every_marked_line() {
 }
 
 #[test]
+fn nondet_merge_bad_fixture_fires_on_every_marked_line() {
+    assert_bad_fixture("nondet-merge", "nondet_merge.rs", 3);
+}
+
+#[test]
+fn unordered_float_sum_bad_fixture_fires_on_every_marked_line() {
+    assert_bad_fixture("unordered-float-sum", "unordered_float_sum.rs", 5);
+}
+
+#[test]
+fn telemetry_ungated_bad_fixture_fires_on_every_marked_line() {
+    assert_bad_fixture("telemetry-ungated", "telemetry_ungated.rs", 4);
+}
+
+#[test]
 fn good_fixtures_are_silent_under_every_rule() {
     for file in [
         "float_eq.rs",
         "lib_unwrap.rs",
         "nondet_iter.rs",
         "lossy_cast.rs",
+        "nondet_merge.rs",
+        "unordered_float_sum.rs",
+        "telemetry_ungated.rs",
     ] {
         let source = fixture("good", file);
         let findings = lint_file(file, &source, &ALL_RULES);
@@ -93,4 +111,12 @@ fn bad_fixtures_are_silent_for_unrelated_rules() {
     assert!(lint_file("lossy_cast.rs", &source, &["float-eq"]).is_empty());
     let source = fixture("bad", "float_eq.rs");
     assert!(lint_file("float_eq.rs", &source, &["lossy-cast"]).is_empty());
+    // the unannotated-scope fixture holds no telemetry calls or float sums
+    let source = fixture("bad", "nondet_merge.rs");
+    assert!(lint_file(
+        "nondet_merge.rs",
+        &source,
+        &["telemetry-ungated", "unordered-float-sum"]
+    )
+    .is_empty());
 }

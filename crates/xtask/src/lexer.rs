@@ -33,13 +33,19 @@ pub struct Token {
 }
 
 /// The lex of one file: the token stream plus every `lint:allow(rule)`
-/// directive found in comments, as `(line, rule)` pairs.
+/// and `det:merge(ordering)` directive found in comments, as
+/// `(line, payload)` pairs.
 #[derive(Debug, Default)]
 pub struct Lexed {
     /// Tokens in source order.
     pub tokens: Vec<Token>,
     /// `// lint:allow(<rule>)` directives by comment line.
     pub allows: Vec<(usize, String)>,
+    /// `// det:merge(<ordering>)` directives by comment line. The payload
+    /// names the deterministic merge key a nearby parallel join uses
+    /// (`lowest-attr-first`, …); the `nondet-merge` lint requires one on
+    /// every `thread::scope`/`spawn` site in scope.
+    pub det_merges: Vec<(usize, String)>,
 }
 
 /// Multi-character operators, longest first so matching is greedy.
@@ -56,11 +62,11 @@ fn is_ident_continue(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
 }
 
-/// Extracts every `lint:allow(<rule>)` occurrence in a comment body.
-fn scan_allows(comment: &str, line: usize, out: &mut Vec<(usize, String)>) {
+/// Extracts every `<marker>(<payload>)` occurrence in a comment body.
+fn scan_directive(comment: &str, marker: &str, line: usize, out: &mut Vec<(usize, String)>) {
     let mut rest = comment;
-    while let Some(pos) = rest.find("lint:allow(") {
-        let tail = &rest[pos + "lint:allow(".len()..];
+    while let Some(pos) = rest.find(marker) {
+        let tail = &rest[pos + marker.len()..];
         if let Some(end) = tail.find(')') {
             out.push((line, tail[..end].trim().to_string()));
             rest = &tail[end..];
@@ -68,6 +74,16 @@ fn scan_allows(comment: &str, line: usize, out: &mut Vec<(usize, String)>) {
             break;
         }
     }
+}
+
+/// Extracts every `lint:allow(<rule>)` occurrence in a comment body.
+fn scan_allows(comment: &str, line: usize, out: &mut Vec<(usize, String)>) {
+    scan_directive(comment, "lint:allow(", line, out);
+}
+
+/// Extracts every `det:merge(<ordering>)` occurrence in a comment body.
+fn scan_det_merges(comment: &str, line: usize, out: &mut Vec<(usize, String)>) {
+    scan_directive(comment, "det:merge(", line, out);
 }
 
 /// Lexes `source` into tokens and allow-directives. Unterminated constructs
@@ -104,6 +120,7 @@ pub fn lex(source: &str) -> Lexed {
             }
             let body: String = chars[start..i].iter().collect();
             scan_allows(&body, at_line, &mut out.allows);
+            scan_det_merges(&body, at_line, &mut out.det_merges);
             continue;
         }
         if c == '/' && i + 1 < n && chars[i + 1] == '*' {
@@ -127,6 +144,7 @@ pub fn lex(source: &str) -> Lexed {
             }
             let body: String = chars[start..i.min(n)].iter().collect();
             scan_allows(&body, at_line, &mut out.allows);
+            scan_det_merges(&body, at_line, &mut out.det_merges);
             continue;
         }
         // raw strings: r"..."  r#"..."#  br##"..."##  — identifiers that
@@ -390,6 +408,20 @@ mod tests {
         assert_eq!(
             lexed.allows,
             vec![(1, "float-eq".to_string()), (3, "nondet-iter".to_string())]
+        );
+    }
+
+    #[test]
+    fn det_merge_directives_are_collected() {
+        let lexed = lex(
+            "// det:merge(lowest-attr-first)\nthread::scope(|s| {});\n/* det:merge(rule-index) */\n",
+        );
+        assert_eq!(
+            lexed.det_merges,
+            vec![
+                (1, "lowest-attr-first".to_string()),
+                (3, "rule-index".to_string())
+            ]
         );
     }
 

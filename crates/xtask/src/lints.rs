@@ -1,23 +1,38 @@
-//! The four repo-specific lints, run over the token stream of one file.
+//! The seven repo-specific lints, run over the token stream of one file.
 //!
-//! | rule          | fires on                                              |
-//! |---------------|-------------------------------------------------------|
-//! | `float-eq`    | `==` / `!=` with a float-literal operand              |
-//! | `lib-unwrap`  | `.unwrap()` / `.expect(` in library (non-test) code   |
-//! | `nondet-iter` | `HashMap` / `HashSet` in learner code paths           |
-//! | `lossy-cast`  | bare `as` narrowing to u8/u16/u32/i8/i16/i32          |
+//! | rule                  | fires on                                                 |
+//! |-----------------------|----------------------------------------------------------|
+//! | `float-eq`            | `==` / `!=` with a float-literal operand                 |
+//! | `lib-unwrap`          | `.unwrap()` / `.expect(` in library (non-test) code      |
+//! | `nondet-iter`         | `HashMap` / `HashSet` in learner code paths              |
+//! | `lossy-cast`          | bare `as` narrowing to u8/u16/u32/i8/i16/i32             |
+//! | `nondet-merge`        | `thread::scope` / `spawn` without a `det:merge` directive|
+//! | `unordered-float-sum` | float `.sum()` / scalar float `+=` accumulation          |
+//! | `telemetry-ungated`   | `sink.add(` / `.span_open(` without a nearby `enabled()` |
 //!
 //! Test scope — any item under a `#[test]` or `#[cfg(test)]` attribute —
-//! is exempt from `lib-unwrap`, `nondet-iter` and `lossy-cast` (tests may
-//! panic and may cast freely); `float-eq` applies everywhere because exact
-//! float assertions in tests are how PR 1's seed bugs slipped in. A finding
+//! is exempt from every rule except `float-eq` (tests may panic, cast and
+//! sum freely); `float-eq` applies everywhere because exact float
+//! assertions in tests are how PR 1's seed bugs slipped in. A finding
 //! is suppressed by a `// lint:allow(<rule>)` comment on the same line or
-//! the line directly above.
+//! the line directly above. `nondet-merge` is additionally satisfied by a
+//! `// det:merge(<ordering>)` directive on the site's line or up to two
+//! lines above — unlike an allow, the directive *names* the deterministic
+//! merge key the join relies on, and one directive on a `thread::scope`
+//! head covers every `spawn` inside that scope call.
 
 use crate::lexer::{lex, Kind, Token};
 
 /// Names of every lint rule, in report order.
-pub const ALL_RULES: [&str; 4] = ["float-eq", "lib-unwrap", "nondet-iter", "lossy-cast"];
+pub const ALL_RULES: [&str; 7] = [
+    "float-eq",
+    "lib-unwrap",
+    "nondet-iter",
+    "lossy-cast",
+    "nondet-merge",
+    "unordered-float-sum",
+    "telemetry-ungated",
+];
 
 /// One diagnostic: a rule firing at a file/line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +45,8 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation with the suggested fix.
     pub msg: String,
+    /// The offending source line, trimmed — carried for `--json` output.
+    pub snippet: String,
 }
 
 impl std::fmt::Display for Finding {
@@ -129,6 +146,96 @@ fn test_scope_mask(tokens: &[Token]) -> Vec<bool> {
     mask
 }
 
+/// True when `tokens[i]` is the `scope` of a `thread::scope(` call head.
+fn is_thread_scope(tokens: &[Token], i: usize) -> bool {
+    tokens[i].kind == Kind::Ident
+        && tokens[i].text == "scope"
+        && i >= 2
+        && tokens[i - 1].text == "::"
+        && tokens[i - 2].text == "thread"
+        && i + 1 < tokens.len()
+        && tokens[i + 1].text == "("
+}
+
+/// True when `tokens[i]` is the `spawn` of a `.spawn(` / `thread::spawn(`
+/// call.
+fn is_spawn_call(tokens: &[Token], i: usize) -> bool {
+    tokens[i].kind == Kind::Ident
+        && tokens[i].text == "spawn"
+        && i >= 1
+        && (tokens[i - 1].text == "." || tokens[i - 1].text == "::")
+        && i + 1 < tokens.len()
+        && tokens[i + 1].text == "("
+}
+
+/// Marks every token inside the call parens of a `thread::scope(...)`, so
+/// the `spawn`s a scope drives are attributed to the scope head: one
+/// `det:merge` directive on the head covers them all, and an unannotated
+/// scope produces exactly one finding.
+fn thread_scope_cover(tokens: &[Token]) -> Vec<bool> {
+    let n = tokens.len();
+    let mut covered = vec![false; n];
+    for i in 0..n {
+        if !is_thread_scope(tokens, i) {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < n {
+            match tokens[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            covered[j] = true;
+            j += 1;
+        }
+    }
+    covered
+}
+
+/// Names of `let mut` bindings initialised from (or ascribed) a float, i.e.
+/// the scalar accumulators whose `+=` order `unordered-float-sum` polices.
+fn float_accumulator_names(tokens: &[Token]) -> Vec<String> {
+    let n = tokens.len();
+    let mut names = Vec::new();
+    for i in 0..n {
+        if tokens[i].text != "let"
+            || i + 2 >= n
+            || tokens[i + 1].text != "mut"
+            || tokens[i + 2].kind != Kind::Ident
+        {
+            continue;
+        }
+        let name = &tokens[i + 2].text;
+        let mut j = i + 3;
+        if j < n && tokens[j].text == ":" {
+            if j + 1 < n && (tokens[j + 1].text == "f64" || tokens[j + 1].text == "f32") {
+                names.push(name.clone());
+                continue;
+            }
+            while j < n && tokens[j].text != "=" && tokens[j].text != ";" {
+                j += 1;
+            }
+        }
+        if j < n && tokens[j].text == "=" {
+            let mut k = j + 1;
+            if k < n && tokens[k].text == "-" {
+                k += 1; // `let mut acc = -1.0;`
+            }
+            if k < n && tokens[k].kind == Kind::Float {
+                names.push(name.clone());
+            }
+        }
+    }
+    names
+}
+
 /// Lints `source` (labelled `file` in diagnostics) with the given subset of
 /// [`ALL_RULES`]. Directives and test-scope exemptions are applied here, so
 /// callers get only reportable findings.
@@ -137,7 +244,26 @@ pub fn lint_file(file: &str, source: &str, rules: &[&str]) -> Vec<Finding> {
     let tokens = &lexed.tokens;
     let n = tokens.len();
     let in_test = test_scope_mask(tokens);
+    let scope_cover = thread_scope_cover(tokens);
+    let float_accs = float_accumulator_names(tokens);
+    let source_lines: Vec<&str> = source.lines().collect();
     let want = |r: &str| rules.contains(&r);
+    // A det:merge directive on the site's line or up to two lines above it
+    // annotates a parallel join (the slack admits one wrapping comment line).
+    let det_merge_near = |line: usize| {
+        lexed
+            .det_merges
+            .iter()
+            .any(|(l, _)| *l <= line && line - *l <= 2)
+    };
+    // An `enabled` identifier on the call's line or up to ten lines above is
+    // taken as the telemetry gate (`if sink.enabled() { … }` or an early
+    // `if !sink.enabled() { return }`).
+    let enabled_near = |line: usize| {
+        tokens.iter().any(|t| {
+            t.kind == Kind::Ident && t.text == "enabled" && t.line <= line && line - t.line <= 10
+        })
+    };
     let mut findings = Vec::new();
     let mut push = |line: usize, rule: &'static str, msg: String| {
         let allowed = lexed
@@ -150,6 +276,9 @@ pub fn lint_file(file: &str, source: &str, rules: &[&str]) -> Vec<Finding> {
                 line,
                 rule,
                 msg,
+                snippet: source_lines
+                    .get(line.saturating_sub(1))
+                    .map_or(String::new(), |s| s.trim().to_string()),
             });
         }
     };
@@ -227,6 +356,85 @@ pub fn lint_file(file: &str, source: &str, rules: &[&str]) -> Vec<Finding> {
                     "bare `as {}` narrowing can silently truncate; use \
                      pnr_data::index::to_u32 or TryFrom",
                     tokens[i + 1].text
+                ),
+            );
+        }
+        if want("nondet-merge") && !in_test[i] {
+            if is_thread_scope(tokens, i) && !det_merge_near(t.line) {
+                push(
+                    t.line,
+                    "nondet-merge",
+                    "`thread::scope` joins worker results in nondeterministic completion \
+                     order; annotate the site with `// det:merge(<ordering>)` naming the \
+                     deterministic merge key (e.g. lowest-attr-first)"
+                        .to_string(),
+                );
+            } else if is_spawn_call(tokens, i) && !scope_cover[i] && !det_merge_near(t.line) {
+                push(
+                    t.line,
+                    "nondet-merge",
+                    "`spawn` outside an annotated `thread::scope`; annotate the join with \
+                     `// det:merge(<ordering>)` naming the deterministic merge key"
+                        .to_string(),
+                );
+            }
+        }
+        if want("unordered-float-sum") && !in_test[i] {
+            if t.kind == Kind::Ident && t.text == "sum" && i >= 1 && tokens[i - 1].text == "." {
+                let bare = i + 1 < n && tokens[i + 1].text == "(";
+                let float_turbofish = i + 3 < n
+                    && tokens[i + 1].text == "::"
+                    && tokens[i + 2].text == "<"
+                    && (tokens[i + 3].text == "f64" || tokens[i + 3].text == "f32");
+                if bare || float_turbofish {
+                    push(
+                        t.line,
+                        "unordered-float-sum",
+                        "float addition order is model-visible (Z-number, gain and gini \
+                         stats shift with it); route the sum through \
+                         pnr_data::weights::ordered_sum, or mark an integer sum explicit \
+                         with a `.sum::<usize>()`-style turbofish"
+                            .to_string(),
+                    );
+                }
+            }
+            if t.text == "+="
+                && i >= 1
+                && tokens[i - 1].kind == Kind::Ident
+                && float_accs.contains(&tokens[i - 1].text)
+            {
+                push(
+                    t.line,
+                    "unordered-float-sum",
+                    format!(
+                        "`{} +=` accumulates a float whose addition order is \
+                         model-visible; route the reduction through \
+                         pnr_data::weights::ordered_sum or annotate why the \
+                         iteration order is already fixed",
+                        tokens[i - 1].text
+                    ),
+                );
+            }
+        }
+        if want("telemetry-ungated")
+            && !in_test[i]
+            && t.kind == Kind::Ident
+            && i >= 1
+            && tokens[i - 1].text == "."
+            && i + 1 < n
+            && tokens[i + 1].text == "("
+            && (t.text == "span_open"
+                || (t.text == "add" && i >= 2 && tokens[i - 2].text == "sink"))
+            && !enabled_near(t.line)
+        {
+            push(
+                t.line,
+                "telemetry-ungated",
+                format!(
+                    "`.{}(` without a nearby `enabled()` gate; wrap it in \
+                     `if sink.enabled() {{ … }}` so the disabled path stays \
+                     zero-overhead",
+                    t.text
                 ),
             );
         }
@@ -344,5 +552,122 @@ mod tests {
         assert_eq!(rules_fired(src, &["float-eq"]), [("float-eq", 1)]);
         assert_eq!(rules_fired(src, &["lib-unwrap"]), [("lib-unwrap", 1)]);
         assert_eq!(rules_fired(src, &ALL_RULES).len(), 2);
+    }
+
+    #[test]
+    fn nondet_merge_fires_on_unannotated_scope() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert_eq!(rules_fired(src, &["nondet-merge"]), [("nondet-merge", 1)]);
+    }
+
+    #[test]
+    fn nondet_merge_directive_covers_scope_and_inner_spawns() {
+        let src = "fn f() {\n // det:merge(lowest-attr-first)\n std::thread::scope(|s| {\n  s.spawn(|| {});\n  s.spawn(|| {});\n });\n}";
+        assert!(rules_fired(src, &["nondet-merge"]).is_empty());
+    }
+
+    #[test]
+    fn nondet_merge_fires_on_standalone_spawn() {
+        let src = "fn f() { let h = std::thread::spawn(|| 1); h.join(); }";
+        assert_eq!(rules_fired(src, &["nondet-merge"]), [("nondet-merge", 1)]);
+        let annotated = "fn f() {\n // det:merge(single-worker)\n let h = std::thread::spawn(|| 1);\n h.join();\n}";
+        assert!(rules_fired(annotated, &["nondet-merge"]).is_empty());
+    }
+
+    #[test]
+    fn nondet_merge_respects_allow_and_test_scope() {
+        let allowed =
+            "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); } // lint:allow(nondet-merge)";
+        assert!(rules_fired(allowed, &["nondet-merge"]).is_empty());
+        let test = "#[test]\nfn t() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert!(rules_fired(test, &["nondet-merge"]).is_empty());
+    }
+
+    #[test]
+    fn unordered_float_sum_fires_on_bare_and_float_turbofish_sums() {
+        let bare = "fn f(w: &[f64]) -> f64 { w.iter().sum() }";
+        assert_eq!(
+            rules_fired(bare, &["unordered-float-sum"]),
+            [("unordered-float-sum", 1)]
+        );
+        let fish = "fn f(w: &[f64]) -> f64 { w.iter().copied().sum::<f64>() }";
+        assert_eq!(
+            rules_fired(fish, &["unordered-float-sum"]),
+            [("unordered-float-sum", 1)]
+        );
+    }
+
+    #[test]
+    fn unordered_float_sum_exempts_integer_turbofish() {
+        let src = "fn f(v: &[Vec<u32>]) -> usize { v.iter().map(Vec::len).sum::<usize>() }";
+        assert!(rules_fired(src, &["unordered-float-sum"]).is_empty());
+    }
+
+    #[test]
+    fn unordered_float_sum_fires_on_scalar_float_accumulators() {
+        let src =
+            "fn f(w: &[f64]) -> f64 {\n let mut acc = 0.0;\n for &x in w { acc += x; }\n acc\n}";
+        assert_eq!(
+            rules_fired(src, &["unordered-float-sum"]),
+            [("unordered-float-sum", 3)]
+        );
+        let typed = "fn f(w: &[f64]) -> f64 {\n let mut acc: f64 = Default::default();\n for &x in w { acc += x; }\n acc\n}";
+        assert_eq!(
+            rules_fired(typed, &["unordered-float-sum"]),
+            [("unordered-float-sum", 3)]
+        );
+    }
+
+    #[test]
+    fn unordered_float_sum_ignores_integer_and_indexed_accumulation() {
+        let int =
+            "fn f(v: &[usize]) -> usize {\n let mut acc = 0;\n for &x in v { acc += x; }\n acc\n}";
+        assert!(rules_fired(int, &["unordered-float-sum"]).is_empty());
+        let indexed = "fn f(w: &[f64], code: &[usize]) {\n let mut tot = vec![0.0; 4];\n for (i, &x) in w.iter().enumerate() { tot[code[i]] += x; }\n}";
+        assert!(rules_fired(indexed, &["unordered-float-sum"]).is_empty());
+    }
+
+    #[test]
+    fn unordered_float_sum_exempts_tests_and_allows() {
+        let test = "#[test]\nfn t() { let w = [1.0]; let s: f64 = w.iter().sum(); }";
+        assert!(rules_fired(test, &["unordered-float-sum"]).is_empty());
+        let allowed = "fn f(w: &[f64]) -> f64 {\n // lint:allow(unordered-float-sum) — prefix sum, order fixed\n w.iter().sum()\n}";
+        assert!(rules_fired(allowed, &["unordered-float-sum"]).is_empty());
+    }
+
+    #[test]
+    fn telemetry_ungated_fires_without_enabled_gate() {
+        let src = "fn f(sink: &dyn Sink) { sink.add(Counter::RowsScored, 1); }";
+        assert_eq!(
+            rules_fired(src, &["telemetry-ungated"]),
+            [("telemetry-ungated", 1)]
+        );
+        let span = "fn f(s: &dyn Sink) { s.span_open(SpanKind::Fit); }";
+        assert_eq!(
+            rules_fired(span, &["telemetry-ungated"]),
+            [("telemetry-ungated", 1)]
+        );
+    }
+
+    #[test]
+    fn telemetry_ungated_accepts_nearby_enabled_gate() {
+        let gated = "fn f(sink: &dyn Sink) {\n if sink.enabled() {\n  sink.add(Counter::RowsScored, 1);\n }\n}";
+        assert!(rules_fired(gated, &["telemetry-ungated"]).is_empty());
+        let early_return = "fn f(sink: &dyn Sink) {\n if !sink.enabled() { return; }\n sink.add(Counter::RowsScored, 1);\n}";
+        assert!(rules_fired(early_return, &["telemetry-ungated"]).is_empty());
+    }
+
+    #[test]
+    fn telemetry_ungated_ignores_unrelated_add_calls() {
+        let src = "fn f(set: &mut Acc) { set.add(1); }";
+        assert!(rules_fired(src, &["telemetry-ungated"]).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_the_offending_snippet() {
+        let src = "fn f(x: f64) -> bool {\n    x == 0.0\n}";
+        let found = lint_file("t.rs", src, &ALL_RULES);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].snippet, "x == 0.0");
     }
 }

@@ -1,0 +1,137 @@
+//! `cargo xtask scopes` — the cross-file scope-drift pass.
+//!
+//! The per-file lint scopes in `rules_for` are hand-listed: crate names
+//! sit in roster constants, serving-path files in `SERVING_PATH_FILES`.
+//! Hand-listed scopes drift — a new crate or module lands, nobody adds
+//! it to a roster, and its code silently escapes the lints it should
+//! carry. This pass makes that drift loud:
+//!
+//! 1. every directory under `crates/` must appear in `KNOWN_CRATES`
+//!    (a new crate must be classified into the lint scopes explicitly);
+//! 2. every `KNOWN_CRATES` entry must exist on disk (no stale roster);
+//! 3. every `.rs` file under `crates/*/src/**` and the facade's `src/`
+//!    must be covered by at least one lint scope in `rules_for`;
+//! 4. every `SERVING_PATH_FILES` entry must exist on disk (a moved or
+//!    renamed serving module would otherwise shed its extra discipline
+//!    without notice).
+//!
+//! Returns one human-readable problem line per violation; empty = clean.
+
+use crate::{rules_for, walk, KNOWN_CRATES, SERVING_PATH_FILES};
+use std::path::Path;
+
+/// Runs all four drift checks against the workspace rooted at `root`.
+pub fn check(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut problems = Vec::new();
+
+    // 1 + 2: the crate roster matches the `crates/` directory exactly.
+    let crates_dir = root.join("crates");
+    let mut on_disk = Vec::new();
+    if crates_dir.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if name.starts_with('.') {
+                continue;
+            }
+            if !KNOWN_CRATES.contains(&name.as_str()) {
+                problems.push(format!(
+                    "crates/{name}: crate is absent from the lint-scope roster; \
+                     add it to KNOWN_CRATES and classify it into the rule scopes \
+                     in crates/xtask/src/main.rs"
+                ));
+            }
+            on_disk.push(name);
+        }
+    }
+    for known in KNOWN_CRATES {
+        if !on_disk.iter().any(|n| n == known) {
+            problems.push(format!(
+                "crates/{known}: roster entry has no directory on disk; remove \
+                 it from KNOWN_CRATES or restore the crate"
+            ));
+        }
+    }
+
+    // 3: no source file escapes every lint scope.
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // Only `src/` trees carry lint scopes by design; anything else the
+        // walk yields (e.g. a stray top-level helper) is out of contract.
+        let in_scope_tree = rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split_once('/'))
+            .map(|(_, tail)| tail.starts_with("src/"))
+            .unwrap_or_else(|| rel.starts_with("src/"));
+        if in_scope_tree && rules_for(&rel).is_empty() {
+            problems.push(format!(
+                "{rel}: source file is covered by no lint scope; extend \
+                 rules_for in crates/xtask/src/main.rs"
+            ));
+        }
+    }
+
+    // 4: the serving-path file list tracks reality.
+    for rel in SERVING_PATH_FILES {
+        if !root.join(rel).is_file() {
+            problems.push(format!(
+                "{rel}: SERVING_PATH_FILES entry does not exist; the serving \
+                 module moved without its lint scope following"
+            ));
+        }
+    }
+
+    problems.sort();
+    Ok(problems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_workspace_has_no_scope_drift() {
+        let problems = check(&crate::workspace_root()).expect("workspace walk");
+        assert!(problems.is_empty(), "scope drift:\n{}", problems.join("\n"));
+    }
+
+    #[test]
+    fn unknown_crate_is_reported() {
+        let root = std::env::temp_dir().join(format!("xtask-scopes-{}", std::process::id()));
+        let src = root.join("crates/mystery/src");
+        std::fs::create_dir_all(&src).expect("mkdir");
+        std::fs::write(src.join("lib.rs"), "pub fn f() {}\n").expect("write");
+        let problems = check(&root).expect("walk");
+        assert!(
+            problems.iter().any(|p| p.contains("crates/mystery")),
+            "expected a roster problem for crates/mystery, got:\n{}",
+            problems.join("\n")
+        );
+        // Known crates are all absent from the scratch tree, so the stale
+        // roster check fires for each of them too.
+        for known in KNOWN_CRATES {
+            assert!(problems
+                .iter()
+                .any(|p| p.contains(&format!("crates/{known}"))));
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
