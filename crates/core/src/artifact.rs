@@ -77,6 +77,14 @@ pub enum ArtifactError {
     },
     /// The file could not be read or written.
     Io(io::Error),
+    /// A bounded retry loop exhausted its attempts on transient I/O
+    /// failures; `last` is the error of the final attempt.
+    RetriesExhausted {
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The error of the last attempt.
+        last: Box<ArtifactError>,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -102,6 +110,10 @@ impl fmt::Display for ArtifactError {
                  numeric threshold, which a JSON artifact cannot represent"
             ),
             ArtifactError::Io(e) => write!(f, "Io: {e}"),
+            ArtifactError::RetriesExhausted { attempts, last } => write!(
+                f,
+                "RetriesExhausted: gave up after {attempts} attempt(s); last error: {last}"
+            ),
         }
     }
 }
@@ -110,6 +122,7 @@ impl std::error::Error for ArtifactError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ArtifactError::Io(e) => Some(e),
+            ArtifactError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -430,4 +443,95 @@ impl ModelArtifact {
         let bytes = fs::read(path)?;
         Self::from_file_bytes(&bytes)
     }
+}
+
+/// Bounded exponential backoff over transient failures (see
+/// [`load_with_retry`]). Delays are `base_delay * 2^i`, capped at
+/// `max_delay`; the total attempt count is `attempts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (including the first); at least 1 is always made.
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: std::time::Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 10 ms → 20 ms → 40 ms backoff (max 200 ms): long
+    /// enough to ride out an editor/publisher replacing the file, short
+    /// enough that a hot-swap control command stays interactive.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: std::time::Duration::from_millis(10),
+            max_delay: std::time::Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `i` (0-based), with saturating
+    /// exponential growth capped at `max_delay`.
+    pub fn delay(&self, i: u32) -> std::time::Duration {
+        let factor = 1u32.checked_shl(i).unwrap_or(u32::MAX);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
+/// Whether an I/O failure is worth retrying: the classes of error that a
+/// moment of contention can produce and a moment of patience can cure.
+/// Anything else (not found, permission denied, corruption) is
+/// deterministic and retried loading would only delay the real report.
+pub fn is_transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs `op` under `policy`: transient failures (per `transient`) are
+/// retried with exponential backoff; the first non-transient failure is
+/// returned as-is; exhausting every attempt on transient failures yields
+/// [`ArtifactError::RetriesExhausted`] wrapping the last error.
+pub fn retry_transient<T>(
+    policy: &RetryPolicy,
+    mut transient: impl FnMut(&ArtifactError) -> bool,
+    mut op: impl FnMut() -> Result<T, ArtifactError>,
+) -> Result<T, ArtifactError> {
+    let attempts = policy.attempts.max(1);
+    let mut last = None;
+    for i in 0..attempts {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if transient(&e) => {
+                last = Some(e);
+                if i + 1 < attempts {
+                    std::thread::sleep(policy.delay(i));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(ArtifactError::RetriesExhausted {
+        attempts,
+        last: Box::new(last.unwrap_or(ArtifactError::ChecksumMismatch)),
+    })
+}
+
+/// [`ModelArtifact::load`] with bounded retries over *transient* I/O
+/// errors ([`is_transient_io`]): interrupted reads, timeouts and
+/// would-block conditions back off exponentially per `policy`; a
+/// deterministic failure (missing file, corruption, version skew) is
+/// reported immediately. This is the load every long-running caller —
+/// the serving daemon's hot-swap path and the `predict` binary — goes
+/// through, so a busy filesystem cannot fail a swap that one more read
+/// would have served.
+pub fn load_with_retry(path: &Path, policy: &RetryPolicy) -> Result<ModelArtifact, ArtifactError> {
+    retry_transient(
+        policy,
+        |e| matches!(e, ArtifactError::Io(io) if is_transient_io(io)),
+        || ModelArtifact::load(path),
+    )
 }

@@ -1,0 +1,26 @@
+//! The serving binaries' process exit-code convention.
+//!
+//! Every binary that sits between a saved artifact and a caller's data
+//! stream (`predict`, `kdd_csv`, `pnr-serve`, `pnr-loadgen`) reports the
+//! same three-way outcome, so shell harnesses and CI jobs can classify a
+//! failure without scraping stderr:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | [`OK`] (0) | the requested work completed |
+//! | [`DATA_FAILURE`] (1) | a well-formed invocation hit unusable data or an unusable model — a corrupt/missing artifact (the typed [`ArtifactError`](crate::ArtifactError) goes to stderr), an unreadable input, a failed write |
+//! | [`USAGE`] (2) | the invocation itself is malformed (unknown flag, missing value, out-of-range rate) |
+//!
+//! The taxonomy mirrors `cargo xtask`'s (0 clean / 1 findings / 2 usage)
+//! and is pinned per binary by CLI tests.
+
+/// The requested work completed.
+pub const OK: i32 = 0;
+
+/// A well-formed invocation could not be served: unusable artifact,
+/// unusable input data, or a failed output write. The typed error is on
+/// stderr.
+pub const DATA_FAILURE: i32 = 1;
+
+/// The invocation is malformed; usage text is on stderr.
+pub const USAGE: i32 = 2;

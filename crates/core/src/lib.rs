@@ -46,6 +46,7 @@
 
 pub mod artifact;
 pub mod compiled;
+pub mod exit;
 pub mod grow;
 pub mod learn;
 pub mod model;
@@ -57,7 +58,10 @@ pub mod scoring;
 pub mod serving;
 pub mod tune;
 
-pub use artifact::{ArtifactError, ModelArtifact, FORMAT_VERSION};
+pub use artifact::{
+    is_transient_io, load_with_retry, retry_transient, ArtifactError, ModelArtifact, RetryPolicy,
+    FORMAT_VERSION,
+};
 pub use compiled::{CompiledModel, CompiledScorer, ScoringEngine};
 pub use grow::{grow_rule, GrowOptions, GrownRule, RecallGuard};
 pub use learn::{FitReport, PnruleLearner};

@@ -306,6 +306,119 @@ fn error_displays_lead_with_the_variant_name() {
     }
     .to_string()
     .starts_with("Malformed"));
+    assert!(ArtifactError::RetriesExhausted {
+        attempts: 3,
+        last: Box::new(ArtifactError::ChecksumMismatch)
+    }
+    .to_string()
+    .starts_with("RetriesExhausted"));
+}
+
+#[test]
+fn load_with_retry_succeeds_and_scores_identically() {
+    let (artifact, _) = trained_artifact();
+    let dir = std::env::temp_dir().join(format!("pnr_retry_ok_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.artifact");
+    artifact.save(&path).unwrap();
+    let back = pnr_core::load_with_retry(&path, &pnr_core::RetryPolicy::default()).unwrap();
+    assert_eq!(back.schema_fingerprint(), artifact.schema_fingerprint());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_with_retry_reports_deterministic_failures_immediately() {
+    // A missing file is not transient: exactly one attempt, a plain `Io`
+    // error (not `RetriesExhausted`), and no backoff delay.
+    let start = std::time::Instant::now();
+    let err = pnr_core::load_with_retry(
+        Path::new("/nonexistent/never/m.artifact"),
+        &pnr_core::RetryPolicy::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ArtifactError::Io(_)), "{err}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_millis(500),
+        "a deterministic failure must not back off"
+    );
+}
+
+#[test]
+fn retry_transient_backs_off_then_gives_up_typed() {
+    let policy = pnr_core::RetryPolicy {
+        attempts: 3,
+        base_delay: std::time::Duration::from_millis(1),
+        max_delay: std::time::Duration::from_millis(2),
+    };
+    // Always-transient failures: all attempts consumed, typed give-up.
+    let mut calls = 0u32;
+    let err = pnr_core::retry_transient(
+        &policy,
+        |_| true,
+        || -> Result<(), ArtifactError> {
+            calls += 1;
+            Err(ArtifactError::Io(std::io::Error::from(
+                std::io::ErrorKind::TimedOut,
+            )))
+        },
+    )
+    .unwrap_err();
+    assert_eq!(calls, 3);
+    match err {
+        ArtifactError::RetriesExhausted { attempts, last } => {
+            assert_eq!(attempts, 3);
+            assert!(matches!(*last, ArtifactError::Io(_)));
+        }
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+
+    // Success on a later attempt clears the error.
+    let mut calls = 0u32;
+    let ok = pnr_core::retry_transient(
+        &policy,
+        |_| true,
+        || {
+            calls += 1;
+            if calls < 3 {
+                Err(ArtifactError::Io(std::io::Error::from(
+                    std::io::ErrorKind::Interrupted,
+                )))
+            } else {
+                Ok(42u32)
+            }
+        },
+    )
+    .unwrap();
+    assert_eq!(ok, 42);
+    assert_eq!(calls, 3);
+}
+
+#[test]
+fn retry_policy_delays_grow_and_cap() {
+    let policy = pnr_core::RetryPolicy {
+        attempts: 10,
+        base_delay: std::time::Duration::from_millis(10),
+        max_delay: std::time::Duration::from_millis(35),
+    };
+    assert_eq!(policy.delay(0), std::time::Duration::from_millis(10));
+    assert_eq!(policy.delay(1), std::time::Duration::from_millis(20));
+    assert_eq!(policy.delay(2), std::time::Duration::from_millis(35));
+    assert_eq!(policy.delay(31), std::time::Duration::from_millis(35));
+    assert_eq!(policy.delay(40), std::time::Duration::from_millis(35));
+    // transient classification covers exactly the retryable kinds
+    for kind in [
+        std::io::ErrorKind::Interrupted,
+        std::io::ErrorKind::WouldBlock,
+        std::io::ErrorKind::TimedOut,
+    ] {
+        assert!(pnr_core::is_transient_io(&std::io::Error::from(kind)));
+    }
+    for kind in [
+        std::io::ErrorKind::NotFound,
+        std::io::ErrorKind::PermissionDenied,
+    ] {
+        assert!(!pnr_core::is_transient_io(&std::io::Error::from(kind)));
+    }
 }
 
 proptest! {

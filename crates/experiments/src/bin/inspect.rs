@@ -101,7 +101,7 @@ fn bail(problem: &str) -> ! {
     eprintln!(
         "usage: inspect <dataset> [--method m] [--rp f] [--rn f] [--trace] [--scale f] [--seed n]"
     );
-    std::process::exit(2);
+    std::process::exit(pnr_core::exit::USAGE);
 }
 
 /// Renders the recorded fit telemetry: per-phase span timings, every

@@ -18,9 +18,11 @@
 //! decision totals) always goes to stderr so it never mixes with the
 //! stream.
 //!
-//! Exit codes: 0 success, 1 the artifact or input could not be used
-//! (corruption surfaces here as a `ChecksumMismatch: …` line on
-//! stderr), 2 bad invocation.
+//! Exit codes follow the serving-binary convention (`pnr_core::exit`):
+//! 0 success, 1 the artifact or input could not be used (corruption
+//! surfaces here as a `ChecksumMismatch: …` line on stderr), 2 bad
+//! invocation. Artifact loads retry transient I/O failures with bounded
+//! exponential backoff before giving up.
 
 use pnr_core::{MissingColumnPolicy, RecordError, ScoringEngine, ServingModel, UnknownPolicy};
 use pnr_telemetry::{Counter, RecordingSink, TelemetrySink};
@@ -35,14 +37,14 @@ const USAGE: &str = "usage: predict --model <file.artifact> --input <file.csv> \
 fn bail(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!("{USAGE}");
-    std::process::exit(2);
+    std::process::exit(pnr_core::exit::USAGE);
 }
 
 /// Failure after a well-formed invocation (unusable artifact or input):
 /// print the typed error and exit 1, never panic.
 fn fail(problem: impl std::fmt::Display) -> ! {
     eprintln!("error: {problem}");
-    std::process::exit(1);
+    std::process::exit(pnr_core::exit::DATA_FAILURE);
 }
 
 struct Options {
@@ -120,7 +122,10 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
-    let artifact = match pnr_core::ModelArtifact::load(Path::new(&opts.model)) {
+    let artifact = match pnr_core::load_with_retry(
+        Path::new(&opts.model),
+        &pnr_core::RetryPolicy::default(),
+    ) {
         Ok(a) => a,
         Err(e) => fail(e),
     };

@@ -102,12 +102,12 @@ fn main() {
                 Some(v) => dir = v,
                 None => {
                     eprintln!("error: --out requires a value");
-                    std::process::exit(2);
+                    std::process::exit(pnr_core::exit::USAGE);
                 }
             },
             other => {
                 eprintln!("error: unknown argument {other}; expected --out <dir>");
-                std::process::exit(2);
+                std::process::exit(pnr_core::exit::USAGE);
             }
         }
     }

@@ -28,12 +28,12 @@ fn main() {
                 Some(v) => dir = v,
                 None => {
                     eprintln!("error: --out requires a value");
-                    std::process::exit(2);
+                    std::process::exit(pnr_core::exit::USAGE);
                 }
             },
             other => {
                 eprintln!("error: unknown argument {other}; expected --out <dir>");
-                std::process::exit(2);
+                std::process::exit(pnr_core::exit::USAGE);
             }
         }
     }
@@ -106,6 +106,6 @@ fn main() {
     }
     println!("\n{passed}/{} shape checks passed", checks.len());
     if passed * 2 < checks.len() {
-        std::process::exit(1);
+        std::process::exit(pnr_core::exit::DATA_FAILURE);
     }
 }

@@ -307,3 +307,93 @@ fn kdd_csv_rejects_unknown_columns_with_the_valid_list() {
     assert!(stderr.contains("protocol_type"), "names listed: {stderr}");
     assert!(stderr.contains("class"), "{stderr}");
 }
+
+#[test]
+fn kdd_csv_fault_flags_inject_deterministically_and_report_a_census() {
+    let dir = temp_dir("faults");
+    let csv = dir.join("hostile.csv");
+    let args = [
+        "--rows",
+        "300",
+        "--seed",
+        "5",
+        "--malformed-rate",
+        "0.1",
+        "--drift-rate",
+        "0.1",
+        "--out",
+        csv.to_str().unwrap(),
+    ];
+    let out = run("kdd_csv", &args);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("fault census:"), "{stderr}");
+    assert!(stderr.contains("clean)"), "{stderr}");
+
+    // same seed, same rates: byte-identical hostile stream
+    let csv2 = dir.join("hostile2.csv");
+    let mut args2: Vec<&str> = args.to_vec();
+    args2[9] = csv2.to_str().unwrap();
+    let out = run("kdd_csv", &args2);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        std::fs::read(&csv).unwrap(),
+        std::fs::read(&csv2).unwrap(),
+        "fault injection is deterministic in the seed"
+    );
+
+    // the hostile stream drives the serving fault paths end to end:
+    // predict survives it (exit 0) and quarantines/flags what the
+    // injector wrote
+    let artifact = make_artifact(&dir);
+    let out = run(
+        "predict",
+        &[
+            "--model",
+            artifact.to_str().unwrap(),
+            "--input",
+            csv.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let report = stderr_of(&out);
+    let quarantined = counter_value(&report, "rows_quarantined=");
+    let unseen = counter_value(&report, "unseen_category_hits=");
+    let non_finite = counter_value(&report, "nan_numeric_hits=");
+    assert!(quarantined > 0, "malformed rows quarantined: {report}");
+    assert!(unseen > 0, "drifted categories flagged: {report}");
+    assert!(non_finite > 0, "non-finite numerics flagged: {report}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Extracts `prefix<digits>` from a serving report line.
+fn counter_value(report: &str, prefix: &str) -> u64 {
+    let start = report.find(prefix).map(|i| i + prefix.len());
+    start
+        .map(|s| {
+            report[s..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .and_then(|d| d.parse().ok())
+        .unwrap_or_else(|| panic!("no {prefix} in report: {report}"))
+}
+
+#[test]
+fn kdd_csv_rejects_out_of_range_fault_rates() {
+    for args in [
+        ["--malformed-rate", "1.5"],
+        ["--malformed-rate", "-0.1"],
+        ["--drift-rate", "2"],
+        ["--drift-rate", "nope"],
+    ] {
+        let out = run("kdd_csv", &args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            stderr_of(&out).contains("usage: kdd_csv"),
+            "{}",
+            stderr_of(&out)
+        );
+    }
+}

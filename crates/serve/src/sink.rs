@@ -1,0 +1,251 @@
+//! The daemon's telemetry sink: lock-free counters plus latency
+//! histograms with percentile extraction.
+//!
+//! [`ServeSink`] implements [`TelemetrySink`] so the scoring hot path —
+//! `ServingModel` per-record counters and the daemon's own robustness
+//! counters — reports through the exact same interface the learners use.
+//! On top of the counter array it turns `serve_request` / `serve_swap`
+//! span closes into [`LatencyHistogram`] samples, so latency percentiles
+//! come out of the telemetry spans rather than a separate timing path.
+//!
+//! The histogram is log₂-bucketed: recording is one `fetch_add` on an
+//! atomic bucket (workers never contend on a lock for timing), and a
+//! percentile reads as "the bucket upper bound where the cumulative
+//! count crosses the rank" — coarse (within 2× of exact) but entirely
+//! allocation- and lock-free on the record path, which is what a
+//! per-request code path wants.
+
+use pnr_telemetry::{Counter, SpanKind, TelemetrySink, N_COUNTERS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: covers 1ns .. ~584 years, i.e. every `u64`
+/// nanosecond value.
+const N_BUCKETS: usize = 64;
+
+/// A fixed log₂-bucketed histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // bucket b holds values in (2^(b-1), 2^b]; 0 lands in bucket 0
+        (u64::BITS - ns.leading_zeros()) as usize % N_BUCKETS
+    }
+
+    /// Upper bound (ns) of bucket `b`.
+    fn upper_bound(b: usize) -> u64 {
+        1u64 << b
+    }
+
+    /// Records one duration.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The duration (ns) below which at least `p` (in `[0, 1]`) of the
+    /// samples fall, reported as the matching bucket's upper bound.
+    /// `None` on an empty histogram.
+    pub fn percentile_ns(&self, p: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in 0..N_BUCKETS {
+            seen += self.buckets[b].load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(Self::upper_bound(b));
+            }
+        }
+        Some(Self::upper_bound(N_BUCKETS - 1))
+    }
+
+    /// [`percentile_ns`](Self::percentile_ns) in milliseconds.
+    pub fn percentile_ms(&self, p: f64) -> Option<f64> {
+        self.percentile_ns(p).map(|ns| ns as f64 / 1e6)
+    }
+
+    /// One NDJSON latency line (no trailing newline) for reports:
+    /// `{"record":"latency","kind":...,"count":...,"p50_ms":...,...}`.
+    pub fn ndjson_line(&self, kind: &str) -> String {
+        let fmt = |p: f64| {
+            self.percentile_ms(p)
+                .map(|ms| format!("{ms:.3}"))
+                .unwrap_or_else(|| "null".to_string())
+        };
+        format!(
+            "{{\"record\":\"latency\",\"kind\":\"{kind}\",\"count\":{},\
+             \"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{}}}",
+            self.count(),
+            fmt(0.50),
+            fmt(0.95),
+            fmt(0.99),
+        )
+    }
+}
+
+/// The daemon-wide sink: one atomic counter per [`Counter`] plus request
+/// and swap latency histograms fed by span closes.
+#[derive(Debug, Default)]
+pub struct ServeSink {
+    counters: [AtomicU64; N_COUNTERS],
+    request_latency: LatencyHistogram,
+    swap_latency: LatencyHistogram,
+}
+
+impl ServeSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        ServeSink::default()
+    }
+
+    /// Current value of one counter.
+    pub fn value(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// The `serve_request` latency histogram.
+    pub fn request_latency(&self) -> &LatencyHistogram {
+        &self.request_latency
+    }
+
+    /// The `serve_swap` latency histogram.
+    pub fn swap_latency(&self) -> &LatencyHistogram {
+        &self.swap_latency
+    }
+
+    /// The full telemetry report as NDJSON lines (no trailing newlines):
+    /// every counter in [`Counter::ALL`] order, then one latency line per
+    /// histogram. This is what the daemon flushes on graceful drain.
+    pub fn ndjson_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = Counter::ALL
+            .iter()
+            .map(|&c| {
+                format!(
+                    "{{\"record\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+                    c.name(),
+                    self.value(c)
+                )
+            })
+            .collect();
+        lines.push(
+            self.request_latency
+                .ndjson_line(SpanKind::ServeRequest.name()),
+        );
+        lines.push(self.swap_latency.ndjson_line(SpanKind::ServeSwap.name()));
+        lines
+    }
+}
+
+impl TelemetrySink for ServeSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn span_open(&self, _kind: SpanKind, _label: &str) {}
+
+    fn span_close(&self, kind: SpanKind, wall_ns: u64) {
+        match kind {
+            SpanKind::ServeRequest => self.request_latency.record_ns(wall_ns),
+            SpanKind::ServeSwap => self.swap_latency.record_ns(wall_ns),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnr_telemetry::Span;
+
+    #[test]
+    fn histogram_percentiles_are_monotone_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.percentile_ns(0.50).unwrap();
+        let p99 = h.percentile_ns(0.99).unwrap();
+        assert!(p50 >= 200, "p50 bound {p50} covers the median sample");
+        assert!(p99 >= 100_000, "p99 bound {p99} covers the tail sample");
+        assert!(p50 <= p99, "percentiles are monotone");
+        // upper bound is within 2x of the true value
+        assert!(p99 <= 2 * 131_072, "{p99}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_ns(0.5), None);
+        assert!(h.ndjson_line("x").contains("\"p50_ms\":null"));
+    }
+
+    #[test]
+    fn zero_and_max_durations_do_not_panic() {
+        let h = LatencyHistogram::new();
+        h.record_ns(0);
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile_ns(1.0).is_some());
+    }
+
+    #[test]
+    fn sink_routes_spans_to_the_right_histogram() {
+        let sink = ServeSink::new();
+        {
+            let _req = Span::enter(&sink, SpanKind::ServeRequest, "r");
+        }
+        {
+            let _swap = Span::enter(&sink, SpanKind::ServeSwap, "s");
+        }
+        {
+            // non-serve spans are ignored by the histograms
+            let _fit = Span::enter(&sink, SpanKind::Fit, "f");
+        }
+        assert_eq!(sink.request_latency().count(), 1);
+        assert_eq!(sink.swap_latency().count(), 1);
+    }
+
+    #[test]
+    fn ndjson_report_covers_every_counter_and_both_histograms() {
+        let sink = ServeSink::new();
+        sink.add(Counter::RequestsServed, 3);
+        let lines = sink.ndjson_lines();
+        assert_eq!(lines.len(), N_COUNTERS + 2);
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"requests_served\"") && l.contains(":3}")));
+        assert!(lines.iter().any(|l| l.contains("\"serve_request\"")));
+        assert!(lines.iter().any(|l| l.contains("\"serve_swap\"")));
+        for line in &lines {
+            assert!(serde_json::parse(line).is_ok(), "unparseable: {line}");
+        }
+    }
+}

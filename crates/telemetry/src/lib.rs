@@ -12,8 +12,11 @@
 //!   candidate conditions evaluated, candidate charges mirrored against
 //!   the rules crate's `BudgetTracker`, `ViewIndex` warm projection hits
 //!   vs cold builds, MDL-pruned N-rules, rows swept by the ScoreMatrix
-//!   `first_match` pass, and the serving layer's row accounting (rows
-//!   scored vs quarantined, unseen-category and non-finite-numeric hits).
+//!   `first_match` pass, the serving layer's row accounting (rows
+//!   scored vs quarantined, unseen-category and non-finite-numeric hits),
+//!   and the scoring daemon's robustness accounting (requests served vs
+//!   shed, deadline aborts, caught worker panics, model swaps vs rejected
+//!   swaps).
 //!
 //! Two sinks are provided. [`NoopSink`] is the default everywhere: it
 //! reports `enabled() == false`, so instrumented code skips label
@@ -38,7 +41,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct [`Counter`]s (size of the recording array).
-pub const N_COUNTERS: usize = 11;
+pub const N_COUNTERS: usize = 17;
 
 /// Monotonic counter identities. Stored in a fixed array indexed by the
 /// enum discriminant — deliberately not a hash map, so iteration order
@@ -78,6 +81,23 @@ pub enum Counter {
     /// record whose P/N routing ran on dispatch tables instead of the
     /// per-rule interpreter).
     CompiledDispatchHits,
+    /// Scoring requests the daemon answered (success or typed per-record
+    /// error — everything except a shed request).
+    RequestsServed,
+    /// Scoring requests rejected or dropped by queue backpressure before
+    /// any scoring ran.
+    RequestsShed,
+    /// Requests (or request remainders) aborted because their wall-clock
+    /// deadline expired before or during scoring.
+    DeadlineExceeded,
+    /// Worker panics caught by the daemon's isolation boundary; each one
+    /// produced a typed error response and a respawned worker.
+    WorkerPanics,
+    /// Model hot-swaps that validated and published a new serving epoch.
+    ModelSwaps,
+    /// Hot-swap attempts rejected during off-path validation (corrupt
+    /// artifact, bad schema, unreadable file); the old epoch kept serving.
+    SwapFailures,
 }
 
 impl Counter {
@@ -94,6 +114,12 @@ impl Counter {
         Counter::UnseenCategoryHits,
         Counter::NanNumericHits,
         Counter::CompiledDispatchHits,
+        Counter::RequestsServed,
+        Counter::RequestsShed,
+        Counter::DeadlineExceeded,
+        Counter::WorkerPanics,
+        Counter::ModelSwaps,
+        Counter::SwapFailures,
     ];
 
     /// Stable snake_case name used in NDJSON lines and rendered tables.
@@ -110,6 +136,12 @@ impl Counter {
             Counter::UnseenCategoryHits => "unseen_category_hits",
             Counter::NanNumericHits => "nan_numeric_hits",
             Counter::CompiledDispatchHits => "compiled_dispatch_hits",
+            Counter::RequestsServed => "requests_served",
+            Counter::RequestsShed => "requests_shed",
+            Counter::DeadlineExceeded => "deadline_exceeded",
+            Counter::WorkerPanics => "worker_panics",
+            Counter::ModelSwaps => "model_swaps",
+            Counter::SwapFailures => "swap_failures",
         }
     }
 
@@ -138,6 +170,11 @@ pub enum SpanKind {
     TuneCell,
     /// One baseline (RIPPER / C4.5) fit, coarse — no interior spans.
     BaselineFit,
+    /// One scoring request handled by a serving-daemon worker (queue wait
+    /// excluded; the span covers reconciliation + rule evaluation).
+    ServeRequest,
+    /// One hot-swap: artifact load + validation + epoch publication.
+    ServeSwap,
 }
 
 impl SpanKind {
@@ -152,6 +189,8 @@ impl SpanKind {
             SpanKind::ScoreMatrix => "score_matrix",
             SpanKind::TuneCell => "tune_cell",
             SpanKind::BaselineFit => "baseline_fit",
+            SpanKind::ServeRequest => "serve_request",
+            SpanKind::ServeSwap => "serve_swap",
         }
     }
 

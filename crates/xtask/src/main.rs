@@ -58,7 +58,7 @@ use std::process::ExitCode;
 /// roster. `cargo xtask scopes` fails when a directory on disk is missing
 /// here (a new crate would silently escape the scoped lints) or when an
 /// entry no longer exists on disk (stale roster).
-const KNOWN_CRATES: [&str; 12] = [
+const KNOWN_CRATES: [&str; 13] = [
     "bench",
     "c45",
     "core",
@@ -68,15 +68,27 @@ const KNOWN_CRATES: [&str; 12] = [
     "metrics",
     "ripper",
     "rules",
+    "serve",
     "synth",
     "telemetry",
     "xtask",
 ];
 /// Crates whose non-test code must not panic via `.unwrap()`/`.expect()`.
-const LIB_UNWRAP_CRATES: [&str; 4] = ["data", "rules", "core", "telemetry"];
+/// `serve` is here because the daemon sits behind a panic boundary that
+/// must never be the *normal* error path.
+const LIB_UNWRAP_CRATES: [&str; 5] = ["data", "rules", "core", "telemetry", "serve"];
 /// Crates on the learner path where iteration order feeds rule ordering,
-/// plus telemetry, whose export order must be deterministic.
-const NONDET_ITER_CRATES: [&str; 6] = ["data", "rules", "core", "ripper", "c45", "telemetry"];
+/// plus telemetry and serving, whose export/report order must be
+/// deterministic.
+const NONDET_ITER_CRATES: [&str; 7] = [
+    "data",
+    "rules",
+    "core",
+    "ripper",
+    "c45",
+    "telemetry",
+    "serve",
+];
 /// Crates doing row-index/code arithmetic.
 const LOSSY_CAST_CRATES: [&str; 6] = ["data", "metrics", "rules", "core", "ripper", "c45"];
 /// Crates that may spawn worker threads on the learner path; every
@@ -94,10 +106,11 @@ const TELEMETRY_GATE_CRATES: [&str; 2] = ["rules", "core"];
 /// saved artifact and a caller's data stream, so they carry the core's
 /// no-panic and deterministic-iteration discipline even though their
 /// host crates (experiments, kddsim) do not as a whole.
-const SERVING_PATH_FILES: [&str; 4] = [
+const SERVING_PATH_FILES: [&str; 5] = [
     "crates/experiments/src/artifact_out.rs",
     "crates/experiments/src/bin/kdd_csv.rs",
     "crates/experiments/src/bin/predict.rs",
+    "crates/kddsim/src/faults.rs",
     "crates/kddsim/src/schema.rs",
 ];
 
@@ -383,6 +396,22 @@ mod tests {
             "crates/core/src/compiled.rs",
         ] {
             assert_eq!(rules_for(compiled), lints::ALL_RULES, "{compiled}");
+        }
+        // The scoring daemon (library, both binaries) answers untrusted
+        // network traffic: it carries the no-panic and deterministic-
+        // iteration discipline, but not the learner-only float/merge
+        // rules.
+        for serve in [
+            "crates/serve/src/daemon.rs",
+            "crates/serve/src/pool.rs",
+            "crates/serve/src/bin/pnr_serve.rs",
+            "crates/serve/src/bin/pnr_loadgen.rs",
+        ] {
+            assert_eq!(
+                rules_for(serve),
+                ["float-eq", "lib-unwrap", "nondet-iter"],
+                "{serve}"
+            );
         }
     }
 
