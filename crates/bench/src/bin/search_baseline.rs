@@ -8,6 +8,11 @@
 //! cargo run --release -p pnr-bench --bin search_baseline
 //! ```
 //!
+//! Regenerating from a machine *less* parallel than the one that produced
+//! the committed baseline is refused (it would clobber real multi-core
+//! measurements with `threaded_speedup: null`); pass `--force` to
+//! overwrite anyway.
+//!
 //! Numbers are machine-dependent; the committed file records the machine's
 //! detected parallelism alongside the timings so speedups are interpreted
 //! in context. The interesting *relative* quantities are:
@@ -71,6 +76,24 @@ fn time_ns(iters: usize, mut f: impl FnMut()) -> (f64, f64) {
 }
 
 fn main() {
+    // Guard first: refuse to clobber a more-parallel machine's baseline
+    // before spending minutes measuring (see `pnr_bench::overwrite_allowed`).
+    let force = std::env::args().any(|a| a == "--force");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let out = std::path::Path::new("BENCH_search.json");
+    let recorded = pnr_bench::recorded_parallelism(out);
+    if !pnr_bench::overwrite_allowed(recorded, cores as u64, force) {
+        eprintln!(
+            "refusing to overwrite {}: it was recorded with detected_parallelism {} \
+             but this machine has {}; regenerating here would erase the multi-core \
+             measurements. Pass --force to overwrite anyway.",
+            out.display(),
+            recorded.unwrap_or(0),
+            cores,
+        );
+        std::process::exit(1);
+    }
+
     let n = 50_000usize;
     let data = nsyn3_dataset(n);
     let flags = target_flags(&data, "C");
@@ -134,7 +157,6 @@ fn main() {
 
     // Detected parallelism, honestly: a single-core run cannot measure a
     // threaded speedup (only thread overhead), so the ratio is withheld.
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let (thr_speedup, thr_note) = speedup_field(cores, seq_mean, par_mean);
     let json = serde_json::to_string_pretty(
         &serde_json::parse(&format!(

@@ -8,6 +8,31 @@
 use pnr_data::Dataset;
 use pnr_synth::numeric::NumericModelConfig;
 use pnr_synth::SynthScale;
+use std::path::Path;
+
+/// Whether a baseline writer may overwrite the committed baseline file.
+///
+/// A baseline regenerated on a *less* parallel machine silently erases the
+/// multi-core measurements (and their speedup claims) with strictly less
+/// informative numbers — the 1-core-clobbers-8-core failure mode. The
+/// writer must refuse unless the current machine is at least as parallel
+/// as the recorded one, or the user explicitly passes `--force`.
+/// `existing_parallelism` is `None` when there is no baseline on disk (or
+/// it carries no reading), which always allows the write.
+pub fn overwrite_allowed(existing_parallelism: Option<u64>, current: u64, force: bool) -> bool {
+    force || existing_parallelism.map_or(true, |previous| current >= previous)
+}
+
+/// The `detected_parallelism` recorded in an existing baseline JSON file,
+/// or `None` when the file is absent, unparseable, or lacks the field —
+/// all of which mean "nothing worth protecting".
+pub fn recorded_parallelism(path: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match serde_json::parse(&text).ok()?.get("detected_parallelism")? {
+        serde_json::Value::U64(n) => Some(*n),
+        _ => None,
+    }
+}
 
 /// A small nsyn3-model dataset (benchmark workhorse).
 pub fn nsyn3_dataset(n_records: usize) -> Dataset {
@@ -33,6 +58,41 @@ pub fn target_flags(data: &Dataset, class: &str) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn less_parallel_machine_cannot_clobber_the_baseline() {
+        assert!(!overwrite_allowed(Some(8), 1, false), "1 core vs 8: refuse");
+        assert!(!overwrite_allowed(Some(8), 7, false));
+    }
+
+    #[test]
+    fn equal_or_more_parallel_machine_may_overwrite() {
+        assert!(overwrite_allowed(Some(8), 8, false));
+        assert!(overwrite_allowed(Some(8), 16, false));
+        assert!(overwrite_allowed(None, 1, false), "no baseline: allow");
+    }
+
+    #[test]
+    fn force_overrides_the_guard() {
+        assert!(overwrite_allowed(Some(64), 1, true));
+    }
+
+    #[test]
+    fn recorded_parallelism_reads_the_field_and_tolerates_garbage() {
+        let dir = std::env::temp_dir().join(format!("pnr_bench_guard_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(&good, r#"{"bench": "x", "detected_parallelism": 8}"#).unwrap();
+        assert_eq!(recorded_parallelism(&good), Some(8));
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{not json").unwrap();
+        assert_eq!(recorded_parallelism(&bad), None);
+        let missing_field = dir.join("missing.json");
+        std::fs::write(&missing_field, r#"{"bench": "x"}"#).unwrap();
+        assert_eq!(recorded_parallelism(&missing_field), None);
+        assert_eq!(recorded_parallelism(&dir.join("absent.json")), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
 
     #[test]
     fn fixtures_build() {

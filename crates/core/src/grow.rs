@@ -82,6 +82,13 @@ pub struct GrowOptions {
     /// `Some(1)` = sequential, `Some(k)` = forced threaded path with at
     /// most `k` workers. The learned rule is bit-identical either way.
     pub search_workers: Option<usize>,
+    /// Row-shard count forwarded to the condition search (see
+    /// [`SearchOptions::row_shards`]): `None` (default) keeps one shard —
+    /// the unsharded arithmetic — while `Some(k)` accumulates statistics
+    /// over `k` contiguous row chunks merged in shard-index order. The
+    /// shard plan, not the worker count, fixes the float grouping, so a
+    /// given setting learns the same rule on any machine.
+    pub row_shards: Option<usize>,
 }
 
 impl GrowOptions {
@@ -97,6 +104,7 @@ impl GrowOptions {
             budget: None,
             sink: pnr_telemetry::noop(),
             search_workers: None,
+            row_shards: None,
         }
     }
 }
@@ -124,6 +132,7 @@ pub fn grow_rule(view: &TaskView<'_>, opts: &GrowOptions) -> Option<GrownRule> {
         budget: opts.budget.clone(),
         sink: opts.sink.clone(),
         max_workers: opts.search_workers,
+        row_shards: opts.row_shards,
         ..Default::default()
     };
 

@@ -28,7 +28,7 @@ use std::sync::Arc;
 /// One accepted N-rule with its discovery-time statistics over the N-view
 /// (`stats.pos` = false-positive weight removed, `stats.neg()` =
 /// original-target weight sacrificed).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NRule {
     /// The rule.
     pub rule: Rule,
@@ -141,6 +141,42 @@ pub fn learn_n_rules_with_sink(
     budget: Option<&Arc<BudgetTracker>>,
     sink: &Arc<dyn TelemetrySink>,
 ) -> NPhaseResult {
+    learn_n_rules_resumable(
+        pooled,
+        orig_pos_total,
+        covered_pos,
+        params,
+        budget,
+        sink,
+        Vec::new(),
+        &mut |_| {},
+    )
+}
+
+/// The full N-phase loop with checkpoint/resume hooks: `seed` rules are
+/// **replayed** — their DL bookkeeping, recall sacrifice and coverage
+/// removal folded in the original `+=` order without re-searching, plus one
+/// budget rule charge each — before the covering loop continues live, and
+/// `on_rule` is invoked with the accepted-so-far rule list after every
+/// *new* (non-seed) acceptance.
+///
+/// Seed rules are the **pre-MDL-truncation** accepted list (checkpoints
+/// are written inside the loop, before truncation runs); replay rebuilds
+/// the DL trace bit-exactly, so the final truncation of a resumed phase
+/// matches the uninterrupted run. Callers resuming under a
+/// [`BudgetTracker`] must pre-charge the checkpointed candidate count
+/// themselves (see [`crate::fit_checkpoint`]).
+#[allow(clippy::too_many_arguments)]
+pub fn learn_n_rules_resumable(
+    pooled: &TaskView<'_>,
+    orig_pos_total: f64,
+    covered_pos: f64,
+    params: &PnruleParams,
+    budget: Option<&Arc<BudgetTracker>>,
+    sink: &Arc<dyn TelemetrySink>,
+    seed: Vec<NRule>,
+    on_rule: &mut dyn FnMut(&[NRule]),
+) -> NPhaseResult {
     let _phase_span = Span::enter(sink.as_ref(), SpanKind::NPhase, "n_phase");
     params.validate();
     let mut result = NPhaseResult::default();
@@ -182,7 +218,40 @@ pub fn learn_n_rules_with_sink(
     } else {
         StopReason::Exhausted
     };
-    while remaining.pos_weight() > 0.0 {
+
+    // --- Replay checkpointed rules (no search, no callback): identical
+    // float operations in identical order rebuild the DL trace and recall
+    // state bit-exactly. ---
+    let mut replay_stopped = false;
+    for seeded in seed {
+        lens.push(seeded.rule.len());
+        covered += seeded.stats.total; // lint:allow(unordered-float-sum) — sequential rule-order accumulation (replay)
+        covered_orig += seeded.stats.neg(); // lint:allow(unordered-float-sum) — sequential rule-order accumulation (replay)
+        removed_fp += seeded.stats.pos; // lint:allow(unordered-float-sum) — sequential rule-order accumulation (replay)
+        dl = total_dl(
+            n_possible,
+            &lens,
+            covered,
+            approx::clamp_mass(n_view_total - covered),
+            approx::clamp_mass(covered_orig),
+            approx::clamp_mass(fp_total - removed_fp),
+        );
+        result.dl_trace.push(dl);
+        min_dl = min_dl.min(dl);
+        retained_pos -= seeded.stats.neg();
+        let covered_rows = remaining.rows_matching_rule(&seeded.rule);
+        result.rules.push(seeded);
+        remaining = remaining.without(&covered_rows);
+        if budget.is_some_and(|b| !b.charge_rule()) {
+            // The original run stopped right here too: the replayed rule
+            // was its last.
+            result.stop_reason = StopReason::BudgetExhausted;
+            replay_stopped = true;
+            break;
+        }
+    }
+
+    while !replay_stopped && remaining.pos_weight() > 0.0 {
         if result.rules.len() >= params.max_n_rules {
             result.stop_reason = StopReason::RuleCap;
             break;
@@ -217,6 +286,7 @@ pub fn learn_n_rules_with_sink(
             budget: budget.cloned(),
             sink: sink.clone(),
             search_workers: params.search_workers,
+            row_shards: params.row_shards,
         };
         // Label formatting is gated so the disabled path allocates nothing
         // per rule.
@@ -308,6 +378,7 @@ pub fn learn_n_rules_with_sink(
             stats: grown.stats,
         });
         remaining = remaining.without(&covered_rows);
+        on_rule(&result.rules);
         if budget.is_some_and(|b| !b.charge_rule()) {
             // The crossing rule is valid and kept; stop growing more.
             result.stop_reason = StopReason::BudgetExhausted;

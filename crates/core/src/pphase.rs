@@ -13,10 +13,11 @@ use crate::nphase::StopReason;
 use crate::params::PnruleParams;
 use pnr_rules::{BudgetTracker, CovStats, Rule, TaskView};
 use pnr_telemetry::{Span, SpanKind, TelemetrySink};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One accepted P-rule with its discovery-time statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PRule {
     /// The rule.
     pub rule: Rule,
@@ -68,6 +69,30 @@ pub fn learn_p_rules_with_sink(
     budget: Option<&Arc<BudgetTracker>>,
     sink: &Arc<dyn TelemetrySink>,
 ) -> PPhaseResult {
+    learn_p_rules_resumable(view, params, budget, sink, Vec::new(), &mut |_| {})
+}
+
+/// The full P-phase loop with checkpoint/resume hooks: `seed` rules are
+/// **replayed** — accepted without re-searching, with the same coverage
+/// removal, recall accumulation and budget rule charges the original run
+/// performed — before the covering loop continues live, and `on_rule` is
+/// invoked with the accepted-so-far rule list after every *new* (non-seed)
+/// acceptance.
+///
+/// Replay is bit-exact: seed statistics are trusted (they were computed on
+/// this same view) and folded in the original `+=` order, so a resumed
+/// phase reaches the interruption point in the exact float state of the
+/// uninterrupted run. Callers resuming under a [`BudgetTracker`] must
+/// pre-charge the checkpointed candidate count themselves — replay only
+/// charges rules (see [`crate::fit_checkpoint`]).
+pub fn learn_p_rules_resumable(
+    view: &TaskView<'_>,
+    params: &PnruleParams,
+    budget: Option<&Arc<BudgetTracker>>,
+    sink: &Arc<dyn TelemetrySink>,
+    seed: Vec<PRule>,
+    on_rule: &mut dyn FnMut(&[PRule]),
+) -> PPhaseResult {
     let _phase_span = Span::enter(sink.as_ref(), SpanKind::PPhase, "p_phase");
     params.validate();
     let target_total = view.pos_weight();
@@ -79,6 +104,27 @@ pub fn learn_p_rules_with_sink(
     let mut result = PPhaseResult::default();
     let mut remaining = view.clone();
     let mut covered_pos = 0.0;
+
+    // --- Replay checkpointed rules (no search, no callback). ---
+    let mut replay_stopped = false;
+    for seeded in seed {
+        let covered_rows = remaining.rows_matching_rule(&seeded.rule);
+        covered_pos += seeded.stats.pos; // lint:allow(unordered-float-sum) — sequential rule-order accumulation (replay)
+        result.rules.push(seeded);
+        remaining = remaining.without(&covered_rows);
+        if budget.is_some_and(|b| !b.charge_rule()) {
+            // The original run stopped right here too: the replayed rule
+            // was its last.
+            result.stop_reason = StopReason::BudgetExhausted;
+            replay_stopped = true;
+            break;
+        }
+    }
+
+    if replay_stopped {
+        result.covered_recall = covered_pos / target_total;
+        return result;
+    }
 
     loop {
         if result.rules.len() >= params.max_p_rules {
@@ -103,6 +149,7 @@ pub fn learn_p_rules_with_sink(
             budget: budget.cloned(),
             sink: sink.clone(),
             search_workers: params.search_workers,
+            row_shards: params.row_shards,
         };
         let grown = {
             // Label formatting is gated so the disabled path allocates
@@ -149,6 +196,7 @@ pub fn learn_p_rules_with_sink(
             stats: grown.stats,
         });
         remaining = remaining.without(&covered_rows);
+        on_rule(&result.rules);
         if budget.is_some_and(|b| !b.charge_rule()) {
             // The rule that crossed the limit is valid and kept; the
             // phase just must not start another.

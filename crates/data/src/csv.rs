@@ -11,7 +11,7 @@ use crate::error::DataError;
 use crate::schema::AttrType;
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// What to do with a malformed data row (wrong field count, unparsable
@@ -224,6 +224,264 @@ pub fn read_csv_str_with_report(
     Ok((b.finish(), report))
 }
 
+/// Streams a CSV source as a sequence of fixed-row-budget columnar chunks,
+/// so a dataset far larger than RAM never has to be materialised as one
+/// text buffer or one `Dataset`.
+///
+/// Each call to [`next_chunk`](Self::next_chunk) parses up to `chunk_rows`
+/// data rows into an ordinary [`Dataset`] sharing the source's schema.
+/// **Dictionary codes are stable across chunks**: every chunk's builder is
+/// pre-registered with all categorical values and class labels seen so
+/// far (the same trick the determinism harness uses for independently
+/// built datasets), so a value keeps the first-seen-order code it was
+/// assigned in its first chunk — concatenating the chunks reproduces the
+/// whole-file load's codes exactly.
+///
+/// Differences from the whole-file path, by design:
+///
+/// * attribute types must be supplied explicitly
+///   ([`CsvOptions::types`]) — inference needs a full pass, which is
+///   exactly what streaming avoids;
+/// * under [`RowPolicy::Skip`] the quarantine *counts and line numbers*
+///   match the whole-file load, but the report *order* may differ: the
+///   whole-file loader checks field counts in a first pass and value
+///   parses in a second, while the stream sees each row once.
+///
+/// One [`LoadReport`] and one skip budget span the whole stream — a
+/// malformed row is charged identically wherever a chunk boundary falls.
+#[derive(Debug)]
+pub struct ChunkedCsvReader<R: BufRead> {
+    reader: R,
+    sep: char,
+    policy: RowPolicy,
+    names: Vec<String>,
+    types: Vec<AttrType>,
+    chunk_rows: usize,
+    report: LoadReport,
+    /// Physical 1-based line number of the last line read.
+    lineno: usize,
+    /// Per-attribute dictionaries carried across chunks, in code order
+    /// (empty for numeric attributes).
+    dicts: Vec<Vec<String>>,
+    /// Class labels carried across chunks, in code order.
+    classes: Vec<String>,
+    done: bool,
+}
+
+impl<R: BufRead> ChunkedCsvReader<R> {
+    /// Reads and validates the header, returning a reader positioned at
+    /// the first data row. `chunk_rows` is the row budget per chunk
+    /// (minimum 1). Header problems are hard errors, exactly as in
+    /// [`read_csv_str_with_report`].
+    pub fn new(mut reader: R, opts: &CsvOptions, chunk_rows: usize) -> Result<Self, DataError> {
+        let Some(types) = opts.types.clone() else {
+            return Err(DataError::Csv {
+                line: 1,
+                message: "chunked reading requires explicit attribute types \
+                          (inference needs a full pass over the data)"
+                    .into(),
+            });
+        };
+        let mut lineno = 0;
+        let mut line = String::new();
+        let header = loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(DataError::Csv {
+                    line: 1,
+                    message: "missing header".into(),
+                });
+            }
+            lineno += 1;
+            let l = line.trim_end_matches(['\r', '\n']);
+            if !l.trim().is_empty() {
+                break l;
+            }
+        };
+        let names: Vec<String> = header
+            .split(opts.separator)
+            .map(|s| s.trim().to_string())
+            .collect();
+        if names.len() < 2 {
+            return Err(DataError::Csv {
+                line: 1,
+                message: "header needs at least one attribute and a class column".into(),
+            });
+        }
+        for (i, name) in names.iter().enumerate() {
+            if names[..i].contains(name) {
+                return Err(DataError::DuplicateAttribute { name: name.clone() });
+            }
+        }
+        let n_attrs = names.len() - 1;
+        if types.len() != n_attrs {
+            return Err(DataError::Csv {
+                line: 1,
+                message: format!("{} types supplied for {} attributes", types.len(), n_attrs),
+            });
+        }
+        Ok(ChunkedCsvReader {
+            reader,
+            sep: opts.separator,
+            policy: opts.on_error.clone(),
+            dicts: vec![Vec::new(); n_attrs],
+            names,
+            types,
+            chunk_rows: chunk_rows.max(1),
+            report: LoadReport::default(),
+            lineno,
+            classes: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// Attribute names (the class column name excluded).
+    pub fn attr_names(&self) -> &[String] {
+        &self.names[..self.names.len() - 1]
+    }
+
+    /// Attribute types, in column order.
+    pub fn types(&self) -> &[AttrType] {
+        &self.types
+    }
+
+    /// The cumulative quarantine report over every chunk read so far.
+    pub fn report(&self) -> &LoadReport {
+        &self.report
+    }
+
+    /// Consumes the reader, yielding the final cumulative report.
+    pub fn into_report(self) -> LoadReport {
+        self.report
+    }
+
+    /// Parses the next chunk of at most `chunk_rows` data rows, or `None`
+    /// once the source is exhausted. Every returned dataset carries the
+    /// full schema accumulated so far (all dictionary codes seen in
+    /// earlier chunks pre-registered), all rows weighted 1.0.
+    pub fn next_chunk(&mut self) -> Result<Option<Dataset>, DataError> {
+        if self.done {
+            return Ok(None);
+        }
+        let n_attrs = self.names.len() - 1;
+        let mut b = DatasetBuilder::new();
+        for (name, ty) in self.names[..n_attrs].iter().zip(&self.types) {
+            b.add_attribute(name, *ty);
+        }
+        for (a, dict) in self.dicts.iter().enumerate() {
+            for value in dict {
+                b.add_cat_value(a, value);
+            }
+        }
+        for class in &self.classes {
+            b.add_class(class);
+        }
+        let mut line = String::new();
+        while b.n_rows() < self.chunk_rows {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                // EOF; `read_line` still returns a final line that lacks a
+                // trailing newline, so nothing is lost here.
+                self.done = true;
+                break;
+            }
+            self.lineno += 1;
+            let l = line.trim_end_matches(['\r', '\n']);
+            if l.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = l.split(self.sep).map(str::trim).collect();
+            if fields.len() != self.names.len() {
+                quarantine(
+                    &self.policy,
+                    &mut self.report,
+                    self.lineno,
+                    format!("expected {} fields, got {}", self.names.len(), fields.len()),
+                )?;
+                continue;
+            }
+            let mut row_vals: Vec<Value<'_>> = Vec::with_capacity(n_attrs);
+            let mut bad: Option<String> = None;
+            for (a, field) in fields[..n_attrs].iter().enumerate() {
+                match self.types[a] {
+                    AttrType::Numeric => match field.parse::<f64>() {
+                        Ok(x) => row_vals.push(Value::Num(x)),
+                        Err(_) => {
+                            bad = Some(format!("field {a} ({field:?}) is not numeric"));
+                            break;
+                        }
+                    },
+                    AttrType::Categorical => row_vals.push(Value::Cat(field)),
+                }
+            }
+            let bad = bad.or_else(|| {
+                b.push_row(&row_vals, fields[n_attrs], 1.0)
+                    .err()
+                    .map(|e| e.to_string())
+            });
+            if let Some(message) = bad {
+                quarantine(&self.policy, &mut self.report, self.lineno, message)?;
+            }
+        }
+        if b.n_rows() == 0 {
+            // Only blank lines (or nothing) remained.
+            return Ok(None);
+        }
+        let chunk = b.finish();
+        // Read the chunk's grown dictionaries back so the next chunk's
+        // builder pre-registers them — this is the induction step keeping
+        // codes first-seen-order across the whole stream.
+        for (a, dict) in self.dicts.iter_mut().enumerate() {
+            let grown = &chunk.schema().attr(a).dict;
+            for (_, value) in grown.iter().skip(dict.len()) {
+                dict.push(value.to_string());
+            }
+        }
+        let classes = &chunk.schema().classes;
+        for (_, class) in classes.iter().skip(self.classes.len()) {
+            self.classes.push(class.to_string());
+        }
+        Ok(Some(chunk))
+    }
+}
+
+/// Loads a CSV file through [`ChunkedCsvReader`], draining every chunk
+/// into one dataset. The result (schema, dictionary codes, row order,
+/// values) is identical to [`read_csv_with_report`] with the same
+/// explicitly typed options, and the quarantine counts and line numbers
+/// match (report *order* may differ; see [`ChunkedCsvReader`]). Peak
+/// transient memory for text and parse state is bounded by `chunk_rows`
+/// rather than the file size; the columnar store being assembled is, of
+/// course, still resident.
+pub fn read_csv_chunked(
+    path: impl AsRef<Path>,
+    opts: &CsvOptions,
+    chunk_rows: usize,
+) -> Result<(Dataset, LoadReport), DataError> {
+    let file = BufReader::new(File::open(path)?);
+    let mut reader = ChunkedCsvReader::new(file, opts, chunk_rows)?;
+    let mut master = DatasetBuilder::new();
+    for (name, ty) in reader.attr_names().iter().zip(reader.types()) {
+        master.add_attribute(name, *ty);
+    }
+    while let Some(chunk) = reader.next_chunk()? {
+        master.reserve(chunk.n_rows());
+        let n_attrs = chunk.n_attrs();
+        let mut vals: Vec<Value<'_>> = Vec::with_capacity(n_attrs);
+        for row in 0..chunk.n_rows() {
+            vals.clear();
+            for a in 0..n_attrs {
+                match chunk.column(a) {
+                    Column::Num(_) => vals.push(Value::Num(chunk.num(a, row))),
+                    Column::Cat(_) => vals.push(Value::Cat(chunk.cat_name(a, row))),
+                }
+            }
+            master.push_row(&vals, chunk.class_name(chunk.label(row)), 1.0)?;
+        }
+    }
+    Ok((master.finish(), reader.into_report()))
+}
+
 /// Writes a dataset to a CSV file. See [`write_csv_string`].
 pub fn write_csv(data: &Dataset, path: impl AsRef<Path>, sep: char) -> Result<(), DataError> {
     let mut out = BufWriter::new(File::create(path)?);
@@ -235,11 +493,30 @@ pub fn write_csv(data: &Dataset, path: impl AsRef<Path>, sep: char) -> Result<()
 /// Renders a dataset as CSV text (weights are not serialised; CSV is a data
 /// interchange format, weights are a training-time construct).
 pub fn write_csv_string(data: &Dataset, sep: char) -> String {
+    let mut s = write_csv_header_string(data, sep);
+    s.push_str(&write_csv_rows_string(data, sep));
+    s
+}
+
+/// Renders only the header line (attribute names + class column), with its
+/// trailing newline. Streaming writers emit this once, then
+/// [`write_csv_rows_string`] per generated batch — `header + rows + rows +
+/// …` is byte-identical to one [`write_csv_string`] of the concatenated
+/// data (`f64` `Display` round-trips exactly, so a write/read cycle loses
+/// nothing).
+pub fn write_csv_header_string(data: &Dataset, sep: char) -> String {
     let mut s = String::new();
     for a in 0..data.n_attrs() {
         let _ = write!(s, "{}{}", data.schema().attr(a).name, sep);
     }
     s.push_str("class\n");
+    s
+}
+
+/// Renders only the data rows (no header), one line per row. See
+/// [`write_csv_header_string`].
+pub fn write_csv_rows_string(data: &Dataset, sep: char) -> String {
+    let mut s = String::new();
     for row in 0..data.n_rows() {
         for a in 0..data.n_attrs() {
             match data.column(a) {
@@ -401,6 +678,191 @@ mod tests {
         let (d, report) = read_csv_str_with_report("x,class\n1,a\n2,b\n", &opts).unwrap();
         assert_eq!(d.n_rows(), 2);
         assert!(report.skipped.is_empty());
+    }
+
+    /// Asserts that a chunked load of `text` (at the given chunk size)
+    /// matches the whole-file load exactly: row values, dictionary codes,
+    /// labels, and quarantine counts + line sets (order may differ — the
+    /// whole-file loader quarantines in two passes, the stream in one).
+    fn assert_chunked_matches_whole(text: &str, opts: &CsvOptions, chunk_rows: usize) {
+        let (whole, whole_report) = read_csv_str_with_report(text, opts).unwrap();
+        let dir = std::env::temp_dir().join("pnr_data_chunked_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("c{chunk_rows}_{}.csv", text.len()));
+        std::fs::write(&path, text).unwrap();
+        let (chunked, chunk_report) = read_csv_chunked(&path, opts, chunk_rows).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(chunked.n_rows(), whole.n_rows(), "row count");
+        assert_eq!(chunked.n_attrs(), whole.n_attrs());
+        for a in 0..whole.n_attrs() {
+            let (wd, cd) = (&whole.schema().attr(a).dict, &chunked.schema().attr(a).dict);
+            assert_eq!(
+                wd.iter().collect::<Vec<_>>(),
+                cd.iter().collect::<Vec<_>>(),
+                "dict codes attr {a}"
+            );
+            for row in 0..whole.n_rows() {
+                match whole.column(a) {
+                    Column::Num(_) => assert_eq!(
+                        chunked.num(a, row).to_bits(),
+                        whole.num(a, row).to_bits(),
+                        "attr {a} row {row}"
+                    ),
+                    Column::Cat(_) => {
+                        assert_eq!(chunked.cat(a, row), whole.cat(a, row), "attr {a} row {row}")
+                    }
+                }
+            }
+        }
+        assert_eq!(chunked.labels(), whole.labels(), "label codes");
+        assert_eq!(
+            chunk_report.n_skipped(),
+            whole_report.n_skipped(),
+            "skip count"
+        );
+        let lines = |r: &LoadReport| {
+            let mut l: Vec<usize> = r.skipped.iter().map(|(n, _)| *n).collect();
+            l.sort_unstable();
+            l
+        };
+        assert_eq!(lines(&chunk_report), lines(&whole_report), "skip lines");
+    }
+
+    #[test]
+    fn chunked_load_matches_whole_file_across_chunk_sizes() {
+        let text = "x,k,class\n1,a,c0\n2,b,c1\n3,c,c0\n4,a,c1\n5,d,c0\n6,b,c1\n7,e,c0\n";
+        let opts = CsvOptions {
+            types: Some(vec![AttrType::Numeric, AttrType::Categorical]),
+            ..Default::default()
+        };
+        for chunk_rows in [1, 2, 3, 7, 100] {
+            assert_chunked_matches_whole(text, &opts, chunk_rows);
+        }
+    }
+
+    #[test]
+    fn chunked_final_line_without_trailing_newline_is_kept() {
+        // The last record has no trailing newline: both paths must load it
+        // (satellite regression — `BufRead::read_line` still yields it).
+        let text = "x,class\n1,a\n2,b\n3,c";
+        let opts = CsvOptions {
+            types: Some(vec![AttrType::Numeric]),
+            on_error: RowPolicy::Skip { max: 4 },
+            ..Default::default()
+        };
+        for chunk_rows in [1, 2, 3, 50] {
+            assert_chunked_matches_whole(text, &opts, chunk_rows);
+        }
+        // And a final line that is both last and malformed.
+        let bad_tail = "x,class\n1,a\n2,b\nbroken";
+        for chunk_rows in [1, 2, 50] {
+            assert_chunked_matches_whole(bad_tail, &opts, chunk_rows);
+        }
+    }
+
+    #[test]
+    fn chunked_malformed_row_on_chunk_boundary_counts_once() {
+        // Data line 4 (physical line 4) is malformed. With chunk_rows = 2
+        // it is the first row the second chunk sees; with chunk_rows = 3
+        // it lands exactly on the boundary after a full chunk. The skip
+        // count and line set must match the whole-file path in every
+        // geometry (satellite regression).
+        let text = "x,class\n1,a\n2,b\n3\n4,c\n5,d\n";
+        let opts = CsvOptions {
+            types: Some(vec![AttrType::Numeric]),
+            on_error: RowPolicy::Skip { max: 4 },
+            ..Default::default()
+        };
+        for chunk_rows in [1, 2, 3, 4, 100] {
+            assert_chunked_matches_whole(text, &opts, chunk_rows);
+        }
+        // Mixed failure modes (bad field count + non-numeric) around
+        // boundaries, blank lines interleaved.
+        let messy = "x,class\n\n1,a\nnope,b\n\n2\n3,c\n4,d\nbad,e\n5,f";
+        for chunk_rows in [1, 2, 3, 100] {
+            assert_chunked_matches_whole(messy, &opts, chunk_rows);
+        }
+    }
+
+    #[test]
+    fn chunked_skip_cap_spans_chunk_boundaries() {
+        // Two malformed rows in different chunks; a budget of 1 must abort
+        // on the second even though each chunk alone sees only one.
+        let text = "x,class\n1\n2,a\n3\n4,b\n";
+        let opts = CsvOptions {
+            types: Some(vec![AttrType::Numeric]),
+            on_error: RowPolicy::Skip { max: 1 },
+            ..Default::default()
+        };
+        let dir = std::env::temp_dir().join("pnr_data_chunked_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cap.csv");
+        std::fs::write(&path, text).unwrap();
+        let err = read_csv_chunked(&path, &opts, 2).unwrap_err();
+        assert!(err.to_string().contains("skip limit"), "{err}");
+        // With budget 2 the same stream loads.
+        let opts2 = CsvOptions {
+            on_error: RowPolicy::Skip { max: 2 },
+            ..opts
+        };
+        let (d, report) = read_csv_chunked(&path, &opts2, 2).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(d.n_rows(), 2);
+        assert_eq!(report.n_skipped(), 2);
+    }
+
+    #[test]
+    fn chunked_reader_yields_bounded_chunks_with_stable_dicts() {
+        let text = "x,k,class\n1,a,c0\n2,b,c1\n3,a,c0\n4,c,c1\n5,b,c0\n";
+        let opts = CsvOptions {
+            types: Some(vec![AttrType::Numeric, AttrType::Categorical]),
+            ..Default::default()
+        };
+        let mut r =
+            ChunkedCsvReader::new(std::io::BufReader::new(text.as_bytes()), &opts, 2).unwrap();
+        assert_eq!(r.attr_names(), ["x".to_string(), "k".to_string()]);
+        let mut sizes = Vec::new();
+        let mut code_of_b = None;
+        while let Some(chunk) = r.next_chunk().unwrap() {
+            sizes.push(chunk.n_rows());
+            // "b" first appears in chunk 0 (code fixed there); every later
+            // chunk's schema must agree.
+            if let Some(code) = chunk.schema().attr(1).dict.code("b") {
+                match code_of_b {
+                    None => code_of_b = Some(code),
+                    Some(prev) => assert_eq!(code, prev, "dict code drifted across chunks"),
+                }
+            }
+        }
+        assert_eq!(sizes, [2, 2, 1], "fixed row budget per chunk");
+        assert!(r.report().skipped.is_empty());
+    }
+
+    #[test]
+    fn chunked_reader_requires_explicit_types() {
+        let err = ChunkedCsvReader::new(
+            std::io::BufReader::new("x,class\n1,a\n".as_bytes()),
+            &CsvOptions::default(),
+            8,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("explicit attribute types"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn header_rows_split_composes_to_whole_render() {
+        let text = "x,k,class\n1,a,c0\n2,b,c1\n";
+        let d = read_csv_str(text, &CsvOptions::default()).unwrap();
+        let composed = format!(
+            "{}{}",
+            write_csv_header_string(&d, ','),
+            write_csv_rows_string(&d, ',')
+        );
+        assert_eq!(composed, write_csv_string(&d, ','));
     }
 
     #[test]

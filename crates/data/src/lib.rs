@@ -44,8 +44,9 @@ pub mod weights;
 
 pub use builder::{DatasetBuilder, Value};
 pub use csv::{
-    read_csv, read_csv_str, read_csv_str_with_report, read_csv_with_report, write_csv,
-    write_csv_string, CsvOptions, LoadReport, RowPolicy,
+    read_csv, read_csv_chunked, read_csv_str, read_csv_str_with_report, read_csv_with_report,
+    write_csv, write_csv_header_string, write_csv_rows_string, write_csv_string, ChunkedCsvReader,
+    CsvOptions, LoadReport, RowPolicy,
 };
 pub use dataset::{Column, Dataset};
 pub use dict::Dictionary;

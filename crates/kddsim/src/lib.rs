@@ -68,16 +68,28 @@ pub fn generate_test(n: usize, seed: u64) -> Dataset {
 /// Generates `n` records from an explicit subclass mix (weights need not be
 /// normalised). Deterministic in `seed`.
 pub fn generate_with_mix(n: usize, seed: u64, mix: &[(Subclass, f64)]) -> Dataset {
-    assert!(!mix.is_empty(), "mix must not be empty");
-    let total: f64 = mix.iter().map(|(_, w)| w).sum();
-    assert!(total > 0.0, "mix weights must sum to a positive value");
     let mut rng = StdRng::seed_from_u64(seed);
+    let counts = apportion(n, mix);
 
     let mut b = build_schema_builder();
     b.reserve(n);
+    for ((subclass, _), &count) in mix.iter().zip(&counts) {
+        let spec = subclass.spec();
+        for _ in 0..count {
+            spec.emit(&mut b, &mut rng);
+        }
+    }
+    b.finish()
+}
 
-    // Largest-remainder apportionment gives every subclass its exact share
-    // (stochastic rounding would lose rare subclasses entirely at small n).
+/// Largest-remainder apportionment of `n` records over the mix: every
+/// subclass gets its exact share (stochastic rounding would lose rare
+/// subclasses entirely at small `n`). Pure in its inputs — the streaming
+/// and materialising generators share it so their emission plans agree.
+fn apportion(n: usize, mix: &[(Subclass, f64)]) -> Vec<usize> {
+    assert!(!mix.is_empty(), "mix must not be empty");
+    let total: f64 = mix.iter().map(|(_, w)| w).sum();
+    assert!(total > 0.0, "mix weights must sum to a positive value");
     let mut counts: Vec<usize> = mix
         .iter()
         .map(|(_, w)| ((w / total) * n as f64).floor() as usize)
@@ -92,14 +104,84 @@ pub fn generate_with_mix(n: usize, seed: u64, mix: &[(Subclass, f64)]) -> Datase
     for k in 0..n - assigned {
         counts[remainders[k % remainders.len()].0] += 1;
     }
+    counts
+}
 
-    for ((subclass, _), &count) in mix.iter().zip(&counts) {
-        let spec = subclass.spec();
-        for _ in 0..count {
-            spec.emit(&mut b, &mut rng);
+/// A streaming generator: the same records [`generate_with_mix`] would
+/// materialise, emitted as bounded-size [`Dataset`] chunks so tens of
+/// millions of rows never exist in memory at once.
+///
+/// The stream shares the materialising generator's apportionment, RNG
+/// seeding and subclass-by-subclass emission order, so the concatenation
+/// of its chunks is **bit-identical** to `generate_with_mix(n, seed, mix)`
+/// wherever the chunk boundaries fall. Every chunk carries the full fixed
+/// KDD schema ([`build_schema_builder`] pre-registers all dictionary
+/// values and classes), so chunk schemas never drift.
+#[derive(Debug)]
+pub struct MixStream {
+    rng: StdRng,
+    /// `(subclass, records still to emit)` in mix order.
+    queue: Vec<(Subclass, usize)>,
+    /// Index of the first queue entry with records left.
+    head: usize,
+    remaining: usize,
+}
+
+impl MixStream {
+    /// A stream that will emit exactly `n` records. Deterministic in
+    /// `seed`: same panics and same records as [`generate_with_mix`].
+    pub fn new(n: usize, seed: u64, mix: &[(Subclass, f64)]) -> Self {
+        let counts = apportion(n, mix);
+        MixStream {
+            rng: StdRng::seed_from_u64(seed),
+            queue: mix
+                .iter()
+                .zip(&counts)
+                .map(|((s, _), &c)| (*s, c))
+                .collect(),
+            head: 0,
+            remaining: n,
         }
     }
-    b.finish()
+
+    /// A training-distribution stream of `n` records (see
+    /// [`generate_train`]).
+    pub fn train(n: usize, seed: u64) -> Self {
+        Self::new(n, seed, &train_mix())
+    }
+
+    /// Records not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Emits the next chunk of at most `max_rows` records, or `None` once
+    /// all `n` have been emitted. Chunk boundaries may fall anywhere —
+    /// mid-subclass included — without changing a single emitted bit.
+    pub fn next_chunk(&mut self, max_rows: usize) -> Option<Dataset> {
+        if self.remaining == 0 || max_rows == 0 {
+            return None;
+        }
+        let take = max_rows.min(self.remaining);
+        let mut b = build_schema_builder();
+        b.reserve(take);
+        let mut emitted = 0;
+        while emitted < take && self.head < self.queue.len() {
+            let (subclass, left) = &mut self.queue[self.head];
+            if *left == 0 {
+                self.head += 1;
+                continue;
+            }
+            let spec = subclass.spec();
+            while *left > 0 && emitted < take {
+                spec.emit(&mut b, &mut self.rng);
+                *left -= 1;
+                emitted += 1;
+            }
+        }
+        self.remaining -= emitted;
+        Some(b.finish())
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +260,62 @@ mod tests {
     fn empty_mix_is_rejected() {
         let r = std::panic::catch_unwind(|| generate_with_mix(10, 0, &[]));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn streamed_chunks_concatenate_to_the_materialized_dataset() {
+        // Chunk boundaries cut through subclasses at several granularities;
+        // the concatenation must be bit-identical to one-shot generation.
+        let n = 3_000;
+        let whole = generate_train(n, 42);
+        for chunk_rows in [1usize, 7, 256, 1024, 10_000] {
+            let mut stream = MixStream::train(n, 42);
+            let mut row0 = 0usize;
+            let mut total = 0usize;
+            while let Some(chunk) = stream.next_chunk(chunk_rows) {
+                assert!(chunk.n_rows() <= chunk_rows);
+                for r in 0..chunk.n_rows() {
+                    assert_eq!(
+                        chunk.label(r),
+                        whole.label(row0 + r),
+                        "label at {} (chunk_rows {chunk_rows})",
+                        row0 + r
+                    );
+                    for a in 0..whole.n_attrs() {
+                        match whole.column(a) {
+                            pnr_data::Column::Num(_) => assert_eq!(
+                                chunk.num(a, r).to_bits(),
+                                whole.num(a, row0 + r).to_bits(),
+                                "attr {a} row {}",
+                                row0 + r
+                            ),
+                            pnr_data::Column::Cat(_) => assert_eq!(
+                                chunk.cat(a, r),
+                                whole.cat(a, r + row0),
+                                "attr {a} row {}",
+                                row0 + r
+                            ),
+                        }
+                    }
+                }
+                row0 += chunk.n_rows();
+                total += chunk.n_rows();
+            }
+            assert_eq!(total, n, "stream must emit exactly n rows");
+            assert_eq!(stream.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn stream_chunks_share_the_fixed_schema() {
+        let mut stream = MixStream::train(500, 9);
+        let whole = generate_train(500, 9);
+        while let Some(chunk) = stream.next_chunk(100) {
+            assert_eq!(
+                chunk.schema().fingerprint(),
+                whole.schema().fingerprint(),
+                "chunk schema drifted"
+            );
+        }
     }
 }

@@ -12,16 +12,26 @@
 //! The scan is **view-proportional**: the per-attribute sorted row lists
 //! come from the view's [`ViewIndex`](crate::view_index::ViewIndex), so a
 //! view that has shrunk to a handful of rows is not scanned through a
-//! dataset-sized mask. Attributes are independent, so large searches
-//! evaluate them **in parallel** and merge the per-attribute winners in
-//! attribute order — bit-identical to the sequential scan, including the
-//! "first best wins, lowest attribute index" tie-break.
+//! dataset-sized mask.
+//!
+//! Parallelism is two-dimensional. Attributes are independent, and a
+//! [`ShardPlan`](crate::shard::ShardPlan) additionally splits the view's
+//! rows into contiguous shards whose per-shard statistics — all weight
+//! sums — merge exactly. Workers claim `(attribute × shard)` partial tasks
+//! off a shared counter (phase A); the main thread then reduces each
+//! attribute's shard partials in **shard-index order** through
+//! [`pnr_data::weights::ordered_sum`]-style left folds, charges the budget
+//! and scores candidates in ascending attribute order (phase B). Because
+//! [`find_best_condition_sequential`] accumulates through the *same* plan,
+//! the threaded scan is bit-identical to it for any worker count —
+//! including the "first best wins, lowest attribute index" tie-break.
 
 use crate::budget::BudgetTracker;
 use crate::condition::Condition;
+use crate::shard::{worker_count, ShardPlan};
 use crate::stats::{CovStats, EvalMetric};
 use crate::task::TaskView;
-use pnr_data::weights::approx;
+use pnr_data::weights::{approx, ordered_sum};
 use pnr_data::Column;
 use pnr_telemetry::{Counter, TelemetrySink};
 use std::sync::Arc;
@@ -63,9 +73,10 @@ pub struct SearchOptions {
     /// [`crate::budget`]).
     pub budget: Option<Arc<BudgetTracker>>,
     /// Telemetry receiver. The search reports candidate-evaluation
-    /// counters and `ViewIndex` warm/cold projection hits through it;
-    /// the default no-op sink makes every report a no-op branch.
-    /// Telemetry is write-only — it never influences the search result.
+    /// counters, `ViewIndex` warm/cold projection hits and the effective
+    /// worker policy through it; the default no-op sink makes every report
+    /// a no-op branch. Telemetry is write-only — it never influences the
+    /// search result.
     pub sink: Arc<dyn TelemetrySink>,
     /// Explicit worker-thread cap. `None` (default) leaves the
     /// size-based heuristic in charge; `Some(1)` forces the sequential
@@ -74,6 +85,13 @@ pub struct SearchOptions {
     /// determinism harness uses this to prove bit-identity across
     /// thread counts on small fits.
     pub max_workers: Option<usize>,
+    /// Row-shard count for the [`ShardPlan`]. `None` (default) keeps one
+    /// shard, which reproduces the unsharded scan's float arithmetic
+    /// exactly; `Some(k)` splits the view's rows into `k` contiguous
+    /// shards (clamped to the row count). The plan — not the worker
+    /// count — fixes the float-addition grouping, so a given shard
+    /// request yields the same model on any machine. Must be ≥ 1.
+    pub row_shards: Option<usize>,
 }
 
 impl Default for SearchOptions {
@@ -87,6 +105,7 @@ impl Default for SearchOptions {
             budget: None,
             sink: pnr_telemetry::noop(),
             max_workers: None,
+            row_shards: None,
         }
     }
 }
@@ -161,12 +180,23 @@ impl Best {
     }
 }
 
+/// Per-shard accumulation of one attribute's condition statistics: a pure
+/// function of the shard's rows, computable on any thread.
+enum ShardPartial {
+    /// Per-dictionary-code positive/total covered weight over the shard's
+    /// slice of the view's row set.
+    Cat { pos: Vec<f64>, tot: Vec<f64> },
+    /// Within-shard prefix sums at each distinct value of the shard's
+    /// slice of the view's sorted projection.
+    Num(Boundaries),
+}
+
 /// Finds the highest-scoring single condition over the view, or `None` when
 /// no candidate has positive support under the constraints.
 ///
-/// Large searches evaluate attributes on worker threads (unless
-/// [`SearchOptions::parallel`] is off); the merged result is always
-/// bit-identical to [`find_best_condition_sequential`].
+/// Large searches evaluate `(attribute × shard)` statistics tasks on worker
+/// threads (unless [`SearchOptions::parallel`] is off); the merged result
+/// is always bit-identical to [`find_best_condition_sequential`].
 pub fn find_best_condition(
     view: &TaskView<'_>,
     metric: EvalMetric,
@@ -176,71 +206,88 @@ pub fn find_best_condition(
         return None;
     }
     let n_attrs = view.data.n_attrs();
-    let workers = match opts.max_workers {
-        // An explicit cap of one (or a parallel-off/degenerate search)
-        // means the sequential reference scan.
-        Some(cap) if cap <= 1 || !opts.parallel || n_attrs <= 1 => 1,
-        // An explicit cap above one forces the threaded path even below
-        // the cell threshold, so thread-count sweeps can exercise the
-        // worker merge on small fits.
-        Some(cap) => {
-            let available = std::thread::available_parallelism().map_or(1, |p| p.get());
-            available.max(2).min(cap).min(n_attrs)
-        }
-        None if opts.parallel
-            && n_attrs > 1
-            && view.n_rows() * n_attrs >= opts.parallel_min_cells =>
-        {
-            let available = std::thread::available_parallelism().map_or(1, |p| p.get());
-            // An explicit 0 threshold forces the threaded path even where the
-            // runtime reports a single core.
-            let forced_floor = if opts.parallel_min_cells == 0 { 2 } else { 1 };
-            available.max(forced_floor).min(n_attrs)
-        }
-        None => 1,
-    };
+    let plan = ShardPlan::new(view.n_rows(), opts.row_shards);
+    let tasks = n_attrs * plan.n_shards();
+    let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let workers = worker_count(
+        opts.parallel,
+        opts.max_workers,
+        opts.parallel_min_cells,
+        view.n_rows() * n_attrs,
+        tasks,
+        available,
+    );
     if workers <= 1 {
         return find_best_condition_sequential(view, metric, opts);
     }
-
+    if opts.sink.enabled() {
+        // Record the effective thread policy so sweeps read the real
+        // worker count instead of guessing: mean workers per threaded
+        // search = SearchWorkerThreads / ParallelSearchCalls.
+        opts.sink.add(Counter::ParallelSearchCalls, 1);
+        opts.sink.add(Counter::SearchWorkerThreads, workers as u64);
+        // Warm/cold projection telemetry is classified here, before any
+        // worker materialises a projection.
+        for attr in 0..n_attrs {
+            if matches!(view.data.column(attr), Column::Num(_)) {
+                let counter = if view.projection_is_warm(attr) {
+                    Counter::ViewWarmHits
+                } else {
+                    Counter::ViewColdBuilds
+                };
+                // lint:allow(telemetry-ungated) — inside the `sink.enabled()` block opened above
+                opts.sink.add(counter, 1);
+            }
+        }
+    }
     let (pos_total, n_total) = opts
         .context
         .unwrap_or_else(|| (view.pos_weight(), view.total_weight()));
-    // Per-attribute result slots; each slot is written by exactly one worker
-    // (workers claim attributes off a shared counter).
-    let slots: Vec<std::sync::Mutex<Option<CandidateCondition>>> =
-        (0..n_attrs).map(|_| std::sync::Mutex::new(None)).collect();
+    // Phase A: workers claim (attribute × shard) partial-statistics tasks
+    // off a shared counter (task = attr * n_shards + shard); each slot is
+    // written by exactly one worker.
+    let slots: Vec<std::sync::Mutex<Option<ShardPartial>>> =
+        (0..tasks).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    // Workers race only over *which* slot they fill; the merge below reads
-    // slots in ascending attribute index, so the winner is bit-identical
-    // to the sequential scan's. det:merge(lowest-attr-first)
+    // Workers race only over *which* slot they fill; phase B below reduces
+    // each attribute's shard partials in shard-index order and visits
+    // attributes in ascending order on this thread, so the outcome is
+    // bit-identical to the sequential scan. det:merge(shard-index-order)
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let attr = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if attr >= n_attrs {
+                let task = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if task >= tasks {
                     break;
                 }
-                let cand = search_attribute(view, attr, metric, opts, pos_total, n_total);
+                let attr = task / plan.n_shards();
+                let (lo, hi) = plan.bounds(task % plan.n_shards());
+                let partial = compute_shard_partial(view, attr, lo, hi);
                 // Poison recovery is sound: each slot is written by exactly
                 // one worker, and a panicked worker re-panics at scope join.
-                *slots[attr]
+                *slots[task]
                     .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = cand;
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(partial);
             });
         }
     });
-    // Deterministic merge in attribute order: strictly-greater comparison
-    // keeps "first best wins", so ties go to the lowest attribute index
-    // exactly as in the sequential scan.
+    // Phase B: deterministic reduce + charge + score on the main thread,
+    // in ascending attribute order — the same sequence of budget charges
+    // and `Best::offer`s the sequential scan makes.
+    let mut slot_iter = slots.into_iter();
     let mut best = Best::default();
-    for slot in slots {
-        if let Some(c) = slot
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-        {
-            best.offer(c.condition, c.stats, c.score);
-        }
+    for attr in 0..n_attrs {
+        let partials: Vec<ShardPartial> = slot_iter
+            .by_ref()
+            .take(plan.n_shards())
+            .filter_map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
+            .collect();
+        score_merged_attribute(
+            view, attr, partials, metric, opts, pos_total, n_total, &mut best,
+        );
     }
     if budget_depleted(opts) {
         // The budget fired somewhere in this call: discard the partial
@@ -251,7 +298,9 @@ pub fn find_best_condition(
 }
 
 /// The single-threaded reference scan; [`find_best_condition`] must always
-/// agree with it bit-for-bit.
+/// agree with it bit-for-bit. It accumulates through the same
+/// [`ShardPlan`] as the threaded path, so a sharded scan has one defined
+/// arithmetic regardless of worker count.
 pub fn find_best_condition_sequential(
     view: &TaskView<'_>,
     metric: EvalMetric,
@@ -260,14 +309,28 @@ pub fn find_best_condition_sequential(
     if view.is_empty() || budget_depleted(opts) {
         return None;
     }
+    let plan = ShardPlan::new(view.n_rows(), opts.row_shards);
     let (pos_total, n_total) = opts
         .context
         .unwrap_or_else(|| (view.pos_weight(), view.total_weight()));
     let mut best = Best::default();
     for attr in 0..view.data.n_attrs() {
-        if let Some(c) = search_attribute(view, attr, metric, opts, pos_total, n_total) {
-            best.offer(c.condition, c.stats, c.score);
+        if opts.sink.enabled() && matches!(view.data.column(attr), Column::Num(_)) {
+            // Classified before the partial pass materialises the projection.
+            let counter = if view.projection_is_warm(attr) {
+                Counter::ViewWarmHits
+            } else {
+                Counter::ViewColdBuilds
+            };
+            opts.sink.add(counter, 1);
         }
+        let partials: Vec<ShardPartial> = plan
+            .ranges()
+            .map(|(lo, hi)| compute_shard_partial(view, attr, lo, hi))
+            .collect();
+        score_merged_attribute(
+            view, attr, partials, metric, opts, pos_total, n_total, &mut best,
+        );
     }
     if budget_depleted(opts) {
         // Mirror of the parallel path: a budget that fired mid-call
@@ -277,52 +340,151 @@ pub fn find_best_condition_sequential(
     best.cand
 }
 
-/// Best candidate on one attribute (both condition kinds), or `None` when
-/// the attribute offers nothing under the constraints.
-fn search_attribute(
-    view: &TaskView<'_>,
-    attr: usize,
-    metric: EvalMetric,
-    opts: &SearchOptions,
-    pos_total: f64,
-    n_total: f64,
-) -> Option<CandidateCondition> {
-    let mut best = Best::default();
+/// Computes one attribute's statistics over the shard rows `[lo, hi)` —
+/// positions into the view's row set (categorical) or sorted projection
+/// (numeric); both orders are fixed by the view, so the accumulation below
+/// is deterministic per shard.
+fn compute_shard_partial(view: &TaskView<'_>, attr: usize, lo: usize, hi: usize) -> ShardPartial {
     match view.data.column(attr) {
         Column::Cat(_) => {
-            search_categorical(view, attr, metric, opts, pos_total, n_total, &mut best)
+            let n_values = view.data.schema().attr(attr).dict.len();
+            let mut pos = vec![0.0f64; n_values];
+            let mut tot = vec![0.0f64; n_values];
+            for &r in &view.rows.as_slice()[lo..hi] {
+                let code = view.data.cat(attr, r as usize) as usize;
+                let w = view.weights[r as usize];
+                tot[code] += w;
+                if view.is_pos[r as usize] {
+                    pos[code] += w;
+                }
+            }
+            ShardPartial::Cat { pos, tot }
         }
-        Column::Num(_) => search_numeric(view, attr, metric, opts, pos_total, n_total, &mut best),
+        Column::Num(_) => {
+            // The view's own sorted projection: one pass over exactly the
+            // shard's rows, no dataset-sized mask. Row order (ascending
+            // value, ties by row id) matches a mask-filtered scan of the
+            // global sort index.
+            let sorted = view.projection(attr);
+            ShardPartial::Num(shard_boundaries(view, attr, &sorted[lo..hi]))
+        }
     }
-    best.cand
 }
 
-fn search_categorical(
+/// Merges per-attribute shard partials (in shard-index order) and scores
+/// the attribute's candidates into `best`. This is the only scoring entry
+/// point, shared verbatim by the sequential and threaded drivers.
+#[allow(clippy::too_many_arguments)]
+fn score_merged_attribute(
     view: &TaskView<'_>,
     attr: usize,
+    partials: Vec<ShardPartial>,
     metric: EvalMetric,
     opts: &SearchOptions,
     pos_total: f64,
     n_total: f64,
     best: &mut Best,
 ) {
-    let n_values = view.data.schema().attr(attr).dict.len();
+    match view.data.column(attr) {
+        Column::Cat(_) => {
+            let (pos, tot) = merge_cat_partials(partials);
+            score_categorical(attr, &pos, &tot, metric, opts, pos_total, n_total, best);
+        }
+        Column::Num(_) => {
+            let b = merge_num_partials(partials);
+            score_numeric(attr, &b, metric, opts, pos_total, n_total, best);
+        }
+    }
+}
+
+/// Shard-index-order reduction of categorical partials: each code's
+/// positive/total weight is an [`ordered_sum`] over the shards' local
+/// sums, so the float-addition grouping is fixed by the plan alone. With a
+/// single shard this is `0.0 + local`, bit-identical to the unsharded
+/// counting pass.
+fn merge_cat_partials(partials: Vec<ShardPartial>) -> (Vec<f64>, Vec<f64>) {
+    let locals: Vec<(Vec<f64>, Vec<f64>)> = partials
+        .into_iter()
+        .filter_map(|p| match p {
+            ShardPartial::Cat { pos, tot } => Some((pos, tot)),
+            ShardPartial::Num(_) => None,
+        })
+        .collect();
+    let n_values = locals.first().map_or(0, |(p, _)| p.len());
+    let mut pos = vec![0.0f64; n_values];
+    let mut tot = vec![0.0f64; n_values];
+    for code in 0..n_values {
+        // det:merge(shard-index-order) — `locals` preserves shard order
+        pos[code] = ordered_sum(locals.iter().map(|(p, _)| p[code]));
+        tot[code] = ordered_sum(locals.iter().map(|(_, t)| t[code]));
+    }
+    (pos, tot)
+}
+
+/// Shard-index-order reduction of numeric prefix partials. Each shard's
+/// local prefix is offset by the running base — the left fold
+/// [`ordered_sum`] performs, kept incremental so every shard is offset
+/// exactly once — and a distinct value straddling a shard boundary
+/// overwrites the previous entry, exactly as the unsharded prefix pass
+/// overwrites repeated values. With a single shard the base is `0.0` and
+/// the result is bit-identical to the unsharded scan.
+fn merge_num_partials(partials: Vec<ShardPartial>) -> Boundaries {
+    let locals: Vec<Boundaries> = partials
+        .into_iter()
+        .filter_map(|p| match p {
+            ShardPartial::Num(b) => Some(b),
+            ShardPartial::Cat { .. } => None,
+        })
+        .collect();
+    let mut b = Boundaries {
+        values: Vec::new(),
+        cum_pos: Vec::new(),
+        cum_tot: Vec::new(),
+    };
+    let mut base_pos = 0.0;
+    let mut base_tot = 0.0;
+    // det:merge(shard-index-order) — left fold over shards in index order
+    for local in &locals {
+        for i in 0..local.values.len() {
+            let v = local.values[i];
+            let cp = base_pos + local.cum_pos[i];
+            let ct = base_tot + local.cum_tot[i];
+            if b.values.last() == Some(&v) {
+                let last = b.values.len() - 1;
+                b.cum_pos[last] = cp;
+                b.cum_tot[last] = ct;
+            } else {
+                b.values.push(v);
+                b.cum_pos.push(cp);
+                b.cum_tot.push(ct);
+            }
+        }
+        if let (Some(&lp), Some(&lt)) = (local.cum_pos.last(), local.cum_tot.last()) {
+            base_pos += lp; // lint:allow(unordered-float-sum) — shard-index-order left fold
+            base_tot += lt; // lint:allow(unordered-float-sum) — shard-index-order left fold
+        }
+    }
+    b
+}
+
+#[allow(clippy::too_many_arguments)]
+fn score_categorical(
+    attr: usize,
+    pos: &[f64],
+    tot: &[f64],
+    metric: EvalMetric,
+    opts: &SearchOptions,
+    pos_total: f64,
+    n_total: f64,
+    best: &mut Best,
+) {
+    let n_values = tot.len();
     if n_values == 0 {
         return;
     }
     // One scored candidate per dictionary value.
     if !charge_candidates(opts, n_values) {
         return;
-    }
-    let mut pos = vec![0.0f64; n_values];
-    let mut tot = vec![0.0f64; n_values];
-    for r in view.rows.iter() {
-        let code = view.data.cat(attr, r as usize) as usize;
-        let w = view.weights[r as usize];
-        tot[code] += w;
-        if view.is_pos[r as usize] {
-            pos[code] += w;
-        }
     }
     for code in 0..n_values {
         if approx::is_zero(tot[code]) || tot[code] < opts.min_support_weight {
@@ -342,8 +504,9 @@ fn search_categorical(
 }
 
 /// Cumulative weights at each distinct-value boundary of a numeric attribute
-/// restricted to the view's rows: `cum_pos[i]` / `cum_tot[i]` cover all view
-/// rows with value ≤ `values[i]`.
+/// restricted to a run of projection rows: `cum_pos[i]` / `cum_tot[i]` cover
+/// all scanned rows with value ≤ `values[i]`. Built per shard by
+/// [`shard_boundaries`] and reduced by [`merge_num_partials`].
 struct Boundaries {
     values: Vec<f64>,
     cum_pos: Vec<f64>,
@@ -383,12 +546,11 @@ impl Boundaries {
     }
 }
 
-fn build_boundaries(view: &TaskView<'_>, attr: usize) -> Boundaries {
-    // The view's own sorted projection: one pass over exactly the view's
-    // rows, no dataset-sized mask. Row order (ascending value, ties by row
-    // id) matches a mask-filtered scan of the global sort index, so the
-    // float accumulation below is bit-identical to one.
-    let sorted = view.projection(attr);
+/// Builds one shard's local boundary prefix over `sorted`, a contiguous
+/// slice of the view's sorted projection. The float accumulation runs in
+/// slice order (ascending value, ties by row id) starting from zero, so a
+/// whole-projection slice reproduces the historical unsharded pass exactly.
+fn shard_boundaries(view: &TaskView<'_>, attr: usize, sorted: &[u32]) -> Boundaries {
     let mut b = Boundaries {
         values: Vec::new(),
         cum_pos: Vec::new(),
@@ -396,7 +558,7 @@ fn build_boundaries(view: &TaskView<'_>, attr: usize) -> Boundaries {
     };
     let mut cum_pos = 0.0;
     let mut cum_tot = 0.0;
-    for &r in sorted.iter() {
+    for &r in sorted {
         let v = view.data.num(attr, r as usize);
         let w = view.weights[r as usize];
         cum_tot += w; // lint:allow(unordered-float-sum) — prefix sum in sorted-projection order
@@ -417,25 +579,15 @@ fn build_boundaries(view: &TaskView<'_>, attr: usize) -> Boundaries {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn search_numeric(
-    view: &TaskView<'_>,
+fn score_numeric(
     attr: usize,
+    b: &Boundaries,
     metric: EvalMetric,
     opts: &SearchOptions,
     pos_total: f64,
     n_total: f64,
     best: &mut Best,
 ) {
-    if opts.sink.enabled() {
-        // Classified before the projection call below materialises it.
-        let counter = if view.projection_is_warm(attr) {
-            Counter::ViewWarmHits
-        } else {
-            Counter::ViewColdBuilds
-        };
-        opts.sink.add(counter, 1);
-    }
-    let b = build_boundaries(view, attr);
     if b.len() < 2 {
         // A constant attribute offers no split.
         return;
@@ -904,8 +1056,8 @@ mod tests {
         assert_eq!(tracker.candidates_charged(), 0);
     }
 
-    #[test]
-    fn forced_parallel_matches_sequential_search() {
+    /// A mixed-type dataset for the parallel/sharded identity tests.
+    fn mixed_data() -> (Dataset, Vec<bool>) {
         let rows: Vec<(f64, bool)> = (0..60)
             .map(|i| (((i * 7) % 13) as f64, i % 4 == 0))
             .collect();
@@ -926,6 +1078,12 @@ mod tests {
         }
         let d = b.finish();
         let is_pos: Vec<bool> = (0..d.n_rows()).map(|r| d.label(r) == 0).collect();
+        (d, is_pos)
+    }
+
+    #[test]
+    fn forced_parallel_matches_sequential_search() {
+        let (d, is_pos) = mixed_data();
         let v = TaskView::full(&d, &is_pos, d.weights());
         for metric in [
             EvalMetric::ZNumber,
@@ -946,5 +1104,88 @@ mod tests {
             assert_eq!(g.score.to_bits(), s.score.to_bits(), "{metric:?}");
             assert_eq!(g.stats, s.stats, "{metric:?}");
         }
+    }
+
+    #[test]
+    fn row_sharded_parallel_matches_row_sharded_sequential() {
+        // For every shard count, the threaded (attr × shard) scan must be
+        // bit-identical to the sequential scan over the *same* plan, even
+        // with non-unit weights.
+        let (d, is_pos) = mixed_data();
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        for shards in [1usize, 2, 3, 7, 60, 200] {
+            let par = SearchOptions {
+                parallel_min_cells: 0,
+                row_shards: Some(shards),
+                ..Default::default()
+            };
+            let seq = SearchOptions {
+                parallel: false,
+                row_shards: Some(shards),
+                ..Default::default()
+            };
+            let g = find_best_condition(&v, EvalMetric::ZNumber, &par).unwrap();
+            let s = find_best_condition_sequential(&v, EvalMetric::ZNumber, &seq).unwrap();
+            assert_eq!(g.condition, s.condition, "shards={shards}");
+            assert_eq!(g.score.to_bits(), s.score.to_bits(), "shards={shards}");
+            assert_eq!(g.stats, s.stats, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn unit_weight_shard_sweep_is_bit_identical_to_unsharded() {
+        // With unit weights every partial sum is a small integer, exact in
+        // f64 under any grouping — so even *different* shard counts agree
+        // bitwise. This is the invariant the determinism harness and the
+        // training bench's bit-identity gate rely on.
+        let rows: Vec<(f64, bool)> = (0..80)
+            .map(|i| (((i * 11) % 17) as f64, i % 5 == 0))
+            .collect();
+        let (d, is_pos) = numeric_data(&rows);
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let baseline =
+            find_best_condition_sequential(&v, EvalMetric::ZNumber, &SearchOptions::default())
+                .unwrap();
+        for shards in [2usize, 3, 8, 80] {
+            let opts = SearchOptions {
+                row_shards: Some(shards),
+                ..Default::default()
+            };
+            let got = find_best_condition_sequential(&v, EvalMetric::ZNumber, &opts).unwrap();
+            assert_eq!(got.condition, baseline.condition, "shards={shards}");
+            assert_eq!(
+                got.score.to_bits(),
+                baseline.score.to_bits(),
+                "shards={shards}"
+            );
+            assert_eq!(got.stats, baseline.stats, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn parallel_search_telemetry_records_worker_policy() {
+        let (d, is_pos) = mixed_data();
+        let v = TaskView::full(&d, &is_pos, d.weights());
+        let sink = std::sync::Arc::new(pnr_telemetry::RecordingSink::new());
+        let opts = SearchOptions {
+            parallel_min_cells: 0,
+            sink: sink.clone(),
+            ..Default::default()
+        };
+        find_best_condition(&v, EvalMetric::ZNumber, &opts).unwrap();
+        let calls = sink.value(Counter::ParallelSearchCalls);
+        let threads = sink.value(Counter::SearchWorkerThreads);
+        assert_eq!(calls, 1, "one threaded search");
+        assert!(threads >= 2, "forced path spawns at least two workers");
+        // Sequential scans record no worker policy.
+        let seq_sink = std::sync::Arc::new(pnr_telemetry::RecordingSink::new());
+        let seq = SearchOptions {
+            parallel: false,
+            sink: seq_sink.clone(),
+            ..Default::default()
+        };
+        find_best_condition(&v, EvalMetric::ZNumber, &seq).unwrap();
+        assert_eq!(seq_sink.value(Counter::ParallelSearchCalls), 0);
+        assert_eq!(seq_sink.value(Counter::SearchWorkerThreads), 0);
     }
 }

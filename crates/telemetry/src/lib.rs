@@ -41,7 +41,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct [`Counter`]s (size of the recording array).
-pub const N_COUNTERS: usize = 17;
+pub const N_COUNTERS: usize = 19;
 
 /// Monotonic counter identities. Stored in a fixed array indexed by the
 /// enum discriminant — deliberately not a hash map, so iteration order
@@ -98,6 +98,14 @@ pub enum Counter {
     /// Hot-swap attempts rejected during off-path validation (corrupt
     /// artifact, bad schema, unreadable file); the old epoch kept serving.
     SwapFailures,
+    /// Condition searches that took the threaded (attribute × shard)
+    /// path. Sequential scans — too small, capped at one worker, or
+    /// `parallel` off — don't tick this.
+    ParallelSearchCalls,
+    /// Worker threads spawned across all threaded searches; divided by
+    /// `ParallelSearchCalls` this is the mean effective worker count, so
+    /// sweeps read the real policy outcome instead of guessing.
+    SearchWorkerThreads,
 }
 
 impl Counter {
@@ -120,6 +128,8 @@ impl Counter {
         Counter::WorkerPanics,
         Counter::ModelSwaps,
         Counter::SwapFailures,
+        Counter::ParallelSearchCalls,
+        Counter::SearchWorkerThreads,
     ];
 
     /// Stable snake_case name used in NDJSON lines and rendered tables.
@@ -142,6 +152,8 @@ impl Counter {
             Counter::WorkerPanics => "worker_panics",
             Counter::ModelSwaps => "model_swaps",
             Counter::SwapFailures => "swap_failures",
+            Counter::ParallelSearchCalls => "parallel_search_calls",
+            Counter::SearchWorkerThreads => "search_worker_threads",
         }
     }
 

@@ -12,9 +12,10 @@
 //!
 //! Protocol: generate one kddsim training set, rebuild it under K row
 //! permutations (the pre-registered kddsim schema keeps dictionary codes
-//! independent of insertion order), fit each copy with worker-thread
-//! caps {1, 2, max}, wrap each fit in a [`ModelArtifact`] (params
-//! normalised so the thread knob itself is not compared) and assert all
+//! independent of insertion order), fit each copy under paired
+//! (worker-thread cap, row-shard count) configs {(1,1), (2,2),
+//! (max, ~rows/4)}, wrap each fit in a [`ModelArtifact`] (params
+//! normalised so neither knob is itself compared) and assert all
 //! FNV-1a checksums of the serialized artifacts are identical.
 //!
 //! Row-permutation invariance holds because kddsim rows carry unit
@@ -114,20 +115,28 @@ fn permuted_copy(base: &Dataset, order: &[usize]) -> Result<Dataset, String> {
     Ok(b.finish())
 }
 
-/// Fits one copy with the given worker cap and returns the FNV-1a
-/// checksum of its serialized [`ModelArtifact`]. `search_workers` is the
-/// knob under test, so the artifact's stored params normalise it to
-/// `None` — the compared bytes must cover model, report and schema, not
-/// the sweep variable itself.
-fn fit_checksum(data: &Dataset, target: u32, workers: Option<usize>) -> Result<u64, String> {
+/// Fits one copy with the given worker cap and row-shard count and
+/// returns the FNV-1a checksum of its serialized [`ModelArtifact`].
+/// `search_workers` and `row_shards` are the knobs under test, so the
+/// artifact's stored params normalise both to `None` — the compared
+/// bytes must cover model, report and schema, not the sweep variables
+/// themselves.
+fn fit_checksum(
+    data: &Dataset,
+    target: u32,
+    workers: Option<usize>,
+    shards: Option<usize>,
+) -> Result<u64, String> {
     let params = PnruleParams {
         search_workers: workers,
+        row_shards: shards,
         ..Default::default()
     };
     let learner = PnruleLearner::new(params);
     let (model, report) = learner.fit_with_report(data, target);
     let mut stored = learner.params().clone();
     stored.search_workers = None;
+    stored.row_shards = None;
     let artifact = ModelArtifact::new(model, stored, report, data.schema().clone())
         .map_err(|e| format!("artifact assembly: {e}"))?;
     let text = artifact
@@ -136,7 +145,14 @@ fn fit_checksum(data: &Dataset, target: u32, workers: Option<usize>) -> Result<u
     Ok(fnv1a_64(text.as_bytes()))
 }
 
-/// Runs the full sweep: 3 row orders × worker caps {1, 2, max}.
+/// Runs the full sweep: 3 row orders × paired (worker cap, row-shard)
+/// configs {(1,1), (2,2), (max, shard-per-few-rows)}. Shard-count
+/// invariance holds for the same unit-weight reason as row-permutation
+/// invariance: each shard's `CovStats` is a sum of 1.0s, so the
+/// shard-index-order reduction reassociates exact integer sums. The last
+/// config drives the shard count far past the worker count (one shard
+/// per handful of rows) to prove the reduction — not scheduling luck —
+/// carries the guarantee.
 pub fn run(rows: usize) -> Result<DeterminismReport, String> {
     let base = pnr_kddsim::generate_train(rows, SEED);
     let target = base
@@ -147,24 +163,29 @@ pub fn run(rows: usize) -> Result<DeterminismReport, String> {
     let max_workers = std::thread::available_parallelism()
         .map_or(2, |p| p.get())
         .max(2);
+    let max_shards = (rows / 4).clamp(3, 1024);
 
     let orders: [(&str, Vec<usize>); 3] = [
         ("identity", (0..base.n_rows()).collect()),
         ("reversed", (0..base.n_rows()).rev().collect()),
         ("shuffled", lcg_shuffle(base.n_rows(), SEED)),
     ];
-    let workers = [
-        ("1".to_string(), Some(1)),
-        ("2".to_string(), Some(2)),
-        (format!("max({max_workers})"), Some(max_workers)),
+    let configs = [
+        ("workers=1 shards=1".to_string(), Some(1), Some(1)),
+        ("workers=2 shards=2".to_string(), Some(2), Some(2)),
+        (
+            format!("workers=max({max_workers}) shards={max_shards}"),
+            Some(max_workers),
+            Some(max_shards),
+        ),
     ];
 
     let mut results = Vec::new();
     for (oname, order) in &orders {
         let data = permuted_copy(&base, order)?;
-        for (wname, w) in &workers {
-            let sum = fit_checksum(&data, target, *w)?;
-            results.push((format!("rows={oname:<8} workers={wname}"), sum));
+        for (cname, w, s) in &configs {
+            let sum = fit_checksum(&data, target, *w, *s)?;
+            results.push((format!("rows={oname:<8} {cname}"), sum));
         }
     }
     Ok(DeterminismReport { rows, results })
