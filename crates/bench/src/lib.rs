@@ -20,7 +20,7 @@ use std::path::Path;
 /// `existing_parallelism` is `None` when there is no baseline on disk (or
 /// it carries no reading), which always allows the write.
 pub fn overwrite_allowed(existing_parallelism: Option<u64>, current: u64, force: bool) -> bool {
-    force || existing_parallelism.map_or(true, |previous| current >= previous)
+    force || existing_parallelism.is_none_or(|previous| current >= previous)
 }
 
 /// The `detected_parallelism` recorded in an existing baseline JSON file,

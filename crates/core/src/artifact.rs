@@ -134,6 +134,22 @@ impl From<io::Error> for ArtifactError {
     }
 }
 
+/// Provenance of a refit artifact: which artifact it was refit from,
+/// which serving-stat window triggered the refit, and the drift verdict
+/// that signalled it. Absent (`None`) on artifacts trained from scratch;
+/// `#[serde(default)]` keeps every pre-lineage artifact loadable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactLineage {
+    /// Envelope checksum (16 lowercase hex digits) of the parent artifact
+    /// file this model was refit from. The daemon's hot-swap refuses a
+    /// lineaged candidate whose parent is not the artifact it is serving.
+    pub parent_checksum: String,
+    /// Id of the drift window that triggered the refit.
+    pub window_id: u64,
+    /// The drift verdict that signalled the refit (normally `"refit"`).
+    pub verdict: String,
+}
+
 /// The serialized body of an artifact (everything under the envelope).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ArtifactBody {
@@ -147,6 +163,10 @@ struct ArtifactBody {
     /// Name of the target class (`schema.classes` code `model.target`),
     /// stored redundantly for human inspection of the raw file.
     target_class: String,
+    /// Refit provenance; absent on from-scratch artifacts and on files
+    /// written before lineage existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    lineage: Option<ArtifactLineage>,
 }
 
 /// A trained PNrule model plus everything needed to score new data
@@ -163,6 +183,9 @@ pub struct ModelArtifact {
     /// The training schema: attribute names, types, category dictionaries
     /// and class labels. Serving-time reconciliation is driven by this.
     pub schema: Schema,
+    /// Refit provenance (parent checksum, window id, verdict); `None` for
+    /// models trained from scratch.
+    pub lineage: Option<ArtifactLineage>,
 }
 
 impl ModelArtifact {
@@ -181,14 +204,34 @@ impl ModelArtifact {
             report,
             model,
             schema,
+            lineage: None,
         };
         artifact.validate()?;
         Ok(artifact)
     }
 
+    /// Attaches refit provenance (builder-style).
+    pub fn with_lineage(mut self, lineage: ArtifactLineage) -> Self {
+        self.lineage = Some(lineage);
+        self
+    }
+
     /// Name of the target class in the stored schema.
     pub fn target_class(&self) -> &str {
         self.schema.classes.name(self.model.target)
+    }
+
+    /// The envelope checksum (16 lowercase hex digits) this artifact
+    /// would carry on disk — the digest a child refit records as its
+    /// `parent_checksum`.
+    pub fn checksum(&self) -> Result<String, ArtifactError> {
+        let text = self.to_file_string()?;
+        match text.split_once('\n') {
+            Some((line, _)) => Ok(line.to_string()),
+            None => Err(ArtifactError::Malformed {
+                detail: "rendered artifact has no envelope line".to_string(),
+            }),
+        }
     }
 
     /// Fingerprint of the stored schema (see [`Schema::fingerprint`]).
@@ -305,6 +348,7 @@ impl ModelArtifact {
             schema: self.schema.clone(),
             schema_fingerprint: self.schema.fingerprint(),
             target_class: self.target_class().to_string(),
+            lineage: self.lineage.clone(),
         };
         let json = serde_json::to_string(&body).map_err(|e| ArtifactError::Malformed {
             detail: format!("artifact body failed to serialize: {e}"),
@@ -415,6 +459,7 @@ impl ModelArtifact {
             report: body.report,
             model: body.model,
             schema: body.schema,
+            lineage: body.lineage,
         };
         artifact.validate()?;
         Ok(artifact)
@@ -447,7 +492,10 @@ impl ModelArtifact {
 
 /// Bounded exponential backoff over transient failures (see
 /// [`load_with_retry`]). Delays are `base_delay * 2^i`, capped at
-/// `max_delay`; the total attempt count is `attempts`.
+/// `max_delay`; the total attempt count is `attempts`. This is a thin
+/// un-jittered view over [`crate::retry::Backoff`], kept for the
+/// artifact API's stability; new callers wanting jitter should build a
+/// `Backoff` directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts (including the first); at least 1 is always made.
@@ -472,11 +520,15 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// The equivalent (un-jittered) [`crate::retry::Backoff`] schedule.
+    pub fn backoff(&self) -> crate::retry::Backoff {
+        crate::retry::Backoff::new(self.attempts, self.base_delay, self.max_delay)
+    }
+
     /// The delay before retry number `i` (0-based), with saturating
     /// exponential growth capped at `max_delay`.
     pub fn delay(&self, i: u32) -> std::time::Duration {
-        let factor = 1u32.checked_shl(i).unwrap_or(u32::MAX);
-        self.base_delay.saturating_mul(factor).min(self.max_delay)
+        self.backoff().delay(i)
     }
 }
 
@@ -492,31 +544,21 @@ pub fn is_transient_io(e: &io::Error) -> bool {
 }
 
 /// Runs `op` under `policy`: transient failures (per `transient`) are
-/// retried with exponential backoff; the first non-transient failure is
-/// returned as-is; exhausting every attempt on transient failures yields
+/// retried with exponential backoff through [`crate::retry::run`]; the
+/// first non-transient failure is returned as-is; exhausting every
+/// attempt on transient failures yields
 /// [`ArtifactError::RetriesExhausted`] wrapping the last error.
 pub fn retry_transient<T>(
     policy: &RetryPolicy,
-    mut transient: impl FnMut(&ArtifactError) -> bool,
+    transient: impl FnMut(&ArtifactError) -> bool,
     mut op: impl FnMut() -> Result<T, ArtifactError>,
 ) -> Result<T, ArtifactError> {
-    let attempts = policy.attempts.max(1);
-    let mut last = None;
-    for i in 0..attempts {
-        match op() {
-            Ok(v) => return Ok(v),
-            Err(e) if transient(&e) => {
-                last = Some(e);
-                if i + 1 < attempts {
-                    std::thread::sleep(policy.delay(i));
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Err(ArtifactError::RetriesExhausted {
-        attempts,
-        last: Box::new(last.unwrap_or(ArtifactError::ChecksumMismatch)),
+    crate::retry::run(&policy.backoff(), transient, |_attempt| op()).map_err(|e| match e {
+        crate::retry::RetryError::Fatal(e) => e,
+        crate::retry::RetryError::Exhausted { attempts, last } => ArtifactError::RetriesExhausted {
+            attempts,
+            last: Box::new(last),
+        },
     })
 }
 
@@ -534,4 +576,21 @@ pub fn load_with_retry(path: &Path, policy: &RetryPolicy) -> Result<ModelArtifac
         |e| matches!(e, ArtifactError::Io(io) if is_transient_io(io)),
         || ModelArtifact::load(path),
     )
+}
+
+/// Reads just the envelope checksum (the first line, 16 lowercase hex
+/// digits) of an artifact file, verifying it against the payload first —
+/// so the returned digest is a trustworthy identity, not whatever bytes
+/// happened to head a corrupt file. This is how swap lineage is checked
+/// without deserializing the whole parent artifact.
+pub fn file_checksum(path: &Path) -> Result<String, ArtifactError> {
+    let bytes = fs::read(path)?;
+    if !ModelArtifact::envelope_verifies(&bytes) {
+        return Err(ArtifactError::ChecksumMismatch);
+    }
+    // envelope_verifies guarantees a 16-byte ASCII-hex first line
+    match bytes.split(|&b| b == b'\n').next() {
+        Some(line) => Ok(String::from_utf8_lossy(line).into_owned()),
+        None => Err(ArtifactError::ChecksumMismatch),
+    }
 }

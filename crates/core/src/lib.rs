@@ -55,13 +55,15 @@ pub mod multiclass;
 pub mod nphase;
 pub mod params;
 pub mod pphase;
+pub mod retry;
 pub mod scoring;
 pub mod serving;
 pub mod tune;
+pub mod windowed;
 
 pub use artifact::{
-    is_transient_io, load_with_retry, retry_transient, ArtifactError, ModelArtifact, RetryPolicy,
-    FORMAT_VERSION,
+    file_checksum, is_transient_io, load_with_retry, retry_transient, ArtifactError,
+    ArtifactLineage, ModelArtifact, RetryPolicy, FORMAT_VERSION,
 };
 pub use compiled::{CompiledModel, CompiledScorer, ScoringEngine};
 pub use fit_checkpoint::{FitCheckpoint, FitCheckpointStore, FitKey};
@@ -79,9 +81,11 @@ pub use pphase::{
     learn_p_rules, learn_p_rules_resumable, learn_p_rules_with_budget, learn_p_rules_with_sink,
     PPhaseResult, PRule,
 };
+pub use retry::{Backoff, RetryError};
 pub use scoring::ScoreMatrix;
 pub use serving::{
     ColumnMap, DatasetMap, MissingColumnPolicy, RecordError, ScoredRecord, ServingModel,
     ServingValue, UnknownKind, UnknownPolicy,
 };
 pub use tune::{fit_auto, prune_n_rules, AutoTuneOptions};
+pub use windowed::{recall_on, refit_window, RefitError, RefitEval, RefitOptions};

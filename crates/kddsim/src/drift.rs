@@ -1,0 +1,445 @@
+//! Scheduled attack-mix drift for simulated streams.
+//!
+//! [`MixStream`](crate::MixStream) emits a *fixed* mix, apportioned up
+//! front — right for training corpora, wrong for live-traffic
+//! simulation, where the interesting scenarios are exactly the ones
+//! whose class mix *moves*: a step shift when a new attack campaign
+//! starts at row `k`, a linear ramp as it builds, or a recurring
+//! day/night-style alternation. [`DriftSchedule`] describes those
+//! shapes as a pure function of the row index, and [`DriftStream`]
+//! samples one subclass per row from `mix_at(row)` with a seeded RNG —
+//! so an entire drifting scenario (loadgen traffic, sentinel refit
+//! windows, experiment harness) replays bit-identically from one
+//! `(seed, schedule)` pair.
+//!
+//! Unlike `MixStream` (which emits subclass-by-subclass blocks), a
+//! `DriftStream` interleaves rows in arrival order: the mix of a window
+//! of rows converges to the scheduled mix but each row is an
+//! independent draw, the way live traffic actually looks.
+
+use crate::schema::build_schema_builder;
+use crate::subclass::Subclass;
+use pnr_data::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A subclass mix: `(subclass, weight)` pairs; weights need not be
+/// normalised but must be non-negative with a positive sum.
+pub type Mix = Vec<(Subclass, f64)>;
+
+/// How the subclass mix of a stream evolves over the row index. Every
+/// variant is a pure function of `row` — no state, no clock.
+#[derive(Debug, Clone)]
+pub enum DriftSchedule {
+    /// The mix never changes.
+    Constant(Mix),
+    /// `before` up to (exclusive) row `at`, `after` from then on.
+    Step {
+        /// First row drawn from `after`.
+        at: usize,
+        /// The pre-shift mix.
+        before: Mix,
+        /// The post-shift mix.
+        after: Mix,
+    },
+    /// `before` until `start`, then a linear blend reaching `after` at
+    /// row `end` (weights interpolate per subclass over the union).
+    Ramp {
+        /// Last fully-`before` row boundary.
+        start: usize,
+        /// First fully-`after` row.
+        end: usize,
+        /// The pre-ramp mix.
+        before: Mix,
+        /// The post-ramp mix.
+        after: Mix,
+    },
+    /// Cycles through `phases`, holding each for `period` rows — a
+    /// recurring attack-mix alternation.
+    Recurring {
+        /// Rows per phase; must be > 0.
+        period: usize,
+        /// The mixes to cycle through; must be non-empty.
+        phases: Vec<Mix>,
+    },
+}
+
+impl DriftSchedule {
+    /// The union of both mixes, `before`'s order first, with each weight
+    /// linearly interpolated by `t ∈ [0, 1]`.
+    fn blend(before: &Mix, after: &Mix, t: f64) -> Mix {
+        let weight_in =
+            |mix: &Mix, s: Subclass| mix.iter().find(|(m, _)| *m == s).map_or(0.0, |&(_, w)| w);
+        let mut out: Mix = Vec::with_capacity(before.len() + after.len());
+        for &(s, wb) in before {
+            out.push((s, wb + (weight_in(after, s) - wb) * t));
+        }
+        for &(s, wa) in after {
+            if !before.iter().any(|(b, _)| *b == s) {
+                out.push((s, wa * t));
+            }
+        }
+        out
+    }
+
+    /// The mix in effect at `row`.
+    pub fn mix_at(&self, row: usize) -> Mix {
+        match self {
+            DriftSchedule::Constant(mix) => mix.clone(),
+            DriftSchedule::Step { at, before, after } => {
+                if row < *at {
+                    before.clone()
+                } else {
+                    after.clone()
+                }
+            }
+            DriftSchedule::Ramp {
+                start,
+                end,
+                before,
+                after,
+            } => {
+                if row < *start || end <= start {
+                    return if row < *start {
+                        before.clone()
+                    } else {
+                        after.clone()
+                    };
+                }
+                if row >= *end {
+                    return after.clone();
+                }
+                let span = end - start;
+                let into = row - start;
+                // both fit f64 exactly for any realistic stream length
+                let t = to_f64(into) / to_f64(span);
+                Self::blend(before, after, t)
+            }
+            DriftSchedule::Recurring { period, phases } => {
+                assert!(*period > 0, "recurring period must be positive");
+                assert!(!phases.is_empty(), "recurring schedule needs phases");
+                phases[(row / period) % phases.len()].clone()
+            }
+        }
+    }
+
+    /// The first row at which the schedule departs from its initial mix
+    /// (`None` for a constant schedule) — the ground-truth drift onset
+    /// the detection-lag metric is measured against.
+    pub fn shift_row(&self) -> Option<usize> {
+        match self {
+            DriftSchedule::Constant(_) => None,
+            DriftSchedule::Step { at, .. } => Some(*at),
+            DriftSchedule::Ramp { start, .. } => Some(*start),
+            DriftSchedule::Recurring { period, phases } => {
+                if phases.len() > 1 {
+                    Some(*period)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Parses the loadgen/sentinel CLI form:
+    /// `step:AT` (train mix → test mix at row AT),
+    /// `ramp:START:END` (train mix ramping to test mix),
+    /// `recur:PERIOD` (train/test mixes alternating every PERIOD rows),
+    /// `none` (constant train mix).
+    pub fn parse(s: &str) -> Option<DriftSchedule> {
+        let mut parts = s.split(':');
+        let kind = parts.next()?;
+        let schedule = match kind {
+            "none" => DriftSchedule::Constant(crate::train_mix()),
+            "step" => DriftSchedule::Step {
+                at: parts.next()?.parse().ok()?,
+                before: crate::train_mix(),
+                after: crate::test_mix(),
+            },
+            "ramp" => {
+                let start = parts.next()?.parse().ok()?;
+                let end = parts.next()?.parse().ok()?;
+                if end <= start {
+                    return None;
+                }
+                DriftSchedule::Ramp {
+                    start,
+                    end,
+                    before: crate::train_mix(),
+                    after: crate::test_mix(),
+                }
+            }
+            "recur" => DriftSchedule::Recurring {
+                period: parts.next()?.parse().ok()?,
+                phases: vec![crate::train_mix(), crate::test_mix()],
+            },
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(schedule)
+    }
+}
+
+fn to_f64(n: usize) -> f64 {
+    u32::try_from(n).map(f64::from).unwrap_or(f64::MAX)
+}
+
+/// An endless row-interleaved stream whose per-row subclass is drawn
+/// from `schedule.mix_at(row)`. Deterministic in `(seed, schedule)`;
+/// chunk boundaries never change a drawn bit because every row costs
+/// exactly one mix draw plus its subclass's emission draws.
+#[derive(Debug)]
+pub struct DriftStream {
+    rng: StdRng,
+    schedule: DriftSchedule,
+    next_row: usize,
+}
+
+impl DriftStream {
+    /// A stream positioned at row 0.
+    pub fn new(seed: u64, schedule: DriftSchedule) -> Self {
+        DriftStream {
+            rng: StdRng::seed_from_u64(seed),
+            schedule,
+            next_row: 0,
+        }
+    }
+
+    /// The row index the next emitted record will carry.
+    pub fn position(&self) -> usize {
+        self.next_row
+    }
+
+    /// The schedule driving this stream.
+    pub fn schedule(&self) -> &DriftSchedule {
+        &self.schedule
+    }
+
+    /// Weighted draw of one subclass from `mix`. Panics if the mix is
+    /// empty or sums to a non-positive weight (same contract as
+    /// apportionment).
+    fn draw(rng: &mut StdRng, mix: &Mix) -> Subclass {
+        assert!(!mix.is_empty(), "mix must not be empty");
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "mix weights must sum to a positive value");
+        let mut x = rng.gen::<f64>() * total;
+        for &(s, w) in mix {
+            x -= w;
+            if x <= 0.0 {
+                return s;
+            }
+        }
+        // float round-off on the last subtraction; the draw belongs to
+        // the final positive-weight entry
+        mix.iter()
+            .rev()
+            .find(|(_, w)| *w > 0.0)
+            .map(|&(s, _)| s)
+            .unwrap_or(mix[mix.len() - 1].0)
+    }
+
+    /// Emits the next `rows` records as one dataset carrying the full
+    /// fixed KDD schema.
+    pub fn next_chunk(&mut self, rows: usize) -> Dataset {
+        let mut b = build_schema_builder();
+        b.reserve(rows);
+        for _ in 0..rows {
+            let mix = self.schedule.mix_at(self.next_row);
+            let subclass = Self::draw(&mut self.rng, &mix);
+            subclass.spec().emit(&mut b, &mut self.rng);
+            self.next_row += 1;
+        }
+        b.finish()
+    }
+
+    /// Advances the stream `rows` records without keeping them. The RNG
+    /// consumes exactly the draws the dropped rows would have, so a
+    /// skipped stream stays bit-aligned with an unskipped one.
+    pub fn skip(&mut self, rows: usize) {
+        // emission draws depend on the drawn subclass, so rows must be
+        // emitted (into a discarded builder) to keep the RNG aligned
+        let _ = self.next_chunk(rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{test_mix, train_mix};
+
+    fn class_frac(d: &Dataset, name: &str) -> f64 {
+        let code = d.class_code(name).unwrap() as usize;
+        d.class_counts()[code] as f64 / d.n_rows() as f64
+    }
+
+    #[test]
+    fn constant_stream_matches_the_mix() {
+        let mut s = DriftStream::new(7, DriftSchedule::Constant(train_mix()));
+        let d = s.next_chunk(50_000);
+        assert!(
+            (class_frac(&d, "r2l") - 0.0023).abs() < 0.002,
+            "r2l drifted"
+        );
+        assert!(class_frac(&d, "dos") > 0.7);
+    }
+
+    #[test]
+    fn streams_are_deterministic_in_the_seed() {
+        let sched = || DriftSchedule::Step {
+            at: 500,
+            before: train_mix(),
+            after: test_mix(),
+        };
+        let mut a = DriftStream::new(11, sched());
+        let mut b = DriftStream::new(11, sched());
+        let da = a.next_chunk(1_000);
+        let db = b.next_chunk(1_000);
+        assert_eq!(da.labels(), db.labels());
+        for row in (0..da.n_rows()).step_by(97) {
+            for attr in 0..da.n_attrs() {
+                match da.column(attr) {
+                    pnr_data::Column::Num(_) => {
+                        assert_eq!(da.num(attr, row).to_bits(), db.num(attr, row).to_bits())
+                    }
+                    pnr_data::Column::Cat(_) => {
+                        assert_eq!(da.cat(attr, row), db.cat(attr, row))
+                    }
+                }
+            }
+        }
+        let mut c = DriftStream::new(12, sched());
+        let dc = c.next_chunk(1_000);
+        assert_ne!(da.labels(), dc.labels(), "different seeds must differ");
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_change_the_stream() {
+        let sched = || DriftSchedule::Step {
+            at: 300,
+            before: train_mix(),
+            after: test_mix(),
+        };
+        let mut whole = DriftStream::new(3, sched());
+        let all = whole.next_chunk(900);
+        let mut pieces = DriftStream::new(3, sched());
+        let mut labels = Vec::new();
+        for rows in [1usize, 299, 100, 500] {
+            labels.extend_from_slice(pieces.next_chunk(rows).labels());
+        }
+        assert_eq!(all.labels(), &labels[..]);
+    }
+
+    #[test]
+    fn step_schedule_shifts_the_mix_at_the_step() {
+        let mut s = DriftStream::new(
+            21,
+            DriftSchedule::Step {
+                at: 20_000,
+                before: train_mix(),
+                after: test_mix(),
+            },
+        );
+        let before = s.next_chunk(20_000);
+        let after = s.next_chunk(20_000);
+        assert!(
+            class_frac(&after, "r2l") > 5.0 * class_frac(&before, "r2l").max(0.001),
+            "post-step r2l share must jump: {} -> {}",
+            class_frac(&before, "r2l"),
+            class_frac(&after, "r2l")
+        );
+    }
+
+    #[test]
+    fn ramp_interpolates_monotonically() {
+        let sched = DriftSchedule::Ramp {
+            start: 1_000,
+            end: 2_000,
+            before: train_mix(),
+            after: test_mix(),
+        };
+        let r2l_weight = |mix: &Mix| {
+            let total: f64 = mix.iter().map(|(_, w)| w).sum();
+            mix.iter()
+                .filter(|(s, _)| {
+                    matches!(
+                        s,
+                        Subclass::R2lGuessPasswd
+                            | Subclass::R2lWarezClient
+                            | Subclass::R2lFtpWrite
+                            | Subclass::SnmpGuess
+                    )
+                })
+                .map(|(_, w)| w / total)
+                .sum::<f64>()
+        };
+        let w0 = r2l_weight(&sched.mix_at(0));
+        let w_mid = r2l_weight(&sched.mix_at(1_500));
+        let w_end = r2l_weight(&sched.mix_at(2_500));
+        assert!(w0 < w_mid && w_mid < w_end, "{w0} {w_mid} {w_end}");
+        assert_eq!(sched.shift_row(), Some(1_000));
+    }
+
+    #[test]
+    fn recurring_schedule_cycles_phases() {
+        let sched = DriftSchedule::Recurring {
+            period: 100,
+            phases: vec![train_mix(), test_mix()],
+        };
+        let w = |row: usize| {
+            let mix = sched.mix_at(row);
+            mix.iter().map(|(_, w)| w).sum::<f64>()
+        };
+        // phase identity, not just weight sums: rows 0..100 use phase 0
+        assert_eq!(sched.mix_at(0).len(), train_mix().len());
+        assert_eq!(sched.mix_at(150).len(), test_mix().len());
+        assert_eq!(sched.mix_at(250).len(), train_mix().len());
+        assert!(w(0) > 0.0);
+        assert_eq!(sched.shift_row(), Some(100));
+    }
+
+    #[test]
+    fn skip_keeps_the_stream_bit_aligned() {
+        let sched = || DriftSchedule::Constant(train_mix());
+        let mut skipped = DriftStream::new(5, sched());
+        skipped.skip(777);
+        let mut full = DriftStream::new(5, sched());
+        let _ = full.next_chunk(777);
+        assert_eq!(skipped.position(), full.position());
+        assert_eq!(
+            skipped.next_chunk(200).labels(),
+            full.next_chunk(200).labels()
+        );
+    }
+
+    #[test]
+    fn parse_covers_the_cli_forms() {
+        assert!(matches!(
+            DriftSchedule::parse("step:500"),
+            Some(DriftSchedule::Step { at: 500, .. })
+        ));
+        assert!(matches!(
+            DriftSchedule::parse("ramp:100:300"),
+            Some(DriftSchedule::Ramp {
+                start: 100,
+                end: 300,
+                ..
+            })
+        ));
+        assert!(matches!(
+            DriftSchedule::parse("recur:250"),
+            Some(DriftSchedule::Recurring { period: 250, .. })
+        ));
+        assert!(matches!(
+            DriftSchedule::parse("none"),
+            Some(DriftSchedule::Constant(_))
+        ));
+        for bad in ["step", "ramp:300:100", "ramp:1", "warp:9", "step:5:6", ""] {
+            assert!(
+                DriftSchedule::parse(bad).is_none(),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+}

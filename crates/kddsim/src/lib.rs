@@ -39,10 +39,12 @@
 //! assert!(test_frac > 5.0 * train_frac, "test distribution is shifted");
 //! ```
 
+pub mod drift;
 pub mod faults;
 mod schema;
 mod subclass;
 
+pub use drift::{DriftSchedule, DriftStream, Mix};
 pub use faults::{row_fields, FaultCensus, FaultInjector, InjectedFault};
 pub use schema::{
     attr_index, build_schema_builder, try_attr_index, ATTR_NAMES, CLASSES, FLAGS, N_ATTRS,

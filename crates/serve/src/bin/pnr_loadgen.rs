@@ -4,6 +4,7 @@
 //! pnr-loadgen train --out <artifact> [--rows 2000] [--seed 7]
 //! pnr-loadgen run --addr <host:port> [--requests 100] [--batch 16]
 //!             [--qps 200] [--seed 7] [--malformed-rate p] [--drift-rate p]
+//!             [--mix-schedule step:K|ramp:S:E|recur:P|none]
 //!             [--deadline-ms N] [--swap <artifact>] [--panic-mid-run]
 //!             [--shutdown]
 //! ```
@@ -15,6 +16,11 @@
 //! `run` opens one connection, declares the KDD header, and drives
 //! paced `score` batches built from the shared [`FaultInjector`] traffic
 //! source (`--malformed-rate` / `--drift-rate` match `kdd_csv` exactly).
+//! `--mix-schedule` replaces the recycled training rows with a
+//! [`DriftStream`](pnr_kddsim::DriftStream): a scheduled mid-run class-
+//! mix shift — a step at row K, a linear ramp over rows S..E, or a
+//! recurring cycle — reproducible from `--seed` alone, so the drift
+//! sentinel's detection lag can be measured against a known shift row.
 //! Half-way through it can hot-swap the daemon (`--swap`) and/or inject
 //! a worker panic (`--panic-mid-run`). It reports client-side latency
 //! percentiles, a traffic census, and the daemon's own `stats` reply as
@@ -36,8 +42,9 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: pnr-loadgen train --out <artifact> [--rows N] [--seed N]\n\
-       pnr-loadgen run --addr <host:port> [--requests N] [--batch N] [--qps N] \
-[--seed N] [--malformed-rate p] [--drift-rate p] [--deadline-ms N] \
+       pnr-loadgen run (--addr <host:port> | --addr-file <path>) [--requests N] \
+[--batch N] [--qps N] [--seed N] [--malformed-rate p] [--drift-rate p] \
+[--mix-schedule step:K|ramp:S:E|recur:P|none] [--deadline-ms N] \
 [--swap <artifact>] [--panic-mid-run] [--shutdown]";
 
 fn bail(msg: &str) -> ExitCode {
@@ -108,12 +115,14 @@ fn train(mut args: impl Iterator<Item = String>) -> ExitCode {
 
 struct RunOptions {
     addr: String,
+    addr_file: Option<String>,
     requests: usize,
     batch: usize,
     qps: f64,
     seed: u64,
     malformed_rate: f64,
     drift_rate: f64,
+    schedule: Option<pnr_kddsim::DriftSchedule>,
     deadline_ms: Option<u64>,
     swap: Option<String>,
     panic_mid_run: bool,
@@ -138,12 +147,14 @@ struct RunReport {
 fn run(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut opts = RunOptions {
         addr: String::new(),
+        addr_file: None,
         requests: 100,
         batch: 16,
         qps: 200.0,
         seed: 7,
         malformed_rate: 0.0,
         drift_rate: 0.0,
+        schedule: None,
         deadline_ms: None,
         swap: None,
         panic_mid_run: false,
@@ -154,6 +165,10 @@ fn run(mut args: impl Iterator<Item = String>) -> ExitCode {
             "--addr" => match args.next() {
                 Some(v) => opts.addr = v,
                 None => return bail("--addr needs host:port"),
+            },
+            "--addr-file" => match args.next() {
+                Some(v) => opts.addr_file = Some(v),
+                None => return bail("--addr-file needs a path"),
             },
             "--requests" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n > 0 => opts.requests = n,
@@ -179,6 +194,14 @@ fn run(mut args: impl Iterator<Item = String>) -> ExitCode {
                 Some(p) => opts.drift_rate = p,
                 None => return bail("--drift-rate needs a number"),
             },
+            "--mix-schedule" => match args
+                .next()
+                .as_deref()
+                .and_then(pnr_kddsim::DriftSchedule::parse)
+            {
+                Some(s) => opts.schedule = Some(s),
+                None => return bail("--mix-schedule must be step:K, ramp:S:E, recur:P or none"),
+            },
             "--deadline-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(n) => opts.deadline_ms = Some(n),
                 None => return bail("--deadline-ms needs a non-negative integer"),
@@ -193,7 +216,23 @@ fn run(mut args: impl Iterator<Item = String>) -> ExitCode {
         }
     }
     if opts.addr.is_empty() {
-        return bail("run requires --addr");
+        // a daemon started with --addr-file on port 0 publishes its bound
+        // address there; wait for it so launch order does not matter
+        let Some(path) = &opts.addr_file else {
+            return bail("run requires --addr or --addr-file");
+        };
+        for _ in 0..100 {
+            match std::fs::read_to_string(path) {
+                Ok(s) if !s.trim().is_empty() => {
+                    opts.addr = s.trim().to_string();
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+        if opts.addr.is_empty() {
+            return fail(&format!("addr file {path} never appeared"));
+        }
     }
     // validate rates before touching the network
     let injector = match FaultInjector::new(opts.seed, opts.malformed_rate, opts.drift_rate) {
@@ -268,8 +307,14 @@ fn drive(opts: &RunOptions, mut injector: FaultInjector) -> Result<(), String> {
         let swap = opts.swap.clone();
         let panic_mid_run = opts.panic_mid_run;
         let shutdown = opts.shutdown;
+        let schedule = opts.schedule.clone();
+        let seed = opts.seed;
         let n_rows = data.n_rows();
         std::thread::spawn(move || -> (pnr_kddsim::FaultCensus, Result<(), String>) {
+            // with a schedule the rows come from a DriftStream whose mix
+            // evolves with the row index; without one, the static
+            // training rows are recycled as before
+            let mut stream = schedule.map(|s| pnr_kddsim::DriftStream::new(seed, s));
             let start = Instant::now();
             let halfway = requests / 2;
             for i in 0..requests {
@@ -278,13 +323,25 @@ fn drive(opts: &RunOptions, mut injector: FaultInjector) -> Result<(), String> {
                 if target > now {
                     std::thread::sleep(target - now);
                 }
-                let rows: Vec<Content> = (0..batch)
-                    .map(|j| {
-                        let mut fields = row_fields(&data, (i * batch + j) % n_rows);
-                        injector.inject(&mut fields, &numeric, &categorical);
-                        Content::Seq(fields.into_iter().map(Content::Str).collect())
-                    })
-                    .collect();
+                let rows: Vec<Content> = match stream.as_mut() {
+                    Some(stream) => {
+                        let chunk = stream.next_chunk(batch);
+                        (0..chunk.n_rows())
+                            .map(|r| {
+                                let mut fields = row_fields(&chunk, r);
+                                injector.inject(&mut fields, &numeric, &categorical);
+                                Content::Seq(fields.into_iter().map(Content::Str).collect())
+                            })
+                            .collect()
+                    }
+                    None => (0..batch)
+                        .map(|j| {
+                            let mut fields = row_fields(&data, (i * batch + j) % n_rows);
+                            injector.inject(&mut fields, &numeric, &categorical);
+                            Content::Seq(fields.into_iter().map(Content::Str).collect())
+                        })
+                        .collect(),
+                };
                 let mut entries = vec![
                     ("cmd".to_string(), Content::Str("score".to_string())),
                     ("id".to_string(), Content::Str(format!("r{i}"))),

@@ -5,7 +5,7 @@
 //!           [--queue-capacity N] [--shed reject|drop-oldest]
 //!           [--deadline-ms N] [--unknown condition-false|abstain|reject]
 //!           [--missing reject|default] [--engine auto|compiled|interpreter]
-//!           [--state <path>] [--enable-fault-injection]
+//!           [--state <path>] [--addr-file <path>] [--enable-fault-injection]
 //! ```
 //!
 //! Binds a TCP listener (port 0 picks a free port), prints
@@ -24,7 +24,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: pnr-serve --model <artifact> [--addr A] [--workers N] \
 [--queue-capacity N] [--shed reject|drop-oldest] [--deadline-ms N] \
 [--unknown condition-false|abstain|reject] [--missing reject|default] \
-[--engine auto|compiled|interpreter] [--state <path>] [--enable-fault-injection]";
+[--engine auto|compiled|interpreter] [--state <path>] [--addr-file <path>] \
+[--enable-fault-injection]";
 
 fn bail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
@@ -91,6 +92,10 @@ fn main() -> ExitCode {
             "--state" => match args.next() {
                 Some(v) => config.state_path = Some(PathBuf::from(v)),
                 None => return bail("--state needs a path"),
+            },
+            "--addr-file" => match args.next() {
+                Some(v) => config.addr_file = Some(PathBuf::from(v)),
+                None => return bail("--addr-file needs a path"),
             },
             "--enable-fault-injection" => config.fault_injection = true,
             other => return bail(&format!("unknown argument {other:?}")),

@@ -72,6 +72,10 @@ pub struct DaemonConfig {
     pub state_path: Option<PathBuf>,
     /// Enables the `panic` / `stall` fault-injection commands.
     pub fault_injection: bool,
+    /// When set, the bound address is written here after listen succeeds,
+    /// so supervisors (tests, the drift sentinel, CI) can discover a
+    /// port-0 daemon without scraping stdout.
+    pub addr_file: Option<PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -87,7 +91,43 @@ impl Default for DaemonConfig {
             engine: ScoringEngine::default(),
             state_path: None,
             fault_injection: false,
+            addr_file: None,
         }
+    }
+}
+
+/// Degraded-mode flag plus its operator-readable reason. Set by the
+/// drift sentinel (`degrade` command) when drift is critical and refits
+/// keep failing; cleared by a successful swap or an explicit
+/// `{"cmd":"degrade","on":false}`. Workers read only the atomic flag,
+/// so the hot path never takes the reason lock.
+#[derive(Debug, Default)]
+struct DegradedState {
+    on: AtomicBool,
+    reason: Mutex<String>,
+}
+
+impl DegradedState {
+    /// Enters degraded mode; returns `true` on the transition (off → on)
+    /// so the caller ticks `degraded_entries` exactly once per entry.
+    fn set(&self, reason: &str) -> bool {
+        *self.reason.lock().unwrap_or_else(PoisonError::into_inner) = reason.to_string();
+        !self.on.swap(true, Ordering::SeqCst)
+    }
+
+    fn clear(&self) {
+        self.on.store(false, Ordering::SeqCst);
+    }
+
+    fn is_on(&self) -> bool {
+        self.on.load(Ordering::SeqCst)
+    }
+
+    fn reason(&self) -> String {
+        self.reason
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -100,6 +140,11 @@ struct EpochModel {
     source: PathBuf,
     serving: ServingModel,
     served: AtomicU64,
+    /// Artifact envelope checksum — the identity swap lineage checks
+    /// compare against.
+    checksum: String,
+    /// Lineage the artifact carried (refit candidates name their parent).
+    lineage: Option<pnr_core::ArtifactLineage>,
 }
 
 /// What a queued job does when a worker picks it up.
@@ -137,6 +182,7 @@ struct Shared {
     /// Jobs admitted but not yet answered. Zero means fully drained.
     pending: Arc<AtomicU64>,
     shutdown: AtomicBool,
+    degraded: Arc<DegradedState>,
     pool: WorkerPool,
 }
 
@@ -178,7 +224,7 @@ fn build_serving(
 /// Worker-side execution of one job. Runs under the pool's panic
 /// boundary; anything that escapes here is converted into a typed
 /// `worker_panic` response by the pool's `on_panic` callback.
-fn execute(job: &ScoreJob, sink: &ServeSink, pending: &AtomicU64) {
+fn execute(job: &ScoreJob, sink: &ServeSink, pending: &AtomicU64, degraded: &DegradedState) {
     match job.kind {
         JobKind::Panic => panic!("injected fault: worker panic requested by client"),
         JobKind::Stall(ms) => {
@@ -196,11 +242,12 @@ fn execute(job: &ScoreJob, sink: &ServeSink, pending: &AtomicU64) {
                     vec![
                         ("id", Content::Str(job.id.clone())),
                         ("epoch", Content::U64(job.model.epoch)),
+                        ("degraded", Content::Bool(degraded.is_on())),
                     ],
                 ),
             );
         }
-        JobKind::Score => execute_score(job, sink, pending),
+        JobKind::Score => execute_score(job, sink, pending, degraded),
     }
 }
 
@@ -235,7 +282,7 @@ fn deadline_expired(
     true
 }
 
-fn execute_score(job: &ScoreJob, sink: &ServeSink, pending: &AtomicU64) {
+fn execute_score(job: &ScoreJob, sink: &ServeSink, pending: &AtomicU64, degraded: &DegradedState) {
     let Some(map) = job.map.as_deref() else {
         // admission guarantees a map for Score jobs; never panic if not
         answer(
@@ -265,17 +312,19 @@ fn execute_score(job: &ScoreJob, sink: &ServeSink, pending: &AtomicU64) {
             &job.model.serving,
             row,
             map,
+            sink,
             &mut scored,
             &mut errors,
         ));
     }
-    finish_score(job, sink, pending, results, scored, errors);
+    finish_score(job, sink, pending, degraded, results, scored, errors);
 }
 
 fn finish_score(
     job: &ScoreJob,
     sink: &ServeSink,
     pending: &AtomicU64,
+    degraded: &DegradedState,
     results: Vec<Content>,
     scored: u64,
     errors: u64,
@@ -290,6 +339,7 @@ fn finish_score(
             vec![
                 ("id", Content::Str(job.id.clone())),
                 ("epoch", Content::U64(job.model.epoch)),
+                ("degraded", Content::Bool(degraded.is_on())),
                 ("scored", Content::U64(scored)),
                 ("errors", Content::U64(errors)),
                 ("results", Content::Seq(results)),
@@ -302,12 +352,14 @@ fn row_result(
     serving: &ServingModel,
     row: &[String],
     map: &ColumnMap,
+    sink: &ServeSink,
     scored: &mut u64,
     errors: &mut u64,
 ) -> Content {
     match serving.score_fields(row, map) {
         Ok(rec) => {
             *scored += 1;
+            sink.record_score(rec.score, rec.decision, rec.trace.p_rule);
             Content::Map(vec![
                 ("score".to_string(), Content::F64(rec.score)),
                 ("decision".to_string(), Content::Bool(rec.decision)),
@@ -471,6 +523,21 @@ fn handle_line(line: &str, conn: &mut ConnState, tx: &mpsc::Sender<String>, shar
         }
         Request::Swap { path } => handle_swap(&path, tx, shared),
         Request::Stats => send(stats_line(shared)),
+        Request::Degrade { on, reason } => {
+            if on {
+                if shared.degraded.set(&reason) {
+                    shared.sink.add(Counter::DegradedEntries, 1);
+                    eprintln!("degraded mode entered: {reason}");
+                }
+            } else {
+                shared.degraded.clear();
+                eprintln!("degraded mode cleared");
+            }
+            send(ok_line(
+                "degrade",
+                vec![("degraded", Content::Bool(shared.degraded.is_on()))],
+            ));
+        }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             send(ok_line(
@@ -603,47 +670,98 @@ fn handle_swap(path: &str, tx: &mpsc::Sender<String>, shared: &Arc<Shared>) {
     let loaded = load_with_retry(Path::new(path), &RetryPolicy::default());
     match loaded {
         Ok(artifact) => {
+            let checksum = match artifact.checksum() {
+                Ok(c) => c,
+                Err(e) => {
+                    sink.add(Counter::SwapFailures, 1);
+                    drop(span);
+                    eprintln!("swap rejected ({path}): {e}; current model keeps serving");
+                    send(err_line("swap_failed", &e.to_string(), Vec::new()));
+                    return;
+                }
+            };
+            let lineage = artifact.lineage.clone();
             let target = artifact.target_class().to_string();
             let fingerprint = artifact.schema_fingerprint();
             let serving = build_serving(artifact, &shared.config, sink.clone());
-            let fresh = {
+            // Publish under the active lock so the lineage check and the
+            // epoch bump are one atomic decision: a candidate that names a
+            // parent must name the model it is actually replacing.
+            let published = {
                 let mut active = shared.active.lock().unwrap_or_else(PoisonError::into_inner);
-                let fresh = Arc::new(EpochModel {
-                    epoch: active.epoch + 1,
-                    source: PathBuf::from(path),
-                    serving,
-                    served: AtomicU64::new(0),
-                });
-                *active = fresh.clone();
-                fresh
+                match &lineage {
+                    Some(lin) if lin.parent_checksum != active.checksum => {
+                        Err((lin.parent_checksum.clone(), active.checksum.clone()))
+                    }
+                    _ => {
+                        let fresh = Arc::new(EpochModel {
+                            epoch: active.epoch + 1,
+                            source: PathBuf::from(path),
+                            serving,
+                            served: AtomicU64::new(0),
+                            checksum: checksum.clone(),
+                            lineage,
+                        });
+                        *active = fresh.clone();
+                        Ok(fresh)
+                    }
+                }
             };
-            shared
-                .history
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push(fresh.clone());
-            sink.add(Counter::ModelSwaps, 1);
-            if let Some(state_path) = &shared.config.state_path {
-                if let Err(e) = state::persist_active(state_path, Path::new(path)) {
+            match published {
+                Ok(fresh) => {
+                    shared
+                        .history
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(fresh.clone());
+                    sink.add(Counter::ModelSwaps, 1);
+                    // a freshly validated model supersedes degraded mode
+                    shared.degraded.clear();
+                    if let Some(state_path) = &shared.config.state_path {
+                        if let Err(e) = state::persist_active(state_path, Path::new(path)) {
+                            eprintln!(
+                                "warn: epoch {} activated but state file write failed: {e}",
+                                fresh.epoch
+                            );
+                        }
+                    }
+                    drop(span);
+                    eprintln!("swap: epoch {} now serving {path}", fresh.epoch);
+                    let parent = match &fresh.lineage {
+                        Some(lin) => Content::Str(lin.parent_checksum.clone()),
+                        None => Content::Null,
+                    };
+                    send(ok_line(
+                        "swap",
+                        vec![
+                            ("epoch", Content::U64(fresh.epoch)),
+                            ("target_class", Content::Str(target)),
+                            (
+                                "schema_fingerprint",
+                                Content::Str(format!("{fingerprint:016x}")),
+                            ),
+                            ("checksum", Content::Str(checksum)),
+                            ("parent_checksum", parent),
+                        ],
+                    ));
+                }
+                Err((want, have)) => {
+                    sink.add(Counter::SwapFailures, 1);
+                    drop(span);
                     eprintln!(
-                        "warn: epoch {} activated but state file write failed: {e}",
-                        fresh.epoch
+                        "swap rejected ({path}): lineage parent {want} is not the active \
+                         model {have}; current model keeps serving"
                     );
+                    send(err_line(
+                        "lineage_mismatch",
+                        &format!("candidate's parent checksum {want} != active model {have}"),
+                        vec![
+                            ("parent_checksum", Content::Str(want)),
+                            ("active_checksum", Content::Str(have)),
+                        ],
+                    ));
                 }
             }
-            drop(span);
-            eprintln!("swap: epoch {} now serving {path}", fresh.epoch);
-            send(ok_line(
-                "swap",
-                vec![
-                    ("epoch", Content::U64(fresh.epoch)),
-                    ("target_class", Content::Str(target)),
-                    (
-                        "schema_fingerprint",
-                        Content::Str(format!("{fingerprint:016x}")),
-                    ),
-                ],
-            ));
         }
         Err(e) => {
             sink.add(Counter::SwapFailures, 1);
@@ -691,14 +809,43 @@ fn stats_line(shared: &Arc<Shared>) -> String {
                         "source".to_string(),
                         Content::Str(e.source.display().to_string()),
                     ),
+                    ("checksum".to_string(), Content::Str(e.checksum.clone())),
                 ])
             })
             .collect(),
     );
+    let bins_content = |bins: &[u64]| Content::Seq(bins.iter().map(|&b| Content::U64(b)).collect());
+    let (p_bins, p_none) = sink.p_first_match();
+    let active = shared.active();
+    let lineage = match &active.lineage {
+        Some(lin) => Content::Map(vec![
+            (
+                "parent_checksum".to_string(),
+                Content::Str(lin.parent_checksum.clone()),
+            ),
+            ("window_id".to_string(), Content::U64(lin.window_id)),
+            ("verdict".to_string(), Content::Str(lin.verdict.clone())),
+        ]),
+        None => Content::Null,
+    };
+    let mode = if shared.degraded.is_on() {
+        "degraded"
+    } else {
+        "normal"
+    };
+    let degraded_reason = if shared.degraded.is_on() {
+        Content::Str(shared.degraded.reason())
+    } else {
+        Content::Null
+    };
     ok_line(
         "stats",
         vec![
-            ("epoch", Content::U64(shared.active().epoch)),
+            ("epoch", Content::U64(active.epoch)),
+            ("mode", Content::Str(mode.to_string())),
+            ("degraded_reason", degraded_reason),
+            ("active_checksum", Content::Str(active.checksum.clone())),
+            ("lineage", lineage),
             ("queue_len", Content::U64(shared.queue.len() as u64)),
             (
                 "queue_capacity",
@@ -717,6 +864,14 @@ fn stats_line(shared: &Arc<Shared>) -> String {
             ),
             ("counters", counters),
             ("epochs", epochs),
+            ("score_hist", bins_content(&sink.score_hist())),
+            (
+                "p_first_match",
+                Content::Map(vec![
+                    ("bins".to_string(), bins_content(&p_bins)),
+                    ("none".to_string(), Content::U64(p_none)),
+                ]),
+            ),
             ("request_latency", latency_content(sink.request_latency())),
             ("swap_latency", latency_content(sink.swap_latency())),
         ],
@@ -739,6 +894,8 @@ pub fn run(model_arg: &Path, config: DaemonConfig) -> Result<i32, String> {
     };
     let artifact =
         load_with_retry(&model_path, &RetryPolicy::default()).map_err(|e| e.to_string())?;
+    let checksum = artifact.checksum().map_err(|e| e.to_string())?;
+    let lineage = artifact.lineage.clone();
     let sink = Arc::new(ServeSink::new());
     let serving = build_serving(artifact, &config, sink.clone());
     eprintln!(
@@ -761,16 +918,19 @@ pub fn run(model_arg: &Path, config: DaemonConfig) -> Result<i32, String> {
         source: model_path,
         serving,
         served: AtomicU64::new(0),
+        checksum,
+        lineage,
     });
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.shed));
     let pending = Arc::new(AtomicU64::new(0));
+    let degraded = Arc::new(DegradedState::default());
     let pool = {
-        let (sink, pending) = (sink.clone(), pending.clone());
+        let (sink, pending, degraded) = (sink.clone(), pending.clone(), degraded.clone());
         let (panic_sink, panic_pending) = (sink.clone(), pending.clone());
         WorkerPool::spawn(
             config.workers,
             queue.clone(),
-            move |job: &ScoreJob| execute(job, &sink, &pending),
+            move |job: &ScoreJob| execute(job, &sink, &pending, &degraded),
             move |job: ScoreJob, msg: String| {
                 panic_sink.add(Counter::WorkerPanics, 1);
                 panic_sink.add(Counter::RequestsServed, 1);
@@ -797,6 +957,7 @@ pub fn run(model_arg: &Path, config: DaemonConfig) -> Result<i32, String> {
         queue: queue.clone(),
         pending: pending.clone(),
         shutdown: AtomicBool::new(false),
+        degraded,
         pool,
     });
 
@@ -807,6 +968,10 @@ pub fn run(model_arg: &Path, config: DaemonConfig) -> Result<i32, String> {
         .map_err(|e| format!("cannot read bound address: {e}"))?;
     println!("pnr-serve listening on {local}");
     let _ = std::io::stdout().flush();
+    if let Some(addr_file) = &shared.config.addr_file {
+        std::fs::write(addr_file, format!("{local}\n"))
+            .map_err(|e| format!("cannot write addr file {}: {e}", addr_file.display()))?;
+    }
     listener
         .set_nonblocking(true)
         .map_err(|e| format!("cannot configure listener: {e}"))?;

@@ -16,6 +16,7 @@
 //! | `deadline_exceeded`  | per-request wall-clock deadline expired            |
 //! | `worker_panic`       | the scoring worker panicked; worker was respawned  |
 //! | `swap_failed`        | hot-swap validation failed; old model still active |
+//! | `lineage_mismatch`   | swap candidate's parent checksum is not the active model; old model still active |
 //! | `schema_mismatch`    | connection header irreconcilable with the model    |
 //! | `fault_injection_disabled` | `panic`/`stall` without the daemon flag      |
 //!
@@ -49,6 +50,15 @@ pub enum Request {
     },
     /// Reports counters, per-epoch serve counts and latency percentiles.
     Stats,
+    /// Enters (`on: true`) or leaves degraded mode. Sent by the drift
+    /// sentinel when refits keep failing; the flag is echoed in every
+    /// subsequent response envelope and in `stats`.
+    Degrade {
+        /// `true` to enter degraded mode, `false` to clear it.
+        on: bool,
+        /// Operator-readable reason, surfaced in `stats`.
+        reason: String,
+    },
     /// Graceful drain: stop admitting, finish the backlog, flush
     /// telemetry, exit 0.
     Shutdown,
@@ -115,6 +125,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             _ => Err("`swap` needs a non-empty string `path`".to_string()),
         },
         "stats" => Ok(Request::Stats),
+        "degrade" => {
+            let on = match value.get("on") {
+                Some(Content::Bool(b)) => *b,
+                _ => return Err("`degrade` needs a boolean `on`".to_string()),
+            };
+            let reason = match value.get("reason") {
+                None | Some(Content::Null) => String::new(),
+                Some(Content::Str(s)) => s.clone(),
+                _ => return Err("`reason` must be a string".to_string()),
+            };
+            Ok(Request::Degrade { on, reason })
+        }
         "shutdown" => Ok(Request::Shutdown),
         "panic" => Ok(Request::Panic),
         "stall" => {
@@ -228,6 +250,20 @@ mod tests {
             parse_request("{\"cmd\":\"stall\",\"ms\":250}").unwrap(),
             Request::Stall { ms: 250 }
         );
+        assert_eq!(
+            parse_request("{\"cmd\":\"degrade\",\"on\":true,\"reason\":\"drift\"}").unwrap(),
+            Request::Degrade {
+                on: true,
+                reason: "drift".to_string()
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"degrade\",\"on\":false}").unwrap(),
+            Request::Degrade {
+                on: false,
+                reason: String::new()
+            }
+        );
     }
 
     #[test]
@@ -260,6 +296,8 @@ mod tests {
             "{\"cmd\":\"score\",\"rows\":[],\"deadline_ms\":-3}",
             "{\"cmd\":\"swap\"}",
             "{\"cmd\":\"stall\"}",
+            "{\"cmd\":\"degrade\"}",
+            "{\"cmd\":\"degrade\",\"on\":\"yes\"}",
         ] {
             assert!(parse_request(bad).is_err(), "{bad}");
         }

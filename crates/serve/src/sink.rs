@@ -22,6 +22,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// nanosecond value.
 const N_BUCKETS: usize = 64;
 
+/// Fixed-width bins of the score-distribution sketch over `[0, 1]`.
+pub const SCORE_BINS: usize = 20;
+
+/// P-rule ranks tracked individually by the first-match histogram; ranks
+/// beyond this share the last bucket so a swap to a larger model never
+/// changes the stats schema.
+pub const P_FIRST_BUCKETS: usize = 32;
+
 /// A fixed log₂-bucketed histogram of nanosecond durations.
 #[derive(Debug)]
 pub struct LatencyHistogram {
@@ -106,13 +114,24 @@ impl LatencyHistogram {
     }
 }
 
-/// The daemon-wide sink: one atomic counter per [`Counter`] plus request
-/// and swap latency histograms fed by span closes.
+/// The daemon-wide sink: one atomic counter per [`Counter`], request and
+/// swap latency histograms fed by span closes, plus the two serving-
+/// distribution sketches the drift detector consumes — a fixed-bin
+/// score histogram (the streaming quantile sketch) and a P-rule
+/// first-match histogram.
 #[derive(Debug, Default)]
 pub struct ServeSink {
     counters: [AtomicU64; N_COUNTERS],
     request_latency: LatencyHistogram,
     swap_latency: LatencyHistogram,
+    /// Scores bucketed over `[0, 1]` in `SCORE_BINS` equal bins (scores
+    /// land in `min(floor(score * BINS), BINS-1)`; non-finite in bin 0).
+    score_hist: [AtomicU64; SCORE_BINS],
+    /// Which P-rule matched first, by rank (ranks ≥ `P_FIRST_BUCKETS-1`
+    /// pool in the last bucket).
+    p_first: [AtomicU64; P_FIRST_BUCKETS],
+    /// Rows no P-rule matched.
+    p_first_none: AtomicU64,
 }
 
 impl ServeSink {
@@ -126,6 +145,42 @@ impl ServeSink {
         self.counters[counter as usize].load(Ordering::Relaxed)
     }
 
+    /// Records one scored row into the distribution sketches: its score,
+    /// its decision (ticks `decision_positives`) and the rank of the
+    /// first matching P-rule (`None` = no match).
+    pub fn record_score(&self, score: f64, decision: bool, p_rule: Option<usize>) {
+        let bin = if score.is_finite() {
+            let scaled = (score.clamp(0.0, 1.0) * SCORE_BINS as f64).floor() as usize;
+            scaled.min(SCORE_BINS - 1)
+        } else {
+            0
+        };
+        self.score_hist[bin].fetch_add(1, Ordering::Relaxed);
+        if decision {
+            self.add(Counter::DecisionPositives, 1);
+        }
+        match p_rule {
+            Some(rank) => {
+                self.p_first[rank.min(P_FIRST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed)
+            }
+            None => self.p_first_none.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Snapshot of the score-distribution bins.
+    pub fn score_hist(&self) -> [u64; SCORE_BINS] {
+        std::array::from_fn(|i| self.score_hist[i].load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of the P-rule first-match histogram: `(per-rank bins,
+    /// no-match count)`.
+    pub fn p_first_match(&self) -> ([u64; P_FIRST_BUCKETS], u64) {
+        (
+            std::array::from_fn(|i| self.p_first[i].load(Ordering::Relaxed)),
+            self.p_first_none.load(Ordering::Relaxed),
+        )
+    }
+
     /// The `serve_request` latency histogram.
     pub fn request_latency(&self) -> &LatencyHistogram {
         &self.request_latency
@@ -137,8 +192,9 @@ impl ServeSink {
     }
 
     /// The full telemetry report as NDJSON lines (no trailing newlines):
-    /// every counter in [`Counter::ALL`] order, then one latency line per
-    /// histogram. This is what the daemon flushes on graceful drain.
+    /// every counter in [`Counter::ALL`] order, one latency line per
+    /// histogram, then the score and P-rule first-match sketches. This is
+    /// what the daemon flushes on graceful drain.
     pub fn ndjson_lines(&self) -> Vec<String> {
         let mut lines: Vec<String> = Counter::ALL
             .iter()
@@ -155,8 +211,30 @@ impl ServeSink {
                 .ndjson_line(SpanKind::ServeRequest.name()),
         );
         lines.push(self.swap_latency.ndjson_line(SpanKind::ServeSwap.name()));
+        lines.push(format!(
+            "{{\"record\":\"score_hist\",\"bins\":{}}}",
+            join_bins(&self.score_hist())
+        ));
+        let (p_bins, p_none) = self.p_first_match();
+        lines.push(format!(
+            "{{\"record\":\"p_first_match\",\"bins\":{},\"none\":{p_none}}}",
+            join_bins(&p_bins)
+        ));
         lines
     }
+}
+
+/// Renders a counter slice as a JSON array literal.
+fn join_bins(bins: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, b) in bins.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&b.to_string());
+    }
+    out.push(']');
+    out
 }
 
 impl TelemetrySink for ServeSink {
@@ -238,14 +316,37 @@ mod tests {
         let sink = ServeSink::new();
         sink.add(Counter::RequestsServed, 3);
         let lines = sink.ndjson_lines();
-        assert_eq!(lines.len(), N_COUNTERS + 2);
+        assert_eq!(lines.len(), N_COUNTERS + 4);
         assert!(lines
             .iter()
             .any(|l| l.contains("\"requests_served\"") && l.contains(":3}")));
         assert!(lines.iter().any(|l| l.contains("\"serve_request\"")));
         assert!(lines.iter().any(|l| l.contains("\"serve_swap\"")));
+        assert!(lines.iter().any(|l| l.contains("\"score_hist\"")));
+        assert!(lines.iter().any(|l| l.contains("\"p_first_match\"")));
         for line in &lines {
             assert!(serde_json::parse(line).is_ok(), "unparseable: {line}");
         }
+    }
+
+    #[test]
+    fn score_records_land_in_the_right_bins() {
+        let sink = ServeSink::new();
+        sink.record_score(0.0, false, Some(0));
+        sink.record_score(0.049, false, Some(0)); // still bin 0
+        sink.record_score(0.5, true, Some(3));
+        sink.record_score(1.0, true, Some(100)); // rank pools in last bucket
+        sink.record_score(f64::NAN, false, None);
+        let bins = sink.score_hist();
+        assert_eq!(bins[0], 3, "0.0, 0.049 and NaN share bin 0");
+        assert_eq!(bins[10], 1, "0.5 lands at the midpoint bin");
+        assert_eq!(bins[SCORE_BINS - 1], 1, "1.0 clamps into the last bin");
+        assert_eq!(bins.iter().sum::<u64>(), 5);
+        let (p, none) = sink.p_first_match();
+        assert_eq!(p[0], 2);
+        assert_eq!(p[3], 1);
+        assert_eq!(p[P_FIRST_BUCKETS - 1], 1);
+        assert_eq!(none, 1);
+        assert_eq!(sink.value(Counter::DecisionPositives), 2);
     }
 }

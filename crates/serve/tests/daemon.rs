@@ -731,3 +731,141 @@ fn serving_binaries_pin_the_exit_code_convention() {
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
 }
+
+/// Pins the stats NDJSON schema the sentinel builds on: exact top-level
+/// field set, one counter per telemetry name, sketch shapes, and counter
+/// monotonicity across polling windows. A field rename here is a wire
+/// contract break, not a refactor.
+#[test]
+fn stats_schema_is_pinned_and_counters_are_monotone() {
+    let dir = temp_dir("statschema");
+    let model = make_artifact(&dir, "m.artifact", 23);
+    let daemon = Daemon::start(&["--model", model.to_str().unwrap()]);
+    let data = pnr_kddsim::generate_train(200, 5);
+
+    let mut client = Client::connect(&daemon.addr);
+    client.hello();
+    let mut ctl = Client::connect(&daemon.addr);
+
+    let keys = |v: &Content| -> Vec<String> {
+        match v {
+            Content::Map(entries) => entries.iter().map(|(k, _)| k.clone()).collect(),
+            other => panic!("expected a map, got {other:?}"),
+        }
+    };
+
+    let stats = ctl.request("{\"cmd\":\"stats\"}");
+    assert!(is_ok(&stats), "{stats:?}");
+    assert_eq!(
+        keys(&stats),
+        [
+            "ok",
+            "reply",
+            "epoch",
+            "mode",
+            "degraded_reason",
+            "active_checksum",
+            "lineage",
+            "queue_len",
+            "queue_capacity",
+            "shed_policy",
+            "workers",
+            "workers_alive",
+            "worker_respawns",
+            "pending",
+            "counters",
+            "epochs",
+            "score_hist",
+            "p_first_match",
+            "request_latency",
+            "swap_latency",
+        ],
+        "stats top-level schema changed"
+    );
+    assert_eq!(jstr(&stats, "mode"), "normal");
+    assert_eq!(stats.get("degraded_reason"), Some(&Content::Null));
+    assert_eq!(
+        stats.get("lineage"),
+        Some(&Content::Null),
+        "boot has no lineage"
+    );
+    assert!(!jstr(&stats, "active_checksum").is_empty());
+
+    // every telemetry counter is exported under its stable name
+    let exported = keys(stats.get("counters").unwrap());
+    for c in pnr_telemetry::Counter::ALL {
+        assert!(
+            exported.iter().any(|k| k == c.name()),
+            "counter {} missing from stats",
+            c.name()
+        );
+    }
+    assert_eq!(exported.len(), pnr_telemetry::Counter::ALL.len());
+
+    // epochs entries carry the lineage-relevant fields
+    match stats.get("epochs") {
+        Some(Content::Seq(entries)) => {
+            assert!(!entries.is_empty());
+            for e in entries {
+                assert_eq!(keys(e), ["epoch", "served", "source", "checksum"]);
+            }
+        }
+        other => panic!("epochs not a sequence: {other:?}"),
+    }
+
+    // sketch shapes: 20 score bins, 32 p-first buckets plus a none count
+    let bins_len = |v: &Content| match v {
+        Content::Seq(s) => s.len(),
+        other => panic!("expected bins, got {other:?}"),
+    };
+    assert_eq!(bins_len(stats.get("score_hist").unwrap()), 20);
+    let pfm = stats.get("p_first_match").unwrap();
+    assert_eq!(keys(pfm), ["bins", "none"]);
+    assert_eq!(bins_len(pfm.get("bins").unwrap()), 32);
+
+    // window boundaries: the counter delta between two polls is exactly
+    // the traffic sent between them, and counters never decrease
+    let before_rows = counter(&stats, "rows_scored");
+    let before_checks = counter(&stats, "requests_served");
+    const REQUESTS: usize = 10;
+    const BATCH: usize = 20;
+    for i in 0..REQUESTS {
+        let reply = client.request(&Client::score_line(&data, i, BATCH));
+        assert!(is_ok(&reply), "{reply:?}");
+    }
+    let after = ctl.request("{\"cmd\":\"stats\"}");
+    let hist_mass: u64 = match after.get("score_hist") {
+        Some(Content::Seq(s)) => s
+            .iter()
+            .map(|b| match b {
+                Content::U64(n) => *n,
+                other => panic!("non-u64 bin: {other:?}"),
+            })
+            .sum(),
+        other => panic!("score_hist missing: {other:?}"),
+    };
+    assert_eq!(
+        counter(&after, "rows_scored") - before_rows,
+        (REQUESTS * BATCH) as u64,
+        "rows_scored window delta"
+    );
+    assert_eq!(
+        hist_mass,
+        counter(&after, "rows_scored"),
+        "every scored row lands in exactly one score bin"
+    );
+    assert!(counter(&after, "requests_served") > before_checks);
+    for c in pnr_telemetry::Counter::ALL {
+        assert!(
+            counter(&after, c.name()) >= counter(&stats, c.name()),
+            "counter {} regressed between polls",
+            c.name()
+        );
+    }
+
+    let reply = ctl.request("{\"cmd\":\"shutdown\"}");
+    assert!(is_ok(&reply), "{reply:?}");
+    let (code, _) = daemon.wait();
+    assert_eq!(code, Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -41,7 +41,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct [`Counter`]s (size of the recording array).
-pub const N_COUNTERS: usize = 19;
+pub const N_COUNTERS: usize = 27;
 
 /// Monotonic counter identities. Stored in a fixed array indexed by the
 /// enum discriminant — deliberately not a hash map, so iteration order
@@ -106,6 +106,25 @@ pub enum Counter {
     /// `ParallelSearchCalls` this is the mean effective worker count, so
     /// sweeps read the real policy outcome instead of guessing.
     SearchWorkerThreads,
+    /// Records the serving layer decided positive (target-class hits).
+    /// Together with `RowsScored` this gives the per-window hit rate the
+    /// drift detector monitors.
+    DecisionPositives,
+    /// Serving-stat windows the drift detector evaluated.
+    DriftChecks,
+    /// Windows whose drift verdict was `warn`.
+    DriftWarnings,
+    /// Windows whose drift verdict was `refit` (a refit was signalled).
+    DriftRefitsSignalled,
+    /// Windowed refit attempts started by the supervisor.
+    RefitAttempts,
+    /// Refit candidates that validated and were published via hot-swap.
+    RefitPublishes,
+    /// Refit attempts rolled back (fit failure, validation-recall
+    /// regression, or publish failure); last-known-good kept serving.
+    RefitRollbacks,
+    /// Times serving entered the explicit degraded state.
+    DegradedEntries,
 }
 
 impl Counter {
@@ -130,6 +149,14 @@ impl Counter {
         Counter::SwapFailures,
         Counter::ParallelSearchCalls,
         Counter::SearchWorkerThreads,
+        Counter::DecisionPositives,
+        Counter::DriftChecks,
+        Counter::DriftWarnings,
+        Counter::DriftRefitsSignalled,
+        Counter::RefitAttempts,
+        Counter::RefitPublishes,
+        Counter::RefitRollbacks,
+        Counter::DegradedEntries,
     ];
 
     /// Stable snake_case name used in NDJSON lines and rendered tables.
@@ -154,6 +181,14 @@ impl Counter {
             Counter::SwapFailures => "swap_failures",
             Counter::ParallelSearchCalls => "parallel_search_calls",
             Counter::SearchWorkerThreads => "search_worker_threads",
+            Counter::DecisionPositives => "decision_positives",
+            Counter::DriftChecks => "drift_checks",
+            Counter::DriftWarnings => "drift_warnings",
+            Counter::DriftRefitsSignalled => "drift_refits_signalled",
+            Counter::RefitAttempts => "refit_attempts",
+            Counter::RefitPublishes => "refit_publishes",
+            Counter::RefitRollbacks => "refit_rollbacks",
+            Counter::DegradedEntries => "degraded_entries",
         }
     }
 
@@ -187,6 +222,14 @@ pub enum SpanKind {
     ServeRequest,
     /// One hot-swap: artifact load + validation + epoch publication.
     ServeSwap,
+    /// One drift-detector window evaluation.
+    DriftCheck,
+    /// One windowed refit fit (through the checkpointed pipeline).
+    RefitFit,
+    /// One candidate validation against the held-back slice.
+    RefitValidate,
+    /// One candidate publication (artifact save + hot-swap).
+    RefitPublish,
 }
 
 impl SpanKind {
@@ -203,6 +246,10 @@ impl SpanKind {
             SpanKind::BaselineFit => "baseline_fit",
             SpanKind::ServeRequest => "serve_request",
             SpanKind::ServeSwap => "serve_swap",
+            SpanKind::DriftCheck => "drift_check",
+            SpanKind::RefitFit => "refit_fit",
+            SpanKind::RefitValidate => "refit_validate",
+            SpanKind::RefitPublish => "refit_publish",
         }
     }
 

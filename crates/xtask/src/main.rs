@@ -58,7 +58,7 @@ use std::process::ExitCode;
 /// roster. `cargo xtask scopes` fails when a directory on disk is missing
 /// here (a new crate would silently escape the scoped lints) or when an
 /// entry no longer exists on disk (stale roster).
-const KNOWN_CRATES: [&str; 13] = [
+const KNOWN_CRATES: [&str; 14] = [
     "bench",
     "c45",
     "core",
@@ -68,6 +68,7 @@ const KNOWN_CRATES: [&str; 13] = [
     "metrics",
     "ripper",
     "rules",
+    "sentinel",
     "serve",
     "synth",
     "telemetry",
@@ -75,12 +76,13 @@ const KNOWN_CRATES: [&str; 13] = [
 ];
 /// Crates whose non-test code must not panic via `.unwrap()`/`.expect()`.
 /// `serve` is here because the daemon sits behind a panic boundary that
-/// must never be the *normal* error path.
-const LIB_UNWRAP_CRATES: [&str; 5] = ["data", "rules", "core", "telemetry", "serve"];
+/// must never be the *normal* error path, and `sentinel` because the
+/// monitor must outlive the daemon failures it supervises.
+const LIB_UNWRAP_CRATES: [&str; 6] = ["data", "rules", "core", "telemetry", "serve", "sentinel"];
 /// Crates on the learner path where iteration order feeds rule ordering,
 /// plus telemetry and serving, whose export/report order must be
 /// deterministic.
-const NONDET_ITER_CRATES: [&str; 7] = [
+const NONDET_ITER_CRATES: [&str; 8] = [
     "data",
     "rules",
     "core",
@@ -88,6 +90,7 @@ const NONDET_ITER_CRATES: [&str; 7] = [
     "c45",
     "telemetry",
     "serve",
+    "sentinel",
 ];
 /// Crates doing row-index/code arithmetic.
 const LOSSY_CAST_CRATES: [&str; 6] = ["data", "metrics", "rules", "core", "ripper", "c45"];
@@ -411,6 +414,20 @@ mod tests {
                 rules_for(serve),
                 ["float-eq", "lib-unwrap", "nondet-iter"],
                 "{serve}"
+            );
+        }
+        // The drift sentinel is a supervisor: it must not panic while
+        // the thing it supervises is failing, and its verdicts and wire
+        // output must be deterministic.
+        for sentinel in [
+            "crates/sentinel/src/detect.rs",
+            "crates/sentinel/src/supervisor.rs",
+            "crates/sentinel/src/bin/pnr_sentinel.rs",
+        ] {
+            assert_eq!(
+                rules_for(sentinel),
+                ["float-eq", "lib-unwrap", "nondet-iter"],
+                "{sentinel}"
             );
         }
     }
